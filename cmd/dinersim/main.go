@@ -1,0 +1,146 @@
+// Command dinersim runs one dining simulation from command-line flags
+// and prints the resulting report.
+//
+// Examples:
+//
+//	dinersim -topology ring -n 16 -horizon 20000
+//	dinersim -topology grid -rows 4 -cols 4 -crash 3@500 -crash 7@900
+//	dinersim -topology ring -n 8 -variant choy-singh -crash 0@300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/dining"
+)
+
+// crashList collects repeatable -crash id@time flags.
+type crashList []struct {
+	id int
+	at dining.Ticks
+}
+
+func (c *crashList) String() string { return fmt.Sprintf("%d crashes", len(*c)) }
+
+func (c *crashList) Set(v string) error {
+	id, at, ok := strings.Cut(v, "@")
+	if !ok {
+		return fmt.Errorf("crash %q: want id@time", v)
+	}
+	idN, err := strconv.Atoi(id)
+	if err != nil {
+		return fmt.Errorf("crash id %q: %w", id, err)
+	}
+	atN, err := strconv.ParseInt(at, 10, 64)
+	if err != nil {
+		return fmt.Errorf("crash time %q: %w", at, err)
+	}
+	*c = append(*c, struct {
+		id int
+		at dining.Ticks
+	}{idN, atN})
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dinersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dinersim", flag.ContinueOnError)
+	topo := fs.String("topology", "ring", "ring|path|star|clique|grid|random|file")
+	file := fs.String("file", "", "edge-list file for -topology file")
+	n := fs.Int("n", 10, "number of processes (ring/path/star/clique/random)")
+	rows := fs.Int("rows", 3, "grid rows")
+	cols := fs.Int("cols", 3, "grid cols")
+	p := fs.Float64("p", 0.3, "random-graph edge probability")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	horizon := fs.Int64("horizon", 20000, "virtual-time horizon")
+	variantName := fs.String("variant", "paper", "paper|no-replied|choy-singh|static-forks")
+	detName := fs.String("detector", "heartbeat", "heartbeat|perfect|none")
+	traceN := fs.Int("trace", 0, "dump the last N simulation events after the run")
+	var crashes crashList
+	fs.Var(&crashes, "crash", "crash injection id@time (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var topology dining.Topology
+	switch *topo {
+	case "ring":
+		topology = dining.Ring(*n)
+	case "path":
+		topology = dining.Path(*n)
+	case "star":
+		topology = dining.Star(*n)
+	case "clique":
+		topology = dining.Clique(*n)
+	case "grid":
+		topology = dining.Grid(*rows, *cols)
+	case "random":
+		topology = dining.Random(*n, *p)
+	case "file":
+		if *file == "" {
+			return fmt.Errorf("-topology file requires -file")
+		}
+		topology = dining.FromFile(*file)
+	default:
+		return fmt.Errorf("unknown topology %q", *topo)
+	}
+
+	var variant dining.Variant
+	switch *variantName {
+	case "paper":
+		variant = dining.Paper
+	case "no-replied":
+		variant = dining.NoRepliedFlag
+	case "choy-singh":
+		variant = dining.ChoySingh
+	case "static-forks":
+		variant = dining.StaticForks
+	default:
+		return fmt.Errorf("unknown variant %q", *variantName)
+	}
+
+	cfg := dining.Config{Topology: topology, Seed: *seed, Variant: variant, TraceCapacity: *traceN}
+	switch *detName {
+	case "heartbeat":
+		d := dining.HeartbeatDetector(dining.HeartbeatOptions{})
+		cfg.Detector = &d
+	case "perfect":
+		d := dining.PerfectDetector(10)
+		cfg.Detector = &d
+	case "none":
+		d := dining.NoDetector()
+		cfg.Detector = &d
+	default:
+		return fmt.Errorf("unknown detector %q", *detName)
+	}
+
+	sys, err := dining.NewSimulation(cfg)
+	if err != nil {
+		return err
+	}
+	for _, c := range crashes {
+		sys.CrashAt(c.at, c.id)
+	}
+	rep := sys.Run(*horizon)
+	fmt.Printf("%s seed=%d horizon=%d variant=%s\n", topology, *seed, *horizon, *variantName)
+	fmt.Println(rep)
+	if *traceN > 0 {
+		fmt.Println()
+		fmt.Println(sys.TraceSummary())
+		sys.DumpTrace(os.Stdout)
+	}
+	if rep.InvariantViolation != nil {
+		return rep.InvariantViolation
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command experiments regenerates every reproduction experiment
+// (E1–E8, A1–A2) from DESIGN.md and prints the tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-seed N] [-markdown] [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavored Markdown tables")
+	csv := fs.Bool("csv", false, "emit CSV tables")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E3,A2); empty = all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	runners := map[string]func() *harness.Table{
+		"E1":  func() *harness.Table { return harness.E1Safety(*seed) },
+		"E2":  func() *harness.Table { return harness.E2WaitFreedom(*seed) },
+		"E3":  func() *harness.Table { return harness.E3BoundedWaiting(*seed) },
+		"E4":  func() *harness.Table { return harness.E4ChannelBound(*seed) },
+		"E5":  func() *harness.Table { return harness.E5Quiescence(*seed) },
+		"E6":  harness.E6Space,
+		"E7":  func() *harness.Table { return harness.E7Stabilization(*seed) },
+		"E8":  func() *harness.Table { return harness.E8Scalability(*seed) },
+		"E9":  harness.E9ModelCheck,
+		"E10": func() *harness.Table { return harness.E10MessageMix(*seed) },
+		"A1":  func() *harness.Table { return harness.A1RepliedAblation(*seed) },
+		"A2":  func() *harness.Table { return harness.A2DetectorSweep(*seed) },
+		"A3":  func() *harness.Table { return harness.A3KBoundSweep(*seed) },
+		"A4":  func() *harness.Table { return harness.A4SeedRobustness(10) },
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3", "A4"}
+
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		table := runners[id]()
+		switch {
+		case *markdown:
+			table.Markdown(os.Stdout)
+		case *csv:
+			table.CSV(os.Stdout)
+		default:
+			table.Render(os.Stdout)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package dining
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// DaemonConfig assembles a distributed daemon: a scheduler that invokes
+// a user callback for each process infinitely often, guaranteeing
+// (eventually) that callbacks of neighboring processes never run
+// simultaneously — the scheduling contract self-stabilizing protocols
+// need. This is the paper's motivating application packaged as an API.
+type DaemonConfig struct {
+	// Topology is the conflict graph: neighbors are never scheduled
+	// together (after detector convergence).
+	Topology Topology
+	// Seed drives all randomness.
+	Seed int64
+	// Detector selects the oracle (default heartbeat ◇P₁).
+	Detector *Detector
+	// Delays is the network latency model (default uniform [1,4]).
+	Delays *Delays
+	// Step is invoked each time a process is scheduled (required).
+	// Under ◇WX it may overlap with a neighbor's Step only finitely
+	// often per run.
+	Step func(process int)
+}
+
+// Daemon schedules a user callback with local mutual exclusion, wait-
+// free under crash faults, with eventual 2-bounded waiting between
+// neighbors.
+type Daemon struct {
+	r     *runner.Runner
+	suite *metrics.Suite
+	steps []int
+}
+
+// NewDaemon builds a simulation-backed daemon from cfg.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.Topology.build == nil {
+		return nil, errors.New("dining: DaemonConfig.Topology is required")
+	}
+	if cfg.Step == nil {
+		return nil, errors.New("dining: DaemonConfig.Step is required")
+	}
+	g, err := cfg.Topology.build(rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("dining: topology: %w", err)
+	}
+	det := cfg.Detector
+	if det == nil {
+		d := HeartbeatDetector(HeartbeatOptions{})
+		det = &d
+	}
+	delays := cfg.Delays
+	if delays == nil {
+		d := UniformDelays(1, 4)
+		delays = &d
+	}
+	suite := metrics.NewSuite(g)
+	daemon := &Daemon{suite: suite, steps: make([]int, g.N())}
+	r, err := runner.New(runner.Config{
+		Graph:       g,
+		Seed:        cfg.Seed,
+		Delays:      delays.model,
+		NewDetector: det.factory,
+		Workload:    runner.Saturated(),
+		OnTransition: func(at sim.Time, id int, from, to core.State) {
+			suite.OnTransition(at, id, from, to)
+			if to == core.Eating {
+				daemon.steps[id]++
+				cfg.Step(id)
+			}
+		},
+		OnCrash: suite.OnCrash,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dining: %w", err)
+	}
+	r.Network().SetObserver(suite.Observer())
+	daemon.r = r
+	return daemon, nil
+}
+
+// CrashAt schedules process id to crash at virtual time t.
+func (d *Daemon) CrashAt(t Ticks, id int) { d.r.CrashAt(sim.Time(t), id) }
+
+// At schedules fn to run at virtual time t (for fault injection or
+// probes between steps).
+func (d *Daemon) At(t Ticks, fn func()) { d.r.Kernel().At(sim.Time(t), fn) }
+
+// Run advances the daemon to virtual time `until` and returns the
+// scheduling report.
+func (d *Daemon) Run(until Ticks) Report {
+	d.r.Run(sim.Time(until))
+	sys := System{r: d.r, suite: d.suite}
+	return sys.report(sim.Time(until))
+}
+
+// Steps returns how many times each process was scheduled.
+func (d *Daemon) Steps() []int {
+	out := make([]int, len(d.steps))
+	copy(out, d.steps)
+	return out
+}

@@ -1,0 +1,498 @@
+// Package dining is the public API of this repository: a wait-free,
+// eventually 2-bounded dining-philosophers scheduler (a distributed
+// daemon) for asynchronous message-passing systems with crash faults,
+// reproducing Song & Pike, "Eventually k-bounded Wait-Free Distributed
+// Daemons" (DSN 2007).
+//
+// Two execution modes are offered:
+//
+//   - NewSimulation runs the algorithm in a deterministic discrete-
+//     event simulator (virtual time, seeded randomness, adversarial
+//     message delays, crash injection) and produces a Report of the
+//     paper's observables: exclusion violations, overtake bounds,
+//     hungry-session latency, per-edge channel occupancy, and
+//     quiescence.
+//   - NewLive runs it on real goroutines with a wall-clock heartbeat
+//     failure detector; see the Live type.
+//
+// A minimal use:
+//
+//	sys, err := dining.NewSimulation(dining.Config{
+//		Topology: dining.Ring(10),
+//		Seed:     1,
+//	})
+//	if err != nil { ... }
+//	sys.CrashAt(500, 3)      // kill process 3 at virtual time 500
+//	report := sys.Run(20000) // simulate 20k ticks
+//	fmt.Println(report)
+package dining
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Ticks is virtual time in simulator ticks.
+type Ticks = int64
+
+// Topology describes a conflict graph. Build one with Ring, Path, Star,
+// Clique, Grid, Random, or Custom.
+type Topology struct {
+	build func(rng *rand.Rand) (*graph.Graph, error)
+	desc  string
+}
+
+// Ring is the cycle topology C_n.
+func Ring(n int) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) { return graph.Ring(n), nil },
+		desc:  fmt.Sprintf("ring(%d)", n),
+	}
+}
+
+// Path is the path topology P_n.
+func Path(n int) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) { return graph.Path(n), nil },
+		desc:  fmt.Sprintf("path(%d)", n),
+	}
+}
+
+// Star is the star topology with vertex 0 as hub.
+func Star(n int) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) { return graph.Star(n), nil },
+		desc:  fmt.Sprintf("star(%d)", n),
+	}
+}
+
+// Clique is the complete conflict graph K_n (global mutual exclusion).
+func Clique(n int) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) { return graph.Clique(n), nil },
+		desc:  fmt.Sprintf("clique(%d)", n),
+	}
+}
+
+// Grid is the rows×cols grid topology.
+func Grid(rows, cols int) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) { return graph.Grid(rows, cols), nil },
+		desc:  fmt.Sprintf("grid(%dx%d)", rows, cols),
+	}
+}
+
+// Hypercube is the d-dimensional hypercube Q_d on 2^d vertices.
+func Hypercube(d int) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) { return graph.Hypercube(d), nil },
+		desc:  fmt.Sprintf("hypercube(%d)", d),
+	}
+}
+
+// Torus is the rows×cols 2D torus (grid with wraparound).
+func Torus(rows, cols int) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) { return graph.Torus(rows, cols), nil },
+		desc:  fmt.Sprintf("torus(%dx%d)", rows, cols),
+	}
+}
+
+// Bipartite is the complete bipartite conflict graph K_{a,b}.
+func Bipartite(a, b int) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) { return graph.CompleteBipartite(a, b), nil },
+		desc:  fmt.Sprintf("bipartite(%d,%d)", a, b),
+	}
+}
+
+// Tree is the complete binary tree on n vertices in heap order.
+func Tree(n int) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) { return graph.BinaryTree(n), nil },
+		desc:  fmt.Sprintf("tree(%d)", n),
+	}
+}
+
+// Wheel is the wheel W_n: a hub (vertex 0) joined to an (n-1)-ring.
+func Wheel(n int) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) { return graph.Wheel(n), nil },
+		desc:  fmt.Sprintf("wheel(%d)", n),
+	}
+}
+
+// Random is a connected Erdős–Rényi conflict graph G(n, p) drawn from
+// the simulation seed.
+func Random(n int, p float64) Topology {
+	return Topology{
+		build: func(rng *rand.Rand) (*graph.Graph, error) {
+			return graph.ConnectedGNP(n, p, rng), nil
+		},
+		desc: fmt.Sprintf("gnp(%d,%.2f)", n, p),
+	}
+}
+
+// FromFile loads a topology from an edge-list file: one "u v" pair per
+// line, optional "n <count>" header, '#' comments.
+func FromFile(path string) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return graph.ParseEdgeList(f)
+		},
+		desc: fmt.Sprintf("file(%s)", path),
+	}
+}
+
+// Custom builds a topology from an explicit edge list over vertices
+// 0..n-1.
+func Custom(n int, edges [][2]int) Topology {
+	return Topology{
+		build: func(*rand.Rand) (*graph.Graph, error) {
+			g := graph.New(n)
+			for _, e := range edges {
+				if err := g.AddEdge(e[0], e[1]); err != nil {
+					return nil, err
+				}
+			}
+			return g, nil
+		},
+		desc: fmt.Sprintf("custom(%d,%d edges)", n, len(edges)),
+	}
+}
+
+// String implements fmt.Stringer.
+func (t Topology) String() string { return t.desc }
+
+// Variant selects the dining algorithm.
+type Variant int
+
+// Algorithm variants.
+const (
+	// Paper is Algorithm 1 of Song & Pike — the default.
+	Paper Variant = iota
+	// NoRepliedFlag is Algorithm 1 with the one-ack-per-session rule
+	// removed (forfeits eventual 2-bounded waiting).
+	NoRepliedFlag
+	// ChoySingh is the original asynchronous doorway without a failure
+	// detector (not wait-free: crashes starve neighbors).
+	ChoySingh
+	// StaticForks is fork collection with no doorway (no fairness
+	// bound).
+	StaticForks
+	// Hygienic is Chandy–Misra hygienic dining (dirty/clean forks,
+	// dynamic priorities): starvation-free crash-free, but chain-bound
+	// waiting and — consulting no detector — not wait-free.
+	Hygienic
+	// HygienicFD is hygienic dining with ◇P₁ wired into the eat guard.
+	HygienicFD
+)
+
+// Detector selects the failure-detector oracle for a simulation.
+type Detector struct {
+	factory runner.DetectorFactory
+	desc    string
+}
+
+// NoDetector runs with an empty suspect set.
+func NoDetector() Detector { return Detector{desc: "none"} }
+
+// PerfectDetector suspects exactly the crashed processes, latency ticks
+// after each crash.
+func PerfectDetector(latency Ticks) Detector {
+	return Detector{
+		factory: func(k *sim.Kernel, g *graph.Graph) detector.Detector {
+			return detector.NewPerfect(k, g, sim.Time(latency))
+		},
+		desc: fmt.Sprintf("perfect(latency=%d)", latency),
+	}
+}
+
+// HeartbeatOptions tune the ◇P₁ heartbeat implementation and its
+// partially synchronous network. Zero fields take defaults.
+type HeartbeatOptions struct {
+	// Period between heartbeats (default 5).
+	Period Ticks
+	// InitialTimeout before first suspicion (default 12).
+	InitialTimeout Ticks
+	// Increment added to a neighbor's timeout after each false
+	// suspicion (default 10).
+	Increment Ticks
+	// GST is the global stabilization time of the heartbeat network:
+	// before it, heartbeat delays are uniform in [0, PreNoise]; after
+	// it they are exactly PostDelay (defaults 2000 / 60 / 1).
+	GST       Ticks
+	PreNoise  Ticks
+	PostDelay Ticks
+}
+
+// HeartbeatDetector is the real ◇P₁: heartbeats with adaptive timeouts
+// under partial synchrony. It makes finitely many mistakes before GST
+// and converges after.
+func HeartbeatDetector(opts HeartbeatOptions) Detector {
+	if opts.Period <= 0 {
+		opts.Period = 5
+	}
+	if opts.InitialTimeout <= 0 {
+		opts.InitialTimeout = 12
+	}
+	if opts.Increment <= 0 {
+		opts.Increment = 10
+	}
+	if opts.GST <= 0 {
+		opts.GST = 2000
+	}
+	if opts.PreNoise < 0 {
+		opts.PreNoise = 60
+	}
+	if opts.PostDelay <= 0 {
+		opts.PostDelay = 1
+	}
+	return Detector{
+		factory: func(k *sim.Kernel, g *graph.Graph) detector.Detector {
+			delays := sim.GSTDelay{
+				GST:  sim.Time(opts.GST),
+				Pre:  sim.UniformDelay{Min: 0, Max: sim.Time(opts.PreNoise)},
+				Post: sim.FixedDelay{D: sim.Time(opts.PostDelay)},
+			}
+			hb := detector.NewHeartbeat(k, g, delays, detector.HeartbeatConfig{
+				Period:         sim.Time(opts.Period),
+				InitialTimeout: sim.Time(opts.InitialTimeout),
+				Increment:      sim.Time(opts.Increment),
+			})
+			hb.Start()
+			return hb
+		},
+		desc: "heartbeat",
+	}
+}
+
+// Delays selects the dining network's latency model.
+type Delays struct {
+	model sim.DelayModel
+	desc  string
+}
+
+// FixedDelays delivers every message after exactly d ticks.
+func FixedDelays(d Ticks) Delays {
+	return Delays{model: sim.FixedDelay{D: sim.Time(d)}, desc: fmt.Sprintf("fixed(%d)", d)}
+}
+
+// UniformDelays draws latency uniformly from [min, max].
+func UniformDelays(min, max Ticks) Delays {
+	return Delays{
+		model: sim.UniformDelay{Min: sim.Time(min), Max: sim.Time(max)},
+		desc:  fmt.Sprintf("uniform[%d,%d]", min, max),
+	}
+}
+
+// SpikyDelays is mostly-base latency with probability p of an extra
+// spike in [0, spike] — an adversarial model for stressing timeouts and
+// FIFO handling.
+func SpikyDelays(base, spike Ticks, p float64) Delays {
+	return Delays{
+		model: sim.SpikeDelay{Base: sim.Time(base), Spike: sim.Time(spike), SpikeP: p},
+		desc:  fmt.Sprintf("spiky(%d+%d@%.2f)", base, spike, p),
+	}
+}
+
+// Workload drives hunger and eating durations.
+type Workload struct {
+	// ThinkMin/ThinkMax bound thinking time between sessions
+	// (default 0/0: saturated).
+	ThinkMin, ThinkMax Ticks
+	// EatMin/EatMax bound eating time (default 1/3).
+	EatMin, EatMax Ticks
+	// Sessions caps hungry sessions per process (0 = unlimited).
+	Sessions int
+}
+
+// Config assembles a simulation.
+type Config struct {
+	// Topology is the conflict graph (required).
+	Topology Topology
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Variant selects the algorithm (default Paper).
+	Variant Variant
+	// AcksPerSession generalizes the Paper variant's doorway: at most m
+	// acks per neighbor per hungry session gives eventual
+	// (m+1)-bounded waiting. Zero is the paper's m=1 (k=2). Ignored by
+	// other variants.
+	AcksPerSession int
+	// Detector selects the oracle (default HeartbeatDetector with
+	// defaults for Paper/NoRepliedFlag/StaticForks; ChoySingh always
+	// runs detector-free).
+	Detector *Detector
+	// Delays is the dining network's latency model (default
+	// uniform [1,4]).
+	Delays *Delays
+	// Workload drives hunger (default saturated).
+	Workload Workload
+	// TraceCapacity, when positive, records the last N simulation
+	// events (transitions, messages, crashes) for inspection via
+	// DumpTrace — invaluable when debugging an adversarial schedule.
+	TraceCapacity int
+}
+
+// System is an assembled simulation.
+type System struct {
+	r     *runner.Runner
+	suite *metrics.Suite
+	log   *trace.Log
+	desc  string
+}
+
+// NewSimulation builds a deterministic simulation from cfg.
+func NewSimulation(cfg Config) (*System, error) {
+	if cfg.Topology.build == nil {
+		return nil, errors.New("dining: Config.Topology is required")
+	}
+	g, err := cfg.Topology.build(rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("dining: topology: %w", err)
+	}
+	var factory runner.ProcessFactory
+	switch cfg.Variant {
+	case NoRepliedFlag:
+		factory = runner.CoreFactory(core.Options{DisableRepliedFlag: true})
+	case ChoySingh:
+		factory = runner.CoreFactory(core.Options{IgnoreDetector: true, DisableRepliedFlag: true})
+	case StaticForks:
+		factory = nil // set below to keep the switch exhaustive-looking
+	default:
+		factory = runner.CoreFactory(core.Options{AcksPerSession: cfg.AcksPerSession})
+	}
+	if cfg.Variant == StaticForks {
+		factory = forksFactory
+	}
+	if cfg.Variant == Hygienic || cfg.Variant == HygienicFD {
+		withFD := cfg.Variant == HygienicFD
+		factory = func(id, _ int, nbrColors map[int]int, suspects func(int) bool) (core.Process, error) {
+			nbrs := make([]int, 0, len(nbrColors))
+			for j := range nbrColors {
+				nbrs = append(nbrs, j)
+			}
+			if !withFD {
+				suspects = nil
+			}
+			return baseline.NewHygienic(id, nbrs, suspects)
+		}
+	}
+
+	det := cfg.Detector
+	if det == nil {
+		if cfg.Variant == ChoySingh || cfg.Variant == Hygienic {
+			d := NoDetector()
+			det = &d
+		} else {
+			d := HeartbeatDetector(HeartbeatOptions{})
+			det = &d
+		}
+	}
+	delays := cfg.Delays
+	if delays == nil {
+		d := UniformDelays(1, 4)
+		delays = &d
+	}
+
+	suite := metrics.NewSuite(g)
+	var log *trace.Log
+	onTransition := suite.OnTransition
+	onCrash := suite.OnCrash
+	observer := suite.Observer()
+	if cfg.TraceCapacity > 0 {
+		log = trace.NewLog(cfg.TraceCapacity)
+		onTransition = func(at sim.Time, id int, from, to core.State) {
+			suite.OnTransition(at, id, from, to)
+			log.OnTransition(at, id, from, to)
+		}
+		onCrash = func(at sim.Time, id int) {
+			suite.OnCrash(at, id)
+			log.OnCrash(at, id)
+		}
+		observer = sim.MultiObserver(suite.Observer(), log.Observer())
+	}
+	r, err := runner.New(runner.Config{
+		Graph:       g,
+		Seed:        cfg.Seed,
+		Delays:      delays.model,
+		NewDetector: det.factory,
+		NewProcess:  factory,
+		Workload: runner.Workload{
+			ThinkMin: sim.Time(cfg.Workload.ThinkMin),
+			ThinkMax: sim.Time(cfg.Workload.ThinkMax),
+			EatMin:   sim.Time(cfg.Workload.EatMin),
+			EatMax:   sim.Time(cfg.Workload.EatMax),
+			Sessions: cfg.Workload.Sessions,
+		},
+		OnTransition: onTransition,
+		OnCrash:      onCrash,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dining: %w", err)
+	}
+	r.Network().SetObserver(observer)
+	return &System{
+		r:     r,
+		suite: suite,
+		log:   log,
+		desc:  fmt.Sprintf("%s/%s/%s", cfg.Topology.desc, det.desc, delays.desc),
+	}, nil
+}
+
+func forksFactory(id, color int, nbrColors map[int]int, suspects func(int) bool) (core.Process, error) {
+	return baseline.NewForks(id, color, nbrColors, suspects)
+}
+
+// CrashAt schedules process id to crash at virtual time t. Call before
+// (or between) Run calls.
+func (s *System) CrashAt(t Ticks, id int) { s.r.CrashAt(sim.Time(t), id) }
+
+// Run advances the simulation to virtual time `until` (cumulative
+// across calls) and returns the report so far.
+func (s *System) Run(until Ticks) Report {
+	s.r.Run(sim.Time(until))
+	return s.report(sim.Time(until))
+}
+
+// N returns the number of processes.
+func (s *System) N() int { return s.r.Graph().N() }
+
+// State returns the dining state of process i as a string: "thinking",
+// "hungry", or "eating".
+func (s *System) State(i int) string { return s.r.Process(i).State().String() }
+
+// DumpTrace writes the recorded event trace to w. It is a no-op unless
+// Config.TraceCapacity was set.
+func (s *System) DumpTrace(w io.Writer) {
+	if s.log != nil {
+		s.log.Dump(w)
+	}
+}
+
+// TraceSummary returns per-kind event counts, or "" when tracing is
+// off.
+func (s *System) TraceSummary() string {
+	if s.log == nil {
+		return ""
+	}
+	return s.log.Summary()
+}

@@ -1,0 +1,395 @@
+package dining
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSimulationQuickstartShape(t *testing.T) {
+	sys, err := NewSimulation(Config{Topology: Ring(10), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(20000)
+	if rep.InvariantViolation != nil {
+		t.Fatal(rep.InvariantViolation)
+	}
+	if rep.SessionsCompleted == 0 {
+		t.Fatal("no sessions completed")
+	}
+	if len(rep.StarvingProcesses) != 0 {
+		t.Fatalf("starving: %v", rep.StarvingProcesses)
+	}
+	if rep.MaxEdgeOccupancy > 4 {
+		t.Fatalf("edge occupancy %d > 4", rep.MaxEdgeOccupancy)
+	}
+	if sys.N() != 10 {
+		t.Fatalf("N = %d", sys.N())
+	}
+	if s := sys.State(0); s != "thinking" && s != "hungry" && s != "eating" {
+		t.Fatalf("State(0) = %q", s)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestSimulationCrashWaitFreedom(t *testing.T) {
+	sys, err := NewSimulation(Config{
+		Topology: Grid(3, 3),
+		Seed:     2,
+		Detector: ptr(PerfectDetector(10)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.CrashAt(500, 4) // center of the grid
+	rep := sys.Run(20000)
+	if rep.InvariantViolation != nil {
+		t.Fatal(rep.InvariantViolation)
+	}
+	if len(rep.StarvingProcesses) != 0 {
+		t.Fatalf("starving despite perfect detector: %v", rep.StarvingProcesses)
+	}
+	if rep.ExclusionViolations != 0 {
+		t.Fatalf("violations with perfect detector: %d", rep.ExclusionViolations)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func TestSimulationChoySinghDefaultsToNoDetector(t *testing.T) {
+	sys, err := NewSimulation(Config{Topology: Ring(6), Seed: 3, Variant: ChoySingh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.CrashAt(300, 0)
+	rep := sys.Run(20000)
+	if rep.InvariantViolation != nil {
+		t.Fatal(rep.InvariantViolation)
+	}
+	if len(rep.StarvingProcesses) == 0 {
+		t.Fatal("Choy–Singh with a crash should starve someone")
+	}
+}
+
+func TestHygienicVariants(t *testing.T) {
+	// Classic hygienic dining blocks on a crash; the FD-augmented
+	// variant survives it.
+	classic, err := NewSimulation(Config{Topology: Ring(6), Seed: 9, Variant: Hygienic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic.CrashAt(300, 0)
+	repC := classic.Run(20000)
+	if repC.InvariantViolation != nil {
+		t.Fatal(repC.InvariantViolation)
+	}
+	if len(repC.StarvingProcesses) == 0 {
+		t.Fatal("classic hygienic dining should starve under a crash")
+	}
+	fd, err := NewSimulation(Config{
+		Topology: Ring(6), Seed: 9, Variant: HygienicFD,
+		Detector: ptr(PerfectDetector(10)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.CrashAt(300, 0)
+	repF := fd.Run(20000)
+	if repF.InvariantViolation != nil {
+		t.Fatal(repF.InvariantViolation)
+	}
+	if len(repF.StarvingProcesses) != 0 {
+		t.Fatalf("hygienic+fd starving: %v", repF.StarvingProcesses)
+	}
+	// And the checker verifies/refutes the same pair exhaustively.
+	if rep, err := Verify(Path(2), VerifyOptions{Variant: HygienicFD, MaxCrashes: 1}); err != nil || rep.Counterexample != nil {
+		t.Fatalf("hygienic+fd verify: %v %v", err, rep.Counterexample)
+	}
+	if rep, err := Verify(Path(2), VerifyOptions{Variant: Hygienic, MaxCrashes: 1}); err != nil || rep.Counterexample == nil {
+		t.Fatalf("classic hygienic verify should wedge: %v %+v", err, rep)
+	}
+}
+
+func TestSimulationVariants(t *testing.T) {
+	for _, v := range []Variant{Paper, NoRepliedFlag, StaticForks, Hygienic, HygienicFD} {
+		sys, err := NewSimulation(Config{Topology: Ring(5), Seed: 4, Variant: v})
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		rep := sys.Run(5000)
+		if rep.InvariantViolation != nil {
+			t.Fatalf("variant %d: %v", v, rep.InvariantViolation)
+		}
+		if rep.SessionsCompleted == 0 {
+			t.Fatalf("variant %d: nothing completed", v)
+		}
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	cases := []Topology{
+		Ring(5), Path(5), Star(5), Clique(4), Grid(2, 3), Random(8, 0.3),
+		Hypercube(3), Torus(3, 3), Bipartite(2, 3), Tree(7), Wheel(6),
+		Custom(3, [][2]int{{0, 1}, {1, 2}}),
+	}
+	for _, topo := range cases {
+		sys, err := NewSimulation(Config{Topology: topo, Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		rep := sys.Run(4000)
+		if rep.InvariantViolation != nil {
+			t.Fatalf("%v: %v", topo, rep.InvariantViolation)
+		}
+		if topo.String() == "" {
+			t.Fatal("topology must describe itself")
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := NewSimulation(Config{}); err == nil {
+		t.Fatal("missing topology must error")
+	}
+	if _, err := NewSimulation(Config{Topology: Custom(2, [][2]int{{0, 5}})}); err == nil {
+		t.Fatal("invalid custom edge must error")
+	}
+	if _, err := NewDaemon(DaemonConfig{Topology: Ring(3)}); err == nil {
+		t.Fatal("missing Step must error")
+	}
+	if _, err := NewDaemon(DaemonConfig{Step: func(int) {}}); err == nil {
+		t.Fatal("missing topology must error")
+	}
+	if _, err := NewLive(LiveConfig{}); err == nil {
+		t.Fatal("missing topology must error")
+	}
+	if _, err := NewLive(LiveConfig{Topology: Ring(3), Variant: StaticForks}); err == nil {
+		t.Fatal("StaticForks live must error")
+	}
+}
+
+func TestDelaysAndWorkloadOptions(t *testing.T) {
+	sys, err := NewSimulation(Config{
+		Topology: Ring(4),
+		Seed:     6,
+		Delays:   ptr(SpikyDelays(2, 40, 0.1)),
+		Workload: Workload{ThinkMin: 5, ThinkMax: 10, EatMin: 2, EatMax: 4, Sessions: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(10000)
+	if rep.InvariantViolation != nil {
+		t.Fatal(rep.InvariantViolation)
+	}
+	for i, c := range rep.PerProcessSessions {
+		if c != 5 {
+			t.Fatalf("process %d completed %d sessions, want 5", i, c)
+		}
+	}
+	if _, err := NewSimulation(Config{Topology: Ring(4), Delays: ptr(FixedDelays(3))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSimulation(Config{Topology: Ring(4), Delays: ptr(UniformDelays(1, 9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceCapture(t *testing.T) {
+	sys, err := NewSimulation(Config{
+		Topology:      Ring(4),
+		Seed:          8,
+		TraceCapacity: 1000,
+		Workload:      Workload{Sessions: 2, EatMin: 1, EatMax: 1, ThinkMin: 1, ThinkMax: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.CrashAt(40, 0)
+	rep := sys.Run(2000)
+	if rep.InvariantViolation != nil {
+		t.Fatal(rep.InvariantViolation)
+	}
+	sum := sys.TraceSummary()
+	if !strings.Contains(sum, "state=") || !strings.Contains(sum, "crash=1") {
+		t.Fatalf("TraceSummary = %q", sum)
+	}
+	var b strings.Builder
+	sys.DumpTrace(&b)
+	if !strings.Contains(b.String(), "ping(") {
+		t.Fatal("trace dump missing dining messages")
+	}
+	// Without tracing both are inert.
+	off, err := NewSimulation(Config{Topology: Ring(3), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.Run(100)
+	if off.TraceSummary() != "" {
+		t.Fatal("TraceSummary should be empty when tracing is off")
+	}
+	var empty strings.Builder
+	off.DumpTrace(&empty)
+	if empty.Len() != 0 {
+		t.Fatal("DumpTrace should be a no-op when tracing is off")
+	}
+}
+
+func TestKBoundViaFacade(t *testing.T) {
+	delays := SpikyDelays(2, 300, 0.10)
+	for _, m := range []int{1, 3} {
+		sys, err := NewSimulation(Config{
+			Topology:       Star(5),
+			Seed:           11,
+			AcksPerSession: m,
+			Detector:       ptr(NoDetector()),
+			Delays:         &delays,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := sys.Run(20000)
+		if rep.InvariantViolation != nil {
+			t.Fatal(rep.InvariantViolation)
+		}
+		if rep.MaxConsecutiveOvertakes > m+1 {
+			t.Fatalf("m=%d: overtakes %d exceed k=%d", m, rep.MaxConsecutiveOvertakes, m+1)
+		}
+	}
+}
+
+func TestVerifyFacade(t *testing.T) {
+	rep, err := Verify(Path(2), VerifyOptions{MaxCrashes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Counterexample != nil {
+		t.Fatalf("closed=%v cx=%v", rep.Closed, rep.Counterexample)
+	}
+	if rep.States == 0 || rep.MaxEdgeOccupancy > 4 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// The checker must expose the Choy–Singh wedge.
+	bad, err := Verify(Path(2), VerifyOptions{Variant: ChoySingh, MaxCrashes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Counterexample == nil || len(bad.Counterexample.Trace) == 0 {
+		t.Fatal("Choy–Singh wedge not found")
+	}
+	// Unsupported variant and missing topology error out.
+	if _, err := Verify(Topology{}, VerifyOptions{}); err == nil {
+		t.Fatal("empty topology must error")
+	}
+	if _, err := Verify(Path(2), VerifyOptions{Variant: StaticForks}); err == nil {
+		t.Fatal("StaticForks must be rejected")
+	}
+}
+
+func TestFromFileTopology(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/g.edges"
+	if err := os.WriteFile(path, []byte("n 4\n0 1\n1 2\n2 3\n3 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSimulation(Config{Topology: FromFile(path), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(3000)
+	if rep.InvariantViolation != nil || rep.SessionsCompleted == 0 {
+		t.Fatalf("file topology run broken: %v", rep)
+	}
+	if _, err := NewSimulation(Config{Topology: FromFile(dir + "/missing.edges")}); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	run := func() Report {
+		sys, err := NewSimulation(Config{Topology: Random(12, 0.25), Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.CrashAt(700, 2)
+		return sys.Run(15000)
+	}
+	a, b := run(), run()
+	if a.SessionsCompleted != b.SessionsCompleted || a.TotalMessages != b.TotalMessages ||
+		a.ExclusionViolations != b.ExclusionViolations {
+		t.Fatalf("nondeterministic facade runs:\n%v\n%v", a, b)
+	}
+}
+
+func TestDaemonSchedulesEveryoneWithExclusion(t *testing.T) {
+	var concurrent []int
+	d, err := NewDaemon(DaemonConfig{
+		Topology: Ring(8),
+		Seed:     1,
+		Detector: ptr(PerfectDetector(10)),
+		Step:     func(i int) { concurrent = append(concurrent, i) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.CrashAt(1000, 3)
+	rep := d.Run(15000)
+	if rep.InvariantViolation != nil {
+		t.Fatal(rep.InvariantViolation)
+	}
+	steps := d.Steps()
+	for i, s := range steps {
+		if i == 3 {
+			continue
+		}
+		if s < 50 {
+			t.Fatalf("process %d scheduled only %d times", i, s)
+		}
+	}
+	if len(concurrent) == 0 {
+		t.Fatal("step callback never ran")
+	}
+	if rep.ExclusionViolations != 0 {
+		t.Fatalf("perfect-detector daemon had %d violations", rep.ExclusionViolations)
+	}
+}
+
+func TestLiveFacade(t *testing.T) {
+	l, err := NewLive(LiveConfig{
+		Topology:  Ring(5),
+		EatTime:   200 * time.Microsecond,
+		ThinkTime: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	time.Sleep(150 * time.Millisecond)
+	if err := l.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(250 * time.Millisecond)
+	l.Stop()
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	counts := l.EatCounts()
+	for i, c := range counts {
+		if i != 1 && c == 0 {
+			t.Fatalf("live process %d never ate: %v", i, counts)
+		}
+	}
+	if l.LastEat(0).IsZero() {
+		t.Fatal("LastEat(0) should be set")
+	}
+	if _, lastViol := l.Violations(); false {
+		_ = lastViol
+	}
+	if err := l.Crash(99); err == nil {
+		t.Fatal("out-of-range crash must error")
+	}
+}

@@ -1,0 +1,96 @@
+package dining
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+)
+
+// LiveConfig assembles a goroutine-based system: one goroutine per
+// process, Go channels as FIFO links, and a wall-clock heartbeat ◇P₁.
+type LiveConfig struct {
+	// Topology is the conflict graph (required).
+	Topology Topology
+	// Variant selects the algorithm (default Paper).
+	Variant Variant
+	// HeartbeatPeriod, SuspicionTimeout tune the wall-clock detector
+	// (defaults 2ms / 25ms). The timeout also grows by itself after
+	// each false suspicion.
+	HeartbeatPeriod  time.Duration
+	SuspicionTimeout time.Duration
+	// EatTime and ThinkTime pace the workload (defaults 1ms each).
+	EatTime, ThinkTime time.Duration
+	// OnEat, when non-nil, runs on the eating process's goroutine each
+	// time it is scheduled — the live daemon hook. After detector
+	// convergence it never runs concurrently for two neighbors.
+	OnEat func(process int)
+}
+
+// Live is a running goroutine-based dining system.
+type Live struct {
+	sys *live.System
+}
+
+// NewLive builds (without starting) a live system.
+func NewLive(cfg LiveConfig) (*Live, error) {
+	if cfg.Topology.build == nil {
+		return nil, errors.New("dining: LiveConfig.Topology is required")
+	}
+	g, err := cfg.Topology.build(rand.New(rand.NewSource(0)))
+	if err != nil {
+		return nil, fmt.Errorf("dining: topology: %w", err)
+	}
+	var opts core.Options
+	disableDetector := false
+	switch cfg.Variant {
+	case NoRepliedFlag:
+		opts = core.Options{DisableRepliedFlag: true}
+	case ChoySingh:
+		opts = core.Options{IgnoreDetector: true, DisableRepliedFlag: true}
+		disableDetector = true
+	case StaticForks:
+		return nil, errors.New("dining: StaticForks is not supported in live mode")
+	}
+	sys, err := live.NewSystem(live.Config{
+		Graph:            g,
+		Options:          opts,
+		DisableDetector:  disableDetector,
+		HeartbeatPeriod:  cfg.HeartbeatPeriod,
+		InitialTimeout:   cfg.SuspicionTimeout,
+		TimeoutIncrement: cfg.SuspicionTimeout,
+		EatTime:          cfg.EatTime,
+		ThinkTime:        cfg.ThinkTime,
+		OnEat:            cfg.OnEat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Live{sys: sys}, nil
+}
+
+// Start launches the system; every process becomes hungry immediately
+// and re-becomes hungry forever until Stop.
+func (l *Live) Start() { l.sys.Start() }
+
+// Crash kills process id.
+func (l *Live) Crash(id int) error { return l.sys.Crash(id) }
+
+// Stop shuts down all goroutines and waits for them.
+func (l *Live) Stop() { l.sys.Stop() }
+
+// EatCounts returns per-process counts of completed eating sessions.
+func (l *Live) EatCounts() []int { return l.sys.Tracker().EatCounts() }
+
+// Violations returns how many exclusion violations were observed and
+// when the last one happened.
+func (l *Live) Violations() (int, time.Time) { return l.sys.Tracker().Violations() }
+
+// LastEat returns when process id last began eating.
+func (l *Live) LastEat(id int) time.Time { return l.sys.Tracker().LastEat(id) }
+
+// Err returns the first protocol violation, if any. Call after Stop.
+func (l *Live) Err() error { return l.sys.Err() }

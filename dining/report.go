@@ -1,0 +1,98 @@
+package dining
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Report summarizes a simulation run against the paper's guarantees.
+type Report struct {
+	// ExclusionViolations counts scheduling mistakes: two live
+	// neighbors eating simultaneously. ◇WX (Theorem 1) guarantees
+	// finitely many per run, none after the detector converges.
+	ExclusionViolations int
+	// LastViolationAt is when the final mistake happened (0 if none).
+	LastViolationAt Ticks
+
+	// MaxConsecutiveOvertakes is the largest number of times any
+	// process began eating while one (live) neighbor stayed
+	// continuously hungry. Theorem 3 bounds the post-convergence value
+	// by 2.
+	MaxConsecutiveOvertakes int
+
+	// SessionsCompleted counts hungry sessions that ended in eating.
+	SessionsCompleted int
+	// MeanLatencyX100 is the mean hungry-session latency ×100 ticks.
+	MeanLatencyX100 int64
+	// P99Latency is the 99th-percentile hungry-session latency.
+	P99Latency Ticks
+	// StarvingProcesses lists live processes that have been hungry for
+	// more than a fifth of the run at its end. Wait-freedom (Theorem 2)
+	// keeps this empty on generous horizons.
+	StarvingProcesses []int
+	// PerProcessSessions gives completed sessions by process ID.
+	PerProcessSessions []int
+
+	// MaxEdgeOccupancy is the peak number of dining messages
+	// simultaneously in transit on one edge; Section 7 bounds it by 4.
+	MaxEdgeOccupancy int
+	// TotalMessages is total dining-layer traffic.
+	TotalMessages uint64
+
+	// SendsToCrashed counts dining messages addressed to processes
+	// after they crashed; quiescence (Section 7) keeps it a small
+	// constant per crashed neighbor.
+	SendsToCrashed int
+
+	// InvariantViolation is non-nil if any process observed a protocol
+	// violation (duplicated fork, FIFO break, ...). Always nil for
+	// correct configurations.
+	InvariantViolation error
+}
+
+func (s *System) report(end sim.Time) Report {
+	s.suite.Finish(end)
+	stats := s.suite.Progress.Stats()
+	rep := Report{
+		ExclusionViolations:     s.suite.Exclusion.Count(),
+		MaxConsecutiveOvertakes: s.suite.Overtake.MaxCount(),
+		SessionsCompleted:       stats.Completed,
+		MeanLatencyX100:         int64(stats.MeanX100),
+		P99Latency:              Ticks(stats.P99),
+		StarvingProcesses:       s.suite.Progress.Starving(end, end/5),
+		PerProcessSessions:      s.suite.Progress.CompletedSessions(),
+		MaxEdgeOccupancy:        s.suite.Occupancy.MaxHighWater(),
+		TotalMessages:           s.r.Network().TotalSent(),
+		SendsToCrashed:          s.suite.Quiescence.TotalSendsAfterCrash(),
+		InvariantViolation:      s.r.CheckInvariants(),
+	}
+	if last, ok := s.suite.Exclusion.LastViolation(); ok {
+		rep.LastViolationAt = Ticks(last)
+	}
+	return rep
+}
+
+// String renders a compact human-readable summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sessions=%d mean-latency=%.2f p99=%d", r.SessionsCompleted,
+		float64(r.MeanLatencyX100)/100, r.P99Latency)
+	fmt.Fprintf(&b, " violations=%d", r.ExclusionViolations)
+	if r.ExclusionViolations > 0 {
+		fmt.Fprintf(&b, " (last at %d)", r.LastViolationAt)
+	}
+	fmt.Fprintf(&b, " max-overtakes=%d edge-occupancy=%d msgs=%d",
+		r.MaxConsecutiveOvertakes, r.MaxEdgeOccupancy, r.TotalMessages)
+	if len(r.StarvingProcesses) > 0 {
+		fmt.Fprintf(&b, " STARVING=%v", r.StarvingProcesses)
+	}
+	if r.SendsToCrashed > 0 {
+		fmt.Fprintf(&b, " sends-to-crashed=%d", r.SendsToCrashed)
+	}
+	if r.InvariantViolation != nil {
+		fmt.Fprintf(&b, " INVARIANT-VIOLATION=%v", r.InvariantViolation)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package dining
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+// VerifyOptions configure exhaustive verification.
+type VerifyOptions struct {
+	// Variant selects the algorithm (default Paper). StaticForks is not
+	// supported by the checker.
+	Variant Variant
+	// AcksPerSession is the Paper variant's ack budget (0 = 1).
+	AcksPerSession int
+	// MaxCrashes explores up to that many crash faults with
+	// perfect-detector semantics, verifying wait-freedom exhaustively.
+	MaxCrashes int
+	// MaxStates bounds exploration (default 2,000,000).
+	MaxStates int
+	// SafetyOnly skips the progress check.
+	SafetyOnly bool
+}
+
+// Counterexample is a violated property with the move sequence that
+// reaches it from the initial state.
+type Counterexample struct {
+	Property string
+	Trace    []string
+	State    string
+}
+
+// VerifyReport summarizes an exhaustive check.
+type VerifyReport struct {
+	// States and Transitions measure the explored space.
+	States, Transitions int
+	// Closed reports whether the whole reachable space was covered.
+	Closed bool
+	// MaxEdgeOccupancy is the largest per-edge channel occupancy in any
+	// reachable state (the paper bounds it by 4).
+	MaxEdgeOccupancy int
+	// Counterexample is non-nil when a property failed.
+	Counterexample *Counterexample
+}
+
+// Verify model-checks the dining algorithm on a (small) topology:
+// every interleaving of message deliveries, hunger onsets, eating
+// exits, and (optionally) crash faults is explored; the paper's safety
+// invariants are checked in every reachable state and the possibility
+// of progress from each of them. Use topologies of 2–3 processes —
+// the space is exponential.
+func Verify(topology Topology, opts VerifyOptions) (VerifyReport, error) {
+	if topology.build == nil {
+		return VerifyReport{}, errors.New("dining: topology is required")
+	}
+	g, err := topology.build(rand.New(rand.NewSource(0)))
+	if err != nil {
+		return VerifyReport{}, fmt.Errorf("dining: topology: %w", err)
+	}
+	mcOpts := mc.Options{
+		MaxCrashes:   opts.MaxCrashes,
+		MaxStates:    opts.MaxStates,
+		SkipProgress: opts.SafetyOnly,
+	}
+	switch opts.Variant {
+	case Paper:
+		mcOpts.Core = core.Options{AcksPerSession: opts.AcksPerSession}
+	case NoRepliedFlag:
+		mcOpts.Core = core.Options{DisableRepliedFlag: true}
+	case ChoySingh:
+		mcOpts.Core = core.Options{IgnoreDetector: true, DisableRepliedFlag: true}
+	case Hygienic:
+		mcOpts.Hygienic = true
+		mcOpts.NoDetector = true
+	case HygienicFD:
+		mcOpts.Hygienic = true
+	default:
+		return VerifyReport{}, errors.New("dining: variant not supported by the checker")
+	}
+	checker, err := mc.New(g, mcOpts)
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	rep, err := checker.Run()
+	out := VerifyReport{
+		States:           rep.States,
+		Transitions:      rep.Transitions,
+		Closed:           rep.Closed,
+		MaxEdgeOccupancy: rep.MaxQueue,
+	}
+	if rep.Violation != nil {
+		out.Counterexample = &Counterexample{
+			Property: rep.Violation.Kind,
+			Trace:    rep.Violation.Trace,
+			State:    rep.Violation.State,
+		}
+	}
+	if errors.Is(err, mc.ErrBudget) {
+		return out, fmt.Errorf("dining: %w", err)
+	}
+	return out, err
+}

@@ -1,0 +1,63 @@
+// Fairness: watching the eventual 2-bounded waiting guarantee
+// (Theorem 3) engage, and what breaks without the paper's modified
+// doorway. An adversarial star runs under three algorithms: the paper's
+// Algorithm 1, the original doorway (no replied flag), and doorway-free
+// static-priority forks.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/dining"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fairness:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("star(5): the hub competes with four leaves; one leaf's link to the")
+	fmt.Println("hub is slow, so the hub spends a long time collecting doorway acks")
+	fmt.Println("while the other leaves cycle fast — maximum overtaking pressure.")
+	fmt.Println()
+	// The facade's spiky delays emulate the slow link statistically; the
+	// harness version (internal/harness E3/A1) scripts it exactly.
+	delays := dining.SpikyDelays(2, 300, 0.10)
+
+	fmt.Printf("%-28s %-24s %-18s\n", "algorithm", "max consecutive overtakes", "hub sessions")
+	for _, arm := range []struct {
+		name    string
+		variant dining.Variant
+	}{
+		{"algorithm-1 (paper)", dining.Paper},
+		{"original doorway (ablation)", dining.NoRepliedFlag},
+		{"static forks (no doorway)", dining.StaticForks},
+	} {
+		sys, err := dining.NewSimulation(dining.Config{
+			Topology: dining.Star(5),
+			Seed:     11,
+			Variant:  arm.variant,
+			Detector: ptr(dining.NoDetector()), // crash-free: isolate fairness
+			Delays:   &delays,
+		})
+		if err != nil {
+			return err
+		}
+		rep := sys.Run(30000)
+		if rep.InvariantViolation != nil {
+			return rep.InvariantViolation
+		}
+		fmt.Printf("%-28s %-24d %-18d\n", arm.name, rep.MaxConsecutiveOvertakes,
+			rep.PerProcessSessions[0])
+	}
+	fmt.Println()
+	fmt.Println("shape check: Algorithm 1 stays within the paper's bound of 2; the")
+	fmt.Println("ablations overtake the hub far beyond any constant.")
+	return nil
+}
+
+func ptr[T any](v T) *T { return &v }

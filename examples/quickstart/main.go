@@ -1,0 +1,54 @@
+// Quickstart: the smallest possible use of the public API. Ten
+// philosophers on a ring, saturated hunger, one crash mid-run — and the
+// paper's guarantees read straight off the report: zero starvation,
+// the ≤2 overtake bound, and ≤4 messages per edge.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/dining"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := dining.NewSimulation(dining.Config{
+		Topology: dining.Ring(10),
+		Seed:     1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Process 4 crashes at virtual time 500; ◇P₁ detects it and the
+	// daemon routes around it — nobody starves.
+	sys.CrashAt(500, 4)
+
+	report := sys.Run(20000)
+	fmt.Println("ring(10), crash of process 4 at t=500, 20k ticks:")
+	fmt.Println(" ", report)
+	fmt.Println()
+	fmt.Println("per-process completed hungry sessions:")
+	for i, n := range report.PerProcessSessions {
+		marker := ""
+		if i == 4 {
+			marker = "  (crashed at t=500)"
+		}
+		fmt.Printf("  process %2d: %5d%s\n", i, n, marker)
+	}
+	if report.InvariantViolation != nil {
+		return report.InvariantViolation
+	}
+	if len(report.StarvingProcesses) > 0 {
+		return fmt.Errorf("starving processes: %v", report.StarvingProcesses)
+	}
+	fmt.Println("\nwait-freedom held: every live process kept eating.")
+	return nil
+}

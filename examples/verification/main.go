@@ -1,0 +1,66 @@
+// Verification: exhaustive model checking through the public API. The
+// checker explores every interleaving of the dining algorithm on a
+// small conflict graph — message deliveries, hunger onsets, eating
+// exits, and crash faults — and either verifies every safety invariant
+// plus the possibility of progress, or prints a counterexample trace.
+//
+// The run contrasts three algorithms under a one-crash adversary:
+// Algorithm 1 (verified wait-free), classic Chandy–Misra (wedges), and
+// the Choy–Singh doorway (wedges).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/dining"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "verification:", err)
+		os.Exit(1)
+	}
+}
+
+func check(name string, variant dining.Variant, crashes int) error {
+	rep, err := dining.Verify(dining.Path(2), dining.VerifyOptions{
+		Variant:    variant,
+		MaxCrashes: crashes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s crashes≤%d  %6d states  %7d transitions  closed=%v\n",
+		name, crashes, rep.States, rep.Transitions, rep.Closed)
+	if rep.Counterexample == nil {
+		fmt.Printf("  ✓ every safety invariant holds in every reachable state\n")
+		fmt.Printf("  ✓ every live hungry process can always still reach eating\n")
+	} else {
+		fmt.Printf("  ✗ %s\n", rep.Counterexample.Property)
+		fmt.Printf("    counterexample:")
+		for _, mv := range rep.Counterexample.Trace {
+			fmt.Printf(" %s;", mv)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func run() error {
+	fmt.Println("exhaustive verification on path(2), every interleaving explored:")
+	fmt.Println()
+	if err := check("algorithm-1 (paper)", dining.Paper, 1); err != nil {
+		return err
+	}
+	if err := check("chandy-misra (classic)", dining.Hygienic, 1); err != nil {
+		return err
+	}
+	if err := check("choy-singh (original)", dining.ChoySingh, 1); err != nil {
+		return err
+	}
+	fmt.Println("shape check: only the ◇P₁-guided algorithm survives a crash adversary;")
+	fmt.Println("both detector-free baselines wedge, each with a concrete trace.")
+	return nil
+}

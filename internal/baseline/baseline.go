@@ -1,0 +1,36 @@
+// Package baseline provides the comparison algorithms for the
+// reproduction experiments:
+//
+//   - ChoySingh: the original asynchronous-doorway dining algorithm
+//     that Algorithm 1 extends (Choy & Singh 1995). It is safe and
+//     fair when crash-free, but it consults no failure detector, so a
+//     single crash eventually blocks its neighbors forever — the
+//     impossibility that motivates the paper.
+//   - Forks: a static-priority fork algorithm with no doorway
+//     (hierarchical resource allocation in the style of Lynch 1980),
+//     augmented with ◇P₁ for crash tolerance. It demonstrates why the
+//     doorway is needed: without it, higher-colored processes overtake
+//     lower-colored neighbors without bound, so eventual k-bounded
+//     waiting fails for every k.
+package baseline
+
+import (
+	"repro/internal/core"
+)
+
+// NewChoySingh builds the original Choy–Singh asynchronous doorway
+// diner. Algorithm 1 differs from Choy–Singh in exactly two ways — it
+// consults ◇P₁ in the doorway and eating guards, and it grants at most
+// one ack per neighbor per hungry session — so the baseline is the core
+// diner with both mechanisms disabled.
+func NewChoySingh(id, color int, neighborColors map[int]int) (*core.Diner, error) {
+	return core.NewDiner(core.Config{
+		ID:             id,
+		Color:          color,
+		NeighborColors: neighborColors,
+		Options: core.Options{
+			IgnoreDetector:     true,
+			DisableRepliedFlag: true,
+		},
+	})
+}

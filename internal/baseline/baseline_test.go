@@ -1,0 +1,269 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// choySinghFactory adapts NewChoySingh to the runner.
+func choySinghFactory(id, color int, nbrColors map[int]int, _ func(int) bool) (core.Process, error) {
+	return NewChoySingh(id, color, nbrColors)
+}
+
+// forksFactory adapts NewForks to the runner.
+func forksFactory(id, color int, nbrColors map[int]int, suspects func(int) bool) (core.Process, error) {
+	return NewForks(id, color, nbrColors, suspects)
+}
+
+func buildRun(t *testing.T, cfg runner.Config) (*runner.Runner, *metrics.Suite) {
+	t.Helper()
+	suite := metrics.NewSuite(cfg.Graph)
+	cfg.OnTransition = suite.OnTransition
+	cfg.OnCrash = suite.OnCrash
+	r, err := runner.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Network().SetObserver(suite.Observer())
+	return r, suite
+}
+
+func TestChoySinghCrashFreeIsCorrect(t *testing.T) {
+	g := graph.Ring(10)
+	r, suite := buildRun(t, runner.Config{
+		Graph:      g,
+		Seed:       1,
+		Delays:     sim.UniformDelay{Min: 1, Max: 4},
+		NewProcess: choySinghFactory,
+		Workload:   runner.Saturated(),
+	})
+	r.Run(15000)
+	suite.Finish(15000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash-free, the original algorithm is perpetually safe and
+	// starvation-free.
+	if n := suite.Exclusion.Count(); n != 0 {
+		t.Fatalf("violations = %d, want 0", n)
+	}
+	for i, c := range suite.Progress.CompletedSessions() {
+		if c == 0 {
+			t.Fatalf("process %d starved in a crash-free run", i)
+		}
+	}
+	if hw := suite.Occupancy.MaxHighWater(); hw > 4 {
+		t.Fatalf("occupancy = %d, want ≤ 4", hw)
+	}
+}
+
+func TestChoySinghCrashBlocksNeighbors(t *testing.T) {
+	g := graph.Path(3) // 0 - 1 - 2; crash the middle
+	r, suite := buildRun(t, runner.Config{
+		Graph:      g,
+		Seed:       3,
+		Delays:     sim.FixedDelay{D: 2},
+		NewProcess: choySinghFactory,
+		Workload:   runner.Saturated(),
+	})
+	r.CrashAt(300, 1)
+	r.Run(20000)
+	suite.Finish(20000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	starving := suite.Progress.Starving(20000, 5000)
+	if len(starving) != 2 {
+		t.Fatalf("starving = %v, want both ends blocked by the crashed middle", starving)
+	}
+}
+
+func TestForksValidation(t *testing.T) {
+	if _, err := NewForks(0, 1, map[int]int{1: 1}, nil); err == nil {
+		t.Fatal("same-color neighbor must be rejected")
+	}
+	if _, err := NewForks(0, 1, map[int]int{0: 2}, nil); err == nil {
+		t.Fatal("self neighbor must be rejected")
+	}
+	f, err := NewForks(0, 2, map[int]int{1: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HoldsFork(1) {
+		t.Fatal("higher color must start with the fork")
+	}
+}
+
+func TestForksBasicExchange(t *testing.T) {
+	hi, err := NewForks(0, 2, map[int]int{1: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := NewForks(1, 1, map[int]int{0: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := lo.BecomeHungry()
+	if len(out) != 1 || out[0].Kind != core.Request {
+		t.Fatalf("out = %v, want fork request", out)
+	}
+	out = hi.Deliver(out[0]) // hi thinking → grants
+	if len(out) != 1 || out[0].Kind != core.Fork {
+		t.Fatalf("out = %v, want fork grant", out)
+	}
+	lo.Deliver(out[0])
+	if lo.State() != core.Eating {
+		t.Fatalf("lo state = %v, want eating", lo.State())
+	}
+	if lo.Err() != nil || hi.Err() != nil {
+		t.Fatalf("errors: %v / %v", lo.Err(), hi.Err())
+	}
+}
+
+func TestForksSafetyCrashFree(t *testing.T) {
+	g := graph.Ring(9)
+	r, suite := buildRun(t, runner.Config{
+		Graph:      g,
+		Seed:       5,
+		Delays:     sim.UniformDelay{Min: 1, Max: 4},
+		NewProcess: forksFactory,
+		Workload:   runner.Saturated(),
+	})
+	r.Run(15000)
+	suite.Finish(15000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n := suite.Exclusion.Count(); n != 0 {
+		t.Fatalf("violations = %d, want 0 (forks are exclusive)", n)
+	}
+}
+
+func TestForksUnboundedOvertaking(t *testing.T) {
+	// A path 0-1-2 where the middle vertex has the lowest color: its
+	// two saturated higher-colored neighbors keep stealing its forks,
+	// so the overtake count grows far beyond 2 — the doorway ablation.
+	g := graph.Path(3)
+	colors := []int{1, 0, 2} // middle lowest
+	r, suite := buildRun(t, runner.Config{
+		Graph:      g,
+		Colors:     colors,
+		Seed:       2,
+		Delays:     sim.FixedDelay{D: 2},
+		NewProcess: forksFactory,
+		Workload:   runner.Saturated(),
+	})
+	r.Run(30000)
+	suite.Finish(30000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m := suite.Overtake.MaxCount(); m <= 2 {
+		t.Fatalf("no-doorway baseline max overtakes = %d; expected far beyond the paper's bound of 2", m)
+	}
+}
+
+func TestForksAlgorithmOneComparison(t *testing.T) {
+	// The same adversarial setup under Algorithm 1 keeps the bound ≤ 2:
+	// this pairing is experiment E3's headline contrast.
+	g := graph.Path(3)
+	colors := []int{1, 0, 2}
+	r, suite := buildRun(t, runner.Config{
+		Graph:    g,
+		Colors:   colors,
+		Seed:     2,
+		Delays:   sim.FixedDelay{D: 2},
+		Workload: runner.Saturated(),
+	})
+	r.Run(30000)
+	suite.Finish(30000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m := suite.Overtake.MaxCount(); m > 2 {
+		t.Fatalf("Algorithm 1 max overtakes = %d, want ≤ 2", m)
+	}
+}
+
+func TestForksWaitFreeForCrashesWithDetector(t *testing.T) {
+	// With ◇P₁, the forks baseline does tolerate crashes (suspicion
+	// substitutes for forks); what it lacks is fairness, not crash
+	// tolerance for the top-priority processes.
+	g := graph.Ring(8)
+	r, suite := buildRun(t, runner.Config{
+		Graph: g,
+		Seed:  8,
+		NewDetector: func(k *sim.Kernel, gg *graph.Graph) detector.Detector {
+			return detector.NewPerfect(k, gg, 10)
+		},
+		Delays:     sim.UniformDelay{Min: 1, Max: 3},
+		NewProcess: forksFactory,
+		Workload:   runner.Saturated(),
+	})
+	r.CrashAt(500, 0)
+	r.Run(20000)
+	suite.Finish(20000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n := suite.Exclusion.Count(); n != 0 {
+		t.Fatalf("violations = %d, want 0", n)
+	}
+	// The crashed vertex's neighbors must keep eating.
+	for _, j := range g.Neighbors(0) {
+		if suite.Progress.CompletedSessions()[j] < 10 {
+			t.Fatalf("neighbor %d of crashed vertex made little progress", j)
+		}
+	}
+}
+
+func TestForksNoopTransitions(t *testing.T) {
+	f, err := NewForks(0, 2, map[int]int{1: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := f.ExitEating(); out != nil {
+		t.Fatal("ExitEating while thinking must be a no-op")
+	}
+	f.BecomeHungry()
+	if out := f.BecomeHungry(); out != nil {
+		t.Fatal("double BecomeHungry must be a no-op")
+	}
+}
+
+func TestForksRejectsDoorwayMessages(t *testing.T) {
+	f, err := NewForks(0, 2, map[int]int{1: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Deliver(core.Message{Kind: core.Ping, From: 1, To: 0})
+	if f.Err() == nil {
+		t.Fatal("ping delivered to the doorway-free baseline must be flagged")
+	}
+	if out := f.BecomeHungry(); out != nil {
+		t.Fatal("errored process must be inert")
+	}
+}
+
+func TestForksSuspicionSubstitutesForFork(t *testing.T) {
+	suspect := false
+	f, err := NewForks(0, 1, map[int]int{1: 2}, func(int) bool { return suspect })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.BecomeHungry() // sends request; fork never arrives
+	if f.State() != core.Hungry {
+		t.Fatal("setup: should be hungry")
+	}
+	suspect = true
+	f.ReevaluateSuspicion()
+	if f.State() != core.Eating {
+		t.Fatalf("state = %v, want eating via suspicion", f.State())
+	}
+}

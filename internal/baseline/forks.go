@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Forks is a doorway-free dining algorithm: pure fork collection with
+// static color priorities and the same per-edge fork/token discipline
+// as Algorithm 1's Phase 2, plus ◇P₁ substitution for crashed
+// neighbors. Messages reuse core's Request/Fork kinds so the same
+// network and monitors apply (it never sends Ping/Ack).
+//
+// Priority rule: a process receiving a fork request defers it while
+// eating, or while hungry with a higher color than the requester;
+// otherwise it yields the fork immediately. Because there is no
+// doorway, a lower-colored process can lose its forks to hungry
+// higher-colored neighbors indefinitely: the algorithm satisfies
+// exclusion but not k-bounded waiting for any k, and a process with two
+// or more saturated higher-colored neighbors can starve outright. This
+// is the ablation that shows what the paper's Phase 1 buys.
+type Forks struct {
+	id        int
+	color     int
+	neighbors []int
+	colorOf   map[int]int
+	suspects  func(j int) bool
+
+	state core.State
+	fork  map[int]bool
+	token map[int]bool
+
+	eatCount int
+	err      error
+}
+
+var _ core.Process = (*Forks)(nil)
+
+// ErrForksProtocol marks protocol-invariant violations in the baseline.
+var ErrForksProtocol = errors.New("baseline/forks: protocol violation")
+
+// NewForks builds a doorway-free static-priority diner. As in
+// Algorithm 1, the fork starts at the higher-colored endpoint and the
+// token at the lower-colored one.
+func NewForks(id, color int, neighborColors map[int]int, suspects func(j int) bool) (*Forks, error) {
+	f := &Forks{
+		id:       id,
+		color:    color,
+		colorOf:  make(map[int]int, len(neighborColors)),
+		suspects: suspects,
+		state:    core.Thinking,
+		fork:     make(map[int]bool, len(neighborColors)),
+		token:    make(map[int]bool, len(neighborColors)),
+	}
+	if f.suspects == nil {
+		f.suspects = func(int) bool { return false }
+	}
+	for j, c := range neighborColors {
+		if j == id {
+			return nil, fmt.Errorf("%w: self neighbor %d", ErrForksProtocol, id)
+		}
+		if c == color {
+			return nil, fmt.Errorf("%w: neighbor %d shares color %d", ErrForksProtocol, j, c)
+		}
+		f.neighbors = append(f.neighbors, j)
+		f.colorOf[j] = c
+		if color > c {
+			f.fork[j] = true
+		} else {
+			f.token[j] = true
+		}
+	}
+	sort.Ints(f.neighbors)
+	return f, nil
+}
+
+// ID returns the process ID.
+func (f *Forks) ID() int { return f.id }
+
+// State implements core.Process.
+func (f *Forks) State() core.State { return f.state }
+
+// Err implements core.Process.
+func (f *Forks) Err() error { return f.err }
+
+// EatCount returns how many times the process has eaten.
+func (f *Forks) EatCount() int { return f.eatCount }
+
+// HoldsFork reports whether the fork shared with j is held.
+func (f *Forks) HoldsFork(j int) bool { return f.fork[j] }
+
+func (f *Forks) fail(err error, j int) {
+	if f.err == nil {
+		f.err = fmt.Errorf("forks %d, neighbor %d: %w", f.id, j, err)
+	}
+}
+
+// BecomeHungry implements core.Process.
+func (f *Forks) BecomeHungry() []core.Message {
+	if f.state != core.Thinking || f.err != nil {
+		return nil
+	}
+	f.state = core.Hungry
+	return f.fire(nil)
+}
+
+// Deliver implements core.Process.
+func (f *Forks) Deliver(m core.Message) []core.Message {
+	if f.err != nil {
+		return nil
+	}
+	j := m.From
+	if _, ok := f.colorOf[j]; !ok {
+		f.fail(fmt.Errorf("%w: message from non-neighbor", ErrForksProtocol), j)
+		return nil
+	}
+	var out []core.Message
+	switch m.Kind {
+	case core.Request:
+		if f.token[j] {
+			f.fail(fmt.Errorf("%w: duplicate token", ErrForksProtocol), j)
+			return nil
+		}
+		if !f.fork[j] {
+			f.fail(fmt.Errorf("%w: fork requested but not held", ErrForksProtocol), j)
+			return nil
+		}
+		f.token[j] = true
+		defer2 := f.state == core.Eating || (f.state == core.Hungry && f.color > m.Color)
+		if !defer2 {
+			out = append(out, core.Message{Kind: core.Fork, From: f.id, To: j})
+			f.fork[j] = false
+		}
+	case core.Fork:
+		if f.fork[j] {
+			f.fail(fmt.Errorf("%w: duplicate fork", ErrForksProtocol), j)
+			return nil
+		}
+		if f.token[j] {
+			f.fail(fmt.Errorf("%w: fork while holding token", ErrForksProtocol), j)
+			return nil
+		}
+		f.fork[j] = true
+	default:
+		f.fail(fmt.Errorf("%w: unexpected %v message (no doorway)", ErrForksProtocol, m.Kind), j)
+		return nil
+	}
+	return f.fire(out)
+}
+
+// ReevaluateSuspicion implements core.Process.
+func (f *Forks) ReevaluateSuspicion() []core.Message {
+	if f.err != nil {
+		return nil
+	}
+	return f.fire(nil)
+}
+
+// ExitEating implements core.Process: transit to thinking and grant all
+// deferred fork requests.
+func (f *Forks) ExitEating() []core.Message {
+	if f.state != core.Eating || f.err != nil {
+		return nil
+	}
+	f.state = core.Thinking
+	var out []core.Message
+	for _, j := range f.neighbors {
+		if f.token[j] && f.fork[j] {
+			out = append(out, core.Message{Kind: core.Fork, From: f.id, To: j})
+			f.fork[j] = false
+		}
+	}
+	return f.fire(out)
+}
+
+// fire runs the enabled internal actions (request missing forks; eat)
+// to a fixpoint.
+func (f *Forks) fire(out []core.Message) []core.Message {
+	for f.state == core.Hungry {
+		progress := false
+		for _, j := range f.neighbors {
+			if f.token[j] && !f.fork[j] {
+				out = append(out, core.Message{Kind: core.Request, From: f.id, To: j, Color: f.color})
+				f.token[j] = false
+				progress = true
+			}
+		}
+		if f.eatGuard() {
+			f.state = core.Eating
+			f.eatCount++
+			return out
+		}
+		if !progress {
+			return out
+		}
+	}
+	return out
+}
+
+func (f *Forks) eatGuard() bool {
+	for _, j := range f.neighbors {
+		if !f.fork[j] && !f.suspects(j) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,283 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Hygienic is the Chandy–Misra "hygienic" dining philosophers algorithm
+// (Chandy & Misra 1984, "The drinking philosophers problem"): forks are
+// dirty or clean; a hungry process requests missing forks with per-edge
+// tokens; a process must yield a *dirty* requested fork unless it is
+// eating, and forks are cleaned in flight. Dynamic priorities (you lose
+// priority by eating, because your forks become dirty) make it
+// starvation-free on any acyclic initial orientation without any
+// doorway or failure detector.
+//
+// As a baseline it brackets Algorithm 1 from the other side than
+// Choy–Singh: hygienic dining is perpetually safe and starvation-free
+// when crash-free, with waiting bounded only by chain length (not a
+// constant k), and — having no failure detector — it is not wait-free:
+// a crashed fork holder blocks its neighborhood forever.
+//
+// Message mapping: core.Request carries the token (Color unused),
+// core.Fork carries a (freshly cleaned) fork. Ping/Ack are never used.
+type Hygienic struct {
+	id        int
+	neighbors []int
+	isNbr     map[int]bool
+	suspects  func(j int) bool // optional ◇P₁ (nil/Never = classic C-M)
+
+	state core.State
+	fork  map[int]bool
+	dirty map[int]bool
+	token map[int]bool
+
+	eatCount int
+	err      error
+}
+
+var _ core.Process = (*Hygienic)(nil)
+
+// ErrHygienicProtocol marks protocol-invariant violations.
+var ErrHygienicProtocol = errors.New("baseline/hygienic: protocol violation")
+
+// NewHygienic builds a Chandy–Misra diner. Initial orientation: every
+// fork starts dirty at the lower-ID endpoint with the token opposite,
+// which makes the global precedence order acyclic (the total ID order).
+// suspects may be nil (no detector — the classic algorithm); a ◇P₁
+// module makes the eat guard crash-tolerant like Algorithm 1's, for
+// apples-to-apples crash experiments.
+func NewHygienic(id int, neighbors []int, suspects func(j int) bool) (*Hygienic, error) {
+	h := &Hygienic{
+		id:       id,
+		isNbr:    make(map[int]bool, len(neighbors)),
+		suspects: suspects,
+		state:    core.Thinking,
+		fork:     make(map[int]bool, len(neighbors)),
+		dirty:    make(map[int]bool, len(neighbors)),
+		token:    make(map[int]bool, len(neighbors)),
+	}
+	if h.suspects == nil {
+		h.suspects = func(int) bool { return false }
+	}
+	for _, j := range neighbors {
+		if j == id {
+			return nil, fmt.Errorf("%w: self neighbor %d", ErrHygienicProtocol, id)
+		}
+		if h.isNbr[j] {
+			continue
+		}
+		h.isNbr[j] = true
+		h.neighbors = append(h.neighbors, j)
+		if id < j {
+			h.fork[j] = true
+			h.dirty[j] = true
+		} else {
+			h.token[j] = true
+		}
+	}
+	sort.Ints(h.neighbors)
+	return h, nil
+}
+
+// ID returns the process ID.
+func (h *Hygienic) ID() int { return h.id }
+
+// State implements core.Process.
+func (h *Hygienic) State() core.State { return h.state }
+
+// Err implements core.Process.
+func (h *Hygienic) Err() error { return h.err }
+
+// EatCount returns how many times the process has eaten.
+func (h *Hygienic) EatCount() int { return h.eatCount }
+
+// HoldsFork reports whether the fork shared with j is held, and whether
+// it is dirty.
+func (h *Hygienic) HoldsFork(j int) (held, dirty bool) { return h.fork[j], h.dirty[j] }
+
+// HoldsToken reports whether the request token shared with j is held.
+func (h *Hygienic) HoldsToken(j int) bool { return h.token[j] }
+
+// SetSuspects rebinds the ◇P₁ module (nil never suspects). Used by the
+// model checker when branching executions.
+func (h *Hygienic) SetSuspects(fn func(j int) bool) {
+	if fn == nil {
+		fn = func(int) bool { return false }
+	}
+	h.suspects = fn
+}
+
+// Clone returns a deep copy sharing the suspects oracle.
+func (h *Hygienic) Clone() *Hygienic {
+	cp := func(m map[int]bool) map[int]bool {
+		out := make(map[int]bool, len(m))
+		for k, v := range m {
+			out[k] = v
+		}
+		return out
+	}
+	nbrs := make([]int, len(h.neighbors))
+	copy(nbrs, h.neighbors)
+	return &Hygienic{
+		id:        h.id,
+		neighbors: nbrs,
+		isNbr:     cp(h.isNbr),
+		suspects:  h.suspects,
+		state:     h.state,
+		fork:      cp(h.fork),
+		dirty:     cp(h.dirty),
+		token:     cp(h.token),
+		eatCount:  h.eatCount,
+		err:       h.err,
+	}
+}
+
+// StateKey serializes the protocol-relevant state canonically (for
+// model-checker state hashing).
+func (h *Hygienic) StateKey() string {
+	var b []byte
+	b = append(b, byte('0'+int(h.state)))
+	for _, j := range h.neighbors {
+		b = append(b, ';')
+		if h.fork[j] {
+			b = append(b, 'f')
+		}
+		if h.dirty[j] {
+			b = append(b, 'd')
+		}
+		if h.token[j] {
+			b = append(b, 't')
+		}
+	}
+	return string(b)
+}
+
+func (h *Hygienic) fail(err error, j int) {
+	if h.err == nil {
+		h.err = fmt.Errorf("hygienic %d, neighbor %d: %w", h.id, j, err)
+	}
+}
+
+// BecomeHungry implements core.Process.
+func (h *Hygienic) BecomeHungry() []core.Message {
+	if h.state != core.Thinking || h.err != nil {
+		return nil
+	}
+	h.state = core.Hungry
+	return h.fire(nil)
+}
+
+// Deliver implements core.Process.
+func (h *Hygienic) Deliver(m core.Message) []core.Message {
+	if h.err != nil {
+		return nil
+	}
+	j := m.From
+	if !h.isNbr[j] {
+		h.fail(fmt.Errorf("%w: message from non-neighbor", ErrHygienicProtocol), j)
+		return nil
+	}
+	var out []core.Message
+	switch m.Kind {
+	case core.Request: // token arrives
+		if h.token[j] {
+			h.fail(fmt.Errorf("%w: duplicate token", ErrHygienicProtocol), j)
+			return nil
+		}
+		if !h.fork[j] {
+			h.fail(fmt.Errorf("%w: fork requested but not held", ErrHygienicProtocol), j)
+			return nil
+		}
+		h.token[j] = true
+		// The hygiene rule: yield a dirty fork unless eating; keep a
+		// clean fork (we have priority) until after we eat.
+		if h.dirty[j] && h.state != core.Eating {
+			out = append(out, core.Message{Kind: core.Fork, From: h.id, To: j})
+			h.fork[j] = false
+			h.dirty[j] = false
+		}
+	case core.Fork: // a freshly cleaned fork arrives
+		if h.fork[j] {
+			h.fail(fmt.Errorf("%w: duplicate fork", ErrHygienicProtocol), j)
+			return nil
+		}
+		if h.token[j] {
+			h.fail(fmt.Errorf("%w: fork while holding token", ErrHygienicProtocol), j)
+			return nil
+		}
+		h.fork[j] = true
+		h.dirty[j] = false
+	default:
+		h.fail(fmt.Errorf("%w: unexpected %v message", ErrHygienicProtocol, m.Kind), j)
+		return nil
+	}
+	return h.fire(out)
+}
+
+// ReevaluateSuspicion implements core.Process.
+func (h *Hygienic) ReevaluateSuspicion() []core.Message {
+	if h.err != nil {
+		return nil
+	}
+	return h.fire(nil)
+}
+
+// ExitEating implements core.Process: forks stay held but dirty;
+// deferred requests are granted with cleaned forks.
+func (h *Hygienic) ExitEating() []core.Message {
+	if h.state != core.Eating || h.err != nil {
+		return nil
+	}
+	h.state = core.Thinking
+	var out []core.Message
+	for _, j := range h.neighbors {
+		if h.token[j] && h.fork[j] {
+			out = append(out, core.Message{Kind: core.Fork, From: h.id, To: j})
+			h.fork[j] = false
+			h.dirty[j] = false
+		}
+	}
+	return h.fire(out)
+}
+
+// fire requests missing forks and eats when all are present.
+func (h *Hygienic) fire(out []core.Message) []core.Message {
+	for h.state == core.Hungry {
+		progress := false
+		for _, j := range h.neighbors {
+			if h.token[j] && !h.fork[j] {
+				out = append(out, core.Message{Kind: core.Request, From: h.id, To: j})
+				h.token[j] = false
+				progress = true
+			}
+		}
+		if h.eatGuard() {
+			h.state = core.Eating
+			h.eatCount++
+			for _, j := range h.neighbors {
+				if h.fork[j] {
+					h.dirty[j] = true // eating soils every fork
+				}
+			}
+			return out
+		}
+		if !progress {
+			return out
+		}
+	}
+	return out
+}
+
+func (h *Hygienic) eatGuard() bool {
+	for _, j := range h.neighbors {
+		if !h.fork[j] && !h.suspects(j) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,223 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// hygienicFactory adapts NewHygienic to the runner (ignoring colors:
+// Chandy–Misra priorities are dynamic).
+func hygienicFactory(id, _ int, nbrColors map[int]int, _ func(int) bool) (core.Process, error) {
+	nbrs := make([]int, 0, len(nbrColors))
+	for j := range nbrColors {
+		nbrs = append(nbrs, j)
+	}
+	return NewHygienic(id, nbrs, nil)
+}
+
+// hygienicFDFactory wires ◇P₁ into the eat guard.
+func hygienicFDFactory(id, _ int, nbrColors map[int]int, suspects func(int) bool) (core.Process, error) {
+	nbrs := make([]int, 0, len(nbrColors))
+	for j := range nbrColors {
+		nbrs = append(nbrs, j)
+	}
+	return NewHygienic(id, nbrs, suspects)
+}
+
+func TestHygienicValidation(t *testing.T) {
+	if _, err := NewHygienic(0, []int{0}, nil); err == nil {
+		t.Fatal("self neighbor must be rejected")
+	}
+	h, err := NewHygienic(0, []int{1, 2, 1}, nil) // duplicate neighbor tolerated
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held, dirty := h.HoldsFork(1); !held || !dirty {
+		t.Fatal("lower ID must start with the dirty fork")
+	}
+	hi, err := NewHygienic(2, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held, _ := hi.HoldsFork(0); held {
+		t.Fatal("higher ID must start with the token, not the fork")
+	}
+}
+
+func TestHygienicYieldsDirtyForkWhileHungry(t *testing.T) {
+	// The hygiene rule: a hungry process yields a requested dirty fork
+	// (this is what makes Chandy–Misra starvation-free).
+	lo, err := NewHygienic(0, []int{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo.BecomeHungry() // holds its dirty fork; still missing nothing... it eats!
+	if lo.State() != core.Eating {
+		t.Fatalf("lo should eat immediately (holds its only fork), is %v", lo.State())
+	}
+	lo.ExitEating()
+	lo.BecomeHungry()
+	if lo.State() != core.Eating {
+		t.Fatal("setup: lo eats again")
+	}
+	// While eating, a request is deferred.
+	if out := lo.Deliver(core.Message{Kind: core.Request, From: 1, To: 0}); len(out) != 0 {
+		t.Fatalf("eating process must defer: %v", out)
+	}
+	out := lo.ExitEating()
+	if len(out) != 1 || out[0].Kind != core.Fork {
+		t.Fatalf("exit must grant the deferred fork: %v", out)
+	}
+	// Now hungry without the fork: re-request, and when the neighbor
+	// sends it back clean, keep it even if re-requested (clean = has
+	// priority).
+	out = lo.BecomeHungry()
+	if len(out) != 1 || out[0].Kind != core.Request {
+		t.Fatalf("expected re-request: %v", out)
+	}
+	lo.Deliver(core.Message{Kind: core.Fork, From: 1, To: 0})
+	if lo.State() != core.Eating {
+		t.Fatalf("clean fork must let lo eat, is %v", lo.State())
+	}
+	if lo.Err() != nil {
+		t.Fatal(lo.Err())
+	}
+}
+
+func TestHygienicCrashFreeCorrectAndFair(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"ring9":   graph.Ring(9),
+		"clique5": graph.Clique(5),
+		"grid33":  graph.Grid(3, 3),
+	} {
+		suite := metrics.NewSuite(g)
+		r, err := runner.New(runner.Config{
+			Graph:        g,
+			Seed:         3,
+			Delays:       sim.UniformDelay{Min: 1, Max: 4},
+			NewProcess:   hygienicFactory,
+			Workload:     runner.Saturated(),
+			OnTransition: suite.OnTransition,
+			OnCrash:      suite.OnCrash,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Network().SetObserver(suite.Observer())
+		r.Run(20000)
+		suite.Finish(20000)
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n := suite.Exclusion.Count(); n != 0 {
+			t.Fatalf("%s: %d violations", name, n)
+		}
+		for i, c := range suite.Progress.CompletedSessions() {
+			if c == 0 {
+				t.Fatalf("%s: process %d starved (C-M is starvation-free)", name, i)
+			}
+		}
+		// Hygienic dining is frugal: at most one token and one fork per
+		// edge in flight (2 < the doorway algorithm's 4).
+		if hw := suite.Occupancy.MaxHighWater(); hw > 2 {
+			t.Fatalf("%s: occupancy %d, want ≤ 2", name, hw)
+		}
+	}
+}
+
+func TestHygienicCrashBlocksNeighborsWithoutDetector(t *testing.T) {
+	g := graph.Ring(6)
+	suite := metrics.NewSuite(g)
+	r, err := runner.New(runner.Config{
+		Graph:        g,
+		Seed:         5,
+		NewProcess:   hygienicFactory,
+		Workload:     runner.Saturated(),
+		OnTransition: suite.OnTransition,
+		OnCrash:      suite.OnCrash,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CrashAt(500, 0)
+	r.Run(20000)
+	suite.Finish(20000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if starving := suite.Progress.Starving(20000, 5000); len(starving) == 0 {
+		t.Fatal("classic Chandy–Misra must block on a crashed fork holder")
+	}
+}
+
+func TestHygienicWithDetectorSurvivesCrashes(t *testing.T) {
+	g := graph.Ring(8)
+	suite := metrics.NewSuite(g)
+	r, err := runner.New(runner.Config{
+		Graph: g,
+		Seed:  7,
+		NewDetector: func(k *sim.Kernel, gg *graph.Graph) detector.Detector {
+			return detector.NewPerfect(k, gg, 10)
+		},
+		NewProcess:   hygienicFDFactory,
+		Workload:     runner.Saturated(),
+		OnTransition: suite.OnTransition,
+		OnCrash:      suite.OnCrash,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CrashAt(500, 2)
+	r.Run(20000)
+	suite.Finish(20000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if starving := suite.Progress.Starving(20000, 5000); len(starving) != 0 {
+		t.Fatalf("◇P₁-augmented hygienic dining should not starve: %v", starving)
+	}
+}
+
+// Property: crash-free hygienic dining never violates exclusion and
+// starves nobody on random connected graphs.
+func TestQuickHygienicCrashFree(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%8) + 3
+		g := graph.ConnectedGNP(n, 0.4, sim.NewKernel(seed).Rand())
+		suite := metrics.NewSuite(g)
+		r, err := runner.New(runner.Config{
+			Graph:        g,
+			Seed:         seed,
+			Delays:       sim.UniformDelay{Min: 1, Max: 4},
+			NewProcess:   hygienicFactory,
+			Workload:     runner.Saturated(),
+			OnTransition: suite.OnTransition,
+			OnCrash:      suite.OnCrash,
+		})
+		if err != nil {
+			return false
+		}
+		r.Network().SetObserver(suite.Observer())
+		r.Run(12000)
+		suite.Finish(12000)
+		if r.CheckInvariants() != nil || suite.Exclusion.Count() != 0 {
+			return false
+		}
+		for _, c := range suite.Progress.CompletedSessions() {
+			if c == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Package detector implements the locally scope-restricted eventually
+// perfect failure detector ◇P₁ used by the paper, together with the
+// degenerate oracles needed by baselines and ablations.
+//
+// ◇P₁ satisfies, with respect to immediate neighbors in the conflict
+// graph:
+//
+//   - Local Strong Completeness: every crashed process is eventually
+//     and permanently suspected by all correct neighbors.
+//   - Local Eventual Strong Accuracy: for every run there is a time
+//     after which no correct process is suspected by any correct
+//     neighbor.
+//
+// The package provides a heartbeat implementation with adaptive
+// timeouts (the standard Chandra–Toueg construction under partial
+// synchrony), a scripted oracle for deterministic false-positive
+// schedules in tests, a crash-omniscient "perfect" oracle, and a
+// never-suspecting oracle that models running with no detector at all.
+package detector
+
+// Detector is the oracle interface queried by dining processes.
+// Suspects reports whether watcher's local module currently suspects
+// target. Implementations must be cheap to query; diners consult the
+// oracle inside guard evaluation.
+type Detector interface {
+	Suspects(watcher, target int) bool
+}
+
+// Notifier is implemented by detectors whose output changes over time.
+// The runner registers a listener per process; the detector must invoke
+// it whenever that process's local suspect set changes, so guarded
+// actions that depend on suspicion are re-evaluated.
+type Notifier interface {
+	SetListener(watcher int, fn func())
+}
+
+// CrashAware is implemented by detectors that must be told about crash
+// injections (those that do not observe an underlying network of their
+// own).
+type CrashAware interface {
+	ObserveCrash(target int)
+}
+
+// Never is the empty oracle: it suspects no one, ever. Running
+// Algorithm 1 with Never recovers the original Choy–Singh asynchronous
+// doorway behavior, where a crash blocks neighbors forever.
+type Never struct{}
+
+// Suspects implements Detector; it is always false.
+func (Never) Suspects(int, int) bool { return false }
+
+// Always is the paranoid oracle: it suspects everyone. It violates
+// eventual accuracy and exists to exercise worst-case mistake paths in
+// tests (with Always, dining degenerates to no synchronization at all).
+type Always struct{}
+
+// Suspects implements Detector; it is always true.
+func (Always) Suspects(int, int) bool { return true }
+
+var (
+	_ Detector = Never{}
+	_ Detector = Always{}
+)

@@ -1,0 +1,309 @@
+package detector
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestNeverAndAlways(t *testing.T) {
+	if (Never{}).Suspects(0, 1) {
+		t.Fatal("Never suspected someone")
+	}
+	if !(Always{}).Suspects(3, 7) {
+		t.Fatal("Always failed to suspect")
+	}
+}
+
+func TestPerfectDetectsCrashAfterLatency(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := graph.Ring(4)
+	p := NewPerfect(k, g, 10)
+	changes := 0
+	p.SetListener(1, func() { changes++ })
+
+	if p.Suspects(1, 0) {
+		t.Fatal("suspected live process")
+	}
+	k.At(5, func() { p.ObserveCrash(0) })
+	k.Run(14)
+	if p.Suspects(1, 0) {
+		t.Fatal("suspected before latency elapsed")
+	}
+	k.Run(15)
+	if !p.Suspects(1, 0) {
+		t.Fatal("did not suspect crashed neighbor after latency")
+	}
+	if !p.Suspects(3, 0) {
+		t.Fatal("other neighbor should also suspect")
+	}
+	if p.Suspects(2, 0) {
+		t.Fatal("non-neighbor should not suspect (◇P₁ is local)")
+	}
+	if changes != 1 {
+		t.Fatalf("listener fired %d times, want 1", changes)
+	}
+}
+
+func TestPerfectDoubleCrashNoop(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := graph.Ring(3)
+	p := NewPerfect(k, g, 0)
+	fired := 0
+	p.SetListener(1, func() { fired++ })
+	p.ObserveCrash(0)
+	p.ObserveCrash(0)
+	k.Run(10)
+	if fired != 1 {
+		t.Fatalf("listener fired %d times for one crash, want 1", fired)
+	}
+}
+
+func TestPerfectOutOfRange(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPerfect(k, graph.Ring(3), 0)
+	if p.Suspects(-1, 0) || p.Suspects(0, 9) {
+		t.Fatal("out-of-range queries must be false")
+	}
+	p.ObserveCrash(-5) // must not panic
+	p.SetListener(99, func() {})
+	k.Run(10)
+}
+
+func TestScriptedMistakeWindow(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := graph.Path(3)
+	s := NewScripted(k, g, 0)
+	s.AddMistake(0, 1, 10, 30)
+	s.Start()
+
+	k.Run(9)
+	if s.Suspects(0, 1) {
+		t.Fatal("suspected before window")
+	}
+	k.Run(10)
+	if !s.Suspects(0, 1) {
+		t.Fatal("not suspected inside window")
+	}
+	k.Run(29)
+	if !s.Suspects(0, 1) {
+		t.Fatal("suspicion dropped early")
+	}
+	k.Run(30)
+	if s.Suspects(0, 1) {
+		t.Fatal("suspicion persisted past window")
+	}
+}
+
+func TestScriptedListenerFiresOnChanges(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := graph.Path(2)
+	s := NewScripted(k, g, 0)
+	s.AddMistake(0, 1, 5, 6)
+	// Redundant event must not fire the listener again.
+	s.Add(SuspicionEvent{At: 5, Watcher: 0, Target: 1, Suspect: true})
+	s.Start()
+	fired := 0
+	s.SetListener(0, func() { fired++ })
+	k.Run(100)
+	if fired != 2 {
+		t.Fatalf("listener fired %d times, want 2 (suspect + unsuspect)", fired)
+	}
+}
+
+func TestScriptedCompletenessOverridesScript(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := graph.Path(2)
+	s := NewScripted(k, g, 5)
+	// Script tries to unsuspect after the crash; completeness must win.
+	s.Add(SuspicionEvent{At: 50, Watcher: 0, Target: 1, Suspect: false})
+	s.Start()
+	k.At(10, func() { s.ObserveCrash(1) })
+	k.Run(200)
+	if !s.Suspects(0, 1) {
+		t.Fatal("crashed process must stay suspected (strong completeness)")
+	}
+}
+
+func TestScriptedStartIdempotent(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := NewScripted(k, graph.Path(2), 0)
+	s.AddMistake(0, 1, 1, 2)
+	s.Start()
+	s.Start()
+	fired := 0
+	s.SetListener(0, func() { fired++ })
+	k.Run(10)
+	if fired != 2 {
+		t.Fatalf("double Start duplicated events: fired = %d, want 2", fired)
+	}
+}
+
+func newHB(seed int64, g *graph.Graph, pre sim.Time, gst sim.Time) (*sim.Kernel, *Heartbeat) {
+	k := sim.NewKernel(seed)
+	delays := sim.GSTDelay{
+		GST:  gst,
+		Pre:  sim.UniformDelay{Min: 0, Max: pre},
+		Post: sim.FixedDelay{D: 1},
+	}
+	hb := NewHeartbeat(k, g, delays, HeartbeatConfig{Period: 5, InitialTimeout: 12, Increment: 8})
+	hb.Start()
+	return k, hb
+}
+
+func TestHeartbeatCompleteness(t *testing.T) {
+	g := graph.Ring(5)
+	k, hb := newHB(1, g, 0, 0)
+	k.At(100, func() { hb.ObserveCrash(2) })
+	k.Run(500)
+	for _, w := range g.Neighbors(2) {
+		if !hb.Suspects(w, 2) {
+			t.Fatalf("neighbor %d does not suspect crashed process 2", w)
+		}
+	}
+	// Suspicions must be permanent.
+	k.Run(1000)
+	for _, w := range g.Neighbors(2) {
+		if !hb.Suspects(w, 2) {
+			t.Fatal("suspicion of crashed process was dropped")
+		}
+	}
+	if hb.FalsePositives() != 0 {
+		t.Fatalf("synchronous run produced %d false positives", hb.FalsePositives())
+	}
+}
+
+func TestHeartbeatAccuracyAfterGST(t *testing.T) {
+	g := graph.Ring(6)
+	// Hostile pre-GST delays force mistakes; after GST they must stop.
+	k, hb := newHB(7, g, 60, 400)
+	k.Run(5000)
+	began, cleared := hb.LastMistake()
+	if hb.FalsePositives() == 0 {
+		t.Log("note: no false positives even pre-GST (acceptable but weak run)")
+	}
+	// No wrongful suspicion may begin long after GST: allow the detector
+	// one adaptation window past GST.
+	slack := sim.Time(1000)
+	if began > 400+slack {
+		t.Fatalf("wrongful suspicion at %d, far beyond GST+slack", began)
+	}
+	if cleared > 400+slack {
+		t.Fatalf("wrongful suspicion cleared at %d, far beyond GST+slack", cleared)
+	}
+	// At the end of the run no live process is suspected by any live
+	// neighbor (eventual strong accuracy reached).
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if hb.Suspects(w, v) {
+				t.Fatalf("%d still suspects live %d at end of run", w, v)
+			}
+		}
+	}
+}
+
+func TestHeartbeatMistakesThenRecovery(t *testing.T) {
+	g := graph.Path(2)
+	// Deterministically hostile: pre-GST delays far exceed the initial
+	// timeout, so mistakes are guaranteed; then delays become fast.
+	k := sim.NewKernel(3)
+	delays := sim.GSTDelay{
+		GST:  300,
+		Pre:  sim.FixedDelay{D: 40},
+		Post: sim.FixedDelay{D: 1},
+	}
+	hb := NewHeartbeat(k, g, delays, HeartbeatConfig{Period: 5, InitialTimeout: 10, Increment: 10})
+	hb.Start()
+	k.Run(2000)
+	if hb.FalsePositives() == 0 {
+		t.Fatal("expected forced false positives before GST")
+	}
+	if hb.Suspects(0, 1) || hb.Suspects(1, 0) {
+		t.Fatal("suspicion should have cleared after GST")
+	}
+}
+
+func TestHeartbeatTrafficIsCounted(t *testing.T) {
+	g := graph.Ring(4)
+	k, hb := newHB(1, g, 0, 0)
+	k.Run(100)
+	if hb.MessagesSent() == 0 {
+		t.Fatal("no heartbeat traffic recorded")
+	}
+}
+
+func TestHeartbeatListenerNotifications(t *testing.T) {
+	g := graph.Path(2)
+	k := sim.NewKernel(3)
+	delays := sim.GSTDelay{GST: 100, Pre: sim.FixedDelay{D: 50}, Post: sim.FixedDelay{D: 1}}
+	hb := NewHeartbeat(k, g, delays, HeartbeatConfig{Period: 5, InitialTimeout: 10, Increment: 20})
+	hb.Start()
+	changes := 0
+	hb.SetListener(0, func() { changes++ })
+	k.Run(1000)
+	if changes == 0 {
+		t.Fatal("listener never notified despite forced suspicion churn")
+	}
+	if changes%2 != 0 {
+		t.Fatalf("suspicion changes = %d; every pre-GST mistake must clear (even count)", changes)
+	}
+}
+
+func TestHeartbeatConfigDefaultsApplied(t *testing.T) {
+	k := sim.NewKernel(1)
+	hb := NewHeartbeat(k, graph.Path(2), nil, HeartbeatConfig{})
+	if hb.cfg.Period <= 0 || hb.cfg.InitialTimeout <= 0 || hb.cfg.Increment <= 0 {
+		t.Fatalf("zero config not defaulted: %+v", hb.cfg)
+	}
+}
+
+func TestHeartbeatOutOfRangeQueries(t *testing.T) {
+	k := sim.NewKernel(1)
+	hb := NewHeartbeat(k, graph.Path(2), nil, HeartbeatConfig{})
+	if hb.Suspects(-1, 0) || hb.Suspects(0, 5) {
+		t.Fatal("out-of-range queries must be false")
+	}
+	hb.SetListener(-3, func() {}) // must not panic
+}
+
+// Property: for any crash time and any seed, the heartbeat detector
+// satisfies local strong completeness by the end of a long run, and
+// never suspects live neighbors at the end (eventual accuracy),
+// provided the run extends well beyond GST.
+func TestQuickHeartbeatConvergence(t *testing.T) {
+	f := func(seed int64, crashRaw, victimRaw uint8) bool {
+		g := graph.Ring(5)
+		k := sim.NewKernel(seed)
+		gst := sim.Time(200)
+		delays := sim.GSTDelay{
+			GST:  gst,
+			Pre:  sim.UniformDelay{Min: 0, Max: 40},
+			Post: sim.FixedDelay{D: 1},
+		}
+		hb := NewHeartbeat(k, g, delays, HeartbeatConfig{Period: 5, InitialTimeout: 12, Increment: 10})
+		hb.Start()
+		victim := int(victimRaw) % g.N()
+		crashAt := sim.Time(crashRaw)
+		k.At(crashAt, func() { hb.ObserveCrash(victim) })
+		k.Run(5000)
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.Neighbors(v) {
+				if w == victim {
+					continue // crashed watcher's output is irrelevant
+				}
+				if v == victim && !hb.Suspects(w, v) {
+					return false // completeness violated
+				}
+				if v != victim && hb.Suspects(w, v) {
+					return false // accuracy violated at end of run
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package detector
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// FlakyConfig parameterizes the Flaky oracle.
+type FlakyConfig struct {
+	// ConvergeAt is the time after which no new wrongful suspicion
+	// starts (existing ones clear by ConvergeAt + MaxHold).
+	ConvergeAt sim.Time
+	// Rate is the per-check probability that a watcher begins
+	// wrongfully suspecting a random live neighbor.
+	Rate float64
+	// CheckEvery is the cadence of suspicion churn (default 10).
+	CheckEvery sim.Time
+	// MaxHold bounds how long a wrongful suspicion lasts (default 50).
+	MaxHold sim.Time
+	// CrashLatency delays permanent suspicion of crashed processes.
+	CrashLatency sim.Time
+}
+
+// Flaky is a randomized ◇P₁: it wrongfully suspects live neighbors at a
+// configurable rate until a convergence time, then behaves perfectly.
+// Unlike Scripted (exact schedules) and Heartbeat (mechanistic
+// mistakes), Flaky drives property tests across the whole space of
+// mistake patterns from a single seed.
+type Flaky struct {
+	k         *sim.Kernel
+	g         *graph.Graph
+	cfg       FlakyConfig
+	crashed   []bool
+	suspects  [][]bool
+	listeners []func()
+	started   bool
+	mistakes  int
+}
+
+// NewFlaky creates a flaky oracle over conflict graph g.
+func NewFlaky(k *sim.Kernel, g *graph.Graph, cfg FlakyConfig) *Flaky {
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 10
+	}
+	if cfg.MaxHold <= 0 {
+		cfg.MaxHold = 50
+	}
+	n := g.N()
+	f := &Flaky{
+		k:         k,
+		g:         g,
+		cfg:       cfg,
+		crashed:   make([]bool, n),
+		suspects:  make([][]bool, n),
+		listeners: make([]func(), n),
+	}
+	for i := range f.suspects {
+		f.suspects[i] = make([]bool, n)
+	}
+	return f
+}
+
+// Start begins the suspicion churn. Extra calls are no-ops.
+func (f *Flaky) Start() {
+	if f.started {
+		return
+	}
+	f.started = true
+	f.k.Ticker(f.cfg.CheckEvery, func() bool { return f.k.Now() > f.cfg.ConvergeAt }, f.churn)
+}
+
+func (f *Flaky) churn() {
+	rng := f.k.Rand()
+	for w := 0; w < f.g.N(); w++ {
+		if f.crashed[w] || rng.Float64() >= f.cfg.Rate {
+			continue
+		}
+		nbrs := f.g.Neighbors(w)
+		if len(nbrs) == 0 {
+			continue
+		}
+		t := nbrs[rng.Intn(len(nbrs))]
+		if f.crashed[t] || f.suspects[w][t] {
+			continue
+		}
+		f.set(w, t, true)
+		f.mistakes++
+		hold := 1 + sim.Time(rng.Int63n(int64(f.cfg.MaxHold)))
+		w, t := w, t
+		f.k.After(hold, func() {
+			if !f.crashed[t] {
+				f.set(w, t, false)
+			}
+		})
+	}
+}
+
+func (f *Flaky) set(w, t int, v bool) {
+	if f.suspects[w][t] == v {
+		return
+	}
+	f.suspects[w][t] = v
+	if fn := f.listeners[w]; fn != nil {
+		fn()
+	}
+}
+
+// Suspects implements Detector.
+func (f *Flaky) Suspects(watcher, target int) bool {
+	if watcher < 0 || watcher >= f.g.N() || target < 0 || target >= f.g.N() {
+		return false
+	}
+	return f.suspects[watcher][target]
+}
+
+// SetListener implements Notifier.
+func (f *Flaky) SetListener(watcher int, fn func()) {
+	if watcher >= 0 && watcher < len(f.listeners) {
+		f.listeners[watcher] = fn
+	}
+}
+
+// ObserveCrash implements CrashAware.
+func (f *Flaky) ObserveCrash(target int) {
+	if target < 0 || target >= f.g.N() || f.crashed[target] {
+		return
+	}
+	f.crashed[target] = true
+	f.k.After(f.cfg.CrashLatency, func() {
+		for _, w := range f.g.Neighbors(target) {
+			f.set(w, target, true)
+		}
+	})
+}
+
+// Mistakes returns how many wrongful suspicions were injected.
+func (f *Flaky) Mistakes() int { return f.mistakes }
+
+var (
+	_ Detector   = (*Flaky)(nil)
+	_ Notifier   = (*Flaky)(nil)
+	_ CrashAware = (*Flaky)(nil)
+)

@@ -1,0 +1,79 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestFlakyMakesMistakesThenConverges(t *testing.T) {
+	k := sim.NewKernel(3)
+	g := graph.Ring(6)
+	f := NewFlaky(k, g, FlakyConfig{ConvergeAt: 500, Rate: 0.5, CheckEvery: 5, MaxHold: 40})
+	f.Start()
+	k.Run(5000)
+	if f.Mistakes() == 0 {
+		t.Fatal("rate 0.5 for 100 checks should produce mistakes")
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if f.Suspects(w, v) {
+				t.Fatalf("%d still suspects live %d after convergence", w, v)
+			}
+		}
+	}
+}
+
+func TestFlakyCompleteness(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := graph.Ring(5)
+	f := NewFlaky(k, g, FlakyConfig{ConvergeAt: 100, Rate: 0.2, CrashLatency: 10})
+	f.Start()
+	k.At(50, func() { f.ObserveCrash(2) })
+	k.Run(2000)
+	for _, w := range g.Neighbors(2) {
+		if !f.Suspects(w, 2) {
+			t.Fatalf("neighbor %d does not suspect crashed 2", w)
+		}
+	}
+	// Permanent: the hold-expiry of any wrongful suspicion of 2 placed
+	// before the crash must not clear the crash suspicion.
+	k.Run(5000)
+	for _, w := range g.Neighbors(2) {
+		if !f.Suspects(w, 2) {
+			t.Fatal("crash suspicion was dropped")
+		}
+	}
+}
+
+func TestFlakyListeners(t *testing.T) {
+	k := sim.NewKernel(7)
+	g := graph.Path(2)
+	f := NewFlaky(k, g, FlakyConfig{ConvergeAt: 1000, Rate: 1.0, CheckEvery: 5, MaxHold: 10})
+	f.Start()
+	changes := 0
+	f.SetListener(0, func() { changes++ })
+	k.Run(3000)
+	if changes == 0 {
+		t.Fatal("listener never notified at rate 1.0")
+	}
+	if changes%2 != 0 {
+		t.Fatalf("changes = %d; every crash-free mistake must clear", changes)
+	}
+}
+
+func TestFlakyBoundsAndDefaults(t *testing.T) {
+	k := sim.NewKernel(1)
+	f := NewFlaky(k, graph.Path(2), FlakyConfig{})
+	if f.cfg.CheckEvery != 10 || f.cfg.MaxHold != 50 {
+		t.Fatalf("defaults not applied: %+v", f.cfg)
+	}
+	if f.Suspects(-1, 0) || f.Suspects(0, 7) {
+		t.Fatal("out-of-range queries must be false")
+	}
+	f.SetListener(-1, nil) // no panic
+	f.ObserveCrash(99)     // no panic
+	f.Start()
+	f.Start() // idempotent
+}

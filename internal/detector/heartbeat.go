@@ -1,0 +1,222 @@
+package detector
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// heartbeatMsg is the payload exchanged by the heartbeat detector. It
+// carries no data; identity comes from the channel.
+type heartbeatMsg struct{}
+
+// HeartbeatConfig parameterizes the heartbeat ◇P₁ implementation.
+type HeartbeatConfig struct {
+	// Period between heartbeats sent to each neighbor.
+	Period sim.Time
+	// InitialTimeout is the starting patience for each watched
+	// neighbor: a process is suspected if no heartbeat arrives for this
+	// long.
+	InitialTimeout sim.Time
+	// Increment is added to the per-neighbor timeout each time a
+	// suspicion proves wrong (a heartbeat arrives from a suspected
+	// process). This adaptation is what yields eventual strong accuracy
+	// once message delays stabilize.
+	Increment sim.Time
+}
+
+// DefaultHeartbeatConfig returns conservative parameters suitable for
+// post-GST delays up to roughly Period.
+func DefaultHeartbeatConfig() HeartbeatConfig {
+	return HeartbeatConfig{Period: 5, InitialTimeout: 12, Increment: 8}
+}
+
+type watchState struct {
+	lastHeard sim.Time
+	timeout   sim.Time
+	suspected bool
+	everHeard bool
+}
+
+// Heartbeat is the standard heartbeat/adaptive-timeout implementation
+// of ◇P₁ over a partially synchronous network: every live process
+// periodically heartbeats its conflict-graph neighbors; a watcher
+// suspects a neighbor whose heartbeat is overdue, and on learning of a
+// false suspicion it both unsuspects and permanently increases its
+// patience for that neighbor.
+//
+//   - Local strong completeness holds because crashed processes stop
+//     heartbeating, so every correct neighbor's deadline eventually
+//     fires and no later heartbeat ever clears the suspicion.
+//   - Local eventual strong accuracy holds under partial synchrony:
+//     after GST, inter-arrival of heartbeats is bounded by
+//     Period + Δ, and each mistake grows the timeout by Increment, so
+//     only finitely many mistakes are possible.
+//
+// Heartbeat traffic runs on its own sim.Network so dining-layer channel
+// accounting (the paper's ≤4 in-transit bound) is unaffected.
+type Heartbeat struct {
+	k         *sim.Kernel
+	g         *graph.Graph
+	net       *sim.Network
+	cfg       HeartbeatConfig
+	watch     [][]watchState // watch[watcher][target]
+	listeners []func()
+	started   bool
+
+	falsePositives  int
+	lastMistakeAt   sim.Time
+	lastMistakeEnd  sim.Time
+	everFalseSusp   bool
+	suspicionEvents int
+}
+
+// NewHeartbeat creates a heartbeat detector over conflict graph g,
+// exchanging messages on a dedicated network with the given delay
+// model (typically the same partial-synchrony model as the dining
+// layer).
+func NewHeartbeat(k *sim.Kernel, g *graph.Graph, delays sim.DelayModel, cfg HeartbeatConfig) *Heartbeat {
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultHeartbeatConfig().Period
+	}
+	if cfg.InitialTimeout <= 0 {
+		cfg.InitialTimeout = DefaultHeartbeatConfig().InitialTimeout
+	}
+	if cfg.Increment <= 0 {
+		cfg.Increment = DefaultHeartbeatConfig().Increment
+	}
+	n := g.N()
+	hb := &Heartbeat{
+		k:         k,
+		g:         g,
+		net:       sim.NewNetwork(k, n, delays),
+		cfg:       cfg,
+		watch:     make([][]watchState, n),
+		listeners: make([]func(), n),
+	}
+	for i := range hb.watch {
+		hb.watch[i] = make([]watchState, n)
+		for j := range hb.watch[i] {
+			hb.watch[i][j] = watchState{timeout: cfg.InitialTimeout}
+		}
+	}
+	return hb
+}
+
+// Start begins heartbeating and deadline monitoring. It must be called
+// exactly once, before the simulation runs; extra calls are no-ops.
+func (hb *Heartbeat) Start() {
+	if hb.started {
+		return
+	}
+	hb.started = true
+	for i := 0; i < hb.g.N(); i++ {
+		i := i
+		if err := hb.net.Register(i, func(from int, _ any) { hb.onHeartbeat(i, from) }); err != nil {
+			// Registration can only fail for out-of-range IDs, which
+			// cannot happen for 0 <= i < N.
+			continue
+		}
+		nbrs := hb.g.Neighbors(i)
+		hb.k.Ticker(hb.cfg.Period, func() bool { return hb.net.Crashed(i) }, func() {
+			for _, j := range nbrs {
+				_ = hb.net.Send(i, j, heartbeatMsg{})
+			}
+		})
+		// Arm the initial deadline for each watched neighbor.
+		for _, j := range nbrs {
+			j := j
+			hb.k.After(hb.cfg.InitialTimeout, func() { hb.checkDeadline(i, j) })
+		}
+	}
+}
+
+func (hb *Heartbeat) onHeartbeat(watcher, target int) {
+	ws := &hb.watch[watcher][target]
+	now := hb.k.Now()
+	ws.lastHeard = now
+	ws.everHeard = true
+	if ws.suspected {
+		ws.suspected = false
+		ws.timeout += hb.cfg.Increment // adapt: this suspicion was a mistake
+		hb.lastMistakeEnd = now
+		hb.notify(watcher)
+	}
+	hb.k.After(ws.timeout, func() { hb.checkDeadline(watcher, target) })
+}
+
+func (hb *Heartbeat) checkDeadline(watcher, target int) {
+	if hb.net.Crashed(watcher) {
+		return
+	}
+	ws := &hb.watch[watcher][target]
+	if ws.suspected {
+		return
+	}
+	now := hb.k.Now()
+	base := ws.lastHeard
+	if now-base < ws.timeout {
+		// A newer heartbeat re-armed a later deadline; this check is
+		// stale.
+		return
+	}
+	ws.suspected = true
+	hb.suspicionEvents++
+	if !hb.net.Crashed(target) {
+		hb.falsePositives++
+		hb.lastMistakeAt = now
+		hb.everFalseSusp = true
+	}
+	hb.notify(watcher)
+}
+
+func (hb *Heartbeat) notify(watcher int) {
+	if fn := hb.listeners[watcher]; fn != nil {
+		fn()
+	}
+}
+
+// Suspects implements Detector.
+func (hb *Heartbeat) Suspects(watcher, target int) bool {
+	if watcher < 0 || watcher >= hb.g.N() || target < 0 || target >= hb.g.N() {
+		return false
+	}
+	return hb.watch[watcher][target].suspected
+}
+
+// SetListener implements Notifier.
+func (hb *Heartbeat) SetListener(watcher int, fn func()) {
+	if watcher >= 0 && watcher < len(hb.listeners) {
+		hb.listeners[watcher] = fn
+	}
+}
+
+// ObserveCrash implements CrashAware by crashing the process on the
+// heartbeat network, which silences its heartbeats; completeness then
+// follows from the deadline mechanism.
+func (hb *Heartbeat) ObserveCrash(target int) {
+	_ = hb.net.Crash(target)
+}
+
+// FalsePositives returns how many wrongful suspicions (of live
+// processes) occurred.
+func (hb *Heartbeat) FalsePositives() int { return hb.falsePositives }
+
+// SuspicionEvents returns the total number of suspicion transitions.
+func (hb *Heartbeat) SuspicionEvents() int { return hb.suspicionEvents }
+
+// LastMistake returns the time of the most recent wrongful suspicion
+// and the time the most recent wrongful suspicion was cleared. Both are
+// zero if the detector never made a mistake.
+func (hb *Heartbeat) LastMistake() (began, cleared sim.Time) {
+	return hb.lastMistakeAt, hb.lastMistakeEnd
+}
+
+// MessagesSent reports total heartbeat traffic (for overhead
+// accounting, kept separate from dining-layer channels).
+func (hb *Heartbeat) MessagesSent() uint64 { return hb.net.TotalSent() }
+
+var (
+	_ Detector   = (*Heartbeat)(nil)
+	_ Notifier   = (*Heartbeat)(nil)
+	_ CrashAware = (*Heartbeat)(nil)
+)

@@ -1,0 +1,74 @@
+package detector
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Perfect is a crash-omniscient oracle: watcher suspects target exactly
+// Latency ticks after target crashes, permanently, and never suspects
+// live processes. With Latency 0 it is the perfect detector P; with
+// positive latency it is still perpetually accurate, so it provides an
+// upper baseline for what any ◇P₁ implementation can achieve.
+//
+// Perfect must be informed of crashes via ObserveCrash (the experiment
+// runner injects crashes through one place, so this is natural).
+type Perfect struct {
+	k         *sim.Kernel
+	g         *graph.Graph
+	latency   sim.Time
+	suspected []bool // suspected[target]: all live neighbors suspect target
+	listeners []func()
+}
+
+// NewPerfect creates a Perfect oracle over conflict graph g, scheduling
+// its (optional) detection latency on kernel k.
+func NewPerfect(k *sim.Kernel, g *graph.Graph, latency sim.Time) *Perfect {
+	return &Perfect{
+		k:         k,
+		g:         g,
+		latency:   latency,
+		suspected: make([]bool, g.N()),
+		listeners: make([]func(), g.N()),
+	}
+}
+
+// Suspects implements Detector.
+func (p *Perfect) Suspects(watcher, target int) bool {
+	if watcher < 0 || watcher >= p.g.N() || target < 0 || target >= p.g.N() {
+		return false
+	}
+	return p.suspected[target] && p.g.HasEdge(watcher, target)
+}
+
+// SetListener implements Notifier.
+func (p *Perfect) SetListener(watcher int, fn func()) {
+	if watcher >= 0 && watcher < len(p.listeners) {
+		p.listeners[watcher] = fn
+	}
+}
+
+// ObserveCrash implements CrashAware: after the configured latency, all
+// neighbors of target begin suspecting it permanently.
+func (p *Perfect) ObserveCrash(target int) {
+	if target < 0 || target >= p.g.N() || p.suspected[target] {
+		return
+	}
+	p.k.After(p.latency, func() {
+		if p.suspected[target] {
+			return
+		}
+		p.suspected[target] = true
+		for _, w := range p.g.Neighbors(target) {
+			if fn := p.listeners[w]; fn != nil {
+				fn()
+			}
+		}
+	})
+}
+
+var (
+	_ Detector   = (*Perfect)(nil)
+	_ Notifier   = (*Perfect)(nil)
+	_ CrashAware = (*Perfect)(nil)
+)

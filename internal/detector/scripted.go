@@ -1,0 +1,145 @@
+package detector
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// SuspicionEvent is one scripted change of a local suspect set:
+// at time At, Watcher begins (Suspect=true) or stops (Suspect=false)
+// suspecting Target.
+type SuspicionEvent struct {
+	At      sim.Time
+	Watcher int
+	Target  int
+	Suspect bool
+}
+
+// Scripted is a deterministic ◇P₁ oracle driven by an explicit schedule
+// of suspicion events plus crash notifications. It is the workhorse for
+// testing the dining algorithm's behavior under controlled
+// false-positive mistakes: a test can force watcher w to wrongfully
+// suspect live neighbor t during [a, b) and verify the algorithm's
+// safety violations are confined to that window.
+//
+// Completeness is handled automatically: ObserveCrash makes every
+// neighbor suspect the crashed process permanently after Latency ticks,
+// overriding any scripted unsuspicion.
+type Scripted struct {
+	k         *sim.Kernel
+	g         *graph.Graph
+	latency   sim.Time
+	crashed   []bool
+	suspects  [][]bool // suspects[watcher][target]
+	listeners []func()
+	started   bool
+	script    []SuspicionEvent
+}
+
+// NewScripted creates a scripted oracle over conflict graph g. The
+// schedule is installed by Add and armed by Start.
+func NewScripted(k *sim.Kernel, g *graph.Graph, crashLatency sim.Time) *Scripted {
+	n := g.N()
+	s := &Scripted{
+		k:         k,
+		g:         g,
+		latency:   crashLatency,
+		crashed:   make([]bool, n),
+		suspects:  make([][]bool, n),
+		listeners: make([]func(), n),
+	}
+	for i := range s.suspects {
+		s.suspects[i] = make([]bool, n)
+	}
+	return s
+}
+
+// Add appends events to the script. It must be called before Start.
+func (s *Scripted) Add(events ...SuspicionEvent) {
+	s.script = append(s.script, events...)
+}
+
+// AddMistake schedules watcher to wrongfully suspect target during
+// [from, to) — a convenience for the common test shape.
+func (s *Scripted) AddMistake(watcher, target int, from, to sim.Time) {
+	s.Add(
+		SuspicionEvent{At: from, Watcher: watcher, Target: target, Suspect: true},
+		SuspicionEvent{At: to, Watcher: watcher, Target: target, Suspect: false},
+	)
+}
+
+// Start schedules every scripted event on the kernel. Calling Start
+// twice is an error-free no-op.
+func (s *Scripted) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	script := make([]SuspicionEvent, len(s.script))
+	copy(script, s.script)
+	sort.SliceStable(script, func(i, j int) bool { return script[i].At < script[j].At })
+	for _, ev := range script {
+		ev := ev
+		s.k.At(ev.At, func() { s.apply(ev) })
+	}
+}
+
+func (s *Scripted) apply(ev SuspicionEvent) {
+	w, t := ev.Watcher, ev.Target
+	if w < 0 || w >= s.g.N() || t < 0 || t >= s.g.N() {
+		return
+	}
+	// Completeness overrides scripted unsuspicion of crashed processes.
+	if s.crashed[t] && !ev.Suspect {
+		return
+	}
+	if s.suspects[w][t] == ev.Suspect {
+		return
+	}
+	s.suspects[w][t] = ev.Suspect
+	if fn := s.listeners[w]; fn != nil {
+		fn()
+	}
+}
+
+// Suspects implements Detector.
+func (s *Scripted) Suspects(watcher, target int) bool {
+	if watcher < 0 || watcher >= s.g.N() || target < 0 || target >= s.g.N() {
+		return false
+	}
+	return s.suspects[watcher][target]
+}
+
+// SetListener implements Notifier.
+func (s *Scripted) SetListener(watcher int, fn func()) {
+	if watcher >= 0 && watcher < len(s.listeners) {
+		s.listeners[watcher] = fn
+	}
+}
+
+// ObserveCrash implements CrashAware: after the crash latency every
+// neighbor permanently suspects the crashed process.
+func (s *Scripted) ObserveCrash(target int) {
+	if target < 0 || target >= s.g.N() || s.crashed[target] {
+		return
+	}
+	s.crashed[target] = true
+	s.k.After(s.latency, func() {
+		for _, w := range s.g.Neighbors(target) {
+			if !s.suspects[w][target] {
+				s.suspects[w][target] = true
+				if fn := s.listeners[w]; fn != nil {
+					fn()
+				}
+			}
+		}
+	})
+}
+
+var (
+	_ Detector   = (*Scripted)(nil)
+	_ Notifier   = (*Scripted)(nil)
+	_ CrashAware = (*Scripted)(nil)
+)

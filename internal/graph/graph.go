@@ -1,0 +1,310 @@
+// Package graph provides conflict graphs for dining-philosophers
+// scheduling: constructors for common topologies, validation helpers,
+// and greedy node coloring used to assign static process priorities.
+//
+// A conflict graph C = (Π, E) has one vertex per process and one edge
+// per pair of processes whose actions conflict and therefore must not
+// be scheduled simultaneously. Vertices are identified by dense integer
+// IDs in [0, N).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ErrVertexRange reports an out-of-range vertex ID.
+var ErrVertexRange = errors.New("graph: vertex out of range")
+
+// ErrSelfLoop reports an attempt to add a self-loop; conflict graphs
+// are simple graphs.
+var ErrSelfLoop = errors.New("graph: self-loop not allowed")
+
+// Graph is an undirected simple graph over vertices 0..N-1.
+//
+// The zero value is an empty graph with no vertices. Graphs are built
+// with New and AddEdge and are not safe for concurrent mutation;
+// concurrent reads are safe once construction is complete.
+type Graph struct {
+	n   int
+	adj [][]int // adj[i] is the sorted list of neighbors of i
+	m   int     // number of edges
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {u, v}. Inserting an existing
+// edge is a no-op. It returns an error for out-of-range vertices or
+// self-loops.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: edge {%d,%d} in graph of %d vertices", ErrVertexRange, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, v)
+	}
+	if g.HasEdge(u, v) {
+		return nil
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	g.m++
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction-time code where the inputs
+// are known constants; it panics on error.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// HasEdge reports whether the edge {u, v} exists. Out-of-range vertices
+// yield false.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	i := sort.SearchInts(g.adj[u], v)
+	return i < len(g.adj[u]) && g.adj[u][i] == v
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice
+// is a copy and may be retained or mutated by the caller.
+func (g *Graph) Neighbors(v int) []int {
+	if v < 0 || v >= g.n {
+		return nil
+	}
+	out := make([]int, len(g.adj[v]))
+	copy(out, g.adj[v])
+	return out
+}
+
+// Degree returns the degree of v, or 0 for out-of-range v.
+func (g *Graph) Degree(v int) int {
+	if v < 0 || v >= g.n {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// MaxDegree returns the maximum vertex degree δ of the graph.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for i := range g.adj {
+		if len(g.adj[i]) > d {
+			d = len(g.adj[i])
+		}
+	}
+	return d
+}
+
+// Edges returns every edge exactly once as {u, v} pairs with u < v,
+// in lexicographic order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, m: g.m, adj: make([][]int, g.n)}
+	for i := range g.adj {
+		c.adj[i] = make([]int, len(g.adj[i]))
+		copy(c.adj[i], g.adj[i])
+	}
+	return c
+}
+
+// Connected reports whether the graph is connected. The empty graph and
+// single-vertex graph are considered connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// String implements fmt.Stringer with a short structural summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d, δ=%d)", g.n, g.m, g.MaxDegree())
+}
+
+// Ring returns the cycle C_n. For n < 3 it degenerates: n == 2 is a
+// single edge, n <= 1 has no edges.
+func Ring(n int) *Graph {
+	g := New(n)
+	if n == 2 {
+		g.MustAddEdge(0, 1)
+		return g
+	}
+	for i := 0; i < n && n >= 3; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns the path P_n with edges {i, i+1}.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with vertex 0 as the hub.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// Clique returns the complete graph K_n.
+func Clique(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows×cols grid graph. Vertex (r, c) has ID
+// r*cols + c.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices,
+// generated by decoding a random Prüfer sequence with rng.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n <= 1 {
+		return g
+	}
+	if n == 2 {
+		g.MustAddEdge(0, 1)
+		return g
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	for _, v := range prufer {
+		for u := 0; u < n; u++ {
+			if degree[u] == 1 {
+				g.MustAddEdge(u, v)
+				degree[u]--
+				degree[v]--
+				break
+			}
+		}
+	}
+	u, v := -1, -1
+	for i := 0; i < n; i++ {
+		if degree[i] == 1 {
+			if u == -1 {
+				u = i
+			} else {
+				v = i
+			}
+		}
+	}
+	g.MustAddEdge(u, v)
+	return g
+}
+
+// GNP returns an Erdős–Rényi random graph G(n, p) drawn with rng.
+func GNP(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// ConnectedGNP returns a G(n, p) sample conditioned on connectivity by
+// adding a uniformly random spanning tree first.
+func ConnectedGNP(n int, p float64, rng *rand.Rand) *Graph {
+	g := RandomTree(n, rng)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,448 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 {
+		t.Fatalf("N() = %d, want 5", g.N())
+	}
+	if g.M() != 0 {
+		t.Fatalf("M() = %d, want 0", g.M())
+	}
+	if g.MaxDegree() != 0 {
+		t.Fatalf("MaxDegree() = %d, want 0", g.MaxDegree())
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	g := New(-3)
+	if g.N() != 0 {
+		t.Fatalf("N() = %d, want 0 for negative size", g.N())
+	}
+}
+
+func TestAddEdgeBasic(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge(0,1): %v", err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge {0,1} should exist in both directions")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("edge {0,2} should not exist")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M() = %d, want 1", g.M())
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 5; i++ {
+		if err := g.AddEdge(1, 2); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	if g.M() != 1 {
+		t.Fatalf("M() = %d after repeated insert, want 1", g.M())
+	}
+	if g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Fatalf("degrees = %d,%d, want 1,1", g.Degree(1), g.Degree(2))
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 3); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("AddEdge(0,3) err = %v, want ErrVertexRange", err)
+	}
+	if err := g.AddEdge(-1, 0); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("AddEdge(-1,0) err = %v, want ErrVertexRange", err)
+	}
+	if err := g.AddEdge(1, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("AddEdge(1,1) err = %v, want ErrSelfLoop", err)
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddEdge on bad edge should panic")
+		}
+	}()
+	New(1).MustAddEdge(0, 5)
+}
+
+func TestNeighborsSortedAndCopied(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(2, 4)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 3)
+	nbrs := g.Neighbors(2)
+	want := []int{0, 3, 4}
+	if len(nbrs) != len(want) {
+		t.Fatalf("Neighbors(2) = %v, want %v", nbrs, want)
+	}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("Neighbors(2) = %v, want %v", nbrs, want)
+		}
+	}
+	nbrs[0] = 99 // mutating the copy must not affect the graph
+	if got := g.Neighbors(2)[0]; got != 0 {
+		t.Fatalf("internal adjacency mutated through returned slice: %d", got)
+	}
+}
+
+func TestNeighborsOutOfRange(t *testing.T) {
+	g := Ring(4)
+	if g.Neighbors(-1) != nil || g.Neighbors(4) != nil {
+		t.Fatal("out-of-range Neighbors should be nil")
+	}
+	if g.Degree(-1) != 0 || g.Degree(7) != 0 {
+		t.Fatal("out-of-range Degree should be 0")
+	}
+}
+
+func TestEdgesEnumeration(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 1)
+	edges := g.Edges()
+	want := [][2]int{{0, 1}, {0, 2}, {1, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges() = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges() = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Ring(6)
+	c := g.Clone()
+	c.MustAddEdge(0, 3)
+	if g.HasEdge(0, 3) {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.M() != g.M()+1 {
+		t.Fatalf("clone M = %d, want %d", c.M(), g.M()+1)
+	}
+}
+
+func TestRing(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 10, 64} {
+		g := Ring(n)
+		if g.M() != n {
+			t.Fatalf("Ring(%d) has %d edges, want %d", n, g.M(), n)
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != 2 {
+				t.Fatalf("Ring(%d) deg(%d) = %d, want 2", n, v, g.Degree(v))
+			}
+		}
+		if !g.Connected() {
+			t.Fatalf("Ring(%d) should be connected", n)
+		}
+	}
+}
+
+func TestRingDegenerate(t *testing.T) {
+	if g := Ring(2); g.M() != 1 {
+		t.Fatalf("Ring(2) M = %d, want 1", g.M())
+	}
+	if g := Ring(1); g.M() != 0 {
+		t.Fatalf("Ring(1) M = %d, want 0", g.M())
+	}
+	if g := Ring(0); g.N() != 0 || g.M() != 0 {
+		t.Fatal("Ring(0) should be empty")
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.M() != 4 {
+		t.Fatalf("Path(5) M = %d, want 4", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(4) != 1 {
+		t.Fatal("path endpoints should have degree 1")
+	}
+	if g.Degree(2) != 2 {
+		t.Fatal("path interior should have degree 2")
+	}
+	if !g.Connected() {
+		t.Fatal("path should be connected")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(7)
+	if g.Degree(0) != 6 {
+		t.Fatalf("Star hub degree = %d, want 6", g.Degree(0))
+	}
+	for v := 1; v < 7; v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("Star leaf %d degree = %d, want 1", v, g.Degree(v))
+		}
+	}
+	if g.MaxDegree() != 6 {
+		t.Fatalf("Star δ = %d, want 6", g.MaxDegree())
+	}
+}
+
+func TestClique(t *testing.T) {
+	g := Clique(6)
+	if g.M() != 15 {
+		t.Fatalf("K6 has %d edges, want 15", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 5 {
+			t.Fatalf("K6 deg(%d) = %d, want 5", v, g.Degree(v))
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("Grid(3,4) N = %d, want 12", g.N())
+	}
+	// edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8 = 17
+	if g.M() != 17 {
+		t.Fatalf("Grid(3,4) M = %d, want 17", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 4) {
+		t.Fatal("Grid adjacency wrong at corner")
+	}
+	if g.HasEdge(3, 4) {
+		t.Fatal("Grid should not wrap rows")
+	}
+	if !g.Connected() {
+		t.Fatal("grid should be connected")
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 8, 20, 50} {
+		g := RandomTree(n, rng)
+		wantM := n - 1
+		if n == 0 || n == 1 {
+			wantM = 0
+		}
+		if g.M() != wantM {
+			t.Fatalf("RandomTree(%d) M = %d, want %d", n, g.M(), wantM)
+		}
+		if !g.Connected() {
+			t.Fatalf("RandomTree(%d) should be connected", n)
+		}
+	}
+}
+
+func TestGNPExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if g := GNP(10, 0, rng); g.M() != 0 {
+		t.Fatalf("GNP(10,0) M = %d, want 0", g.M())
+	}
+	if g := GNP(10, 1, rng); g.M() != 45 {
+		t.Fatalf("GNP(10,1) M = %d, want 45", g.M())
+	}
+}
+
+func TestConnectedGNP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		g := ConnectedGNP(16, 0.05, rng)
+		if !g.Connected() {
+			t.Fatal("ConnectedGNP should always be connected")
+		}
+	}
+}
+
+func TestConnectedDisconnected(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	if g.Connected() {
+		t.Fatal("two components reported connected")
+	}
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Fatal("trivial graphs should count as connected")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := Ring(5).String()
+	want := "graph(n=5, m=5, δ=2)"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestGreedyColoringProper(t *testing.T) {
+	cases := map[string]*Graph{
+		"ring4":   Ring(4),
+		"ring5":   Ring(5),
+		"path9":   Path(9),
+		"star8":   Star(8),
+		"clique7": Clique(7),
+		"grid5x5": Grid(5, 5),
+	}
+	for name, g := range cases {
+		colors := g.GreedyColoring()
+		if !g.IsProperColoring(colors) {
+			t.Errorf("%s: greedy coloring not proper: %v", name, colors)
+		}
+		if nc := NumColors(colors); nc > g.MaxDegree()+1 {
+			t.Errorf("%s: used %d colors, bound is δ+1 = %d", name, nc, g.MaxDegree()+1)
+		}
+	}
+}
+
+func TestGreedyColoringCliqueExact(t *testing.T) {
+	g := Clique(5)
+	if nc := NumColors(g.GreedyColoring()); nc != 5 {
+		t.Fatalf("K5 colored with %d colors, want 5", nc)
+	}
+}
+
+func TestGreedyColoringEvenRingTwoColors(t *testing.T) {
+	g := Ring(8)
+	if nc := NumColors(g.GreedyColoring()); nc > 3 {
+		t.Fatalf("C8 colored with %d colors, bound is 3", nc)
+	}
+}
+
+func TestIsProperColoringRejects(t *testing.T) {
+	g := Path(3)
+	if g.IsProperColoring([]int{0, 0, 1}) {
+		t.Fatal("adjacent same colors accepted")
+	}
+	if g.IsProperColoring([]int{0, 1}) {
+		t.Fatal("wrong length accepted")
+	}
+	if g.IsProperColoring([]int{0, -1, 0}) {
+		t.Fatal("negative color accepted")
+	}
+	if !g.IsProperColoring([]int{0, 1, 0}) {
+		t.Fatal("valid coloring rejected")
+	}
+}
+
+func TestUniquePriorities(t *testing.T) {
+	g := Ring(6)
+	colors := g.GreedyColoring()
+	prio := g.UniquePriorities(colors)
+	seen := make(map[int]bool)
+	for _, p := range prio {
+		if seen[p] {
+			t.Fatalf("priorities not unique: %v", prio)
+		}
+		seen[p] = true
+	}
+	// Relative order between neighbors must match the coloring.
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if (colors[u] < colors[v]) != (prio[u] < prio[v]) {
+			t.Fatalf("priority order differs from color order on edge %v", e)
+		}
+	}
+}
+
+// Property: greedy coloring of random connected graphs is always proper
+// and uses at most δ+1 colors.
+func TestQuickGreedyColoring(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawP uint8) bool {
+		n := int(rawN%40) + 2
+		p := float64(rawP%100) / 100
+		rng := rand.New(rand.NewSource(seed))
+		g := ConnectedGNP(n, p, rng)
+		colors := g.GreedyColoring()
+		return g.IsProperColoring(colors) && NumColors(colors) <= g.MaxDegree()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adjacency is symmetric and degree sums to 2M for random
+// graphs.
+func TestQuickHandshake(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawP uint8) bool {
+		n := int(rawN%30) + 1
+		p := float64(rawP%100) / 100
+		rng := rand.New(rand.NewSource(seed))
+		g := GNP(n, p, rng)
+		degSum := 0
+		for v := 0; v < n; v++ {
+			degSum += g.Degree(v)
+			for _, w := range g.Neighbors(v) {
+				if !g.HasEdge(w, v) {
+					return false
+				}
+			}
+		}
+		return degSum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Edges() round-trips — rebuilding from Edges yields an
+// identical graph.
+func TestQuickEdgesRoundTrip(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%25) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := GNP(n, 0.3, rng)
+		h := New(n)
+		for _, e := range g.Edges() {
+			if err := h.AddEdge(e[0], e[1]); err != nil {
+				return false
+			}
+		}
+		if h.M() != g.M() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			a, b := g.Neighbors(v), h.Neighbors(v)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random trees have n-1 edges and are connected (hence
+// acyclic).
+func TestQuickRandomTree(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%50) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomTree(n, rng)
+		return g.M() == n-1 && g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

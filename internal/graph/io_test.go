@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestParseEdgeListBasic(t *testing.T) {
+	in := `
+# triangle plus an isolated vertex
+n 4
+0 1
+1 2
+2 0
+`
+	g, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 4/3", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 0) || g.Degree(3) != 0 {
+		t.Fatal("parsed structure wrong")
+	}
+}
+
+func TestParseEdgeListInfersCount(t *testing.T) {
+	g, err := ParseEdgeList(strings.NewReader("0 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 6 {
+		t.Fatalf("inferred n = %d, want 6", g.N())
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",        // wrong field count
+		"a b\n",      // not numbers
+		"0 x\n",      // second not a number
+		"n -3\n",     // bad header
+		"n 2\n0 5\n", // out of range with header
+		"0 0\n",      // self loop
+	}
+	for _, in := range cases {
+		if _, err := ParseEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q should fail", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := Grid(3, 3)
+	var b strings.Builder
+	if err := g.WriteEdgeList(&b); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseEdgeList(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("round trip changed size: %v vs %v", h, g)
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestQuickEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%20) + 1
+		rng := newSeededRand(seed)
+		g := GNP(n, 0.3, rng)
+		var b strings.Builder
+		if err := g.WriteEdgeList(&b); err != nil {
+			return false
+		}
+		h, err := ParseEdgeList(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !h.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package graph
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d vertices;
+// vertices u and v are adjacent iff their IDs differ in exactly one
+// bit. Hypercubes are a classic sparse interconnect: degree d on 2^d
+// vertices.
+func Hypercube(d int) *Graph {
+	if d < 0 {
+		d = 0
+	}
+	n := 1 << d
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << b)
+			if v < w {
+				g.MustAddEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows×cols 2D torus (a grid with wraparound in both
+// dimensions). Vertex (r, c) has ID r*cols + c. Degenerate dimensions
+// (size < 3) omit the wraparound edge in that dimension to keep the
+// graph simple.
+func Torus(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if cols > 1 {
+				if c+1 < cols {
+					g.MustAddEdge(id(r, c), id(r, c+1))
+				} else if cols > 2 {
+					g.MustAddEdge(id(r, c), id(r, 0))
+				}
+			}
+			if rows > 1 {
+				if r+1 < rows {
+					g.MustAddEdge(id(r, c), id(r+1, c))
+				} else if rows > 2 {
+					g.MustAddEdge(id(r, c), id(0, c))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side,
+// a..a+b-1 on the other, every cross pair adjacent. Bipartite conflict
+// graphs 2-color, making them the friendliest case for the static
+// priority scheme.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// BinaryTree returns the complete binary tree on n vertices in heap
+// order: vertex v's children are 2v+1 and 2v+2.
+func BinaryTree(n int) *Graph {
+	g := New(n)
+	for v := 0; v < n; v++ {
+		if l := 2*v + 1; l < n {
+			g.MustAddEdge(v, l)
+		}
+		if r := 2*v + 2; r < n {
+			g.MustAddEdge(v, r)
+		}
+	}
+	return g
+}
+
+// Wheel returns the wheel W_n: a ring of n-1 vertices (IDs 1..n-1) plus
+// a hub (ID 0) adjacent to all of them. Wheels mix the star's hub
+// contention with ring contention among the rim.
+func Wheel(n int) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	rim := n - 1
+	for i := 1; i <= rim; i++ {
+		g.MustAddEdge(0, i)
+	}
+	if rim == 2 {
+		g.MustAddEdge(1, 2)
+		return g
+	}
+	for i := 1; i <= rim && rim >= 3; i++ {
+		next := i%rim + 1
+		g.MustAddEdge(i, next)
+	}
+	return g
+}

@@ -1,0 +1,152 @@
+package graph
+
+import "testing"
+
+func TestHypercube(t *testing.T) {
+	for d := 0; d <= 5; d++ {
+		g := Hypercube(d)
+		n := 1 << d
+		if g.N() != n {
+			t.Fatalf("Q%d N = %d, want %d", d, g.N(), n)
+		}
+		if g.M() != d*n/2 {
+			t.Fatalf("Q%d M = %d, want %d", d, g.M(), d*n/2)
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != d {
+				t.Fatalf("Q%d deg(%d) = %d, want %d", d, v, g.Degree(v), d)
+			}
+		}
+		if d >= 1 && !g.Connected() {
+			t.Fatalf("Q%d disconnected", d)
+		}
+	}
+	if g := Hypercube(-1); g.N() != 1 {
+		t.Fatalf("Hypercube(-1) N = %d, want 1", g.N())
+	}
+}
+
+func TestHypercubeAdjacencyIsBitFlip(t *testing.T) {
+	g := Hypercube(3)
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			diff := u ^ v
+			oneBit := diff != 0 && diff&(diff-1) == 0
+			if g.HasEdge(u, v) != oneBit {
+				t.Fatalf("Q3 edge {%d,%d}: got %v, want %v", u, v, g.HasEdge(u, v), oneBit)
+			}
+		}
+	}
+}
+
+func TestTorusRegular(t *testing.T) {
+	g := Torus(4, 5)
+	if g.N() != 20 {
+		t.Fatalf("N = %d", g.N())
+	}
+	for v := 0; v < 20; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus deg(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if g.M() != 40 {
+		t.Fatalf("M = %d, want 40", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("torus disconnected")
+	}
+	// Wraparound edges exist.
+	if !g.HasEdge(0, 4) { // (0,0)-(0,4): row wrap
+		t.Fatal("row wraparound missing")
+	}
+	if !g.HasEdge(0, 15) { // (0,0)-(3,0): column wrap
+		t.Fatal("column wraparound missing")
+	}
+}
+
+func TestTorusDegenerate(t *testing.T) {
+	// 2 columns: no wraparound duplicate edge; still a valid simple
+	// graph identical to a 2-column grid in that dimension.
+	g := Torus(3, 2)
+	if !g.Connected() {
+		t.Fatal("degenerate torus disconnected")
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 3 { // 1 horizontal + 2 vertical (wrap rows of 3)
+			t.Fatalf("deg(%d) = %d, want 3", v, g.Degree(v))
+		}
+	}
+	if g := Torus(1, 1); g.M() != 0 {
+		t.Fatal("1x1 torus should be edgeless")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("K3,4: n=%d m=%d", g.N(), g.M())
+	}
+	colors := g.GreedyColoring()
+	if nc := NumColors(colors); nc != 2 {
+		t.Fatalf("K3,4 colored with %d colors, want 2", nc)
+	}
+	// No intra-side edges.
+	if g.HasEdge(0, 1) || g.HasEdge(3, 4) {
+		t.Fatal("intra-side edge in bipartite graph")
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(7)
+	if g.M() != 6 {
+		t.Fatalf("M = %d, want 6", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("tree disconnected")
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 3 || g.Degree(6) != 1 {
+		t.Fatalf("degrees: root=%d internal=%d leaf=%d", g.Degree(0), g.Degree(1), g.Degree(6))
+	}
+	if g := BinaryTree(1); g.M() != 0 {
+		t.Fatal("single-vertex tree should have no edges")
+	}
+}
+
+func TestWheel(t *testing.T) {
+	g := Wheel(6) // hub + C5
+	if g.Degree(0) != 5 {
+		t.Fatalf("hub degree = %d, want 5", g.Degree(0))
+	}
+	for v := 1; v <= 5; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("rim deg(%d) = %d, want 3", v, g.Degree(v))
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("wheel disconnected")
+	}
+	if g := Wheel(3); g.M() != 3 { // hub + edge rim = triangle
+		t.Fatalf("W3 M = %d, want 3", g.M())
+	}
+	if g := Wheel(1); g.M() != 0 {
+		t.Fatal("W1 should be edgeless")
+	}
+}
+
+func TestNewTopologiesColorProperly(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"q4":    Hypercube(4),
+		"torus": Torus(4, 4),
+		"k33":   CompleteBipartite(3, 3),
+		"tree":  BinaryTree(15),
+		"wheel": Wheel(9),
+	} {
+		colors := g.GreedyColoring()
+		if !g.IsProperColoring(colors) {
+			t.Errorf("%s: improper greedy coloring", name)
+		}
+		if nc := NumColors(colors); nc > g.MaxDegree()+1 {
+			t.Errorf("%s: %d colors for δ=%d", name, nc, g.MaxDegree())
+		}
+	}
+}

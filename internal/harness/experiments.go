@@ -1,0 +1,581 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/graph"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stabilize"
+)
+
+// mustExecute runs a spec, folding setup errors into the table note —
+// experiment code treats them as fatal by surfacing "ERROR" rows, so a
+// broken configuration cannot masquerade as a result.
+func mustExecute(t *Table, spec Spec) (Result, bool) {
+	res, err := Execute(spec)
+	if err != nil {
+		t.AddRow("ERROR", err.Error())
+		return Result{}, false
+	}
+	if res.InvariantErr != nil {
+		t.AddRow("INVARIANT-VIOLATION", res.InvariantErr.Error())
+		return res, false
+	}
+	return res, true
+}
+
+func yesno(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// E1Safety measures Theorem 1: with a real ◇P₁ under hostile pre-GST
+// delays, exclusion mistakes happen only finitely often and cease once
+// the detector stops making mistakes.
+func E1Safety(seed int64) *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Eventual weak exclusion under a convergent ◇P₁ (Theorem 1)",
+		Claim:  "finitely many exclusion mistakes per run; none after the detector converges",
+		Header: []string{"topology", "n", "FD false-pos", "FD last mistake", "violations", "last violation", "viol after conv", "ok"},
+	}
+	hp := DefaultHeartbeatParams()
+	hp.PreNoise = 80 // hostile: force detector mistakes before GST
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ring", graph.Ring(16)},
+		{"grid", graph.Grid(4, 4)},
+		{"clique", graph.Clique(8)},
+	}
+	for _, c := range cases {
+		res, ok := mustExecute(t, Spec{
+			Graph:     c.g,
+			Seed:      seed,
+			Algorithm: Algorithm1,
+			Detector:  DetectorHeartbeat,
+			Heartbeat: hp,
+			Workload:  runner.Saturated(),
+			Horizon:   40000,
+		})
+		if !ok {
+			continue
+		}
+		conv := res.FDLastMistakeEnd + 100 // drain slack for in-flight eats
+		after := res.ViolationsAfter(conv)
+		t.AddRow(c.name, c.g.N(), res.FDFalsePositives, res.FDLastMistake,
+			res.Violations, res.LastViolation, after, yesno(after == 0))
+	}
+	return t
+}
+
+// E2WaitFreedom measures Theorem 2: Algorithm 1 completes every correct
+// hungry session regardless of crash count, while the detector-free
+// Choy–Singh doorway starves neighbors of crashed processes.
+func E2WaitFreedom(seed int64) *Table {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Wait-free progress under crash storms (Theorem 2)",
+		Claim:  "every correct hungry process eventually eats, for any number of crashes; without ◇P₁, crashes starve correct processes",
+		Header: []string{"algorithm", "crashes", "live sessions done", "starving live", "min live sessions", "ok"},
+	}
+	const n = 16
+	for _, f := range []int{0, 1, 4, 8, 15} {
+		for _, alg := range []Algorithm{Algorithm1, ChoySingh, HygienicFD, Hygienic} {
+			g := graph.Ring(n)
+			spec := Spec{
+				Graph:     g,
+				Seed:      seed,
+				Algorithm: alg,
+				Workload:  runner.Saturated(),
+				Horizon:   40000,
+			}
+			if alg == Algorithm1 || alg == HygienicFD {
+				spec.Detector = DetectorHeartbeat
+				spec.Heartbeat = DefaultHeartbeatParams()
+			}
+			for c := 0; c < f; c++ {
+				spec.Crashes = append(spec.Crashes, Crash{At: sim.Time(2500 + 200*c), ID: c})
+			}
+			res, ok := mustExecute(t, spec)
+			if !ok {
+				continue
+			}
+			crashed := make(map[int]bool)
+			for _, c := range spec.Crashes {
+				crashed[c.ID] = true
+			}
+			minLive := -1
+			for i, done := range res.PerProcess {
+				if crashed[i] {
+					continue
+				}
+				if minLive < 0 || done < minLive {
+					minLive = done
+				}
+			}
+			okRun := len(res.Starving) == 0
+			if (alg == ChoySingh || alg == Hygienic) && f > 0 {
+				okRun = len(res.Starving) > 0 // the expected failure
+			}
+			t.AddRow(alg, f, res.LiveCompleted(), len(res.Starving), minLive, yesno(okRun))
+		}
+	}
+	return t
+}
+
+// e3StarDelays slows one leaf's link to the hub: the hub's doorway
+// passage then waits ~slowLink ticks for that leaf's ack while the
+// other leaves cycle fast. Under the original doorway the hub re-acks
+// every fast leaf each cycle, so they overtake it without bound; the
+// replied flag caps them at two.
+func e3StarDelays(hub, slowLeaf int) sim.DelayModel {
+	return sim.DelayFunc(func(_ sim.Time, from, to int, _ *rand.Rand) sim.Time {
+		if from == slowLeaf && to == hub {
+			return 400
+		}
+		return 2
+	})
+}
+
+// E3BoundedWaiting measures Theorem 3: in the converged suffix,
+// Algorithm 1 never lets a neighbor overtake a hungry process more than
+// twice, while the replied-flag ablation and the doorway-free baseline
+// exceed any constant bound.
+func E3BoundedWaiting(seed int64) *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Eventual 2-bounded waiting (Theorem 3) vs ablations",
+		Claim:  "Algorithm 1: ≤2 consecutive overtakes per hungry neighbor in the suffix; without the replied flag or the doorway the bound fails",
+		Header: []string{"algorithm", "scenario", "max overtakes", "suffix overtakes", "within paper bound (2)"},
+	}
+	type scenario struct {
+		name   string
+		g      *graph.Graph
+		colors []int
+		delays sim.DelayModel
+	}
+	star := graph.Star(5)
+	scenarios := []scenario{
+		{"star5-slow-leaf", star, nil, e3StarDelays(0, 1)},
+		{"path3-low-middle", graph.Path(3), []int{1, 0, 2}, sim.FixedDelay{D: 2}},
+		{"ring8", graph.Ring(8), nil, sim.UniformDelay{Min: 1, Max: 4}},
+	}
+	for _, sc := range scenarios {
+		for _, alg := range []Algorithm{Algorithm1, Algorithm1NoReplied, Forks, Hygienic} {
+			res, ok := mustExecute(t, Spec{
+				Graph:     sc.g,
+				Colors:    sc.colors,
+				Seed:      seed,
+				Delays:    sc.delays,
+				Algorithm: alg,
+				Workload:  runner.Saturated(),
+				Horizon:   30000,
+			})
+			if !ok {
+				continue
+			}
+			// No detector noise in these runs, so the 2-bound must hold
+			// over the whole run, not just a suffix.
+			t.AddRow(alg, sc.name, res.MaxOvertake, res.MaxOvertakeSuffix,
+				yesno(res.MaxOvertake <= 2))
+		}
+	}
+	return t
+}
+
+// E4ChannelBound measures the Section 7 claim that at most four dining
+// messages occupy any edge simultaneously, even under severe delay
+// variance.
+func E4ChannelBound(seed int64) *Table {
+	t := &Table{
+		ID:     "E4",
+		Title:  "Bounded channel capacity (Section 7)",
+		Claim:  "at most 4 dining messages in transit per edge at any time",
+		Header: []string{"topology", "delay model", "max edge occupancy", "total msgs", "ok"},
+	}
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		dname  string
+		delays sim.DelayModel
+	}{
+		{"ring16", graph.Ring(16), "uniform[1,4]", sim.UniformDelay{Min: 1, Max: 4}},
+		{"clique6", graph.Clique(6), "uniform[1,50]", sim.UniformDelay{Min: 1, Max: 50}},
+		{"grid4x4", graph.Grid(4, 4), "spiky", sim.SpikeDelay{Base: 2, Spike: 80, SpikeP: 0.2}},
+		{"star8", graph.Star(8), "uniform[1,30]", sim.UniformDelay{Min: 1, Max: 30}},
+	}
+	for _, c := range cases {
+		res, ok := mustExecute(t, Spec{
+			Graph:     c.g,
+			Seed:      seed,
+			Delays:    c.delays,
+			Algorithm: Algorithm1,
+			Detector:  DetectorHeartbeat,
+			Heartbeat: DefaultHeartbeatParams(),
+			Workload:  runner.Saturated(),
+			Horizon:   30000,
+		})
+		if !ok {
+			continue
+		}
+		t.AddRow(c.name, c.dname, res.OccupancyHW, res.TotalMessages, yesno(res.OccupancyHW <= 4))
+	}
+	return t
+}
+
+// E5Quiescence measures the Section 7 claim that correct processes
+// eventually stop sending dining messages to crashed neighbors.
+func E5Quiescence(seed int64) *Table {
+	t := &Table{
+		ID:     "E5",
+		Title:  "Quiescence toward crashed processes (Section 7)",
+		Claim:  "eventually no dining messages flow to crashed processes (≤1 residual ping + 1 token per live neighbor)",
+		Header: []string{"topology", "crashes", "sends after crash", "last send to crashed", "crash window ends", "quiescent by mid-run"},
+	}
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		crashes []Crash
+	}{
+		{"ring8", graph.Ring(8), []Crash{{At: 1000, ID: 3}}},
+		{"clique6", graph.Clique(6), []Crash{{At: 1000, ID: 0}, {At: 1500, ID: 1}}},
+		{"grid3x3", graph.Grid(3, 3), []Crash{{At: 800, ID: 4}}},
+	}
+	for _, c := range cases {
+		res, ok := mustExecute(t, Spec{
+			Graph:     c.g,
+			Seed:      seed,
+			Algorithm: Algorithm1,
+			Detector:  DetectorPerfect,
+			// Perfect detection isolates the dining layer's quiescence
+			// from detector noise.
+			PerfectLatency: 20,
+			Workload:       runner.Saturated(),
+			Crashes:        c.crashes,
+			Horizon:        20000,
+		})
+		if !ok {
+			continue
+		}
+		lastCrash := sim.Time(0)
+		for _, cr := range c.crashes {
+			if cr.At > lastCrash {
+				lastCrash = cr.At
+			}
+		}
+		t.AddRow(c.name, len(c.crashes), res.SendsToCrashed, res.LastSendToCrashed,
+			lastCrash, yesno(res.QuiescentLastHalf))
+	}
+	return t
+}
+
+// E6Space verifies the Section 7 space bound log₂(δ)+6δ+c bits per
+// process by constructing diners over real colorings and counting their
+// protocol state.
+func E6Space() *Table {
+	t := &Table{
+		ID:     "E6",
+		Title:  "Bounded per-process space (Section 7)",
+		Claim:  "each process needs log₂(δ)+6δ+c bits; O(n) even on a clique",
+		Header: []string{"topology", "n", "δ", "colors used", "max bits measured", "bound 6δ+log₂(δ)+c", "ok"},
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ring32", graph.Ring(32)},
+		{"grid6x6", graph.Grid(6, 6)},
+		{"star33", graph.Star(33)},
+		{"clique16", graph.Clique(16)},
+	}
+	for _, c := range cases {
+		colors := c.g.GreedyColoring()
+		maxBits := 0
+		for i := 0; i < c.g.N(); i++ {
+			nbrColors := make(map[int]int)
+			for _, j := range c.g.Neighbors(i) {
+				nbrColors[j] = colors[j]
+			}
+			d, err := core.NewDiner(core.Config{ID: i, Color: colors[i], NeighborColors: nbrColors})
+			if err != nil {
+				t.AddRow("ERROR", err.Error())
+				continue
+			}
+			if b := d.SpaceBits(); b > maxBits {
+				maxBits = b
+			}
+		}
+		delta := c.g.MaxDegree()
+		bound := 6*delta + bitsFor(delta) + 8 // generous constant c
+		t.AddRow(c.name, c.g.N(), delta, graph.NumColors(colors), maxBits, bound, yesno(maxBits <= bound))
+	}
+	return t
+}
+
+func bitsFor(v int) int {
+	b := 0
+	for v > 0 {
+		b++
+		v >>= 1
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}
+
+// E7Stabilization measures the paper's motivating application: a
+// wait-free daemon lets a self-stabilizing protocol converge despite
+// crashes and transient faults; a non-wait-free daemon does not.
+func E7Stabilization(seed int64) *Table {
+	t := &Table{
+		ID:     "E7",
+		Title:  "Stabilizing protocols under wait-free vs blocking daemons (Section 1)",
+		Claim:  "wait-free scheduling ⇒ convergence despite crashes; a crash under the detector-free daemon prevents convergence",
+		Header: []string{"protocol", "daemon", "crashes", "converged", "last illegitimate", "protocol steps", "overlaps"},
+	}
+	type arm struct {
+		daemon  string
+		alg     Algorithm
+		det     DetectorKind
+		crashes []Crash
+	}
+	runArm := func(protoName string, mkProto func(g *graph.Graph) stabilize.Protocol, g *graph.Graph, a arm, inject func(p stabilize.Protocol, ad *stabilize.DaemonAdapter, r *runner.Runner)) {
+		proto := mkProto(g)
+		var ad *stabilize.DaemonAdapter
+		cfg := runner.Config{
+			Graph:      g,
+			Seed:       seed,
+			Delays:     sim.UniformDelay{Min: 1, Max: 3},
+			NewProcess: processFactory(a.alg, 0),
+			Workload:   runner.Saturated(),
+			OnTransition: func(at sim.Time, id int, from, to core.State) {
+				ad.OnTransition(at, id, from, to)
+			},
+			OnCrash: func(at sim.Time, id int) { ad.OnCrash(at, id) },
+		}
+		if a.det == DetectorPerfect {
+			cfg.NewDetector = func(k *sim.Kernel, gg *graph.Graph) detector.Detector {
+				return detector.NewPerfect(k, gg, 15)
+			}
+		}
+		r, err := runner.New(cfg)
+		if err != nil {
+			t.AddRow("ERROR", err.Error())
+			return
+		}
+		ad = stabilize.NewDaemonAdapter(proto, g.Neighbors, r.Kernel().Now, r.Kernel().Rand())
+		for _, c := range a.crashes {
+			r.CrashAt(c.At, c.ID)
+		}
+		if inject != nil {
+			inject(proto, ad, r)
+		}
+		r.Run(40000)
+		_, converged := ad.Converged()
+		t.AddRow(protoName, a.daemon, len(a.crashes), yesno(converged),
+			ad.LastIllegitimate(), ad.Steps(), ad.Overlaps())
+	}
+
+	// Dijkstra ring: crash-free transient-fault recovery.
+	ringG := graph.Ring(9)
+	runArm("dijkstra-ring", func(g *graph.Graph) stabilize.Protocol {
+		return stabilize.NewDijkstraRing(g.N(), 0)
+	}, ringG, arm{daemon: "algorithm-1", alg: Algorithm1, det: DetectorPerfect},
+		func(p stabilize.Protocol, ad *stabilize.DaemonAdapter, r *runner.Runner) {
+			r.Kernel().At(2000, func() { ad.InjectFaults(9) })
+		})
+
+	// Coloring with crashes: the wait-free daemon repairs a conflict
+	// injected beside the crashed vertex; the blocking daemon cannot.
+	colorArms := []arm{
+		{daemon: "algorithm-1", alg: Algorithm1, det: DetectorPerfect, crashes: []Crash{{At: 40, ID: 2}}},
+		{daemon: "choy-singh", alg: ChoySingh, det: DetectorNone, crashes: []Crash{{At: 40, ID: 2}}},
+	}
+	for _, a := range colorArms {
+		a := a
+		g := graph.Ring(10)
+		runArm("coloring", func(gg *graph.Graph) stabilize.Protocol {
+			return stabilize.NewColoring(gg)
+		}, g, a, func(p stabilize.Protocol, ad *stabilize.DaemonAdapter, r *runner.Runner) {
+			col := p.(*stabilize.Coloring)
+			r.Kernel().At(5000, func() {
+				col.SetColor(3, col.Color(2))
+				ad.Recheck()
+			})
+		})
+	}
+
+	// MIS under the daemon (the synchronous schedule livelocks; the
+	// daemon converges).
+	runArm("mis", func(g *graph.Graph) stabilize.Protocol {
+		return stabilize.NewMIS(g)
+	}, graph.Ring(8), arm{daemon: "algorithm-1", alg: Algorithm1, det: DetectorPerfect}, nil)
+
+	return t
+}
+
+// E8Scalability profiles hungry-session latency and message overhead as
+// the system grows — the paper argues ◇P₁'s locality keeps the daemon
+// scalable on sparse networks.
+func E8Scalability(seed int64) *Table {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Scalability profile (locality of ◇P₁, Section 8)",
+		Claim:  "per-session cost tracks the conflict degree δ, not n, on sparse topologies",
+		Header: []string{"topology", "n", "δ", "sessions done", "mean latency", "p99 latency", "msgs/session"},
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ring8", graph.Ring(8)},
+		{"ring16", graph.Ring(16)},
+		{"ring32", graph.Ring(32)},
+		{"ring64", graph.Ring(64)},
+		{"grid4x4", graph.Grid(4, 4)},
+		{"grid6x6", graph.Grid(6, 6)},
+		{"clique4", graph.Clique(4)},
+		{"clique8", graph.Clique(8)},
+		{"clique12", graph.Clique(12)},
+	}
+	for _, c := range cases {
+		res, ok := mustExecute(t, Spec{
+			Graph:     c.g,
+			Seed:      seed,
+			Delays:    sim.UniformDelay{Min: 1, Max: 3},
+			Algorithm: Algorithm1,
+			Workload:  runner.Saturated(),
+			Horizon:   20000,
+		})
+		if !ok {
+			continue
+		}
+		msgsPer := "n/a"
+		if res.Sessions.Completed > 0 {
+			msgsPer = fmt.Sprintf("%.1f", float64(res.TotalMessages)/float64(res.Sessions.Completed))
+		}
+		t.AddRow(c.name, c.g.N(), c.g.MaxDegree(), res.Sessions.Completed,
+			fmt.Sprintf("%.2f", float64(res.Sessions.MeanX100)/100), res.Sessions.P99, msgsPer)
+	}
+	return t
+}
+
+// A1RepliedAblation isolates design choice D1: the one-ack-per-session
+// rule is exactly what turns eventual fairness into eventual 2-bounded
+// waiting.
+func A1RepliedAblation(seed int64) *Table {
+	t := &Table{
+		ID:     "A1",
+		Title:  "Ablation: the replied flag (modified vs original doorway)",
+		Claim:  "granting one ack per neighbor per hungry session caps consecutive overtakes at 2; the original doorway does not",
+		Header: []string{"doorway", "max overtakes", "suffix overtakes", "hub sessions done", "hub p99 latency"},
+	}
+	for _, alg := range []Algorithm{Algorithm1, Algorithm1NoReplied} {
+		res, ok := mustExecute(t, Spec{
+			Graph:     graph.Star(5),
+			Seed:      seed,
+			Delays:    e3StarDelays(0, 1),
+			Algorithm: alg,
+			Workload:  runner.Saturated(),
+			Horizon:   30000,
+		})
+		if !ok {
+			continue
+		}
+		t.AddRow(alg, res.MaxOvertake, res.MaxOvertakeSuffix, res.PerProcess[0], res.Sessions.P99)
+	}
+	return t
+}
+
+// A3KBoundSweep validates the generalized doorway: granting at most m
+// acks per neighbor per hungry session yields eventual (m+1)-bounded
+// waiting. The paper's Algorithm 1 is the m = 1, k = 2 instance of the
+// title's "eventually k-bounded" family.
+func A3KBoundSweep(seed int64) *Table {
+	t := &Table{
+		ID:     "A3",
+		Title:  "Extension: generalized ack budget m ⇒ eventual (m+1)-bounded waiting",
+		Claim:  "the modified doorway with budget m bounds consecutive overtakes by k = m+1 (paper: m=1, k=2)",
+		Header: []string{"ack budget m", "bound k=m+1", "max overtakes", "hub sessions", "hub p99 latency", "ok"},
+	}
+	for _, m := range []int{1, 2, 3, 5} {
+		res, ok := mustExecute(t, Spec{
+			Graph:          graph.Star(5),
+			Seed:           seed,
+			Delays:         e3StarDelays(0, 1),
+			Algorithm:      Algorithm1,
+			AcksPerSession: m,
+			Workload:       runner.Saturated(),
+			Horizon:        30000,
+		})
+		if !ok {
+			continue
+		}
+		t.AddRow(m, m+1, res.MaxOvertake, res.PerProcess[0], res.Sessions.P99,
+			yesno(res.MaxOvertake <= m+1))
+	}
+	return t
+}
+
+// A2DetectorSweep explores D3/D4: how detector quality (heartbeat
+// period and pre-GST delay noise) shapes mistake counts and how quickly
+// the dining guarantees engage.
+func A2DetectorSweep(seed int64) *Table {
+	t := &Table{
+		ID:     "A2",
+		Title:  "Ablation: detector quality sweep (heartbeat period × pre-GST noise)",
+		Claim:  "worse detectors make more (but always finitely many) mistakes; the dining guarantees engage after the last mistake regardless",
+		Header: []string{"period", "pre-GST noise", "false positives", "FD last mistake", "violations", "last violation", "viol after conv"},
+	}
+	g := graph.Ring(8)
+	for _, period := range []sim.Time{3, 5, 10} {
+		for _, noise := range []sim.Time{0, 40, 120} {
+			hp := DefaultHeartbeatParams()
+			hp.Period = period
+			hp.InitialTimeout = period * 2
+			hp.PreNoise = noise
+			res, ok := mustExecute(t, Spec{
+				Graph:     g,
+				Seed:      seed,
+				Algorithm: Algorithm1,
+				Detector:  DetectorHeartbeat,
+				Heartbeat: hp,
+				Workload:  runner.Saturated(),
+				Horizon:   40000,
+			})
+			if !ok {
+				continue
+			}
+			conv := res.FDLastMistakeEnd + 100
+			t.AddRow(period, noise, res.FDFalsePositives, res.FDLastMistake,
+				res.Violations, res.LastViolation, res.ViolationsAfter(conv))
+		}
+	}
+	return t
+}
+
+// All runs the complete experiment suite with one seed.
+func All(seed int64) []*Table {
+	return []*Table{
+		E1Safety(seed),
+		E2WaitFreedom(seed),
+		E3BoundedWaiting(seed),
+		E4ChannelBound(seed),
+		E5Quiescence(seed),
+		E6Space(),
+		E7Stabilization(seed),
+		E8Scalability(seed),
+		A1RepliedAblation(seed),
+		A2DetectorSweep(seed),
+		A3KBoundSweep(seed),
+	}
+}

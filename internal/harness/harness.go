@@ -1,0 +1,302 @@
+// Package harness assembles, executes, and reports the reproduction
+// experiments E1–E8 and the ablations A1–A2 catalogued in DESIGN.md.
+// Each experiment function returns text tables whose rows are recorded
+// in EXPERIMENTS.md; cmd/experiments regenerates them all and
+// bench_test.go wraps each one in a benchmark.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// Algorithm selects which dining algorithm a run uses.
+type Algorithm int
+
+// Algorithms under test.
+const (
+	// Algorithm1 is the paper's contribution.
+	Algorithm1 Algorithm = iota + 1
+	// Algorithm1NoReplied is ablation D1: the modified doorway reverts
+	// to granting unlimited acks per hungry session.
+	Algorithm1NoReplied
+	// ChoySingh is the original asynchronous doorway with no detector.
+	ChoySingh
+	// Forks is the doorway-free static-priority baseline.
+	Forks
+	// Hygienic is Chandy–Misra hygienic dining (1984): dynamic
+	// priorities via dirty/clean forks; starvation-free crash-free, but
+	// not wait-free (no detector) and with no constant waiting bound.
+	Hygienic
+	// HygienicFD is hygienic dining with ◇P₁ substituted into the eat
+	// guard, for crash-tolerance comparisons.
+	HygienicFD
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Algorithm1:
+		return "algorithm-1"
+	case Algorithm1NoReplied:
+		return "algorithm-1-no-replied"
+	case ChoySingh:
+		return "choy-singh"
+	case Forks:
+		return "static-forks"
+	case Hygienic:
+		return "chandy-misra"
+	case HygienicFD:
+		return "chandy-misra+fd"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// DetectorKind selects the oracle for a run.
+type DetectorKind int
+
+// Detector kinds.
+const (
+	// DetectorNone runs without an oracle (an empty suspect set).
+	DetectorNone DetectorKind = iota + 1
+	// DetectorPerfect suspects exactly the crashed, after a latency.
+	DetectorPerfect
+	// DetectorHeartbeat is the real ◇P₁ implementation under partial
+	// synchrony.
+	DetectorHeartbeat
+)
+
+// HeartbeatParams tune the ◇P₁ implementation and its network.
+type HeartbeatParams struct {
+	Period         sim.Time
+	InitialTimeout sim.Time
+	Increment      sim.Time
+	GST            sim.Time
+	PreNoise       sim.Time // pre-GST delays are uniform in [0, PreNoise]
+	PostDelay      sim.Time
+}
+
+// DefaultHeartbeatParams returns the parameters used across the
+// experiment suite unless a sweep overrides them.
+func DefaultHeartbeatParams() HeartbeatParams {
+	return HeartbeatParams{
+		Period:         5,
+		InitialTimeout: 12,
+		Increment:      10,
+		GST:            2000,
+		PreNoise:       60,
+		PostDelay:      1,
+	}
+}
+
+// Crash schedules one crash fault.
+type Crash struct {
+	At sim.Time
+	ID int
+}
+
+// Spec is one complete experiment run.
+type Spec struct {
+	Graph          *graph.Graph
+	Colors         []int
+	Seed           int64
+	Delays         sim.DelayModel
+	Algorithm      Algorithm
+	AcksPerSession int // Algorithm1 only: per-session ack budget m (0 = the paper's 1)
+	Detector       DetectorKind
+	PerfectLatency sim.Time
+	Heartbeat      HeartbeatParams
+	Workload       runner.Workload
+	Crashes        []Crash
+	Horizon        sim.Time
+}
+
+// Result aggregates everything the experiments report about one run.
+type Result struct {
+	Spec Spec
+
+	Violations        int
+	LastViolation     sim.Time
+	ViolationTimes    []sim.Time
+	MaxOvertake       int
+	MaxOvertakeSuffix int // windows starting in the final third of the run
+	SuffixStart       sim.Time
+
+	Sessions    metrics.SessionStats
+	PerProcess  []int
+	Starving    []int
+	OccupancyHW int
+
+	SendsToCrashed    int
+	LastSendToCrashed sim.Time
+	QuiescentLastHalf bool
+
+	TotalMessages    uint64
+	FDFalsePositives int
+	FDLastMistake    sim.Time
+	FDLastMistakeEnd sim.Time
+	FDMessages       uint64
+
+	InvariantErr error
+}
+
+// ViolationsAfter counts exclusion violations at or after t.
+func (r *Result) ViolationsAfter(t sim.Time) int {
+	n := 0
+	for _, at := range r.ViolationTimes {
+		if at >= t {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveCompleted sums completed hungry sessions over processes that
+// never crashed.
+func (r *Result) LiveCompleted() int {
+	crashed := make(map[int]bool, len(r.Spec.Crashes))
+	for _, c := range r.Spec.Crashes {
+		crashed[c.ID] = true
+	}
+	total := 0
+	for i, c := range r.PerProcess {
+		if !crashed[i] {
+			total += c
+		}
+	}
+	return total
+}
+
+// processFactory maps the Algorithm enum (plus the ack budget) to a
+// runner factory.
+func processFactory(a Algorithm, acksPerSession int) runner.ProcessFactory {
+	switch a {
+	case Algorithm1NoReplied:
+		return runner.CoreFactory(core.Options{DisableRepliedFlag: true})
+	case ChoySingh:
+		return func(id, color int, nbrColors map[int]int, _ func(int) bool) (core.Process, error) {
+			return baseline.NewChoySingh(id, color, nbrColors)
+		}
+	case Forks:
+		return func(id, color int, nbrColors map[int]int, suspects func(int) bool) (core.Process, error) {
+			return baseline.NewForks(id, color, nbrColors, suspects)
+		}
+	case Hygienic, HygienicFD:
+		withFD := a == HygienicFD
+		return func(id, _ int, nbrColors map[int]int, suspects func(int) bool) (core.Process, error) {
+			nbrs := make([]int, 0, len(nbrColors))
+			for j := range nbrColors {
+				nbrs = append(nbrs, j)
+			}
+			if !withFD {
+				suspects = nil
+			}
+			return baseline.NewHygienic(id, nbrs, suspects)
+		}
+	default:
+		return runner.CoreFactory(core.Options{AcksPerSession: acksPerSession})
+	}
+}
+
+func detectorFactory(spec Spec) runner.DetectorFactory {
+	switch spec.Detector {
+	case DetectorPerfect:
+		lat := spec.PerfectLatency
+		return func(k *sim.Kernel, g *graph.Graph) detector.Detector {
+			return detector.NewPerfect(k, g, lat)
+		}
+	case DetectorHeartbeat:
+		hp := spec.Heartbeat
+		if hp.Period == 0 {
+			hp = DefaultHeartbeatParams()
+		}
+		return func(k *sim.Kernel, g *graph.Graph) detector.Detector {
+			delays := sim.GSTDelay{
+				GST:  hp.GST,
+				Pre:  sim.UniformDelay{Min: 0, Max: hp.PreNoise},
+				Post: sim.FixedDelay{D: hp.PostDelay},
+			}
+			hb := detector.NewHeartbeat(k, g, delays, detector.HeartbeatConfig{
+				Period:         hp.Period,
+				InitialTimeout: hp.InitialTimeout,
+				Increment:      hp.Increment,
+			})
+			hb.Start()
+			return hb
+		}
+	default:
+		return nil
+	}
+}
+
+// Execute runs one spec to completion and gathers its result.
+func Execute(spec Spec) (Result, error) {
+	if spec.Horizon <= 0 {
+		spec.Horizon = 20000
+	}
+	if spec.Delays == nil {
+		spec.Delays = sim.UniformDelay{Min: 1, Max: 4}
+	}
+	suite := metrics.NewSuite(spec.Graph)
+	r, err := runner.New(runner.Config{
+		Graph:        spec.Graph,
+		Colors:       spec.Colors,
+		Seed:         spec.Seed,
+		Delays:       spec.Delays,
+		NewDetector:  detectorFactory(spec),
+		NewProcess:   processFactory(spec.Algorithm, spec.AcksPerSession),
+		Workload:     spec.Workload,
+		OnTransition: suite.OnTransition,
+		OnCrash:      suite.OnCrash,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	r.Network().SetObserver(suite.Observer())
+	for _, c := range spec.Crashes {
+		r.CrashAt(c.At, c.ID)
+	}
+	r.Run(spec.Horizon)
+	suite.Finish(spec.Horizon)
+
+	res := Result{
+		Spec:          spec,
+		Violations:    suite.Exclusion.Count(),
+		MaxOvertake:   suite.Overtake.MaxCount(),
+		SuffixStart:   spec.Horizon * 2 / 3,
+		Sessions:      suite.Progress.Stats(),
+		PerProcess:    suite.Progress.CompletedSessions(),
+		Starving:      suite.Progress.Starving(spec.Horizon, spec.Horizon/5),
+		OccupancyHW:   suite.Occupancy.MaxHighWater(),
+		TotalMessages: r.Network().TotalSent(),
+		InvariantErr:  r.CheckInvariants(),
+	}
+	res.MaxOvertakeSuffix = suite.Overtake.MaxCountFrom(res.SuffixStart)
+	for _, v := range suite.Exclusion.Violations() {
+		res.ViolationTimes = append(res.ViolationTimes, v.At)
+	}
+	if last, ok := suite.Exclusion.LastViolation(); ok {
+		res.LastViolation = last
+	}
+	res.SendsToCrashed = suite.Quiescence.TotalSendsAfterCrash()
+	if last, ok := suite.Quiescence.LastSendToCrashed(); ok {
+		res.LastSendToCrashed = last
+	}
+	res.QuiescentLastHalf = suite.Quiescence.QuiescentBy(spec.Horizon / 2)
+	if hb, ok := r.Detector().(*detector.Heartbeat); ok {
+		res.FDFalsePositives = hb.FalsePositives()
+		began, cleared := hb.LastMistake()
+		res.FDLastMistake = began
+		res.FDLastMistakeEnd = cleared
+		res.FDMessages = hb.MessagesSent()
+	}
+	return res, nil
+}

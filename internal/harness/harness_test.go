@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+func TestExecuteDefaultsAndResultShape(t *testing.T) {
+	res, err := Execute(Spec{
+		Graph:     graph.Ring(8),
+		Seed:      1,
+		Algorithm: Algorithm1,
+		Workload:  runner.Saturated(),
+		Horizon:   8000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InvariantErr != nil {
+		t.Fatal(res.InvariantErr)
+	}
+	if res.Sessions.Completed == 0 || res.TotalMessages == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.OccupancyHW > 4 {
+		t.Fatalf("occupancy %d", res.OccupancyHW)
+	}
+	if res.MaxOvertake > 2 {
+		t.Fatalf("overtakes %d", res.MaxOvertake)
+	}
+	if len(res.Starving) != 0 {
+		t.Fatalf("starving %v", res.Starving)
+	}
+}
+
+func TestExecuteCrashAccounting(t *testing.T) {
+	res, err := Execute(Spec{
+		Graph:          graph.Ring(8),
+		Seed:           2,
+		Algorithm:      Algorithm1,
+		Detector:       DetectorPerfect,
+		PerfectLatency: 10,
+		Workload:       runner.Saturated(),
+		Crashes:        []Crash{{At: 500, ID: 0}},
+		Horizon:        10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InvariantErr != nil {
+		t.Fatal(res.InvariantErr)
+	}
+	if !res.QuiescentLastHalf {
+		t.Fatal("should be quiescent toward the crashed process by mid-run")
+	}
+	if res.LiveCompleted() == 0 {
+		t.Fatal("live processes made no progress")
+	}
+	// LiveCompleted excludes the crashed process's sessions.
+	total := 0
+	for _, c := range res.PerProcess {
+		total += c
+	}
+	if res.LiveCompleted() > total {
+		t.Fatal("LiveCompleted exceeded total")
+	}
+}
+
+func TestViolationsAfter(t *testing.T) {
+	r := Result{ViolationTimes: []sim.Time{5, 10, 20}}
+	if r.ViolationsAfter(0) != 3 || r.ViolationsAfter(10) != 2 || r.ViolationsAfter(21) != 0 {
+		t.Fatal("ViolationsAfter arithmetic wrong")
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	for _, a := range []Algorithm{Algorithm1, Algorithm1NoReplied, ChoySingh, Forks} {
+		if a.String() == "" || strings.HasPrefix(a.String(), "algorithm(") {
+			t.Fatalf("missing name for %d", int(a))
+		}
+	}
+	if Algorithm(99).String() != "algorithm(99)" {
+		t.Fatal("unknown algorithm must stringify")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:     "T0",
+		Title:  "demo",
+		Claim:  "claims render",
+		Header: []string{"a", "bb"},
+	}
+	tb.AddRow(1, "xyz")
+	tb.AddRow("longer-cell", 2)
+	var text, md strings.Builder
+	tb.Render(&text)
+	tb.Markdown(&md)
+	for _, want := range []string{"T0", "demo", "claims render", "longer-cell", "xyz"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text output missing %q:\n%s", want, text.String())
+		}
+		if !strings.Contains(md.String(), want) {
+			t.Fatalf("markdown output missing %q:\n%s", want, md.String())
+		}
+	}
+	if !strings.Contains(md.String(), "| a | bb |") {
+		t.Fatalf("markdown header malformed:\n%s", md.String())
+	}
+}
+
+func TestE6SpaceTable(t *testing.T) {
+	tb := E6Space()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("E6 rows = %d, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("space bound violated: %v", row)
+		}
+	}
+}
+
+func TestE3PathScenarioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	tb := E3BoundedWaiting(1)
+	if len(tb.Rows) != 12 {
+		t.Fatalf("E3 rows = %d, want 12 (4 algorithms × 3 scenarios)", len(tb.Rows))
+	}
+	byKey := map[string][]string{}
+	for _, row := range tb.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+	}
+	// Algorithm 1 must hold the bound in every scenario.
+	for key, row := range byKey {
+		if strings.HasPrefix(key, "algorithm-1/") && row[4] != "yes" {
+			t.Fatalf("Algorithm 1 broke the bound: %v", row)
+		}
+	}
+	// The doorway-free baseline must break it somewhere.
+	broke := false
+	for key, row := range byKey {
+		if strings.HasPrefix(key, "static-forks/") && row[4] == "no" {
+			broke = true
+		}
+	}
+	if !broke {
+		t.Fatal("static-forks never exceeded the bound; the ablation shows nothing")
+	}
+}
+
+func TestE10MessageMixShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	tb := E10MessageMix(1)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("E10 rows = %d, want 3", len(tb.Rows))
+	}
+	// On a saturated ring every session runs one full ping-ack round
+	// per neighbor: exactly δ = 2 pings and acks per session.
+	ring := tb.Rows[0]
+	if ring[2] != "2.00" || ring[3] != "2.00" {
+		t.Fatalf("ring ping/ack per session = %s/%s, want 2.00/2.00", ring[2], ring[3])
+	}
+}
+
+func TestHygienicAlgorithmsExecute(t *testing.T) {
+	for _, alg := range []Algorithm{Hygienic, HygienicFD} {
+		if alg.String() == "" {
+			t.Fatal("missing name")
+		}
+		spec := Spec{
+			Graph:     graph.Ring(6),
+			Seed:      2,
+			Algorithm: alg,
+			Workload:  runner.Saturated(),
+			Horizon:   6000,
+		}
+		if alg == HygienicFD {
+			spec.Detector = DetectorPerfect
+			spec.PerfectLatency = 10
+			spec.Crashes = []Crash{{At: 500, ID: 0}}
+		}
+		res, err := Execute(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.InvariantErr != nil {
+			t.Fatal(res.InvariantErr)
+		}
+		if res.Sessions.Completed == 0 {
+			t.Fatalf("%v made no progress", alg)
+		}
+		if alg == HygienicFD && len(res.Starving) != 0 {
+			t.Fatalf("hygienic+fd starving: %v", res.Starving)
+		}
+	}
+}
+
+func TestDefaultHeartbeatParams(t *testing.T) {
+	hp := DefaultHeartbeatParams()
+	if hp.Period <= 0 || hp.InitialTimeout <= 0 || hp.GST <= 0 {
+		t.Fatalf("bad defaults: %+v", hp)
+	}
+}

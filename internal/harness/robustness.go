@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// A4SeedRobustness re-checks the headline bounds across many seeds —
+// the guard against a cherry-picked schedule. Each row aggregates the
+// worst case over the sweep; a single seed violating a bound fails the
+// row.
+func A4SeedRobustness(seeds int) *Table {
+	if seeds <= 0 {
+		seeds = 10
+	}
+	t := &Table{
+		ID:     "A4",
+		Title:  fmt.Sprintf("Seed robustness: worst case over %d seeds", seeds),
+		Claim:  "the measured bounds are schedule-independent, not artifacts of one seed",
+		Header: []string{"check", "seeds", "worst value", "bound", "ok"},
+	}
+
+	type agg struct {
+		name  string
+		bound int
+		worst int
+		bad   bool
+	}
+	rows := []agg{
+		{name: "E1: violations after FD convergence", bound: 0},
+		{name: "E2: starving live processes (8 crashes, heartbeat FD)", bound: 0},
+		{name: "E3: max overtakes (adversarial path)", bound: 2},
+		{name: "E4: per-edge channel occupancy (clique, wild delays)", bound: 4},
+	}
+
+	for s := int64(1); s <= int64(seeds); s++ {
+		// E1-shape: hostile heartbeat on a ring.
+		hp := DefaultHeartbeatParams()
+		hp.PreNoise = 80
+		if res, err := Execute(Spec{
+			Graph: graph.Ring(10), Seed: s, Algorithm: Algorithm1,
+			Detector: DetectorHeartbeat, Heartbeat: hp,
+			Workload: runner.Saturated(), Horizon: 20000,
+		}); err != nil || res.InvariantErr != nil {
+			rows[0].bad = true
+		} else if v := res.ViolationsAfter(res.FDLastMistakeEnd + 100); v > rows[0].worst {
+			rows[0].worst = v
+		}
+
+		// E2-shape: crash storm.
+		spec := Spec{
+			Graph: graph.Ring(12), Seed: s, Algorithm: Algorithm1,
+			Detector: DetectorHeartbeat, Heartbeat: DefaultHeartbeatParams(),
+			Workload: runner.Saturated(), Horizon: 25000,
+		}
+		for c := 0; c < 8; c++ {
+			spec.Crashes = append(spec.Crashes, Crash{At: sim.Time(3000 + 200*c), ID: c})
+		}
+		if res, err := Execute(spec); err != nil || res.InvariantErr != nil {
+			rows[1].bad = true
+		} else if v := len(res.Starving); v > rows[1].worst {
+			rows[1].worst = v
+		}
+
+		// E3-shape: adversarial path.
+		if res, err := Execute(Spec{
+			Graph: graph.Path(3), Colors: []int{1, 0, 2}, Seed: s,
+			Delays: sim.FixedDelay{D: 2}, Algorithm: Algorithm1,
+			Workload: runner.Saturated(), Horizon: 15000,
+		}); err != nil || res.InvariantErr != nil {
+			rows[2].bad = true
+		} else if res.MaxOvertake > rows[2].worst {
+			rows[2].worst = res.MaxOvertake
+		}
+
+		// E4-shape: occupancy under heavy reordering.
+		if res, err := Execute(Spec{
+			Graph: graph.Clique(5), Seed: s,
+			Delays: sim.UniformDelay{Min: 1, Max: 50}, Algorithm: Algorithm1,
+			Workload: runner.Saturated(), Horizon: 15000,
+		}); err != nil || res.InvariantErr != nil {
+			rows[3].bad = true
+		} else if res.OccupancyHW > rows[3].worst {
+			rows[3].worst = res.OccupancyHW
+		}
+	}
+
+	for _, r := range rows {
+		ok := !r.bad && r.worst <= r.bound
+		t.AddRow(r.name, seeds, r.worst, r.bound, yesno(ok))
+	}
+	return t
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mc"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// E9ModelCheck runs the explicit-state model checker over small
+// instances: exhaustive coverage of every interleaving, where the
+// simulator samples only one schedule per seed. The crash rows verify
+// wait-freedom against every ≤1-crash adversary; the Choy–Singh row
+// must FAIL (a wedged state exists), confirming the checker has teeth.
+func E9ModelCheck() *Table {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Exhaustive verification by explicit-state model checking",
+		Claim:  "safety invariants hold and progress stays possible in every reachable state; Choy–Singh wedges under a crash",
+		Header: []string{"instance", "crashes", "states", "transitions", "closed", "verdict"},
+	}
+	type caseSpec struct {
+		name    string
+		g       *graph.Graph
+		opts    mc.Options
+		wantBad bool
+	}
+	cases := []caseSpec{
+		{"algorithm-1 path2", graph.Path(2), mc.Options{}, false},
+		{"algorithm-1 path3", graph.Path(3), mc.Options{MaxStates: 3_000_000}, false},
+		{"algorithm-1 path2", graph.Path(2), mc.Options{MaxCrashes: 1}, false},
+		{"algorithm-1 path3", graph.Path(3), mc.Options{MaxCrashes: 1, MaxStates: 4_000_000}, false},
+		{"no-replied path2", graph.Path(2), mc.Options{Core: core.Options{DisableRepliedFlag: true}}, false},
+		{"choy-singh path2", graph.Path(2), mc.Options{
+			Core:       core.Options{IgnoreDetector: true, DisableRepliedFlag: true},
+			MaxCrashes: 1,
+		}, true},
+		{"chandy-misra path3", graph.Path(3), mc.Options{Hygienic: true}, false},
+		{"chandy-misra+fd path2", graph.Path(2), mc.Options{Hygienic: true, MaxCrashes: 1}, false},
+		{"chandy-misra path2", graph.Path(2), mc.Options{
+			Hygienic: true, NoDetector: true, MaxCrashes: 1,
+		}, true},
+	}
+	for _, c := range cases {
+		checker, err := mc.New(c.g, c.opts)
+		if err != nil {
+			t.AddRow("ERROR", err.Error())
+			continue
+		}
+		rep, err := checker.Run()
+		if err != nil && !errors.Is(err, mc.ErrBudget) {
+			t.AddRow("ERROR", err.Error())
+			continue
+		}
+		verdict := "verified"
+		if rep.Violation != nil {
+			verdict = rep.Violation.Kind
+			if c.wantBad {
+				verdict = "wedge found (expected): " + rep.Violation.Kind
+			}
+		} else if c.wantBad {
+			verdict = "UNEXPECTEDLY CLEAN"
+		}
+		t.AddRow(c.name, c.opts.MaxCrashes, rep.States, rep.Transitions,
+			yesno(rep.Closed), verdict)
+	}
+	return t
+}
+
+// E10MessageMix breaks dining traffic down by kind, checking the
+// Section 7 inventory: a saturated session costs about one ping+ack and
+// one request+fork exchange per neighbor, so the four kinds arrive in
+// near-equal proportions and the per-session total tracks 4δ.
+func E10MessageMix(seed int64) *Table {
+	t := &Table{
+		ID:     "E10",
+		Title:  "Message mix per hungry session (Section 7 inventory)",
+		Claim:  "a session costs ≈1 ping+ack and ≈1 request+fork per neighbor: four near-equal kind shares, ≈4δ messages/session",
+		Header: []string{"topology", "δ", "ping/session", "ack/session", "request/session", "fork/session", "total/session"},
+	}
+	for _, c := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ring12", graph.Ring(12)},
+		{"grid4x4", graph.Grid(4, 4)},
+		{"clique6", graph.Clique(6)},
+	} {
+		suite, r, err := executeRaw(Spec{
+			Graph:     c.g,
+			Seed:      seed,
+			Delays:    sim.UniformDelay{Min: 1, Max: 3},
+			Algorithm: Algorithm1,
+			Workload:  runner.Saturated(),
+			Horizon:   20000,
+		})
+		if err != nil {
+			t.AddRow("ERROR", err.Error())
+			continue
+		}
+		if err := r.CheckInvariants(); err != nil {
+			t.AddRow("INVARIANT-VIOLATION", err.Error())
+			continue
+		}
+		sessions := suite.Progress.Stats().Completed
+		per := func(k core.MsgKind) string {
+			return fmt.Sprintf("%.2f", float64(suite.Mix.PerSessionX100(k, sessions))/100)
+		}
+		total := fmt.Sprintf("%.2f", float64(suite.Mix.Total())/float64(max(sessions, 1)))
+		t.AddRow(c.name, c.g.MaxDegree(), per(core.Ping), per(core.Ack),
+			per(core.Request), per(core.Fork), total)
+	}
+	return t
+}
+
+// executeRaw is Execute but returning the live suite and runner for
+// experiments needing monitor internals.
+func executeRaw(spec Spec) (*metrics.Suite, *runner.Runner, error) {
+	if spec.Horizon <= 0 {
+		spec.Horizon = 20000
+	}
+	if spec.Delays == nil {
+		spec.Delays = sim.UniformDelay{Min: 1, Max: 4}
+	}
+	suite := metrics.NewSuite(spec.Graph)
+	r, err := runner.New(runner.Config{
+		Graph:        spec.Graph,
+		Colors:       spec.Colors,
+		Seed:         spec.Seed,
+		Delays:       spec.Delays,
+		NewDetector:  detectorFactory(spec),
+		NewProcess:   processFactory(spec.Algorithm, spec.AcksPerSession),
+		Workload:     spec.Workload,
+		OnTransition: suite.OnTransition,
+		OnCrash:      suite.OnCrash,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	r.Network().SetObserver(suite.Observer())
+	for _, c := range spec.Crashes {
+		r.CrashAt(c.At, c.ID)
+	}
+	r.Run(spec.Horizon)
+	suite.Finish(spec.Horizon)
+	return suite, r, nil
+}

@@ -1,0 +1,414 @@
+// Package live runs the dining algorithm on real goroutines: one
+// goroutine per process, buffered Go channels as the reliable FIFO
+// links, and a wall-clock heartbeat implementation of ◇P₁. It exercises
+// exactly the same core.Diner state machine as the deterministic
+// simulator, which validates that the algorithm's correctness does not
+// depend on simulator scheduling artifacts.
+//
+// The per-edge channels are deliberately small: the paper's Section 7
+// proves at most four dining messages occupy an edge at once, so a
+// capacity-8 buffered channel never fills and sends never block. The
+// runtime records any would-block event as a bound violation, making
+// the bounded-capacity claim an executable assertion.
+//
+// Every process goroutine exclusively owns its diner, its failure-
+// detector state, and its timers; cross-goroutine interaction happens
+// only through channels and the mutex-protected tracker, keeping the
+// package race-free (the tests run under -race).
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// edgeCap is the per-direction channel capacity. The paper bounds joint
+// per-edge occupancy by 4; 8 per direction leaves margin so that a
+// full channel can only mean an algorithm bug.
+const edgeCap = 8
+
+// Config assembles a live System.
+type Config struct {
+	// Graph is the conflict graph (required).
+	Graph *graph.Graph
+	// Colors are static priorities; nil selects greedy coloring.
+	Colors []int
+	// Options tweak the dining algorithm (see core.Options).
+	Options core.Options
+
+	// HeartbeatPeriod is the ◇P₁ heartbeat interval (default 2ms).
+	HeartbeatPeriod time.Duration
+	// InitialTimeout is the starting suspicion timeout (default 25ms).
+	InitialTimeout time.Duration
+	// TimeoutIncrement is added after each false suspicion (default
+	// 25ms).
+	TimeoutIncrement time.Duration
+	// DisableDetector turns heartbeating off entirely; the diner then
+	// sees an empty suspect set (Choy–Singh conditions).
+	DisableDetector bool
+
+	// EatTime and ThinkTime are the workload pauses (defaults 1ms
+	// each). Processes are re-hungry forever until Stop.
+	EatTime   time.Duration
+	ThinkTime time.Duration
+
+	// OnEat, when non-nil, is invoked on the process's own goroutine
+	// each time it begins eating — the live distributed-daemon hook:
+	// after detector convergence, OnEat(i) never runs concurrently with
+	// OnEat(j) for neighbors i and j. The callback must return promptly
+	// (it runs inside the critical section) and must synchronize any
+	// state it shares across processes that are not conflict-graph
+	// neighbors.
+	OnEat func(process int)
+}
+
+func (c *Config) withDefaults() error {
+	if c.Graph == nil {
+		return errors.New("live: Config.Graph is required")
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = 2 * time.Millisecond
+	}
+	if c.InitialTimeout <= 0 {
+		c.InitialTimeout = 25 * time.Millisecond
+	}
+	if c.TimeoutIncrement <= 0 {
+		c.TimeoutIncrement = 25 * time.Millisecond
+	}
+	if c.EatTime <= 0 {
+		c.EatTime = time.Millisecond
+	}
+	if c.ThinkTime <= 0 {
+		c.ThinkTime = time.Millisecond
+	}
+	return nil
+}
+
+type eventKind int
+
+const (
+	evMessage eventKind = iota + 1
+	evHeartbeat
+	evHungry
+	evExitEat
+)
+
+type event struct {
+	kind eventKind
+	msg  core.Message
+	from int
+}
+
+// System is a running set of dining processes on goroutines.
+type System struct {
+	cfg     Config
+	procs   []*proc
+	tracker *tracker
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	started  bool
+}
+
+// proc is one process: a goroutine owning a diner and its detector
+// state.
+type proc struct {
+	sys   *System
+	id    int
+	diner *core.Diner
+	inbox chan event
+	dead  chan struct{} // closed on crash
+	once  sync.Once
+
+	// out[j] is the FIFO link to neighbor j; owned by this process's
+	// goroutine on the send side.
+	out map[int]chan core.Message
+	// edgeHW is the per-neighbor send-side occupancy high-water mark;
+	// owned by this goroutine, published to the tracker at exit.
+	edgeHW map[int]int
+
+	// Failure-detector state, owned by the run goroutine.
+	lastHeard map[int]time.Time
+	timeout   map[int]time.Duration
+	suspected map[int]bool
+
+	nbrs []int
+}
+
+// NewSystem builds (but does not start) a live system.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	g := cfg.Graph
+	colors := cfg.Colors
+	if colors == nil {
+		colors = g.GreedyColoring()
+	}
+	if len(colors) != g.N() || !g.IsProperColoring(colors) {
+		return nil, errors.New("live: invalid coloring")
+	}
+	s := &System{
+		cfg:     cfg,
+		procs:   make([]*proc, g.N()),
+		tracker: newTracker(g),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < g.N(); i++ {
+		p := &proc{
+			sys:       s,
+			id:        i,
+			inbox:     make(chan event, 64),
+			dead:      make(chan struct{}),
+			out:       make(map[int]chan core.Message),
+			edgeHW:    make(map[int]int),
+			lastHeard: make(map[int]time.Time),
+			timeout:   make(map[int]time.Duration),
+			suspected: make(map[int]bool),
+			nbrs:      g.Neighbors(i),
+		}
+		s.procs[i] = p
+	}
+	// Create the per-edge links, then the diners.
+	for i, p := range s.procs {
+		for _, j := range p.nbrs {
+			p.out[j] = make(chan core.Message, edgeCap)
+			p.timeout[j] = cfg.InitialTimeout
+		}
+		nbrColors := make(map[int]int, len(p.nbrs))
+		for _, j := range p.nbrs {
+			nbrColors[j] = colors[j]
+		}
+		p := p
+		d, err := core.NewDiner(core.Config{
+			ID:             i,
+			Color:          colors[i],
+			NeighborColors: nbrColors,
+			Suspects:       func(j int) bool { return p.suspected[j] },
+			Options:        cfg.Options,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("live: process %d: %w", i, err)
+		}
+		p.diner = d
+	}
+	return s, nil
+}
+
+// Start launches every process goroutine plus one forwarder per
+// directed edge; all processes become hungry shortly after. Extra calls
+// are no-ops.
+func (s *System) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	now := time.Now()
+	for _, p := range s.procs {
+		for _, j := range p.nbrs {
+			p.lastHeard[j] = now
+		}
+	}
+	// Forwarders: drain each directed edge into the receiver's inbox,
+	// preserving per-edge FIFO.
+	for _, p := range s.procs {
+		for _, j := range p.nbrs {
+			from, ch, dst := p.id, p.out[j], s.procs[j]
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				for {
+					select {
+					case <-s.stop:
+						return
+					case <-dst.dead:
+						return
+					case m := <-ch:
+						dst.post(event{kind: evMessage, msg: m, from: from})
+					}
+				}
+			}()
+		}
+	}
+	for _, p := range s.procs {
+		s.wg.Add(1)
+		go p.run()
+		p.post(event{kind: evHungry})
+	}
+}
+
+// Stop shuts the system down and waits for every goroutine to exit.
+func (s *System) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Crash kills process id: its goroutine exits and it never sends again.
+func (s *System) Crash(id int) error {
+	if id < 0 || id >= len(s.procs) {
+		return fmt.Errorf("live: crash %d out of range", id)
+	}
+	p := s.procs[id]
+	p.once.Do(func() { close(p.dead) })
+	s.tracker.crash(id)
+	return nil
+}
+
+// Tracker returns the system's metrics tracker.
+func (s *System) Tracker() *Tracker { return (*Tracker)(s.tracker) }
+
+// Err returns the first protocol violation recorded by any process,
+// including channel-bound overflows. Call after Stop.
+func (s *System) Err() error {
+	for i, p := range s.procs {
+		if err := p.diner.Err(); err != nil {
+			return fmt.Errorf("process %d: %w", i, err)
+		}
+	}
+	if n := s.tracker.boundViolationCount(); n > 0 {
+		return fmt.Errorf("live: %d channel-bound violations (edge occupancy exceeded %d)", n, edgeCap)
+	}
+	return nil
+}
+
+// EdgeHighWater returns the largest per-direction channel occupancy
+// observed at any send. Call after Stop. The paper's bound implies it
+// never exceeds 4.
+func (s *System) EdgeHighWater() int {
+	best := 0
+	for _, p := range s.procs {
+		for _, hw := range p.edgeHW {
+			if hw > best {
+				best = hw
+			}
+		}
+	}
+	return best
+}
+
+// post delivers an event to this process, giving up if the process is
+// dead or the system is stopping. Heartbeats are dropped when the inbox
+// is full (late heartbeats only delay unsuspicion, never break safety);
+// other events block until accepted — only forwarders and this
+// process's own timers post them, so process goroutines never block on
+// a peer.
+func (p *proc) post(ev event) {
+	if ev.kind == evHeartbeat {
+		select {
+		case p.inbox <- ev:
+		case <-p.dead:
+		case <-p.sys.stop:
+		default:
+		}
+		return
+	}
+	select {
+	case p.inbox <- ev:
+	case <-p.dead:
+	case <-p.sys.stop:
+	}
+}
+
+func (p *proc) run() {
+	defer p.sys.wg.Done()
+	var tick <-chan time.Time
+	if !p.sys.cfg.DisableDetector {
+		ticker := time.NewTicker(p.sys.cfg.HeartbeatPeriod)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-p.sys.stop:
+			return
+		case <-p.dead:
+			return
+		case <-tick:
+			p.heartbeatRound()
+		case ev := <-p.inbox:
+			p.handle(ev)
+		}
+	}
+}
+
+// heartbeatRound sends heartbeats to all neighbors and refreshes
+// suspicions from deadlines.
+func (p *proc) heartbeatRound() {
+	for _, j := range p.nbrs {
+		p.sys.procs[j].post(event{kind: evHeartbeat, from: p.id})
+	}
+	now := time.Now()
+	changed := false
+	for _, j := range p.nbrs {
+		if !p.suspected[j] && now.Sub(p.lastHeard[j]) > p.timeout[j] {
+			p.suspected[j] = true
+			changed = true
+		}
+	}
+	if changed {
+		p.act(func() []core.Message { return p.diner.ReevaluateSuspicion() })
+	}
+}
+
+func (p *proc) handle(ev event) {
+	switch ev.kind {
+	case evHeartbeat:
+		p.lastHeard[ev.from] = time.Now()
+		if p.suspected[ev.from] {
+			p.suspected[ev.from] = false
+			p.timeout[ev.from] += p.sys.cfg.TimeoutIncrement
+			p.act(func() []core.Message { return p.diner.ReevaluateSuspicion() })
+		}
+	case evMessage:
+		m := ev.msg
+		p.act(func() []core.Message { return p.diner.Deliver(m) })
+	case evHungry:
+		p.act(func() []core.Message { return p.diner.BecomeHungry() })
+	case evExitEat:
+		p.act(func() []core.Message { return p.diner.ExitEating() })
+	}
+}
+
+// act executes one diner action, transmits outputs, and reacts to state
+// transitions.
+func (p *proc) act(action func() []core.Message) {
+	before := p.diner.State()
+	msgs := action()
+	after := p.diner.State()
+	for _, m := range msgs {
+		ch := p.out[m.To]
+		select {
+		case ch <- m:
+			if occ := len(ch); occ > p.edgeHW[m.To] {
+				p.edgeHW[m.To] = occ
+			}
+		default:
+			// The paper's ≤4 bound makes this unreachable; record it
+			// rather than block, so a bug surfaces as a test failure
+			// instead of a deadlock.
+			p.sys.tracker.boundViolation()
+		}
+	}
+	if before == after {
+		return
+	}
+	if before == core.Thinking && after == core.Eating {
+		p.sys.tracker.transition(p.id, core.Hungry)
+	}
+	p.sys.tracker.transition(p.id, after)
+	switch after {
+	case core.Eating:
+		if p.sys.cfg.OnEat != nil {
+			p.sys.cfg.OnEat(p.id)
+		}
+		time.AfterFunc(p.sys.cfg.EatTime, func() { p.post(event{kind: evExitEat}) })
+	case core.Thinking:
+		time.AfterFunc(p.sys.cfg.ThinkTime, func() { p.post(event{kind: evHungry}) })
+	}
+}

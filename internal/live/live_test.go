@@ -1,0 +1,220 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestLiveCrashFreeNoDetector(t *testing.T) {
+	// Without a detector there is no suspicion, so fork exclusivity
+	// makes violations impossible — even on real goroutines.
+	s, err := NewSystem(Config{
+		Graph:           graph.Ring(8),
+		DisableDetector: true,
+		EatTime:         200 * time.Microsecond,
+		ThinkTime:       200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	time.Sleep(300 * time.Millisecond)
+	s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Tracker().Violations(); v != 0 {
+		t.Fatalf("violations = %d, want 0 without a detector", v)
+	}
+	for i, c := range s.Tracker().EatCounts() {
+		if c == 0 {
+			t.Fatalf("process %d never ate", i)
+		}
+	}
+	if hw := s.EdgeHighWater(); hw > 4 {
+		t.Fatalf("edge occupancy = %d, exceeds the paper's bound", hw)
+	}
+}
+
+func TestLiveWaitFreedomAfterCrash(t *testing.T) {
+	// With the heartbeat detector, survivors must keep eating after a
+	// neighbor crashes.
+	s, err := NewSystem(Config{
+		Graph:            graph.Ring(6),
+		HeartbeatPeriod:  time.Millisecond,
+		InitialTimeout:   30 * time.Millisecond,
+		TimeoutIncrement: 30 * time.Millisecond,
+		EatTime:          200 * time.Microsecond,
+		ThinkTime:        200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	time.Sleep(150 * time.Millisecond)
+	if err := s.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(600 * time.Millisecond)
+	deadline := time.Now()
+	s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if i == 2 {
+			continue
+		}
+		last := s.Tracker().LastEat(i)
+		if last.IsZero() {
+			t.Fatalf("survivor %d never ate", i)
+		}
+		if deadline.Sub(last) > 400*time.Millisecond {
+			t.Fatalf("survivor %d stopped eating %v before the end (starved)", i, deadline.Sub(last))
+		}
+	}
+}
+
+func TestLiveChoySinghBlocksOnCrash(t *testing.T) {
+	// Original doorway on goroutines: after the crash, at least the
+	// crashed vertex's neighbors stop making progress.
+	s, err := NewSystem(Config{
+		Graph:           graph.Ring(4),
+		DisableDetector: true,
+		Options: core.Options{
+			IgnoreDetector:     true,
+			DisableRepliedFlag: true,
+		},
+		EatTime:   200 * time.Microsecond,
+		ThinkTime: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	time.Sleep(100 * time.Millisecond)
+	if err := s.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	before := s.Tracker().EatCounts()
+	time.Sleep(300 * time.Millisecond)
+	after := s.Tracker().EatCounts()
+	s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	blocked := 0
+	for _, j := range []int{1, 3} { // neighbors of the crashed vertex
+		if after[j] == before[j] {
+			blocked++
+		}
+	}
+	if blocked == 0 {
+		t.Fatalf("no neighbor of the crashed vertex blocked: before=%v after=%v", before, after)
+	}
+	// The antipodal vertex shares no edge with the crashed one and must
+	// keep eating (its neighbors are blocked *outside* the doorway,
+	// where they still grant acks and forks).
+	if after[2] == before[2] {
+		t.Fatalf("vertex 2 should keep eating: before=%v after=%v", before, after)
+	}
+}
+
+func TestLiveDetectorSuppressesFalseBlockage(t *testing.T) {
+	// Sanity: a 2-clique with detector converges to steady alternation;
+	// both processes keep accumulating eats.
+	s, err := NewSystem(Config{
+		Graph:           graph.Path(2),
+		HeartbeatPeriod: time.Millisecond,
+		InitialTimeout:  40 * time.Millisecond,
+		EatTime:         100 * time.Microsecond,
+		ThinkTime:       100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	time.Sleep(400 * time.Millisecond)
+	s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	counts := s.Tracker().EatCounts()
+	if counts[0] < 10 || counts[1] < 10 {
+		t.Fatalf("eat counts too low: %v", counts)
+	}
+}
+
+func TestLiveDaemonSchedulesStabilizingProtocol(t *testing.T) {
+	// A live distributed daemon: each eating session executes one step
+	// of self-stabilizing (Δ+1)-coloring over shared state. Without a
+	// detector, exclusion is perpetual (fork-based), so neighboring
+	// steps never overlap and the unsynchronized neighbor reads below
+	// are race-free — which `go test -race` verifies for us.
+	const n = 8
+	colors := make([]int, n) // monochrome start: every edge conflicts
+	step := func(i int) {
+		l, r := (i+n-1)%n, (i+1)%n
+		if colors[i] != colors[l] && colors[i] != colors[r] {
+			return
+		}
+		for c := 0; ; c++ {
+			if c != colors[l] && c != colors[r] {
+				colors[i] = c
+				return
+			}
+		}
+	}
+	s, err := NewSystem(Config{
+		Graph:           graph.Ring(n),
+		DisableDetector: true,
+		EatTime:         100 * time.Microsecond,
+		ThinkTime:       100 * time.Microsecond,
+		OnEat:           step,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	time.Sleep(300 * time.Millisecond)
+	s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if colors[i] == colors[(i+1)%n] {
+			t.Fatalf("coloring did not stabilize under the live daemon: %v", colors)
+		}
+	}
+}
+
+func TestLiveConfigValidation(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Fatal("nil graph must be rejected")
+	}
+	if _, err := NewSystem(Config{Graph: graph.Path(2), Colors: []int{0, 0}}); err == nil {
+		t.Fatal("improper coloring must be rejected")
+	}
+}
+
+func TestLiveStopIdempotentAndCrashRange(t *testing.T) {
+	s, err := NewSystem(Config{Graph: graph.Path(2), DisableDetector: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	s.Start() // no-op
+	if err := s.Crash(5); err == nil {
+		t.Fatal("out-of-range crash must error")
+	}
+	time.Sleep(20 * time.Millisecond)
+	s.Stop()
+	s.Stop() // no-op
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

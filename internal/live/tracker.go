@@ -1,0 +1,107 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// tracker is the mutex-protected observation point for the live system:
+// processes report their dining transitions and it maintains exclusion
+// violations, eat counts, and recency, without ever influencing the
+// run.
+type tracker struct {
+	mu         sync.Mutex
+	g          *graph.Graph
+	eating     []bool
+	crashed    []bool
+	eats       []int
+	lastEat    []time.Time
+	violations int
+	lastViol   time.Time
+	boundViol  int
+}
+
+func newTracker(g *graph.Graph) *tracker {
+	return &tracker{
+		g:       g,
+		eating:  make([]bool, g.N()),
+		crashed: make([]bool, g.N()),
+		eats:    make([]int, g.N()),
+		lastEat: make([]time.Time, g.N()),
+	}
+}
+
+func (t *tracker) transition(id int, to core.State) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch to {
+	case core.Eating:
+		t.eating[id] = true
+		t.eats[id]++
+		t.lastEat[id] = time.Now()
+		for _, j := range t.g.Neighbors(id) {
+			if t.eating[j] && !t.crashed[j] && !t.crashed[id] {
+				t.violations++
+				t.lastViol = time.Now()
+			}
+		}
+	default:
+		t.eating[id] = false
+	}
+}
+
+func (t *tracker) boundViolation() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.boundViol++
+}
+
+func (t *tracker) boundViolationCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.boundViol
+}
+
+func (t *tracker) crash(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.crashed[id] = true
+	t.eating[id] = false
+}
+
+// Tracker is the read-side view of the live system's metrics.
+type Tracker tracker
+
+// EatCounts returns a copy of per-process eat counts.
+func (t *Tracker) EatCounts() []int {
+	tt := (*tracker)(t)
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	out := make([]int, len(tt.eats))
+	copy(out, tt.eats)
+	return out
+}
+
+// Violations returns how many exclusion violations occurred and when
+// the last one happened.
+func (t *Tracker) Violations() (int, time.Time) {
+	tt := (*tracker)(t)
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.violations, tt.lastViol
+}
+
+// LastEat returns when process id last began eating (zero time if
+// never).
+func (t *Tracker) LastEat(id int) time.Time {
+	tt := (*tracker)(t)
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if id < 0 || id >= len(tt.lastEat) {
+		return time.Time{}
+	}
+	return tt.lastEat[id]
+}

@@ -1,0 +1,124 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestWaitFreedomUnderOneCrashP2(t *testing.T) {
+	// Exhaustive wait-freedom on P2 with up to one crash and a perfect
+	// detector: in every reachable state, every live hungry process can
+	// still reach eating — including all states where its only
+	// neighbor crashed while holding the fork, mid-doorway, or
+	// mid-grant.
+	c, err := New(graph.Path(2), Options{MaxCrashes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed {
+		t.Fatal("P2+1crash should close")
+	}
+	if rep.Violation != nil {
+		t.Fatalf("violation: %v\ntrace: %v\nstate:\n%s",
+			rep.Violation, rep.Violation.Trace, rep.Violation.State)
+	}
+	t.Logf("P2+1crash: %d states, %d transitions", rep.States, rep.Transitions)
+}
+
+func TestWaitFreedomUnderCrashesP3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large space")
+	}
+	// P3 with a crash anywhere: the middle process can lose a
+	// neighbor mid-handshake in every possible way; nobody live may
+	// get wedged. (Two-crash exploration also closes — 333,751 states,
+	// ~90s — run it via: go run ./cmd/modelcheck -topology path -n 3
+	// -crashes 2.)
+	c, err := New(graph.Path(3), Options{MaxCrashes: 1, MaxStates: 4_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed {
+		t.Fatal("P3+1crash should close")
+	}
+	if rep.Violation != nil {
+		t.Fatalf("violation: %v\ntrace: %v\nstate:\n%s",
+			rep.Violation, rep.Violation.Trace, rep.Violation.State)
+	}
+	t.Logf("P3+1crash: %d states, %d transitions", rep.States, rep.Transitions)
+}
+
+func TestChoySinghWedgesUnderCrashExhaustively(t *testing.T) {
+	// The converse: with the detector ignored (Choy–Singh), the checker
+	// must find a reachable state in which a live hungry process can
+	// never eat — the impossibility that motivates the paper, as an
+	// explicit counterexample trace.
+	c, err := New(graph.Path(2), Options{
+		Core:       core.Options{IgnoreDetector: true, DisableRepliedFlag: true},
+		MaxCrashes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("Choy–Singh with a crash must have a wedged hungry state")
+	}
+	if !strings.Contains(rep.Violation.Kind, "progress") {
+		t.Fatalf("violation kind = %q, want a progress violation", rep.Violation.Kind)
+	}
+	crashed := false
+	for _, mv := range rep.Violation.Trace {
+		if strings.Contains(mv, "crash(") {
+			crashed = true
+		}
+	}
+	if !crashed {
+		t.Fatalf("counterexample must involve a crash: %v", rep.Violation.Trace)
+	}
+	t.Logf("wedge counterexample (%d moves): %v", len(rep.Violation.Trace), rep.Violation.Trace)
+}
+
+func TestCrashedEaterDoesNotBlockWithDetector(t *testing.T) {
+	// Directly exercise the nastiest pattern: the fork holder crashes
+	// while eating. Exhaustive: some interleaving reaches it, and the
+	// survivor must still be able to eat from everywhere.
+	c, err := New(graph.Path(2), Options{MaxCrashes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("violation: %v", rep.Violation)
+	}
+	// Sanity: the space with crashes is strictly larger than without.
+	noCrash, err := New(graph.Path(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := noCrash.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States <= base.States {
+		t.Fatalf("crash mode explored %d states, base %d — crash moves missing?",
+			rep.States, base.States)
+	}
+}

@@ -1,0 +1,99 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestHygienicPathTwoClosesClean(t *testing.T) {
+	// Exhaustive crash-free verification of Chandy–Misra: perpetual
+	// exclusion, fork/token uniqueness, the (tighter) channel bound,
+	// and possibility of progress in every reachable state.
+	c, err := New(graph.Path(2), Options{Hygienic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Violation != nil {
+		t.Fatalf("closed=%v violation=%v", rep.Closed, rep.Violation)
+	}
+	if rep.MaxQueue > 2 {
+		t.Fatalf("hygienic max queue = %d, want ≤ 2 (one fork + one token)", rep.MaxQueue)
+	}
+	t.Logf("hygienic P2: %d states, %d transitions", rep.States, rep.Transitions)
+}
+
+func TestHygienicPathThreeClosesClean(t *testing.T) {
+	c, err := New(graph.Path(3), Options{Hygienic: true, MaxStates: 3_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Violation != nil {
+		t.Fatalf("closed=%v violation=%v", rep.Closed, rep.Violation)
+	}
+	t.Logf("hygienic P3: %d states, %d transitions", rep.States, rep.Transitions)
+}
+
+func TestHygienicTriangleClosesClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger space")
+	}
+	c, err := New(graph.Ring(3), Options{Hygienic: true, MaxStates: 3_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Violation != nil {
+		t.Fatalf("closed=%v violation=%v", rep.Closed, rep.Violation)
+	}
+	t.Logf("hygienic K3: %d states, %d transitions", rep.States, rep.Transitions)
+}
+
+func TestHygienicWedgesUnderCrash(t *testing.T) {
+	// Classic Chandy–Misra has no detector: a crash wedges the
+	// neighborhood, and the checker finds the exact counterexample
+	// (here: p1 borrows the fork, crashes holding it, p0 starves).
+	c, err := New(graph.Path(2), Options{Hygienic: true, NoDetector: true, MaxCrashes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("classic hygienic dining must wedge under a crash")
+	}
+	if !strings.Contains(rep.Violation.Kind, "progress") {
+		t.Fatalf("violation = %q, want a progress violation", rep.Violation.Kind)
+	}
+	t.Logf("hygienic wedge (%d moves): %v", len(rep.Violation.Trace), rep.Violation.Trace)
+}
+
+func TestHygienicWithDetectorSurvivesCrashExhaustively(t *testing.T) {
+	// The ◇P₁-augmented variant (the checker's default perfect-
+	// detector semantics) is exhaustively wait-free on P2 with a crash.
+	c, err := New(graph.Path(2), Options{Hygienic: true, MaxCrashes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Violation != nil {
+		t.Fatalf("closed=%v violation=%v", rep.Closed, rep.Violation)
+	}
+}

@@ -1,0 +1,587 @@
+// Package mc is a bounded explicit-state model checker for the dining
+// algorithm: it exhaustively explores every interleaving of message
+// deliveries, hunger onsets, and eating exits on a small conflict
+// graph, checking the paper's safety invariants in every reachable
+// state and the possibility of progress from every reachable state.
+//
+// Where the simulator samples one schedule per seed, the checker covers
+// all of them — for systems small enough that the reachable state space
+// closes. The protocol state per diner is finite and channels are
+// bounded (Section 7), so the space is finite; 2–4 diners close within
+// a few hundred thousand states.
+//
+// Checked in every reachable state:
+//
+//   - exclusion: no two neighbors simultaneously eating (crash-free,
+//     no suspicion ⇒ the weak-exclusion guarantee must be perpetual);
+//   - fork/token uniqueness per edge, counting in-flight messages
+//     (Lemmas 1.1–1.2);
+//   - the ≤4 in-transit bound per edge (Section 7);
+//   - no diner-internal invariant errors.
+//
+// Checked globally: from every state in which a process is hungry,
+// some state in which it eats is reachable ("possibility of progress";
+// with the weakly fair scheduler of the simulator this is what rules
+// out wedged states).
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Options configure a check.
+type Options struct {
+	// Diner options; the zero value checks the paper's Algorithm 1.
+	Core core.Options
+	// Hygienic checks the Chandy–Misra baseline instead of Algorithm 1
+	// (Core options are then ignored).
+	Hygienic bool
+	// NoDetector binds every process to the empty oracle even when
+	// crashes are explored — the classic detector-free setting, under
+	// which crash wedges are expected. (For core.Diner variants the
+	// same effect comes from Core.IgnoreDetector.)
+	NoDetector bool
+	// SuspectAll wires every diner to an always-suspecting oracle —
+	// a detector in its maximal-mistake regime. The exclusion check is
+	// skipped under SuspectAll (◇WX legitimately permits violations
+	// while the detector errs) unless KeepExclusionCheck is set.
+	SuspectAll bool
+	// KeepExclusionCheck retains the exclusion check under SuspectAll,
+	// turning the checker into a violation finder with counterexample
+	// traces.
+	KeepExclusionCheck bool
+	// MaxCrashes allows up to that many crash-fault moves during
+	// exploration, with perfect-detector semantics: the moment a
+	// process crashes, every neighbor suspects it. The checker then
+	// verifies the paper's wait-freedom exhaustively: from every state
+	// where a live process is hungry, an eating state stays reachable
+	// no matter which (bounded) crash pattern the adversary picked.
+	MaxCrashes int
+	// MaxStates bounds exploration (default 2,000,000). Exceeding it
+	// returns ErrBudget rather than a partial verdict on liveness
+	// (safety violations found before the budget still surface).
+	MaxStates int
+	// SkipProgress disables the backward progress check (useful when
+	// only safety is of interest or the budget was hit).
+	SkipProgress bool
+}
+
+// ErrBudget reports that exploration exceeded MaxStates before closing
+// the reachable space.
+var ErrBudget = errors.New("mc: state budget exhausted before closure")
+
+// Violation describes a failed check with a counterexample trace.
+type Violation struct {
+	Kind  string
+	State string   // rendered offending state
+	Trace []string // move labels from the initial state
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("mc: %s violated after %d moves", v.Kind, len(v.Trace))
+}
+
+// Report summarizes a completed check.
+type Report struct {
+	States      int
+	Transitions int
+	Closed      bool
+	MaxQueue    int // max per-edge channel occupancy observed
+	Violation   *Violation
+}
+
+// Checkable is what the checker needs from a dining process beyond
+// core.Process: branching (deep copy), canonical state serialization,
+// oracle rebinding, and fork/token visibility for the uniqueness
+// invariants.
+type Checkable interface {
+	core.Process
+	CloneProc() Checkable
+	StateKey() string
+	SetSuspects(fn func(j int) bool)
+	ForkWith(j int) bool
+	TokenWith(j int) bool
+}
+
+// dinerProc adapts core.Diner to Checkable.
+type dinerProc struct{ *core.Diner }
+
+func (p dinerProc) CloneProc() Checkable { return dinerProc{p.Diner.Clone()} }
+func (p dinerProc) ForkWith(j int) bool  { return p.HoldsFork(j) }
+func (p dinerProc) TokenWith(j int) bool { return p.HoldsToken(j) }
+
+// hygienicProc adapts baseline.Hygienic to Checkable.
+type hygienicProc struct{ *baseline.Hygienic }
+
+func (p hygienicProc) CloneProc() Checkable { return hygienicProc{p.Hygienic.Clone()} }
+func (p hygienicProc) ForkWith(j int) bool {
+	held, _ := p.HoldsFork(j)
+	return held
+}
+func (p hygienicProc) TokenWith(j int) bool { return p.HoldsToken(j) }
+
+// sysState is one global state: all diners, channel contents, and the
+// crash pattern so far.
+type sysState struct {
+	diners  []Checkable
+	queues  map[[2]int][]core.Message // directed edge → FIFO queue
+	crashed []bool
+	crashes int
+}
+
+func (s *sysState) clone() *sysState {
+	c := &sysState{
+		diners:  make([]Checkable, len(s.diners)),
+		queues:  make(map[[2]int][]core.Message, len(s.queues)),
+		crashed: make([]bool, len(s.crashed)),
+		crashes: s.crashes,
+	}
+	copy(c.crashed, s.crashed)
+	for i, d := range s.diners {
+		c.diners[i] = d.CloneProc()
+	}
+	for k, q := range s.queues {
+		if len(q) == 0 {
+			continue
+		}
+		cq := make([]core.Message, len(q))
+		copy(cq, q)
+		c.queues[k] = cq
+	}
+	return c
+}
+
+// key serializes the protocol-relevant state canonically.
+func (s *sysState) key() string {
+	var b strings.Builder
+	for i, c := range s.crashed {
+		if c {
+			fmt.Fprintf(&b, "x%d", i)
+		}
+	}
+	for i, d := range s.diners {
+		fmt.Fprintf(&b, "|%d:%s", i, d.StateKey())
+	}
+	edges := make([][2]int, 0, len(s.queues))
+	for e := range s.queues {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "|q%d-%d:", e[0], e[1])
+		for _, m := range s.queues[e] {
+			fmt.Fprintf(&b, "%d.%d,", int(m.Kind), m.Color)
+		}
+	}
+	return b.String()
+}
+
+// render pretty-prints a state for counterexamples.
+func (s *sysState) render() string {
+	var b strings.Builder
+	for i, d := range s.diners {
+		crashed := ""
+		if s.crashed[i] {
+			crashed = " CRASHED"
+		}
+		fmt.Fprintf(&b, "p%d %v%s key=%s\n", i, d.State(), crashed, d.StateKey())
+	}
+	for e, q := range s.queues {
+		if len(q) > 0 {
+			fmt.Fprintf(&b, "channel %d→%d: %v\n", e[0], e[1], q)
+		}
+	}
+	return b.String()
+}
+
+// node is one explored state with its discovery edge (for traces).
+type node struct {
+	st     *sysState
+	parent int
+	label  string
+}
+
+// Checker explores the reachable state space of a dining system.
+type Checker struct {
+	g      *graph.Graph
+	colors []int
+	opts   Options
+}
+
+// New creates a checker over conflict graph g with greedy coloring.
+func New(g *graph.Graph, opts Options) (*Checker, error) {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 2_000_000
+	}
+	colors := g.GreedyColoring()
+	if !g.IsProperColoring(colors) {
+		return nil, errors.New("mc: coloring failed")
+	}
+	return &Checker{g: g, colors: colors, opts: opts}, nil
+}
+
+func (c *Checker) initial() (*sysState, error) {
+	s := &sysState{
+		diners:  make([]Checkable, c.g.N()),
+		queues:  make(map[[2]int][]core.Message),
+		crashed: make([]bool, c.g.N()),
+	}
+	for i := 0; i < c.g.N(); i++ {
+		if c.opts.Hygienic {
+			h, err := baseline.NewHygienic(i, c.g.Neighbors(i), nil)
+			if err != nil {
+				return nil, err
+			}
+			s.diners[i] = hygienicProc{h}
+			continue
+		}
+		nbrColors := make(map[int]int)
+		for _, j := range c.g.Neighbors(i) {
+			nbrColors[j] = c.colors[j]
+		}
+		d, err := core.NewDiner(core.Config{
+			ID:             i,
+			Color:          c.colors[i],
+			NeighborColors: nbrColors,
+			Options:        c.opts.Core,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.diners[i] = dinerProc{d}
+	}
+	c.bindOracles(s)
+	return s, nil
+}
+
+// bindOracles points every diner's ◇P₁ module at this state's crash
+// set (perfect-detector semantics), or at the constant-true oracle in
+// SuspectAll mode. Must be called after every clone.
+func (c *Checker) bindOracles(s *sysState) {
+	for _, d := range s.diners {
+		switch {
+		case c.opts.SuspectAll:
+			d.SetSuspects(func(int) bool { return true })
+		case c.opts.NoDetector:
+			d.SetSuspects(nil)
+		default:
+			d.SetSuspects(func(j int) bool {
+				return j >= 0 && j < len(s.crashed) && s.crashed[j]
+			})
+		}
+	}
+}
+
+// move is a labeled successor generator.
+type move struct {
+	label string
+	apply func(s *sysState) // mutates s in place
+}
+
+// moves enumerates every enabled move in state s.
+func (c *Checker) moves(s *sysState) []move {
+	var out []move
+	for i, d := range s.diners {
+		i, d := i, d
+		if s.crashed[i] {
+			continue
+		}
+		switch d.State() {
+		case core.Thinking:
+			out = append(out, move{
+				label: fmt.Sprintf("hungry(p%d)", i),
+				apply: func(t *sysState) { t.send(t.diners[i].BecomeHungry()) },
+			})
+		case core.Eating:
+			out = append(out, move{
+				label: fmt.Sprintf("exit(p%d)", i),
+				apply: func(t *sysState) { t.send(t.diners[i].ExitEating()) },
+			})
+		}
+		if s.crashes < c.opts.MaxCrashes {
+			out = append(out, move{
+				label: fmt.Sprintf("crash(p%d)", i),
+				apply: func(t *sysState) {
+					t.crashed[i] = true
+					t.crashes++
+					// ReevaluateSuspicion at every live neighbor: the
+					// perfect detector reports the crash instantly.
+					for _, j := range c.g.Neighbors(i) {
+						if !t.crashed[j] {
+							t.send(t.diners[j].ReevaluateSuspicion())
+						}
+					}
+				},
+			})
+		}
+	}
+	edges := make([][2]int, 0, len(s.queues))
+	for e := range s.queues {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		q := s.queues[e]
+		if len(q) == 0 {
+			continue
+		}
+		e, m := e, q[0]
+		out = append(out, move{
+			label: fmt.Sprintf("deliver(%v)", m),
+			apply: func(t *sysState) {
+				head := t.queues[e][0]
+				rest := t.queues[e][1:]
+				if len(rest) == 0 {
+					delete(t.queues, e)
+				} else {
+					nq := make([]core.Message, len(rest))
+					copy(nq, rest)
+					t.queues[e] = nq
+				}
+				if t.crashed[e[1]] {
+					return // dropped at the crashed destination
+				}
+				t.send(t.diners[e[1]].Deliver(head))
+			},
+		})
+	}
+	return out
+}
+
+func (s *sysState) send(msgs []core.Message) {
+	for _, m := range msgs {
+		e := [2]int{m.From, m.To}
+		s.queues[e] = append(s.queues[e], m)
+	}
+}
+
+// checkState validates all safety invariants in s; the empty string
+// means OK.
+func (c *Checker) checkState(s *sysState) string {
+	for i, d := range s.diners {
+		if err := d.Err(); err != nil {
+			return fmt.Sprintf("diner invariant at p%d: %v", i, err)
+		}
+	}
+	if !c.opts.SuspectAll || c.opts.KeepExclusionCheck {
+		for _, e := range c.g.Edges() {
+			if s.crashed[e[0]] || s.crashed[e[1]] {
+				continue // the paper's ◇WX concerns live neighbors
+			}
+			a, b := s.diners[e[0]], s.diners[e[1]]
+			if a.State() == core.Eating && b.State() == core.Eating {
+				return fmt.Sprintf("exclusion: p%d and p%d eating together", e[0], e[1])
+			}
+		}
+	}
+	for _, e := range c.g.Edges() {
+		u, v := e[0], e[1]
+		forks := b2i(s.diners[u].ForkWith(v)) + b2i(s.diners[v].ForkWith(u))
+		tokens := b2i(s.diners[u].TokenWith(v)) + b2i(s.diners[v].TokenWith(u))
+		occupancy := 0
+		for _, dir := range [][2]int{{u, v}, {v, u}} {
+			for _, m := range s.queues[dir] {
+				occupancy++
+				switch m.Kind {
+				case core.Fork:
+					forks++
+				case core.Request:
+					tokens++
+				}
+			}
+		}
+		// On an edge with a crashed endpoint the fork or token can be
+		// lost — frozen at the crashed process or dropped with an
+		// undeliverable message — but never duplicated.
+		if s.crashed[u] || s.crashed[v] {
+			if forks > 1 {
+				return fmt.Sprintf("fork duplicated: edge {%d,%d} has %d forks", u, v, forks)
+			}
+			if tokens > 1 {
+				return fmt.Sprintf("token duplicated: edge {%d,%d} has %d tokens", u, v, tokens)
+			}
+		} else {
+			if forks != 1 {
+				return fmt.Sprintf("fork uniqueness: edge {%d,%d} has %d forks", u, v, forks)
+			}
+			if tokens != 1 {
+				return fmt.Sprintf("token uniqueness: edge {%d,%d} has %d tokens", u, v, tokens)
+			}
+		}
+		if occupancy > 4 {
+			return fmt.Sprintf("channel bound: edge {%d,%d} holds %d messages", u, v, occupancy)
+		}
+	}
+	return ""
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run explores the reachable space and returns the report. A safety
+// violation is returned inside the report with its counterexample; the
+// error return covers only budget exhaustion and setup failures.
+func (c *Checker) Run() (Report, error) {
+	init, err := c.initial()
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	nodes := []node{{st: init, parent: -1}}
+	index := map[string]int{init.key(): 0}
+	var succ [][]int // adjacency for the progress check
+
+	traceTo := func(id int) []string {
+		var labels []string
+		for id > 0 {
+			labels = append(labels, nodes[id].label)
+			id = nodes[id].parent
+		}
+		for l, r := 0, len(labels)-1; l < r; l, r = l+1, r-1 {
+			labels[l], labels[r] = labels[r], labels[l]
+		}
+		return labels
+	}
+
+	if msg := c.checkState(init); msg != "" {
+		rep.States = 1
+		rep.Violation = &Violation{Kind: msg, State: init.render()}
+		return rep, nil
+	}
+
+	for head := 0; head < len(nodes); head++ {
+		if len(nodes) > c.opts.MaxStates {
+			rep.States = len(nodes)
+			rep.Transitions = countTransitions(succ)
+			return rep, ErrBudget
+		}
+		cur := nodes[head].st
+		moves := c.moves(cur)
+		succ = append(succ, make([]int, 0, len(moves)))
+		for _, mv := range moves {
+			next := cur.clone()
+			c.bindOracles(next) // rebind before apply: guards consult suspicion
+			mv.apply(next)
+			rep.Transitions++
+			if q := maxQueue(next); q > rep.MaxQueue {
+				rep.MaxQueue = q
+			}
+			k := next.key()
+			id, seen := index[k]
+			if !seen {
+				id = len(nodes)
+				index[k] = id
+				nodes = append(nodes, node{st: next, parent: head, label: mv.label})
+				if msg := c.checkState(next); msg != "" {
+					rep.States = len(nodes)
+					rep.Violation = &Violation{Kind: msg, State: next.render(), Trace: traceTo(id)}
+					return rep, nil
+				}
+			}
+			succ[head] = append(succ[head], id)
+		}
+	}
+	rep.States = len(nodes)
+	rep.Closed = true
+
+	if !c.opts.SkipProgress {
+		for p := 0; p < c.g.N(); p++ {
+			if v := c.progressCheck(p, nodes, succ, traceTo); v != nil {
+				rep.Violation = v
+				return rep, nil
+			}
+		}
+	}
+	return rep, nil
+}
+
+// progressCheck verifies AG(hungry(p) → EF eating(p)) by backward
+// reachability from p's eating states.
+func (c *Checker) progressCheck(p int, nodes []node, succ [][]int, traceTo func(int) []string) *Violation {
+	n := len(nodes)
+	pred := make([][]int, n)
+	for u, vs := range succ {
+		for _, v := range vs {
+			pred[v] = append(pred[v], u)
+		}
+	}
+	canReach := make([]bool, n)
+	var stack []int
+	for i := 0; i < n; i++ {
+		if nodes[i].st.diners[p].State() == core.Eating {
+			canReach[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range pred[v] {
+			if !canReach[u] {
+				canReach[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if nodes[i].st.crashed[p] {
+			continue
+		}
+		if nodes[i].st.diners[p].State() == core.Hungry && !canReach[i] {
+			return &Violation{
+				Kind:  fmt.Sprintf("progress: p%d hungry with no path to eating", p),
+				State: nodes[i].st.render(),
+				Trace: traceTo(i),
+			}
+		}
+	}
+	return nil
+}
+
+func maxQueue(s *sysState) int {
+	occ := map[[2]int]int{}
+	for e, q := range s.queues {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		occ[[2]int{u, v}] += len(q)
+	}
+	best := 0
+	for _, n := range occ {
+		if n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+func countTransitions(succ [][]int) int {
+	n := 0
+	for _, s := range succ {
+		n += len(s)
+	}
+	return n
+}

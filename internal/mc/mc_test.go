@@ -1,0 +1,161 @@
+package mc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestPathTwoClosesClean(t *testing.T) {
+	c, err := New(graph.Path(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed {
+		t.Fatal("P2 state space should close")
+	}
+	if rep.Violation != nil {
+		t.Fatalf("violation: %v\ntrace: %v\nstate:\n%s",
+			rep.Violation, rep.Violation.Trace, rep.Violation.State)
+	}
+	if rep.States < 10 {
+		t.Fatalf("suspiciously small space: %d states", rep.States)
+	}
+	if rep.MaxQueue > 4 {
+		t.Fatalf("max queue %d exceeds the paper bound", rep.MaxQueue)
+	}
+	t.Logf("P2: %d states, %d transitions, max queue %d", rep.States, rep.Transitions, rep.MaxQueue)
+}
+
+func TestPathThreeClosesClean(t *testing.T) {
+	c, err := New(graph.Path(3), Options{MaxStates: 3_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed {
+		t.Fatal("P3 state space should close")
+	}
+	if rep.Violation != nil {
+		t.Fatalf("violation: %v\ntrace: %v\nstate:\n%s",
+			rep.Violation, rep.Violation.Trace, rep.Violation.State)
+	}
+	t.Logf("P3: %d states, %d transitions, max queue %d", rep.States, rep.Transitions, rep.MaxQueue)
+}
+
+func TestTriangleClosesClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("triangle space is large")
+	}
+	c, err := New(graph.Ring(3), Options{MaxStates: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed {
+		t.Fatal("triangle state space should close")
+	}
+	if rep.Violation != nil {
+		t.Fatalf("violation: %v\ntrace: %v\nstate:\n%s",
+			rep.Violation, rep.Violation.Trace, rep.Violation.State)
+	}
+	t.Logf("K3: %d states, %d transitions, max queue %d", rep.States, rep.Transitions, rep.MaxQueue)
+}
+
+func TestNoRepliedVariantStillSafe(t *testing.T) {
+	// Removing the replied flag forfeits fairness, not safety: the
+	// checker must close the P2 space with no safety violation and
+	// progress possible everywhere.
+	c, err := New(graph.Path(2), Options{Core: core.Options{DisableRepliedFlag: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Violation != nil {
+		t.Fatalf("closed=%v violation=%v", rep.Closed, rep.Violation)
+	}
+}
+
+func TestAckBudgetVariantStillSafe(t *testing.T) {
+	c, err := New(graph.Path(2), Options{Core: core.Options{AcksPerSession: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Violation != nil {
+		t.Fatalf("closed=%v violation=%v", rep.Closed, rep.Violation)
+	}
+}
+
+func TestSuspectAllFindsExclusionViolation(t *testing.T) {
+	// With an always-wrong detector, both diners can pass the doorway
+	// and eat on suspicion alone. The checker must find a state where
+	// both eat — demonstrated here with the exclusion check forced on.
+	c, err := New(graph.Path(2), Options{
+		SuspectAll:         true,
+		KeepExclusionCheck: true,
+		SkipProgress:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil && !errors.Is(err, ErrBudget) {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("always-suspecting oracle must produce an exclusion violation")
+	}
+	if len(rep.Violation.Trace) == 0 {
+		t.Fatal("violation must carry a counterexample trace")
+	}
+	t.Logf("counterexample (%d moves): %v", len(rep.Violation.Trace), rep.Violation.Trace)
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	c, err := New(graph.Ring(3), Options{MaxStates: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run()
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestCheckerDeterministic(t *testing.T) {
+	run := func() (int, int) {
+		c, err := New(graph.Path(2), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.States, rep.Transitions
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 || t1 != t2 {
+		t.Fatalf("nondeterministic exploration: (%d,%d) vs (%d,%d)", s1, t1, s2, t2)
+	}
+}

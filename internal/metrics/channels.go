@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"repro/internal/sim"
+)
+
+// OccupancyMonitor measures joint per-edge channel occupancy: the
+// number of dining messages simultaneously in transit on an undirected
+// edge (both directions combined). The paper's Section 7 bounds this by
+// four: one ping/ack initiated by each endpoint plus the unique fork
+// and the unique token.
+type OccupancyMonitor struct {
+	n         int
+	inTransit map[[2]int]int
+	highWater map[[2]int]int
+}
+
+// NewOccupancyMonitor creates a monitor for n processes.
+func NewOccupancyMonitor(n int) *OccupancyMonitor {
+	return &OccupancyMonitor{
+		n:         n,
+		inTransit: make(map[[2]int]int),
+		highWater: make(map[[2]int]int),
+	}
+}
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// OnSend implements the sim.Observer send hook.
+func (m *OccupancyMonitor) OnSend(_ sim.Time, from, to int, _ any) {
+	k := edgeKey(from, to)
+	m.inTransit[k]++
+	if m.inTransit[k] > m.highWater[k] {
+		m.highWater[k] = m.inTransit[k]
+	}
+}
+
+// OnDeliver implements the sim.Observer deliver hook.
+func (m *OccupancyMonitor) OnDeliver(_ sim.Time, from, to int, _ any) {
+	m.inTransit[edgeKey(from, to)]--
+}
+
+// OnDrop implements the sim.Observer drop hook (deliveries to crashed
+// processes still vacate the channel).
+func (m *OccupancyMonitor) OnDrop(at sim.Time, from, to int, payload any) {
+	m.OnDeliver(at, from, to, payload)
+}
+
+// EdgeHighWater returns the maximum joint occupancy ever seen on edge
+// {a, b}.
+func (m *OccupancyMonitor) EdgeHighWater(a, b int) int {
+	return m.highWater[edgeKey(a, b)]
+}
+
+// MaxHighWater returns the maximum joint occupancy over all edges — the
+// figure the paper bounds by 4.
+func (m *OccupancyMonitor) MaxHighWater() int {
+	best := 0
+	for _, hw := range m.highWater {
+		if hw > best {
+			best = hw
+		}
+	}
+	return best
+}
+
+// Observer returns a sim.Observer wired to this monitor, for installing
+// on the dining network.
+func (m *OccupancyMonitor) Observer() sim.Observer {
+	return sim.Observer{OnSend: m.OnSend, OnDeliver: m.OnDeliver, OnDrop: m.OnDrop}
+}
+
+// QuiescenceMonitor tracks dining messages addressed to crashed
+// processes. The paper's Section 7 argues correct processes eventually
+// stop communicating with crashed neighbors: after a crash, each live
+// neighbor sends at most one more ping and one more token/fork-request
+// (which are never answered), and then the edge falls silent.
+type QuiescenceMonitor struct {
+	crashedAt    map[int]sim.Time
+	sendsAfter   map[int]int // sends to j after j crashed
+	lastSendTo   map[int]sim.Time
+	totalCrashed int
+}
+
+// NewQuiescenceMonitor creates an empty monitor.
+func NewQuiescenceMonitor() *QuiescenceMonitor {
+	return &QuiescenceMonitor{
+		crashedAt:  make(map[int]sim.Time),
+		sendsAfter: make(map[int]int),
+		lastSendTo: make(map[int]sim.Time),
+	}
+}
+
+// OnCrash records a crash.
+func (m *QuiescenceMonitor) OnCrash(at sim.Time, id int) {
+	if _, dup := m.crashedAt[id]; !dup {
+		m.crashedAt[id] = at
+		m.totalCrashed++
+	}
+}
+
+// OnSend implements the sim.Observer send hook: it counts messages
+// addressed to already-crashed destinations.
+func (m *QuiescenceMonitor) OnSend(at sim.Time, _ int, to int, _ any) {
+	if _, crashed := m.crashedAt[to]; crashed {
+		m.sendsAfter[to]++
+		if at > m.lastSendTo[to] {
+			m.lastSendTo[to] = at
+		}
+	}
+}
+
+// SendsAfterCrash returns how many messages were sent to id after its
+// crash.
+func (m *QuiescenceMonitor) SendsAfterCrash(id int) int { return m.sendsAfter[id] }
+
+// TotalSendsAfterCrash sums sends-after-crash over all crashed
+// processes.
+func (m *QuiescenceMonitor) TotalSendsAfterCrash() int {
+	total := 0
+	for _, c := range m.sendsAfter {
+		total += c
+	}
+	return total
+}
+
+// LastSendToCrashed returns the latest time any message was sent to a
+// crashed process, and whether any was.
+func (m *QuiescenceMonitor) LastSendToCrashed() (sim.Time, bool) {
+	var best sim.Time
+	found := false
+	for _, t := range m.lastSendTo {
+		if !found || t > best {
+			best = t
+			found = true
+		}
+	}
+	return best, found
+}
+
+// QuiescentBy reports whether no message was sent to any crashed
+// process at or after t.
+func (m *QuiescenceMonitor) QuiescentBy(t sim.Time) bool {
+	for _, last := range m.lastSendTo {
+		if last >= t {
+			return false
+		}
+	}
+	return true
+}

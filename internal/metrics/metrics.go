@@ -1,0 +1,94 @@
+// Package metrics turns the paper's theorems into observables: an
+// exclusion monitor for ◇WX (Theorem 1), an overtake monitor for
+// eventual k-bounded waiting (Theorem 3), a latency/session monitor for
+// wait-freedom (Theorem 2), an edge-occupancy monitor for the ≤4
+// in-transit bound (Section 7), and a quiescence monitor for crashed
+// neighbors (Section 7).
+//
+// Monitors are pure observers: they subscribe to runner transition
+// callbacks and network observer events and never influence the run.
+package metrics
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Violation is one scheduling mistake: two live neighbors eating
+// simultaneously.
+type Violation struct {
+	At   sim.Time
+	A, B int
+}
+
+// ExclusionMonitor detects simultaneous eating by live neighbors. The
+// paper's ◇WX guarantee is that each run has only finitely many such
+// violations, all before an (unknown) convergence time.
+type ExclusionMonitor struct {
+	g       *graph.Graph
+	eating  []bool
+	crashed []bool
+	viol    []Violation
+}
+
+// NewExclusionMonitor creates a monitor over conflict graph g.
+func NewExclusionMonitor(g *graph.Graph) *ExclusionMonitor {
+	return &ExclusionMonitor{
+		g:       g,
+		eating:  make([]bool, g.N()),
+		crashed: make([]bool, g.N()),
+	}
+}
+
+// OnTransition feeds a dining transition to the monitor.
+func (m *ExclusionMonitor) OnTransition(at sim.Time, id int, _, to core.State) {
+	switch to {
+	case core.Eating:
+		m.eating[id] = true
+		for _, j := range m.g.Neighbors(id) {
+			if m.eating[j] && !m.crashed[j] && !m.crashed[id] {
+				m.viol = append(m.viol, Violation{At: at, A: id, B: j})
+			}
+		}
+	default:
+		m.eating[id] = false
+	}
+}
+
+// OnCrash feeds a crash to the monitor. A crashed process that was
+// eating holds its critical section forever but is no longer live, so
+// later eats by neighbors do not count as violations (the paper's ◇WX
+// concerns live neighbors only).
+func (m *ExclusionMonitor) OnCrash(_ sim.Time, id int) { m.crashed[id] = true }
+
+// Violations returns every recorded mistake in time order.
+func (m *ExclusionMonitor) Violations() []Violation {
+	out := make([]Violation, len(m.viol))
+	copy(out, m.viol)
+	return out
+}
+
+// Count returns the total number of violations.
+func (m *ExclusionMonitor) Count() int { return len(m.viol) }
+
+// CountAfter returns the number of violations at or after t — the
+// figure that must be zero once the failure detector has converged.
+func (m *ExclusionMonitor) CountAfter(t sim.Time) int {
+	n := 0
+	for _, v := range m.viol {
+		if v.At >= t {
+			n++
+		}
+	}
+	return n
+}
+
+// LastViolation returns the time of the final mistake and whether any
+// occurred.
+func (m *ExclusionMonitor) LastViolation() (sim.Time, bool) {
+	if len(m.viol) == 0 {
+		return 0, false
+	}
+	return m.viol[len(m.viol)-1].At, true
+}

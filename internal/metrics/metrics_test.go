@@ -1,0 +1,288 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestExclusionMonitorDetectsOverlap(t *testing.T) {
+	g := graph.Path(3)
+	m := NewExclusionMonitor(g)
+	m.OnTransition(10, 0, core.Hungry, core.Eating)
+	m.OnTransition(12, 1, core.Hungry, core.Eating) // neighbor overlap!
+	m.OnTransition(14, 2, core.Hungry, core.Eating) // 2 not neighbor of 0; neighbor of 1 → violation
+	if m.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", m.Count())
+	}
+	v := m.Violations()
+	if v[0].At != 12 || v[1].At != 14 {
+		t.Fatalf("violations = %+v", v)
+	}
+	if m.CountAfter(13) != 1 {
+		t.Fatalf("CountAfter(13) = %d, want 1", m.CountAfter(13))
+	}
+	if last, ok := m.LastViolation(); !ok || last != 14 {
+		t.Fatalf("LastViolation = %d,%v", last, ok)
+	}
+}
+
+func TestExclusionMonitorNonNeighborsOK(t *testing.T) {
+	g := graph.Path(3)
+	m := NewExclusionMonitor(g)
+	m.OnTransition(1, 0, core.Hungry, core.Eating)
+	m.OnTransition(2, 2, core.Hungry, core.Eating) // 0 and 2 are not adjacent
+	if m.Count() != 0 {
+		t.Fatalf("Count = %d, want 0 for non-neighbors", m.Count())
+	}
+}
+
+func TestExclusionMonitorSequentialOK(t *testing.T) {
+	g := graph.Path(2)
+	m := NewExclusionMonitor(g)
+	m.OnTransition(1, 0, core.Hungry, core.Eating)
+	m.OnTransition(5, 0, core.Eating, core.Thinking)
+	m.OnTransition(6, 1, core.Hungry, core.Eating)
+	if m.Count() != 0 {
+		t.Fatalf("Count = %d, want 0 for sequential eats", m.Count())
+	}
+}
+
+func TestExclusionMonitorCrashedNeighborNotLive(t *testing.T) {
+	g := graph.Path(2)
+	m := NewExclusionMonitor(g)
+	m.OnTransition(1, 0, core.Hungry, core.Eating)
+	m.OnCrash(2, 0) // 0 crashes while eating
+	m.OnTransition(3, 1, core.Hungry, core.Eating)
+	if m.Count() != 0 {
+		t.Fatalf("Count = %d; eating beside a crashed eater is not a ◇WX violation", m.Count())
+	}
+}
+
+func TestOvertakeMonitorCounts(t *testing.T) {
+	g := graph.Path(2)
+	m := NewOvertakeMonitor(g)
+	m.OnTransition(0, 1, core.Thinking, core.Hungry) // victim 1 hungry
+	for i := 0; i < 3; i++ {
+		m.OnTransition(sim.Time(10+i*10), 0, core.Hungry, core.Eating)
+		m.OnTransition(sim.Time(15+i*10), 0, core.Eating, core.Thinking)
+	}
+	m.OnTransition(40, 1, core.Hungry, core.Eating) // victim finally eats
+	if m.MaxCount() != 3 {
+		t.Fatalf("MaxCount = %d, want 3", m.MaxCount())
+	}
+	ws := m.Windows()
+	if len(ws) != 1 {
+		t.Fatalf("windows = %+v, want 1", ws)
+	}
+	w := ws[0]
+	if w.Overtaker != 0 || w.Victim != 1 || w.Count != 3 || !w.Closed {
+		t.Fatalf("window = %+v", w)
+	}
+	if at, ok := m.LastExcessWindow(2); !ok || at != 0 {
+		t.Fatalf("LastExcessWindow(2) = %d,%v, want 0,true", at, ok)
+	}
+	if _, ok := m.LastExcessWindow(3); ok {
+		t.Fatal("no window exceeds 3")
+	}
+}
+
+func TestOvertakeMonitorResetOnNewSession(t *testing.T) {
+	g := graph.Path(2)
+	m := NewOvertakeMonitor(g)
+	m.OnTransition(0, 1, core.Thinking, core.Hungry)
+	m.OnTransition(5, 0, core.Hungry, core.Eating)
+	m.OnTransition(8, 1, core.Hungry, core.Eating) // window closes with count 1
+	m.OnTransition(9, 1, core.Eating, core.Thinking)
+	m.OnTransition(10, 1, core.Thinking, core.Hungry) // new session
+	m.OnTransition(11, 0, core.Hungry, core.Eating)
+	m.OnTransition(12, 1, core.Hungry, core.Eating)
+	m.Finish(20)
+	if m.MaxCount() != 1 {
+		t.Fatalf("MaxCount = %d, want 1 (sessions measured independently)", m.MaxCount())
+	}
+	if m.MaxCountFrom(10) != 1 {
+		t.Fatalf("MaxCountFrom(10) = %d, want 1", m.MaxCountFrom(10))
+	}
+	if m.MaxCountFrom(15) != 0 {
+		t.Fatalf("MaxCountFrom(15) = %d, want 0", m.MaxCountFrom(15))
+	}
+}
+
+func TestOvertakeMonitorCrashClosesWindow(t *testing.T) {
+	g := graph.Path(2)
+	m := NewOvertakeMonitor(g)
+	m.OnTransition(0, 1, core.Thinking, core.Hungry)
+	m.OnTransition(5, 0, core.Hungry, core.Eating)
+	m.OnCrash(7, 1) // hungry victim crashes: window closes
+	m.OnTransition(8, 0, core.Eating, core.Thinking)
+	m.OnTransition(9, 0, core.Thinking, core.Hungry)
+	m.OnTransition(10, 0, core.Hungry, core.Eating) // no live hungry neighbor
+	m.Finish(20)
+	var victim1 []OvertakeWindow
+	for _, w := range m.Windows() {
+		if w.Victim == 1 {
+			victim1 = append(victim1, w)
+		}
+	}
+	if len(victim1) != 1 || victim1[0].Count != 1 || victim1[0].ClosedAt != 7 {
+		t.Fatalf("victim-1 windows = %+v", victim1)
+	}
+	if m.MaxCount() != 1 {
+		t.Fatalf("MaxCount = %d, want 1", m.MaxCount())
+	}
+}
+
+func TestOvertakeMonitorFinishMarksOpenWindows(t *testing.T) {
+	g := graph.Path(2)
+	m := NewOvertakeMonitor(g)
+	m.OnTransition(3, 1, core.Thinking, core.Hungry)
+	m.OnTransition(5, 0, core.Hungry, core.Eating)
+	m.Finish(100)
+	ws := m.Windows()
+	if len(ws) != 1 || ws[0].Closed || ws[0].ClosedAt != 100 || ws[0].Count != 1 {
+		t.Fatalf("windows = %+v", ws)
+	}
+}
+
+func TestProgressMonitorLatency(t *testing.T) {
+	m := NewProgressMonitor(2)
+	m.OnTransition(10, 0, core.Thinking, core.Hungry)
+	m.OnTransition(25, 0, core.Hungry, core.Eating)
+	m.OnTransition(30, 1, core.Thinking, core.Hungry)
+	s := m.Stats()
+	if s.Completed != 1 || s.MaxLatency != 15 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := m.CompletedSessions(); got[0] != 1 || got[1] != 0 {
+		t.Fatalf("CompletedSessions = %v", got)
+	}
+	if starving := m.Starving(100, 50); len(starving) != 1 || starving[0] != 1 {
+		t.Fatalf("Starving = %v, want [1]", starving)
+	}
+	if starving := m.Starving(100, 80); len(starving) != 0 {
+		t.Fatalf("Starving with high threshold = %v, want empty", starving)
+	}
+	if since, ok := m.HungrySince(1); !ok || since != 30 {
+		t.Fatalf("HungrySince(1) = %d,%v", since, ok)
+	}
+	if _, ok := m.HungrySince(0); ok {
+		t.Fatal("process 0 is eating, not hungry")
+	}
+}
+
+func TestProgressMonitorCrashedNotStarving(t *testing.T) {
+	m := NewProgressMonitor(1)
+	m.OnTransition(0, 0, core.Thinking, core.Hungry)
+	m.OnCrash(5, 0)
+	if starving := m.Starving(1000, 1); len(starving) != 0 {
+		t.Fatalf("crashed process counted as starving: %v", starving)
+	}
+}
+
+func TestProgressStatsEmpty(t *testing.T) {
+	m := NewProgressMonitor(1)
+	s := m.Stats()
+	if s.Completed != 0 || s.MaxLatency != 0 || s.P99 != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestOccupancyMonitor(t *testing.T) {
+	m := NewOccupancyMonitor(3)
+	m.OnSend(1, 0, 1, nil)
+	m.OnSend(2, 1, 0, nil) // same undirected edge
+	m.OnSend(3, 1, 2, nil) // different edge
+	if m.EdgeHighWater(0, 1) != 2 {
+		t.Fatalf("edge {0,1} high water = %d, want 2", m.EdgeHighWater(0, 1))
+	}
+	if m.EdgeHighWater(1, 0) != 2 {
+		t.Fatal("edge key must be undirected")
+	}
+	m.OnDeliver(4, 0, 1, nil)
+	m.OnDrop(5, 1, 0, nil)
+	m.OnSend(6, 0, 1, nil)
+	if m.EdgeHighWater(0, 1) != 2 {
+		t.Fatalf("high water should remain 2, got %d", m.EdgeHighWater(0, 1))
+	}
+	if m.MaxHighWater() != 2 {
+		t.Fatalf("MaxHighWater = %d, want 2", m.MaxHighWater())
+	}
+	obs := m.Observer()
+	if obs.OnSend == nil || obs.OnDeliver == nil || obs.OnDrop == nil {
+		t.Fatal("Observer must wire all hooks")
+	}
+}
+
+func TestQuiescenceMonitor(t *testing.T) {
+	m := NewQuiescenceMonitor()
+	m.OnSend(1, 0, 1, nil) // before crash: not counted
+	m.OnCrash(5, 1)
+	m.OnCrash(6, 1) // duplicate ignored
+	m.OnSend(7, 0, 1, nil)
+	m.OnSend(9, 2, 1, nil)
+	if m.SendsAfterCrash(1) != 2 {
+		t.Fatalf("SendsAfterCrash = %d, want 2", m.SendsAfterCrash(1))
+	}
+	if m.TotalSendsAfterCrash() != 2 {
+		t.Fatalf("TotalSendsAfterCrash = %d, want 2", m.TotalSendsAfterCrash())
+	}
+	if last, ok := m.LastSendToCrashed(); !ok || last != 9 {
+		t.Fatalf("LastSendToCrashed = %d,%v", last, ok)
+	}
+	if m.QuiescentBy(9) {
+		t.Fatal("send at 9 means not quiescent by 9")
+	}
+	if !m.QuiescentBy(10) {
+		t.Fatal("no sends at/after 10: quiescent")
+	}
+}
+
+func TestMixMonitor(t *testing.T) {
+	m := NewMixMonitor()
+	m.OnSend(1, 0, 1, core.Message{Kind: core.Ping})
+	m.OnSend(2, 1, 0, core.Message{Kind: core.Ack})
+	m.OnSend(3, 0, 1, core.Message{Kind: core.Ping})
+	m.OnSend(4, 0, 1, core.Message{Kind: core.Fork})
+	m.OnSend(5, 0, 1, "not-a-dining-message")
+	if m.Count(core.Ping) != 2 || m.Count(core.Ack) != 1 || m.Count(core.Fork) != 1 {
+		t.Fatalf("counts: ping=%d ack=%d fork=%d", m.Count(core.Ping), m.Count(core.Ack), m.Count(core.Fork))
+	}
+	if m.Total() != 4 || m.Other() != 1 {
+		t.Fatalf("total=%d other=%d", m.Total(), m.Other())
+	}
+	if m.PerSessionX100(core.Ping, 4) != 50 {
+		t.Fatalf("PerSessionX100 = %d, want 50", m.PerSessionX100(core.Ping, 4))
+	}
+	if m.PerSessionX100(core.Ping, 0) != 0 {
+		t.Fatal("zero sessions must not divide")
+	}
+}
+
+func TestSuiteFansOut(t *testing.T) {
+	g := graph.Path(2)
+	s := NewSuite(g)
+	s.OnTransition(1, 0, core.Thinking, core.Hungry)
+	s.OnTransition(2, 0, core.Hungry, core.Eating)
+	s.OnTransition(3, 1, core.Thinking, core.Hungry)
+	s.OnTransition(4, 1, core.Hungry, core.Eating) // violation + overtake windows
+	s.OnCrash(5, 0)
+	obs := s.Observer()
+	obs.OnSend(6, 1, 0, nil)
+	obs.OnDeliver(7, 1, 0, nil)
+	s.Finish(10)
+	if s.Exclusion.Count() != 1 {
+		t.Fatalf("suite exclusion count = %d, want 1", s.Exclusion.Count())
+	}
+	if s.Progress.Stats().Completed != 2 {
+		t.Fatalf("suite progress completed = %d, want 2", s.Progress.Stats().Completed)
+	}
+	if s.Quiescence.SendsAfterCrash(0) != 1 {
+		t.Fatal("suite quiescence did not see the send")
+	}
+	if s.Occupancy.EdgeHighWater(0, 1) != 1 {
+		t.Fatal("suite occupancy did not see the send")
+	}
+}

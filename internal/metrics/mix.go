@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// MixMonitor counts dining traffic by message kind. Section 7's
+// accounting says a hungry session costs at most one ping+ack exchange
+// and one request+fork exchange per neighbor, so per-session kind
+// counts should approach 2δ̄ pings/acks and 2δ̄ requests/forks on
+// saturated workloads (δ̄ = average conflict degree), with thinking-time
+// skipping some exchanges.
+type MixMonitor struct {
+	counts map[core.MsgKind]uint64
+	other  uint64
+}
+
+// NewMixMonitor creates an empty monitor.
+func NewMixMonitor() *MixMonitor {
+	return &MixMonitor{counts: make(map[core.MsgKind]uint64)}
+}
+
+// OnSend implements the sim.Observer send hook.
+func (m *MixMonitor) OnSend(_ sim.Time, _, _ int, payload any) {
+	if msg, ok := payload.(core.Message); ok {
+		m.counts[msg.Kind]++
+		return
+	}
+	m.other++
+}
+
+// Count returns how many messages of kind k were sent.
+func (m *MixMonitor) Count(k core.MsgKind) uint64 { return m.counts[k] }
+
+// Total returns all dining messages counted.
+func (m *MixMonitor) Total() uint64 {
+	var t uint64
+	for _, c := range m.counts {
+		t += c
+	}
+	return t
+}
+
+// Other returns non-dining payloads seen (0 on a dining-only network).
+func (m *MixMonitor) Other() uint64 { return m.other }
+
+// PerSession returns the kind count divided by completed sessions
+// (×100, integer arithmetic).
+func (m *MixMonitor) PerSessionX100(k core.MsgKind, sessions int) uint64 {
+	if sessions <= 0 {
+		return 0
+	}
+	return m.counts[k] * 100 / uint64(sessions)
+}

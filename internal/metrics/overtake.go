@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// OvertakeWindow records one completed bounded-waiting window: victim
+// was continuously hungry from HungryAt until ClosedAt (when it ate,
+// crashed, or the run ended), during which Overtaker began eating Count
+// times.
+type OvertakeWindow struct {
+	Overtaker int
+	Victim    int
+	HungryAt  sim.Time
+	ClosedAt  sim.Time
+	Count     int
+	Closed    bool // false if the window was still open at Finish time
+}
+
+// OvertakeMonitor measures k-bounded waiting (the paper's Section 2
+// fairness definition): how many consecutive times a process goes to
+// eat while some live neighbor remains continuously hungry. Theorem 3
+// guarantees that every run has a suffix in which no window's count
+// exceeds 2.
+type OvertakeMonitor struct {
+	g        *graph.Graph
+	hungryAt []sim.Time
+	hungry   []bool
+	crashed  []bool
+	count    [][]int // count[i][j]: eats by i during j's current hungry session
+	windows  []OvertakeWindow
+}
+
+// NewOvertakeMonitor creates a monitor over conflict graph g.
+func NewOvertakeMonitor(g *graph.Graph) *OvertakeMonitor {
+	n := g.N()
+	m := &OvertakeMonitor{
+		g:        g,
+		hungryAt: make([]sim.Time, n),
+		hungry:   make([]bool, n),
+		crashed:  make([]bool, n),
+		count:    make([][]int, n),
+	}
+	for i := range m.count {
+		m.count[i] = make([]int, n)
+	}
+	return m
+}
+
+// OnTransition feeds a dining transition to the monitor.
+func (m *OvertakeMonitor) OnTransition(at sim.Time, id int, _, to core.State) {
+	switch to {
+	case core.Hungry:
+		m.hungry[id] = true
+		m.hungryAt[id] = at
+		for _, j := range m.g.Neighbors(id) {
+			m.count[j][id] = 0
+		}
+	case core.Eating:
+		// id's own hungry window closes.
+		if m.hungry[id] {
+			m.closeWindows(at, id)
+		}
+		// id overtakes every still-hungry live neighbor.
+		for _, j := range m.g.Neighbors(id) {
+			if m.hungry[j] && !m.crashed[j] {
+				m.count[id][j]++
+			}
+		}
+	}
+}
+
+// closeWindows finalizes the windows of victim id against each
+// neighbor.
+func (m *OvertakeMonitor) closeWindows(at sim.Time, id int) {
+	m.hungry[id] = false
+	for _, j := range m.g.Neighbors(id) {
+		m.windows = append(m.windows, OvertakeWindow{
+			Overtaker: j,
+			Victim:    id,
+			HungryAt:  m.hungryAt[id],
+			ClosedAt:  at,
+			Count:     m.count[j][id],
+			Closed:    true,
+		})
+		m.count[j][id] = 0
+	}
+}
+
+// OnCrash feeds a crash to the monitor: a crashed victim's windows
+// close (bounded waiting protects live hungry processes only), and a
+// crashed overtaker stops accumulating.
+func (m *OvertakeMonitor) OnCrash(at sim.Time, id int) {
+	m.crashed[id] = true
+	if m.hungry[id] {
+		m.closeWindows(at, id)
+	}
+}
+
+// Finish closes all still-open windows at time end. Call once when the
+// run is over, before reading results.
+func (m *OvertakeMonitor) Finish(end sim.Time) {
+	for id := 0; id < m.g.N(); id++ {
+		if m.hungry[id] {
+			m.hungry[id] = false
+			for _, j := range m.g.Neighbors(id) {
+				m.windows = append(m.windows, OvertakeWindow{
+					Overtaker: j,
+					Victim:    id,
+					HungryAt:  m.hungryAt[id],
+					ClosedAt:  end,
+					Count:     m.count[j][id],
+					Closed:    false,
+				})
+				m.count[j][id] = 0
+			}
+		}
+	}
+}
+
+// Windows returns every recorded window.
+func (m *OvertakeMonitor) Windows() []OvertakeWindow {
+	out := make([]OvertakeWindow, len(m.windows))
+	copy(out, m.windows)
+	return out
+}
+
+// MaxCount returns the largest overtake count across all windows.
+func (m *OvertakeMonitor) MaxCount() int {
+	best := 0
+	for _, w := range m.windows {
+		if w.Count > best {
+			best = w.Count
+		}
+	}
+	return best
+}
+
+// MaxCountFrom returns the largest overtake count among windows whose
+// hungry session started at or after t. Theorem 3's bound of 2 applies
+// to the suffix of sessions starting after both ◇P₁ convergence and the
+// drain of pre-convergence hungry sessions.
+func (m *OvertakeMonitor) MaxCountFrom(t sim.Time) int {
+	best := 0
+	for _, w := range m.windows {
+		if w.HungryAt >= t && w.Count > best {
+			best = w.Count
+		}
+	}
+	return best
+}
+
+// LastExcessWindow returns the start time of the latest window (by
+// hungry start) whose count exceeds k, and whether one exists — i.e.
+// when the run last violated k-bounded waiting.
+func (m *OvertakeMonitor) LastExcessWindow(k int) (sim.Time, bool) {
+	var last sim.Time
+	found := false
+	for _, w := range m.windows {
+		if w.Count > k && (!found || w.HungryAt > last) {
+			last = w.HungryAt
+			found = true
+		}
+	}
+	return last, found
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SessionStats summarizes hungry-session latency for wait-freedom
+// measurements (Theorem 2).
+type SessionStats struct {
+	Completed  int
+	MaxLatency sim.Time
+	MeanX100   sim.Time // mean latency ×100 (integer arithmetic only)
+	P99        sim.Time
+}
+
+// ProgressMonitor tracks hungry-session latency per process and detects
+// starvation: live processes whose hungry session never completed.
+type ProgressMonitor struct {
+	n         int
+	hungryAt  []sim.Time
+	hungry    []bool
+	crashed   []bool
+	latencies []sim.Time
+	perProc   []int // completed sessions per process
+}
+
+// NewProgressMonitor creates a monitor for n processes.
+func NewProgressMonitor(n int) *ProgressMonitor {
+	return &ProgressMonitor{
+		n:        n,
+		hungryAt: make([]sim.Time, n),
+		hungry:   make([]bool, n),
+		crashed:  make([]bool, n),
+		perProc:  make([]int, n),
+	}
+}
+
+// OnTransition feeds a dining transition to the monitor.
+func (m *ProgressMonitor) OnTransition(at sim.Time, id int, _, to core.State) {
+	switch to {
+	case core.Hungry:
+		m.hungry[id] = true
+		m.hungryAt[id] = at
+	case core.Eating:
+		if m.hungry[id] {
+			m.latencies = append(m.latencies, at-m.hungryAt[id])
+			m.perProc[id]++
+			m.hungry[id] = false
+		}
+	}
+}
+
+// OnCrash feeds a crash to the monitor.
+func (m *ProgressMonitor) OnCrash(_ sim.Time, id int) {
+	m.crashed[id] = true
+	m.hungry[id] = false
+}
+
+// Starving returns the live processes that are still hungry at time
+// end, with how long they have been waiting. After a generous horizon,
+// a wait-free algorithm leaves this empty (up to sessions that began
+// near the end; callers pass a horizon that excludes those).
+func (m *ProgressMonitor) Starving(end sim.Time, olderThan sim.Time) []int {
+	var out []int
+	for i := 0; i < m.n; i++ {
+		if m.hungry[i] && !m.crashed[i] && end-m.hungryAt[i] >= olderThan {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HungrySince returns when live process i's open hungry session began;
+// ok is false if i is not currently hungry (or crashed).
+func (m *ProgressMonitor) HungrySince(i int) (sim.Time, bool) {
+	if i < 0 || i >= m.n || !m.hungry[i] || m.crashed[i] {
+		return 0, false
+	}
+	return m.hungryAt[i], true
+}
+
+// CompletedSessions returns per-process completed hungry sessions.
+func (m *ProgressMonitor) CompletedSessions() []int {
+	out := make([]int, m.n)
+	copy(out, m.perProc)
+	return out
+}
+
+// Stats aggregates latencies of completed sessions.
+func (m *ProgressMonitor) Stats() SessionStats {
+	s := SessionStats{Completed: len(m.latencies)}
+	if s.Completed == 0 {
+		return s
+	}
+	sorted := make([]sim.Time, len(m.latencies))
+	copy(sorted, m.latencies)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	var sum sim.Time
+	for _, l := range sorted {
+		sum += l
+	}
+	s.MaxLatency = sorted[len(sorted)-1]
+	s.MeanX100 = sum * 100 / sim.Time(len(sorted))
+	idx := len(sorted) * 99 / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	s.P99 = sorted[idx]
+	return s
+}

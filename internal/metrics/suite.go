@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Suite bundles every monitor and fans events out to all of them. It
+// plugs directly into runner.Config (OnTransition, OnCrash) and
+// sim.Network (Observer).
+type Suite struct {
+	Exclusion  *ExclusionMonitor
+	Overtake   *OvertakeMonitor
+	Progress   *ProgressMonitor
+	Occupancy  *OccupancyMonitor
+	Quiescence *QuiescenceMonitor
+	Mix        *MixMonitor
+}
+
+// NewSuite creates monitors for conflict graph g.
+func NewSuite(g *graph.Graph) *Suite {
+	return &Suite{
+		Exclusion:  NewExclusionMonitor(g),
+		Overtake:   NewOvertakeMonitor(g),
+		Progress:   NewProgressMonitor(g.N()),
+		Occupancy:  NewOccupancyMonitor(g.N()),
+		Quiescence: NewQuiescenceMonitor(),
+		Mix:        NewMixMonitor(),
+	}
+}
+
+// OnTransition fans a dining transition out to every monitor.
+func (s *Suite) OnTransition(at sim.Time, id int, from, to core.State) {
+	s.Exclusion.OnTransition(at, id, from, to)
+	s.Overtake.OnTransition(at, id, from, to)
+	s.Progress.OnTransition(at, id, from, to)
+}
+
+// OnCrash fans a crash event out to every monitor.
+func (s *Suite) OnCrash(at sim.Time, id int) {
+	s.Exclusion.OnCrash(at, id)
+	s.Overtake.OnCrash(at, id)
+	s.Progress.OnCrash(at, id)
+	s.Quiescence.OnCrash(at, id)
+}
+
+// Observer returns the network observer feeding the channel monitors.
+func (s *Suite) Observer() sim.Observer {
+	return sim.Observer{
+		OnSend: func(at sim.Time, from, to int, payload any) {
+			s.Occupancy.OnSend(at, from, to, payload)
+			s.Quiescence.OnSend(at, from, to, payload)
+			s.Mix.OnSend(at, from, to, payload)
+		},
+		OnDeliver: s.Occupancy.OnDeliver,
+		OnDrop:    s.Occupancy.OnDrop,
+	}
+}
+
+// Finish finalizes open measurement windows at the end of a run.
+func (s *Suite) Finish(end sim.Time) {
+	s.Overtake.Finish(end)
+}

@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/detector"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// TestQuickFullPaperUnderFlakyDetector is the whole paper as one
+// property: for random topologies, random crash schedules, and random
+// pre-convergence detector mistakes, Algorithm 1 must satisfy
+//
+//   - no protocol-invariant corruption, ever (Lemmas 1.1–2.2);
+//   - exclusion violations only before the detector converges
+//     (Theorem 1);
+//   - ≤2 consecutive overtakes for hungry sessions starting in the
+//     converged, drained suffix (Theorem 3);
+//   - no starvation of live processes (Theorem 2);
+//   - ≤4 dining messages per edge at all times (Section 7);
+//   - quiescence toward crashed processes by the end (Section 7).
+func TestQuickFullPaperUnderFlakyDetector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is slow")
+	}
+	const (
+		convergeAt = sim.Time(1500)
+		maxHold    = sim.Time(60)
+		horizon    = sim.Time(25000)
+	)
+	f := func(seed int64, rawN, rawP, crashRaw, rateRaw uint8) bool {
+		n := int(rawN%8) + 3
+		p := float64(rawP%50)/100 + 0.2
+		g := graph.ConnectedGNP(n, p, sim.NewKernel(seed).Rand())
+		suite := metrics.NewSuite(g)
+		rate := float64(rateRaw%80)/100 + 0.1
+		r, err := New(Config{
+			Graph:  g,
+			Seed:   seed,
+			Delays: sim.UniformDelay{Min: 1, Max: 5},
+			NewDetector: func(k *sim.Kernel, gg *graph.Graph) detector.Detector {
+				fd := detector.NewFlaky(k, gg, detector.FlakyConfig{
+					ConvergeAt:   convergeAt,
+					Rate:         rate,
+					CheckEvery:   7,
+					MaxHold:      maxHold,
+					CrashLatency: 15,
+				})
+				fd.Start()
+				return fd
+			},
+			Workload:     Saturated(),
+			OnTransition: suite.OnTransition,
+			OnCrash:      suite.OnCrash,
+		})
+		if err != nil {
+			return false
+		}
+		r.Network().SetObserver(suite.Observer())
+		crashes := int(crashRaw) % n
+		for c := 0; c < crashes; c++ {
+			// Crashes both before and after detector convergence.
+			r.CrashAt(sim.Time(400+600*c), c)
+		}
+		r.Run(horizon)
+		suite.Finish(horizon)
+
+		if r.CheckInvariants() != nil {
+			return false
+		}
+		// Mistakes end by convergeAt+maxHold; allow drain slack for
+		// eating sessions begun under a mistaken guard.
+		conv := convergeAt + maxHold + 200
+		if suite.Exclusion.CountAfter(conv) != 0 {
+			return false
+		}
+		// Suffix fairness: generous drain after convergence.
+		if suite.Overtake.MaxCountFrom(horizon/2) > 2 {
+			return false
+		}
+		if suite.Occupancy.MaxHighWater() > 4 {
+			return false
+		}
+		if len(suite.Progress.Starving(horizon, 5000)) != 0 {
+			return false
+		}
+		return suite.Quiescence.QuiescentBy(horizon - 5000)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

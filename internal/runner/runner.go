@@ -1,0 +1,332 @@
+// Package runner assembles a dining system inside the deterministic
+// simulator: it wires a conflict graph, a network, a failure detector,
+// one dining process per vertex, a hunger/eating workload, and crash
+// injection, and exposes transition and network events to monitors.
+//
+// The runner drives any core.Process implementation, so Algorithm 1 and
+// the baseline algorithms run under identical adversarial schedules —
+// same seed, same delays, same crash times — which is what makes the
+// paper-vs-baseline comparisons meaningful.
+package runner
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Workload controls when processes get hungry and how long they eat.
+// Durations are drawn uniformly from the inclusive ranges.
+type Workload struct {
+	// ThinkMin/ThinkMax bound the thinking time between sessions.
+	ThinkMin, ThinkMax sim.Time
+	// EatMin/EatMax bound the eating duration (the paper requires
+	// finite eating times for correct processes).
+	EatMin, EatMax sim.Time
+	// Sessions caps hungry sessions per process; 0 means unlimited
+	// (the process re-becomes hungry forever — a saturated daemon).
+	Sessions int
+	// FirstHungerMax staggers initial hunger uniformly over
+	// [0, FirstHungerMax]; 0 means everyone is hungry at time 0.
+	FirstHungerMax sim.Time
+}
+
+// Saturated returns a workload in which every process is permanently
+// re-hungry with short eats — the harshest fairness workload.
+func Saturated() Workload {
+	return Workload{ThinkMin: 0, ThinkMax: 0, EatMin: 1, EatMax: 3}
+}
+
+// ProcessFactory builds the dining process for one vertex.
+// nbrColors maps each conflict-graph neighbor to its color and suspects
+// is the vertex's local ◇P₁ module.
+type ProcessFactory func(id, color int, nbrColors map[int]int, suspects func(j int) bool) (core.Process, error)
+
+// DetectorFactory builds the failure detector for a run. The factory
+// must return a fully armed detector: implementations with a Start
+// method (Heartbeat, Scripted) should be started inside the factory.
+type DetectorFactory func(k *sim.Kernel, g *graph.Graph) detector.Detector
+
+// Config assembles a Runner.
+type Config struct {
+	// Graph is the conflict graph (required).
+	Graph *graph.Graph
+	// Colors are static priorities; nil selects greedy Δ+1 coloring.
+	Colors []int
+	// Seed feeds all simulation randomness.
+	Seed int64
+	// TieBreak orders simultaneous kernel events (default FIFO; LIFO
+	// and Random are adversarial schedulers).
+	TieBreak sim.TieBreak
+	// Delays is the dining network's delay model; nil = FixedDelay{1}.
+	Delays sim.DelayModel
+	// NewDetector builds the oracle; nil = detector.Never (no oracle).
+	NewDetector DetectorFactory
+	// NewProcess builds each vertex's algorithm; nil = core.NewDiner
+	// with default options (the paper's Algorithm 1).
+	NewProcess ProcessFactory
+	// Workload drives hunger; the zero value is Saturated with
+	// moderate thinking (see normalize).
+	Workload Workload
+
+	// OnTransition observes every dining-state transition.
+	OnTransition func(at sim.Time, id int, from, to core.State)
+	// OnCrash observes crash injections.
+	OnCrash func(at sim.Time, id int)
+}
+
+// Runner is an assembled simulation.
+type Runner struct {
+	cfg    Config
+	k      *sim.Kernel
+	g      *graph.Graph
+	net    *sim.Network
+	det    detector.Detector
+	colors []int
+	procs  []core.Process
+
+	sessionsStarted []int
+}
+
+// CoreFactory returns a ProcessFactory producing the paper's
+// Algorithm 1 with the given options.
+func CoreFactory(opts core.Options) ProcessFactory {
+	return func(id, color int, nbrColors map[int]int, suspects func(j int) bool) (core.Process, error) {
+		return core.NewDiner(core.Config{
+			ID:             id,
+			Color:          color,
+			NeighborColors: nbrColors,
+			Suspects:       suspects,
+			Options:        opts,
+		})
+	}
+}
+
+// New builds a runner from cfg.
+func New(cfg Config) (*Runner, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("runner: Config.Graph is required")
+	}
+	g := cfg.Graph
+	n := g.N()
+	k := sim.NewKernel(cfg.Seed)
+	k.SetTieBreak(cfg.TieBreak)
+
+	colors := cfg.Colors
+	if colors == nil {
+		colors = g.GreedyColoring()
+	}
+	if len(colors) != n {
+		return nil, fmt.Errorf("runner: %d colors for %d vertices", len(colors), n)
+	}
+	if !g.IsProperColoring(colors) {
+		return nil, errors.New("runner: colors are not a proper coloring")
+	}
+
+	delays := cfg.Delays
+	if delays == nil {
+		delays = sim.FixedDelay{D: 1}
+	}
+	net := sim.NewNetwork(k, n, delays)
+
+	var det detector.Detector = detector.Never{}
+	if cfg.NewDetector != nil {
+		det = cfg.NewDetector(k, g)
+	}
+
+	factory := cfg.NewProcess
+	if factory == nil {
+		factory = CoreFactory(core.Options{})
+	}
+
+	r := &Runner{
+		cfg:             cfg,
+		k:               k,
+		g:               g,
+		net:             net,
+		det:             det,
+		colors:          colors,
+		procs:           make([]core.Process, n),
+		sessionsStarted: make([]int, n),
+	}
+	r.cfg.Workload = normalize(cfg.Workload)
+
+	for i := 0; i < n; i++ {
+		i := i
+		nbrColors := make(map[int]int)
+		for _, j := range g.Neighbors(i) {
+			nbrColors[j] = colors[j]
+		}
+		suspects := func(j int) bool { return r.det.Suspects(i, j) }
+		p, err := factory(i, colors[i], nbrColors, suspects)
+		if err != nil {
+			return nil, fmt.Errorf("runner: process %d: %w", i, err)
+		}
+		r.procs[i] = p
+		if err := net.Register(i, func(from int, payload any) {
+			m, ok := payload.(core.Message)
+			if !ok {
+				return
+			}
+			r.step(i, func() []core.Message { return r.procs[i].Deliver(m) })
+		}); err != nil {
+			return nil, err
+		}
+		if notifier, ok := r.det.(detector.Notifier); ok {
+			notifier.SetListener(i, func() {
+				r.step(i, func() []core.Message { return r.procs[i].ReevaluateSuspicion() })
+			})
+		}
+	}
+
+	// Schedule initial hunger.
+	for i := 0; i < n; i++ {
+		i := i
+		at := sim.Time(0)
+		if r.cfg.Workload.FirstHungerMax > 0 {
+			at = sim.Time(k.Rand().Int63n(int64(r.cfg.Workload.FirstHungerMax) + 1))
+		}
+		k.At(at, func() { r.hunger(i) })
+	}
+	return r, nil
+}
+
+func normalize(w Workload) Workload {
+	if w.EatMax < w.EatMin {
+		w.EatMax = w.EatMin
+	}
+	if w.ThinkMax < w.ThinkMin {
+		w.ThinkMax = w.ThinkMin
+	}
+	if w.EatMin <= 0 && w.EatMax <= 0 {
+		w.EatMin, w.EatMax = 1, 3
+	}
+	return w
+}
+
+func (r *Runner) uniform(lo, hi sim.Time) sim.Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + sim.Time(r.k.Rand().Int63n(int64(hi-lo)+1))
+}
+
+// step executes one atomic action of process i, transmits its output,
+// and reacts to any state transition.
+func (r *Runner) step(i int, action func() []core.Message) {
+	if r.net.Crashed(i) {
+		return
+	}
+	before := r.procs[i].State()
+	msgs := action()
+	after := r.procs[i].State()
+	for _, m := range msgs {
+		_ = r.net.Send(i, m.To, m)
+	}
+	if before == after {
+		return
+	}
+	if r.cfg.OnTransition != nil {
+		// BecomeHungry can pass straight through to eating (e.g. an
+		// isolated vertex, or all neighbors suspected); surface the
+		// transient hungry phase so monitors see every phase boundary.
+		if before == core.Thinking && after == core.Eating {
+			r.cfg.OnTransition(r.k.Now(), i, core.Thinking, core.Hungry)
+			r.cfg.OnTransition(r.k.Now(), i, core.Hungry, core.Eating)
+		} else {
+			r.cfg.OnTransition(r.k.Now(), i, before, after)
+		}
+	}
+	switch after {
+	case core.Eating:
+		d := r.uniform(r.cfg.Workload.EatMin, r.cfg.Workload.EatMax)
+		r.k.After(d, func() {
+			r.step(i, func() []core.Message { return r.procs[i].ExitEating() })
+		})
+	case core.Thinking:
+		r.scheduleNextHunger(i)
+	}
+}
+
+func (r *Runner) scheduleNextHunger(i int) {
+	w := r.cfg.Workload
+	if w.Sessions > 0 && r.sessionsStarted[i] >= w.Sessions {
+		return
+	}
+	d := r.uniform(w.ThinkMin, w.ThinkMax)
+	r.k.After(d, func() { r.hunger(i) })
+}
+
+func (r *Runner) hunger(i int) {
+	if r.net.Crashed(i) {
+		return
+	}
+	if r.procs[i].State() != core.Thinking {
+		return
+	}
+	w := r.cfg.Workload
+	if w.Sessions > 0 && r.sessionsStarted[i] >= w.Sessions {
+		return
+	}
+	r.sessionsStarted[i]++
+	r.step(i, func() []core.Message { return r.procs[i].BecomeHungry() })
+}
+
+// CrashAt schedules process id to crash at time t.
+func (r *Runner) CrashAt(t sim.Time, id int) {
+	r.k.At(t, func() {
+		if r.net.Crashed(id) {
+			return
+		}
+		_ = r.net.Crash(id)
+		if ca, ok := r.det.(detector.CrashAware); ok {
+			ca.ObserveCrash(id)
+		}
+		if r.cfg.OnCrash != nil {
+			r.cfg.OnCrash(r.k.Now(), id)
+		}
+	})
+}
+
+// Run executes the simulation until the virtual deadline.
+func (r *Runner) Run(until sim.Time) { r.k.Run(until) }
+
+// Kernel returns the simulation kernel.
+func (r *Runner) Kernel() *sim.Kernel { return r.k }
+
+// Network returns the dining-layer network.
+func (r *Runner) Network() *sim.Network { return r.net }
+
+// Detector returns the failure detector.
+func (r *Runner) Detector() detector.Detector { return r.det }
+
+// Graph returns the conflict graph.
+func (r *Runner) Graph() *graph.Graph { return r.g }
+
+// Colors returns the static priority assignment.
+func (r *Runner) Colors() []int {
+	out := make([]int, len(r.colors))
+	copy(out, r.colors)
+	return out
+}
+
+// Process returns the dining process at vertex i.
+func (r *Runner) Process(i int) core.Process { return r.procs[i] }
+
+// SessionsStarted returns how many hungry sessions vertex i has begun.
+func (r *Runner) SessionsStarted(i int) int { return r.sessionsStarted[i] }
+
+// CheckInvariants returns the first protocol violation recorded by any
+// process, or nil. Tests call it at the end of every run.
+func (r *Runner) CheckInvariants() error {
+	for i, p := range r.procs {
+		if err := p.Err(); err != nil {
+			return fmt.Errorf("process %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,462 @@
+package runner
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// build assembles a runner with a metrics suite attached.
+func build(t *testing.T, cfg Config) (*Runner, *metrics.Suite) {
+	t.Helper()
+	suite := metrics.NewSuite(cfg.Graph)
+	cfg.OnTransition = suite.OnTransition
+	cfg.OnCrash = suite.OnCrash
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Network().SetObserver(suite.Observer())
+	return r, suite
+}
+
+func perfectFactory(latency sim.Time) DetectorFactory {
+	return func(k *sim.Kernel, g *graph.Graph) detector.Detector {
+		return detector.NewPerfect(k, g, latency)
+	}
+}
+
+func heartbeatFactory(gst sim.Time, preMax sim.Time) DetectorFactory {
+	return func(k *sim.Kernel, g *graph.Graph) detector.Detector {
+		delays := sim.GSTDelay{
+			GST:  gst,
+			Pre:  sim.UniformDelay{Min: 0, Max: preMax},
+			Post: sim.FixedDelay{D: 1},
+		}
+		hb := detector.NewHeartbeat(k, g, delays, detector.HeartbeatConfig{
+			Period: 5, InitialTimeout: 12, Increment: 10,
+		})
+		hb.Start()
+		return hb
+	}
+}
+
+func TestCrashFreeSafetyAndFairnessRing(t *testing.T) {
+	g := graph.Ring(12)
+	r, suite := build(t, Config{
+		Graph:    g,
+		Seed:     1,
+		Delays:   sim.UniformDelay{Min: 1, Max: 4},
+		Workload: Saturated(),
+	})
+	r.Run(10000)
+	suite.Finish(10000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n := suite.Exclusion.Count(); n != 0 {
+		t.Fatalf("crash-free run had %d exclusion violations, want 0", n)
+	}
+	// Theorem 3 with a converged-from-the-start detector: the 2-bound
+	// holds for every window.
+	if m := suite.Overtake.MaxCount(); m > 2 {
+		t.Fatalf("max consecutive overtakes = %d, want ≤ 2", m)
+	}
+	// Wait-freedom: everybody is eating regularly.
+	for i, c := range suite.Progress.CompletedSessions() {
+		if c == 0 {
+			t.Fatalf("process %d never ate in a saturated crash-free run", i)
+		}
+	}
+	// Section 7: ≤ 4 dining messages in transit per edge.
+	if hw := suite.Occupancy.MaxHighWater(); hw > 4 {
+		t.Fatalf("edge occupancy high water = %d, want ≤ 4", hw)
+	}
+}
+
+func TestCrashFreeCliqueAndGrid(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"clique8": graph.Clique(8),
+		"grid4x4": graph.Grid(4, 4),
+		"star9":   graph.Star(9),
+	} {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			r, suite := build(t, Config{
+				Graph:    g,
+				Seed:     7,
+				Delays:   sim.UniformDelay{Min: 1, Max: 5},
+				Workload: Saturated(),
+			})
+			r.Run(20000)
+			suite.Finish(20000)
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if n := suite.Exclusion.Count(); n != 0 {
+				t.Fatalf("violations = %d, want 0", n)
+			}
+			if m := suite.Overtake.MaxCount(); m > 2 {
+				t.Fatalf("max overtakes = %d, want ≤ 2", m)
+			}
+			if hw := suite.Occupancy.MaxHighWater(); hw > 4 {
+				t.Fatalf("occupancy = %d, want ≤ 4", hw)
+			}
+			for i, c := range suite.Progress.CompletedSessions() {
+				if c == 0 {
+					t.Fatalf("process %d starved", i)
+				}
+			}
+		})
+	}
+}
+
+func TestScriptedMistakesCauseOnlyBoundedViolations(t *testing.T) {
+	// Two neighbors; the lower-priority one wrongfully suspects the
+	// higher-priority one during [100, 400). Violations may occur only
+	// while the mistake (or its in-flight consequences) lasts.
+	g := graph.Path(2)
+	var scripted *detector.Scripted
+	r, suite := build(t, Config{
+		Graph:  g,
+		Seed:   3,
+		Delays: sim.FixedDelay{D: 2},
+		NewDetector: func(k *sim.Kernel, gg *graph.Graph) detector.Detector {
+			scripted = detector.NewScripted(k, gg, 0)
+			scripted.AddMistake(0, 1, 100, 400)
+			scripted.AddMistake(1, 0, 100, 400)
+			scripted.Start()
+			return scripted
+		},
+		Workload: Saturated(),
+	})
+	r.Run(5000)
+	suite.Finish(5000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if suite.Exclusion.Count() == 0 {
+		t.Fatal("mutual wrongful suspicion under saturation should cause at least one ◇WX mistake")
+	}
+	// ◇WX: no violations after the mistakes clear (slack for in-flight
+	// eating sessions that began during the window).
+	if n := suite.Exclusion.CountAfter(450); n != 0 {
+		t.Fatalf("%d violations after the detector converged", n)
+	}
+}
+
+func TestWaitFreedomUnderCrashStorm(t *testing.T) {
+	g := graph.Ring(16)
+	r, suite := build(t, Config{
+		Graph:       g,
+		Seed:        11,
+		Delays:      sim.UniformDelay{Min: 1, Max: 4},
+		NewDetector: perfectFactory(20),
+		Workload:    Saturated(),
+	})
+	// Crash half the ring, alternating vertices, in waves.
+	for i := 0; i < 8; i++ {
+		r.CrashAt(sim.Time(500+100*i), 2*i)
+	}
+	r.Run(30000)
+	suite.Finish(30000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n := suite.Exclusion.Count(); n != 0 {
+		t.Fatalf("perfect-detector run had %d violations", n)
+	}
+	// Wait-freedom: no live process is stuck hungry at the end.
+	if starving := suite.Progress.Starving(30000, 2000); len(starving) != 0 {
+		t.Fatalf("starving live processes: %v", starving)
+	}
+	// Survivors keep making progress after every crash.
+	for i := 1; i < 16; i += 2 {
+		if c := suite.Progress.CompletedSessions()[i]; c < 100 {
+			t.Fatalf("survivor %d completed only %d sessions", i, c)
+		}
+	}
+}
+
+func TestChoySinghStarvesNeighborsOfCrashed(t *testing.T) {
+	// Same storm, but with no failure detector (the original
+	// asynchronous doorway): neighbors of the crashed process block.
+	g := graph.Ring(8)
+	r, suite := build(t, Config{
+		Graph:  g,
+		Seed:   11,
+		Delays: sim.UniformDelay{Min: 1, Max: 4},
+		NewProcess: CoreFactory(core.Options{
+			IgnoreDetector:     true,
+			DisableRepliedFlag: true, // original Choy–Singh doorway
+		}),
+		Workload: Saturated(),
+	})
+	r.CrashAt(500, 0)
+	r.Run(30000)
+	suite.Finish(30000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	starving := suite.Progress.Starving(30000, 5000)
+	if len(starving) == 0 {
+		t.Fatal("without a detector, a crash must eventually starve some neighbor")
+	}
+	// Starvation must include at least one neighbor of the crashed
+	// process (it can propagate further through the doorway).
+	foundNeighbor := false
+	for _, s := range starving {
+		if g.HasEdge(0, s) {
+			foundNeighbor = true
+		}
+	}
+	if !foundNeighbor {
+		t.Fatalf("starving set %v does not include a neighbor of the crashed vertex", starving)
+	}
+}
+
+func TestHeartbeatEndToEnd(t *testing.T) {
+	// Full stack: hostile pre-GST delays on the heartbeat network force
+	// detector mistakes; after GST everything must settle into the
+	// paper's guarantees.
+	g := graph.Ring(10)
+	const gst = 2000
+	const end = 40000
+	r, suite := build(t, Config{
+		Graph:       g,
+		Seed:        5,
+		Delays:      sim.UniformDelay{Min: 1, Max: 3},
+		NewDetector: heartbeatFactory(gst, 60),
+		Workload:    Saturated(),
+	})
+	r.CrashAt(3000, 4)
+	r.Run(end)
+	suite.Finish(end)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	hb := r.Detector().(*detector.Heartbeat)
+	_, cleared := hb.LastMistake()
+	conv := cleared + 1
+	if conv > gst+2000 {
+		t.Fatalf("detector converged too late: %d", conv)
+	}
+	// ◇WX: violations only before convergence (plus drain slack for
+	// eats begun before it).
+	if n := suite.Exclusion.CountAfter(conv + 100); n != 0 {
+		t.Fatalf("%d exclusion violations after detector convergence", n)
+	}
+	// ◇2-BW: sessions starting in the converged suffix are 2-bounded.
+	suffix := conv + 5000
+	if m := suite.Overtake.MaxCountFrom(suffix); m > 2 {
+		t.Fatalf("max overtakes in suffix = %d, want ≤ 2", m)
+	}
+	// Wait-freedom despite the crash and detector noise.
+	if starving := suite.Progress.Starving(end, 4000); len(starving) != 0 {
+		t.Fatalf("starving: %v", starving)
+	}
+}
+
+func TestQuiescenceTowardCrashed(t *testing.T) {
+	g := graph.Ring(8)
+	const end = 20000
+	r, suite := build(t, Config{
+		Graph:       g,
+		Seed:        2,
+		Delays:      sim.UniformDelay{Min: 1, Max: 3},
+		NewDetector: perfectFactory(10),
+		Workload:    Saturated(),
+	})
+	r.CrashAt(1000, 3)
+	r.Run(end)
+	suite.Finish(end)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Dining messages to the crashed process must stop quickly: the
+	// residual budget is one ping and one token per live neighbor plus
+	// whatever was already owed (deferred acks/forks in flight).
+	if last, any := suite.Quiescence.LastSendToCrashed(); any && last > 1500 {
+		t.Fatalf("dining message sent to crashed process at %d, long after the crash", last)
+	}
+	if n := suite.Quiescence.SendsAfterCrash(3); n > 8 {
+		t.Fatalf("%d dining messages sent after crash, want a small constant", n)
+	}
+}
+
+func TestChannelBoundUnderDelayVariance(t *testing.T) {
+	g := graph.Clique(6)
+	r, suite := build(t, Config{
+		Graph:    g,
+		Seed:     9,
+		Delays:   sim.UniformDelay{Min: 1, Max: 50}, // heavy reordering pressure
+		Workload: Saturated(),
+	})
+	r.Run(30000)
+	suite.Finish(30000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if hw := suite.Occupancy.MaxHighWater(); hw > 4 {
+		t.Fatalf("per-edge occupancy = %d, exceeds the paper's bound of 4", hw)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, uint64, []int) {
+		g := graph.Grid(3, 3)
+		suite := metrics.NewSuite(g)
+		r, err := New(Config{
+			Graph:        g,
+			Seed:         42,
+			Delays:       sim.UniformDelay{Min: 1, Max: 6},
+			NewDetector:  perfectFactory(15),
+			Workload:     Workload{ThinkMin: 2, ThinkMax: 10, EatMin: 1, EatMax: 4},
+			OnTransition: suite.OnTransition,
+			OnCrash:      suite.OnCrash,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Network().SetObserver(suite.Observer())
+		r.CrashAt(700, 4)
+		r.Run(10000)
+		return suite.Exclusion.Count(), r.Network().TotalSent(), suite.Progress.CompletedSessions()
+	}
+	v1, s1, c1 := run()
+	v2, s2, c2 := run()
+	if v1 != v2 || s1 != s2 {
+		t.Fatalf("nondeterministic run: (%d,%d) vs (%d,%d)", v1, s1, v2, s2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("per-process sessions diverge at %d: %d vs %d", i, c1[i], c2[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil graph must be rejected")
+	}
+	g := graph.Path(3)
+	if _, err := New(Config{Graph: g, Colors: []int{0, 0, 0}}); err == nil {
+		t.Fatal("improper coloring must be rejected")
+	}
+	if _, err := New(Config{Graph: g, Colors: []int{0, 1}}); err == nil {
+		t.Fatal("wrong-length coloring must be rejected")
+	}
+}
+
+func TestSessionLimitedWorkload(t *testing.T) {
+	g := graph.Ring(6)
+	r, suite := build(t, Config{
+		Graph:    g,
+		Seed:     4,
+		Workload: Workload{Sessions: 3, EatMin: 1, EatMax: 2, ThinkMin: 1, ThinkMax: 2},
+	})
+	r.Run(10000)
+	suite.Finish(10000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		if got := r.SessionsStarted(i); got != 3 {
+			t.Fatalf("process %d started %d sessions, want 3", i, got)
+		}
+		if c := suite.Progress.CompletedSessions()[i]; c != 3 {
+			t.Fatalf("process %d completed %d sessions, want 3", i, c)
+		}
+	}
+}
+
+func TestAdversarialTieBreaks(t *testing.T) {
+	// The paper's guarantees are scheduler-independent: rerun the
+	// crash-free saturated ring under LIFO and Random simultaneity.
+	for _, mode := range []sim.TieBreak{sim.LIFO, sim.Random} {
+		g := graph.Ring(10)
+		r, suite := build(t, Config{
+			Graph:    g,
+			Seed:     13,
+			TieBreak: mode,
+			Delays:   sim.UniformDelay{Min: 1, Max: 4},
+			Workload: Saturated(),
+		})
+		r.Run(15000)
+		suite.Finish(15000)
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if n := suite.Exclusion.Count(); n != 0 {
+			t.Fatalf("mode %d: %d violations", mode, n)
+		}
+		if m := suite.Overtake.MaxCount(); m > 2 {
+			t.Fatalf("mode %d: overtakes %d", mode, m)
+		}
+		if hw := suite.Occupancy.MaxHighWater(); hw > 4 {
+			t.Fatalf("mode %d: occupancy %d", mode, hw)
+		}
+		for i, c := range suite.Progress.CompletedSessions() {
+			if c == 0 {
+				t.Fatalf("mode %d: process %d starved", mode, i)
+			}
+		}
+	}
+}
+
+// Property: across random topologies, seeds, and crash schedules with a
+// perfect detector, the algorithm never violates exclusion, never
+// triggers a protocol invariant, respects the channel bound, and
+// starves no live process.
+func TestQuickAlgorithmOneUniversalProperties(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is slow")
+	}
+	f := func(seed int64, rawN, rawP, crashRaw uint8) bool {
+		n := int(rawN%10) + 3
+		p := float64(rawP%60)/100 + 0.15
+		g := graph.ConnectedGNP(n, p, sim.NewKernel(seed).Rand())
+		suite := metrics.NewSuite(g)
+		r, err := New(Config{
+			Graph:        g,
+			Seed:         seed,
+			Delays:       sim.UniformDelay{Min: 1, Max: 6},
+			NewDetector:  perfectFactory(10),
+			Workload:     Saturated(),
+			OnTransition: suite.OnTransition,
+			OnCrash:      suite.OnCrash,
+		})
+		if err != nil {
+			return false
+		}
+		r.Network().SetObserver(suite.Observer())
+		crashes := int(crashRaw) % n // up to n-1 crashes
+		for c := 0; c < crashes; c++ {
+			r.CrashAt(sim.Time(300+50*c), c)
+		}
+		const end = 15000
+		r.Run(end)
+		suite.Finish(end)
+		if r.CheckInvariants() != nil {
+			return false
+		}
+		if suite.Exclusion.Count() != 0 {
+			return false
+		}
+		if suite.Occupancy.MaxHighWater() > 4 {
+			return false
+		}
+		if suite.Overtake.MaxCount() > 2 {
+			return false
+		}
+		return len(suite.Progress.Starving(end, 3000)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import "math/rand"
+
+// DelayModel determines per-message network latency. Implementations
+// must be deterministic given the rng stream.
+type DelayModel interface {
+	// Delay returns the latency of a message sent at time now from
+	// process from to process to.
+	Delay(now Time, from, to int, rng *rand.Rand) Time
+}
+
+// FixedDelay delivers every message after exactly D ticks.
+type FixedDelay struct{ D Time }
+
+// Delay implements DelayModel.
+func (f FixedDelay) Delay(Time, int, int, *rand.Rand) Time { return max(f.D, 0) }
+
+// UniformDelay draws latency uniformly from [Min, Max].
+type UniformDelay struct{ Min, Max Time }
+
+// Delay implements DelayModel.
+func (u UniformDelay) Delay(_ Time, _, _ int, rng *rand.Rand) Time {
+	lo, hi := u.Min, u.Max
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo + Time(rng.Int63n(int64(hi-lo)+1))
+}
+
+// GSTDelay models partial synchrony in the Dwork–Lynch–Stockmeyer
+// style: before the global stabilization time GST, latency follows Pre
+// (typically long and erratic); from GST on, it follows Post (bounded).
+// A message sent before GST but still governed by Pre may arrive after
+// GST, matching the standard model where only *eventual* bounds hold.
+type GSTDelay struct {
+	GST  Time
+	Pre  DelayModel
+	Post DelayModel
+}
+
+// Delay implements DelayModel.
+func (g GSTDelay) Delay(now Time, from, to int, rng *rand.Rand) Time {
+	if now < g.GST {
+		return g.Pre.Delay(now, from, to, rng)
+	}
+	return g.Post.Delay(now, from, to, rng)
+}
+
+// SpikeDelay is an adversarial pre-GST model: latency is usually Base
+// but with probability SpikeP jumps into [Base, Base+Spike]. It
+// stresses failure-detector timeouts to force false positives.
+type SpikeDelay struct {
+	Base   Time
+	Spike  Time
+	SpikeP float64
+}
+
+// Delay implements DelayModel.
+func (s SpikeDelay) Delay(_ Time, _, _ int, rng *rand.Rand) Time {
+	d := s.Base
+	if d < 0 {
+		d = 0
+	}
+	if s.Spike > 0 && rng.Float64() < s.SpikeP {
+		d += Time(rng.Int63n(int64(s.Spike) + 1))
+	}
+	return d
+}
+
+// DelayFunc adapts a function to the DelayModel interface.
+type DelayFunc func(now Time, from, to int, rng *rand.Rand) Time
+
+// Delay implements DelayModel.
+func (f DelayFunc) Delay(now Time, from, to int, rng *rand.Rand) Time {
+	return f(now, from, to, rng)
+}
+
+var (
+	_ DelayModel = FixedDelay{}
+	_ DelayModel = UniformDelay{}
+	_ DelayModel = GSTDelay{}
+	_ DelayModel = SpikeDelay{}
+	_ DelayModel = DelayFunc(nil)
+)

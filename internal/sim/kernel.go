@@ -1,0 +1,186 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// for asynchronous message-passing systems: a virtual clock, an event
+// heap, seeded randomness, reliable FIFO point-to-point channels with
+// configurable delay distributions (including partial synchrony with a
+// global stabilization time), and crash injection.
+//
+// All nondeterminism flows through a single seeded *rand.Rand and all
+// simultaneity is broken by event sequence numbers, so a run is a pure
+// function of its configuration and seed. That determinism is what
+// makes the paper's liveness and fairness claims testable: the same
+// adversarial schedule can be replayed against the algorithm and each
+// baseline.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is virtual time in abstract ticks.
+type Time int64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	pri uint64 // simultaneity order, derived from the tie-break mode
+	seq uint64 // insertion order, the final tie-break
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, pri, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// TieBreak selects how the kernel orders simultaneous events. FIFO is
+// the default; LIFO and Random are adversarial schedulers that widen
+// the interleaving space property tests explore. All three are
+// deterministic given the seed.
+type TieBreak int
+
+// Tie-breaking modes.
+const (
+	// FIFO runs simultaneous events in scheduling order.
+	FIFO TieBreak = iota
+	// LIFO runs simultaneous events in reverse scheduling order.
+	LIFO
+	// Random permutes simultaneous events pseudo-randomly (seeded).
+	Random
+)
+
+// Kernel is the simulation executive. It is not safe for concurrent
+// use; every callback it runs executes on the caller's goroutine.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	steps  uint64
+	tie    TieBreak
+}
+
+// NewKernel returns a kernel with its virtual clock at 0 and all
+// randomness derived from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetTieBreak selects the ordering of simultaneous events. Call before
+// scheduling work; switching modes mid-run is allowed but makes runs
+// harder to reason about.
+func (k *Kernel) SetTieBreak(t TieBreak) { k.tie = t }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's random source. All simulation components
+// must draw randomness from here to preserve determinism.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Steps returns the number of events executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Pending returns the number of events waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at virtual time t. Times in the past run at
+// the current time (never before already-executed events).
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	var pri uint64
+	switch k.tie {
+	case LIFO:
+		pri = ^k.seq
+	case Random:
+		pri = k.rng.Uint64()
+	default:
+		pri = k.seq
+	}
+	heap.Push(&k.events, &event{at: t, pri: pri, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d ticks from now.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now+d, fn)
+}
+
+// Step executes the next event, advancing the clock. It reports whether
+// an event was available.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*event)
+	k.now = e.at
+	k.steps++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event is
+// after deadline. The clock finishes at deadline (or at the last event,
+// whichever is later) so periodic processes observe a consistent end
+// time.
+func (k *Kernel) Run(deadline Time) {
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunUntilQuiet executes events until the queue empties or maxSteps
+// events have run. It reports whether the queue emptied.
+func (k *Kernel) RunUntilQuiet(maxSteps uint64) bool {
+	for i := uint64(0); i < maxSteps; i++ {
+		if !k.Step() {
+			return true
+		}
+	}
+	return len(k.events) == 0
+}
+
+// Ticker invokes fn every period ticks, starting at now+period, until
+// stop returns true (checked before each invocation) or the simulation
+// stops scheduling. It returns immediately; the callbacks are events.
+func (k *Kernel) Ticker(period Time, stop func() bool, fn func()) {
+	if period <= 0 {
+		period = 1
+	}
+	var tick func()
+	tick = func() {
+		if stop != nil && stop() {
+			return
+		}
+		fn()
+		k.After(period, tick)
+	}
+	k.After(period, tick)
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelStartsAtZero(t *testing.T) {
+	k := NewKernel(1)
+	if k.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", k.Now())
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", k.Pending())
+	}
+}
+
+func TestAtOrdersByTime(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	k.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100 after Run(100)", k.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of order: %v", order)
+		}
+	}
+}
+
+func TestPastEventsRunNow(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.At(50, func() {
+		k.At(10, func() { fired = true }) // in the past; must run at 50
+	})
+	k.Run(50)
+	if !fired {
+		t.Fatal("past-scheduled event did not fire")
+	}
+	if k.Now() != 50 {
+		t.Fatalf("Now() = %d, want 50", k.Now())
+	}
+}
+
+func TestAfterNegative(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.After(-7, func() { fired = true })
+	k.Step()
+	if !fired || k.Now() != 0 {
+		t.Fatalf("After(-7) fired=%v now=%d, want true/0", fired, k.Now())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	k := NewKernel(1)
+	if k.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	k.At(10, func() { fired++ })
+	k.At(20, func() { fired++ })
+	k.Run(15)
+	if fired != 1 {
+		t.Fatalf("fired = %d events by t=15, want 1", fired)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", k.Pending())
+	}
+	k.Run(25)
+	if fired != 2 {
+		t.Fatalf("fired = %d events by t=25, want 2", fired)
+	}
+}
+
+func TestRunUntilQuiet(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < 5 {
+			k.After(1, chain)
+		}
+	}
+	k.After(1, chain)
+	if !k.RunUntilQuiet(100) {
+		t.Fatal("queue should have drained")
+	}
+	if n != 5 {
+		t.Fatalf("chain ran %d times, want 5", n)
+	}
+}
+
+func TestRunUntilQuietBudget(t *testing.T) {
+	k := NewKernel(1)
+	var forever func()
+	forever = func() { k.After(1, forever) }
+	k.After(1, forever)
+	if k.RunUntilQuiet(50) {
+		t.Fatal("infinite chain should exhaust the budget, not drain")
+	}
+	if k.Steps() != 50 {
+		t.Fatalf("Steps() = %d, want 50", k.Steps())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := NewKernel(1)
+	ticks := 0
+	k.Ticker(10, func() bool { return ticks >= 3 }, func() { ticks++ })
+	k.Run(1000)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3 (stopped by predicate)", ticks)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("stopped ticker left %d pending events", k.Pending())
+	}
+}
+
+func TestTickerZeroPeriod(t *testing.T) {
+	k := NewKernel(1)
+	ticks := 0
+	k.Ticker(0, func() bool { return ticks >= 4 }, func() { ticks++ })
+	k.Run(10)
+	if ticks != 4 {
+		t.Fatalf("ticks = %d, want 4 (period clamped to 1)", ticks)
+	}
+}
+
+func TestTieBreakModes(t *testing.T) {
+	order := func(mode TieBreak) []int {
+		k := NewKernel(3)
+		k.SetTieBreak(mode)
+		var got []int
+		for i := 0; i < 6; i++ {
+			i := i
+			k.At(10, func() { got = append(got, i) })
+		}
+		k.Run(10)
+		return got
+	}
+	fifo := order(FIFO)
+	for i, v := range fifo {
+		if v != i {
+			t.Fatalf("FIFO order = %v", fifo)
+		}
+	}
+	lifo := order(LIFO)
+	for i, v := range lifo {
+		if v != 5-i {
+			t.Fatalf("LIFO order = %v", lifo)
+		}
+	}
+	r1, r2 := order(Random), order(Random)
+	if len(r1) != 6 || len(r2) != 6 {
+		t.Fatal("random mode lost events")
+	}
+	same := true
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			same = false
+		}
+	}
+	if !same {
+		t.Fatal("Random tie-break must be deterministic per seed")
+	}
+	// And with overwhelming probability not FIFO order for 6 events.
+	isFIFO := true
+	for i, v := range r1 {
+		if v != i {
+			isFIFO = false
+		}
+	}
+	if isFIFO {
+		t.Log("random permutation happened to be identity (unlikely but legal)")
+	}
+}
+
+func TestFIFOHoldsUnderAdversarialTieBreak(t *testing.T) {
+	// Same-tick sends on one channel must still deliver in order even
+	// under LIFO/Random simultaneity.
+	for _, mode := range []TieBreak{LIFO, Random} {
+		k := NewKernel(9)
+		k.SetTieBreak(mode)
+		net := NewNetwork(k, 2, FixedDelay{D: 5})
+		var got []int
+		if err := net.Register(1, func(_ int, payload any) {
+			got = append(got, payload.(int))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for m := 0; m < 10; m++ {
+			if err := net.Send(0, 1, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Run(1000)
+		if len(got) != 10 {
+			t.Fatalf("mode %d: delivered %d", mode, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("mode %d: FIFO violated: %v", mode, got)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		k := NewKernel(99)
+		var samples []int64
+		k.Ticker(3, func() bool { return len(samples) >= 20 }, func() {
+			samples = append(samples, k.Rand().Int63n(1000))
+		})
+		k.Run(100)
+		return samples
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: however events are scheduled, execution is in nondecreasing
+// time order.
+func TestQuickMonotoneClock(t *testing.T) {
+	f := func(raw []uint16) bool {
+		k := NewKernel(5)
+		var times []Time
+		for _, r := range raw {
+			k.At(Time(r%500), func() { times = append(times, k.Now()) })
+		}
+		k.Run(1000)
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

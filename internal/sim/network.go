@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Handler receives a delivered message at a process.
+type Handler func(from int, payload any)
+
+// ErrProcRange reports an out-of-range process ID.
+var ErrProcRange = errors.New("sim: process out of range")
+
+// PairStats are per-ordered-pair channel statistics.
+type PairStats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64 // delivered to a crashed destination (discarded)
+	InTransit int
+	HighWater int // max simultaneous in-transit messages ever
+}
+
+// Observer receives network-level events; any field may be nil. Used by
+// the metrics layer to measure channel occupancy and quiescence without
+// coupling the network to specific monitors.
+type Observer struct {
+	OnSend    func(at Time, from, to int, payload any)
+	OnDeliver func(at Time, from, to int, payload any)
+	OnDrop    func(at Time, from, to int, payload any)
+}
+
+// MultiObserver fans network events out to several observers in order.
+func MultiObserver(list ...Observer) Observer {
+	return Observer{
+		OnSend: func(at Time, from, to int, payload any) {
+			for _, o := range list {
+				if o.OnSend != nil {
+					o.OnSend(at, from, to, payload)
+				}
+			}
+		},
+		OnDeliver: func(at Time, from, to int, payload any) {
+			for _, o := range list {
+				if o.OnDeliver != nil {
+					o.OnDeliver(at, from, to, payload)
+				}
+			}
+		},
+		OnDrop: func(at Time, from, to int, payload any) {
+			for _, o := range list {
+				if o.OnDrop != nil {
+					o.OnDrop(at, from, to, payload)
+				}
+			}
+		},
+	}
+}
+
+// Network is a set of reliable FIFO point-to-point channels between n
+// processes, simulated on a Kernel. Message latency is drawn from a
+// DelayModel; FIFO order is enforced per ordered pair by never
+// scheduling a delivery before the previous one from the same sender.
+//
+// Crash faults follow the paper's model: a crashed process ceases
+// execution without warning and never recovers. The network drops
+// deliveries to crashed processes (they would never process them) and
+// refuses sends from crashed processes (they no longer take steps).
+type Network struct {
+	k         *Kernel
+	delay     DelayModel
+	n         int
+	handlers  []Handler
+	crashed   []bool
+	crashAt   []Time
+	lastDeliv []Time // per ordered pair: latest scheduled delivery time
+	sentOn    []bool // per ordered pair: any message ever sent
+	stats     []PairStats
+	obs       Observer
+}
+
+// NewNetwork creates a network of n processes over kernel k with the
+// given delay model.
+func NewNetwork(k *Kernel, n int, delay DelayModel) *Network {
+	if delay == nil {
+		delay = FixedDelay{D: 1}
+	}
+	return &Network{
+		k:         k,
+		delay:     delay,
+		n:         n,
+		handlers:  make([]Handler, n),
+		crashed:   make([]bool, n),
+		crashAt:   make([]Time, n),
+		lastDeliv: make([]Time, n*n),
+		sentOn:    make([]bool, n*n),
+		stats:     make([]PairStats, n*n),
+	}
+}
+
+// N returns the number of processes.
+func (net *Network) N() int { return net.n }
+
+// Kernel returns the kernel this network schedules on.
+func (net *Network) Kernel() *Kernel { return net.k }
+
+// SetObserver installs the network observer. Pass the zero Observer to
+// clear it.
+func (net *Network) SetObserver(o Observer) { net.obs = o }
+
+// Register installs the message handler for process i. It must be
+// called before any message to i is delivered.
+func (net *Network) Register(i int, h Handler) error {
+	if i < 0 || i >= net.n {
+		return fmt.Errorf("%w: %d", ErrProcRange, i)
+	}
+	net.handlers[i] = h
+	return nil
+}
+
+func (net *Network) pair(from, to int) int { return from*net.n + to }
+
+// Send enqueues a message from one process to another. Sends from
+// crashed processes are ignored (a crashed process takes no steps);
+// sends to crashed processes still occupy the channel and are dropped
+// at delivery time, preserving the paper's accounting where messages to
+// crashed neighbors are sent but never answered.
+func (net *Network) Send(from, to int, payload any) error {
+	if from < 0 || from >= net.n || to < 0 || to >= net.n {
+		return fmt.Errorf("%w: send %d -> %d", ErrProcRange, from, to)
+	}
+	if net.crashed[from] {
+		return nil
+	}
+	now := net.k.Now()
+	d := net.delay.Delay(now, from, to, net.k.Rand())
+	if d < 0 {
+		d = 0
+	}
+	at := now + d
+	p := net.pair(from, to)
+	// FIFO: deliver strictly after every earlier message on the same
+	// channel. Strict (not just non-decreasing) so that per-channel
+	// order is independent of the kernel's simultaneity tie-breaking.
+	if net.sentOn[p] && at <= net.lastDeliv[p] {
+		at = net.lastDeliv[p] + 1
+	}
+	net.sentOn[p] = true
+	net.lastDeliv[p] = at
+	st := &net.stats[p]
+	st.Sent++
+	st.InTransit++
+	if st.InTransit > st.HighWater {
+		st.HighWater = st.InTransit
+	}
+	if net.obs.OnSend != nil {
+		net.obs.OnSend(now, from, to, payload)
+	}
+	net.k.At(at, func() { net.deliver(from, to, payload) })
+	return nil
+}
+
+func (net *Network) deliver(from, to int, payload any) {
+	p := net.pair(from, to)
+	st := &net.stats[p]
+	st.InTransit--
+	if net.crashed[to] {
+		st.Dropped++
+		if net.obs.OnDrop != nil {
+			net.obs.OnDrop(net.k.Now(), from, to, payload)
+		}
+		return
+	}
+	st.Delivered++
+	if net.obs.OnDeliver != nil {
+		net.obs.OnDeliver(net.k.Now(), from, to, payload)
+	}
+	if h := net.handlers[to]; h != nil {
+		h(from, payload)
+	}
+}
+
+// Crash marks process i as crashed as of the current virtual time.
+// Crashing an already-crashed process is a no-op.
+func (net *Network) Crash(i int) error {
+	if i < 0 || i >= net.n {
+		return fmt.Errorf("%w: crash %d", ErrProcRange, i)
+	}
+	if !net.crashed[i] {
+		net.crashed[i] = true
+		net.crashAt[i] = net.k.Now()
+	}
+	return nil
+}
+
+// Crashed reports whether process i has crashed. Out-of-range IDs
+// report false.
+func (net *Network) Crashed(i int) bool {
+	return i >= 0 && i < net.n && net.crashed[i]
+}
+
+// CrashTime returns when i crashed; the second result is false if i is
+// live.
+func (net *Network) CrashTime(i int) (Time, bool) {
+	if !net.Crashed(i) {
+		return 0, false
+	}
+	return net.crashAt[i], true
+}
+
+// LiveCount returns the number of processes that have not crashed.
+func (net *Network) LiveCount() int {
+	live := 0
+	for _, c := range net.crashed {
+		if !c {
+			live++
+		}
+	}
+	return live
+}
+
+// Stats returns a copy of the channel statistics for the ordered pair
+// (from, to).
+func (net *Network) Stats(from, to int) PairStats {
+	if from < 0 || from >= net.n || to < 0 || to >= net.n {
+		return PairStats{}
+	}
+	return net.stats[net.pair(from, to)]
+}
+
+// EdgeHighWater returns the maximum number of simultaneously in-transit
+// messages ever observed on the undirected edge {u, v} — the sum of the
+// two directed high-water marks is an upper bound on simultaneous
+// occupancy, so we track the combined occupancy exactly via TotalsFor.
+// For the paper's Section 7 bound the relevant figure is the combined
+// directed occupancy; see OccupancyMonitor in the metrics package for
+// the exact joint measurement.
+func (net *Network) EdgeHighWater(u, v int) int {
+	return net.Stats(u, v).HighWater + net.Stats(v, u).HighWater
+}
+
+// TotalSent returns the total number of messages sent on the network.
+func (net *Network) TotalSent() uint64 {
+	var total uint64
+	for i := range net.stats {
+		total += net.stats[i].Sent
+	}
+	return total
+}
+
+// TotalInTransit returns the number of messages currently in flight.
+func (net *Network) TotalInTransit() int {
+	total := 0
+	for i := range net.stats {
+		total += net.stats[i].InTransit
+	}
+	return total
+}

@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendDeliver(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, 2, FixedDelay{D: 5})
+	var got []string
+	if err := net.Register(1, func(from int, payload any) {
+		got = append(got, payload.(string))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(0, 1, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(4)
+	if len(got) != 0 {
+		t.Fatal("message delivered before its delay elapsed")
+	}
+	k.Run(5)
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("got = %v, want [hello]", got)
+	}
+}
+
+func TestFIFOUnderReorderingDelays(t *testing.T) {
+	// Adversarial delays that would reorder messages without the FIFO
+	// clamp: later sends get shorter delays.
+	k := NewKernel(1)
+	delays := []Time{100, 50, 10, 1}
+	i := 0
+	net := NewNetwork(k, 2, delayFromList(delays, &i))
+	var got []int
+	if err := net.Register(1, func(from int, payload any) {
+		got = append(got, payload.(int))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		if err := net.Send(0, 1, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run(1000)
+	for idx, v := range got {
+		if v != idx {
+			t.Fatalf("FIFO violated: got %v", got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("delivered %d messages, want 4", len(got))
+	}
+}
+
+func TestFIFOPerPairIndependent(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, 3, FixedDelay{D: 1})
+	var got []int
+	for _, p := range []int{0, 1} {
+		p := p
+		if err := net.Register(p, func(from int, payload any) {
+			got = append(got, payload.(int))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two independent channels may interleave arbitrarily; each must be
+	// internally ordered.
+	if err := net.Send(2, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(2, 1, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(2, 0, 11); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(100)
+	var ch0 []int
+	for _, v := range got {
+		if v/10 == 1 {
+			ch0 = append(ch0, v)
+		}
+	}
+	if len(ch0) != 2 || ch0[0] != 10 || ch0[1] != 11 {
+		t.Fatalf("channel 2->0 order = %v, want [10 11]", ch0)
+	}
+}
+
+func TestCrashDropsDeliveries(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, 2, FixedDelay{D: 10})
+	delivered := 0
+	if err := net.Register(1, func(int, any) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(0, 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(100)
+	if delivered != 0 {
+		t.Fatal("message delivered to crashed process")
+	}
+	st := net.Stats(0, 1)
+	if st.Dropped != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v, want 1 dropped 0 delivered", st)
+	}
+}
+
+func TestCrashSilencesSender(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, 2, FixedDelay{D: 1})
+	delivered := 0
+	if err := net.Register(1, func(int, any) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(0, 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(100)
+	if delivered != 0 {
+		t.Fatal("crashed process should not send")
+	}
+	if net.Stats(0, 1).Sent != 0 {
+		t.Fatal("send from crashed process should not count")
+	}
+}
+
+func TestMessagesSentBeforeCrashStillDelivered(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, 2, FixedDelay{D: 10})
+	delivered := 0
+	if err := net.Register(1, func(int, any) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(0, 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(5)
+	if err := net.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(100)
+	if delivered != 1 {
+		t.Fatal("message sent before sender crash must still be delivered")
+	}
+}
+
+func TestCrashBookkeeping(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, 3, nil)
+	if net.LiveCount() != 3 {
+		t.Fatalf("LiveCount = %d, want 3", net.LiveCount())
+	}
+	k.At(42, func() {
+		if err := net.Crash(1); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run(50)
+	if !net.Crashed(1) || net.Crashed(0) {
+		t.Fatal("crash flags wrong")
+	}
+	if ct, ok := net.CrashTime(1); !ok || ct != 42 {
+		t.Fatalf("CrashTime(1) = %d,%v, want 42,true", ct, ok)
+	}
+	if _, ok := net.CrashTime(0); ok {
+		t.Fatal("live process should have no crash time")
+	}
+	if net.LiveCount() != 2 {
+		t.Fatalf("LiveCount = %d, want 2", net.LiveCount())
+	}
+	// double crash is a no-op and keeps the original time
+	if err := net.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if ct, _ := net.CrashTime(1); ct != 42 {
+		t.Fatalf("double crash changed CrashTime to %d", ct)
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	net := NewNetwork(NewKernel(1), 2, nil)
+	if err := net.Send(0, 5, nil); !errors.Is(err, ErrProcRange) {
+		t.Fatalf("Send out of range err = %v", err)
+	}
+	if err := net.Register(-1, nil); !errors.Is(err, ErrProcRange) {
+		t.Fatalf("Register out of range err = %v", err)
+	}
+	if err := net.Crash(9); !errors.Is(err, ErrProcRange) {
+		t.Fatalf("Crash out of range err = %v", err)
+	}
+	if net.Crashed(17) {
+		t.Fatal("out-of-range Crashed should be false")
+	}
+}
+
+func TestInTransitAccounting(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, 2, FixedDelay{D: 10})
+	if err := net.Register(1, func(int, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := net.Send(0, 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := net.Stats(0, 1)
+	if st.InTransit != 3 || st.HighWater != 3 {
+		t.Fatalf("stats = %+v, want 3 in transit, high water 3", st)
+	}
+	if net.TotalInTransit() != 3 {
+		t.Fatalf("TotalInTransit = %d, want 3", net.TotalInTransit())
+	}
+	k.Run(100)
+	st = net.Stats(0, 1)
+	if st.InTransit != 0 || st.HighWater != 3 || st.Delivered != 3 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+	if net.TotalSent() != 3 {
+		t.Fatalf("TotalSent = %d, want 3", net.TotalSent())
+	}
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, 2, FixedDelay{D: 3})
+	if err := net.Register(1, func(int, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	var sends, delivers, drops int
+	net.SetObserver(Observer{
+		OnSend:    func(Time, int, int, any) { sends++ },
+		OnDeliver: func(Time, int, int, any) { delivers++ },
+		OnDrop:    func(Time, int, int, any) { drops++ },
+	})
+	if err := net.Send(0, 1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(10)
+	if err := net.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(0, 1, "b"); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(20)
+	if sends != 2 || delivers != 1 || drops != 1 {
+		t.Fatalf("observer counts = %d/%d/%d, want 2/1/1", sends, delivers, drops)
+	}
+}
+
+func TestDelayModels(t *testing.T) {
+	k := NewKernel(3)
+	rng := k.Rand()
+	if d := (FixedDelay{D: 7}).Delay(0, 0, 1, rng); d != 7 {
+		t.Fatalf("FixedDelay = %d, want 7", d)
+	}
+	if d := (FixedDelay{D: -2}).Delay(0, 0, 1, rng); d != 0 {
+		t.Fatalf("negative FixedDelay = %d, want clamp to 0", d)
+	}
+	for i := 0; i < 100; i++ {
+		d := (UniformDelay{Min: 2, Max: 9}).Delay(0, 0, 1, rng)
+		if d < 2 || d > 9 {
+			t.Fatalf("UniformDelay out of range: %d", d)
+		}
+	}
+	// Degenerate uniform ranges clamp sanely.
+	if d := (UniformDelay{Min: 5, Max: 3}).Delay(0, 0, 1, rng); d != 5 {
+		t.Fatalf("inverted UniformDelay = %d, want 5", d)
+	}
+	if d := (UniformDelay{Min: -4, Max: -1}).Delay(0, 0, 1, rng); d != 0 {
+		t.Fatalf("negative UniformDelay = %d, want 0", d)
+	}
+	gst := GSTDelay{GST: 100, Pre: FixedDelay{D: 50}, Post: FixedDelay{D: 2}}
+	if d := gst.Delay(99, 0, 1, rng); d != 50 {
+		t.Fatalf("pre-GST delay = %d, want 50", d)
+	}
+	if d := gst.Delay(100, 0, 1, rng); d != 2 {
+		t.Fatalf("post-GST delay = %d, want 2", d)
+	}
+	spiky := SpikeDelay{Base: 3, Spike: 100, SpikeP: 1.0}
+	if d := spiky.Delay(0, 0, 1, rng); d < 3 {
+		t.Fatalf("spike delay = %d, want >= base", d)
+	}
+	calm := SpikeDelay{Base: 3, Spike: 100, SpikeP: 0}
+	if d := calm.Delay(0, 0, 1, rng); d != 3 {
+		t.Fatalf("no-spike delay = %d, want 3", d)
+	}
+}
+
+// Property: with any mix of delays, per-channel delivery order equals
+// send order (reliable FIFO), and everything sent to a live process is
+// delivered.
+func TestQuickFIFOReliable(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		k := NewKernel(seed)
+		net := NewNetwork(k, 2, UniformDelay{Min: 0, Max: 50})
+		var got []int
+		if err := net.Register(1, func(from int, payload any) {
+			got = append(got, payload.(int))
+		}); err != nil {
+			return false
+		}
+		n := len(raw) % 64
+		for m := 0; m < n; m++ {
+			if err := net.Send(0, 1, m); err != nil {
+				return false
+			}
+			// stagger sends in time pseudo-randomly
+			k.Run(k.Now() + Time(raw[m]%5))
+		}
+		k.Run(k.Now() + 1000)
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// delayFromList returns each queued delay in order (repeating the last
+// one when exhausted), used to script adversarial reordering attempts.
+func delayFromList(list []Time, idx *int) DelayModel {
+	return DelayFunc(func(Time, int, int, *rand.Rand) Time {
+		d := list[len(list)-1]
+		if *idx < len(list) {
+			d = list[*idx]
+			*idx++
+		}
+		return d
+	})
+}

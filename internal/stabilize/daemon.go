@@ -1,0 +1,148 @@
+package stabilize
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// DaemonAdapter runs a self-stabilizing protocol under a dining-based
+// distributed daemon: every time the daemon schedules a process to eat,
+// the adapter executes one enabled action of the protocol at that
+// process. It chains into the runner's transition/crash callbacks and
+// tracks convergence.
+//
+// Scheduling mistakes (two live neighbors eating simultaneously, which
+// ◇WX permits finitely often) are recorded and — when CorruptOnOverlap
+// is set — modeled as transient faults: the overlapping step's writer
+// is perturbed, the worst case the paper allows for a sharing
+// violation. Because ◇WX guarantees finitely many mistakes and the
+// daemon is wait-free, convergence still follows, and the adapter's
+// measurements show it.
+type DaemonAdapter struct {
+	proto Protocol
+	clock func() sim.Time
+	rng   *rand.Rand
+
+	// CorruptOnOverlap injects a transient fault into a process that
+	// executes its protocol step while a live neighbor is also eating.
+	CorruptOnOverlap bool
+
+	neighbors func(i int) []int
+	eating    []bool
+	crashed   []bool
+
+	steps             int
+	overlaps          int
+	everIllegitimate  bool
+	lastIllegitimate  sim.Time
+	firstLegitimateAt sim.Time
+	seenLegitimate    bool
+}
+
+// NewDaemonAdapter creates an adapter for proto over the given conflict
+// neighborhood function (usually graph.Neighbors). clock supplies the
+// current virtual time and rng drives fault injection.
+func NewDaemonAdapter(proto Protocol, neighbors func(i int) []int, clock func() sim.Time, rng *rand.Rand) *DaemonAdapter {
+	a := &DaemonAdapter{
+		proto:     proto,
+		clock:     clock,
+		rng:       rng,
+		neighbors: neighbors,
+		eating:    make([]bool, proto.N()),
+		crashed:   make([]bool, proto.N()),
+	}
+	a.recheck()
+	return a
+}
+
+// OnTransition is the runner transition hook: executing one protocol
+// step per eating session.
+func (a *DaemonAdapter) OnTransition(_ sim.Time, id int, _, to core.State) {
+	switch to {
+	case core.Eating:
+		a.eating[id] = true
+		overlap := false
+		for _, j := range a.neighbors(id) {
+			if a.eating[j] && !a.crashed[j] {
+				overlap = true
+			}
+		}
+		if overlap {
+			a.overlaps++
+		}
+		if a.proto.Enabled(id) {
+			a.proto.Step(id)
+			a.steps++
+			if overlap && a.CorruptOnOverlap {
+				a.proto.Perturb(id, a.rng)
+			}
+			a.recheck()
+		} else if overlap && a.CorruptOnOverlap {
+			a.proto.Perturb(id, a.rng)
+			a.recheck()
+		}
+	default:
+		a.eating[id] = false
+	}
+}
+
+// OnCrash is the runner crash hook.
+func (a *DaemonAdapter) OnCrash(_ sim.Time, id int) {
+	a.crashed[id] = true
+	a.eating[id] = false
+	a.recheck()
+}
+
+// InjectFaults perturbs the local states of count random processes —
+// a transient-fault burst. Call it from a kernel event so the time
+// accounting stays consistent.
+func (a *DaemonAdapter) InjectFaults(count int) {
+	n := a.proto.N()
+	for f := 0; f < count; f++ {
+		a.proto.Perturb(a.rng.Intn(n), a.rng)
+	}
+	a.recheck()
+}
+
+func (a *DaemonAdapter) live(i int) bool { return !a.crashed[i] }
+
+// Recheck re-evaluates legitimacy; call it after mutating protocol
+// state out-of-band (targeted fault injection via SetColor etc.).
+func (a *DaemonAdapter) Recheck() { a.recheck() }
+
+func (a *DaemonAdapter) recheck() {
+	now := a.clock()
+	if a.proto.Legitimate(a.live) {
+		if !a.seenLegitimate {
+			a.seenLegitimate = true
+			a.firstLegitimateAt = now
+		}
+	} else {
+		a.everIllegitimate = true
+		a.lastIllegitimate = now
+		a.seenLegitimate = false // restart the "stably legitimate" clock
+	}
+}
+
+// Steps returns how many protocol actions the daemon executed.
+func (a *DaemonAdapter) Steps() int { return a.steps }
+
+// Overlaps returns how many eating sessions began while a live neighbor
+// was already eating — the daemon's scheduling mistakes as seen by the
+// stabilizing layer.
+func (a *DaemonAdapter) Overlaps() int { return a.overlaps }
+
+// Converged reports whether the protocol is currently legitimate and
+// when it last entered the legitimate set (its convergence time).
+func (a *DaemonAdapter) Converged() (at sim.Time, ok bool) {
+	if !a.seenLegitimate {
+		return 0, false
+	}
+	return a.firstLegitimateAt, true
+}
+
+// LastIllegitimate returns the last time the configuration was observed
+// outside the safe set (0 if never).
+func (a *DaemonAdapter) LastIllegitimate() sim.Time { return a.lastIllegitimate }

@@ -1,0 +1,211 @@
+package stabilize
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/graph"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// daemonRun wires a protocol under a dining daemon built from cfg and
+// returns the runner plus adapter. The caller schedules crashes/faults
+// and runs the kernel.
+func daemonRun(t *testing.T, proto Protocol, cfg runner.Config) (*runner.Runner, *DaemonAdapter) {
+	t.Helper()
+	g := cfg.Graph
+	var r *runner.Runner
+	var a *DaemonAdapter
+	cfg.OnTransition = func(at sim.Time, id int, from, to core.State) {
+		a.OnTransition(at, id, from, to)
+	}
+	cfg.OnCrash = func(at sim.Time, id int) {
+		a.OnCrash(at, id)
+	}
+	r, err := runner.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = NewDaemonAdapter(proto, g.Neighbors, r.Kernel().Now, r.Kernel().Rand())
+	return r, a
+}
+
+func TestDijkstraUnderDaemonTransientFaults(t *testing.T) {
+	g := graph.Ring(9)
+	proto := NewDijkstraRing(9, 0)
+	r, a := daemonRun(t, proto, runner.Config{
+		Graph:    g,
+		Seed:     1,
+		Delays:   sim.UniformDelay{Min: 1, Max: 3},
+		Workload: runner.Saturated(),
+	})
+	// Transient fault bursts at 1000 and 3000.
+	r.Kernel().At(1000, func() { a.InjectFaults(9) })
+	r.Kernel().At(3000, func() { a.InjectFaults(5) })
+	r.Run(20000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Converged(); !ok {
+		t.Fatalf("ring did not stabilize; last illegitimate at %d, steps=%d",
+			a.LastIllegitimate(), a.Steps())
+	}
+	if a.LastIllegitimate() < 3000 {
+		t.Fatal("fault burst at 3000 should have driven the system out of the safe set")
+	}
+	if a.Steps() == 0 {
+		t.Fatal("daemon executed no protocol steps")
+	}
+}
+
+func TestColoringConvergesUnderDaemonWithCrashes(t *testing.T) {
+	g := graph.Ring(10)
+	proto := NewColoring(g) // monochrome: everyone conflicts
+	r, a := daemonRun(t, proto, runner.Config{
+		Graph: g,
+		Seed:  4,
+		NewDetector: func(k *sim.Kernel, gg *graph.Graph) detector.Detector {
+			return detector.NewPerfect(k, gg, 15)
+		},
+		Delays:   sim.UniformDelay{Min: 1, Max: 3},
+		Workload: runner.Saturated(),
+	})
+	r.CrashAt(40, 2)
+	r.CrashAt(60, 7)
+	// After things settle, force a conflict adjacent to a crashed
+	// process: the wait-free daemon must still schedule the live
+	// neighbor so it can recolor.
+	r.Kernel().At(5000, func() {
+		proto.SetColor(3, proto.Color(2)) // conflict with crashed 2
+		a.Recheck()
+	})
+	r.Run(20000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	at, ok := a.Converged()
+	if !ok {
+		t.Fatalf("coloring did not stabilize under crashes; last illegitimate %d", a.LastIllegitimate())
+	}
+	if at < 5000 {
+		t.Fatal("the injected conflict at 5000 must have been repaired afterwards")
+	}
+}
+
+func TestColoringFailsUnderChoySinghWithCrash(t *testing.T) {
+	// Same scenario with the non-wait-free daemon: the crashed
+	// process's neighbor is eventually starved, so an injected conflict
+	// next to the crash is never repaired — convergence fails. This is
+	// the paper's central motivation (E7's negative arm).
+	g := graph.Ring(10)
+	proto := NewColoring(g)
+	r, a := daemonRun(t, proto, runner.Config{
+		Graph: g,
+		Seed:  4,
+		NewProcess: func(id, color int, nbrColors map[int]int, _ func(int) bool) (core.Process, error) {
+			return core.NewDiner(core.Config{
+				ID: id, Color: color, NeighborColors: nbrColors,
+				Options: core.Options{IgnoreDetector: true, DisableRepliedFlag: true},
+			})
+		},
+		Delays:   sim.UniformDelay{Min: 1, Max: 3},
+		Workload: runner.Saturated(),
+	})
+	r.CrashAt(40, 2)
+	r.Kernel().At(5000, func() {
+		proto.SetColor(3, proto.Color(2))
+		a.Recheck()
+	})
+	r.Run(30000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Converged(); ok {
+		t.Fatal("non-wait-free daemon unexpectedly repaired a conflict at a starved process")
+	}
+}
+
+func TestSchedulingMistakesAreTransientFaults(t *testing.T) {
+	// Force ◇P₁ mistakes early (scripted mutual suspicion) with
+	// CorruptOnOverlap: every exclusion overlap perturbs the stepper.
+	// ◇WX makes mistakes finite, so stabilization still converges.
+	g := graph.Ring(6)
+	proto := NewColoring(g)
+	var scripted *detector.Scripted
+	r, a := daemonRun(t, proto, runner.Config{
+		Graph: g,
+		Seed:  8,
+		NewDetector: func(k *sim.Kernel, gg *graph.Graph) detector.Detector {
+			scripted = detector.NewScripted(k, gg, 0)
+			for v := 0; v < gg.N(); v++ {
+				for _, w := range gg.Neighbors(v) {
+					scripted.AddMistake(v, w, 50, 600)
+				}
+			}
+			scripted.Start()
+			return scripted
+		},
+		Delays:   sim.FixedDelay{D: 2},
+		Workload: runner.Saturated(),
+	})
+	a.CorruptOnOverlap = true
+	r.Run(20000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Converged(); !ok {
+		t.Fatalf("stabilization failed despite mistakes being finite; overlaps=%d last illegitimate=%d",
+			a.Overlaps(), a.LastIllegitimate())
+	}
+	if !graphColorsProper(g, proto) {
+		t.Fatal("final coloring not proper")
+	}
+}
+
+func graphColorsProper(g *graph.Graph, p *Coloring) bool {
+	return g.IsProperColoring(p.Colors())
+}
+
+func TestMISUnderDaemonBeatsSynchrony(t *testing.T) {
+	// The synchronous schedule livelocks (see protocol tests); the
+	// dining daemon serializes neighbors and converges.
+	g := graph.Ring(8)
+	proto := NewMIS(g)
+	r, a := daemonRun(t, proto, runner.Config{
+		Graph:    g,
+		Seed:     2,
+		Delays:   sim.UniformDelay{Min: 1, Max: 3},
+		Workload: runner.Saturated(),
+	})
+	r.Run(10000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Converged(); !ok {
+		t.Fatal("MIS did not converge under the dining daemon")
+	}
+	for i := 0; i < g.N(); i++ {
+		if proto.Enabled(i) {
+			t.Fatalf("process %d still enabled at end", i)
+		}
+	}
+}
+
+func TestDaemonAdapterCounters(t *testing.T) {
+	g := graph.Path(2)
+	proto := NewColoring(g)
+	r, a := daemonRun(t, proto, runner.Config{
+		Graph:    g,
+		Seed:     1,
+		Workload: runner.Workload{Sessions: 2, EatMin: 1, EatMax: 1, ThinkMin: 1, ThinkMax: 1},
+	})
+	r.Run(1000)
+	if a.Steps() == 0 {
+		t.Fatal("no protocol steps executed")
+	}
+	if a.Overlaps() != 0 {
+		t.Fatalf("crash-free converged run had %d overlaps", a.Overlaps())
+	}
+}

@@ -1,0 +1,165 @@
+package stabilize
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Matching is self-stabilizing maximal matching in the style of Hsu &
+// Huang (1992): each process holds a pointer (its proposed partner, or
+// -1). The guarded actions, executed under a serializing daemon:
+//
+//   - match:    if unmatched and some neighbor points at us, point back
+//     (preferring the smallest such neighbor).
+//   - propose:  if unmatched with an unmatched, idle neighbor, point at
+//     the smallest one.
+//   - withdraw: if we point at a neighbor that points at a third
+//     process, retract.
+//
+// A configuration is legitimate when pointers are symmetric (every
+// pointer is reciprocated) and no two idle processes are adjacent —
+// i.e. the pointer pairs form a maximal matching. Hsu & Huang proved
+// convergence under a central daemon; the dining daemon provides the
+// required serialization between neighbors.
+type Matching struct {
+	g   *graph.Graph
+	ptr []int // partner pointer; -1 = idle
+}
+
+// NewMatching creates the protocol over g with every process idle.
+func NewMatching(g *graph.Graph) *Matching {
+	m := &Matching{g: g, ptr: make([]int, g.N())}
+	for i := range m.ptr {
+		m.ptr[i] = -1
+	}
+	return m
+}
+
+// Name implements Protocol.
+func (m *Matching) Name() string { return "stabilizing-matching" }
+
+// N implements Protocol.
+func (m *Matching) N() int { return m.g.N() }
+
+// Partner returns i's pointer (-1 when idle).
+func (m *Matching) Partner(i int) int { return m.ptr[i] }
+
+// SetPartner overwrites i's pointer — for adversarial initial
+// configurations. Values outside the neighbor set become -1 at the next
+// step via the withdraw action; any int is accepted.
+func (m *Matching) SetPartner(i, p int) {
+	if i >= 0 && i < len(m.ptr) {
+		m.ptr[i] = p
+	}
+}
+
+// action returns which action is enabled at i (0 = none).
+func (m *Matching) action(i int) (kind int, target int) {
+	p := m.ptr[i]
+	if p >= 0 {
+		// withdraw: corrupted pointer (self, out of range, or at a
+		// non-neighbor — possible after a transient fault)...
+		if p >= len(m.ptr) || !m.g.HasEdge(i, p) {
+			return 3, -1
+		}
+		// ...or our candidate points elsewhere (and not at us).
+		if q := m.ptr[p]; q != i && q != -1 {
+			return 3, -1
+		}
+		return 0, -1
+	}
+	// match: the smallest neighbor pointing at us.
+	for _, j := range m.g.Neighbors(i) {
+		if m.ptr[j] == i {
+			return 1, j
+		}
+	}
+	// propose: the smallest idle neighbor that is unengaged.
+	for _, j := range m.g.Neighbors(i) {
+		if m.ptr[j] == -1 {
+			return 2, j
+		}
+	}
+	return 0, -1
+}
+
+// Enabled implements Protocol.
+func (m *Matching) Enabled(i int) bool {
+	kind, _ := m.action(i)
+	return kind != 0
+}
+
+// Step implements Protocol.
+func (m *Matching) Step(i int) {
+	kind, target := m.action(i)
+	switch kind {
+	case 1, 2:
+		m.ptr[i] = target
+	case 3:
+		m.ptr[i] = -1
+	}
+}
+
+// Matched reports whether i is in a mutual pair.
+func (m *Matching) Matched(i int) bool {
+	p := m.ptr[i]
+	return p >= 0 && p < len(m.ptr) && m.ptr[p] == i
+}
+
+// Legitimate implements Protocol: no live process has an enabled
+// action. For fully live runs this coincides with "the mutual pairs
+// form a maximal matching".
+func (m *Matching) Legitimate(live func(int) bool) bool {
+	for i := 0; i < m.g.N(); i++ {
+		if live != nil && !live(i) {
+			continue
+		}
+		if m.Enabled(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalMatching verifies the structural result directly: pointers
+// are symmetric or idle, matched pairs are edges, and no edge joins two
+// idle processes.
+func (m *Matching) IsMaximalMatching() bool {
+	for i := 0; i < m.g.N(); i++ {
+		p := m.ptr[i]
+		if p == -1 {
+			continue
+		}
+		if p < 0 || p >= len(m.ptr) || !m.g.HasEdge(i, p) || m.ptr[p] != i {
+			return false
+		}
+	}
+	for _, e := range m.g.Edges() {
+		if m.ptr[e[0]] == -1 && m.ptr[e[1]] == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Perturb implements Protocol: point somewhere arbitrary (possibly at a
+// non-neighbor, which models pointer corruption) or go idle.
+func (m *Matching) Perturb(i int, rng *rand.Rand) {
+	if i < 0 || i >= len(m.ptr) {
+		return
+	}
+	switch rng.Intn(3) {
+	case 0:
+		m.ptr[i] = -1
+	case 1:
+		nbrs := m.g.Neighbors(i)
+		if len(nbrs) > 0 {
+			m.ptr[i] = nbrs[rng.Intn(len(nbrs))]
+		}
+	default:
+		m.ptr[i] = rng.Intn(len(m.ptr))
+	}
+}
+
+var _ Protocol = (*Matching)(nil)

@@ -1,0 +1,137 @@
+package stabilize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+func TestMatchingConvergesSerially(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for name, g := range map[string]*graph.Graph{
+		"ring8":  graph.Ring(8),
+		"ring9":  graph.Ring(9),
+		"star6":  graph.Star(6),
+		"grid44": graph.Grid(4, 4),
+		"k33":    graph.CompleteBipartite(3, 3),
+		"tree15": graph.BinaryTree(15),
+	} {
+		p := NewMatching(g)
+		if s := serialConverge(p, rng, 50000); s < 0 {
+			t.Fatalf("%s: matching did not converge", name)
+		}
+		if !p.IsMaximalMatching() {
+			t.Fatalf("%s: final state is not a maximal matching", name)
+		}
+	}
+}
+
+func TestMatchingWithdrawOnCorruptPointer(t *testing.T) {
+	g := graph.Path(3)
+	p := NewMatching(g)
+	p.SetPartner(0, 2) // 2 is not a neighbor of 0
+	if !p.Enabled(0) {
+		t.Fatal("corrupt pointer must enable withdraw")
+	}
+	p.Step(0)
+	if p.Partner(0) != -1 {
+		t.Fatal("withdraw did not clear the corrupt pointer")
+	}
+	p.SetPartner(1, 1) // self-pointer
+	if !p.Enabled(1) {
+		t.Fatal("self-pointer must enable withdraw")
+	}
+	p.Step(1)
+	if p.Partner(1) != -1 {
+		t.Fatal("withdraw did not clear the self-pointer")
+	}
+}
+
+func TestMatchingPairFormation(t *testing.T) {
+	g := graph.Path(2)
+	p := NewMatching(g)
+	if !p.Enabled(0) {
+		t.Fatal("idle adjacent processes must be enabled")
+	}
+	p.Step(0) // 0 proposes to 1
+	if p.Partner(0) != 1 || p.Matched(0) {
+		t.Fatalf("after propose: ptr=%d matched=%v", p.Partner(0), p.Matched(0))
+	}
+	p.Step(1) // 1 matches back
+	if !p.Matched(0) || !p.Matched(1) {
+		t.Fatal("pair did not form")
+	}
+	if p.Enabled(0) || p.Enabled(1) {
+		t.Fatal("matched pair must be quiescent")
+	}
+	if !p.IsMaximalMatching() {
+		t.Fatal("pair is a maximal matching on P2")
+	}
+}
+
+func TestMatchingLegitimateRespectsLive(t *testing.T) {
+	g := graph.Path(2)
+	p := NewMatching(g)
+	liveOnly1 := func(i int) bool { return i == 1 }
+	// 0 crashed and idle; 1 idle with only crashed neighbors pointing
+	// nowhere: 1 still proposes (its neighbor is idle) — not legitimate
+	// until it acts.
+	if p.Legitimate(liveOnly1) {
+		t.Fatal("1 has an enabled propose action")
+	}
+	p.Step(1)
+	// Now 1 points at crashed 0 which never reciprocates; no action is
+	// enabled at 1 (0's pointer is -1), so the live system is quiescent
+	// even though the pair never completes — the price of a crashed
+	// partner, correctly excluded from the live legitimacy predicate.
+	if !p.Legitimate(liveOnly1) {
+		t.Fatal("live-restricted legitimacy should hold")
+	}
+}
+
+func TestMatchingUnderDiningDaemon(t *testing.T) {
+	g := graph.Grid(3, 3)
+	proto := NewMatching(g)
+	r, a := daemonRun(t, proto, runner.Config{
+		Graph:    g,
+		Seed:     6,
+		Delays:   sim.UniformDelay{Min: 1, Max: 3},
+		Workload: runner.Saturated(),
+	})
+	r.Kernel().At(1500, func() { a.InjectFaults(9) })
+	r.Run(20000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Converged(); !ok {
+		t.Fatalf("matching did not stabilize under the daemon; last illegitimate %d", a.LastIllegitimate())
+	}
+	if !proto.IsMaximalMatching() {
+		t.Fatal("final configuration is not a maximal matching")
+	}
+}
+
+// Property: from any corrupted initial pointer assignment on random
+// connected graphs, serial scheduling converges to a maximal matching.
+func TestQuickMatchingSelfStabilizes(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%12) + 2
+		g := graph.ConnectedGNP(n, 0.3, rng)
+		p := NewMatching(g)
+		for i := 0; i < n; i++ {
+			p.Perturb(i, rng)
+		}
+		if serialConverge(p, rng, 100000) < 0 {
+			return false
+		}
+		return p.IsMaximalMatching()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

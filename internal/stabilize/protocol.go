@@ -1,0 +1,347 @@
+// Package stabilize implements the paper's motivating application: a
+// dining-based distributed daemon scheduling self-stabilizing
+// protocols in the presence of crash faults.
+//
+// A self-stabilizing protocol converges to a legitimate configuration
+// from any initial state, provided every correct process executes
+// enabled actions infinitely often and conflicting neighbors do not
+// execute simultaneously. The dining daemon provides exactly that: a
+// process executes one guarded action of the protocol each time it
+// eats, and the dining algorithm's exclusion keeps neighboring steps
+// serialized. Wait-freedom of the daemon is what preserves the
+// infinitely-often guarantee when processes crash — with a non-wait-
+// free daemon (Choy–Singh), a crash starves correct processes and
+// convergence fails, which is the paper's core motivation.
+//
+// Three classic protocols are provided: Dijkstra's K-state token ring,
+// self-stabilizing (Δ+1)-coloring, and self-stabilizing maximal
+// independent set.
+package stabilize
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Protocol is a self-stabilizing protocol in the locally shared memory
+// guarded-command model: each process owns local state and its action
+// guards and effects read only its own and its neighbors' states.
+// Implementations are driven by a daemon that serializes neighboring
+// steps, so Step needs no internal synchronization.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// N returns the number of processes.
+	N() int
+	// Enabled reports whether process i has an enabled guarded action.
+	Enabled(i int) bool
+	// Step executes one enabled action at i; it is a no-op when no
+	// action is enabled.
+	Step(i int)
+	// Legitimate reports whether the configuration is in the safe set,
+	// judging only what live processes can still influence: every
+	// live process must be action-disabled or, for token-circulation
+	// protocols, the global predicate must hold.
+	Legitimate(live func(i int) bool) bool
+	// Perturb injects a transient fault at process i: its local state
+	// is replaced with an arbitrary (random) value.
+	Perturb(i int, rng *rand.Rand)
+}
+
+// DijkstraRing is Dijkstra's K-state self-stabilizing token ring
+// (Dijkstra 1974): process 0 is the bottom machine; a process holds the
+// token when its guard is enabled; in a legitimate configuration
+// exactly one process holds the token. K must be at least N for
+// convergence from arbitrary states. The conflict graph is the ring
+// itself, so a dining daemon on the same ring provides the required
+// read/write atomicity.
+//
+// The ring requires every process to take steps, so it is a crash-free
+// benchmark: it demonstrates convergence under transient faults and the
+// need for infinitely-often scheduling, while the graph protocols below
+// demonstrate crash tolerance.
+type DijkstraRing struct {
+	k int
+	x []int
+}
+
+// NewDijkstraRing creates a ring of n processes with K states each.
+// K is clamped up to n+1 (Dijkstra's sufficiency bound).
+func NewDijkstraRing(n, k int) *DijkstraRing {
+	if k < n+1 {
+		k = n + 1
+	}
+	return &DijkstraRing{k: k, x: make([]int, n)}
+}
+
+// Name implements Protocol.
+func (d *DijkstraRing) Name() string { return "dijkstra-kstate-ring" }
+
+// N implements Protocol.
+func (d *DijkstraRing) N() int { return len(d.x) }
+
+// K returns the state-space size per process.
+func (d *DijkstraRing) K() int { return d.k }
+
+// Value returns process i's register.
+func (d *DijkstraRing) Value(i int) int { return d.x[i] }
+
+// Enabled implements Protocol: the bottom machine is enabled when its
+// value equals its predecessor's (the top machine); others are enabled
+// when their value differs from their predecessor's.
+func (d *DijkstraRing) Enabled(i int) bool {
+	n := len(d.x)
+	if n == 0 {
+		return false
+	}
+	if i == 0 {
+		return d.x[0] == d.x[n-1]
+	}
+	return d.x[i] != d.x[i-1]
+}
+
+// Step implements Protocol.
+func (d *DijkstraRing) Step(i int) {
+	if !d.Enabled(i) {
+		return
+	}
+	if i == 0 {
+		d.x[0] = (d.x[0] + 1) % d.k
+		return
+	}
+	d.x[i] = d.x[i-1]
+}
+
+// SetValue overwrites process i's register — for constructing
+// adversarial initial configurations.
+func (d *DijkstraRing) SetValue(i, v int) {
+	if i >= 0 && i < len(d.x) {
+		d.x[i] = ((v % d.k) + d.k) % d.k
+	}
+}
+
+// TokenHolders returns the processes whose guard is enabled — the
+// "token holders". Legitimate configurations have exactly one.
+func (d *DijkstraRing) TokenHolders() []int {
+	var out []int
+	for i := range d.x {
+		if d.Enabled(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Legitimate implements Protocol: exactly one token exists. The ring
+// needs all processes live; the live predicate is ignored (crashing a
+// ring member makes legitimacy unreachable, which is precisely the
+// phenomenon the crash experiments demonstrate with graph protocols
+// instead).
+func (d *DijkstraRing) Legitimate(func(int) bool) bool {
+	return len(d.TokenHolders()) == 1
+}
+
+// Perturb implements Protocol.
+func (d *DijkstraRing) Perturb(i int, rng *rand.Rand) {
+	if i >= 0 && i < len(d.x) {
+		d.x[i] = rng.Intn(d.k)
+	}
+}
+
+// Coloring is self-stabilizing (Δ+1)-vertex-coloring: a process whose
+// color collides with a neighbor's recolors itself with the smallest
+// free color. It converges under any daemon that serializes
+// neighboring steps, and it tolerates crashes: live processes converge
+// to a coloring proper on every edge with a live endpoint, treating
+// crashed neighbors' frozen colors as constraints.
+type Coloring struct {
+	g       *graph.Graph
+	palette int
+	c       []int
+}
+
+// NewColoring creates the protocol over conflict graph g with a
+// (Δ+1)-color palette and all processes initially color 0 (an
+// adversarial monochrome start).
+func NewColoring(g *graph.Graph) *Coloring {
+	return &Coloring{g: g, palette: g.MaxDegree() + 1, c: make([]int, g.N())}
+}
+
+// Name implements Protocol.
+func (p *Coloring) Name() string { return "stabilizing-coloring" }
+
+// N implements Protocol.
+func (p *Coloring) N() int { return p.g.N() }
+
+// Color returns process i's current color.
+func (p *Coloring) Color(i int) int { return p.c[i] }
+
+// Colors returns a copy of the full color vector.
+func (p *Coloring) Colors() []int {
+	out := make([]int, len(p.c))
+	copy(out, p.c)
+	return out
+}
+
+// SetColor overwrites process i's color — for constructing adversarial
+// initial configurations.
+func (p *Coloring) SetColor(i, c int) {
+	if i >= 0 && i < len(p.c) {
+		p.c[i] = c
+	}
+}
+
+// Enabled implements Protocol.
+func (p *Coloring) Enabled(i int) bool {
+	for _, j := range p.g.Neighbors(i) {
+		if p.c[j] == p.c[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Step implements Protocol: recolor with the smallest color unused by
+// any neighbor.
+func (p *Coloring) Step(i int) {
+	if !p.Enabled(i) {
+		return
+	}
+	used := make([]bool, p.palette+1)
+	for _, j := range p.g.Neighbors(i) {
+		if cj := p.c[j]; cj >= 0 && cj < len(used) {
+			used[cj] = true
+		}
+	}
+	for col := range used {
+		if !used[col] {
+			p.c[i] = col
+			return
+		}
+	}
+}
+
+// Legitimate implements Protocol: no live process has a color conflict.
+func (p *Coloring) Legitimate(live func(int) bool) bool {
+	for i := 0; i < p.g.N(); i++ {
+		if live != nil && !live(i) {
+			continue
+		}
+		if p.Enabled(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Perturb implements Protocol.
+func (p *Coloring) Perturb(i int, rng *rand.Rand) {
+	if i >= 0 && i < len(p.c) {
+		p.c[i] = rng.Intn(p.palette + 1)
+	}
+}
+
+// MIS is self-stabilizing maximal independent set (Shukla, Rosenkrantz
+// & Ravi 1995): a process joins the set when no neighbor is in it, and
+// leaves when a neighbor is in it. Under a serializing daemon it
+// converges; under a synchronous free-for-all schedule two neighbors
+// can flip in lockstep forever, which is exactly why stabilizing
+// protocols need a daemon — see SynchronousRound.
+type MIS struct {
+	g  *graph.Graph
+	in []bool
+}
+
+// NewMIS creates the protocol over g with every process out of the set.
+func NewMIS(g *graph.Graph) *MIS {
+	return &MIS{g: g, in: make([]bool, g.N())}
+}
+
+// Name implements Protocol.
+func (p *MIS) Name() string { return "stabilizing-mis" }
+
+// N implements Protocol.
+func (p *MIS) N() int { return p.g.N() }
+
+// In reports whether process i is in the set.
+func (p *MIS) In(i int) bool { return p.in[i] }
+
+// Set overwrites process i's membership — for constructing adversarial
+// initial configurations.
+func (p *MIS) Set(i int, in bool) {
+	if i >= 0 && i < len(p.in) {
+		p.in[i] = in
+	}
+}
+
+func (p *MIS) hasInNeighbor(i int) bool {
+	for _, j := range p.g.Neighbors(i) {
+		if p.in[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// Enabled implements Protocol.
+func (p *MIS) Enabled(i int) bool {
+	if p.in[i] {
+		return p.hasInNeighbor(i)
+	}
+	return !p.hasInNeighbor(i)
+}
+
+// Step implements Protocol.
+func (p *MIS) Step(i int) {
+	if !p.Enabled(i) {
+		return
+	}
+	p.in[i] = !p.in[i]
+}
+
+// Legitimate implements Protocol: no live process is enabled — the set
+// is independent and maximal with respect to live processes.
+func (p *MIS) Legitimate(live func(int) bool) bool {
+	for i := 0; i < p.g.N(); i++ {
+		if live != nil && !live(i) {
+			continue
+		}
+		if p.Enabled(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Perturb implements Protocol.
+func (p *MIS) Perturb(i int, rng *rand.Rand) {
+	if i >= 0 && i < len(p.in) {
+		p.in[i] = rng.Intn(2) == 0
+	}
+}
+
+// SynchronousRound executes one synchronous round: every enabled
+// process steps simultaneously (reads before any write). It returns how
+// many processes stepped. On a bipartite structure with a symmetric
+// start, MIS livelocks under this schedule — all-out flips to all-in
+// and back — which demonstrates why daemon-free scheduling is unsound
+// for this protocol family.
+func (p *MIS) SynchronousRound() int {
+	var stepped []int
+	for i := 0; i < p.g.N(); i++ {
+		if p.Enabled(i) {
+			stepped = append(stepped, i)
+		}
+	}
+	for _, i := range stepped {
+		p.in[i] = !p.in[i]
+	}
+	return len(stepped)
+}
+
+var (
+	_ Protocol = (*DijkstraRing)(nil)
+	_ Protocol = (*Coloring)(nil)
+	_ Protocol = (*MIS)(nil)
+)

@@ -1,0 +1,224 @@
+package stabilize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func allLive(int) bool { return true }
+
+// serialConverge runs a random serial (central) daemon: repeatedly pick
+// an enabled process and step it. Returns the number of steps until
+// legitimacy or -1 if maxSteps were exhausted.
+func serialConverge(p Protocol, rng *rand.Rand, maxSteps int) int {
+	for s := 0; s < maxSteps; s++ {
+		if p.Legitimate(allLive) {
+			return s
+		}
+		var enabled []int
+		for i := 0; i < p.N(); i++ {
+			if p.Enabled(i) {
+				enabled = append(enabled, i)
+			}
+		}
+		if len(enabled) == 0 {
+			return s
+		}
+		p.Step(enabled[rng.Intn(len(enabled))])
+	}
+	if p.Legitimate(allLive) {
+		return maxSteps
+	}
+	return -1
+}
+
+func TestDijkstraRingInitiallyLegitimate(t *testing.T) {
+	d := NewDijkstraRing(5, 0)
+	if d.K() != 6 {
+		t.Fatalf("K clamped to %d, want 6", d.K())
+	}
+	if !d.Legitimate(allLive) {
+		t.Fatal("all-zero ring should be legitimate (only bottom enabled)")
+	}
+	if th := d.TokenHolders(); len(th) != 1 || th[0] != 0 {
+		t.Fatalf("token holders = %v, want [0]", th)
+	}
+}
+
+func TestDijkstraRingTokenCirculates(t *testing.T) {
+	d := NewDijkstraRing(4, 0)
+	visited := make(map[int]bool)
+	for round := 0; round < 40; round++ {
+		th := d.TokenHolders()
+		if len(th) != 1 {
+			t.Fatalf("round %d: %d tokens", round, len(th))
+		}
+		visited[th[0]] = true
+		d.Step(th[0])
+	}
+	if len(visited) != 4 {
+		t.Fatalf("token visited %d of 4 processes", len(visited))
+	}
+}
+
+func TestDijkstraRingConvergesFromArbitrary(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		d := NewDijkstraRing(7, 0)
+		for i := 0; i < d.N(); i++ {
+			d.Perturb(i, rng)
+		}
+		if s := serialConverge(d, rng, 10000); s < 0 {
+			t.Fatalf("trial %d: ring did not converge", trial)
+		}
+		// Closure: once legitimate, stays legitimate.
+		for extra := 0; extra < 50; extra++ {
+			th := d.TokenHolders()
+			if len(th) != 1 {
+				t.Fatalf("closure violated: %d tokens", len(th))
+			}
+			d.Step(th[0])
+		}
+	}
+}
+
+func TestDijkstraSetValue(t *testing.T) {
+	d := NewDijkstraRing(3, 0)
+	d.SetValue(1, -5)
+	if v := d.Value(1); v < 0 || v >= d.K() {
+		t.Fatalf("SetValue normalization broken: %d", v)
+	}
+	d.SetValue(99, 1) // out of range: no panic
+}
+
+func TestColoringConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, g := range []*graph.Graph{graph.Ring(8), graph.Clique(5), graph.Grid(3, 4)} {
+		p := NewColoring(g)
+		if p.Legitimate(allLive) {
+			t.Fatalf("%v: monochrome start cannot be legitimate", g)
+		}
+		if s := serialConverge(p, rng, 10000); s < 0 {
+			t.Fatalf("%v: coloring did not converge", g)
+		}
+		if !g.IsProperColoring(p.Colors()) {
+			t.Fatalf("%v: final colors not proper: %v", g, p.Colors())
+		}
+	}
+}
+
+func TestColoringLegitimateIgnoresCrashedConflicts(t *testing.T) {
+	g := graph.Path(2)
+	p := NewColoring(g) // both color 0: conflict
+	liveOnly0 := func(i int) bool { return i == 0 }
+	if p.Legitimate(liveOnly0) {
+		t.Fatal("live process 0 is enabled: not legitimate")
+	}
+	p.Step(0) // 0 recolors away from crashed 1
+	if !p.Legitimate(liveOnly0) {
+		t.Fatal("after recoloring, live processes are quiescent")
+	}
+	// With both live, 1 still conflicts with nobody (0 moved away).
+	if !p.Legitimate(allLive) {
+		t.Fatal("coloring should be fully proper now")
+	}
+}
+
+func TestColoringSetColor(t *testing.T) {
+	g := graph.Path(3)
+	p := NewColoring(g)
+	p.SetColor(1, 2)
+	if p.Color(1) != 2 {
+		t.Fatal("SetColor failed")
+	}
+	p.SetColor(-1, 5) // no panic
+}
+
+func TestMISConvergesSerially(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, g := range []*graph.Graph{graph.Ring(9), graph.Star(7), graph.Grid(4, 4)} {
+		p := NewMIS(g)
+		if s := serialConverge(p, rng, 10000); s < 0 {
+			t.Fatalf("%v: MIS did not converge serially", g)
+		}
+		// Verify independence + maximality.
+		for i := 0; i < g.N(); i++ {
+			if p.Enabled(i) {
+				t.Fatalf("%v: process %d still enabled", g, i)
+			}
+		}
+	}
+}
+
+func TestMISSynchronousLivelock(t *testing.T) {
+	// All-out on a ring: synchronously, everyone joins, then everyone
+	// leaves, forever. The daemon-free schedule never converges — the
+	// motivating phenomenon for distributed daemons.
+	g := graph.Ring(6)
+	p := NewMIS(g)
+	for round := 0; round < 100; round++ {
+		if p.Legitimate(allLive) {
+			t.Fatalf("round %d: synchronous MIS converged; expected livelock", round)
+		}
+		if n := p.SynchronousRound(); n != 6 {
+			t.Fatalf("round %d: %d processes stepped, want all 6 (lockstep flip)", round, n)
+		}
+	}
+}
+
+func TestMISSet(t *testing.T) {
+	p := NewMIS(graph.Path(2))
+	p.Set(0, true)
+	if !p.In(0) {
+		t.Fatal("Set failed")
+	}
+	p.Set(9, true) // no panic
+}
+
+func TestProtocolNames(t *testing.T) {
+	if NewDijkstraRing(3, 0).Name() == "" || NewColoring(graph.Ring(3)).Name() == "" || NewMIS(graph.Ring(3)).Name() == "" {
+		t.Fatal("protocols must have names")
+	}
+}
+
+// Property: coloring and MIS converge under random serial daemons from
+// random initial configurations on random connected graphs, and the
+// result is correct.
+func TestQuickSerialConvergence(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%12) + 3
+		g := graph.ConnectedGNP(n, 0.3, rng)
+
+		col := NewColoring(g)
+		for i := 0; i < n; i++ {
+			col.Perturb(i, rng)
+		}
+		if serialConverge(col, rng, 50000) < 0 {
+			return false
+		}
+		if !g.IsProperColoring(col.Colors()) {
+			return false
+		}
+
+		mis := NewMIS(g)
+		for i := 0; i < n; i++ {
+			mis.Perturb(i, rng)
+		}
+		if serialConverge(mis, rng, 50000) < 0 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if mis.Enabled(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package trace records structured simulation events — dining-state
+// transitions, message sends/deliveries, suspicion changes, crashes —
+// into a bounded ring buffer that can be filtered and rendered. It
+// exists for debugging adversarial schedules: when an invariant test
+// fails, the trace of the offending (deterministic) run shows exactly
+// which interleaving broke it.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+// Event kinds.
+const (
+	// Transition is a dining-state change.
+	Transition Kind = iota + 1
+	// Send is a message entering a channel.
+	Send
+	// Deliver is a message leaving a channel into a process.
+	Deliver
+	// Drop is a message discarded at a crashed destination.
+	Drop
+	// Crash is a crash-fault injection.
+	Crash
+	// Suspect is a failure-detector output change.
+	Suspect
+	// Mark is a free-form annotation inserted by the experiment.
+	Mark
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Transition:
+		return "state"
+	case Send:
+		return "send"
+	case Deliver:
+		return "recv"
+	case Drop:
+		return "drop"
+	case Crash:
+		return "crash"
+	case Suspect:
+		return "suspect"
+	case Mark:
+		return "mark"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	// Proc is the acting process (the transitioning process, the
+	// sender, the receiver for Deliver, the crashed process, or the
+	// suspecting watcher).
+	Proc int
+	// Peer is the counterparty, when meaningful (message destination
+	// or origin, suspicion target); -1 otherwise.
+	Peer int
+	// Detail is a human-readable payload description.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e.Peer >= 0 {
+		return fmt.Sprintf("%8d %-7s p%-3d ↔ p%-3d %s", e.At, e.Kind, e.Proc, e.Peer, e.Detail)
+	}
+	return fmt.Sprintf("%8d %-7s p%-3d          %s", e.At, e.Kind, e.Proc, e.Detail)
+}
+
+// Log is a bounded ring buffer of events. It is not safe for concurrent
+// use; the deterministic simulator is single-threaded, which is where
+// the log belongs.
+type Log struct {
+	cap     int
+	events  []Event
+	start   int // ring start index when full
+	dropped uint64
+	total   uint64
+}
+
+// NewLog creates a log that retains at most capacity events (older
+// events are discarded first). Capacity below 1 defaults to 4096.
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 4096
+	}
+	return &Log{cap: capacity}
+}
+
+// Add appends an event.
+func (l *Log) Add(e Event) {
+	l.total++
+	if len(l.events) < l.cap {
+		l.events = append(l.events, e)
+		return
+	}
+	l.events[l.start] = e
+	l.start = (l.start + 1) % l.cap
+	l.dropped++
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Total returns how many events were ever recorded (including ones the
+// ring has since discarded).
+func (l *Log) Total() uint64 { return l.total }
+
+// Dropped returns how many events the ring discarded.
+func (l *Log) Dropped() uint64 { return l.dropped }
+
+// Events returns the retained events in chronological order.
+func (l *Log) Events() []Event {
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.start:]...)
+	out = append(out, l.events[:l.start]...)
+	return out
+}
+
+// Filter returns the retained events that satisfy keep, in order.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByProcess returns the retained events in which process p acts or is
+// the counterparty.
+func (l *Log) ByProcess(p int) []Event {
+	return l.Filter(func(e Event) bool { return e.Proc == p || e.Peer == p })
+}
+
+// Between returns the retained events with from <= At < to.
+func (l *Log) Between(from, to sim.Time) []Event {
+	return l.Filter(func(e Event) bool { return e.At >= from && e.At < to })
+}
+
+// Mark records a free-form annotation at the given time.
+func (l *Log) Mark(at sim.Time, note string) {
+	l.Add(Event{At: at, Kind: Mark, Proc: -1, Peer: -1, Detail: note})
+}
+
+// Dump writes the retained events to w, one per line.
+func (l *Log) Dump(w io.Writer) {
+	if l.dropped > 0 {
+		fmt.Fprintf(w, "... %d earlier events discarded ...\n", l.dropped)
+	}
+	for _, e := range l.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// Summary renders per-kind counts.
+func (l *Log) Summary() string {
+	counts := map[Kind]int{}
+	for _, e := range l.Events() {
+		counts[e.Kind]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d retained / %d total", l.Len(), l.Total())
+	for _, k := range []Kind{Transition, Send, Deliver, Drop, Crash, Suspect, Mark} {
+		if counts[k] > 0 {
+			fmt.Fprintf(&b, " %s=%d", k, counts[k])
+		}
+	}
+	return b.String()
+}
+
+// OnTransition adapts the log to the runner's transition callback.
+func (l *Log) OnTransition(at sim.Time, id int, from, to core.State) {
+	l.Add(Event{At: at, Kind: Transition, Proc: id, Peer: -1,
+		Detail: fmt.Sprintf("%v → %v", from, to)})
+}
+
+// OnCrash adapts the log to the runner's crash callback.
+func (l *Log) OnCrash(at sim.Time, id int) {
+	l.Add(Event{At: at, Kind: Crash, Proc: id, Peer: -1, Detail: "crashed"})
+}
+
+// Observer returns a network observer that records message traffic.
+func (l *Log) Observer() sim.Observer {
+	describe := func(payload any) string {
+		if m, ok := payload.(core.Message); ok {
+			return m.String()
+		}
+		return fmt.Sprintf("%v", payload)
+	}
+	return sim.Observer{
+		OnSend: func(at sim.Time, from, to int, payload any) {
+			l.Add(Event{At: at, Kind: Send, Proc: from, Peer: to, Detail: describe(payload)})
+		},
+		OnDeliver: func(at sim.Time, from, to int, payload any) {
+			l.Add(Event{At: at, Kind: Deliver, Proc: to, Peer: from, Detail: describe(payload)})
+		},
+		OnDrop: func(at sim.Time, from, to int, payload any) {
+			l.Add(Event{At: at, Kind: Drop, Proc: to, Peer: from, Detail: describe(payload)})
+		},
+	}
+}
+
+// OnSuspect records a failure-detector output change.
+func (l *Log) OnSuspect(at sim.Time, watcher, target int, suspected bool) {
+	verb := "suspects"
+	if !suspected {
+		verb = "trusts"
+	}
+	l.Add(Event{At: at, Kind: Suspect, Proc: watcher, Peer: target,
+		Detail: fmt.Sprintf("%s p%d", verb, target)})
+}

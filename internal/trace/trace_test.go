@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+func TestRingBufferRetention(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{At: sim.Time(i), Kind: Mark, Proc: -1, Peer: -1})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if l.Total() != 5 || l.Dropped() != 2 {
+		t.Fatalf("total/dropped = %d/%d, want 5/2", l.Total(), l.Dropped())
+	}
+	evs := l.Events()
+	if evs[0].At != 2 || evs[2].At != 4 {
+		t.Fatalf("ring order wrong: %v", evs)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	l := NewLog(0)
+	if l.cap != 4096 {
+		t.Fatalf("default cap = %d", l.cap)
+	}
+}
+
+func TestFilterHelpers(t *testing.T) {
+	l := NewLog(100)
+	l.Add(Event{At: 1, Kind: Send, Proc: 0, Peer: 1})
+	l.Add(Event{At: 2, Kind: Deliver, Proc: 1, Peer: 0})
+	l.Add(Event{At: 3, Kind: Transition, Proc: 2, Peer: -1})
+	l.Mark(4, "checkpoint")
+
+	if got := len(l.ByProcess(0)); got != 2 {
+		t.Fatalf("ByProcess(0) = %d events, want 2", got)
+	}
+	if got := len(l.ByProcess(2)); got != 1 {
+		t.Fatalf("ByProcess(2) = %d events, want 1", got)
+	}
+	if got := len(l.Between(2, 4)); got != 2 {
+		t.Fatalf("Between(2,4) = %d events, want 2", got)
+	}
+	if got := len(l.Filter(func(e Event) bool { return e.Kind == Mark })); got != 1 {
+		t.Fatalf("Filter(Mark) = %d, want 1", got)
+	}
+}
+
+func TestEventAndKindStrings(t *testing.T) {
+	e := Event{At: 7, Kind: Send, Proc: 1, Peer: 2, Detail: "ping(1→2)"}
+	s := e.String()
+	if !strings.Contains(s, "send") || !strings.Contains(s, "ping") {
+		t.Fatalf("Event.String = %q", s)
+	}
+	noPeer := Event{At: 7, Kind: Crash, Proc: 1, Peer: -1, Detail: "crashed"}
+	if !strings.Contains(noPeer.String(), "crash") {
+		t.Fatalf("Event.String = %q", noPeer.String())
+	}
+	for _, k := range []Kind{Transition, Send, Deliver, Drop, Crash, Suspect, Mark} {
+		if k.String() == "" || strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("missing name for kind %d", int(k))
+		}
+	}
+	if Kind(42).String() != "kind(42)" {
+		t.Fatal("unknown kind must stringify")
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	l := NewLog(2)
+	l.Add(Event{At: 1, Kind: Send, Proc: 0, Peer: 1})
+	l.Add(Event{At: 2, Kind: Send, Proc: 1, Peer: 0})
+	l.Add(Event{At: 3, Kind: Crash, Proc: 0, Peer: -1})
+	var b strings.Builder
+	l.Dump(&b)
+	if !strings.Contains(b.String(), "discarded") {
+		t.Fatal("dump should mention discarded events")
+	}
+	sum := l.Summary()
+	if !strings.Contains(sum, "crash=1") || !strings.Contains(sum, "3 total") {
+		t.Fatalf("Summary = %q", sum)
+	}
+}
+
+func TestTraceWiredIntoRunner(t *testing.T) {
+	l := NewLog(100000)
+	g := graph.Ring(4)
+	r, err := runner.New(runner.Config{
+		Graph:        g,
+		Seed:         1,
+		Workload:     runner.Workload{Sessions: 2, EatMin: 1, EatMax: 2, ThinkMin: 1, ThinkMax: 2},
+		OnTransition: l.OnTransition,
+		OnCrash:      l.OnCrash,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Network().SetObserver(l.Observer())
+	r.CrashAt(50, 0)
+	r.Run(2000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var sends, recvs, transitions, crashes int
+	for _, e := range l.Events() {
+		switch e.Kind {
+		case Send:
+			sends++
+		case Deliver:
+			recvs++
+		case Transition:
+			transitions++
+		case Crash:
+			crashes++
+		}
+	}
+	if sends == 0 || recvs == 0 || transitions == 0 || crashes != 1 {
+		t.Fatalf("trace counts: send=%d recv=%d state=%d crash=%d", sends, recvs, transitions, crashes)
+	}
+	if recvs > sends {
+		t.Fatal("more deliveries than sends")
+	}
+	// Every event in chronological order.
+	evs := l.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("trace out of order at %d", i)
+		}
+	}
+	// Message payloads render as dining messages.
+	found := false
+	for _, e := range l.Events() {
+		if e.Kind == Send && strings.Contains(e.Detail, "ping(") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no ping message rendered in trace")
+	}
+}
+
+func TestOnSuspect(t *testing.T) {
+	l := NewLog(10)
+	l.OnSuspect(5, 0, 1, true)
+	l.OnSuspect(9, 0, 1, false)
+	evs := l.Events()
+	if len(evs) != 2 || !strings.Contains(evs[0].Detail, "suspects") || !strings.Contains(evs[1].Detail, "trusts") {
+		t.Fatalf("suspect events = %v", evs)
+	}
+}
