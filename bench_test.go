@@ -266,6 +266,34 @@ func BenchmarkE8ScalabilityClique12(b *testing.B) {
 	})
 }
 
+// BenchmarkE11LossyLinks measures the rlink sublayer masking a 10%
+// drop + 10% duplication adversary: Algorithm 1 must stay wait-free
+// (no starvation) and within the suffix overtake bound; the metric is
+// the retransmission cost of the masking.
+func BenchmarkE11LossyLinks(b *testing.B) {
+	benchExecute(b, func(seed int64) harness.Spec {
+		return harness.Spec{
+			Graph:     graph.Ring(8),
+			Seed:      seed,
+			Algorithm: harness.Algorithm1,
+			Detector:  harness.DetectorHeartbeat,
+			Heartbeat: harness.DefaultHeartbeatParams(),
+			Workload:  runner.Saturated(),
+			Horizon:   15000,
+			Faults:    &sim.FaultPlan{DropP: 0.10, DupP: 0.10, HealAt: 8000},
+			Reliable:  true,
+		}
+	}, func(res harness.Result) (string, float64) {
+		if len(res.Starving) != 0 {
+			b.Fatalf("starving over rlink: %v", res.Starving)
+		}
+		if res.MaxOvertakeSuffix > 2 {
+			b.Fatalf("suffix overtakes = %d over rlink", res.MaxOvertakeSuffix)
+		}
+		return "retransmits/run", float64(res.Retransmits)
+	})
+}
+
 // BenchmarkA1RepliedAblation measures the original doorway's overtaking
 // on the adversarial star (compare with BenchmarkE3BoundedWaiting).
 func BenchmarkA1RepliedAblation(b *testing.B) {

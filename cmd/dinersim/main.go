@@ -6,6 +6,8 @@
 //	dinersim -topology ring -n 16 -horizon 20000
 //	dinersim -topology grid -rows 4 -cols 4 -crash 3@500 -crash 7@900
 //	dinersim -topology ring -n 8 -variant choy-singh -crash 0@300
+//	dinersim -topology ring -n 8 -loss 0.1 -dup 0.1 -heal 10000 -reliable
+//	dinersim -topology ring -n 8 -loss 0.1 -partition 0,1,2@2000:4000 -reliable
 package main
 
 import (
@@ -46,6 +48,44 @@ func (c *crashList) Set(v string) error {
 	return nil
 }
 
+// partitionList collects repeatable -partition side@from:to flags,
+// where side is a comma-separated vertex list.
+type partitionList []dining.FaultPartition
+
+func (p *partitionList) String() string { return fmt.Sprintf("%d partitions", len(*p)) }
+
+func (p *partitionList) Set(v string) error {
+	sideStr, window, ok := strings.Cut(v, "@")
+	if !ok {
+		return fmt.Errorf("partition %q: want ids@from:to (e.g. 0,1,2@2000:4000)", v)
+	}
+	fromStr, toStr, ok := strings.Cut(window, ":")
+	if !ok {
+		return fmt.Errorf("partition window %q: want from:to", window)
+	}
+	var side []int
+	for _, s := range strings.Split(sideStr, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("partition vertex %q: %w", s, err)
+		}
+		side = append(side, id)
+	}
+	from, err := strconv.ParseInt(fromStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("partition start %q: %w", fromStr, err)
+	}
+	to, err := strconv.ParseInt(toStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("partition end %q: %w", toStr, err)
+	}
+	if to <= from {
+		return fmt.Errorf("partition window [%d,%d): end must exceed start", from, to)
+	}
+	*p = append(*p, dining.FaultPartition{From: from, To: to, Side: side})
+	return nil
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "dinersim:", err)
@@ -66,10 +106,48 @@ func run(args []string) error {
 	variantName := fs.String("variant", "paper", "paper|no-replied|choy-singh|static-forks")
 	detName := fs.String("detector", "heartbeat", "heartbeat|perfect|none")
 	traceN := fs.Int("trace", 0, "dump the last N simulation events after the run")
+	loss := fs.Float64("loss", 0, "per-message channel loss probability in [0,1]")
+	dup := fs.Float64("dup", 0, "per-message channel duplication probability in [0,1]")
+	heal := fs.Int64("heal", 0, "virtual time at which channel faults cease (0 = never)")
+	reliable := fs.Bool("reliable", false, "layer the rlink retransmission sublayer under the algorithm")
 	var crashes crashList
 	fs.Var(&crashes, "crash", "crash injection id@time (repeatable)")
+	var partitions partitionList
+	fs.Var(&partitions, "partition", "timed bipartition ids@from:to (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Validate flag combinations up front: a bad value should be a
+	// one-line error, not a zero-value run.
+	if *horizon <= 0 {
+		return fmt.Errorf("-horizon %d: must be positive", *horizon)
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n %d: must be positive", *n)
+	}
+	if *rows <= 0 || *cols <= 0 {
+		return fmt.Errorf("-rows %d -cols %d: must be positive", *rows, *cols)
+	}
+	if *p < 0 || *p > 1 {
+		return fmt.Errorf("-p %v: probability outside [0,1]", *p)
+	}
+	if *loss < 0 || *loss > 1 {
+		return fmt.Errorf("-loss %v: probability outside [0,1]", *loss)
+	}
+	if *dup < 0 || *dup > 1 {
+		return fmt.Errorf("-dup %v: probability outside [0,1]", *dup)
+	}
+	if *heal < 0 {
+		return fmt.Errorf("-heal %d: must be non-negative", *heal)
+	}
+	if *traceN < 0 {
+		return fmt.Errorf("-trace %d: must be non-negative", *traceN)
+	}
+	for _, c := range crashes {
+		if c.id < 0 || c.at < 0 {
+			return fmt.Errorf("-crash %d@%d: id and time must be non-negative", c.id, c.at)
+		}
 	}
 
 	var topology dining.Topology
@@ -109,7 +187,21 @@ func run(args []string) error {
 		return fmt.Errorf("unknown variant %q", *variantName)
 	}
 
-	cfg := dining.Config{Topology: topology, Seed: *seed, Variant: variant, TraceCapacity: *traceN}
+	cfg := dining.Config{
+		Topology:      topology,
+		Seed:          *seed,
+		Variant:       variant,
+		TraceCapacity: *traceN,
+		Reliable:      *reliable,
+	}
+	if *loss > 0 || *dup > 0 || len(partitions) > 0 {
+		cfg.Faults = &dining.Faults{
+			LossP:      *loss,
+			DupP:       *dup,
+			Partitions: partitions,
+			HealAt:     *heal,
+		}
+	}
 	switch *detName {
 	case "heartbeat":
 		d := dining.HeartbeatDetector(dining.HeartbeatOptions{})

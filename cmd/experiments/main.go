@@ -51,12 +51,13 @@ func run(args []string) error {
 		"E8":  func() *harness.Table { return harness.E8Scalability(*seed) },
 		"E9":  harness.E9ModelCheck,
 		"E10": func() *harness.Table { return harness.E10MessageMix(*seed) },
+		"E11": func() *harness.Table { return harness.E11LossyLinks(*seed) },
 		"A1":  func() *harness.Table { return harness.A1RepliedAblation(*seed) },
 		"A2":  func() *harness.Table { return harness.A2DetectorSweep(*seed) },
 		"A3":  func() *harness.Table { return harness.A3KBoundSweep(*seed) },
 		"A4":  func() *harness.Table { return harness.A4SeedRobustness(10) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3", "A4"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3", "A4"}
 
 	for _, id := range order {
 		if len(want) > 0 && !want[id] {

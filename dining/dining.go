@@ -39,6 +39,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/rlink"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -313,6 +314,70 @@ func SpikyDelays(base, spike Ticks, p float64) Delays {
 	}
 }
 
+// FaultBurst is a scheduled high-loss window: during [From, To) every
+// message is additionally lost with probability LossP.
+type FaultBurst struct {
+	From, To Ticks
+	LossP    float64
+}
+
+// FaultPartition cuts the network into Side and its complement during
+// [From, To): messages crossing the cut are lost until the window ends.
+type FaultPartition struct {
+	From, To Ticks
+	Side     []int
+}
+
+// Faults injects channel unreliability into the dining network,
+// deterministically from the simulation seed. The paper assumes
+// reliable FIFO links; with Faults set you can watch that assumption
+// break the protocol — or set Config.Reliable and watch the rlink
+// retransmission sublayer mask it.
+type Faults struct {
+	// LossP is the per-message loss probability on every edge.
+	LossP float64
+	// DupP is the per-message duplication probability.
+	DupP float64
+	// Bursts are scheduled extra-loss windows.
+	Bursts []FaultBurst
+	// Partitions are timed bipartitions.
+	Partitions []FaultPartition
+	// HealAt, when positive, ends every fault at that virtual time —
+	// GST-style eventual reliability. Zero means faults last forever.
+	HealAt Ticks
+}
+
+func (f *Faults) plan() (*sim.FaultPlan, error) {
+	if f == nil {
+		return nil, nil
+	}
+	if f.LossP < 0 || f.LossP > 1 {
+		return nil, fmt.Errorf("dining: Faults.LossP %v outside [0,1]", f.LossP)
+	}
+	if f.DupP < 0 || f.DupP > 1 {
+		return nil, fmt.Errorf("dining: Faults.DupP %v outside [0,1]", f.DupP)
+	}
+	plan := &sim.FaultPlan{
+		DropP:  f.LossP,
+		DupP:   f.DupP,
+		HealAt: sim.Time(f.HealAt),
+	}
+	for _, b := range f.Bursts {
+		if b.LossP < 0 || b.LossP > 1 {
+			return nil, fmt.Errorf("dining: burst LossP %v outside [0,1]", b.LossP)
+		}
+		plan.Bursts = append(plan.Bursts, sim.Burst{
+			Start: sim.Time(b.From), End: sim.Time(b.To), DropP: b.LossP,
+		})
+	}
+	for _, p := range f.Partitions {
+		plan.Partitions = append(plan.Partitions, sim.Partition{
+			Start: sim.Time(p.From), End: sim.Time(p.To), Side: p.Side,
+		})
+	}
+	return plan, nil
+}
+
 // Workload drives hunger and eating durations.
 type Workload struct {
 	// ThinkMin/ThinkMax bound thinking time between sessions
@@ -346,6 +411,13 @@ type Config struct {
 	Delays *Delays
 	// Workload drives hunger (default saturated).
 	Workload Workload
+	// Faults injects channel loss/duplication/partitions (default nil:
+	// the paper's reliable FIFO channels).
+	Faults *Faults
+	// Reliable layers the rlink retransmission sublayer (sequence
+	// numbers, cumulative acks, backoff, dedup) between the algorithm
+	// and the network, masking injected Faults.
+	Reliable bool
 	// TraceCapacity, when positive, records the last N simulation
 	// events (transitions, messages, crashes) for inspection via
 	// DumpTrace — invaluable when debugging an adversarial schedule.
@@ -358,6 +430,27 @@ type System struct {
 	suite *metrics.Suite
 	log   *trace.Log
 	desc  string
+}
+
+// combineRlinkObservers fans link events to the metrics monitor and,
+// when tracing, the event log.
+func combineRlinkObservers(list ...rlink.Observer) rlink.Observer {
+	return rlink.Observer{
+		OnRetransmit: func(at sim.Time, from, to int, seq uint64, payload any) {
+			for _, o := range list {
+				if o.OnRetransmit != nil {
+					o.OnRetransmit(at, from, to, seq, payload)
+				}
+			}
+		},
+		OnDupSuppressed: func(at sim.Time, from, to int, seq uint64) {
+			for _, o := range list {
+				if o.OnDupSuppressed != nil {
+					o.OnDupSuppressed(at, from, to, seq)
+				}
+			}
+		},
+	}
 }
 
 // NewSimulation builds a deterministic simulation from cfg.
@@ -430,10 +523,20 @@ func NewSimulation(cfg Config) (*System, error) {
 		}
 		observer = sim.MultiObserver(suite.Observer(), log.Observer())
 	}
+	plan, err := cfg.Faults.plan()
+	if err != nil {
+		return nil, err
+	}
+	var transport runner.TransportFactory
+	if cfg.Reliable {
+		transport = runner.ReliableTransport(rlink.Options{})
+	}
 	r, err := runner.New(runner.Config{
 		Graph:       g,
 		Seed:        cfg.Seed,
 		Delays:      delays.model,
+		Faults:      plan,
+		Transport:   transport,
 		NewDetector: det.factory,
 		NewProcess:  factory,
 		Workload: runner.Workload{
@@ -450,6 +553,16 @@ func NewSimulation(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("dining: %w", err)
 	}
 	r.Network().SetObserver(observer)
+	if link := r.Link(); link != nil {
+		obs := []rlink.Observer{suite.Reliability.RlinkObserver()}
+		if log != nil {
+			obs = append(obs, rlink.Observer{
+				OnRetransmit:    log.OnRetransmit,
+				OnDupSuppressed: log.OnDupSuppressed,
+			})
+		}
+		link.SetObserver(combineRlinkObservers(obs...))
+	}
 	return &System{
 		r:     r,
 		suite: suite,

@@ -13,6 +13,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/rlink"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
@@ -117,6 +118,13 @@ type Spec struct {
 	Workload       runner.Workload
 	Crashes        []Crash
 	Horizon        sim.Time
+	// Faults injects channel unreliability into the dining network; nil
+	// keeps reliable FIFO channels.
+	Faults *sim.FaultPlan
+	// Reliable layers the rlink retransmission sublayer under the
+	// algorithm, masking the injected faults.
+	Reliable     bool
+	RlinkOptions rlink.Options
 }
 
 // Result aggregates everything the experiments report about one run.
@@ -144,6 +152,16 @@ type Result struct {
 	FDLastMistake    sim.Time
 	FDLastMistakeEnd sim.Time
 	FDMessages       uint64
+
+	// Reliability figures (meaningful when Faults and/or Reliable are
+	// set).
+	MessagesLost     uint64 // wire messages destroyed by injected faults
+	Duplicated       uint64 // duplicate wire copies injected
+	Retransmits      uint64 // frames the rlink sublayer resent
+	RetxToCrashed    uint64 // retransmits addressed to crashed processes
+	DupSuppressed    uint64 // duplicate frames receivers discarded
+	AppDelivered     uint64 // application messages delivered through rlink
+	AppEdgeOccupancy int    // rlink app-level joint edge occupancy high water
 
 	InvariantErr error
 }
@@ -246,11 +264,17 @@ func Execute(spec Spec) (Result, error) {
 		spec.Delays = sim.UniformDelay{Min: 1, Max: 4}
 	}
 	suite := metrics.NewSuite(spec.Graph)
+	var transport runner.TransportFactory
+	if spec.Reliable {
+		transport = runner.ReliableTransport(spec.RlinkOptions)
+	}
 	r, err := runner.New(runner.Config{
 		Graph:        spec.Graph,
 		Colors:       spec.Colors,
 		Seed:         spec.Seed,
 		Delays:       spec.Delays,
+		Faults:       spec.Faults,
+		Transport:    transport,
 		NewDetector:  detectorFactory(spec),
 		NewProcess:   processFactory(spec.Algorithm, spec.AcksPerSession),
 		Workload:     spec.Workload,
@@ -261,6 +285,9 @@ func Execute(spec Spec) (Result, error) {
 		return Result{}, err
 	}
 	r.Network().SetObserver(suite.Observer())
+	if link := r.Link(); link != nil {
+		link.SetObserver(suite.Reliability.RlinkObserver())
+	}
 	for _, c := range spec.Crashes {
 		r.CrashAt(c.At, c.ID)
 	}
@@ -297,6 +324,16 @@ func Execute(spec Spec) (Result, error) {
 		res.FDLastMistake = began
 		res.FDLastMistakeEnd = cleared
 		res.FDMessages = hb.MessagesSent()
+	}
+	res.MessagesLost = r.Network().TotalLost()
+	res.Duplicated = r.Network().TotalDuplicated()
+	res.Retransmits = suite.Reliability.Retransmits()
+	res.RetxToCrashed = suite.Reliability.RetransmitsToCrashed()
+	res.DupSuppressed = suite.Reliability.DupSuppressed()
+	if link := r.Link(); link != nil {
+		t := link.Totals()
+		res.AppDelivered = t.AppDelivered
+		res.AppEdgeOccupancy = link.MaxAppEdgeOccupancy()
 	}
 	return res, nil
 }

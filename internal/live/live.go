@@ -11,6 +11,15 @@
 // runtime records any would-block event as a bound violation, making
 // the bounded-capacity claim an executable assertion.
 //
+// Config.LossP/DupP inject channel faults on the per-edge links,
+// mirroring sim.FaultPlan for the goroutine runtime: each forwarder
+// simulates a lossy link by holding "lost" messages through a
+// retransmission backoff, and may post duplicate copies; receivers
+// deduplicate by per-edge sequence number. Faults cease FaultFor after
+// Start (eventual reliability), and the occupancy assertion is relaxed
+// while they act — a link mid-backoff legitimately queues more than the
+// paper's bound.
+//
 // Every process goroutine exclusively owns its diner, its failure-
 // detector state, and its timers; cross-goroutine interaction happens
 // only through channels and the mutex-protected tracker, keeping the
@@ -20,6 +29,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -63,9 +73,27 @@ type Config struct {
 	// OnEat(j) for neighbors i and j. The callback must return promptly
 	// (it runs inside the critical section) and must synchronize any
 	// state it shares across processes that are not conflict-graph
-	// neighbors.
+	// neighbors. A panicking hook does not kill the run: the panic is
+	// recovered, recorded, and the process is treated as crashed.
 	OnEat func(process int)
+
+	// LossP is the per-message loss probability on every directed edge:
+	// a "lost" message is held by its forwarder through a retransmission
+	// backoff before getting through, like a real lossy link under ARQ.
+	LossP float64
+	// DupP is the per-message duplication probability; duplicates are
+	// discarded at the receiver by sequence number.
+	DupP float64
+	// FaultFor bounds the fault window: faults cease this long after
+	// Start (default 500ms when LossP/DupP are set) — the live analogue
+	// of sim.FaultPlan.HealAt.
+	FaultFor time.Duration
+	// FaultSeed seeds the per-edge fault randomness (default 1).
+	FaultSeed int64
 }
+
+// faulty reports whether channel-fault injection is configured.
+func (c *Config) faulty() bool { return c.LossP > 0 || c.DupP > 0 }
 
 func (c *Config) withDefaults() error {
 	if c.Graph == nil {
@@ -86,6 +114,20 @@ func (c *Config) withDefaults() error {
 	if c.ThinkTime <= 0 {
 		c.ThinkTime = time.Millisecond
 	}
+	if c.LossP < 0 || c.LossP > 1 {
+		return fmt.Errorf("live: LossP %v outside [0,1]", c.LossP)
+	}
+	if c.DupP < 0 || c.DupP > 1 {
+		return fmt.Errorf("live: DupP %v outside [0,1]", c.DupP)
+	}
+	if c.faulty() {
+		if c.FaultFor <= 0 {
+			c.FaultFor = 500 * time.Millisecond
+		}
+		if c.FaultSeed == 0 {
+			c.FaultSeed = 1
+		}
+	}
 	return nil
 }
 
@@ -102,6 +144,14 @@ type event struct {
 	kind eventKind
 	msg  core.Message
 	from int
+	seq  uint64 // per-directed-edge message sequence, for receiver dedup
+}
+
+// liveFrame is what travels on a per-edge channel: the dining message
+// plus its edge-local sequence number.
+type liveFrame struct {
+	seq uint64
+	msg core.Message
 }
 
 // System is a running set of dining processes on goroutines.
@@ -109,6 +159,8 @@ type System struct {
 	cfg     Config
 	procs   []*proc
 	tracker *tracker
+
+	faultUntil time.Time // written in Start before forwarders launch
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -128,7 +180,13 @@ type proc struct {
 
 	// out[j] is the FIFO link to neighbor j; owned by this process's
 	// goroutine on the send side.
-	out map[int]chan core.Message
+	out map[int]chan liveFrame
+	// seqOut[j] is the last sequence number assigned on out[j]; owned by
+	// this goroutine.
+	seqOut map[int]uint64
+	// lastSeq[j] is the last sequence number accepted from neighbor j;
+	// owned by the run goroutine, used to discard injected duplicates.
+	lastSeq map[int]uint64
 	// edgeHW is the per-neighbor send-side occupancy high-water mark;
 	// owned by this goroutine, published to the tracker at exit.
 	edgeHW map[int]int
@@ -166,7 +224,9 @@ func NewSystem(cfg Config) (*System, error) {
 			id:        i,
 			inbox:     make(chan event, 64),
 			dead:      make(chan struct{}),
-			out:       make(map[int]chan core.Message),
+			out:       make(map[int]chan liveFrame),
+			seqOut:    make(map[int]uint64),
+			lastSeq:   make(map[int]uint64),
 			edgeHW:    make(map[int]int),
 			lastHeard: make(map[int]time.Time),
 			timeout:   make(map[int]time.Duration),
@@ -175,10 +235,16 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.procs[i] = p
 	}
-	// Create the per-edge links, then the diners.
+	// Create the per-edge links, then the diners. Under fault injection
+	// a forwarder can sit in a retransmission backoff while the sender
+	// keeps producing, so the links get extra slack.
+	capacity := edgeCap
+	if cfg.faulty() {
+		capacity = 64
+	}
 	for i, p := range s.procs {
 		for _, j := range p.nbrs {
-			p.out[j] = make(chan core.Message, edgeCap)
+			p.out[j] = make(chan liveFrame, capacity)
 			p.timeout[j] = cfg.InitialTimeout
 		}
 		nbrColors := make(map[int]int, len(p.nbrs))
@@ -216,10 +282,19 @@ func (s *System) Start() {
 		}
 	}
 	// Forwarders: drain each directed edge into the receiver's inbox,
-	// preserving per-edge FIFO.
+	// preserving per-edge FIFO. With faults configured, each forwarder
+	// simulates a lossy link: a "lost" frame is held through a doubling
+	// backoff (counted as retransmits) before it gets through, and a
+	// frame may be posted twice (the receiver drops the duplicate by
+	// sequence number). Faults cease at s.faultUntil.
+	s.faultUntil = time.Now().Add(s.cfg.FaultFor)
 	for _, p := range s.procs {
 		for _, j := range p.nbrs {
 			from, ch, dst := p.id, p.out[j], s.procs[j]
+			var rng *rand.Rand
+			if s.cfg.faulty() {
+				rng = rand.New(rand.NewSource(s.cfg.FaultSeed + int64(from)*1009 + int64(j)))
+			}
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
@@ -229,8 +304,13 @@ func (s *System) Start() {
 						return
 					case <-dst.dead:
 						return
-					case m := <-ch:
-						dst.post(event{kind: evMessage, msg: m, from: from})
+					case f := <-ch:
+						if rng != nil && !s.forward(rng, dst, from, f) {
+							return
+						}
+						if rng == nil {
+							dst.post(event{kind: evMessage, msg: f.msg, from: from, seq: f.seq})
+						}
 					}
 				}
 			}()
@@ -241,6 +321,33 @@ func (s *System) Start() {
 		go p.run()
 		p.post(event{kind: evHungry})
 	}
+}
+
+// forward carries one frame across a faulty edge: a "lost" frame is
+// held through a doubling retransmission backoff until a copy gets
+// through, then posted — possibly twice (duplication). Returns false if
+// the system stopped or the destination died mid-backoff.
+func (s *System) forward(rng *rand.Rand, dst *proc, from int, f liveFrame) bool {
+	backoff := time.Millisecond
+	for time.Now().Before(s.faultUntil) && rng.Float64() < s.cfg.LossP {
+		s.tracker.retransmit()
+		select {
+		case <-s.stop:
+			return false
+		case <-dst.dead:
+			return false
+		case <-time.After(backoff):
+		}
+		if backoff < 8*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	dst.post(event{kind: evMessage, msg: f.msg, from: from, seq: f.seq})
+	if time.Now().Before(s.faultUntil) && rng.Float64() < s.cfg.DupP {
+		s.tracker.duplicate()
+		dst.post(event{kind: evMessage, msg: f.msg, from: from, seq: f.seq})
+	}
+	return true
 }
 
 // Stop shuts the system down and waits for every goroutine to exit.
@@ -264,8 +371,12 @@ func (s *System) Crash(id int) error {
 func (s *System) Tracker() *Tracker { return (*Tracker)(s.tracker) }
 
 // Err returns the first protocol violation recorded by any process,
-// including channel-bound overflows. Call after Stop.
+// including channel-bound overflows and recovered hook panics. Call
+// after Stop.
 func (s *System) Err() error {
+	if errs := s.Tracker().HookPanics(); len(errs) > 0 {
+		return errs[0]
+	}
 	for i, p := range s.procs {
 		if err := p.diner.Err(); err != nil {
 			return fmt.Errorf("process %d: %w", i, err)
@@ -317,6 +428,17 @@ func (p *proc) post(ev event) {
 
 func (p *proc) run() {
 	defer p.sys.wg.Done()
+	// A panicking daemon hook (OnEat) must not silently kill this
+	// goroutine and hang the neighbors that share its forks: recover,
+	// record the failure for the report, and fall over as a crash —
+	// which the neighbors' detectors handle like any other.
+	defer func() {
+		if r := recover(); r != nil {
+			p.sys.tracker.hookPanic(fmt.Errorf("live: process %d: recovered hook panic: %v", p.id, r))
+			p.once.Do(func() { close(p.dead) })
+			p.sys.tracker.crash(p.id)
+		}
+	}()
 	var tick <-chan time.Time
 	if !p.sys.cfg.DisableDetector {
 		ticker := time.NewTicker(p.sys.cfg.HeartbeatPeriod)
@@ -366,6 +488,12 @@ func (p *proc) handle(ev event) {
 			p.act(func() []core.Message { return p.diner.ReevaluateSuspicion() })
 		}
 	case evMessage:
+		if ev.seq <= p.lastSeq[ev.from] {
+			// An injected duplicate: the original already arrived.
+			p.sys.tracker.dupSuppressed()
+			return
+		}
+		p.lastSeq[ev.from] = ev.seq
 		m := ev.msg
 		p.act(func() []core.Message { return p.diner.Deliver(m) })
 	case evHungry:
@@ -382,9 +510,25 @@ func (p *proc) act(action func() []core.Message) {
 	msgs := action()
 	after := p.diner.State()
 	for _, m := range msgs {
+		p.seqOut[m.To]++
+		f := liveFrame{seq: p.seqOut[m.To], msg: m}
 		ch := p.out[m.To]
+		if p.sys.cfg.faulty() {
+			// A forwarder mid-backoff legitimately backs the link up, so
+			// a full channel is congestion, not a protocol bug: block
+			// until it drains (or the run ends).
+			select {
+			case ch <- f:
+				if occ := len(ch); occ > p.edgeHW[m.To] {
+					p.edgeHW[m.To] = occ
+				}
+			case <-p.dead:
+			case <-p.sys.stop:
+			}
+			continue
+		}
 		select {
-		case ch <- m:
+		case ch <- f:
 			if occ := len(ch); occ > p.edgeHW[m.To] {
 				p.edgeHW[m.To] = occ
 			}

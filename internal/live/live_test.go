@@ -1,6 +1,7 @@
 package live
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -198,6 +199,101 @@ func TestLiveConfigValidation(t *testing.T) {
 	}
 	if _, err := NewSystem(Config{Graph: graph.Path(2), Colors: []int{0, 0}}); err == nil {
 		t.Fatal("improper coloring must be rejected")
+	}
+	if _, err := NewSystem(Config{Graph: graph.Path(2), LossP: 1.5}); err == nil {
+		t.Fatal("loss probability above 1 must be rejected")
+	}
+	if _, err := NewSystem(Config{Graph: graph.Path(2), DupP: -0.1}); err == nil {
+		t.Fatal("negative duplication probability must be rejected")
+	}
+}
+
+func TestLiveLossyLinks(t *testing.T) {
+	// Real goroutines over lossy, duplicating channels: the forwarder's
+	// retransmission backoff plus receive-side sequence dedup must keep
+	// every process eating with no protocol violation. Faults run only
+	// for a window, so the system also demonstrates recovery to clean
+	// FIFO delivery.
+	s, err := NewSystem(Config{
+		Graph:           graph.Ring(6),
+		DisableDetector: true,
+		EatTime:         200 * time.Microsecond,
+		ThinkTime:       200 * time.Microsecond,
+		LossP:           0.2,
+		DupP:            0.2,
+		FaultFor:        300 * time.Millisecond,
+		FaultSeed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	time.Sleep(700 * time.Millisecond)
+	s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Tracker().Violations(); v != 0 {
+		t.Fatalf("violations = %d, want 0", v)
+	}
+	for i, c := range s.Tracker().EatCounts() {
+		if c == 0 {
+			t.Fatalf("process %d never ate under lossy links", i)
+		}
+	}
+	tr := s.Tracker()
+	if tr.Retransmits() == 0 {
+		t.Fatal("fault injection never held a frame: test exercised nothing")
+	}
+	if tr.Duplicates() > 0 && tr.DupSuppressed() == 0 {
+		t.Fatalf("%d duplicates injected but none suppressed", tr.Duplicates())
+	}
+}
+
+func TestLivePanicRecovery(t *testing.T) {
+	// A panicking OnEat hook must not hang Stop or the victim's
+	// neighbors: the process is recovered, reported, and treated as
+	// crashed, while everyone else keeps eating (heartbeat detector).
+	s, err := NewSystem(Config{
+		Graph:            graph.Ring(6),
+		HeartbeatPeriod:  time.Millisecond,
+		InitialTimeout:   30 * time.Millisecond,
+		TimeoutIncrement: 30 * time.Millisecond,
+		EatTime:          200 * time.Microsecond,
+		ThinkTime:        200 * time.Microsecond,
+		OnEat: func(i int) {
+			if i == 2 {
+				panic("daemon hook failure")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	time.Sleep(600 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { s.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung after a hook panic")
+	}
+	err = s.Err()
+	if err == nil {
+		t.Fatal("recovered hook panic must surface through Err")
+	}
+	if got := err.Error(); !strings.Contains(got, "hook panic") || !strings.Contains(got, "daemon hook failure") {
+		t.Fatalf("Err() = %q, want recovered panic details", got)
+	}
+	counts := s.Tracker().EatCounts()
+	for i, c := range counts {
+		if i == 2 {
+			continue
+		}
+		if c == 0 {
+			t.Fatalf("survivor %d never ate after the panic: %v", i, counts)
+		}
 	}
 }
 

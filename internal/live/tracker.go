@@ -22,6 +22,11 @@ type tracker struct {
 	violations int
 	lastViol   time.Time
 	boundViol  int
+
+	retransmits    int
+	duplicates     int
+	dupsSuppressed int
+	hookPanics     []error
 }
 
 func newTracker(g *graph.Graph) *tracker {
@@ -65,6 +70,30 @@ func (t *tracker) boundViolationCount() int {
 	return t.boundViol
 }
 
+func (t *tracker) retransmit() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.retransmits++
+}
+
+func (t *tracker) duplicate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.duplicates++
+}
+
+func (t *tracker) dupSuppressed() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dupsSuppressed++
+}
+
+func (t *tracker) hookPanic(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hookPanics = append(t.hookPanics, err)
+}
+
 func (t *tracker) crash(id int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -92,6 +121,44 @@ func (t *Tracker) Violations() (int, time.Time) {
 	tt.mu.Lock()
 	defer tt.mu.Unlock()
 	return tt.violations, tt.lastViol
+}
+
+// Retransmits returns how many frames the fault injector held back and
+// resent (zero unless Config loss is enabled).
+func (t *Tracker) Retransmits() int {
+	tt := (*tracker)(t)
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.retransmits
+}
+
+// Duplicates returns how many duplicate frames the fault injector
+// delivered.
+func (t *Tracker) Duplicates() int {
+	tt := (*tracker)(t)
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.duplicates
+}
+
+// DupSuppressed returns how many duplicate frames receivers discarded
+// by sequence number.
+func (t *Tracker) DupSuppressed() int {
+	tt := (*tracker)(t)
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.dupsSuppressed
+}
+
+// HookPanics returns the panics recovered from user OnEat hooks, in
+// order of occurrence.
+func (t *Tracker) HookPanics() []error {
+	tt := (*tracker)(t)
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	out := make([]error, len(tt.hookPanics))
+	copy(out, tt.hookPanics)
+	return out
 }
 
 // LastEat returns when process id last began eating (zero time if

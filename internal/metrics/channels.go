@@ -51,6 +51,12 @@ func (m *OccupancyMonitor) OnDrop(at sim.Time, from, to int, payload any) {
 	m.OnDeliver(at, from, to, payload)
 }
 
+// OnLose implements the sim.Observer lose hook (messages destroyed by
+// injected channel faults also vacate the channel).
+func (m *OccupancyMonitor) OnLose(at sim.Time, from, to int, payload any) {
+	m.OnDeliver(at, from, to, payload)
+}
+
 // EdgeHighWater returns the maximum joint occupancy ever seen on edge
 // {a, b}.
 func (m *OccupancyMonitor) EdgeHighWater(a, b int) int {
@@ -72,7 +78,7 @@ func (m *OccupancyMonitor) MaxHighWater() int {
 // Observer returns a sim.Observer wired to this monitor, for installing
 // on the dining network.
 func (m *OccupancyMonitor) Observer() sim.Observer {
-	return sim.Observer{OnSend: m.OnSend, OnDeliver: m.OnDeliver, OnDrop: m.OnDrop}
+	return sim.Observer{OnSend: m.OnSend, OnDeliver: m.OnDeliver, OnDrop: m.OnDrop, OnLose: m.OnLose}
 }
 
 // QuiescenceMonitor tracks dining messages addressed to crashed

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"repro/internal/rlink"
+	"repro/internal/sim"
+)
+
+// ReliabilityMonitor measures the cost of masking channel faults: how
+// many messages the faulty network destroyed, how many frames the
+// reliable-link sublayer resent, and how many duplicates it discarded.
+// It also tracks retransmissions addressed to crashed processes, the
+// quantity the quiescence argument requires to stay finite.
+type ReliabilityMonitor struct {
+	lost          uint64
+	retransmits   uint64
+	dupSuppressed uint64
+
+	crashedAt       map[int]sim.Time
+	retxToCrashed   uint64
+	lastRetxToCrash sim.Time
+	haveRetxToCrash bool
+}
+
+// NewReliabilityMonitor creates an empty monitor.
+func NewReliabilityMonitor() *ReliabilityMonitor {
+	return &ReliabilityMonitor{crashedAt: make(map[int]sim.Time)}
+}
+
+// OnLose implements the sim.Observer lose hook.
+func (m *ReliabilityMonitor) OnLose(_ sim.Time, _, _ int, _ any) { m.lost++ }
+
+// OnCrash records a crash so later retransmits to the process count as
+// addressed-to-crashed.
+func (m *ReliabilityMonitor) OnCrash(at sim.Time, id int) {
+	if _, dup := m.crashedAt[id]; !dup {
+		m.crashedAt[id] = at
+	}
+}
+
+// RlinkObserver returns an rlink.Observer wired to this monitor.
+func (m *ReliabilityMonitor) RlinkObserver() rlink.Observer {
+	return rlink.Observer{
+		OnRetransmit: func(at sim.Time, _, to int, _ uint64, _ any) {
+			m.retransmits++
+			if _, crashed := m.crashedAt[to]; crashed {
+				m.retxToCrashed++
+				if !m.haveRetxToCrash || at > m.lastRetxToCrash {
+					m.lastRetxToCrash = at
+					m.haveRetxToCrash = true
+				}
+			}
+		},
+		OnDupSuppressed: func(_ sim.Time, _, _ int, _ uint64) {
+			m.dupSuppressed++
+		},
+	}
+}
+
+// MessagesLost returns how many wire messages injected faults
+// destroyed.
+func (m *ReliabilityMonitor) MessagesLost() uint64 { return m.lost }
+
+// Retransmits returns how many frames the link layer resent.
+func (m *ReliabilityMonitor) Retransmits() uint64 { return m.retransmits }
+
+// DupSuppressed returns how many duplicate frames receivers discarded.
+func (m *ReliabilityMonitor) DupSuppressed() uint64 { return m.dupSuppressed }
+
+// RetransmitsToCrashed returns how many resent frames were addressed to
+// an already-crashed process.
+func (m *ReliabilityMonitor) RetransmitsToCrashed() uint64 { return m.retxToCrashed }
+
+// LastRetransmitToCrashed returns when the final retransmit to a
+// crashed process happened, and whether any did.
+func (m *ReliabilityMonitor) LastRetransmitToCrashed() (sim.Time, bool) {
+	return m.lastRetxToCrash, m.haveRetxToCrash
+}

@@ -10,23 +10,25 @@ import (
 // plugs directly into runner.Config (OnTransition, OnCrash) and
 // sim.Network (Observer).
 type Suite struct {
-	Exclusion  *ExclusionMonitor
-	Overtake   *OvertakeMonitor
-	Progress   *ProgressMonitor
-	Occupancy  *OccupancyMonitor
-	Quiescence *QuiescenceMonitor
-	Mix        *MixMonitor
+	Exclusion   *ExclusionMonitor
+	Overtake    *OvertakeMonitor
+	Progress    *ProgressMonitor
+	Occupancy   *OccupancyMonitor
+	Quiescence  *QuiescenceMonitor
+	Mix         *MixMonitor
+	Reliability *ReliabilityMonitor
 }
 
 // NewSuite creates monitors for conflict graph g.
 func NewSuite(g *graph.Graph) *Suite {
 	return &Suite{
-		Exclusion:  NewExclusionMonitor(g),
-		Overtake:   NewOvertakeMonitor(g),
-		Progress:   NewProgressMonitor(g.N()),
-		Occupancy:  NewOccupancyMonitor(g.N()),
-		Quiescence: NewQuiescenceMonitor(),
-		Mix:        NewMixMonitor(),
+		Exclusion:   NewExclusionMonitor(g),
+		Overtake:    NewOvertakeMonitor(g),
+		Progress:    NewProgressMonitor(g.N()),
+		Occupancy:   NewOccupancyMonitor(g.N()),
+		Quiescence:  NewQuiescenceMonitor(),
+		Mix:         NewMixMonitor(),
+		Reliability: NewReliabilityMonitor(),
 	}
 }
 
@@ -43,6 +45,7 @@ func (s *Suite) OnCrash(at sim.Time, id int) {
 	s.Overtake.OnCrash(at, id)
 	s.Progress.OnCrash(at, id)
 	s.Quiescence.OnCrash(at, id)
+	s.Reliability.OnCrash(at, id)
 }
 
 // Observer returns the network observer feeding the channel monitors.
@@ -55,6 +58,10 @@ func (s *Suite) Observer() sim.Observer {
 		},
 		OnDeliver: s.Occupancy.OnDeliver,
 		OnDrop:    s.Occupancy.OnDrop,
+		OnLose: func(at sim.Time, from, to int, payload any) {
+			s.Occupancy.OnLose(at, from, to, payload)
+			s.Reliability.OnLose(at, from, to, payload)
+		},
 	}
 }
 

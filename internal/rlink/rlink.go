@@ -1,0 +1,465 @@
+// Package rlink is a reliable-delivery sublayer over an unreliable
+// sim.Network. It rebuilds the paper's Section 2 channel assumptions —
+// reliable, FIFO, exactly-once point-to-point links — from lossy,
+// duplicating channels, using the classic layered reduction: per-pair
+// sequence numbers, cumulative acknowledgments, retransmission timers
+// with exponential backoff and jitter, and receiver-side
+// deduplication/reordering buffers.
+//
+// The Link presents the same Send/Register surface as sim.Network, so
+// core.Diner (and the runner above it) runs unmodified on top of it.
+//
+// One deliberate deviation from a textbook ARQ link preserves the
+// paper's quiescence property (Section 7): retransmission to a neighbor
+// stops while the local ◇P₁ detector suspects it, and resumes on trust
+// (Resume). Without this, a crashed neighbor would draw retransmits
+// forever and correct processes would never fall silent toward it; with
+// it, retransmits to a crashed process are finite in every run, because
+// ◇P₁ eventually suspects crashed processes permanently.
+package rlink
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Options tunes the retransmission policy. The zero value selects
+// defaults suited to the repo's usual uniform[1,4] delay models.
+type Options struct {
+	// RTO is the initial retransmission timeout. Zero selects 12 ticks
+	// (a few round trips at the default delays).
+	RTO sim.Time
+	// MaxRTO caps the exponential backoff. Zero selects 200 ticks.
+	MaxRTO sim.Time
+	// Jitter adds a uniform [0, Jitter] draw to every timer, decorrelating
+	// retransmission bursts across edges. Zero selects 3 ticks; negative
+	// disables jitter.
+	Jitter sim.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.RTO <= 0 {
+		o.RTO = 12
+	}
+	if o.MaxRTO <= 0 {
+		o.MaxRTO = 200
+	}
+	if o.MaxRTO < o.RTO {
+		o.MaxRTO = o.RTO
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 3
+	}
+	if o.Jitter < 0 {
+		o.Jitter = 0
+	}
+	return o
+}
+
+// Observer receives link-level events; either field may be nil.
+type Observer struct {
+	OnRetransmit    func(at sim.Time, from, to int, seq uint64, payload any)
+	OnDupSuppressed func(at sim.Time, from, to int, seq uint64)
+}
+
+// frame is the wire format: application payloads travel inside frames,
+// every frame carries a cumulative ack for the reverse stream, and a
+// frame with Seq 0 is a pure ack.
+type frame struct {
+	Seq     uint64 // 1-based sequence number; 0 = pure ack
+	Ack     uint64 // cumulative: every reverse-stream seq <= Ack received
+	Payload any
+}
+
+// String implements fmt.Stringer for trace readability.
+func (f frame) String() string {
+	if f.Seq == 0 {
+		return fmt.Sprintf("rlink[ack=%d]", f.Ack)
+	}
+	return fmt.Sprintf("rlink[seq=%d ack=%d %v]", f.Seq, f.Ack, f.Payload)
+}
+
+type frameEntry struct {
+	seq     uint64
+	payload any
+}
+
+// sendState is the sender half of one ordered pair.
+type sendState struct {
+	nextSeq     uint64 // next sequence number to assign (starts at 1)
+	queue       []frameEntry
+	rto         sim.Time
+	timerGen    uint64 // bumping this invalidates outstanding timers
+	timerArmed  bool
+	suspended   bool // retransmission parked while peer is suspected
+	appSent     uint64
+	dataFrames  uint64
+	retransmits uint64
+}
+
+// recvState is the receiver half of one ordered pair (indexed at the
+// receiver by sender).
+type recvState struct {
+	next          uint64 // lowest sequence number not yet delivered
+	buf           map[uint64]any
+	appDelivered  uint64
+	acksSent      uint64
+	dupSuppressed uint64
+}
+
+// Link layers reliable exactly-once FIFO delivery over a sim.Network
+// that may drop and duplicate. It is not safe for concurrent use; like
+// the network it belongs to the single-threaded simulator.
+type Link struct {
+	net      *sim.Network
+	k        *sim.Kernel
+	opts     Options
+	n        int
+	handlers []sim.Handler
+	send     []*sendState
+	recv     []*recvState
+	suspects func(watcher, target int) bool
+	obs      Observer
+
+	// Application-level joint edge occupancy: messages accepted by Send
+	// and not yet delivered to the far application, both directions of
+	// an undirected edge combined. This is the figure the paper's
+	// Section 7 bounds by 4, measured above the retransmission layer
+	// (wire frames don't count; a retransmitted message is still one
+	// in-transit application message).
+	appOcc map[[2]int]int
+	appHW  map[[2]int]int
+}
+
+// New layers a reliable link over net.
+func New(net *sim.Network, opts Options) *Link {
+	n := net.N()
+	l := &Link{
+		net:      net,
+		k:        net.Kernel(),
+		opts:     opts.withDefaults(),
+		n:        n,
+		handlers: make([]sim.Handler, n),
+		send:     make([]*sendState, n*n),
+		recv:     make([]*recvState, n*n),
+		appOcc:   make(map[[2]int]int),
+		appHW:    make(map[[2]int]int),
+	}
+	for i := range l.send {
+		l.send[i] = &sendState{nextSeq: 1, rto: l.opts.RTO}
+		l.recv[i] = &recvState{next: 1, buf: make(map[uint64]any)}
+	}
+	return l
+}
+
+// SetObserver installs the link observer.
+func (l *Link) SetObserver(o Observer) { l.obs = o }
+
+// SetSuspects installs the suspicion oracle (typically the local ◇P₁
+// detector's Suspects method). While suspects(from, to) holds, the
+// sender parks retransmission on the pair; call Resume(from) when the
+// detector transitions back to trust.
+func (l *Link) SetSuspects(fn func(watcher, target int) bool) { l.suspects = fn }
+
+func (l *Link) pair(from, to int) int { return from*l.n + to }
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (l *Link) suspected(watcher, target int) bool {
+	return l.suspects != nil && l.suspects(watcher, target)
+}
+
+// Register installs the application handler for process i and claims
+// process i's slot on the underlying network.
+func (l *Link) Register(i int, h sim.Handler) error {
+	if i < 0 || i >= l.n {
+		return fmt.Errorf("%w: %d", sim.ErrProcRange, i)
+	}
+	l.handlers[i] = h
+	return l.net.Register(i, func(from int, payload any) {
+		f, ok := payload.(frame)
+		if !ok {
+			// Foreign traffic on a shared network bypasses the link.
+			if h := l.handlers[i]; h != nil {
+				h(from, payload)
+			}
+			return
+		}
+		l.onFrame(i, from, f)
+	})
+}
+
+// Send queues payload for exactly-once FIFO delivery to the
+// application at to, and transmits it immediately with a piggybacked
+// ack. Sends from crashed processes are ignored, matching sim.Network.
+func (l *Link) Send(from, to int, payload any) error {
+	if from < 0 || from >= l.n || to < 0 || to >= l.n {
+		return fmt.Errorf("%w: send %d -> %d", sim.ErrProcRange, from, to)
+	}
+	if l.net.Crashed(from) {
+		return nil
+	}
+	ss := l.send[l.pair(from, to)]
+	seq := ss.nextSeq
+	ss.nextSeq++
+	ss.queue = append(ss.queue, frameEntry{seq: seq, payload: payload})
+	ss.appSent++
+	k := edgeKey(from, to)
+	l.appOcc[k]++
+	if l.appOcc[k] > l.appHW[k] {
+		l.appHW[k] = l.appOcc[k]
+	}
+	l.transmit(from, to, frame{Seq: seq, Ack: l.recv[l.pair(from, to)].next - 1, Payload: payload})
+	if ss.suspended && !l.suspected(from, to) {
+		ss.suspended = false
+	}
+	if !ss.timerArmed && !ss.suspended {
+		l.armTimer(from, to)
+	}
+	return nil
+}
+
+// transmit puts one frame on the wire.
+func (l *Link) transmit(from, to int, f frame) {
+	if f.Seq > 0 {
+		l.send[l.pair(from, to)].dataFrames++
+	}
+	_ = l.net.Send(from, to, f)
+}
+
+// onFrame processes a frame arriving at process i from process j.
+func (l *Link) onFrame(i, j int, f frame) {
+	l.onAck(i, j, f.Ack)
+	if f.Seq == 0 {
+		return
+	}
+	rs := l.recv[l.pair(i, j)]
+	switch {
+	case f.Seq < rs.next:
+		rs.dupSuppressed++
+		if l.obs.OnDupSuppressed != nil {
+			l.obs.OnDupSuppressed(l.k.Now(), j, i, f.Seq)
+		}
+	case f.Seq == rs.next:
+		l.deliverApp(i, j, f.Payload)
+		rs.next++
+		for {
+			p, ok := rs.buf[rs.next]
+			if !ok {
+				break
+			}
+			delete(rs.buf, rs.next)
+			l.deliverApp(i, j, p)
+			rs.next++
+		}
+	default:
+		if _, dup := rs.buf[f.Seq]; dup {
+			rs.dupSuppressed++
+			if l.obs.OnDupSuppressed != nil {
+				l.obs.OnDupSuppressed(l.k.Now(), j, i, f.Seq)
+			}
+		} else {
+			rs.buf[f.Seq] = f.Payload
+		}
+	}
+	// Acknowledge every data frame so the sender's queue drains even
+	// when the application has nothing to say back.
+	rs.acksSent++
+	l.transmit(i, j, frame{Ack: rs.next - 1})
+}
+
+// onAck applies a cumulative ack from j covering the stream i → j.
+func (l *Link) onAck(i, j int, ack uint64) {
+	ss := l.send[l.pair(i, j)]
+	progressed := false
+	for len(ss.queue) > 0 && ss.queue[0].seq <= ack {
+		ss.queue = ss.queue[1:]
+		progressed = true
+	}
+	if !progressed {
+		return
+	}
+	// Forward progress: the path works, so reset the backoff.
+	ss.rto = l.opts.RTO
+	ss.timerGen++ // invalidate the outstanding timer
+	ss.timerArmed = false
+	if len(ss.queue) > 0 && !ss.suspended {
+		l.armTimer(i, j)
+	}
+}
+
+// deliverApp hands one in-order payload to the application at i.
+func (l *Link) deliverApp(i, j int, payload any) {
+	rs := l.recv[l.pair(i, j)]
+	rs.appDelivered++
+	l.appOcc[edgeKey(i, j)]--
+	if h := l.handlers[i]; h != nil {
+		h(j, payload)
+	}
+}
+
+// armTimer schedules the retransmission timer for the pair.
+func (l *Link) armTimer(from, to int) {
+	ss := l.send[l.pair(from, to)]
+	ss.timerGen++
+	gen := ss.timerGen
+	ss.timerArmed = true
+	d := ss.rto
+	if l.opts.Jitter > 0 {
+		d += sim.Time(l.k.Rand().Int63n(int64(l.opts.Jitter) + 1))
+	}
+	l.k.After(d, func() { l.onTimer(from, to, gen) })
+}
+
+// onTimer fires when the oldest unacked frame on the pair has waited a
+// full RTO.
+func (l *Link) onTimer(from, to int, gen uint64) {
+	ss := l.send[l.pair(from, to)]
+	if gen != ss.timerGen {
+		return // superseded by an ack or a newer timer
+	}
+	ss.timerArmed = false
+	if len(ss.queue) == 0 {
+		return
+	}
+	if l.net.Crashed(from) {
+		return // a crashed process takes no steps
+	}
+	if l.suspected(from, to) {
+		// Park rather than reschedule: no timer events, no retransmits,
+		// while the peer is suspected. This is what keeps retransmits to
+		// a crashed neighbor finite (quiescence) — ◇P₁ eventually
+		// suspects it permanently, and the pair falls silent.
+		ss.suspended = true
+		return
+	}
+	l.retransmitQueue(from, to)
+	ss.rto *= 2
+	if ss.rto > l.opts.MaxRTO {
+		ss.rto = l.opts.MaxRTO
+	}
+	l.armTimer(from, to)
+}
+
+// retransmitQueue resends every unacked frame on the pair (go-back-N).
+func (l *Link) retransmitQueue(from, to int) {
+	ss := l.send[l.pair(from, to)]
+	ack := l.recv[l.pair(from, to)].next - 1
+	now := l.k.Now()
+	for _, e := range ss.queue {
+		ss.retransmits++
+		if l.obs.OnRetransmit != nil {
+			l.obs.OnRetransmit(now, from, to, e.seq, e.payload)
+		}
+		l.transmit(from, to, frame{Seq: e.seq, Ack: ack, Payload: e.payload})
+	}
+}
+
+// Resume restarts retransmission on every pair from process i whose
+// peer is no longer suspected. The runner calls it from the detector's
+// trust notifications; a freshly trusted peer immediately gets the
+// backlog and a fresh timer.
+func (l *Link) Resume(i int) {
+	if i < 0 || i >= l.n || l.net.Crashed(i) {
+		return
+	}
+	for to := 0; to < l.n; to++ {
+		ss := l.send[l.pair(i, to)]
+		if !ss.suspended || l.suspected(i, to) {
+			continue
+		}
+		ss.suspended = false
+		if len(ss.queue) == 0 {
+			continue
+		}
+		ss.rto = l.opts.RTO
+		l.retransmitQueue(i, to)
+		l.armTimer(i, to)
+	}
+}
+
+// PairLinkStats are per-ordered-pair link statistics. Sender-side
+// fields (AppSent, DataFrames, Retransmits) count at from; receiver-
+// side fields (AppDelivered, AcksSent, DupSuppressed) count at to for
+// the stream from → to.
+type PairLinkStats struct {
+	AppSent       uint64 // application messages accepted by Send
+	AppDelivered  uint64 // application messages handed to the far handler
+	DataFrames    uint64 // data frames transmitted (first copies + retransmits)
+	Retransmits   uint64 // frames resent by the timer or Resume
+	AcksSent      uint64 // pure acks emitted by the receiver
+	DupSuppressed uint64 // duplicate data frames discarded by the receiver
+}
+
+// Stats returns the link statistics for the ordered pair (from, to).
+func (l *Link) Stats(from, to int) PairLinkStats {
+	if from < 0 || from >= l.n || to < 0 || to >= l.n {
+		return PairLinkStats{}
+	}
+	ss := l.send[l.pair(from, to)]
+	rs := l.recv[l.pair(to, from)]
+	return PairLinkStats{
+		AppSent:       ss.appSent,
+		AppDelivered:  rs.appDelivered,
+		DataFrames:    ss.dataFrames,
+		Retransmits:   ss.retransmits,
+		AcksSent:      rs.acksSent,
+		DupSuppressed: rs.dupSuppressed,
+	}
+}
+
+// Totals sums the link statistics over all ordered pairs.
+func (l *Link) Totals() PairLinkStats {
+	var t PairLinkStats
+	for from := 0; from < l.n; from++ {
+		for to := 0; to < l.n; to++ {
+			s := l.Stats(from, to)
+			t.AppSent += s.AppSent
+			t.AppDelivered += s.AppDelivered
+			t.DataFrames += s.DataFrames
+			t.Retransmits += s.Retransmits
+			t.AcksSent += s.AcksSent
+			t.DupSuppressed += s.DupSuppressed
+		}
+	}
+	return t
+}
+
+// RetransmitsTo sums retransmitted frames addressed to process id over
+// all senders — the quantity the quiescence experiment requires to be
+// finite (and small) when id crashes.
+func (l *Link) RetransmitsTo(id int) uint64 {
+	var total uint64
+	for from := 0; from < l.n; from++ {
+		total += l.Stats(from, id).Retransmits
+	}
+	return total
+}
+
+// MaxAppEdgeOccupancy returns the maximum joint application-level
+// occupancy seen on any undirected edge since the last reset — the
+// Section 7 figure, measured above the retransmission layer.
+func (l *Link) MaxAppEdgeOccupancy() int {
+	best := 0
+	for _, hw := range l.appHW {
+		if hw > best {
+			best = hw
+		}
+	}
+	return best
+}
+
+// ResetAppOccupancyHighWater restarts the high-water tracking from the
+// current occupancy, so the post-heal bound can be measured without the
+// pre-heal backlog contaminating it.
+func (l *Link) ResetAppOccupancyHighWater() {
+	for k, occ := range l.appOcc {
+		l.appHW[k] = occ
+	}
+}

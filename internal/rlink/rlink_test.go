@@ -1,0 +1,156 @@
+package rlink_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rlink"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// planFor rotates through the four fault families so the seed sweep
+// covers drops, duplication, bursts, and partitions. Every plan heals
+// at 300, splitting each run into a faulty and a clean regime.
+func planFor(seed int64) *sim.FaultPlan {
+	switch seed % 4 {
+	case 0:
+		return &sim.FaultPlan{DropP: 0.4, HealAt: 300}
+	case 1:
+		return &sim.FaultPlan{DropP: 0.1, DupP: 0.5, HealAt: 300}
+	case 2:
+		return &sim.FaultPlan{
+			DropP:  0.05,
+			Bursts: []sim.Burst{{Start: 100, End: 200, DropP: 1.0}},
+			HealAt: 300,
+		}
+	default:
+		return &sim.FaultPlan{
+			DropP:      0.1,
+			DupP:       0.1,
+			Partitions: []sim.Partition{{Start: 100, End: 250, Side: []int{0}}},
+			HealAt:     300,
+		}
+	}
+}
+
+// TestRlinkExactlyOnceFIFO is the link's core property, checked over 50
+// seeds: whatever the channel does before healing — drop, duplicate,
+// burst-lose, partition — every ordered pair's application stream
+// arrives exactly once, in order, with nothing invented.
+func TestRlinkExactlyOnceFIFO(t *testing.T) {
+	const n = 3
+	const msgs = 25
+	var totalRetx uint64
+	for seed := int64(1); seed <= 50; seed++ {
+		k := sim.NewKernel(seed)
+		net := sim.NewNetwork(k, n, sim.UniformDelay{Min: 1, Max: 4})
+		net.SetFaults(planFor(seed))
+		link := rlink.New(net, rlink.Options{})
+
+		got := make(map[[2]int][]int)
+		for j := 0; j < n; j++ {
+			j := j
+			if err := link.Register(j, func(from int, payload any) {
+				key := [2]int{from, j}
+				got[key] = append(got[key], payload.(int))
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Sends straddle HealAt=300 so both regimes are exercised.
+		for m := 0; m < msgs; m++ {
+			m := m
+			k.At(sim.Time(17*m), func() {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if i != j {
+							_ = link.Send(i, j, m)
+						}
+					}
+				}
+			})
+		}
+		k.Run(30000)
+
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				stream := got[[2]int{i, j}]
+				if len(stream) != msgs {
+					t.Fatalf("seed %d (%v): pair %d->%d delivered %d messages, want %d: %v",
+						seed, planDesc(seed), i, j, len(stream), msgs, stream)
+				}
+				for m, v := range stream {
+					if v != m {
+						t.Fatalf("seed %d (%v): pair %d->%d stream out of order at %d: %v",
+							seed, planDesc(seed), i, j, m, stream)
+					}
+				}
+			}
+		}
+		totalRetx += link.Totals().Retransmits
+	}
+	if totalRetx == 0 {
+		t.Fatal("no retransmits across 50 faulty seeds: the sweep exercised nothing")
+	}
+}
+
+func planDesc(seed int64) string {
+	return [...]string{"drop-heavy", "dup-heavy", "burst", "partition"}[seed%4]
+}
+
+// TestRlinkDiningPostHealChannelBound runs Algorithm 1 over rlink on a
+// faulty-then-healed network and checks that once in-transit backlog
+// drains, the paper's Section 7 bound — at most 4 application messages
+// jointly in transit per edge — holds above the retransmission layer,
+// and the system keeps making progress.
+func TestRlinkDiningPostHealChannelBound(t *testing.T) {
+	r, err := runner.New(runner.Config{
+		Graph: graph.Ring(6),
+		Seed:  9,
+		Faults: &sim.FaultPlan{
+			DropP:  0.15,
+			DupP:   0.15,
+			HealAt: 8000,
+		},
+		Transport: runner.ReliableTransport(rlink.Options{}),
+		Delays:    sim.UniformDelay{Min: 1, Max: 4},
+		Workload:  runner.Saturated(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := r.Link()
+	if link == nil {
+		t.Fatal("ReliableTransport did not install an rlink.Link")
+	}
+	// Run well past HealAt so retransmission backlogs drain, then
+	// measure the bound over a long clean regime.
+	r.Run(12000)
+	link.ResetAppOccupancyHighWater()
+	before := 0
+	for i := 0; i < 6; i++ {
+		before += r.SessionsStarted(i)
+	}
+	r.Run(24000)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if hw := link.MaxAppEdgeOccupancy(); hw > 4 {
+		t.Fatalf("post-heal app edge occupancy = %d, exceeds the paper's bound of 4", hw)
+	}
+	after := 0
+	for i := 0; i < 6; i++ {
+		after += r.SessionsStarted(i)
+	}
+	if after <= before {
+		t.Fatalf("no post-heal progress: sessions %d -> %d", before, after)
+	}
+	tot := link.Totals()
+	if tot.AppSent < tot.AppDelivered {
+		t.Fatalf("delivered %d application messages but only %d were sent", tot.AppDelivered, tot.AppSent)
+	}
+}

@@ -16,8 +16,28 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/graph"
+	"repro/internal/rlink"
 	"repro/internal/sim"
 )
+
+// Transport is the message surface the dining layer runs on: either the
+// raw sim.Network or a reliability sublayer over it.
+type Transport interface {
+	Send(from, to int, payload any) error
+	Register(i int, h sim.Handler) error
+}
+
+// TransportFactory builds the dining layer's transport over the
+// network. Nil means the raw network itself.
+type TransportFactory func(k *sim.Kernel, net *sim.Network) Transport
+
+// ReliableTransport returns a factory that layers an rlink.Link over
+// the network, masking injected channel faults.
+func ReliableTransport(opts rlink.Options) TransportFactory {
+	return func(_ *sim.Kernel, net *sim.Network) Transport {
+		return rlink.New(net, opts)
+	}
+}
 
 // Workload controls when processes get hungry and how long they eat.
 // Durations are drawn uniformly from the inclusive ranges.
@@ -64,6 +84,12 @@ type Config struct {
 	TieBreak sim.TieBreak
 	// Delays is the dining network's delay model; nil = FixedDelay{1}.
 	Delays sim.DelayModel
+	// Faults injects channel unreliability into the dining network; nil
+	// keeps the paper's reliable FIFO channels.
+	Faults *sim.FaultPlan
+	// Transport layers the dining protocol's message surface over the
+	// network; nil runs directly on the (possibly faulty) network.
+	Transport TransportFactory
 	// NewDetector builds the oracle; nil = detector.Never (no oracle).
 	NewDetector DetectorFactory
 	// NewProcess builds each vertex's algorithm; nil = core.NewDiner
@@ -85,6 +111,7 @@ type Runner struct {
 	k      *sim.Kernel
 	g      *graph.Graph
 	net    *sim.Network
+	tx     Transport
 	det    detector.Detector
 	colors []int
 	procs  []core.Process
@@ -132,10 +159,24 @@ func New(cfg Config) (*Runner, error) {
 		delays = sim.FixedDelay{D: 1}
 	}
 	net := sim.NewNetwork(k, n, delays)
+	if cfg.Faults != nil {
+		net.SetFaults(cfg.Faults)
+	}
+	var tx Transport = net
+	if cfg.Transport != nil {
+		tx = cfg.Transport(k, net)
+	}
 
 	var det detector.Detector = detector.Never{}
 	if cfg.NewDetector != nil {
 		det = cfg.NewDetector(k, g)
+	}
+	// A suspicion-aware transport (rlink) parks retransmission toward
+	// suspected peers; hand it the detector's output.
+	if sa, ok := tx.(interface{ SetSuspects(func(int, int) bool) }); ok {
+		sa.SetSuspects(func(watcher, target int) bool {
+			return det.Suspects(watcher, target)
+		})
 	}
 
 	factory := cfg.NewProcess
@@ -148,6 +189,7 @@ func New(cfg Config) (*Runner, error) {
 		k:               k,
 		g:               g,
 		net:             net,
+		tx:              tx,
 		det:             det,
 		colors:          colors,
 		procs:           make([]core.Process, n),
@@ -167,7 +209,7 @@ func New(cfg Config) (*Runner, error) {
 			return nil, fmt.Errorf("runner: process %d: %w", i, err)
 		}
 		r.procs[i] = p
-		if err := net.Register(i, func(from int, payload any) {
+		if err := tx.Register(i, func(from int, payload any) {
 			m, ok := payload.(core.Message)
 			if !ok {
 				return
@@ -178,6 +220,11 @@ func New(cfg Config) (*Runner, error) {
 		}
 		if notifier, ok := r.det.(detector.Notifier); ok {
 			notifier.SetListener(i, func() {
+				// Un-park retransmission toward freshly trusted peers
+				// before the process reacts to the new detector output.
+				if res, ok := r.tx.(interface{ Resume(int) }); ok {
+					res.Resume(i)
+				}
 				r.step(i, func() []core.Message { return r.procs[i].ReevaluateSuspicion() })
 			})
 		}
@@ -225,7 +272,7 @@ func (r *Runner) step(i int, action func() []core.Message) {
 	msgs := action()
 	after := r.procs[i].State()
 	for _, m := range msgs {
-		_ = r.net.Send(i, m.To, m)
+		_ = r.tx.Send(i, m.To, m)
 	}
 	if before == after {
 		return
@@ -300,6 +347,19 @@ func (r *Runner) Kernel() *sim.Kernel { return r.k }
 
 // Network returns the dining-layer network.
 func (r *Runner) Network() *sim.Network { return r.net }
+
+// Transport returns the dining layer's message surface — the network
+// itself, or the reliability sublayer when one is configured.
+func (r *Runner) Transport() Transport { return r.tx }
+
+// Link returns the rlink sublayer, or nil when the dining layer runs on
+// the raw network.
+func (r *Runner) Link() *rlink.Link {
+	if l, ok := r.tx.(*rlink.Link); ok {
+		return l
+	}
+	return nil
+}
 
 // Detector returns the failure detector.
 func (r *Runner) Detector() detector.Detector { return r.det }

@@ -1,0 +1,120 @@
+package sim
+
+// Channel-fault injection. The paper's channel model (Section 2)
+// assumes reliable FIFO links; a FaultPlan makes that assumption an
+// injectable adversary instead: per ordered edge, messages can be
+// dropped with a probability, duplicated, lost in scheduled burst
+// windows, or cut entirely by timed bipartitions. All randomness is
+// drawn from the kernel's seeded RNG, so faulted runs stay a pure
+// function of configuration and seed. Setting HealAt makes every fault
+// cease at a known time — the GST-style eventual reliability that the
+// rlink sublayer's guarantees (and the paper's eventual properties)
+// are stated against.
+
+// Burst is a scheduled loss window: while Start <= now < End, every
+// message is additionally dropped with probability DropP.
+type Burst struct {
+	Start, End Time
+	DropP      float64
+}
+
+// Partition cuts the network into Side and its complement during
+// [Start, End): every message crossing the cut is lost. The partition
+// heals at End (or at the plan's HealAt, whichever comes first).
+type Partition struct {
+	Start, End Time
+	Side       []int
+}
+
+// EdgeFaults overrides the plan-wide probabilities for one ordered
+// edge.
+type EdgeFaults struct {
+	DropP, DupP float64
+}
+
+// FaultPlan describes channel unreliability for a Network. The zero
+// value injects nothing. Faults are applied per message at send time,
+// deterministically from the kernel RNG; a dropped message still
+// occupies its FIFO slot until its scheduled arrival time (it is lost
+// "on the wire", not at the sender).
+type FaultPlan struct {
+	// DropP is the per-message loss probability on every edge.
+	DropP float64
+	// DupP is the per-message duplication probability: the duplicate is
+	// a second, independently delayed copy on the same FIFO channel.
+	DupP float64
+	// Bursts are scheduled high-loss windows, additive to DropP.
+	Bursts []Burst
+	// Partitions are timed bipartitions.
+	Partitions []Partition
+	// Edges overrides DropP/DupP per ordered edge {from, to}.
+	Edges map[[2]int]EdgeFaults
+	// HealAt, when positive, is the time from which every fault ceases
+	// — channels are perfectly reliable at and after HealAt. Zero means
+	// the faults last forever.
+	HealAt Time
+}
+
+// compiledFaults is a FaultPlan with partition sides compiled to sets,
+// attached to a Network by SetFaults.
+type compiledFaults struct {
+	plan  FaultPlan
+	sides []map[int]bool // parallel to plan.Partitions
+}
+
+func compileFaults(p *FaultPlan) *compiledFaults {
+	if p == nil {
+		return nil
+	}
+	c := &compiledFaults{plan: *p, sides: make([]map[int]bool, len(p.Partitions))}
+	for i, part := range p.Partitions {
+		side := make(map[int]bool, len(part.Side))
+		for _, v := range part.Side {
+			side[v] = true
+		}
+		c.sides[i] = side
+	}
+	return c
+}
+
+// healed reports whether all faults have ceased at time now.
+func (c *compiledFaults) healed(now Time) bool {
+	return c.plan.HealAt > 0 && now >= c.plan.HealAt
+}
+
+// partitioned reports whether the ordered edge crosses an active cut.
+func (c *compiledFaults) partitioned(now Time, from, to int) bool {
+	for i, p := range c.plan.Partitions {
+		if now < p.Start || now >= p.End {
+			continue
+		}
+		if c.sides[i][from] != c.sides[i][to] {
+			return true
+		}
+	}
+	return false
+}
+
+// dropP returns the effective loss probability for a message on the
+// ordered edge at time now.
+func (c *compiledFaults) dropP(now Time, from, to int) float64 {
+	p := c.plan.DropP
+	if ef, ok := c.plan.Edges[[2]int{from, to}]; ok {
+		p = ef.DropP
+	}
+	for _, b := range c.plan.Bursts {
+		if now >= b.Start && now < b.End && b.DropP > p {
+			p = b.DropP
+		}
+	}
+	return p
+}
+
+// dupP returns the effective duplication probability for the ordered
+// edge.
+func (c *compiledFaults) dupP(_ Time, from, to int) float64 {
+	if ef, ok := c.plan.Edges[[2]int{from, to}]; ok {
+		return ef.DupP
+	}
+	return c.plan.DupP
+}

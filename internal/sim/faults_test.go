@@ -1,0 +1,143 @@
+package sim
+
+import "testing"
+
+// countNet builds a 2-process network and returns the slice deliveries
+// land in.
+func countNet(t *testing.T, seed int64, plan *FaultPlan, delay DelayModel) (*Kernel, *Network, *[]int) {
+	t.Helper()
+	k := NewKernel(seed)
+	net := NewNetwork(k, 2, delay)
+	net.SetFaults(plan)
+	var got []int
+	if err := net.Register(1, func(_ int, payload any) {
+		got = append(got, payload.(int))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return k, net, &got
+}
+
+func TestFaultPlanDropsAndHeals(t *testing.T) {
+	plan := &FaultPlan{DropP: 1.0, HealAt: 100}
+	k, net, got := countNet(t, 1, plan, FixedDelay{D: 1})
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Time(10*i), func() { _ = net.Send(0, 1, i) })
+	}
+	// Sends at t >= 100 are past HealAt and must all arrive.
+	k.Run(1000)
+	want := []int{}
+	for i := 0; i < 10; i++ {
+		if 10*i >= 100 {
+			want = append(want, i)
+		}
+	}
+	if len(*got) != len(want) {
+		t.Fatalf("delivered %v, want %v (drops must cease at HealAt)", *got, want)
+	}
+	for i := range want {
+		if (*got)[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", *got, want)
+		}
+	}
+	st := net.Stats(0, 1)
+	if st.Lost != 10-uint64(len(want)) {
+		t.Fatalf("Lost = %d, want %d", st.Lost, 10-len(want))
+	}
+	if st.Delivered != uint64(len(want)) {
+		t.Fatalf("Delivered = %d, want %d", st.Delivered, len(want))
+	}
+}
+
+func TestFaultPlanDuplicatesPreserveFIFO(t *testing.T) {
+	plan := &FaultPlan{DupP: 1.0}
+	k, net, got := countNet(t, 7, plan, UniformDelay{Min: 1, Max: 9})
+	for i := 0; i < 20; i++ {
+		i := i
+		k.At(Time(5*i), func() { _ = net.Send(0, 1, i) })
+	}
+	k.Run(2000)
+	if len(*got) != 40 {
+		t.Fatalf("delivered %d messages, want 40 (each duplicated once)", len(*got))
+	}
+	// FIFO holds over the whole wire stream: both copies of message i
+	// precede both copies of message i+1, and the payload sequence is
+	// non-decreasing.
+	for i := 1; i < len(*got); i++ {
+		if (*got)[i] < (*got)[i-1] {
+			t.Fatalf("FIFO violated at %d: %v", i, *got)
+		}
+	}
+	if d := net.TotalDuplicated(); d != 20 {
+		t.Fatalf("TotalDuplicated = %d, want 20", d)
+	}
+}
+
+func TestFaultPlanPartitionCutsAndHeals(t *testing.T) {
+	plan := &FaultPlan{Partitions: []Partition{{Start: 0, End: 50, Side: []int{0}}}}
+	k, net, got := countNet(t, 3, plan, FixedDelay{D: 1})
+	k.At(10, func() { _ = net.Send(0, 1, 10) })
+	k.At(60, func() { _ = net.Send(0, 1, 60) })
+	k.Run(200)
+	if len(*got) != 1 || (*got)[0] != 60 {
+		t.Fatalf("delivered %v, want [60] (partition cuts 0↔1 before t=50)", *got)
+	}
+	if l := net.TotalLost(); l != 1 {
+		t.Fatalf("TotalLost = %d, want 1", l)
+	}
+}
+
+func TestFaultPlanBurstWindow(t *testing.T) {
+	plan := &FaultPlan{Bursts: []Burst{{Start: 20, End: 40, DropP: 1.0}}}
+	k, net, got := countNet(t, 5, plan, FixedDelay{D: 1})
+	for _, at := range []Time{5, 25, 35, 45} {
+		at := at
+		k.At(at, func() { _ = net.Send(0, 1, int(at)) })
+	}
+	k.Run(200)
+	if len(*got) != 2 || (*got)[0] != 5 || (*got)[1] != 45 {
+		t.Fatalf("delivered %v, want [5 45] (burst loses sends in [20,40))", *got)
+	}
+	_ = net
+}
+
+func TestFaultObserverBalance(t *testing.T) {
+	// Every OnSend must be matched by exactly one of OnDeliver, OnDrop,
+	// or OnLose, so in-transit accounting stays balanced under faults.
+	plan := &FaultPlan{DropP: 0.3, DupP: 0.3}
+	k := NewKernel(11)
+	net := NewNetwork(k, 3, UniformDelay{Min: 1, Max: 5})
+	net.SetFaults(plan)
+	sends, ends := 0, 0
+	net.SetObserver(Observer{
+		OnSend:    func(Time, int, int, any) { sends++ },
+		OnDeliver: func(Time, int, int, any) { ends++ },
+		OnDrop:    func(Time, int, int, any) { ends++ },
+		OnLose:    func(Time, int, int, any) { ends++ },
+	})
+	for i := 0; i < 3; i++ {
+		if err := net.Register(i, func(int, any) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = net.Crash(2)
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(Time(i), func() {
+			_ = net.Send(0, 1, i)
+			_ = net.Send(1, 0, i)
+			_ = net.Send(0, 2, i) // dropped at a crashed destination
+		})
+	}
+	k.Run(10000)
+	if sends == 0 || sends != ends {
+		t.Fatalf("observer unbalanced: %d sends, %d deliver/drop/lose", sends, ends)
+	}
+	if net.TotalInTransit() != 0 {
+		t.Fatalf("in-transit = %d after drain, want 0", net.TotalInTransit())
+	}
+	if net.TotalLost() == 0 {
+		t.Fatal("expected some injected losses at DropP=0.3")
+	}
+}

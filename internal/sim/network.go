@@ -13,11 +13,13 @@ var ErrProcRange = errors.New("sim: process out of range")
 
 // PairStats are per-ordered-pair channel statistics.
 type PairStats struct {
-	Sent      uint64
-	Delivered uint64
-	Dropped   uint64 // delivered to a crashed destination (discarded)
-	InTransit int
-	HighWater int // max simultaneous in-transit messages ever
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64 // delivered to a crashed destination (discarded)
+	Lost       uint64 // destroyed by an injected channel fault
+	Duplicated uint64 // extra copies created by an injected channel fault
+	InTransit  int
+	HighWater  int // max simultaneous in-transit messages ever
 }
 
 // Observer receives network-level events; any field may be nil. Used by
@@ -27,6 +29,9 @@ type Observer struct {
 	OnSend    func(at Time, from, to int, payload any)
 	OnDeliver func(at Time, from, to int, payload any)
 	OnDrop    func(at Time, from, to int, payload any)
+	// OnLose fires when an injected channel fault destroys a message at
+	// its scheduled arrival time.
+	OnLose func(at Time, from, to int, payload any)
 }
 
 // MultiObserver fans network events out to several observers in order.
@@ -53,6 +58,13 @@ func MultiObserver(list ...Observer) Observer {
 				}
 			}
 		},
+		OnLose: func(at Time, from, to int, payload any) {
+			for _, o := range list {
+				if o.OnLose != nil {
+					o.OnLose(at, from, to, payload)
+				}
+			}
+		},
 	}
 }
 
@@ -76,6 +88,7 @@ type Network struct {
 	sentOn    []bool // per ordered pair: any message ever sent
 	stats     []PairStats
 	obs       Observer
+	faults    *compiledFaults
 }
 
 // NewNetwork creates a network of n processes over kernel k with the
@@ -107,6 +120,12 @@ func (net *Network) Kernel() *Kernel { return net.k }
 // clear it.
 func (net *Network) SetObserver(o Observer) { net.obs = o }
 
+// SetFaults attaches a channel-fault plan. Pass nil to restore reliable
+// channels. With a nil plan the network draws no fault randomness, so
+// fault-free runs are bit-identical to runs on a network that never had
+// a plan.
+func (net *Network) SetFaults(plan *FaultPlan) { net.faults = compileFaults(plan) }
+
 // Register installs the message handler for process i. It must be
 // called before any message to i is delivered.
 func (net *Network) Register(i int, h Handler) error {
@@ -132,6 +151,43 @@ func (net *Network) Send(from, to int, payload any) error {
 		return nil
 	}
 	now := net.k.Now()
+	// Fault decisions are made at send time, from the kernel RNG, so a
+	// faulted run stays a pure function of configuration and seed. A
+	// lost message still travels (and occupies its FIFO slot) until its
+	// arrival time, where it vanishes instead of being delivered.
+	lost, dup := false, false
+	if f := net.faults; f != nil && !f.healed(now) {
+		switch {
+		case f.partitioned(now, from, to):
+			lost = true
+		default:
+			if p := f.dropP(now, from, to); p > 0 && net.k.Rand().Float64() < p {
+				lost = true
+			}
+			if p := f.dupP(now, from, to); p > 0 && net.k.Rand().Float64() < p {
+				dup = true
+			}
+		}
+	}
+	net.enqueue(from, to, payload, lost, false)
+	if dup {
+		// The duplicate is an independent copy on the same channel: its
+		// own delay, its own FIFO slot, and it may itself be lost.
+		dupLost := false
+		if f := net.faults; f != nil && !f.healed(now) {
+			if p := f.dropP(now, from, to); p > 0 && net.k.Rand().Float64() < p {
+				dupLost = true
+			}
+		}
+		net.enqueue(from, to, payload, dupLost, true)
+	}
+	return nil
+}
+
+// enqueue schedules one wire copy of a message, preserving per-channel
+// FIFO order.
+func (net *Network) enqueue(from, to int, payload any, lost, dup bool) {
+	now := net.k.Now()
 	d := net.delay.Delay(now, from, to, net.k.Rand())
 	if d < 0 {
 		d = 0
@@ -148,6 +204,9 @@ func (net *Network) Send(from, to int, payload any) error {
 	net.lastDeliv[p] = at
 	st := &net.stats[p]
 	st.Sent++
+	if dup {
+		st.Duplicated++
+	}
 	st.InTransit++
 	if st.InTransit > st.HighWater {
 		st.HighWater = st.InTransit
@@ -155,14 +214,20 @@ func (net *Network) Send(from, to int, payload any) error {
 	if net.obs.OnSend != nil {
 		net.obs.OnSend(now, from, to, payload)
 	}
-	net.k.At(at, func() { net.deliver(from, to, payload) })
-	return nil
+	net.k.At(at, func() { net.deliver(from, to, payload, lost) })
 }
 
-func (net *Network) deliver(from, to int, payload any) {
+func (net *Network) deliver(from, to int, payload any, lost bool) {
 	p := net.pair(from, to)
 	st := &net.stats[p]
 	st.InTransit--
+	if lost {
+		st.Lost++
+		if net.obs.OnLose != nil {
+			net.obs.OnLose(net.k.Now(), from, to, payload)
+		}
+		return
+	}
 	if net.crashed[to] {
 		st.Dropped++
 		if net.obs.OnDrop != nil {
@@ -252,6 +317,26 @@ func (net *Network) TotalInTransit() int {
 	total := 0
 	for i := range net.stats {
 		total += net.stats[i].InTransit
+	}
+	return total
+}
+
+// TotalLost returns how many messages injected channel faults
+// destroyed.
+func (net *Network) TotalLost() uint64 {
+	var total uint64
+	for i := range net.stats {
+		total += net.stats[i].Lost
+	}
+	return total
+}
+
+// TotalDuplicated returns how many duplicate wire copies injected
+// channel faults created.
+func (net *Network) TotalDuplicated() uint64 {
+	var total uint64
+	for i := range net.stats {
+		total += net.stats[i].Duplicated
 	}
 	return total
 }

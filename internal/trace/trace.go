@@ -34,6 +34,13 @@ const (
 	Suspect
 	// Mark is a free-form annotation inserted by the experiment.
 	Mark
+	// Lost is a message destroyed by an injected channel fault.
+	Lost
+	// Retransmit is the reliable-link sublayer resending a frame.
+	Retransmit
+	// DupSuppressed is the reliable-link sublayer discarding a
+	// duplicate frame.
+	DupSuppressed
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +60,12 @@ func (k Kind) String() string {
 		return "suspect"
 	case Mark:
 		return "mark"
+	case Lost:
+		return "lost"
+	case Retransmit:
+		return "retx"
+	case DupSuppressed:
+		return "dup"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -176,7 +189,7 @@ func (l *Log) Summary() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace: %d retained / %d total", l.Len(), l.Total())
-	for _, k := range []Kind{Transition, Send, Deliver, Drop, Crash, Suspect, Mark} {
+	for _, k := range []Kind{Transition, Send, Deliver, Drop, Crash, Suspect, Mark, Lost, Retransmit, DupSuppressed} {
 		if counts[k] > 0 {
 			fmt.Fprintf(&b, " %s=%d", k, counts[k])
 		}
@@ -213,7 +226,28 @@ func (l *Log) Observer() sim.Observer {
 		OnDrop: func(at sim.Time, from, to int, payload any) {
 			l.Add(Event{At: at, Kind: Drop, Proc: to, Peer: from, Detail: describe(payload)})
 		},
+		OnLose: func(at sim.Time, from, to int, payload any) {
+			l.Add(Event{At: at, Kind: Lost, Proc: from, Peer: to, Detail: describe(payload)})
+		},
 	}
+}
+
+// OnRetransmit records the reliable-link sublayer resending frame seq
+// from one process to another. The signature matches rlink.Observer's
+// OnRetransmit field without importing that package.
+func (l *Log) OnRetransmit(at sim.Time, from, to int, seq uint64, payload any) {
+	detail := fmt.Sprintf("seq=%d", seq)
+	if m, ok := payload.(core.Message); ok {
+		detail = fmt.Sprintf("seq=%d %s", seq, m)
+	}
+	l.Add(Event{At: at, Kind: Retransmit, Proc: from, Peer: to, Detail: detail})
+}
+
+// OnDupSuppressed records the reliable-link sublayer discarding a
+// duplicate of frame seq at the receiver.
+func (l *Log) OnDupSuppressed(at sim.Time, from, to int, seq uint64) {
+	l.Add(Event{At: at, Kind: DupSuppressed, Proc: to, Peer: from,
+		Detail: fmt.Sprintf("seq=%d", seq)})
 }
 
 // OnSuspect records a failure-detector output change.
