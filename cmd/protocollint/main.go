@@ -1,0 +1,121 @@
+// Command protocollint machine-checks the repository's protocol
+// invariants: determinism purity of the simulation core (detpure),
+// exhaustiveness of switches over the protocol alphabets
+// (kindexhaustive), lock discipline in the concurrent layers
+// (lockheld), and seed provenance in the simulation packages
+// (seedhygiene). See DESIGN.md S16 for the mapping from each analyzer
+// to the paper property it guards.
+//
+// Standalone usage (the primary mode, used by CI):
+//
+//	go run ./cmd/protocollint ./...
+//
+// It also speaks the go-vet unitchecker protocol, so a built binary
+// works as a vettool:
+//
+//	go build -o protocollint ./cmd/protocollint
+//	go vet -vettool=$PWD/protocollint ./...
+//
+// Exit status: 0 clean, 1 findings or load failure.
+// Findings can be suppressed with a justified directive on or above
+// the offending line:
+//
+//	//lint:ignore <analyzer> <why the invariant does not apply here>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	// The go-vet tool protocol: `protocollint -V=full` prints a version
+	// fingerprint, `protocollint -flags` describes supported flags, and
+	// `protocollint <file>.cfg` analyzes one package from a vet config.
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "-V":
+			fmt.Printf("%s version 1\n", filepath.Base(os.Args[0]))
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(unitcheck(args[0]))
+		}
+	}
+
+	fs := flag.NewFlagSet("protocollint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: protocollint [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Checks the repository's protocol invariants; defaults to ./...\n\n")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if *list {
+		for _, a := range suite.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(standalone(patterns))
+}
+
+func standalone(patterns []string) int {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exit := 0
+	var findings []string
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			fmt.Fprintf(os.Stderr, "protocollint: %s does not type-check: %v\n", pkg.PkgPath, pkg.Errors[0])
+			exit = 1
+			continue
+		}
+		fs, err := suite.Run(pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "protocollint: %s: %v\n", pkg.PkgPath, err)
+			exit = 1
+			continue
+		}
+		for _, f := range fs {
+			pos := pkg.Fset.Position(f.Diagnostic.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			findings = append(findings,
+				fmt.Sprintf("%s:%d:%d: %s: %s", file, pos.Line, pos.Column, f.Analyzer, f.Diagnostic.Message))
+		}
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "protocollint: %d finding(s)\n", len(findings))
+		exit = 1
+	}
+	return exit
+}

@@ -1,0 +1,136 @@
+package main
+
+// The go-vet unitchecker protocol: `go vet -vettool=protocollint pkgs`
+// invokes the tool once per package with a JSON config file describing
+// the package's sources and the export data of its dependencies. This
+// file implements just enough of the protocol (mirroring
+// golang.org/x/tools/go/analysis/unitchecker) for the suite to run
+// under go vet: parse the listed files, type-check against the compiler
+// export data via go/importer, run the analyzers, and write the
+// (empty) facts file go vet expects.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// vetConfig is the subset of the go command's vet config this tool
+// consumes (field names fixed by the protocol).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "protocollint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "protocollint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts output file to exist even
+	// though this suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "protocollint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "protocollint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports from the compiler export data the go command
+	// already produced for the package's dependencies.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "protocollint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		PkgPath:   cfg.ImportPath,
+		Dir:       cfg.Dir,
+		GoFiles:   cfg.GoFiles,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	findings, err := suite.Run(pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "protocollint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, f := range findings {
+		pos := fset.Position(f.Diagnostic.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, f.Analyzer, f.Diagnostic.Message)
+	}
+	if len(findings) > 0 {
+		// Nonzero exit with diagnostics on stderr is how a vettool
+		// reports findings to the go command.
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,159 @@
+// Package analysistest runs an analyzer over golden fixture packages
+// under internal/analysis/testdata/src and checks its diagnostics
+// against expectations written in the fixtures themselves, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	ch <- 1 // want `channel send`
+//
+// Each `want` comment carries one or more back- or double-quoted
+// regular expressions; every regexp must match exactly one diagnostic
+// reported on that line, and every diagnostic must be claimed by an
+// expectation. A fixture file with no want comments is a negative
+// fixture: any diagnostic in it fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// FixturePath is the import-path prefix of the golden fixture tree.
+const FixturePath = "repro/internal/analysis/testdata/src"
+
+// wantRE pulls the quoted regexps out of a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package (a directory name under
+// testdata/src), applies the analyzer, and compares diagnostics with
+// the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := make([]string, len(fixtures))
+	for i, f := range fixtures {
+		patterns[i] = FixturePath + "/" + f
+	}
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(fixtures) {
+		t.Fatalf("loaded %d packages for %d fixtures", len(pkgs), len(fixtures))
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			t.Fatalf("fixture %s does not type-check: %v", pkg.PkgPath, pkg.Errors[0])
+		}
+		runPackage(t, a, pkg)
+	}
+}
+
+func runPackage(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) {
+	t.Helper()
+	expects := collectWants(t, pkg)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer failed: %v", pkg.PkgPath, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		claimed := false
+		for _, e := range expects {
+			if e.matched || e.file != pos.Filename || e.line != pos.Line {
+				continue
+			}
+			if e.rx.MatchString(d.Message) {
+				e.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", rel(pos.String()), d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", rel(e.file), e.line, e.rx)
+		}
+	}
+}
+
+// collectWants parses the `// want "rx"` comments of a package.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				out = append(out, parseWant(t, pkg, f, c)...)
+			}
+		}
+	}
+	return out
+}
+
+func parseWant(t *testing.T, pkg *analysis.Package, f *ast.File, c *ast.Comment) []*expectation {
+	t.Helper()
+	text, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		text, ok = strings.CutPrefix(c.Text, "//want ")
+		if !ok {
+			return nil
+		}
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	matches := wantRE.FindAllStringSubmatch(text, -1)
+	if len(matches) == 0 {
+		t.Fatalf("%s: malformed want comment: %s", rel(pos.String()), c.Text)
+	}
+	var out []*expectation
+	for _, m := range matches {
+		raw := m[1]
+		if m[2] != "" {
+			raw = m[2]
+		}
+		rx, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", rel(pos.String()), raw, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+	}
+	return out
+}
+
+// rel shortens absolute fixture paths for readable failure messages.
+func rel(p string) string {
+	if root, err := analysis.ModuleRoot("."); err == nil {
+		if r, err := filepath.Rel(root, p); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+	}
+	return fmt.Sprint(p)
+}

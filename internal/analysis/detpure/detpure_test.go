@@ -1,0 +1,13 @@
+package detpure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detpure"
+)
+
+func TestDetpure(t *testing.T) {
+	detpure.Scope = append(detpure.Scope, analysistest.FixturePath+"/detpure")
+	analysistest.Run(t, detpure.Analyzer, "detpure")
+}

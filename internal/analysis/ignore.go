@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An ignore directive has the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// and suppresses matching diagnostics reported on its own line or on
+// the line directly below it (so it can sit at the end of the offending
+// line or on its own line above). The analyzer list may be "all". A
+// directive with no justification is ineffective: the whole point of an
+// escape hatch is recording why the invariant does not apply.
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+	justified bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores extracts the ignore directives from a file's comments.
+func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, ignorePrefix)
+			if !ok || text == "" || (text[0] != ' ' && text[0] != '\t') {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				continue
+			}
+			d := ignoreDirective{
+				analyzers: make(map[string]bool),
+				justified: len(fields) >= 2,
+			}
+			for _, name := range strings.Split(fields[0], ",") {
+				d.analyzers[name] = true
+			}
+			pos := fset.Position(c.Pos())
+			d.file, d.line = pos.Filename, pos.Line
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by a justified ignore directive.
+func suppressed(dirs []ignoreDirective, name string, pos token.Position) bool {
+	for _, d := range dirs {
+		if !d.justified || d.file != pos.Filename {
+			continue
+		}
+		if d.line != pos.Line && d.line != pos.Line-1 {
+			continue
+		}
+		if d.analyzers[name] || d.analyzers["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter removes diagnostics suppressed by justified //lint:ignore
+// directives in the package's files and returns the survivors.
+func Filter(pkg *Package, name string, diags []Diagnostic) []Diagnostic {
+	var dirs []ignoreDirective
+	for _, f := range pkg.Syntax {
+		dirs = append(dirs, parseIgnores(pkg.Fset, f)...)
+	}
+	if len(dirs) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if !suppressed(dirs, name, pkg.Fset.Position(d.Pos)) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

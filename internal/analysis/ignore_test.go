@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const ignoreSrc = `package p
+
+func f() {
+	bad1() //lint:ignore detpure virtual time is stubbed in this shim
+	//lint:ignore detpure,lockheld shared justification for both analyzers
+	bad2()
+	bad3() //lint:ignore detpure
+	bad4() //lint:ignoreX detpure not a directive, prefix must end the word
+	//lint:ignore all everything on the next line is sanctioned
+	bad5()
+	bad6()
+}
+`
+
+// lineOf returns the 1-based line a marker occurs on in ignoreSrc.
+func lineOf(t *testing.T, marker string) int {
+	t.Helper()
+	line := 1
+	for i := 0; i+len(marker) <= len(ignoreSrc); i++ {
+		if ignoreSrc[i:i+len(marker)] == marker {
+			return line
+		}
+		if ignoreSrc[i] == '\n' {
+			line++
+		}
+	}
+	t.Fatalf("marker %q not in source", marker)
+	return 0
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignore_src.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := parseIgnores(fset, f)
+
+	diag := func(marker string) token.Position {
+		return token.Position{Filename: "ignore_src.go", Line: lineOf(t, marker)}
+	}
+	cases := []struct {
+		name     string
+		marker   string
+		analyzer string
+		want     bool
+	}{
+		{"same-line directive", "bad1", "detpure", true},
+		{"directive on line above", "bad2", "detpure", true},
+		{"second analyzer in list", "bad2", "lockheld", true},
+		{"analyzer not listed", "bad1", "lockheld", false},
+		{"unjustified directive is ineffective", "bad3", "detpure", false},
+		{"prefix must be the whole word", "bad4", "detpure", false},
+		{"all matches any analyzer", "bad5", "seedhygiene", true},
+		{"directive does not reach two lines down", "bad6", "detpure", false},
+	}
+	for _, c := range cases {
+		if got := suppressed(dirs, c.analyzer, diag(c.marker)); got != c.want {
+			t.Errorf("%s: suppressed(%s at %s) = %v, want %v", c.name, c.analyzer, c.marker, got, c.want)
+		}
+	}
+}

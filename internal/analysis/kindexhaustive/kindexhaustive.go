@@ -1,0 +1,168 @@
+// Package kindexhaustive implements the protocol-alphabet
+// exhaustiveness analyzer.
+//
+// The paper's Section 7 accounting rests on a closed four-message
+// alphabet (ping, ack, request, fork) and a closed three-state dining
+// phase (thinking, hungry, eating). Every switch over one of these
+// enumerations must either enumerate all declared constants or carry a
+// default that fails loudly (the d.fail(...) pattern in
+// internal/core/diner.go): a switch that silently ignores an unlisted
+// constant is exactly how adding a fifth message kind would slip past
+// the channel-occupancy and exclusion machinery unnoticed.
+package kindexhaustive
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// EnumTypes names the closed protocol enumerations, as
+// "import/path.TypeName". Tests extend it with fixture types.
+var EnumTypes = map[string]bool{
+	"repro/internal/core.MsgKind": true,
+	"repro/internal/core.State":   true,
+	"repro/internal/trace.Kind":   true,
+}
+
+// Analyzer is the kindexhaustive analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "kindexhaustive",
+	Doc: "switches over protocol enumerations (core.MsgKind, core.State, " +
+		"trace.Kind) must cover every constant or fail loudly in default",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if ok && sw.Tag != nil {
+				checkSwitch(pass, sw)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	fullName := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if !EnumTypes[fullName] {
+		return
+	}
+
+	// The enumeration's members: every package-level constant of the
+	// named type, declared in the type's own package.
+	members := make(map[string]string) // exact constant value -> name
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), named) {
+			members[c.Val().ExactString()] = name
+		}
+	}
+	if len(members) == 0 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			etv, ok := pass.TypesInfo.Types[e]
+			if !ok || etv.Value == nil {
+				// A non-constant case defeats static coverage analysis;
+				// assume the author knows what they are doing.
+				return
+			}
+			covered[etv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	for val, name := range members {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) == 0 {
+		return
+	}
+	switch {
+	case defaultClause == nil:
+		pass.Reportf(sw.Pos(), "switch over %s is missing cases %s and has no default; add them or a default that fails loudly",
+			fullName, strings.Join(missing, ", "))
+	case !loudDefault(pass.TypesInfo, defaultClause):
+		pass.Reportf(defaultClause.Pos(), "switch over %s has a silent default hiding constants %s; enumerate them or make the default fail loudly",
+			fullName, strings.Join(missing, ", "))
+	}
+}
+
+// loudName matches callee names that plausibly abort, report, or
+// render an explicitly-unknown value.
+var loudName = regexp.MustCompile(`(?i)fail|fatal|panic|unreachable|must|error`)
+
+// loudDefault reports whether the default clause visibly reacts to an
+// unlisted constant: it panics, calls something fail/fatal-shaped, or
+// returns (the String()-method pattern of rendering the unknown value).
+// An empty or silently-absorbing body does not qualify.
+func loudDefault(info *types.Info, cc *ast.CaseClause) bool {
+	loud := false
+	for _, s := range cc.Body {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if loud {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				loud = true
+			case *ast.BranchStmt:
+				// goto a failure label etc.: treat any transfer of
+				// control other than break as loud enough.
+				if n.Tok != token.BREAK {
+					loud = true
+				}
+			case *ast.CallExpr:
+				if analysis.IsBuiltinCall(info, n, "panic") {
+					loud = true
+					return false
+				}
+				switch fun := ast.Unparen(n.Fun).(type) {
+				case *ast.Ident:
+					if loudName.MatchString(fun.Name) {
+						loud = true
+					}
+				case *ast.SelectorExpr:
+					if loudName.MatchString(fun.Sel.Name) {
+						loud = true
+					}
+				}
+			}
+			return !loud
+		})
+		if loud {
+			return true
+		}
+	}
+	return false
+}

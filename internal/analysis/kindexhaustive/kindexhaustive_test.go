@@ -1,0 +1,13 @@
+package kindexhaustive_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/kindexhaustive"
+)
+
+func TestKindExhaustive(t *testing.T) {
+	kindexhaustive.EnumTypes[analysistest.FixturePath+"/kindexhaustive.Kind"] = true
+	analysistest.Run(t, kindexhaustive.Analyzer, "kindexhaustive")
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	GoFiles   []string
+	DepOnly   bool // pulled in as a dependency, not named by a pattern
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Errors holds parse or type errors. Target packages with errors
+	// cannot be analyzed soundly; the driver treats them as fatal.
+	Errors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go tool (rooted at dir, which must be
+// inside the module) and type-checks the named packages and their
+// dependencies from source, bottom-up. Dependencies are checked with
+// IgnoreFuncBodies — only their exported shape matters — while target
+// packages get full syntax and type information. The returned slice
+// holds only the target (non-DepOnly) packages, in listing order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package) // import path -> types
+	byPath := make(map[string]*listPkg)
+	var out []*Package
+
+	for _, lp := range pkgs {
+		byPath[lp.ImportPath] = lp
+		if lp.ImportPath == "unsafe" {
+			checked[lp.ImportPath] = types.Unsafe
+			continue
+		}
+		p := &Package{
+			PkgPath: lp.ImportPath,
+			Dir:     lp.Dir,
+			DepOnly: lp.DepOnly,
+			Fset:    fset,
+		}
+		if lp.Error != nil {
+			p.Errors = append(p.Errors, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err))
+		}
+		files := append(append([]string{}, lp.GoFiles...), lp.CgoFiles...)
+		sort.Strings(files)
+		for _, f := range files {
+			path := filepath.Join(lp.Dir, f)
+			p.GoFiles = append(p.GoFiles, path)
+			af, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if af != nil {
+				p.Syntax = append(p.Syntax, af)
+			}
+			if err != nil {
+				p.Errors = append(p.Errors, err)
+			}
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{
+			Importer: importerFunc(func(path string) (*types.Package, error) {
+				if mapped, ok := lp.ImportMap[path]; ok {
+					path = mapped
+				}
+				if tp, ok := checked[path]; ok {
+					return tp, nil
+				}
+				return nil, fmt.Errorf("analysis: import %q not in dependency closure", path)
+			}),
+			// Dependencies only need their exported shape; skipping
+			// bodies makes loading the std closure fast and tolerant.
+			IgnoreFuncBodies: lp.DepOnly,
+			Error: func(err error) {
+				p.Errors = append(p.Errors, err)
+			},
+		}
+		tp, _ := conf.Check(lp.ImportPath, fset, p.Syntax, info)
+		p.Types = tp
+		p.TypesInfo = info
+		checked[lp.ImportPath] = tp
+		if !lp.DepOnly {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ModuleRoot walks up from dir looking for go.mod, so tests (whose
+// working directory is their package directory) can invoke the go tool
+// from the module root.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}

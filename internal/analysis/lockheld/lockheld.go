@@ -1,0 +1,231 @@
+// Package lockheld implements the lock-discipline analyzer for the
+// concurrent layers (internal/live, internal/rlink, dining).
+//
+// The live runtime's wait-freedom argument requires that no goroutine
+// ever blocks while holding a shared mutex: a process goroutine that
+// parks on a channel send inside the tracker's critical section stalls
+// every neighbor that reports a transition, reintroducing exactly the
+// waiting chains the algorithm exists to bound. Likewise, user
+// callbacks (OnEat and other observer hooks) must never run under a
+// lock the callback could reach again. lockheld flags, inside a region
+// where a sync.Mutex or sync.RWMutex is held:
+//
+//   - channel sends and receives, and selects without a default;
+//   - time.Sleep and sync.WaitGroup.Wait;
+//   - invocations of func-typed values (user callbacks and hooks).
+//
+// Held regions are recognized syntactically: from an x.Lock()/x.RLock()
+// call either to the end of the enclosing statement list (when followed
+// by defer x.Unlock()/x.RUnlock(), or when no unlock appears) or to the
+// matching x.Unlock()/x.RUnlock() statement. Deferred function bodies
+// other than the unlock itself are not inspected.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Scope lists the concurrent packages under lock discipline. Tests
+// extend it with fixture packages.
+var Scope = []string{
+	"repro/internal/live",
+	"repro/internal/rlink",
+	"repro/dining",
+}
+
+// Analyzer is the lockheld analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "no channel op, sleep, blocking wait, or user callback while a " +
+		"sync.Mutex/RWMutex is held",
+	Run: run,
+}
+
+var lockMethods = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+
+var unlockMethods = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(Scope, pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BlockStmt); ok {
+				scanList(pass, b.List)
+			}
+			if cc, ok := n.(*ast.CaseClause); ok {
+				scanList(pass, cc.Body)
+			}
+			if cc, ok := n.(*ast.CommClause); ok {
+				scanList(pass, cc.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scanList finds lock acquisitions in one statement list and checks
+// the statements executed while the lock is held.
+func scanList(pass *analysis.Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		recv, ok := lockAcquisition(pass.TypesInfo, s)
+		if !ok {
+			continue
+		}
+		// Locate the matching unlock in the same list: a defer pins the
+		// region to the rest of the list, an explicit unlock ends it.
+		end := len(stmts)
+		start := i + 1
+		if start < len(stmts) && isDeferredUnlock(pass.TypesInfo, stmts[start], recv) {
+			start++
+		} else {
+			for j := start; j < len(stmts); j++ {
+				if isUnlockStmt(pass.TypesInfo, stmts[j], recv) {
+					end = j
+					break
+				}
+			}
+		}
+		for _, held := range stmts[start:end] {
+			checkHeld(pass, held, recv)
+		}
+	}
+}
+
+// lockAcquisition matches `expr.Lock()` / `expr.RLock()` statements and
+// returns the canonical receiver text.
+func lockAcquisition(info *types.Info, s ast.Stmt) (string, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	return mutexCall(info, es.X, lockMethods)
+}
+
+func isUnlockStmt(info *types.Info, s ast.Stmt, recv string) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	r, ok := mutexCall(info, es.X, unlockMethods)
+	return ok && r == recv
+}
+
+func isDeferredUnlock(info *types.Info, s ast.Stmt, recv string) bool {
+	ds, ok := s.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	r, ok := mutexCall(info, ds.Call, unlockMethods)
+	return ok && r == recv
+}
+
+// mutexCall matches a call to one of the given sync mutex methods and
+// returns the receiver expression rendered as text (the analyzer's
+// notion of "the same mutex").
+func mutexCall(info *types.Info, e ast.Expr, methods map[string]bool) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	if !methods[analysis.MethodFullName(info, call)] {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// checkHeld walks one statement executed under the lock and reports
+// blocking or callback operations. Nested function literals are not
+// entered (they run later, when the lock may be free), except that
+// their mere construction is fine.
+func checkHeld(pass *analysis.Pass, s ast.Stmt, recv string) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while %s is held; a blocked send stalls every goroutine contending for the lock", recv)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while %s is held", recv)
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(n) {
+				pass.Reportf(n.Pos(), "blocking select while %s is held", recv)
+			}
+			// The clauses' own comm operations share the select's
+			// blocking verdict; only the clause bodies need their own
+			// inspection.
+			for _, c := range n.Body.List {
+				for _, body := range c.(*ast.CommClause).Body {
+					checkHeld(pass, body, recv)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			checkHeldCall(pass, n, recv)
+		}
+		return true
+	})
+}
+
+func checkHeldCall(pass *analysis.Pass, call *ast.CallExpr, recv string) {
+	info := pass.TypesInfo
+	if analysis.IsPkgFunc(info, call, "time", "Sleep") {
+		pass.Reportf(call.Pos(), "time.Sleep while %s is held", recv)
+		return
+	}
+	if analysis.MethodFullName(info, call) == "(*sync.WaitGroup).Wait" {
+		pass.Reportf(call.Pos(), "sync.WaitGroup.Wait while %s is held", recv)
+		return
+	}
+	// A dynamic call of a func-typed value is a user callback: hooks
+	// like OnEat must not run inside a critical section.
+	if analysis.Callee(info, call) != nil || analysis.IsConversion(info, call) {
+		return
+	}
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+			pass.Reportf(call.Pos(), "callback %s invoked while %s is held; user hooks must run outside critical sections",
+				v.Name(), recv)
+		}
+	}
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	lockheld.Scope = append(lockheld.Scope, analysistest.FixturePath+"/lockheld")
+	analysistest.Run(t, lockheld.Analyzer, "lockheld")
+}

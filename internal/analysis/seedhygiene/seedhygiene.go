@@ -1,0 +1,115 @@
+// Package seedhygiene implements the seed-provenance analyzer.
+//
+// Every claim the repository makes about reproducibility — identical
+// seeded runs under the simulator, replayable adversarial schedules,
+// paper-vs-baseline comparisons under the same schedule — depends on
+// one discipline: all randomness in sim, mc, and runner derives from
+// the run's explicit seed (ultimately sim.Kernel's *rand.Rand or a
+// seed parameter threaded from the caller). A rand.NewSource fed from
+// the wall clock or from package-level state silently turns a
+// deterministic experiment into an unreproducible one, which is the
+// classic way "it only fails sometimes" bugs enter simulation code.
+//
+// seedhygiene flags rand.New/rand.NewSource (and math/rand/v2
+// constructor) calls whose argument expressions reach package time or
+// any package-level variable. Arguments built from parameters, struct
+// fields, locals, and literals pass.
+package seedhygiene
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Scope lists the packages under seed discipline. Tests extend it with
+// fixture packages.
+var Scope = []string{
+	"repro/internal/sim",
+	"repro/internal/mc",
+	"repro/internal/runner",
+}
+
+// Analyzer is the seedhygiene analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedhygiene",
+	Doc: "rand sources in sim/mc/runner must derive from the kernel RNG " +
+		"or an explicit seed, never from time or package-level state",
+	Run: run,
+}
+
+// constructors maps rand packages to their source/generator
+// constructors whose arguments carry the seed.
+var constructors = map[string][]string{
+	"math/rand":    {"New", "NewSource"},
+	"math/rand/v2": {"New", "NewPCG", "NewChaCha8"},
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(Scope, pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for pkg, names := range constructors {
+				if analysis.IsPkgFunc(pass.TypesInfo, call, pkg, names...) {
+					checkSeedArgs(pass, call)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSeedArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// One diagnostic per constructor call: the first tainted identifier
+	// wins (time.Now would otherwise fire for both `time` and `Now`).
+	reported := false
+	report := func(format string, args ...any) {
+		if !reported {
+			reported = true
+			pass.Reportf(call.Pos(), format, args...)
+		}
+	}
+	for _, arg := range call.Args {
+		if reported {
+			break
+		}
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if reported {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			switch obj := obj.(type) {
+			case *types.PkgName:
+				if obj.Imported().Path() == "time" {
+					report("rand source seeded from the wall clock; thread an explicit seed instead")
+					return false
+				}
+			case *types.Func:
+				if obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+					report("rand source seeded from time.%s; thread an explicit seed instead", obj.Name())
+					return false
+				}
+			case *types.Var:
+				if !obj.IsField() && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+					report("rand source seeded from package-level variable %s; seeds must be explicit parameters or kernel-derived", obj.Name())
+					return false
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,13 @@
+package seedhygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seedhygiene"
+)
+
+func TestSeedHygiene(t *testing.T) {
+	seedhygiene.Scope = append(seedhygiene.Scope, analysistest.FixturePath+"/seedhygiene")
+	analysistest.Run(t, seedhygiene.Analyzer, "seedhygiene")
+}

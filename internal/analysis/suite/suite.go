@@ -1,0 +1,52 @@
+// Package suite registers the repository's protocol analyzers in one
+// place, so the standalone multichecker (cmd/protocollint) and its
+// go-vet unitchecker mode run exactly the same set.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/detpure"
+	"repro/internal/analysis/kindexhaustive"
+	"repro/internal/analysis/lockheld"
+	"repro/internal/analysis/seedhygiene"
+)
+
+// Analyzers returns the protocol-invariant suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detpure.Analyzer,
+		kindexhaustive.Analyzer,
+		lockheld.Analyzer,
+		seedhygiene.Analyzer,
+	}
+}
+
+// Run applies the whole suite to one loaded package and returns the
+// diagnostics surviving //lint:ignore filtering, labeled by analyzer.
+func Run(pkg *analysis.Package) ([]Finding, error) {
+	var out []Finding
+	for _, a := range Analyzers() {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+		for _, d := range analysis.Filter(pkg, a.Name, diags) {
+			out = append(out, Finding{Analyzer: a.Name, Diagnostic: d})
+		}
+	}
+	return out, nil
+}
+
+// Finding is one diagnostic attributed to its analyzer.
+type Finding struct {
+	Analyzer   string
+	Diagnostic analysis.Diagnostic
+}

@@ -1,0 +1,78 @@
+// Positive fixture for the detpure analyzer: every construct here must
+// be flagged. The package is listed in the analyzer's scope by the
+// test; the `want` comments are the golden expectations.
+package detpure
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock use time\.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock use time\.Since`
+}
+
+func napTimer() {
+	time.Sleep(time.Millisecond)     // want `wall-clock use time\.Sleep`
+	_ = time.After(time.Millisecond) // want `wall-clock use time\.After`
+	_ = time.NewTimer(time.Second)   // want `wall-clock use time\.NewTimer`
+	time.AfterFunc(time.Second, nil) // want `wall-clock use time\.AfterFunc`
+	_ = time.NewTicker(time.Second)  // want `wall-clock use time\.NewTicker`
+}
+
+func globalRand() int {
+	rand.Seed(42)        // want `global math/rand state via rand\.Seed`
+	_ = rand.Float64()   // want `global math/rand state via rand\.Float64`
+	rand.Shuffle(1, nil) // want `global math/rand state via rand\.Shuffle`
+	return rand.Intn(6)  // want `global math/rand state via rand\.Intn`
+}
+
+func launch() {
+	go fmt.Println("spawned") // want `goroutine launch`
+}
+
+func channels() {
+	ch := make(chan int, 1) // want `channel creation`
+	ch <- 1                 // want `channel send`
+	<-ch                    // want `channel receive`
+	select {                // want `select statement`
+	default:
+	}
+	close(ch) // want `channel close`
+}
+
+// emit leaks map iteration order into an output slice: the classic
+// latent-nondeterminism bug in message emission.
+func emit(pending map[int]string) []string {
+	var out []string
+	for _, v := range pending { // want `map iteration order can escape`
+		out = append(out, v)
+	}
+	return out
+}
+
+// report leaks map order into formatted output (a trace/counterexample
+// rendering bug).
+func report(queues map[int][]int) string {
+	s := ""
+	for k, q := range queues { // want `map iteration order can escape`
+		s += fmt.Sprintf("%d:%v\n", k, q)
+	}
+	return s
+}
+
+// firstError returns an order-dependent error: which entry is reported
+// depends on Go's randomized map order.
+func firstError(colors map[int]int, own int) error {
+	for j, c := range colors { // want `map iteration order can escape`
+		if c == own {
+			return fmt.Errorf("neighbor %d shares color %d", j, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Negative fixture for the detpure analyzer: nothing in this file may
+// be flagged. It mirrors the idioms the real deterministic packages
+// rely on — kernel-derived *rand.Rand use (internal/sim/delay.go),
+// collect-keys-then-sort iteration, and commutative aggregation.
+package detpure
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// kernelDerived mirrors sim.DelayModel implementations: drawing from a
+// caller-supplied seeded source is the sanctioned form of randomness.
+func kernelDerived(rng *rand.Rand) int64 {
+	return 2 + rng.Int63n(5)
+}
+
+// explicitSeed mirrors sim.NewKernel: constructing a source from an
+// explicit seed parameter is allowed.
+func explicitSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// sortedKeys is the collect-then-sort idiom: the append records only
+// the key set, never the iteration order.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// aggregate performs order-insensitive reductions: sums, maxima,
+// counters, and per-key writes.
+func aggregate(m map[int][]int) (total, best int) {
+	occ := make(map[int]int, len(m))
+	for k, q := range m {
+		if len(q) == 0 {
+			continue
+		}
+		occ[k] += len(q)
+		total += len(q)
+	}
+	for _, n := range occ {
+		if n > best {
+			best = n
+		}
+	}
+	return total, best
+}
+
+// deepCopy mirrors core.Diner.Clone: per-key writes into a fresh map
+// plus builtin copy calls are order-insensitive.
+func deepCopy(m map[int][]int) map[int][]int {
+	out := make(map[int][]int, len(m))
+	for k, q := range m {
+		cq := make([]int, len(q))
+		copy(cq, q)
+		out[k] = cq
+	}
+	return out
+}
+
+// prune mirrors receiver-buffer cleanup: delete during range is fine.
+func prune(m map[int]bool) {
+	for k, v := range m {
+		if !v {
+			delete(m, k)
+		}
+	}
+}

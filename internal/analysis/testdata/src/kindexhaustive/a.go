@@ -1,0 +1,50 @@
+// Positive fixture for the kindexhaustive analyzer. Kind mirrors the
+// protocol message alphabet; the test registers
+// "repro/internal/analysis/testdata/src/kindexhaustive.Kind" as a
+// closed enumeration.
+package kindexhaustive
+
+// Kind is a closed four-member enumeration, like core.MsgKind.
+type Kind int
+
+const (
+	Ping Kind = iota + 1
+	Ack
+	Request
+	Fork
+)
+
+// missingNoDefault silently drops Request and Fork: adding a fifth
+// message kind to a switch like this would go unnoticed.
+func missingNoDefault(k Kind) int {
+	switch k { // want `switch over .*\.Kind is missing cases Fork, Request and has no default`
+	case Ping:
+		return 1
+	case Ack:
+		return 2
+	}
+	return 0
+}
+
+// silentDefault absorbs Ack, Request, and Fork without reacting.
+func silentDefault(k Kind) string {
+	s := "?"
+	switch k {
+	case Ping:
+		s = "ping"
+	default: // want `silent default hiding constants Ack, Fork, Request`
+	}
+	return s
+}
+
+// silentAssignDefault reacts to unknown kinds, but invisibly.
+func silentAssignDefault(k Kind) int {
+	n := 0
+	switch k {
+	case Ping, Ack, Request:
+		n = 1
+	default: // want `silent default hiding constants Fork`
+		n = -1
+	}
+	return n
+}

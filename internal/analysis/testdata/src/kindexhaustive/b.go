@@ -1,0 +1,75 @@
+// Negative fixture for the kindexhaustive analyzer: every switch here
+// is acceptable and none may be flagged.
+package kindexhaustive
+
+// allCovered enumerates the whole alphabet.
+func allCovered(k Kind) string {
+	switch k {
+	case Ping:
+		return "ping"
+	case Ack:
+		return "ack"
+	case Request:
+		return "request"
+	case Fork:
+		return "fork"
+	}
+	return ""
+}
+
+// multiCase covers the alphabet with grouped cases.
+func multiCase(k Kind) bool {
+	switch k {
+	case Ping, Ack:
+		return true
+	case Request, Fork:
+		return false
+	}
+	return false
+}
+
+// panicDefault is missing cases but fails loudly on them.
+func panicDefault(k Kind) string {
+	switch k {
+	case Ping:
+		return "ping"
+	default:
+		panic("unknown kind")
+	}
+}
+
+type handler struct{}
+
+func (h *handler) fail(msg string) {}
+
+// failMethodDefault mirrors the d.fail(...) pattern in core.Diner's
+// Deliver: the default routes unknown kinds to a failure hook.
+func (h *handler) failMethodDefault(k Kind) {
+	switch k {
+	case Ping:
+	case Ack:
+	default:
+		h.fail("unhandled kind")
+	}
+}
+
+// renderDefault mirrors the String()-method pattern: the default
+// renders the unknown value and returns, which is visible to callers.
+func renderDefault(k Kind) string {
+	switch k {
+	case Ping:
+		return "ping"
+	default:
+		return "Kind(?)"
+	}
+}
+
+// otherType is a switch over a type that is not a registered protocol
+// enumeration; the analyzer must leave it alone however sparse it is.
+func otherType(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

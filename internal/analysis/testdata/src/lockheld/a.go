@@ -1,0 +1,63 @@
+// Positive fixture for the lockheld analyzer: every operation here
+// blocks (or runs a user callback) inside a critical section and must
+// be flagged.
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	ch    chan int
+	onEat func(id int)
+}
+
+func (g *guarded) sendHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- 1 // want `channel send while g\.mu is held`
+}
+
+func (g *guarded) recvHeld() int {
+	g.mu.Lock()
+	v := <-g.ch // want `channel receive while g\.mu is held`
+	g.mu.Unlock()
+	return v
+}
+
+func (g *guarded) sleepHeld() {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while g\.rw is held`
+}
+
+func (g *guarded) callbackHeld(id int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onEat(id) // want `callback onEat invoked while g\.mu is held`
+}
+
+func (g *guarded) blockingSelectHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `blocking select while g\.mu is held`
+	case v := <-g.ch:
+		_ = v
+	}
+}
+
+func (g *guarded) waitHeld(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while g\.mu is held`
+}
+
+// noUnlockInList: with no unlock in the statement list (the caller
+// unlocks), the region extends to the end of the list.
+func (g *guarded) noUnlockInList() {
+	g.mu.Lock()
+	g.ch <- 2 // want `channel send while g\.mu is held`
+}

@@ -1,0 +1,70 @@
+// Negative fixture for the lockheld analyzer: every function here
+// follows the snapshot-then-notify discipline and none may be flagged.
+package lockheld
+
+import "sync"
+
+type safe struct {
+	mu    sync.Mutex
+	ch    chan int
+	onEat func(id int)
+	n     int
+}
+
+func bump(n int) int { return n + 1 }
+
+// cleanCritical: pure field updates and static calls under the lock.
+func (s *safe) cleanCritical() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = bump(s.n)
+}
+
+// unlockThenSend: the send happens after the explicit unlock ends the
+// critical section.
+func (s *safe) unlockThenSend() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- s.n
+}
+
+// snapshotThenCallback: the hook runs outside the critical section on
+// a value captured inside it.
+func (s *safe) snapshotThenCallback() {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	s.onEat(n)
+}
+
+// tryNotify: a select with a default cannot block the lock holder.
+func (s *safe) tryNotify() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- s.n:
+	default:
+	}
+}
+
+// deferredClosure: constructing a closure under the lock is fine; its
+// body runs later, when the lock may be free.
+func (s *safe) deferredClosure() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.n
+	return func() { s.ch <- n }
+}
+
+// twoMutexes: operations under s.mu after other.mu was released are
+// attributed to the right receiver.
+func (s *safe) twoMutexes(other *safe) {
+	other.mu.Lock()
+	other.n++
+	other.mu.Unlock()
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- s.n
+}

@@ -1,0 +1,28 @@
+// Positive fixture for the seedhygiene analyzer: every rand source
+// here is seeded from the wall clock or from package-level state and
+// must be flagged.
+package seedhygiene
+
+import (
+	"math/rand"
+	"time"
+)
+
+var defaultSeed int64 = 42
+
+func wallClockSource() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `seeded from the wall clock`
+}
+
+func wallClockExpr() rand.Source {
+	return rand.NewSource(int64(time.Now().Nanosecond()) ^ 7) // want `seeded from the wall clock`
+}
+
+func packageStateSource() rand.Source {
+	return rand.NewSource(defaultSeed) // want `seeded from package-level variable defaultSeed`
+}
+
+func packageStateBuried(offset int64) *rand.Rand {
+	src := rand.NewSource(offset + defaultSeed) // want `seeded from package-level variable defaultSeed`
+	return rand.New(src)
+}

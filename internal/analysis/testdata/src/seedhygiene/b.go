@@ -1,0 +1,41 @@
+// Negative fixture for the seedhygiene analyzer: every source here is
+// seeded from an explicit parameter, a constant, or kernel state, the
+// sanctioned forms — nothing may be flagged.
+package seedhygiene
+
+import "math/rand"
+
+const baseSeed int64 = 1
+
+type kernel struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+// newKernel mirrors sim.NewKernel: the seed is an explicit parameter.
+func newKernel(seed int64) *kernel {
+	return &kernel{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// fork mirrors deriving per-process streams from the kernel seed: a
+// struct field is instance state, not package state.
+func (k *kernel) fork(stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(k.seed ^ stream))
+}
+
+// constSeed: package-level constants are fixed at compile time and
+// perfectly reproducible.
+func constSeed() rand.Source {
+	return rand.NewSource(baseSeed)
+}
+
+// literalSeed is trivially reproducible.
+func literalSeed() rand.Source {
+	return rand.NewSource(12345)
+}
+
+// localDerived: locals computed from parameters stay clean.
+func localDerived(seed int64, replica int) rand.Source {
+	s := seed*31 + int64(replica)
+	return rand.NewSource(s)
+}

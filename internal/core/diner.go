@@ -149,14 +149,21 @@ func NewDiner(cfg Config) (*Diner, error) {
 	if d.suspects == nil {
 		d.suspects = func(int) bool { return false }
 	}
-	for j, c := range cfg.NeighborColors {
+	// Wire neighbors in sorted ID order. Iterating the map directly
+	// would let Go's randomized iteration order pick which configuration
+	// error gets reported — a small but real nondeterminism.
+	for j := range cfg.NeighborColors {
+		d.neighbors = append(d.neighbors, j)
+	}
+	sort.Ints(d.neighbors)
+	for _, j := range d.neighbors {
+		c := cfg.NeighborColors[j]
 		if j == cfg.ID {
 			return nil, fmt.Errorf("%w: process %d lists itself as neighbor", ErrBadConfig, cfg.ID)
 		}
 		if c == cfg.Color {
 			return nil, fmt.Errorf("%w: neighbors %d and %d share color %d", ErrBadConfig, cfg.ID, j, c)
 		}
-		d.neighbors = append(d.neighbors, j)
 		d.colorOf[j] = c
 		if cfg.Color > c {
 			d.fork[j] = true
@@ -164,7 +171,6 @@ func NewDiner(cfg Config) (*Diner, error) {
 			d.token[j] = true
 		}
 	}
-	sort.Ints(d.neighbors)
 	return d, nil
 }
 

@@ -554,5 +554,8 @@ func (p *proc) act(action func() []core.Message) {
 		time.AfterFunc(p.sys.cfg.EatTime, func() { p.post(event{kind: evExitEat}) })
 	case core.Thinking:
 		time.AfterFunc(p.sys.cfg.ThinkTime, func() { p.post(event{kind: evHungry}) })
+	case core.Hungry:
+		// Nothing to schedule: the hungry phase ends when the protocol
+		// grants entry, driven by message deliveries.
 	}
 }

@@ -53,7 +53,7 @@ func (t *tracker) transition(id int, to core.State) {
 				t.lastViol = time.Now()
 			}
 		}
-	default:
+	case core.Thinking, core.Hungry:
 		t.eating[id] = false
 	}
 }

@@ -199,8 +199,20 @@ func (s *sysState) render() string {
 		}
 		fmt.Fprintf(&b, "p%d %v%s key=%s\n", i, d.State(), crashed, d.StateKey())
 	}
-	for e, q := range s.queues {
-		if len(q) > 0 {
+	// Render channels in sorted edge order so the same counterexample
+	// state always prints identically.
+	edges := make([][2]int, 0, len(s.queues))
+	for e := range s.queues {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		if q := s.queues[e]; len(q) > 0 {
 			fmt.Fprintf(&b, "channel %d→%d: %v\n", e[0], e[1], q)
 		}
 	}
@@ -310,6 +322,9 @@ func (c *Checker) moves(s *sysState) []move {
 				label: fmt.Sprintf("exit(p%d)", i),
 				apply: func(t *sysState) { t.send(t.diners[i].ExitEating()) },
 			})
+		case core.Hungry:
+			// No spontaneous move: a hungry diner acts only when the
+			// adversary delivers it a message.
 		}
 		if s.crashes < c.opts.MaxCrashes {
 			out = append(out, move{
@@ -405,6 +420,8 @@ func (c *Checker) checkState(s *sysState) string {
 					forks++
 				case core.Request:
 					tokens++
+				case core.Ping, core.Ack:
+					// Doorway traffic carries neither fork nor token.
 				}
 			}
 		}

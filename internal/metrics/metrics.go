@@ -51,7 +51,7 @@ func (m *ExclusionMonitor) OnTransition(at sim.Time, id int, _, to core.State) {
 				m.viol = append(m.viol, Violation{At: at, A: id, B: j})
 			}
 		}
-	default:
+	case core.Thinking, core.Hungry:
 		m.eating[id] = false
 	}
 }

@@ -69,6 +69,9 @@ func (m *OvertakeMonitor) OnTransition(at sim.Time, id int, _, to core.State) {
 				m.count[id][j]++
 			}
 		}
+	case core.Thinking:
+		// Eating→Thinking: the session's windows were already closed on
+		// entry to Eating; nothing to account.
 	}
 }
 

@@ -50,6 +50,9 @@ func (m *ProgressMonitor) OnTransition(at sim.Time, id int, _, to core.State) {
 			m.perProc[id]++
 			m.hungry[id] = false
 		}
+	case core.Thinking:
+		// The latency sample was taken on entry to Eating; leaving the
+		// critical section needs no accounting.
 	}
 }
 

@@ -296,6 +296,9 @@ func (r *Runner) step(i int, action func() []core.Message) {
 		})
 	case core.Thinking:
 		r.scheduleNextHunger(i)
+	case core.Hungry:
+		// Nothing to schedule: progress out of Hungry is driven by
+		// message deliveries, not timers.
 	}
 }
 

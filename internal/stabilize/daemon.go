@@ -83,7 +83,7 @@ func (a *DaemonAdapter) OnTransition(_ sim.Time, id int, _, to core.State) {
 			a.proto.Perturb(id, a.rng)
 			a.recheck()
 		}
-	default:
+	case core.Thinking, core.Hungry:
 		a.eating[id] = false
 	}
 }
