@@ -1,462 +1,63 @@
 // Package repro's root benchmarks regenerate every experiment in
-// DESIGN.md (E1–E8, A1–A2) as testing.B targets, plus micro-benchmarks
-// of the core state machine and the simulation kernel. Each experiment
-// benchmark reports the paper-relevant observable as custom metrics, so
-// `go test -bench=. -benchmem` reproduces the shape of EXPERIMENTS.md
-// in one command.
+// DESIGN.md (E1–E11, A1–A3) as testing.B targets, plus
+// micro-benchmarks of the core state machine, the simulation kernel,
+// and the sweep worker pool. The benchmark bodies live in
+// internal/bench, shared with cmd/bench (which emits machine-readable
+// BENCH_sweep.json from the same registry); each function here is a
+// thin wrapper so `go test -bench=. -benchmem` keeps its historical
+// target names.
 package main
 
 import (
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/detector"
-	"repro/internal/graph"
-	"repro/internal/harness"
-	"repro/internal/mc"
-	"repro/internal/runner"
-	"repro/internal/sim"
-	"repro/internal/stabilize"
+	"repro/internal/bench"
 )
 
-// benchExecute runs one harness spec per iteration, varying the seed,
-// and reports an aggregate metric.
-func benchExecute(b *testing.B, mkSpec func(seed int64) harness.Spec, metric func(harness.Result) (string, float64)) {
-	b.Helper()
-	var agg float64
-	var name string
-	for i := 0; i < b.N; i++ {
-		res, err := harness.Execute(mkSpec(int64(i + 1)))
-		if err != nil {
-			b.Fatal(err)
+func BenchmarkE1SafetyMistakes(b *testing.B)      { bench.E1SafetyMistakes(b) }
+func BenchmarkE2WaitFreedom(b *testing.B)         { bench.E2WaitFreedom(b) }
+func BenchmarkE3BoundedWaiting(b *testing.B)      { bench.E3BoundedWaiting(b) }
+func BenchmarkE3ForksBaseline(b *testing.B)       { bench.E3ForksBaseline(b) }
+func BenchmarkE4ChannelBound(b *testing.B)        { bench.E4ChannelBound(b) }
+func BenchmarkE5Quiescence(b *testing.B)          { bench.E5Quiescence(b) }
+func BenchmarkE6SpaceBound(b *testing.B)          { bench.E6SpaceBound(b) }
+func BenchmarkE7Stabilization(b *testing.B)       { bench.E7Stabilization(b) }
+func BenchmarkE8ScalabilityRing64(b *testing.B)   { bench.E8ScalabilityRing64(b) }
+func BenchmarkE8ScalabilityClique12(b *testing.B) { bench.E8ScalabilityClique12(b) }
+func BenchmarkE9ModelCheck(b *testing.B)          { bench.E9ModelCheck(b) }
+func BenchmarkE11LossyLinks(b *testing.B)         { bench.E11LossyLinks(b) }
+func BenchmarkA1RepliedAblation(b *testing.B)     { bench.A1RepliedAblation(b) }
+func BenchmarkA2DetectorSweep(b *testing.B)       { bench.A2DetectorSweep(b) }
+func BenchmarkA3KBound(b *testing.B)              { bench.A3KBound(b) }
+func BenchmarkSweepE8Workers1(b *testing.B)       { bench.SweepE8Workers1(b) }
+func BenchmarkSweepE8WorkersMax(b *testing.B)     { bench.SweepE8WorkersMax(b) }
+func BenchmarkCoreDinerCycle(b *testing.B)        { bench.CoreDinerCycle(b) }
+func BenchmarkKernelThroughput(b *testing.B)      { bench.KernelThroughput(b) }
+func BenchmarkNetworkSendDeliver(b *testing.B)    { bench.NetworkSendDeliver(b) }
+func BenchmarkGreedyColoring(b *testing.B)        { bench.GreedyColoring(b) }
+
+// TestBenchRegistryCoversWrappers pins the registry to this file: every
+// registered case must have a same-named Benchmark wrapper above, and
+// vice versa (names are checked by count — the compiler enforces the
+// rest, since each wrapper calls its case by identifier).
+func TestBenchRegistryCoversWrappers(t *testing.T) {
+	if n := len(bench.Cases()); n != 21 {
+		t.Fatalf("registry has %d cases; update the wrappers in bench_test.go and this count", n)
+	}
+	seen := map[string]bool{}
+	for _, c := range bench.Cases() {
+		if seen[c.Name] {
+			t.Fatalf("duplicate case %q", c.Name)
 		}
-		if res.InvariantErr != nil {
-			b.Fatal(res.InvariantErr)
-		}
-		n, v := metric(res)
-		name = n
-		if v > agg {
-			agg = v
+		seen[c.Name] = true
+		if c.Fn == nil {
+			t.Fatalf("case %q has nil Fn", c.Name)
 		}
 	}
-	if name != "" {
-		b.ReportMetric(agg, name)
+	if _, ok := bench.Lookup("KernelThroughput"); !ok {
+		t.Fatal("Lookup failed for a registered case")
 	}
-}
-
-// BenchmarkE1SafetyMistakes measures Theorem 1: exclusion mistakes per
-// hostile-detector run (all pre-convergence).
-func BenchmarkE1SafetyMistakes(b *testing.B) {
-	hp := harness.DefaultHeartbeatParams()
-	hp.PreNoise = 80
-	benchExecute(b, func(seed int64) harness.Spec {
-		return harness.Spec{
-			Graph:     graph.Ring(16),
-			Seed:      seed,
-			Algorithm: harness.Algorithm1,
-			Detector:  harness.DetectorHeartbeat,
-			Heartbeat: hp,
-			Workload:  runner.Saturated(),
-			Horizon:   15000,
-		}
-	}, func(res harness.Result) (string, float64) {
-		// All violations must predate convergence; report the count.
-		conv := res.FDLastMistakeEnd + 100
-		if after := res.ViolationsAfter(conv); after != 0 {
-			b.Fatalf("%d violations after detector convergence", after)
-		}
-		return "mistakes/run", float64(res.Violations)
-	})
-}
-
-// BenchmarkE2WaitFreedom measures Theorem 2: a half-ring crash storm
-// with zero starvation.
-func BenchmarkE2WaitFreedom(b *testing.B) {
-	benchExecute(b, func(seed int64) harness.Spec {
-		spec := harness.Spec{
-			Graph:     graph.Ring(16),
-			Seed:      seed,
-			Algorithm: harness.Algorithm1,
-			Detector:  harness.DetectorHeartbeat,
-			Heartbeat: harness.DefaultHeartbeatParams(),
-			Workload:  runner.Saturated(),
-			Horizon:   20000,
-		}
-		for c := 0; c < 8; c++ {
-			spec.Crashes = append(spec.Crashes, harness.Crash{At: sim.Time(2500 + 200*c), ID: 2 * c})
-		}
-		return spec
-	}, func(res harness.Result) (string, float64) {
-		if len(res.Starving) != 0 {
-			b.Fatalf("starving: %v", res.Starving)
-		}
-		return "live-sessions/run", float64(res.LiveCompleted())
-	})
-}
-
-// BenchmarkE3BoundedWaiting measures Theorem 3 on the adversarial
-// path: Algorithm 1's max consecutive overtakes (must be ≤ 2).
-func BenchmarkE3BoundedWaiting(b *testing.B) {
-	benchExecute(b, func(seed int64) harness.Spec {
-		return harness.Spec{
-			Graph:     graph.Path(3),
-			Colors:    []int{1, 0, 2},
-			Seed:      seed,
-			Delays:    sim.FixedDelay{D: 2},
-			Algorithm: harness.Algorithm1,
-			Workload:  runner.Saturated(),
-			Horizon:   15000,
-		}
-	}, func(res harness.Result) (string, float64) {
-		if res.MaxOvertake > 2 {
-			b.Fatalf("overtakes = %d, exceeds paper bound", res.MaxOvertake)
-		}
-		return "max-overtakes", float64(res.MaxOvertake)
-	})
-}
-
-// BenchmarkE3ForksBaseline shows the contrast: the doorway-free
-// baseline overtakes without bound on the same workload.
-func BenchmarkE3ForksBaseline(b *testing.B) {
-	benchExecute(b, func(seed int64) harness.Spec {
-		return harness.Spec{
-			Graph:     graph.Path(3),
-			Colors:    []int{1, 0, 2},
-			Seed:      seed,
-			Delays:    sim.FixedDelay{D: 2},
-			Algorithm: harness.Forks,
-			Workload:  runner.Saturated(),
-			Horizon:   15000,
-		}
-	}, func(res harness.Result) (string, float64) {
-		return "max-overtakes", float64(res.MaxOvertake)
-	})
-}
-
-// BenchmarkE4ChannelBound measures the Section 7 per-edge occupancy
-// bound under heavy delay variance.
-func BenchmarkE4ChannelBound(b *testing.B) {
-	benchExecute(b, func(seed int64) harness.Spec {
-		return harness.Spec{
-			Graph:     graph.Clique(6),
-			Seed:      seed,
-			Delays:    sim.UniformDelay{Min: 1, Max: 50},
-			Algorithm: harness.Algorithm1,
-			Workload:  runner.Saturated(),
-			Horizon:   15000,
-		}
-	}, func(res harness.Result) (string, float64) {
-		if res.OccupancyHW > 4 {
-			b.Fatalf("occupancy = %d, exceeds paper bound", res.OccupancyHW)
-		}
-		return "max-edge-occupancy", float64(res.OccupancyHW)
-	})
-}
-
-// BenchmarkE5Quiescence measures residual traffic to crashed processes.
-func BenchmarkE5Quiescence(b *testing.B) {
-	benchExecute(b, func(seed int64) harness.Spec {
-		return harness.Spec{
-			Graph:          graph.Ring(8),
-			Seed:           seed,
-			Algorithm:      harness.Algorithm1,
-			Detector:       harness.DetectorPerfect,
-			PerfectLatency: 20,
-			Workload:       runner.Saturated(),
-			Crashes:        []harness.Crash{{At: 1000, ID: 3}},
-			Horizon:        15000,
-		}
-	}, func(res harness.Result) (string, float64) {
-		if !res.QuiescentLastHalf {
-			b.Fatal("not quiescent by mid-run")
-		}
-		return "sends-after-crash", float64(res.SendsToCrashed)
-	})
-}
-
-// BenchmarkE6SpaceBound measures per-process protocol state on a
-// clique (the worst case, δ = n-1).
-func BenchmarkE6SpaceBound(b *testing.B) {
-	g := graph.Clique(16)
-	colors := g.GreedyColoring()
-	var bits int
-	for i := 0; i < b.N; i++ {
-		bits = 0
-		for v := 0; v < g.N(); v++ {
-			nbrColors := make(map[int]int)
-			for _, j := range g.Neighbors(v) {
-				nbrColors[j] = colors[j]
-			}
-			d, err := core.NewDiner(core.Config{ID: v, Color: colors[v], NeighborColors: nbrColors})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if s := d.SpaceBits(); s > bits {
-				bits = s
-			}
-		}
-	}
-	b.ReportMetric(float64(bits), "bits/process")
-}
-
-// BenchmarkE7Stabilization measures convergence of a stabilizing
-// protocol under the wait-free daemon with a crash.
-func BenchmarkE7Stabilization(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		g := graph.Ring(10)
-		proto := stabilize.NewColoring(g)
-		var ad *stabilize.DaemonAdapter
-		r, err := runner.New(runner.Config{
-			Graph: g,
-			Seed:  int64(i + 1),
-			NewDetector: func(k *sim.Kernel, gg *graph.Graph) detector.Detector {
-				return detector.NewPerfect(k, gg, 15)
-			},
-			Workload: runner.Saturated(),
-			OnTransition: func(at sim.Time, id int, from, to core.State) {
-				ad.OnTransition(at, id, from, to)
-			},
-			OnCrash: func(at sim.Time, id int) { ad.OnCrash(at, id) },
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		ad = stabilize.NewDaemonAdapter(proto, g.Neighbors, r.Kernel().Now, r.Kernel().Rand())
-		r.CrashAt(1000, 2)
-		r.Run(15000)
-		if err := r.CheckInvariants(); err != nil {
-			b.Fatal(err)
-		}
-		if _, ok := ad.Converged(); !ok {
-			b.Fatal("did not converge")
-		}
-	}
-}
-
-// BenchmarkE8ScalabilityRing64 profiles throughput on the largest
-// sparse topology of the E8 sweep.
-func BenchmarkE8ScalabilityRing64(b *testing.B) {
-	benchExecute(b, func(seed int64) harness.Spec {
-		return harness.Spec{
-			Graph:     graph.Ring(64),
-			Seed:      seed,
-			Delays:    sim.UniformDelay{Min: 1, Max: 3},
-			Algorithm: harness.Algorithm1,
-			Workload:  runner.Saturated(),
-			Horizon:   10000,
-		}
-	}, func(res harness.Result) (string, float64) {
-		return "sessions/run", float64(res.Sessions.Completed)
-	})
-}
-
-// BenchmarkE8ScalabilityClique12 profiles the dense extreme.
-func BenchmarkE8ScalabilityClique12(b *testing.B) {
-	benchExecute(b, func(seed int64) harness.Spec {
-		return harness.Spec{
-			Graph:     graph.Clique(12),
-			Seed:      seed,
-			Delays:    sim.UniformDelay{Min: 1, Max: 3},
-			Algorithm: harness.Algorithm1,
-			Workload:  runner.Saturated(),
-			Horizon:   10000,
-		}
-	}, func(res harness.Result) (string, float64) {
-		return "sessions/run", float64(res.Sessions.Completed)
-	})
-}
-
-// BenchmarkE11LossyLinks measures the rlink sublayer masking a 10%
-// drop + 10% duplication adversary: Algorithm 1 must stay wait-free
-// (no starvation) and within the suffix overtake bound; the metric is
-// the retransmission cost of the masking.
-func BenchmarkE11LossyLinks(b *testing.B) {
-	benchExecute(b, func(seed int64) harness.Spec {
-		return harness.Spec{
-			Graph:     graph.Ring(8),
-			Seed:      seed,
-			Algorithm: harness.Algorithm1,
-			Detector:  harness.DetectorHeartbeat,
-			Heartbeat: harness.DefaultHeartbeatParams(),
-			Workload:  runner.Saturated(),
-			Horizon:   15000,
-			Faults:    &sim.FaultPlan{DropP: 0.10, DupP: 0.10, HealAt: 8000},
-			Reliable:  true,
-		}
-	}, func(res harness.Result) (string, float64) {
-		if len(res.Starving) != 0 {
-			b.Fatalf("starving over rlink: %v", res.Starving)
-		}
-		if res.MaxOvertakeSuffix > 2 {
-			b.Fatalf("suffix overtakes = %d over rlink", res.MaxOvertakeSuffix)
-		}
-		return "retransmits/run", float64(res.Retransmits)
-	})
-}
-
-// BenchmarkA1RepliedAblation measures the original doorway's overtaking
-// on the adversarial star (compare with BenchmarkE3BoundedWaiting).
-func BenchmarkA1RepliedAblation(b *testing.B) {
-	benchExecute(b, func(seed int64) harness.Spec {
-		return harness.Spec{
-			Graph:     graph.Star(5),
-			Seed:      seed,
-			Delays:    sim.SpikeDelay{Base: 2, Spike: 300, SpikeP: 0.1},
-			Algorithm: harness.Algorithm1NoReplied,
-			Workload:  runner.Saturated(),
-			Horizon:   15000,
-		}
-	}, func(res harness.Result) (string, float64) {
-		return "max-overtakes", float64(res.MaxOvertake)
-	})
-}
-
-// BenchmarkA2DetectorSweep measures detector mistakes at the noisiest
-// sweep point.
-func BenchmarkA2DetectorSweep(b *testing.B) {
-	hp := harness.DefaultHeartbeatParams()
-	hp.Period = 3
-	hp.InitialTimeout = 6
-	hp.PreNoise = 120
-	benchExecute(b, func(seed int64) harness.Spec {
-		return harness.Spec{
-			Graph:     graph.Ring(8),
-			Seed:      seed,
-			Algorithm: harness.Algorithm1,
-			Detector:  harness.DetectorHeartbeat,
-			Heartbeat: hp,
-			Workload:  runner.Saturated(),
-			Horizon:   15000,
-		}
-	}, func(res harness.Result) (string, float64) {
-		return "false-positives", float64(res.FDFalsePositives)
-	})
-}
-
-// BenchmarkE9ModelCheck measures exhaustive P2+1crash verification
-// (590 states, every interleaving, wait-freedom included).
-func BenchmarkE9ModelCheck(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		checker, err := mc.New(graph.Path(2), mc.Options{MaxCrashes: 1})
-		if err != nil {
-			b.Fatal(err)
-		}
-		rep, err := checker.Run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !rep.Closed || rep.Violation != nil {
-			b.Fatalf("closed=%v violation=%v", rep.Closed, rep.Violation)
-		}
-	}
-}
-
-// BenchmarkA3KBound measures the generalized (m+1)-bounded doorway at
-// m = 3 on the adversarial star (compare with BenchmarkE3BoundedWaiting
-// at m = 1).
-func BenchmarkA3KBound(b *testing.B) {
-	const m = 3
-	benchExecute(b, func(seed int64) harness.Spec {
-		return harness.Spec{
-			Graph:          graph.Star(5),
-			Seed:           seed,
-			Delays:         sim.SpikeDelay{Base: 2, Spike: 300, SpikeP: 0.1},
-			Algorithm:      harness.Algorithm1,
-			AcksPerSession: m,
-			Workload:       runner.Saturated(),
-			Horizon:        15000,
-		}
-	}, func(res harness.Result) (string, float64) {
-		if res.MaxOvertake > m+1 {
-			b.Fatalf("overtakes = %d, exceeds k = m+1 = %d", res.MaxOvertake, m+1)
-		}
-		return "max-overtakes", float64(res.MaxOvertake)
-	})
-}
-
-// BenchmarkCoreDinerCycle micro-benchmarks one complete hungry cycle of
-// the raw state machine (two diners, hand-pumped messages).
-func BenchmarkCoreDinerCycle(b *testing.B) {
-	hi, err := core.NewDiner(core.Config{ID: 0, Color: 2, NeighborColors: map[int]int{1: 1}})
-	if err != nil {
-		b.Fatal(err)
-	}
-	lo, err := core.NewDiner(core.Config{ID: 1, Color: 1, NeighborColors: map[int]int{0: 2}})
-	if err != nil {
-		b.Fatal(err)
-	}
-	diners := map[int]*core.Diner{0: hi, 1: lo}
-	b.ReportAllocs()
-	b.ResetTimer()
-	queue := make([]core.Message, 0, 16)
-	for i := 0; i < b.N; i++ {
-		queue = append(queue[:0], hi.BecomeHungry()...)
-		queue = append(queue, lo.BecomeHungry()...)
-		for len(queue) > 0 {
-			m := queue[0]
-			queue = queue[1:]
-			queue = append(queue, diners[m.To].Deliver(m)...)
-		}
-		for _, d := range diners {
-			if d.State() == core.Eating {
-				queue = append(queue, d.ExitEating()...)
-			}
-		}
-		for len(queue) > 0 {
-			m := queue[0]
-			queue = queue[1:]
-			queue = append(queue, diners[m.To].Deliver(m)...)
-		}
-		for _, d := range diners {
-			if d.State() == core.Eating {
-				d.ExitEating()
-			}
-		}
-		if hi.Err() != nil || lo.Err() != nil {
-			b.Fatal(hi.Err(), lo.Err())
-		}
-	}
-}
-
-// BenchmarkKernelThroughput micro-benchmarks raw event scheduling.
-func BenchmarkKernelThroughput(b *testing.B) {
-	k := sim.NewKernel(1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		k.After(1, func() {})
-		k.Step()
-	}
-}
-
-// BenchmarkNetworkSendDeliver micro-benchmarks one message round trip
-// through the simulated FIFO network.
-func BenchmarkNetworkSendDeliver(b *testing.B) {
-	k := sim.NewKernel(1)
-	net := sim.NewNetwork(k, 2, sim.FixedDelay{D: 1})
-	if err := net.Register(1, func(int, any) {}); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := net.Send(0, 1, i); err != nil {
-			b.Fatal(err)
-		}
-		k.Step()
-	}
-}
-
-// BenchmarkGreedyColoring micro-benchmarks the priority-assignment
-// substrate on a dense graph.
-func BenchmarkGreedyColoring(b *testing.B) {
-	g := graph.Clique(64)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		colors := g.GreedyColoring()
-		if !g.IsProperColoring(colors) {
-			b.Fatal("improper coloring")
-		}
+	if _, ok := bench.Lookup("NoSuchCase"); ok {
+		t.Fatal("Lookup invented a case")
 	}
 }

@@ -1,0 +1,211 @@
+// Command bench runs the shared benchmark registry (internal/bench —
+// the same bodies behind `go test -bench`) via testing.Benchmark and
+// writes machine-readable results to BENCH_sweep.json: ns/op,
+// allocs/op, bytes/op, and each case's custom metrics, plus enough
+// host information to interpret them.
+//
+// With -baseline it instead gates: results are diffed against a
+// previously committed JSON file and the run fails (exit 1) when any
+// shared case regresses by more than -threshold in ns/op or grows its
+// allocs/op. -quick restricts the run to the fast smoke cases, which
+// is what CI's bench-smoke job uses.
+//
+// Usage:
+//
+//	bench [-quick] [-only Name,Name] [-out BENCH_sweep.json]
+//	      [-baseline BENCH_sweep.json] [-threshold 0.25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iters       int                `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_sweep.json schema.
+type File struct {
+	Schema     int      `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Quick      bool     `json:"quick"`
+	Results    []Entry  `json:"results"`
+	Notes      []string `json:"notes,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "run only the fast smoke cases")
+	only := fs.String("only", "", "comma-separated case names to run (see internal/bench); empty = all selected by -quick")
+	out := fs.String("out", "BENCH_sweep.json", "output JSON path (\"-\" = stdout)")
+	baseline := fs.String("baseline", "", "committed BENCH_sweep.json to diff against; regressions fail the run")
+	threshold := fs.Float64("threshold", 0.25, "relative ns/op regression that fails a -baseline run")
+	note := fs.String("note", "", "extra note to embed in the JSON (e.g. 'before alloc cuts')")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cases, err := selectCases(*quick, *only)
+	if err != nil {
+		return err
+	}
+
+	f := &File{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+	if *note != "" {
+		f.Notes = append(f.Notes, *note)
+	}
+	for _, c := range cases {
+		fmt.Fprintf(os.Stderr, "running %-24s", c.Name)
+		r := testing.Benchmark(c.Fn)
+		if r.N == 0 {
+			return fmt.Errorf("case %s failed (see output above)", c.Name)
+		}
+		e := Entry{
+			Name:        c.Name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			e.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				e.Metrics[k] = v
+			}
+		}
+		f.Results = append(f.Results, e)
+		fmt.Fprintf(os.Stderr, " %12.1f ns/op %6d allocs/op\n", e.NsPerOp, e.AllocsPerOp)
+	}
+
+	if *baseline != "" {
+		if err := gate(f, *baseline, *threshold); err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// selectCases resolves -quick/-only into a case list.
+func selectCases(quick bool, only string) ([]bench.Case, error) {
+	if only != "" {
+		var cases []bench.Case
+		for _, name := range strings.Split(only, ",") {
+			name = strings.TrimSpace(name)
+			c, ok := bench.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown case %q", name)
+			}
+			cases = append(cases, c)
+		}
+		return cases, nil
+	}
+	var cases []bench.Case
+	for _, c := range bench.Cases() {
+		if quick && !c.Quick {
+			continue
+		}
+		cases = append(cases, c)
+	}
+	return cases, nil
+}
+
+// gate diffs f against the baseline file and errors on regressions:
+// ns/op above threshold, or any growth in allocs/op (allocation counts
+// are deterministic per case, so growth is a real leak, not noise).
+// Cases present on only one side are reported but never fail the run.
+func gate(f *File, path string, threshold float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byName := make(map[string]Entry, len(base.Results))
+	for _, e := range base.Results {
+		byName[e.Name] = e
+	}
+	var regressions []string
+	matched := map[string]bool{}
+	for _, e := range f.Results {
+		b, ok := byName[e.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "baseline: %s is new (no baseline entry)\n", e.Name)
+			continue
+		}
+		matched[e.Name] = true
+		if b.NsPerOp > 0 {
+			rel := e.NsPerOp/b.NsPerOp - 1
+			if rel > threshold {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.1f ns/op vs baseline %.1f (%+.1f%%, threshold %+.1f%%)",
+					e.Name, e.NsPerOp, b.NsPerOp, rel*100, threshold*100))
+			}
+		}
+		if e.AllocsPerOp > b.AllocsPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d",
+				e.Name, e.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	var missing []string
+	for name := range byName {
+		if !matched[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "baseline: %s not measured this run\n", name)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("performance regressions:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "baseline: %d cases within threshold\n", len(matched))
+	return nil
+}

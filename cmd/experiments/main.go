@@ -1,10 +1,15 @@
 // Command experiments regenerates every reproduction experiment
-// (E1–E8, A1–A2) from DESIGN.md and prints the tables recorded in
+// (E1–E11, A1–A4) from DESIGN.md and prints the tables recorded in
 // EXPERIMENTS.md.
+//
+// Experiments whose rows are independent runs execute through the
+// internal/sweep worker pool; -workers bounds the pool (0 =
+// GOMAXPROCS). Results are identical at any worker count — only wall
+// clock changes.
 //
 // Usage:
 //
-//	experiments [-seed N] [-markdown] [-only E3]
+//	experiments [-seed N] [-workers N] [-markdown] [-only E3]
 package main
 
 import (
@@ -12,7 +17,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/harness"
 )
 
@@ -26,8 +33,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored Markdown tables")
 	csv := fs.Bool("csv", false, "emit CSV tables")
+	timing := fs.Bool("timing", false, "print per-experiment wall clock to stderr")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E3,A2); empty = all")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,22 +49,23 @@ func run(args []string) error {
 		}
 	}
 
+	suite := experiments.New(*seed, *workers)
 	runners := map[string]func() *harness.Table{
-		"E1":  func() *harness.Table { return harness.E1Safety(*seed) },
-		"E2":  func() *harness.Table { return harness.E2WaitFreedom(*seed) },
-		"E3":  func() *harness.Table { return harness.E3BoundedWaiting(*seed) },
-		"E4":  func() *harness.Table { return harness.E4ChannelBound(*seed) },
-		"E5":  func() *harness.Table { return harness.E5Quiescence(*seed) },
-		"E6":  harness.E6Space,
-		"E7":  func() *harness.Table { return harness.E7Stabilization(*seed) },
-		"E8":  func() *harness.Table { return harness.E8Scalability(*seed) },
-		"E9":  harness.E9ModelCheck,
-		"E10": func() *harness.Table { return harness.E10MessageMix(*seed) },
-		"E11": func() *harness.Table { return harness.E11LossyLinks(*seed) },
-		"A1":  func() *harness.Table { return harness.A1RepliedAblation(*seed) },
-		"A2":  func() *harness.Table { return harness.A2DetectorSweep(*seed) },
-		"A3":  func() *harness.Table { return harness.A3KBoundSweep(*seed) },
-		"A4":  func() *harness.Table { return harness.A4SeedRobustness(10) },
+		"E1":  suite.E1Safety,
+		"E2":  suite.E2WaitFreedom,
+		"E3":  suite.E3BoundedWaiting,
+		"E4":  suite.E4ChannelBound,
+		"E5":  suite.E5Quiescence,
+		"E6":  suite.E6Space,
+		"E7":  suite.E7Stabilization,
+		"E8":  suite.E8Scalability,
+		"E9":  suite.E9ModelCheck,
+		"E10": suite.E10MessageMix,
+		"E11": suite.E11LossyLinks,
+		"A1":  suite.A1RepliedAblation,
+		"A2":  suite.A2DetectorSweep,
+		"A3":  suite.A3KBoundSweep,
+		"A4":  func() *harness.Table { return suite.A4SeedRobustness(10) },
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3", "A4"}
 
@@ -63,7 +73,11 @@ func run(args []string) error {
 		if len(want) > 0 && !want[id] {
 			continue
 		}
+		start := time.Now()
 		table := runners[id]()
+		if *timing {
+			fmt.Fprintf(os.Stderr, "%-4s %8.3fs\n", id, time.Since(start).Seconds())
+		}
 		switch {
 		case *markdown:
 			table.Markdown(os.Stdout)

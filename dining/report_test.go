@@ -1,0 +1,150 @@
+package dining
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenCompare checks got against testdata/<name>.golden, rewriting
+// the file under -update. Reports are pure functions of Config, so the
+// golden bytes are stable across hosts and Go versions.
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test ./dining -run TestReportGolden -update`): %v", err)
+	}
+	if got+"\n" != string(want) {
+		t.Fatalf("report drifted from golden %s:\ngot:  %s\nwant: %s", path, got, strings.TrimSuffix(string(want), "\n"))
+	}
+}
+
+// TestReportGolden locks the rendered Report of three representative
+// simulations: a clean run, a crash run (quiescence accounting), and a
+// faulty-channel run over rlink (loss/dup/retransmit accounting). Any
+// behavioral drift in the stack under dining/ shows up as a golden
+// diff here.
+func TestReportGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		crash []struct {
+			at Ticks
+			id int
+		}
+		until Ticks
+	}{
+		{
+			name:  "ring8-clean",
+			cfg:   Config{Topology: Ring(8), Seed: 1},
+			until: 6000,
+		},
+		{
+			name: "ring6-crash",
+			cfg: func() Config {
+				det := PerfectDetector(10)
+				return Config{Topology: Ring(6), Seed: 2, Detector: &det}
+			}(),
+			crash: []struct {
+				at Ticks
+				id int
+			}{{500, 0}},
+			until: 6000,
+		},
+		{
+			name: "ring5-lossy-rlink",
+			cfg: Config{
+				Topology: Ring(5),
+				Seed:     3,
+				Faults:   &Faults{LossP: 0.1, DupP: 0.1, HealAt: 2000},
+				Reliable: true,
+			},
+			until: 6000,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sys, err := NewSimulation(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cr := range c.crash {
+				sys.CrashAt(cr.at, cr.id)
+			}
+			rep := sys.Run(c.until)
+			if rep.InvariantViolation != nil {
+				t.Fatalf("unexpected invariant violation: %v", rep.InvariantViolation)
+			}
+			goldenCompare(t, "report_"+c.name, rep.String())
+		})
+	}
+}
+
+// TestReportStringBranches drives every conditional branch of
+// Report.String from struct literals, including the branches a healthy
+// simulation never reaches (violations, starvation, invariant errors).
+func TestReportStringBranches(t *testing.T) {
+	minimal := Report{SessionsCompleted: 10, MeanLatencyX100: 1234, P99Latency: 42,
+		MaxConsecutiveOvertakes: 1, MaxEdgeOccupancy: 2, TotalMessages: 99}
+	full := Report{
+		SessionsCompleted:       7,
+		MeanLatencyX100:         250,
+		P99Latency:              9,
+		ExclusionViolations:     3,
+		LastViolationAt:         777,
+		MaxConsecutiveOvertakes: 2,
+		MaxEdgeOccupancy:        4,
+		TotalMessages:           1000,
+		StarvingProcesses:       []int{1, 4},
+		SendsToCrashed:          5,
+		MessagesLost:            11,
+		MessagesDuplicated:      2,
+		Retransmits:             13,
+		DupsSuppressed:          6,
+		InvariantViolation:      errors.New("fork duplicated on edge {0,1}"),
+	}
+
+	got := minimal.String()
+	for _, want := range []string{"sessions=10", "mean-latency=12.34", "p99=42", "violations=0", "max-overtakes=1", "edge-occupancy=2", "msgs=99"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("minimal report missing %q: %s", want, got)
+		}
+	}
+	for _, absent := range []string{"last at", "STARVING", "sends-to-crashed", "lost=", "retransmits=", "INVARIANT"} {
+		if strings.Contains(got, absent) {
+			t.Fatalf("minimal report unexpectedly contains %q: %s", absent, got)
+		}
+	}
+
+	got = full.String()
+	for _, want := range []string{
+		"violations=3 (last at 777)",
+		"STARVING=[1 4]",
+		"sends-to-crashed=5",
+		"lost=11 dup=2",
+		"retransmits=13 dup-suppressed=6",
+		"INVARIANT-VIOLATION=fork duplicated on edge {0,1}",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("full report missing %q: %s", want, got)
+		}
+	}
+	goldenCompare(t, "report_branches", fmt.Sprintf("%s\n%s", minimal, full))
+}

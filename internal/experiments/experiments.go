@@ -1,4 +1,13 @@
-package harness
+// Package experiments assembles, executes, and reports the
+// reproduction experiments E1–E11 and the ablations A1–A4 catalogued
+// in DESIGN.md. Each experiment method returns text tables whose rows
+// are recorded in EXPERIMENTS.md; cmd/experiments regenerates them all
+// and bench_test.go wraps each one in a benchmark.
+//
+// Experiments whose rows are independent harness runs execute through
+// the internal/sweep worker pool, so a multi-core host fills every
+// core; results (and row order) are identical at any worker count.
+package experiments
 
 import (
 	"fmt"
@@ -7,25 +16,48 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/graph"
+	"repro/internal/harness"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stabilize"
+	"repro/internal/sweep"
 )
 
-// mustExecute runs a spec, folding setup errors into the table note —
-// experiment code treats them as fatal by surfacing "ERROR" rows, so a
-// broken configuration cannot masquerade as a result.
-func mustExecute(t *Table, spec Spec) (Result, bool) {
-	res, err := Execute(spec)
-	if err != nil {
-		t.AddRow("ERROR", err.Error())
-		return Result{}, false
+// Suite runs the experiment catalogue with one seed and a fixed
+// worker-pool size.
+type Suite struct {
+	// Seed feeds every simulation in the catalogue.
+	Seed int64
+	// Workers is the sweep pool size; <=0 means GOMAXPROCS.
+	Workers int
+}
+
+// New returns a Suite at the given seed; workers <= 0 selects
+// GOMAXPROCS.
+func New(seed int64, workers int) *Suite {
+	return &Suite{Seed: seed, Workers: workers}
+}
+
+// sweepRun executes specs through the worker pool.
+func (s *Suite) sweepRun(specs []harness.Spec) *sweep.Report {
+	return sweep.Run(specs, sweep.Options{Workers: s.Workers})
+}
+
+// ok reports whether the outcome completed cleanly; otherwise it adds
+// an ERROR / INVARIANT-VIOLATION row whose note carries the full spec
+// identity (graph, algorithm, detector, seed, ...) so a failed sweep
+// cell is reproducible from the printed table alone.
+func ok(t *harness.Table, o *sweep.Outcome) bool {
+	switch {
+	case o.Err != nil:
+		t.AddRow("ERROR", o.FailureNote())
+		return false
+	case o.Result.InvariantErr != nil:
+		t.AddRow("INVARIANT-VIOLATION", o.FailureNote())
+		return false
+	default:
+		return true
 	}
-	if res.InvariantErr != nil {
-		t.AddRow("INVARIANT-VIOLATION", res.InvariantErr.Error())
-		return res, false
-	}
-	return res, true
 }
 
 func yesno(b bool) string {
@@ -38,14 +70,14 @@ func yesno(b bool) string {
 // E1Safety measures Theorem 1: with a real ◇P₁ under hostile pre-GST
 // delays, exclusion mistakes happen only finitely often and cease once
 // the detector stops making mistakes.
-func E1Safety(seed int64) *Table {
-	t := &Table{
+func (s *Suite) E1Safety() *harness.Table {
+	t := &harness.Table{
 		ID:     "E1",
 		Title:  "Eventual weak exclusion under a convergent ◇P₁ (Theorem 1)",
 		Claim:  "finitely many exclusion mistakes per run; none after the detector converges",
 		Header: []string{"topology", "n", "FD false-pos", "FD last mistake", "violations", "last violation", "viol after conv", "ok"},
 	}
-	hp := DefaultHeartbeatParams()
+	hp := harness.DefaultHeartbeatParams()
 	hp.PreNoise = 80 // hostile: force detector mistakes before GST
 	cases := []struct {
 		name string
@@ -55,22 +87,26 @@ func E1Safety(seed int64) *Table {
 		{"grid", graph.Grid(4, 4)},
 		{"clique", graph.Clique(8)},
 	}
-	for _, c := range cases {
-		res, ok := mustExecute(t, Spec{
+	specs := make([]harness.Spec, len(cases))
+	for i, c := range cases {
+		specs[i] = harness.Spec{
 			Graph:     c.g,
-			Seed:      seed,
-			Algorithm: Algorithm1,
-			Detector:  DetectorHeartbeat,
+			Seed:      s.Seed,
+			Algorithm: harness.Algorithm1,
+			Detector:  harness.DetectorHeartbeat,
 			Heartbeat: hp,
 			Workload:  runner.Saturated(),
 			Horizon:   40000,
-		})
-		if !ok {
+		}
+	}
+	for i, out := range s.sweepRun(specs).Outcomes {
+		if !ok(t, &out) {
 			continue
 		}
+		res := out.Result
 		conv := res.FDLastMistakeEnd + 100 // drain slack for in-flight eats
 		after := res.ViolationsAfter(conv)
-		t.AddRow(c.name, c.g.N(), res.FDFalsePositives, res.FDLastMistake,
+		t.AddRow(cases[i].name, cases[i].g.N(), res.FDFalsePositives, res.FDLastMistake,
 			res.Violations, res.LastViolation, after, yesno(after == 0))
 	}
 	return t
@@ -79,54 +115,59 @@ func E1Safety(seed int64) *Table {
 // E2WaitFreedom measures Theorem 2: Algorithm 1 completes every correct
 // hungry session regardless of crash count, while the detector-free
 // Choy–Singh doorway starves neighbors of crashed processes.
-func E2WaitFreedom(seed int64) *Table {
-	t := &Table{
+func (s *Suite) E2WaitFreedom() *harness.Table {
+	t := &harness.Table{
 		ID:     "E2",
 		Title:  "Wait-free progress under crash storms (Theorem 2)",
 		Claim:  "every correct hungry process eventually eats, for any number of crashes; without ◇P₁, crashes starve correct processes",
 		Header: []string{"algorithm", "crashes", "live sessions done", "starving live", "min live sessions", "ok"},
 	}
 	const n = 16
+	var specs []harness.Spec
 	for _, f := range []int{0, 1, 4, 8, 15} {
-		for _, alg := range []Algorithm{Algorithm1, ChoySingh, HygienicFD, Hygienic} {
-			g := graph.Ring(n)
-			spec := Spec{
-				Graph:     g,
-				Seed:      seed,
+		for _, alg := range []harness.Algorithm{harness.Algorithm1, harness.ChoySingh, harness.HygienicFD, harness.Hygienic} {
+			spec := harness.Spec{
+				Graph:     graph.Ring(n),
+				Seed:      s.Seed,
 				Algorithm: alg,
 				Workload:  runner.Saturated(),
 				Horizon:   40000,
 			}
-			if alg == Algorithm1 || alg == HygienicFD {
-				spec.Detector = DetectorHeartbeat
-				spec.Heartbeat = DefaultHeartbeatParams()
+			if alg == harness.Algorithm1 || alg == harness.HygienicFD {
+				spec.Detector = harness.DetectorHeartbeat
+				spec.Heartbeat = harness.DefaultHeartbeatParams()
 			}
 			for c := 0; c < f; c++ {
-				spec.Crashes = append(spec.Crashes, Crash{At: sim.Time(2500 + 200*c), ID: c})
+				spec.Crashes = append(spec.Crashes, harness.Crash{At: sim.Time(2500 + 200*c), ID: c})
 			}
-			res, ok := mustExecute(t, spec)
-			if !ok {
+			specs = append(specs, spec)
+		}
+	}
+	for _, out := range s.sweepRun(specs).Outcomes {
+		if !ok(t, &out) {
+			continue
+		}
+		res := out.Result
+		alg := out.Spec.Algorithm
+		f := len(out.Spec.Crashes)
+		crashed := make(map[int]bool)
+		for _, c := range out.Spec.Crashes {
+			crashed[c.ID] = true
+		}
+		minLive := -1
+		for i, done := range res.PerProcess {
+			if crashed[i] {
 				continue
 			}
-			crashed := make(map[int]bool)
-			for _, c := range spec.Crashes {
-				crashed[c.ID] = true
+			if minLive < 0 || done < minLive {
+				minLive = done
 			}
-			minLive := -1
-			for i, done := range res.PerProcess {
-				if crashed[i] {
-					continue
-				}
-				if minLive < 0 || done < minLive {
-					minLive = done
-				}
-			}
-			okRun := len(res.Starving) == 0
-			if (alg == ChoySingh || alg == Hygienic) && f > 0 {
-				okRun = len(res.Starving) > 0 // the expected failure
-			}
-			t.AddRow(alg, f, res.LiveCompleted(), len(res.Starving), minLive, yesno(okRun))
 		}
+		okRun := len(res.Starving) == 0
+		if (alg == harness.ChoySingh || alg == harness.Hygienic) && f > 0 {
+			okRun = len(res.Starving) > 0 // the expected failure
+		}
+		t.AddRow(alg, f, res.LiveCompleted(), len(res.Starving), minLive, yesno(okRun))
 	}
 	return t
 }
@@ -149,8 +190,8 @@ func e3StarDelays(hub, slowLeaf int) sim.DelayModel {
 // Algorithm 1 never lets a neighbor overtake a hungry process more than
 // twice, while the replied-flag ablation and the doorway-free baseline
 // exceed any constant bound.
-func E3BoundedWaiting(seed int64) *Table {
-	t := &Table{
+func (s *Suite) E3BoundedWaiting() *harness.Table {
+	t := &harness.Table{
 		ID:     "E3",
 		Title:  "Eventual 2-bounded waiting (Theorem 3) vs ablations",
 		Claim:  "Algorithm 1: ≤2 consecutive overtakes per hungry neighbor in the suffix; without the replied flag or the doorway the bound fails",
@@ -168,25 +209,32 @@ func E3BoundedWaiting(seed int64) *Table {
 		{"path3-low-middle", graph.Path(3), []int{1, 0, 2}, sim.FixedDelay{D: 2}},
 		{"ring8", graph.Ring(8), nil, sim.UniformDelay{Min: 1, Max: 4}},
 	}
+	algs := []harness.Algorithm{harness.Algorithm1, harness.Algorithm1NoReplied, harness.Forks, harness.Hygienic}
+	var specs []harness.Spec
+	var names []string
 	for _, sc := range scenarios {
-		for _, alg := range []Algorithm{Algorithm1, Algorithm1NoReplied, Forks, Hygienic} {
-			res, ok := mustExecute(t, Spec{
+		for _, alg := range algs {
+			specs = append(specs, harness.Spec{
 				Graph:     sc.g,
 				Colors:    sc.colors,
-				Seed:      seed,
+				Seed:      s.Seed,
 				Delays:    sc.delays,
 				Algorithm: alg,
 				Workload:  runner.Saturated(),
 				Horizon:   30000,
 			})
-			if !ok {
-				continue
-			}
-			// No detector noise in these runs, so the 2-bound must hold
-			// over the whole run, not just a suffix.
-			t.AddRow(alg, sc.name, res.MaxOvertake, res.MaxOvertakeSuffix,
-				yesno(res.MaxOvertake <= 2))
+			names = append(names, sc.name)
 		}
+	}
+	for i, out := range s.sweepRun(specs).Outcomes {
+		if !ok(t, &out) {
+			continue
+		}
+		res := out.Result
+		// No detector noise in these runs, so the 2-bound must hold
+		// over the whole run, not just a suffix.
+		t.AddRow(out.Spec.Algorithm, names[i], res.MaxOvertake, res.MaxOvertakeSuffix,
+			yesno(res.MaxOvertake <= 2))
 	}
 	return t
 }
@@ -194,8 +242,8 @@ func E3BoundedWaiting(seed int64) *Table {
 // E4ChannelBound measures the Section 7 claim that at most four dining
 // messages occupy any edge simultaneously, even under severe delay
 // variance.
-func E4ChannelBound(seed int64) *Table {
-	t := &Table{
+func (s *Suite) E4ChannelBound() *harness.Table {
+	t := &harness.Table{
 		ID:     "E4",
 		Title:  "Bounded channel capacity (Section 7)",
 		Claim:  "at most 4 dining messages in transit per edge at any time",
@@ -212,29 +260,33 @@ func E4ChannelBound(seed int64) *Table {
 		{"grid4x4", graph.Grid(4, 4), "spiky", sim.SpikeDelay{Base: 2, Spike: 80, SpikeP: 0.2}},
 		{"star8", graph.Star(8), "uniform[1,30]", sim.UniformDelay{Min: 1, Max: 30}},
 	}
-	for _, c := range cases {
-		res, ok := mustExecute(t, Spec{
+	specs := make([]harness.Spec, len(cases))
+	for i, c := range cases {
+		specs[i] = harness.Spec{
 			Graph:     c.g,
-			Seed:      seed,
+			Seed:      s.Seed,
 			Delays:    c.delays,
-			Algorithm: Algorithm1,
-			Detector:  DetectorHeartbeat,
-			Heartbeat: DefaultHeartbeatParams(),
+			Algorithm: harness.Algorithm1,
+			Detector:  harness.DetectorHeartbeat,
+			Heartbeat: harness.DefaultHeartbeatParams(),
 			Workload:  runner.Saturated(),
 			Horizon:   30000,
-		})
-		if !ok {
+		}
+	}
+	for i, out := range s.sweepRun(specs).Outcomes {
+		if !ok(t, &out) {
 			continue
 		}
-		t.AddRow(c.name, c.dname, res.OccupancyHW, res.TotalMessages, yesno(res.OccupancyHW <= 4))
+		res := out.Result
+		t.AddRow(cases[i].name, cases[i].dname, res.OccupancyHW, res.TotalMessages, yesno(res.OccupancyHW <= 4))
 	}
 	return t
 }
 
 // E5Quiescence measures the Section 7 claim that correct processes
 // eventually stop sending dining messages to crashed neighbors.
-func E5Quiescence(seed int64) *Table {
-	t := &Table{
+func (s *Suite) E5Quiescence() *harness.Table {
+	t := &harness.Table{
 		ID:     "E5",
 		Title:  "Quiescence toward crashed processes (Section 7)",
 		Claim:  "eventually no dining messages flow to crashed processes (≤1 residual ping + 1 token per live neighbor)",
@@ -243,35 +295,39 @@ func E5Quiescence(seed int64) *Table {
 	cases := []struct {
 		name    string
 		g       *graph.Graph
-		crashes []Crash
+		crashes []harness.Crash
 	}{
-		{"ring8", graph.Ring(8), []Crash{{At: 1000, ID: 3}}},
-		{"clique6", graph.Clique(6), []Crash{{At: 1000, ID: 0}, {At: 1500, ID: 1}}},
-		{"grid3x3", graph.Grid(3, 3), []Crash{{At: 800, ID: 4}}},
+		{"ring8", graph.Ring(8), []harness.Crash{{At: 1000, ID: 3}}},
+		{"clique6", graph.Clique(6), []harness.Crash{{At: 1000, ID: 0}, {At: 1500, ID: 1}}},
+		{"grid3x3", graph.Grid(3, 3), []harness.Crash{{At: 800, ID: 4}}},
 	}
-	for _, c := range cases {
-		res, ok := mustExecute(t, Spec{
+	specs := make([]harness.Spec, len(cases))
+	for i, c := range cases {
+		specs[i] = harness.Spec{
 			Graph:     c.g,
-			Seed:      seed,
-			Algorithm: Algorithm1,
-			Detector:  DetectorPerfect,
+			Seed:      s.Seed,
+			Algorithm: harness.Algorithm1,
+			Detector:  harness.DetectorPerfect,
 			// Perfect detection isolates the dining layer's quiescence
 			// from detector noise.
 			PerfectLatency: 20,
 			Workload:       runner.Saturated(),
 			Crashes:        c.crashes,
 			Horizon:        20000,
-		})
-		if !ok {
+		}
+	}
+	for i, out := range s.sweepRun(specs).Outcomes {
+		if !ok(t, &out) {
 			continue
 		}
+		res := out.Result
 		lastCrash := sim.Time(0)
-		for _, cr := range c.crashes {
+		for _, cr := range out.Spec.Crashes {
 			if cr.At > lastCrash {
 				lastCrash = cr.At
 			}
 		}
-		t.AddRow(c.name, len(c.crashes), res.SendsToCrashed, res.LastSendToCrashed,
+		t.AddRow(cases[i].name, len(out.Spec.Crashes), res.SendsToCrashed, res.LastSendToCrashed,
 			lastCrash, yesno(res.QuiescentLastHalf))
 	}
 	return t
@@ -280,8 +336,8 @@ func E5Quiescence(seed int64) *Table {
 // E6Space verifies the Section 7 space bound log₂(δ)+6δ+c bits per
 // process by constructing diners over real colorings and counting their
 // protocol state.
-func E6Space() *Table {
-	t := &Table{
+func (s *Suite) E6Space() *harness.Table {
+	t := &harness.Table{
 		ID:     "E6",
 		Title:  "Bounded per-process space (Section 7)",
 		Claim:  "each process needs log₂(δ)+6δ+c bits; O(n) even on a clique",
@@ -335,8 +391,10 @@ func bitsFor(v int) int {
 // E7Stabilization measures the paper's motivating application: a
 // wait-free daemon lets a self-stabilizing protocol converge despite
 // crashes and transient faults; a non-wait-free daemon does not.
-func E7Stabilization(seed int64) *Table {
-	t := &Table{
+// (Custom runner wiring per arm — this experiment does not sweep.)
+func (s *Suite) E7Stabilization() *harness.Table {
+	seed := s.Seed
+	t := &harness.Table{
 		ID:     "E7",
 		Title:  "Stabilizing protocols under wait-free vs blocking daemons (Section 1)",
 		Claim:  "wait-free scheduling ⇒ convergence despite crashes; a crash under the detector-free daemon prevents convergence",
@@ -344,9 +402,9 @@ func E7Stabilization(seed int64) *Table {
 	}
 	type arm struct {
 		daemon  string
-		alg     Algorithm
-		det     DetectorKind
-		crashes []Crash
+		alg     harness.Algorithm
+		det     harness.DetectorKind
+		crashes []harness.Crash
 	}
 	runArm := func(protoName string, mkProto func(g *graph.Graph) stabilize.Protocol, g *graph.Graph, a arm, inject func(p stabilize.Protocol, ad *stabilize.DaemonAdapter, r *runner.Runner)) {
 		proto := mkProto(g)
@@ -355,14 +413,14 @@ func E7Stabilization(seed int64) *Table {
 			Graph:      g,
 			Seed:       seed,
 			Delays:     sim.UniformDelay{Min: 1, Max: 3},
-			NewProcess: processFactory(a.alg, 0),
+			NewProcess: harness.ProcessFactory(a.alg, 0),
 			Workload:   runner.Saturated(),
 			OnTransition: func(at sim.Time, id int, from, to core.State) {
 				ad.OnTransition(at, id, from, to)
 			},
 			OnCrash: func(at sim.Time, id int) { ad.OnCrash(at, id) },
 		}
-		if a.det == DetectorPerfect {
+		if a.det == harness.DetectorPerfect {
 			cfg.NewDetector = func(k *sim.Kernel, gg *graph.Graph) detector.Detector {
 				return detector.NewPerfect(k, gg, 15)
 			}
@@ -389,7 +447,7 @@ func E7Stabilization(seed int64) *Table {
 	ringG := graph.Ring(9)
 	runArm("dijkstra-ring", func(g *graph.Graph) stabilize.Protocol {
 		return stabilize.NewDijkstraRing(g.N(), 0)
-	}, ringG, arm{daemon: "algorithm-1", alg: Algorithm1, det: DetectorPerfect},
+	}, ringG, arm{daemon: "algorithm-1", alg: harness.Algorithm1, det: harness.DetectorPerfect},
 		func(p stabilize.Protocol, ad *stabilize.DaemonAdapter, r *runner.Runner) {
 			r.Kernel().At(2000, func() { ad.InjectFaults(9) })
 		})
@@ -397,8 +455,8 @@ func E7Stabilization(seed int64) *Table {
 	// Coloring with crashes: the wait-free daemon repairs a conflict
 	// injected beside the crashed vertex; the blocking daemon cannot.
 	colorArms := []arm{
-		{daemon: "algorithm-1", alg: Algorithm1, det: DetectorPerfect, crashes: []Crash{{At: 40, ID: 2}}},
-		{daemon: "choy-singh", alg: ChoySingh, det: DetectorNone, crashes: []Crash{{At: 40, ID: 2}}},
+		{daemon: "algorithm-1", alg: harness.Algorithm1, det: harness.DetectorPerfect, crashes: []harness.Crash{{At: 40, ID: 2}}},
+		{daemon: "choy-singh", alg: harness.ChoySingh, det: harness.DetectorNone, crashes: []harness.Crash{{At: 40, ID: 2}}},
 	}
 	for _, a := range colorArms {
 		a := a
@@ -418,7 +476,7 @@ func E7Stabilization(seed int64) *Table {
 	// daemon converges).
 	runArm("mis", func(g *graph.Graph) stabilize.Protocol {
 		return stabilize.NewMIS(g)
-	}, graph.Ring(8), arm{daemon: "algorithm-1", alg: Algorithm1, det: DetectorPerfect}, nil)
+	}, graph.Ring(8), arm{daemon: "algorithm-1", alg: harness.Algorithm1, det: harness.DetectorPerfect}, nil)
 
 	return t
 }
@@ -426,8 +484,8 @@ func E7Stabilization(seed int64) *Table {
 // E8Scalability profiles hungry-session latency and message overhead as
 // the system grows — the paper argues ◇P₁'s locality keeps the daemon
 // scalable on sparse networks.
-func E8Scalability(seed int64) *Table {
-	t := &Table{
+func (s *Suite) E8Scalability() *harness.Table {
+	t := &harness.Table{
 		ID:     "E8",
 		Title:  "Scalability profile (locality of ◇P₁, Section 8)",
 		Claim:  "per-session cost tracks the conflict degree δ, not n, on sparse topologies",
@@ -447,23 +505,27 @@ func E8Scalability(seed int64) *Table {
 		{"clique8", graph.Clique(8)},
 		{"clique12", graph.Clique(12)},
 	}
-	for _, c := range cases {
-		res, ok := mustExecute(t, Spec{
+	specs := make([]harness.Spec, len(cases))
+	for i, c := range cases {
+		specs[i] = harness.Spec{
 			Graph:     c.g,
-			Seed:      seed,
+			Seed:      s.Seed,
 			Delays:    sim.UniformDelay{Min: 1, Max: 3},
-			Algorithm: Algorithm1,
+			Algorithm: harness.Algorithm1,
 			Workload:  runner.Saturated(),
 			Horizon:   20000,
-		})
-		if !ok {
+		}
+	}
+	for i, out := range s.sweepRun(specs).Outcomes {
+		if !ok(t, &out) {
 			continue
 		}
+		res := out.Result
 		msgsPer := "n/a"
 		if res.Sessions.Completed > 0 {
 			msgsPer = fmt.Sprintf("%.1f", float64(res.TotalMessages)/float64(res.Sessions.Completed))
 		}
-		t.AddRow(c.name, c.g.N(), c.g.MaxDegree(), res.Sessions.Completed,
+		t.AddRow(cases[i].name, cases[i].g.N(), cases[i].g.MaxDegree(), res.Sessions.Completed,
 			fmt.Sprintf("%.2f", float64(res.Sessions.MeanX100)/100), res.Sessions.P99, msgsPer)
 	}
 	return t
@@ -472,26 +534,31 @@ func E8Scalability(seed int64) *Table {
 // A1RepliedAblation isolates design choice D1: the one-ack-per-session
 // rule is exactly what turns eventual fairness into eventual 2-bounded
 // waiting.
-func A1RepliedAblation(seed int64) *Table {
-	t := &Table{
+func (s *Suite) A1RepliedAblation() *harness.Table {
+	t := &harness.Table{
 		ID:     "A1",
 		Title:  "Ablation: the replied flag (modified vs original doorway)",
 		Claim:  "granting one ack per neighbor per hungry session caps consecutive overtakes at 2; the original doorway does not",
 		Header: []string{"doorway", "max overtakes", "suffix overtakes", "hub sessions done", "hub p99 latency"},
 	}
-	for _, alg := range []Algorithm{Algorithm1, Algorithm1NoReplied} {
-		res, ok := mustExecute(t, Spec{
+	algs := []harness.Algorithm{harness.Algorithm1, harness.Algorithm1NoReplied}
+	specs := make([]harness.Spec, len(algs))
+	for i, alg := range algs {
+		specs[i] = harness.Spec{
 			Graph:     graph.Star(5),
-			Seed:      seed,
+			Seed:      s.Seed,
 			Delays:    e3StarDelays(0, 1),
 			Algorithm: alg,
 			Workload:  runner.Saturated(),
 			Horizon:   30000,
-		})
-		if !ok {
+		}
+	}
+	for _, out := range s.sweepRun(specs).Outcomes {
+		if !ok(t, &out) {
 			continue
 		}
-		t.AddRow(alg, res.MaxOvertake, res.MaxOvertakeSuffix, res.PerProcess[0], res.Sessions.P99)
+		res := out.Result
+		t.AddRow(out.Spec.Algorithm, res.MaxOvertake, res.MaxOvertakeSuffix, res.PerProcess[0], res.Sessions.P99)
 	}
 	return t
 }
@@ -500,26 +567,32 @@ func A1RepliedAblation(seed int64) *Table {
 // acks per neighbor per hungry session yields eventual (m+1)-bounded
 // waiting. The paper's Algorithm 1 is the m = 1, k = 2 instance of the
 // title's "eventually k-bounded" family.
-func A3KBoundSweep(seed int64) *Table {
-	t := &Table{
+func (s *Suite) A3KBoundSweep() *harness.Table {
+	t := &harness.Table{
 		ID:     "A3",
 		Title:  "Extension: generalized ack budget m ⇒ eventual (m+1)-bounded waiting",
 		Claim:  "the modified doorway with budget m bounds consecutive overtakes by k = m+1 (paper: m=1, k=2)",
 		Header: []string{"ack budget m", "bound k=m+1", "max overtakes", "hub sessions", "hub p99 latency", "ok"},
 	}
-	for _, m := range []int{1, 2, 3, 5} {
-		res, ok := mustExecute(t, Spec{
+	budgets := []int{1, 2, 3, 5}
+	specs := make([]harness.Spec, len(budgets))
+	for i, m := range budgets {
+		specs[i] = harness.Spec{
 			Graph:          graph.Star(5),
-			Seed:           seed,
+			Seed:           s.Seed,
 			Delays:         e3StarDelays(0, 1),
-			Algorithm:      Algorithm1,
+			Algorithm:      harness.Algorithm1,
 			AcksPerSession: m,
 			Workload:       runner.Saturated(),
 			Horizon:        30000,
-		})
-		if !ok {
+		}
+	}
+	for _, out := range s.sweepRun(specs).Outcomes {
+		if !ok(t, &out) {
 			continue
 		}
+		res := out.Result
+		m := out.Spec.AcksPerSession
 		t.AddRow(m, m+1, res.MaxOvertake, res.PerProcess[0], res.Sessions.P99,
 			yesno(res.MaxOvertake <= m+1))
 	}
@@ -529,36 +602,40 @@ func A3KBoundSweep(seed int64) *Table {
 // A2DetectorSweep explores D3/D4: how detector quality (heartbeat
 // period and pre-GST delay noise) shapes mistake counts and how quickly
 // the dining guarantees engage.
-func A2DetectorSweep(seed int64) *Table {
-	t := &Table{
+func (s *Suite) A2DetectorSweep() *harness.Table {
+	t := &harness.Table{
 		ID:     "A2",
 		Title:  "Ablation: detector quality sweep (heartbeat period × pre-GST noise)",
 		Claim:  "worse detectors make more (but always finitely many) mistakes; the dining guarantees engage after the last mistake regardless",
 		Header: []string{"period", "pre-GST noise", "false positives", "FD last mistake", "violations", "last violation", "viol after conv"},
 	}
 	g := graph.Ring(8)
+	var specs []harness.Spec
 	for _, period := range []sim.Time{3, 5, 10} {
 		for _, noise := range []sim.Time{0, 40, 120} {
-			hp := DefaultHeartbeatParams()
+			hp := harness.DefaultHeartbeatParams()
 			hp.Period = period
 			hp.InitialTimeout = period * 2
 			hp.PreNoise = noise
-			res, ok := mustExecute(t, Spec{
+			specs = append(specs, harness.Spec{
 				Graph:     g,
-				Seed:      seed,
-				Algorithm: Algorithm1,
-				Detector:  DetectorHeartbeat,
+				Seed:      s.Seed,
+				Algorithm: harness.Algorithm1,
+				Detector:  harness.DetectorHeartbeat,
 				Heartbeat: hp,
 				Workload:  runner.Saturated(),
 				Horizon:   40000,
 			})
-			if !ok {
-				continue
-			}
-			conv := res.FDLastMistakeEnd + 100
-			t.AddRow(period, noise, res.FDFalsePositives, res.FDLastMistake,
-				res.Violations, res.LastViolation, res.ViolationsAfter(conv))
 		}
+	}
+	for _, out := range s.sweepRun(specs).Outcomes {
+		if !ok(t, &out) {
+			continue
+		}
+		res := out.Result
+		conv := res.FDLastMistakeEnd + 100
+		t.AddRow(out.Spec.Heartbeat.Period, out.Spec.Heartbeat.PreNoise, res.FDFalsePositives, res.FDLastMistake,
+			res.Violations, res.LastViolation, res.ViolationsAfter(conv))
 	}
 	return t
 }
@@ -584,43 +661,49 @@ func e11Faults() *sim.FaultPlan {
 // Section 7 quiescence). The raw-network arm is the motivating negative
 // control: the fork and token are unique messages, so an unmasked loss
 // deadlocks an edge forever.
-func E11LossyLinks(seed int64) *Table {
-	t := &Table{
+func (s *Suite) E11LossyLinks() *harness.Table {
+	t := &harness.Table{
 		ID:     "E11",
 		Title:  "Lossy links: Algorithm 1 over the rlink sublayer vs raw channels",
 		Claim:  "with 10% drop + 10% duplication (plus a burst and a partition) before heal, rlink preserves wait-freedom and suffix overtakes ≤ 2, with finite retransmits to crashed neighbors; the raw lossy network starves or corrupts the protocol",
 		Header: []string{"arm", "lost", "dup injected", "retransmits", "dup suppressed", "live sessions", "starving live", "suffix overtakes", "retx to crashed", "ok"},
 	}
-	g := graph.Ring(8)
-	base := Spec{
-		Graph:     g,
-		Seed:      seed,
-		Algorithm: Algorithm1,
-		Detector:  DetectorHeartbeat,
-		Heartbeat: DefaultHeartbeatParams(),
+	base := harness.Spec{
+		Graph:     graph.Ring(8),
+		Seed:      s.Seed,
+		Algorithm: harness.Algorithm1,
+		Detector:  harness.DetectorHeartbeat,
+		Heartbeat: harness.DefaultHeartbeatParams(),
 		Workload:  runner.Saturated(),
 		Horizon:   30000,
 		Faults:    e11Faults(),
 	}
 
-	// Arm 1: rlink, no crashes — every guarantee must hold outright.
-	spec := base
-	spec.Reliable = true
-	if res, ok := mustExecute(t, spec); ok {
+	// Arm 1: rlink, no crashes. Arm 2: rlink + crashes. Arm 3
+	// (negative control): the same adversary against the raw network —
+	// a violation there is the point, not a setup error.
+	rlinkSpec := base
+	rlinkSpec.Reliable = true
+	crashSpec := base
+	crashSpec.Reliable = true
+	crashSpec.Crashes = []harness.Crash{{At: 3000, ID: 2}, {At: 9000, ID: 6}}
+	rawSpec := base
+	outcomes := s.sweepRun([]harness.Spec{rlinkSpec, crashSpec, rawSpec}).Outcomes
+
+	// Arm 1: every guarantee must hold outright.
+	if out := &outcomes[0]; ok(t, out) {
+		res := out.Result
 		okRun := len(res.Starving) == 0 && res.MaxOvertakeSuffix <= 2
 		t.AddRow("rlink", res.MessagesLost, res.Duplicated, res.Retransmits,
 			res.DupSuppressed, res.LiveCompleted(), len(res.Starving),
 			res.MaxOvertakeSuffix, res.RetxToCrashed, yesno(okRun))
 	}
 
-	// Arm 2: rlink + crashes — live processes stay wait-free and the
-	// retransmits addressed to the crashed stay finite (and small):
-	// suspicion parks the timers, so the count stops growing long before
-	// the horizon.
-	spec = base
-	spec.Reliable = true
-	spec.Crashes = []Crash{{At: 3000, ID: 2}, {At: 9000, ID: 6}}
-	if res, ok := mustExecute(t, spec); ok {
+	// Arm 2: live processes stay wait-free and the retransmits
+	// addressed to the crashed stay finite (and small): suspicion parks
+	// the timers, so the count stops growing long before the horizon.
+	if out := &outcomes[1]; ok(t, out) {
+		res := out.Result
 		okRun := len(res.Starving) == 0 && res.MaxOvertakeSuffix <= 2 &&
 			res.RetxToCrashed < res.Retransmits
 		t.AddRow("rlink+crashes", res.MessagesLost, res.Duplicated, res.Retransmits,
@@ -628,17 +711,13 @@ func E11LossyLinks(seed int64) *Table {
 			res.MaxOvertakeSuffix, res.RetxToCrashed, yesno(okRun))
 	}
 
-	// Arm 3 (negative control): the same adversary against the raw
-	// network. Loss of a unique fork or token deadlocks its edge, so the
+	// Arm 3: loss of a unique fork or token deadlocks its edge, so the
 	// expected outcome is starvation and/or a protocol-invariant
-	// violation — Execute is called directly because a violation here is
-	// the point, not a setup error.
-	spec = base
-	spec.Reliable = false
-	res, err := Execute(spec)
-	if err != nil {
-		t.AddRow("ERROR", err.Error())
+	// violation.
+	if out := &outcomes[2]; out.Err != nil {
+		t.AddRow("ERROR", out.FailureNote())
 	} else {
+		res := out.Result
 		broken := res.InvariantErr != nil || len(res.Starving) > 0
 		detail := "-"
 		if res.InvariantErr != nil {
@@ -651,20 +730,20 @@ func E11LossyLinks(seed int64) *Table {
 	return t
 }
 
-// All runs the complete experiment suite with one seed.
-func All(seed int64) []*Table {
-	return []*Table{
-		E1Safety(seed),
-		E2WaitFreedom(seed),
-		E3BoundedWaiting(seed),
-		E4ChannelBound(seed),
-		E5Quiescence(seed),
-		E6Space(),
-		E7Stabilization(seed),
-		E8Scalability(seed),
-		E11LossyLinks(seed),
-		A1RepliedAblation(seed),
-		A2DetectorSweep(seed),
-		A3KBoundSweep(seed),
+// All runs the complete experiment suite.
+func (s *Suite) All() []*harness.Table {
+	return []*harness.Table{
+		s.E1Safety(),
+		s.E2WaitFreedom(),
+		s.E3BoundedWaiting(),
+		s.E4ChannelBound(),
+		s.E5Quiescence(),
+		s.E6Space(),
+		s.E7Stabilization(),
+		s.E8Scalability(),
+		s.E11LossyLinks(),
+		s.A1RepliedAblation(),
+		s.A2DetectorSweep(),
+		s.A3KBoundSweep(),
 	}
 }

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE6SpaceTable(t *testing.T) {
+	tb := New(1, 0).E6Space()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("E6 rows = %d, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("space bound violated: %v", row)
+		}
+	}
+}
+
+func TestE3PathScenarioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	tb := New(1, 0).E3BoundedWaiting()
+	if len(tb.Rows) != 12 {
+		t.Fatalf("E3 rows = %d, want 12 (4 algorithms × 3 scenarios)", len(tb.Rows))
+	}
+	byKey := map[string][]string{}
+	for _, row := range tb.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+	}
+	// Algorithm 1 must hold the bound in every scenario.
+	for key, row := range byKey {
+		if strings.HasPrefix(key, "algorithm-1/") && row[4] != "yes" {
+			t.Fatalf("Algorithm 1 broke the bound: %v", row)
+		}
+	}
+	// The doorway-free baseline must break it somewhere.
+	broke := false
+	for key, row := range byKey {
+		if strings.HasPrefix(key, "static-forks/") && row[4] == "no" {
+			broke = true
+		}
+	}
+	if !broke {
+		t.Fatal("static-forks never exceeded the bound; the ablation shows nothing")
+	}
+}
+
+func TestE10MessageMixShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	tb := New(1, 0).E10MessageMix()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("E10 rows = %d, want 3", len(tb.Rows))
+	}
+	// On a saturated ring every session runs one full ping-ack round
+	// per neighbor: exactly δ = 2 pings and acks per session.
+	ring := tb.Rows[0]
+	if ring[2] != "2.00" || ring[3] != "2.00" {
+		t.Fatalf("ring ping/ack per session = %s/%s, want 2.00/2.00", ring[2], ring[3])
+	}
+}
+
+// TestWorkerCountInvariance is the table-level complement of the sweep
+// package's property test: a representative sweeping experiment must
+// render identical bytes at 1 and 4 workers.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	var a, b strings.Builder
+	New(1, 1).E4ChannelBound().Render(&a)
+	New(1, 4).E4ChannelBound().Render(&b)
+	if a.String() != b.String() {
+		t.Fatalf("E4 table differs across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// A4SeedRobustness re-checks the headline bounds across many seeds —
+// the guard against a cherry-picked schedule. Each check expands one
+// spec template over a seed range (sweep.SeedRange) and sweeps it
+// through the worker pool; a row aggregates the worst case over the
+// sweep, and a single seed violating a bound fails the row.
+func (s *Suite) A4SeedRobustness(seeds int) *harness.Table {
+	if seeds <= 0 {
+		seeds = 10
+	}
+	t := &harness.Table{
+		ID:     "A4",
+		Title:  fmt.Sprintf("Seed robustness: worst case over %d seeds", seeds),
+		Claim:  "the measured bounds are schedule-independent, not artifacts of one seed",
+		Header: []string{"check", "seeds", "worst value", "bound", "ok"},
+	}
+
+	hostileHB := harness.DefaultHeartbeatParams()
+	hostileHB.PreNoise = 80
+	crashStorm := harness.Spec{
+		Graph: graph.Ring(12), Algorithm: harness.Algorithm1,
+		Detector: harness.DetectorHeartbeat, Heartbeat: harness.DefaultHeartbeatParams(),
+		Workload: runner.Saturated(), Horizon: 25000,
+	}
+	for c := 0; c < 8; c++ {
+		crashStorm.Crashes = append(crashStorm.Crashes, harness.Crash{At: sim.Time(3000 + 200*c), ID: c})
+	}
+
+	checks := []struct {
+		name  string
+		bound int
+		tpl   harness.Spec
+		value func(*harness.Result) int
+	}{
+		{
+			name:  "E1: violations after FD convergence",
+			bound: 0,
+			tpl: harness.Spec{
+				Graph: graph.Ring(10), Algorithm: harness.Algorithm1,
+				Detector: harness.DetectorHeartbeat, Heartbeat: hostileHB,
+				Workload: runner.Saturated(), Horizon: 20000,
+			},
+			value: func(r *harness.Result) int { return r.ViolationsAfter(r.FDLastMistakeEnd + 100) },
+		},
+		{
+			name:  "E2: starving live processes (8 crashes, heartbeat FD)",
+			bound: 0,
+			tpl:   crashStorm,
+			value: func(r *harness.Result) int { return len(r.Starving) },
+		},
+		{
+			name:  "E3: max overtakes (adversarial path)",
+			bound: 2,
+			tpl: harness.Spec{
+				Graph: graph.Path(3), Colors: []int{1, 0, 2},
+				Delays: sim.FixedDelay{D: 2}, Algorithm: harness.Algorithm1,
+				Workload: runner.Saturated(), Horizon: 15000,
+			},
+			value: func(r *harness.Result) int { return r.MaxOvertake },
+		},
+		{
+			name:  "E4: per-edge channel occupancy (clique, wild delays)",
+			bound: 4,
+			tpl: harness.Spec{
+				Graph:  graph.Clique(5),
+				Delays: sim.UniformDelay{Min: 1, Max: 50}, Algorithm: harness.Algorithm1,
+				Workload: runner.Saturated(), Horizon: 15000,
+			},
+			value: func(r *harness.Result) int { return r.OccupancyHW },
+		},
+	}
+
+	for _, c := range checks {
+		worst, bad := 0, false
+		rep := s.sweepRun(sweep.SeedRange(c.tpl, 1, seeds))
+		for i := range rep.Outcomes {
+			o := &rep.Outcomes[i]
+			if o.Failed() {
+				bad = true
+				continue
+			}
+			if v := c.value(&o.Result); v > worst {
+				worst = v
+			}
+		}
+		t.AddRow(c.name, seeds, worst, c.bound, yesno(!bad && worst <= c.bound))
+	}
+	return t
+}

@@ -1,4 +1,4 @@
-package harness
+package experiments
 
 import (
 	"errors"
@@ -6,8 +6,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/harness"
 	"repro/internal/mc"
-	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
@@ -17,8 +17,10 @@ import (
 // simulator samples only one schedule per seed. The crash rows verify
 // wait-freedom against every ≤1-crash adversary; the Choy–Singh row
 // must FAIL (a wedged state exists), confirming the checker has teeth.
-func E9ModelCheck() *Table {
-	t := &Table{
+// (The checker enumerates states, not specs, so this experiment does
+// not sweep.)
+func (s *Suite) E9ModelCheck() *harness.Table {
+	t := &harness.Table{
 		ID:     "E9",
 		Title:  "Exhaustive verification by explicit-state model checking",
 		Claim:  "safety invariants hold and progress stays possible in every reachable state; Choy–Singh wedges under a crash",
@@ -75,9 +77,10 @@ func E9ModelCheck() *Table {
 // E10MessageMix breaks dining traffic down by kind, checking the
 // Section 7 inventory: a saturated session costs about one ping+ack and
 // one request+fork exchange per neighbor, so the four kinds arrive in
-// near-equal proportions and the per-session total tracks 4δ.
-func E10MessageMix(seed int64) *Table {
-	t := &Table{
+// near-equal proportions and the per-session total tracks 4δ. (It reads
+// live monitor internals via harness.ExecuteRaw, so it does not sweep.)
+func (s *Suite) E10MessageMix() *harness.Table {
+	t := &harness.Table{
 		ID:     "E10",
 		Title:  "Message mix per hungry session (Section 7 inventory)",
 		Claim:  "a session costs ≈1 ping+ack and ≈1 request+fork per neighbor: four near-equal kind shares, ≈4δ messages/session",
@@ -91,20 +94,21 @@ func E10MessageMix(seed int64) *Table {
 		{"grid4x4", graph.Grid(4, 4)},
 		{"clique6", graph.Clique(6)},
 	} {
-		suite, r, err := executeRaw(Spec{
+		spec := harness.Spec{
 			Graph:     c.g,
-			Seed:      seed,
+			Seed:      s.Seed,
 			Delays:    sim.UniformDelay{Min: 1, Max: 3},
-			Algorithm: Algorithm1,
+			Algorithm: harness.Algorithm1,
 			Workload:  runner.Saturated(),
 			Horizon:   20000,
-		})
+		}
+		suite, r, err := harness.ExecuteRaw(spec)
 		if err != nil {
-			t.AddRow("ERROR", err.Error())
+			t.AddRow("ERROR", fmt.Sprintf("%v [%s]", err, spec.Ident()))
 			continue
 		}
 		if err := r.CheckInvariants(); err != nil {
-			t.AddRow("INVARIANT-VIOLATION", err.Error())
+			t.AddRow("INVARIANT-VIOLATION", fmt.Sprintf("%v [%s]", err, spec.Ident()))
 			continue
 		}
 		sessions := suite.Progress.Stats().Completed
@@ -116,37 +120,4 @@ func E10MessageMix(seed int64) *Table {
 			per(core.Request), per(core.Fork), total)
 	}
 	return t
-}
-
-// executeRaw is Execute but returning the live suite and runner for
-// experiments needing monitor internals.
-func executeRaw(spec Spec) (*metrics.Suite, *runner.Runner, error) {
-	if spec.Horizon <= 0 {
-		spec.Horizon = 20000
-	}
-	if spec.Delays == nil {
-		spec.Delays = sim.UniformDelay{Min: 1, Max: 4}
-	}
-	suite := metrics.NewSuite(spec.Graph)
-	r, err := runner.New(runner.Config{
-		Graph:        spec.Graph,
-		Colors:       spec.Colors,
-		Seed:         spec.Seed,
-		Delays:       spec.Delays,
-		NewDetector:  detectorFactory(spec),
-		NewProcess:   processFactory(spec.Algorithm, spec.AcksPerSession),
-		Workload:     spec.Workload,
-		OnTransition: suite.OnTransition,
-		OnCrash:      suite.OnCrash,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	r.Network().SetObserver(suite.Observer())
-	for _, c := range spec.Crashes {
-		r.CrashAt(c.At, c.ID)
-	}
-	r.Run(spec.Horizon)
-	suite.Finish(spec.Horizon)
-	return suite, r, nil
 }

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// FuzzFaultPlan throws arbitrary channel adversaries — loss and
+// duplication probabilities, a burst window, a timed partition, a heal
+// time — at Algorithm 1 over the rlink sublayer on a small ring. The
+// properties: execution never panics, the protocol invariants hold
+// (rlink must mask any healing adversary), and the run is a pure
+// function of the spec (two executions summarize identically).
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(uint16(100), uint16(100), uint16(400), uint16(100), uint8(0x03), uint16(700), uint16(100), uint16(200), uint8(1))
+	f.Add(uint16(900), uint16(0), uint16(0), uint16(799), uint8(0x1f), uint16(0), uint16(0), uint16(1499), uint8(7))
+	f.Add(uint16(0), uint16(1000), uint16(1999), uint16(500), uint8(0x15), uint16(100), uint16(700), uint16(0), uint8(42))
+	f.Fuzz(func(t *testing.T, dropMil, dupMil, burstStart, burstLen uint16, sideMask uint8, partStart, partLen, healRaw uint16, seed uint8) {
+		const n = 5
+		const horizon = 4000
+		// Faults heal no later than horizon/2 so the eventual guarantees
+		// (and the invariant check) are in scope by the end of the run.
+		heal := sim.Time(500 + int(healRaw)%1500)
+		plan := &sim.FaultPlan{
+			DropP:  float64(int(dropMil)%1001) / 1000,
+			DupP:   float64(int(dupMil)%1001) / 1000,
+			HealAt: heal,
+		}
+		if burstLen > 0 {
+			start := sim.Time(int(burstStart) % 2000)
+			plan.Bursts = []sim.Burst{{Start: start, End: start + sim.Time(int(burstLen)%800) + 1, DropP: 0.95}}
+		}
+		if partLen > 0 {
+			var side []int
+			for v := 0; v < n; v++ {
+				if sideMask&(1<<v) != 0 {
+					side = append(side, v)
+				}
+			}
+			start := sim.Time(int(partStart) % 2000)
+			plan.Partitions = []sim.Partition{{Start: start, End: start + sim.Time(int(partLen)%800) + 1, Side: side}}
+		}
+		spec := Spec{
+			Graph:     graph.Ring(n),
+			Seed:      int64(seed) + 1,
+			Algorithm: Algorithm1,
+			Detector:  DetectorHeartbeat,
+			Heartbeat: DefaultHeartbeatParams(),
+			Workload:  runner.Saturated(),
+			Horizon:   horizon,
+			Faults:    plan,
+			Reliable:  true,
+		}
+		res, err := Execute(spec)
+		if err != nil {
+			t.Fatalf("setup rejected a valid spec: %v [%s]", err, spec.Ident())
+		}
+		if res.InvariantErr != nil {
+			t.Fatalf("invariant violated under healing adversary: %v [%s]", res.InvariantErr, spec.Ident())
+		}
+		res2, err := Execute(spec)
+		if err != nil {
+			t.Fatalf("second execution errored: %v", err)
+		}
+		if res.Summary() != res2.Summary() {
+			t.Fatalf("nondeterministic run [%s]:\nfirst:  %s\nsecond: %s",
+				spec.Ident(), res.Summary(), res2.Summary())
+		}
+	})
+}

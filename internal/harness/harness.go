@@ -1,8 +1,8 @@
-// Package harness assembles, executes, and reports the reproduction
-// experiments E1–E8 and the ablations A1–A2 catalogued in DESIGN.md.
-// Each experiment function returns text tables whose rows are recorded
-// in EXPERIMENTS.md; cmd/experiments regenerates them all and
-// bench_test.go wraps each one in a benchmark.
+// Package harness turns one experiment specification (topology,
+// algorithm, detector, seed, workload, fault plan) into one executed
+// simulation and a flat Result of everything the experiments observe.
+// The experiment catalogue itself lives in internal/experiments; the
+// parallel multi-spec engine lives in internal/sweep.
 package harness
 
 import (
@@ -193,9 +193,10 @@ func (r *Result) LiveCompleted() int {
 	return total
 }
 
-// processFactory maps the Algorithm enum (plus the ack budget) to a
-// runner factory.
-func processFactory(a Algorithm, acksPerSession int) runner.ProcessFactory {
+// ProcessFactory maps the Algorithm enum (plus the ack budget) to a
+// runner factory. Exported for the experiments package, whose custom
+// wirings (E7's stabilization arms) build runner configs directly.
+func ProcessFactory(a Algorithm, acksPerSession int) runner.ProcessFactory {
 	switch a {
 	case Algorithm1NoReplied:
 		return runner.CoreFactory(core.Options{DisableRepliedFlag: true})
@@ -255,15 +256,43 @@ func detectorFactory(spec Spec) runner.DetectorFactory {
 	}
 }
 
+// Executor runs specs one after another, recycling the metric
+// monitors' buffers between runs. A fresh Executor behaves exactly
+// like the package-level Execute; the difference is allocation, not
+// observable results — each run still gets its own kernel, RNG,
+// network, and processes, so results are independent of what the
+// Executor ran before (the sweep determinism-equivalence test enforces
+// this).
+//
+// An Executor is not safe for concurrent use; give each worker its
+// own.
+type Executor struct {
+	suite *metrics.Suite
+}
+
+// NewExecutor returns an empty Executor.
+func NewExecutor() *Executor { return &Executor{} }
+
 // Execute runs one spec to completion and gathers its result.
 func Execute(spec Spec) (Result, error) {
+	return NewExecutor().Execute(spec)
+}
+
+// Execute runs one spec to completion and gathers its result, reusing
+// the metric buffers of the Executor's previous run.
+func (e *Executor) Execute(spec Spec) (Result, error) {
 	if spec.Horizon <= 0 {
 		spec.Horizon = 20000
 	}
 	if spec.Delays == nil {
 		spec.Delays = sim.UniformDelay{Min: 1, Max: 4}
 	}
-	suite := metrics.NewSuite(spec.Graph)
+	if e.suite == nil {
+		e.suite = metrics.NewSuite(spec.Graph)
+	} else {
+		e.suite.Reset(spec.Graph)
+	}
+	suite := e.suite
 	var transport runner.TransportFactory
 	if spec.Reliable {
 		transport = runner.ReliableTransport(spec.RlinkOptions)
@@ -276,7 +305,7 @@ func Execute(spec Spec) (Result, error) {
 		Faults:       spec.Faults,
 		Transport:    transport,
 		NewDetector:  detectorFactory(spec),
-		NewProcess:   processFactory(spec.Algorithm, spec.AcksPerSession),
+		NewProcess:   ProcessFactory(spec.Algorithm, spec.AcksPerSession),
 		Workload:     spec.Workload,
 		OnTransition: suite.OnTransition,
 		OnCrash:      suite.OnCrash,
@@ -336,4 +365,38 @@ func Execute(spec Spec) (Result, error) {
 		res.AppEdgeOccupancy = link.MaxAppEdgeOccupancy()
 	}
 	return res, nil
+}
+
+// ExecuteRaw is Execute but returning the live suite and runner, for
+// experiments needing monitor internals. It always builds a fresh
+// suite (the caller keeps it, so there is nothing to recycle).
+func ExecuteRaw(spec Spec) (*metrics.Suite, *runner.Runner, error) {
+	if spec.Horizon <= 0 {
+		spec.Horizon = 20000
+	}
+	if spec.Delays == nil {
+		spec.Delays = sim.UniformDelay{Min: 1, Max: 4}
+	}
+	suite := metrics.NewSuite(spec.Graph)
+	r, err := runner.New(runner.Config{
+		Graph:        spec.Graph,
+		Colors:       spec.Colors,
+		Seed:         spec.Seed,
+		Delays:       spec.Delays,
+		NewDetector:  detectorFactory(spec),
+		NewProcess:   ProcessFactory(spec.Algorithm, spec.AcksPerSession),
+		Workload:     spec.Workload,
+		OnTransition: suite.OnTransition,
+		OnCrash:      suite.OnCrash,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	r.Network().SetObserver(suite.Observer())
+	for _, c := range spec.Crashes {
+		r.CrashAt(c.At, c.ID)
+	}
+	r.Run(spec.Horizon)
+	suite.Finish(spec.Horizon)
+	return suite, r, nil
 }

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// String implements fmt.Stringer.
+func (d DetectorKind) String() string {
+	switch d {
+	case DetectorNone:
+		return "none"
+	case DetectorPerfect:
+		return "perfect"
+	case DetectorHeartbeat:
+		return "heartbeat"
+	default:
+		return fmt.Sprintf("detector(%d)", int(d))
+	}
+}
+
+// Ident renders the spec's identity compactly enough to paste into an
+// experiment table yet completely enough to reproduce the run: graph
+// shape, algorithm, detector, seed, delays, workload, crash schedule,
+// and fault configuration. Two specs with equal Ident produce
+// bit-identical runs (function-typed delay models are identified by
+// type only — they cannot be serialized).
+func (s Spec) Ident() string {
+	var b strings.Builder
+	if s.Graph != nil {
+		fmt.Fprintf(&b, "graph{n=%d m=%d δ=%d}", s.Graph.N(), s.Graph.M(), s.Graph.MaxDegree())
+	} else {
+		b.WriteString("graph{nil}")
+	}
+	fmt.Fprintf(&b, " alg=%s", s.Algorithm)
+	if s.AcksPerSession != 0 {
+		fmt.Fprintf(&b, " acks=%d", s.AcksPerSession)
+	}
+	fmt.Fprintf(&b, " det=%s", s.Detector)
+	if s.Detector == DetectorPerfect {
+		fmt.Fprintf(&b, " lat=%d", s.PerfectLatency)
+	}
+	if s.Detector == DetectorHeartbeat {
+		fmt.Fprintf(&b, " hb=%v", s.Heartbeat)
+	}
+	fmt.Fprintf(&b, " seed=%d horizon=%d", s.Seed, s.Horizon)
+	fmt.Fprintf(&b, " delays=%s", formatValue(s.Delays))
+	fmt.Fprintf(&b, " workload=%v", s.Workload)
+	if len(s.Colors) > 0 {
+		fmt.Fprintf(&b, " colors=%v", s.Colors)
+	}
+	if len(s.Crashes) > 0 {
+		fmt.Fprintf(&b, " crashes=%v", s.Crashes)
+	}
+	if s.Faults != nil {
+		fmt.Fprintf(&b, " faults=%v", *s.Faults)
+	}
+	if s.Reliable {
+		fmt.Fprintf(&b, " reliable=%v", s.RlinkOptions)
+	}
+	return b.String()
+}
+
+// formatValue renders v as "Type{fields}"; function-typed values print
+// as their type name only, since a function body has no stable textual
+// form.
+func formatValue(v any) string {
+	if v == nil {
+		return "nil"
+	}
+	if reflect.ValueOf(v).Kind() == reflect.Func {
+		return fmt.Sprintf("%T", v)
+	}
+	return fmt.Sprintf("%T%v", v, v)
+}
+
+// Summary renders every observable of the result as one canonical
+// string: the same run always produces the same bytes, and any
+// difference between two runs of equal specs shows up as a byte
+// difference. The sweep engine stores these per spec, and the
+// determinism-equivalence test compares them across worker counts.
+func (r Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec{%s}", r.Spec.Ident())
+	fmt.Fprintf(&b, " violations=%d last=%d times=%v", r.Violations, r.LastViolation, r.ViolationTimes)
+	fmt.Fprintf(&b, " overtake{max=%d suffix=%d from=%d}", r.MaxOvertake, r.MaxOvertakeSuffix, r.SuffixStart)
+	fmt.Fprintf(&b, " sessions=%+v", r.Sessions)
+	fmt.Fprintf(&b, " perproc=%v starving=%v", r.PerProcess, r.Starving)
+	fmt.Fprintf(&b, " occupancy=%d msgs=%d", r.OccupancyHW, r.TotalMessages)
+	fmt.Fprintf(&b, " crashed{sends=%d last=%d quiescent=%v}", r.SendsToCrashed, r.LastSendToCrashed, r.QuiescentLastHalf)
+	fmt.Fprintf(&b, " fd{fp=%d last=%d end=%d msgs=%d}", r.FDFalsePositives, r.FDLastMistake, r.FDLastMistakeEnd, r.FDMessages)
+	fmt.Fprintf(&b, " wire{lost=%d dup=%d retx=%d retxCrashed=%d dedup=%d appDeliv=%d appOcc=%d}",
+		r.MessagesLost, r.Duplicated, r.Retransmits, r.RetxToCrashed, r.DupSuppressed, r.AppDelivered, r.AppEdgeOccupancy)
+	if r.InvariantErr != nil {
+		fmt.Fprintf(&b, " INVARIANT=%v", r.InvariantErr)
+	}
+	return b.String()
+}

@@ -92,14 +92,15 @@ func (m *ProgressMonitor) CompletedSessions() []int {
 	return out
 }
 
-// Stats aggregates latencies of completed sessions.
+// Stats aggregates latencies of completed sessions. It sorts the
+// sample buffer in place (the samples' arrival order is never read
+// back), so calling it costs no allocation even on long runs.
 func (m *ProgressMonitor) Stats() SessionStats {
 	s := SessionStats{Completed: len(m.latencies)}
 	if s.Completed == 0 {
 		return s
 	}
-	sorted := make([]sim.Time, len(m.latencies))
-	copy(sorted, m.latencies)
+	sorted := m.latencies
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
 	var sum sim.Time
 	for _, l := range sorted {

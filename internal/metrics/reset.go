@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"repro/internal/graph"
+)
+
+// Reset support. A sweep runs thousands of short simulations back to
+// back; constructing a fresh Suite per run makes the monitors' backing
+// slices and maps the dominant allocation. Each monitor therefore
+// knows how to return to its initial state while keeping its capacity,
+// and Suite.Reset rewinds the whole bundle for the next run. Reset
+// must leave a monitor observably identical to a newly constructed one
+// — the sweep determinism-equivalence test runs the same specs through
+// fresh and recycled suites and requires byte-identical results.
+
+// resize returns s with exactly n zeroed elements, reusing the backing
+// array when it is large enough.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Reset rewinds the monitor for a new run over conflict graph g.
+func (m *ExclusionMonitor) Reset(g *graph.Graph) {
+	m.g = g
+	m.eating = resize(m.eating, g.N())
+	m.crashed = resize(m.crashed, g.N())
+	m.viol = m.viol[:0]
+}
+
+// Reset rewinds the monitor for a new run over conflict graph g.
+func (m *OvertakeMonitor) Reset(g *graph.Graph) {
+	n := g.N()
+	m.g = g
+	m.hungryAt = resize(m.hungryAt, n)
+	m.hungry = resize(m.hungry, n)
+	m.crashed = resize(m.crashed, n)
+	if cap(m.count) < n {
+		m.count = make([][]int, n)
+	} else {
+		m.count = m.count[:n]
+	}
+	for i := range m.count {
+		m.count[i] = resize(m.count[i], n)
+	}
+	m.windows = m.windows[:0]
+}
+
+// Reset rewinds the monitor for a new run over n processes.
+func (m *ProgressMonitor) Reset(n int) {
+	m.n = n
+	m.hungryAt = resize(m.hungryAt, n)
+	m.hungry = resize(m.hungry, n)
+	m.crashed = resize(m.crashed, n)
+	m.perProc = resize(m.perProc, n)
+	m.latencies = m.latencies[:0]
+}
+
+// Reset rewinds the monitor for a new run over n processes.
+func (m *OccupancyMonitor) Reset(n int) {
+	m.n = n
+	clear(m.inTransit)
+	clear(m.highWater)
+}
+
+// Reset rewinds the monitor for a new run.
+func (m *QuiescenceMonitor) Reset() {
+	clear(m.crashedAt)
+	clear(m.sendsAfter)
+	clear(m.lastSendTo)
+	m.totalCrashed = 0
+}
+
+// Reset rewinds the monitor for a new run.
+func (m *MixMonitor) Reset() {
+	clear(m.counts)
+	m.other = 0
+}
+
+// Reset rewinds the monitor for a new run.
+func (m *ReliabilityMonitor) Reset() {
+	m.lost = 0
+	m.retransmits = 0
+	m.dupSuppressed = 0
+	clear(m.crashedAt)
+	m.retxToCrashed = 0
+	m.lastRetxToCrash = 0
+	m.haveRetxToCrash = false
+}
+
+// Reset rewinds every monitor for a new run over conflict graph g,
+// keeping allocated capacity. A Suite reset this way is observably
+// identical to NewSuite(g).
+func (s *Suite) Reset(g *graph.Graph) {
+	s.Exclusion.Reset(g)
+	s.Overtake.Reset(g)
+	s.Progress.Reset(g.N())
+	s.Occupancy.Reset(g.N())
+	s.Quiescence.Reset()
+	s.Mix.Reset()
+	s.Reliability.Reset()
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// feedScript drives one fixed synthetic history through a Suite: a
+// path graph where sessions complete, a neighbor overtakes, two
+// neighbors eat simultaneously (a violation), a process crashes and
+// still receives traffic, channels lose and duplicate messages, and
+// the rlink layer retransmits. Every monitor accumulates something.
+func feedScript(s *Suite) {
+	obs := s.Observer()
+	rl := s.Reliability.RlinkObserver()
+	msg := func(k core.MsgKind, from, to int) core.Message {
+		return core.Message{Kind: k, From: from, To: to}
+	}
+
+	// Session 1: process 0 eats while 1 waits hungry (overtake on 1).
+	s.OnTransition(5, 0, core.Thinking, core.Hungry)
+	s.OnTransition(6, 1, core.Thinking, core.Hungry)
+	obs.OnSend(6, 0, 1, msg(core.Ping, 0, 1))
+	obs.OnSend(6, 1, 0, msg(core.Ack, 1, 0))
+	obs.OnDeliver(7, 0, 1, msg(core.Ping, 0, 1))
+	obs.OnDeliver(7, 1, 0, msg(core.Ack, 1, 0))
+	s.OnTransition(8, 0, core.Hungry, core.Eating)
+	s.OnTransition(10, 0, core.Eating, core.Thinking)
+
+	// Process 0 again overtakes still-hungry 1, then 1 finally eats.
+	s.OnTransition(11, 0, core.Thinking, core.Hungry)
+	s.OnTransition(12, 0, core.Hungry, core.Eating)
+	s.OnTransition(14, 0, core.Eating, core.Thinking)
+	s.OnTransition(15, 1, core.Hungry, core.Eating)
+
+	// Violation: 2 starts eating while its neighbor 1 still eats.
+	s.OnTransition(16, 2, core.Thinking, core.Hungry)
+	obs.OnSend(16, 2, 1, msg(core.Request, 2, 1))
+	obs.OnSend(17, 1, 2, msg(core.Fork, 1, 2))
+	s.OnTransition(18, 2, core.Hungry, core.Eating)
+	s.OnTransition(19, 1, core.Eating, core.Thinking)
+	s.OnTransition(20, 2, core.Eating, core.Thinking)
+
+	// Channel faults: one message lost on the wire, one dropped at a
+	// partition, one non-dining payload.
+	obs.OnSend(22, 0, 1, msg(core.Ping, 0, 1))
+	obs.OnLose(23, 0, 1, msg(core.Ping, 0, 1))
+	obs.OnSend(22, 1, 2, "heartbeat")
+	obs.OnDrop(24, 1, 2, "heartbeat")
+
+	// Crash of 2; traffic addressed to it afterward, then retransmits.
+	s.OnCrash(30, 2)
+	obs.OnSend(31, 1, 2, msg(core.Ping, 1, 2))
+	obs.OnDeliver(32, 1, 2, msg(core.Ping, 1, 2))
+	rl.OnRetransmit(33, 1, 2, 7, msg(core.Ping, 1, 2))
+	rl.OnRetransmit(35, 0, 1, 3, msg(core.Request, 0, 1))
+	rl.OnDupSuppressed(36, 1, 0, 3)
+
+	// Process 1 goes hungry again and never eats: starving at the end.
+	s.OnTransition(40, 1, core.Thinking, core.Hungry)
+
+	s.Finish(100)
+}
+
+// snapshot renders every observable of every monitor as one canonical
+// string.
+func snapshot(s *Suite) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exclusion: count=%d after15=%d\n", s.Exclusion.Count(), s.Exclusion.CountAfter(15))
+	if last, ok := s.Exclusion.LastViolation(); ok {
+		fmt.Fprintf(&b, "exclusion: last=%d\n", last)
+	}
+	for _, v := range s.Exclusion.Violations() {
+		fmt.Fprintf(&b, "exclusion: violation=%+v\n", v)
+	}
+	fmt.Fprintf(&b, "overtake: max=%d from13=%d windows=%d\n",
+		s.Overtake.MaxCount(), s.Overtake.MaxCountFrom(13), len(s.Overtake.Windows()))
+	fmt.Fprintf(&b, "progress: stats=%+v completed=%v starving=%v\n",
+		s.Progress.Stats(), s.Progress.CompletedSessions(), s.Progress.Starving(100, 20))
+	if since, ok := s.Progress.HungrySince(1); ok {
+		fmt.Fprintf(&b, "progress: hungry1since=%d\n", since)
+	}
+	fmt.Fprintf(&b, "occupancy: max=%d edge01=%d edge12=%d\n",
+		s.Occupancy.MaxHighWater(), s.Occupancy.EdgeHighWater(0, 1), s.Occupancy.EdgeHighWater(1, 2))
+	fmt.Fprintf(&b, "quiescence: total=%d to2=%d quiescentBy50=%v\n",
+		s.Quiescence.TotalSendsAfterCrash(), s.Quiescence.SendsAfterCrash(2), s.Quiescence.QuiescentBy(50))
+	if last, ok := s.Quiescence.LastSendToCrashed(); ok {
+		fmt.Fprintf(&b, "quiescence: last=%d\n", last)
+	}
+	fmt.Fprintf(&b, "mix: ping=%d ack=%d request=%d fork=%d total=%d other=%d perSessionPingX100=%d\n",
+		s.Mix.Count(core.Ping), s.Mix.Count(core.Ack), s.Mix.Count(core.Request), s.Mix.Count(core.Fork),
+		s.Mix.Total(), s.Mix.Other(), s.Mix.PerSessionX100(core.Ping, s.Progress.Stats().Completed))
+	fmt.Fprintf(&b, "reliability: lost=%d retx=%d retxCrashed=%d dedup=%d\n",
+		s.Reliability.MessagesLost(), s.Reliability.Retransmits(),
+		s.Reliability.RetransmitsToCrashed(), s.Reliability.DupSuppressed())
+	if last, ok := s.Reliability.LastRetransmitToCrashed(); ok {
+		fmt.Fprintf(&b, "reliability: lastRetxCrashed=%d\n", last)
+	}
+	return b.String()
+}
+
+// TestSuiteGolden locks the whole-suite accounting of the scripted
+// history against a golden file.
+func TestSuiteGolden(t *testing.T) {
+	s := NewSuite(graph.Path(3))
+	feedScript(s)
+	got := snapshot(s)
+
+	path := filepath.Join("testdata", "suite_script.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test ./internal/metrics -run TestSuiteGolden -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("suite accounting drifted from golden:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// TestSuiteResetEquivalence is the contract behind Executor reuse: a
+// Suite polluted by one history and then Reset must be observably
+// identical to a brand-new Suite — same snapshot after the same feed,
+// even when the graph changes shape and size across the reset.
+func TestSuiteResetEquivalence(t *testing.T) {
+	fresh := NewSuite(graph.Path(3))
+	feedScript(fresh)
+
+	reused := NewSuite(graph.Ring(8))
+	feedScript(reused) // pollute every monitor on the other graph
+	for i := 0; i < 8; i++ {
+		reused.OnTransition(sim.Time(i), i, core.Thinking, core.Hungry)
+		reused.OnCrash(sim.Time(50+i), i)
+	}
+	reused.Reset(graph.Path(3))
+	feedScript(reused)
+
+	if got, want := snapshot(reused), snapshot(fresh); got != want {
+		t.Fatalf("reset suite diverged from fresh suite:\n--- reset\n%s--- fresh\n%s", got, want)
+	}
+
+	// Resetting to the same state twice must also be stable.
+	reused.Reset(graph.Path(3))
+	feedScript(reused)
+	if got, want := snapshot(reused), snapshot(fresh); got != want {
+		t.Fatalf("second reset diverged:\n--- reset\n%s--- fresh\n%s", got, want)
+	}
+}

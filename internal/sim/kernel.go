@@ -20,12 +20,16 @@ import (
 // Time is virtual time in abstract ticks.
 type Time int64
 
-// event is a scheduled callback.
+// event is a scheduled callback: either a plain closure (fn) or a
+// pre-bound call (fn1 applied to arg), which lets hot paths schedule
+// work without allocating a closure per event.
 type event struct {
 	at  Time
 	pri uint64 // simultaneity order, derived from the tie-break mode
 	seq uint64 // insertion order, the final tie-break
 	fn  func()
+	fn1 func(any)
+	arg any
 }
 
 // eventHeap is a min-heap ordered by (at, pri, seq).
@@ -77,6 +81,12 @@ type Kernel struct {
 	rng    *rand.Rand
 	steps  uint64
 	tie    TieBreak
+	// free recycles executed events. Ownership rule: an event belongs to
+	// the heap from At/AtCall until Step pops it; Step moves it to the
+	// free list *before* running its callback, so the callback (and
+	// anything it schedules) may reuse the object, but no one may retain
+	// a *event across Step.
+	free []*event
 }
 
 // NewKernel returns a kernel with its virtual clock at 0 and all
@@ -106,6 +116,26 @@ func (k *Kernel) Pending() int { return len(k.events) }
 // At schedules fn to run at virtual time t. Times in the past run at
 // the current time (never before already-executed events).
 func (k *Kernel) At(t Time, fn func()) {
+	e := k.newEvent(t)
+	e.fn = fn
+	heap.Push(&k.events, e)
+}
+
+// AtCall schedules fn(arg) at virtual time t. It is equivalent to
+// At(t, func() { fn(arg) }) but allocates nothing when fn is a
+// package-level function and arg is an already-boxed value, which makes
+// it the right call for per-message scheduling on hot paths.
+func (k *Kernel) AtCall(t Time, fn func(any), arg any) {
+	e := k.newEvent(t)
+	e.fn1 = fn
+	e.arg = arg
+	heap.Push(&k.events, e)
+}
+
+// newEvent takes an event from the free list (or allocates one), stamps
+// it with the scheduling time and tie-break priority, and returns it
+// with both callback slots empty.
+func (k *Kernel) newEvent(t Time) *event {
 	if t < k.now {
 		t = k.now
 	}
@@ -119,7 +149,18 @@ func (k *Kernel) At(t Time, fn func()) {
 	default:
 		pri = k.seq
 	}
-	heap.Push(&k.events, &event{at: t, pri: pri, seq: k.seq, fn: fn})
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = new(event)
+	}
+	e.at = t
+	e.pri = pri
+	e.seq = k.seq
+	return e
 }
 
 // After schedules fn to run d ticks from now.
@@ -139,7 +180,14 @@ func (k *Kernel) Step() bool {
 	e := heap.Pop(&k.events).(*event)
 	k.now = e.at
 	k.steps++
-	e.fn()
+	fn, fn1, arg := e.fn, e.fn1, e.arg
+	e.fn, e.fn1, e.arg = nil, nil, nil
+	k.free = append(k.free, e)
+	if fn1 != nil {
+		fn1(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 

@@ -78,17 +78,50 @@ func MultiObserver(list ...Observer) Observer {
 // deliveries to crashed processes (they would never process them) and
 // refuses sends from crashed processes (they no longer take steps).
 type Network struct {
-	k         *Kernel
-	delay     DelayModel
-	n         int
-	handlers  []Handler
-	crashed   []bool
-	crashAt   []Time
-	lastDeliv []Time // per ordered pair: latest scheduled delivery time
-	sentOn    []bool // per ordered pair: any message ever sent
-	stats     []PairStats
-	obs       Observer
-	faults    *compiledFaults
+	k        *Kernel
+	delay    DelayModel
+	n        int
+	handlers []Handler
+	crashed  []bool
+	crashAt  []Time
+	pairs    []pairState // one preallocated state per ordered pair
+	obs      Observer
+	faults   *compiledFaults
+	// freeDeliv recycles in-flight delivery records. Ownership rule: a
+	// record belongs to the wire from enqueue until runDelivery fires;
+	// runDelivery copies its fields out and returns it to the pool
+	// before invoking the handler, so handlers may send (and reuse it)
+	// but must never retain a *delivery.
+	freeDeliv []*delivery
+}
+
+// pairState is the per-ordered-pair channel state, kept in one slice so
+// a sweep constructing many networks allocates (and walks) one n²-sized
+// block instead of three.
+type pairState struct {
+	stats     PairStats
+	lastDeliv Time // latest scheduled delivery time
+	sentOn    bool // any message ever sent
+}
+
+// delivery is one wire copy scheduled for arrival, pooled to keep the
+// per-message path allocation-free.
+type delivery struct {
+	net      *Network
+	from, to int
+	payload  any
+	lost     bool
+}
+
+// runDelivery is the kernel callback for every scheduled arrival. It is
+// a package-level function so AtCall schedules it without a closure.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	net, from, to, payload, lost := d.net, d.from, d.to, d.payload, d.lost
+	d.net = nil
+	d.payload = nil
+	net.freeDeliv = append(net.freeDeliv, d)
+	net.deliver(from, to, payload, lost)
 }
 
 // NewNetwork creates a network of n processes over kernel k with the
@@ -98,15 +131,13 @@ func NewNetwork(k *Kernel, n int, delay DelayModel) *Network {
 		delay = FixedDelay{D: 1}
 	}
 	return &Network{
-		k:         k,
-		delay:     delay,
-		n:         n,
-		handlers:  make([]Handler, n),
-		crashed:   make([]bool, n),
-		crashAt:   make([]Time, n),
-		lastDeliv: make([]Time, n*n),
-		sentOn:    make([]bool, n*n),
-		stats:     make([]PairStats, n*n),
+		k:        k,
+		delay:    delay,
+		n:        n,
+		handlers: make([]Handler, n),
+		crashed:  make([]bool, n),
+		crashAt:  make([]Time, n),
+		pairs:    make([]pairState, n*n),
 	}
 }
 
@@ -193,16 +224,16 @@ func (net *Network) enqueue(from, to int, payload any, lost, dup bool) {
 		d = 0
 	}
 	at := now + d
-	p := net.pair(from, to)
+	ps := &net.pairs[net.pair(from, to)]
 	// FIFO: deliver strictly after every earlier message on the same
 	// channel. Strict (not just non-decreasing) so that per-channel
 	// order is independent of the kernel's simultaneity tie-breaking.
-	if net.sentOn[p] && at <= net.lastDeliv[p] {
-		at = net.lastDeliv[p] + 1
+	if ps.sentOn && at <= ps.lastDeliv {
+		at = ps.lastDeliv + 1
 	}
-	net.sentOn[p] = true
-	net.lastDeliv[p] = at
-	st := &net.stats[p]
+	ps.sentOn = true
+	ps.lastDeliv = at
+	st := &ps.stats
 	st.Sent++
 	if dup {
 		st.Duplicated++
@@ -214,12 +245,23 @@ func (net *Network) enqueue(from, to int, payload any, lost, dup bool) {
 	if net.obs.OnSend != nil {
 		net.obs.OnSend(now, from, to, payload)
 	}
-	net.k.At(at, func() { net.deliver(from, to, payload, lost) })
+	var dv *delivery
+	if n := len(net.freeDeliv); n > 0 {
+		dv = net.freeDeliv[n-1]
+		net.freeDeliv[n-1] = nil
+		net.freeDeliv = net.freeDeliv[:n-1]
+	} else {
+		dv = new(delivery)
+	}
+	dv.net = net
+	dv.from, dv.to = from, to
+	dv.payload = payload
+	dv.lost = lost
+	net.k.AtCall(at, runDelivery, dv)
 }
 
 func (net *Network) deliver(from, to int, payload any, lost bool) {
-	p := net.pair(from, to)
-	st := &net.stats[p]
+	st := &net.pairs[net.pair(from, to)].stats
 	st.InTransit--
 	if lost {
 		st.Lost++
@@ -289,7 +331,7 @@ func (net *Network) Stats(from, to int) PairStats {
 	if from < 0 || from >= net.n || to < 0 || to >= net.n {
 		return PairStats{}
 	}
-	return net.stats[net.pair(from, to)]
+	return net.pairs[net.pair(from, to)].stats
 }
 
 // EdgeHighWater returns the maximum number of simultaneously in-transit
@@ -306,8 +348,8 @@ func (net *Network) EdgeHighWater(u, v int) int {
 // TotalSent returns the total number of messages sent on the network.
 func (net *Network) TotalSent() uint64 {
 	var total uint64
-	for i := range net.stats {
-		total += net.stats[i].Sent
+	for i := range net.pairs {
+		total += net.pairs[i].stats.Sent
 	}
 	return total
 }
@@ -315,8 +357,8 @@ func (net *Network) TotalSent() uint64 {
 // TotalInTransit returns the number of messages currently in flight.
 func (net *Network) TotalInTransit() int {
 	total := 0
-	for i := range net.stats {
-		total += net.stats[i].InTransit
+	for i := range net.pairs {
+		total += net.pairs[i].stats.InTransit
 	}
 	return total
 }
@@ -325,8 +367,8 @@ func (net *Network) TotalInTransit() int {
 // destroyed.
 func (net *Network) TotalLost() uint64 {
 	var total uint64
-	for i := range net.stats {
-		total += net.stats[i].Lost
+	for i := range net.pairs {
+		total += net.pairs[i].stats.Lost
 	}
 	return total
 }
@@ -335,8 +377,8 @@ func (net *Network) TotalLost() uint64 {
 // channel faults created.
 func (net *Network) TotalDuplicated() uint64 {
 	var total uint64
-	for i := range net.stats {
-		total += net.stats[i].Duplicated
+	for i := range net.pairs {
+		total += net.pairs[i].stats.Duplicated
 	}
 	return total
 }

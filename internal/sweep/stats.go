@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"sort"
+
+	"repro/internal/harness"
+)
+
+// Stats summarizes one metric across the non-failed outcomes of a
+// sweep.
+type Stats struct {
+	N              int
+	Min, Mean, Max float64
+	P50, P90, P99  float64
+}
+
+// Aggregate pairs a metric name with its cross-spec statistics.
+type Aggregate struct {
+	Metric string
+	Stats  Stats
+}
+
+// metricOrder fixes the metrics extracted from every result and their
+// order in Report.Aggregates (and in cmd/bench's JSON).
+var metricOrder = []string{
+	"sessions-completed",
+	"mean-latency-x100",
+	"p99-latency",
+	"max-latency",
+	"violations",
+	"max-overtake",
+	"suffix-overtake",
+	"edge-occupancy",
+	"messages",
+	"fd-false-positives",
+	"sends-to-crashed",
+	"messages-lost",
+	"retransmits",
+}
+
+// metricsOf extracts the aggregate-relevant observables of one result,
+// parallel to metricOrder.
+func metricsOf(r *harness.Result) []float64 {
+	return []float64{
+		float64(r.Sessions.Completed),
+		float64(r.Sessions.MeanX100),
+		float64(r.Sessions.P99),
+		float64(r.Sessions.MaxLatency),
+		float64(r.Violations),
+		float64(r.MaxOvertake),
+		float64(r.MaxOvertakeSuffix),
+		float64(r.OccupancyHW),
+		float64(r.TotalMessages),
+		float64(r.FDFalsePositives),
+		float64(r.SendsToCrashed),
+		float64(r.MessagesLost),
+		float64(r.Retransmits),
+	}
+}
+
+// aggregate computes per-metric statistics over the clean outcomes.
+func aggregate(outcomes []Outcome) []Aggregate {
+	cols := make([][]float64, len(metricOrder))
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Failed() {
+			continue
+		}
+		for c, v := range metricsOf(&o.Result) {
+			cols[c] = append(cols[c], v)
+		}
+	}
+	aggs := make([]Aggregate, len(metricOrder))
+	for c, name := range metricOrder {
+		aggs[c] = Aggregate{Metric: name, Stats: statsOf(cols[c])}
+	}
+	return aggs
+}
+
+// statsOf computes Stats over values (nearest-rank percentiles, the
+// same convention the metrics package uses for session latency).
+func statsOf(values []float64) Stats {
+	if len(values) == 0 {
+		return Stats{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(q int) float64 {
+		idx := len(sorted) * q / 100
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return Stats{
+		N:    len(sorted),
+		Min:  sorted[0],
+		Mean: sum / float64(len(sorted)),
+		Max:  sorted[len(sorted)-1],
+		P50:  pct(50),
+		P90:  pct(90),
+		P99:  pct(99),
+	}
+}

@@ -1,0 +1,176 @@
+// Package sweep is the parallel experiment engine: it fans a list of
+// harness specs across a pool of workers, each running fully isolated
+// deterministic kernels, and merges the results back in spec order
+// with aggregate statistics.
+//
+// Determinism contract: the result (and canonical Summary) of each
+// spec is a pure function of that spec alone. Every worker owns a
+// private harness.Executor; a run's kernel, RNG, network, and monitors
+// are created (or reset to an as-new state) per spec, and nothing
+// about scheduling order, worker count, or which worker picks up which
+// spec can influence a result. Run(specs, workers=1) and Run(specs,
+// workers=N) therefore produce byte-identical per-spec summaries — a
+// property test in this package executes random spec batches both ways
+// and compares the bytes. Only Report.Wall (host wall-clock) varies.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// Options tune a sweep.
+type Options struct {
+	// Workers is the pool size; <=0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Outcome is one spec's execution: its result, or the error that
+// prevented one.
+type Outcome struct {
+	Index   int
+	Spec    harness.Spec
+	Result  harness.Result
+	Err     error
+	Summary string // canonical Result.Summary ("" when Err != nil)
+}
+
+// Failed reports whether the run errored at setup, panicked, or
+// finished with a protocol-invariant violation.
+func (o *Outcome) Failed() bool {
+	return o.Err != nil || o.Result.InvariantErr != nil
+}
+
+// FailureNote renders why the outcome failed, with the spec identity
+// attached so the failing cell alone reproduces the run.
+func (o *Outcome) FailureNote() string {
+	switch {
+	case o.Err != nil:
+		return fmt.Sprintf("%v [%s]", o.Err, o.Spec.Ident())
+	case o.Result.InvariantErr != nil:
+		return fmt.Sprintf("%v [%s]", o.Result.InvariantErr, o.Spec.Ident())
+	default:
+		return ""
+	}
+}
+
+// Report is a completed sweep: per-spec outcomes in spec order plus
+// aggregate statistics.
+type Report struct {
+	Outcomes []Outcome
+	// Aggregates holds min/mean/max/percentile statistics per metric
+	// over the non-failed outcomes, in a fixed metric order.
+	Aggregates []Aggregate
+	// FirstFailure points at the lowest-index failed outcome (nil when
+	// the sweep is clean) — the repro handle for a broken sweep.
+	FirstFailure *Outcome
+	// Workers is the pool size actually used.
+	Workers int
+	// Wall is host wall-clock for the whole sweep. It is the only
+	// nondeterministic field of a Report.
+	Wall time.Duration
+}
+
+// Results returns the per-spec results in spec order. Failed specs
+// contribute their zero-or-partial Result.
+func (r *Report) Results() []harness.Result {
+	out := make([]harness.Result, len(r.Outcomes))
+	for i := range r.Outcomes {
+		out[i] = r.Outcomes[i].Result
+	}
+	return out
+}
+
+// Summaries returns the canonical per-spec result summaries in spec
+// order ("" for failed specs).
+func (r *Report) Summaries() []string {
+	out := make([]string, len(r.Outcomes))
+	for i := range r.Outcomes {
+		out[i] = r.Outcomes[i].Summary
+	}
+	return out
+}
+
+// SeedRange expands a spec template into count specs whose seeds are
+// firstSeed, firstSeed+1, ... — the multi-seed sweep shape behind the
+// robustness experiments and the benchmark harness.
+func SeedRange(tpl harness.Spec, firstSeed int64, count int) []harness.Spec {
+	specs := make([]harness.Spec, count)
+	for i := range specs {
+		specs[i] = tpl
+		specs[i].Seed = firstSeed + int64(i)
+	}
+	return specs
+}
+
+// Run executes every spec and merges the outcomes in spec order.
+func Run(specs []harness.Spec, opts Options) *Report {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	start := time.Now()
+	outcomes := make([]Outcome, len(specs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex := harness.NewExecutor()
+			for i := range jobs {
+				outcomes[i] = execOne(ex, i, specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := &Report{
+		Outcomes: outcomes,
+		Workers:  workers,
+		Wall:     time.Since(start),
+	}
+	for i := range rep.Outcomes {
+		if rep.Outcomes[i].Failed() {
+			rep.FirstFailure = &rep.Outcomes[i]
+			break
+		}
+	}
+	rep.Aggregates = aggregate(outcomes)
+	return rep
+}
+
+// execOne runs a single spec on the worker's executor, converting a
+// panic into an error outcome so one bad spec cannot deadlock the
+// pool.
+func execOne(ex *harness.Executor, i int, spec harness.Spec) (out Outcome) {
+	out = Outcome{Index: i, Spec: spec}
+	defer func() {
+		if p := recover(); p != nil {
+			out.Err = fmt.Errorf("sweep: spec %d panicked: %v", i, p)
+			out.Summary = ""
+		}
+	}()
+	res, err := ex.Execute(spec)
+	out.Result = res
+	out.Err = err
+	if err == nil {
+		out.Summary = res.Summary()
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// randomSpec draws one arbitrary-but-valid spec. Everything is derived
+// from rng, so the batch itself is reproducible.
+func randomSpec(rng *rand.Rand) harness.Spec {
+	var g *graph.Graph
+	switch rng.Intn(5) {
+	case 0:
+		g = graph.Ring(3 + rng.Intn(10))
+	case 1:
+		g = graph.Path(2 + rng.Intn(6))
+	case 2:
+		g = graph.Star(3 + rng.Intn(6))
+	case 3:
+		g = graph.Grid(2+rng.Intn(3), 2+rng.Intn(3))
+	default:
+		g = graph.Clique(3 + rng.Intn(4))
+	}
+	algs := []harness.Algorithm{
+		harness.Algorithm1, harness.Algorithm1NoReplied,
+		harness.ChoySingh, harness.Forks, harness.Hygienic, harness.HygienicFD,
+	}
+	spec := harness.Spec{
+		Graph:     g,
+		Seed:      rng.Int63n(1 << 30),
+		Algorithm: algs[rng.Intn(len(algs))],
+		Workload:  runner.Saturated(),
+		Horizon:   sim.Time(2000 + rng.Intn(2000)),
+	}
+	switch rng.Intn(3) {
+	case 0:
+		spec.Delays = sim.FixedDelay{D: sim.Time(1 + rng.Intn(3))}
+	case 1:
+		spec.Delays = sim.UniformDelay{Min: 1, Max: sim.Time(2 + rng.Intn(10))}
+	default:
+		spec.Delays = sim.SpikeDelay{Base: 2, Spike: sim.Time(20 + rng.Intn(50)), SpikeP: 0.1}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		spec.Detector = harness.DetectorPerfect
+		spec.PerfectLatency = sim.Time(5 + rng.Intn(20))
+	case 1:
+		spec.Detector = harness.DetectorHeartbeat
+		spec.Heartbeat = harness.DefaultHeartbeatParams()
+	}
+	if spec.Algorithm == harness.Algorithm1 && rng.Intn(2) == 0 {
+		spec.AcksPerSession = 1 + rng.Intn(3)
+	}
+	for c := rng.Intn(3); c > 0; c-- {
+		spec.Crashes = append(spec.Crashes, harness.Crash{
+			At: sim.Time(200 + rng.Intn(1500)),
+			ID: rng.Intn(g.N()),
+		})
+	}
+	return spec
+}
+
+// TestDeterminismEquivalence is the property test behind the package's
+// determinism contract (and ISSUE acceptance criterion): for a batch
+// of ≥50 random specs, a sequential sweep and an 8-worker sweep must
+// produce byte-identical per-spec result summaries.
+func TestDeterminismEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specs := make([]harness.Spec, 50)
+	for i := range specs {
+		specs[i] = randomSpec(rng)
+	}
+	seq := Run(specs, Options{Workers: 1})
+	par := Run(specs, Options{Workers: 8})
+	if seq.Workers != 1 {
+		t.Fatalf("sequential sweep used %d workers", seq.Workers)
+	}
+	for i := range specs {
+		a, b := seq.Outcomes[i], par.Outcomes[i]
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("spec %d: error mismatch: %v vs %v", i, a.Err, b.Err)
+		}
+		if a.Summary != b.Summary {
+			t.Fatalf("spec %d (%s): summaries differ across worker counts:\nworkers=1: %s\nworkers=8: %s",
+				i, specs[i].Ident(), a.Summary, b.Summary)
+		}
+	}
+	// The merged views must agree too.
+	for i, s := range seq.Summaries() {
+		if par.Summaries()[i] != s {
+			t.Fatalf("merged summaries diverge at %d", i)
+		}
+	}
+	for i, agg := range seq.Aggregates {
+		if par.Aggregates[i] != agg {
+			t.Fatalf("aggregate %s diverges: %+v vs %+v", agg.Metric, agg, par.Aggregates[i])
+		}
+	}
+}
+
+// TestExecutorReuseMatchesFresh re-runs one worker's job stream on a
+// single reused Executor and checks each result matches a fresh
+// Execute — monitor recycling must be observably invisible.
+func TestExecutorReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ex := harness.NewExecutor()
+	for i := 0; i < 12; i++ {
+		spec := randomSpec(rng)
+		reused, err1 := ex.Execute(spec)
+		fresh, err2 := harness.Execute(spec)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("spec %d: error mismatch: %v vs %v", i, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if got, want := reused.Summary(), fresh.Summary(); got != want {
+			t.Fatalf("spec %d (%s): reused executor diverged:\nreused: %s\nfresh:  %s",
+				i, spec.Ident(), got, want)
+		}
+	}
+}
+
+func TestSeedRange(t *testing.T) {
+	tpl := harness.Spec{Graph: graph.Ring(4), Algorithm: harness.Algorithm1, Horizon: 100}
+	specs := SeedRange(tpl, 5, 3)
+	if len(specs) != 3 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	for i, s := range specs {
+		if s.Seed != int64(5+i) {
+			t.Fatalf("spec %d seed = %d", i, s.Seed)
+		}
+		if s.Graph != tpl.Graph || s.Horizon != tpl.Horizon {
+			t.Fatalf("spec %d lost template fields", i)
+		}
+	}
+}
+
+func TestRunReportsFirstFailureAndAggregates(t *testing.T) {
+	good := harness.Spec{
+		Graph: graph.Ring(5), Seed: 3, Algorithm: harness.Algorithm1,
+		Workload: runner.Saturated(), Horizon: 2000,
+	}
+	bad := good
+	bad.Graph = nil // runner setup must fail
+	rep := Run([]harness.Spec{good, bad, good}, Options{Workers: 2})
+	if rep.FirstFailure == nil || rep.FirstFailure.Index != 1 {
+		t.Fatalf("FirstFailure = %+v, want index 1", rep.FirstFailure)
+	}
+	if rep.Outcomes[1].Err == nil {
+		t.Fatal("bad spec did not error")
+	}
+	if note := rep.Outcomes[1].FailureNote(); !strings.Contains(note, "graph{nil}") {
+		t.Fatalf("failure note lacks spec identity: %q", note)
+	}
+	if rep.Outcomes[0].Err != nil || rep.Outcomes[2].Err != nil {
+		t.Fatal("good specs errored")
+	}
+	if rep.Outcomes[0].Summary != rep.Outcomes[2].Summary {
+		t.Fatal("identical specs produced different summaries")
+	}
+	// Aggregates cover only the two clean outcomes.
+	if len(rep.Aggregates) == 0 {
+		t.Fatal("no aggregates")
+	}
+	for _, agg := range rep.Aggregates {
+		if agg.Stats.N != 2 {
+			t.Fatalf("aggregate %s N = %d, want 2", agg.Metric, agg.Stats.N)
+		}
+		if agg.Stats.Min > agg.Stats.Mean || agg.Stats.Mean > agg.Stats.Max {
+			t.Fatalf("aggregate %s unordered: %+v", agg.Metric, agg.Stats)
+		}
+	}
+	if len(rep.Results()) != 3 {
+		t.Fatal("Results length")
+	}
+}
+
+// TestRunRecoversPanics forces a panic inside a run (a delay model that
+// explodes) and checks the pool converts it into an error outcome
+// instead of dying.
+func TestRunRecoversPanics(t *testing.T) {
+	spec := harness.Spec{
+		Graph: graph.Ring(4), Seed: 1, Algorithm: harness.Algorithm1,
+		Workload: runner.Saturated(), Horizon: 500,
+		Delays: sim.DelayFunc(func(sim.Time, int, int, *rand.Rand) sim.Time {
+			panic("boom")
+		}),
+	}
+	rep := Run([]harness.Spec{spec}, Options{Workers: 1})
+	if rep.Outcomes[0].Err == nil || !strings.Contains(rep.Outcomes[0].Err.Error(), "panicked") {
+		t.Fatalf("panic not recovered: %+v", rep.Outcomes[0].Err)
+	}
+	if !rep.Outcomes[0].Failed() || rep.FirstFailure == nil {
+		t.Fatal("panicked outcome not marked failed")
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	s := statsOf([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.P50 != 2 || s.P99 != 3 {
+		t.Fatalf("percentiles = %+v", s)
+	}
+	if z := statsOf(nil); z != (Stats{}) {
+		t.Fatalf("empty stats = %+v", z)
+	}
+}
