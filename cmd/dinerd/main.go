@@ -1,0 +1,144 @@
+// Command dinerd is one node of a real-network dining cluster. Every
+// daemon loads the same topology file — the conflict graph in the
+// edge-list syntax internal/graph speaks, plus one "node <addr>
+// <proc>..." line per daemon — and is told which node it is. It then
+// hosts those philosophers, speaks the internal/wire protocol over TCP
+// to the peers hosting its neighbors, and keeps dining through peer
+// restarts and crashes (Algorithm 1's wait-freedom, over real sockets).
+//
+// A 3-ring over three daemons, each in its own terminal:
+//
+//	dinerd -topology ring3.topo -node 0 -http 127.0.0.1:8000
+//	dinerd -topology ring3.topo -node 1 -http 127.0.0.1:8001
+//	dinerd -topology ring3.topo -node 2 -http 127.0.0.1:8002
+//
+// where ring3.topo is:
+//
+//	n 3
+//	0 1
+//	1 2
+//	2 0
+//	node 127.0.0.1:7000 0
+//	node 127.0.0.1:7001 1
+//	node 127.0.0.1:7002 2
+//
+// -http serves GET /status (JSON: per-process dining state, eat
+// counts, suspect sets, per-peer link health, and the per-edge
+// in-transit high-water mark from the paper's Section 7) and the
+// standard /debug/pprof endpoints. SIGINT/SIGTERM shut the node down
+// cleanly; from its peers' point of view that is indistinguishable
+// from a crash, which is exactly the failure model the algorithm
+// tolerates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/remote"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dinerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("dinerd", flag.ContinueOnError)
+	var (
+		topoPath  = fs.String("topology", "", "shared cluster topology file (required)")
+		nodeIdx   = fs.Int("node", -1, "index of this daemon's node line in the topology (required)")
+		httpAddr  = fs.String("http", "", "serve /status and /debug/pprof on this address (optional)")
+		heartbeat = fs.Duration("heartbeat", 25*time.Millisecond, "failure-detector heartbeat period")
+		timeout   = fs.Duration("timeout", 500*time.Millisecond, "initial failure-detector timeout")
+		eat       = fs.Duration("eat", 50*time.Millisecond, "time spent eating per session")
+		think     = fs.Duration("think", 50*time.Millisecond, "time spent thinking between sessions")
+		rto       = fs.Duration("rto", 30*time.Millisecond, "initial retransmission timeout")
+		seed      = fs.Int64("seed", 1, "seed for retransmission/dial jitter")
+		verbose   = fs.Bool("v", false, "log transport and detector events")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *topoPath == "" || *nodeIdx < 0 {
+		fs.Usage()
+		return fmt.Errorf("-topology and -node are required")
+	}
+
+	f, err := os.Open(*topoPath)
+	if err != nil {
+		return err
+	}
+	topo, err := remote.ParseTopology(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if *nodeIdx >= len(topo.Nodes) {
+		return fmt.Errorf("-node %d out of range: topology has %d nodes", *nodeIdx, len(topo.Nodes))
+	}
+
+	logger := log.New(os.Stderr, fmt.Sprintf("dinerd[%d] ", *nodeIdx), log.LstdFlags|log.Lmicroseconds)
+	cfg := remote.Config{
+		Topology:        topo,
+		Node:            *nodeIdx,
+		HeartbeatPeriod: *heartbeat,
+		InitialTimeout:  *timeout,
+		EatTime:         *eat,
+		ThinkTime:       *think,
+		RTO:             *rto,
+		Seed:            *seed,
+		OnEat: func(proc int) {
+			logger.Printf("process %d eating", proc)
+		},
+	}
+	if *verbose {
+		cfg.Logf = logger.Printf
+	}
+
+	node, err := remote.NewNode(cfg)
+	if err != nil {
+		return err
+	}
+	if err := node.Start(); err != nil {
+		return err
+	}
+	logger.Printf("listening on %s, hosting processes %v", node.Addr(), topo.Nodes[*nodeIdx].Procs)
+
+	var httpLn net.Listener
+	if *httpAddr != "" {
+		httpLn, err = net.Listen("tcp", *httpAddr)
+		if err != nil {
+			node.Stop()
+			return err
+		}
+		logger.Printf("status on http://%s/status", httpLn.Addr())
+		go func() {
+			if serr := http.Serve(httpLn, node.Handler()); serr != nil {
+				logger.Printf("http server stopped: %v", serr)
+			}
+		}()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigs
+	logger.Printf("received %v, shutting down", sig)
+	if httpLn != nil {
+		httpLn.Close()
+	}
+	node.Stop()
+	if err := node.Err(); err != nil {
+		return fmt.Errorf("protocol invariant violated during run: %w", err)
+	}
+	return nil
+}

@@ -35,7 +35,10 @@ import (
 )
 
 // Scope lists the packages that must stay deterministic. Tests extend
-// it with fixture packages.
+// it with fixture packages. The real-network packages (internal/wire,
+// internal/remote) are deliberately absent: they exist to touch wall
+// clocks, sockets, and goroutines, and are covered by lockheld
+// instead.
 var Scope = []string{
 	"repro/internal/core",
 	"repro/internal/sim",

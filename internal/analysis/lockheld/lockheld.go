@@ -34,6 +34,9 @@ import (
 var Scope = []string{
 	"repro/internal/live",
 	"repro/internal/rlink",
+	"repro/internal/remote",
+	"repro/internal/remote/cluster",
+	"repro/internal/wire",
 	"repro/dining",
 }
 

@@ -1,0 +1,82 @@
+// Package backoff is the one retransmission/reconnection backoff
+// policy shared by every layer that re-offers work to an unresponsive
+// peer: the deterministic ARQ sublayer (internal/rlink), the live
+// runtime's lossy-edge forwarders (internal/live), and the real-network
+// transport (internal/remote). Before this package each of those
+// carried its own copy of "double the delay, clamp at a maximum, add a
+// little jitter"; centralizing it keeps the tuning story in one place
+// and lets the three runtimes be compared like-for-like.
+//
+// A Policy is expressed over an abstract int64 duration unit so the
+// same arithmetic serves sim.Time ticks (virtual time) and
+// time.Duration nanoseconds (wall time). The policy itself is pure:
+// jitter randomness is drawn from a caller-supplied source, so the
+// deterministic packages keep their seed discipline (detpure,
+// seedhygiene) while wall-clock callers can pass any rand they like.
+package backoff
+
+// Policy is an exponential backoff schedule: delays start at Initial,
+// double on each consecutive failure, clamp at Max, and optionally
+// carry a uniform [0, Jitter] additive term to decorrelate bursts
+// across independent edges. All fields share one abstract time unit
+// chosen by the caller (simulator ticks or nanoseconds).
+type Policy struct {
+	// Initial is the first delay. Normalized replaces a non-positive
+	// value with a caller default.
+	Initial int64
+	// Max clamps the doubling. Normalized raises it to at least
+	// Initial.
+	Max int64
+	// Jitter is the upper bound of the uniform additive term applied by
+	// Jittered. Zero in Normalized selects the caller default; negative
+	// disables jitter.
+	Jitter int64
+}
+
+// Normalized returns p with zero-value fields replaced by the given
+// defaults and the invariants restored: Initial > 0, Max >= Initial,
+// Jitter >= 0 (a negative Jitter means "explicitly none" and becomes
+// zero).
+func (p Policy) Normalized(initial, max, jitter int64) Policy {
+	if p.Initial <= 0 {
+		p.Initial = initial
+	}
+	if p.Max <= 0 {
+		p.Max = max
+	}
+	if p.Max < p.Initial {
+		p.Max = p.Initial
+	}
+	if p.Jitter == 0 {
+		p.Jitter = jitter
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// Next returns the delay following cur: doubled and clamped at Max. A
+// cur below Initial (including zero) restarts the schedule at Initial.
+func (p Policy) Next(cur int64) int64 {
+	if cur < p.Initial {
+		return p.Initial
+	}
+	if cur >= p.Max/2 {
+		// Doubling would reach or overflow the clamp.
+		return p.Max
+	}
+	return cur * 2
+}
+
+// Jittered returns d plus a uniform draw in [0, Jitter] obtained from
+// intn, which must behave like rand.Int63n (return a value in [0, n)).
+// With a nil intn or a zero Jitter the delay is returned unchanged, so
+// callers without a randomness source simply get the deterministic
+// schedule.
+func (p Policy) Jittered(d int64, intn func(n int64) int64) int64 {
+	if p.Jitter <= 0 || intn == nil {
+		return d
+	}
+	return d + intn(p.Jitter+1)
+}

@@ -1,0 +1,83 @@
+package backoff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalizedDefaults(t *testing.T) {
+	p := Policy{}.Normalized(12, 200, 3)
+	if p.Initial != 12 || p.Max != 200 || p.Jitter != 3 {
+		t.Fatalf("zero policy normalized to %+v, want {12 200 3}", p)
+	}
+}
+
+func TestNormalizedPreservesExplicit(t *testing.T) {
+	p := Policy{Initial: 5, Max: 7, Jitter: 1}.Normalized(12, 200, 3)
+	if p.Initial != 5 || p.Max != 7 || p.Jitter != 1 {
+		t.Fatalf("explicit policy changed: %+v", p)
+	}
+}
+
+func TestNormalizedRaisesMaxToInitial(t *testing.T) {
+	p := Policy{Initial: 50, Max: 10}.Normalized(12, 200, 3)
+	if p.Max != 50 {
+		t.Fatalf("Max = %d, want raised to Initial 50", p.Max)
+	}
+}
+
+func TestNormalizedNegativeJitterMeansNone(t *testing.T) {
+	p := Policy{Jitter: -1}.Normalized(12, 200, 3)
+	if p.Jitter != 0 {
+		t.Fatalf("Jitter = %d, want 0", p.Jitter)
+	}
+}
+
+func TestNextDoublesAndClamps(t *testing.T) {
+	p := Policy{Initial: 10, Max: 75}
+	want := []int64{10, 20, 40, 75, 75}
+	d := int64(0)
+	for i, w := range want {
+		d = p.Next(d)
+		if d != w {
+			t.Fatalf("step %d: delay %d, want %d", i, d, w)
+		}
+	}
+}
+
+func TestNextRestartsBelowInitial(t *testing.T) {
+	p := Policy{Initial: 10, Max: 100}
+	if got := p.Next(3); got != 10 {
+		t.Fatalf("Next(3) = %d, want restart at 10", got)
+	}
+}
+
+func TestNextNoOverflow(t *testing.T) {
+	p := Policy{Initial: 1, Max: math.MaxInt64}
+	d := int64(math.MaxInt64/2 + 1)
+	if got := p.Next(d); got != p.Max {
+		t.Fatalf("Next near overflow = %d, want clamp %d", got, p.Max)
+	}
+}
+
+func TestJitteredBounds(t *testing.T) {
+	p := Policy{Initial: 10, Max: 100, Jitter: 5}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		d := p.Jittered(10, rng.Int63n)
+		if d < 10 || d > 15 {
+			t.Fatalf("jittered delay %d outside [10, 15]", d)
+		}
+	}
+}
+
+func TestJitteredNilSourceOrZeroJitter(t *testing.T) {
+	if got := (Policy{Jitter: 5}).Jittered(10, nil); got != 10 {
+		t.Fatalf("nil intn: got %d, want 10", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := (Policy{Jitter: 0}).Jittered(10, rng.Int63n); got != 10 {
+		t.Fatalf("zero jitter: got %d, want 10", got)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -41,6 +42,15 @@ import (
 // per-edge occupancy by 4; 8 per direction leaves margin so that a
 // full channel can only mean an algorithm bug.
 const edgeCap = 8
+
+// forwarderBackoff is the retransmission schedule a lossy-edge
+// forwarder sleeps through while a frame is "lost": the shared policy
+// (see internal/backoff), in nanoseconds, jitterless — the per-edge
+// fault RNG already decorrelates edges.
+var forwarderBackoff = backoff.Policy{
+	Initial: int64(time.Millisecond),
+	Max:     int64(8 * time.Millisecond),
+}
 
 // Config assembles a live System.
 type Config struct {
@@ -328,7 +338,8 @@ func (s *System) Start() {
 // through, then posted — possibly twice (duplication). Returns false if
 // the system stopped or the destination died mid-backoff.
 func (s *System) forward(rng *rand.Rand, dst *proc, from int, f liveFrame) bool {
-	backoff := time.Millisecond
+	pol := forwarderBackoff
+	wait := time.Duration(pol.Next(0))
 	for time.Now().Before(s.faultUntil) && rng.Float64() < s.cfg.LossP {
 		s.tracker.retransmit()
 		select {
@@ -336,11 +347,9 @@ func (s *System) forward(rng *rand.Rand, dst *proc, from int, f liveFrame) bool 
 			return false
 		case <-dst.dead:
 			return false
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		}
-		if backoff < 8*time.Millisecond {
-			backoff *= 2
-		}
+		wait = time.Duration(pol.Next(int64(wait)))
 	}
 	dst.post(event{kind: evMessage, msg: f.msg, from: from, seq: f.seq})
 	if time.Now().Before(s.faultUntil) && rng.Float64() < s.cfg.DupP {

@@ -1,0 +1,276 @@
+// Package cluster is a test harness for the real-network runtime: it
+// stands up an N-node dining cluster on localhost loopback TCP and
+// watches it with the same metrics monitors the simulator uses
+// (exclusion violations, per-process progress), so the paper's
+// properties — ◇WX, no starvation, wait-freedom under crashes — can be
+// asserted against real sockets instead of the simulated network.
+//
+// Wall-clock time is mapped onto sim.Time as nanoseconds since the
+// cluster started, which is all the monitors need (they only compare
+// and subtract timestamps).
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/remote"
+	"repro/internal/sim"
+)
+
+// Options tunes the cluster-wide daemon configuration. Zero values
+// pick defaults suited to an unloaded CI runner: fast heartbeats but a
+// generous detection timeout, so false suspicion — legal before
+// stabilization, but noisy in a test — stays rare.
+type Options struct {
+	HeartbeatPeriod time.Duration // default 10ms
+	InitialTimeout  time.Duration // default 1s
+	EatTime         time.Duration // default 1ms
+	ThinkTime       time.Duration // default 1ms
+	RTO             time.Duration // default 20ms
+	Seed            int64         // default 1
+	Logf            func(format string, args ...any)
+}
+
+// Cluster is a running set of remote.Nodes plus shared monitors.
+type Cluster struct {
+	Topo  *remote.Topology
+	Nodes []*remote.Node
+
+	start time.Time
+
+	mu     sync.Mutex
+	excl   *metrics.ExclusionMonitor
+	prog   *metrics.ProgressMonitor
+	killed map[int]bool // node index -> stopped by Kill
+}
+
+// New builds and starts one node per placement entry, all on ephemeral
+// loopback listeners. placement[i] lists the processes node i hosts
+// and must partition the vertices of g.
+func New(g *graph.Graph, placement [][]int, opts Options) (*Cluster, error) {
+	if opts.HeartbeatPeriod == 0 {
+		opts.HeartbeatPeriod = 10 * time.Millisecond
+	}
+	if opts.InitialTimeout == 0 {
+		opts.InitialTimeout = time.Second
+	}
+	if opts.EatTime == 0 {
+		opts.EatTime = time.Millisecond
+	}
+	if opts.ThinkTime == 0 {
+		opts.ThinkTime = time.Millisecond
+	}
+	if opts.RTO == 0 {
+		opts.RTO = 20 * time.Millisecond
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+
+	listeners := make([]net.Listener, len(placement))
+	specs := make([]remote.NodeSpec, len(placement))
+	for i, procs := range placement {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll(listeners[:i])
+			return nil, err
+		}
+		listeners[i] = ln
+		specs[i] = remote.NodeSpec{Addr: ln.Addr().String(), Procs: procs}
+	}
+	topo, err := remote.NewTopology(g, specs)
+	if err != nil {
+		closeAll(listeners)
+		return nil, err
+	}
+
+	c := &Cluster{
+		Topo:   topo,
+		start:  time.Now(),
+		excl:   metrics.NewExclusionMonitor(g),
+		prog:   metrics.NewProgressMonitor(g.N()),
+		killed: make(map[int]bool),
+	}
+	for i := range placement {
+		cfg := remote.Config{
+			Topology:        topo,
+			Node:            i,
+			HeartbeatPeriod: opts.HeartbeatPeriod,
+			InitialTimeout:  opts.InitialTimeout,
+			EatTime:         opts.EatTime,
+			ThinkTime:       opts.ThinkTime,
+			RTO:             opts.RTO,
+			Seed:            opts.Seed + int64(i),
+			Listener:        listeners[i],
+			Observer:        c.observe,
+			Logf:            opts.Logf,
+		}
+		n, err := remote.NewNode(cfg)
+		if err != nil {
+			closeAll(listeners[i:])
+			c.stopStarted()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	for _, n := range c.Nodes {
+		if err := n.Start(); err != nil {
+			c.stopStarted()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func closeAll(lns []net.Listener) {
+	for _, ln := range lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+}
+
+func (c *Cluster) stopStarted() {
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+}
+
+// now maps wall clock onto the monitors' sim.Time axis.
+func (c *Cluster) now() sim.Time { return sim.Time(time.Since(c.start)) }
+
+// observe feeds every dining transition, from every node, into the
+// shared monitors. It runs on process goroutines across the whole
+// cluster, so it is the one place the harness serializes.
+func (c *Cluster) observe(proc int, from, to core.State) {
+	at := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.excl.OnTransition(at, proc, from, to)
+	c.prog.OnTransition(at, proc, from, to)
+}
+
+// Kill stops node ni abruptly — from its peers' point of view this is
+// a crash of every process it hosts (the TCP connections die and the
+// heartbeats stop). The monitors are told so the crashed processes
+// stop counting toward starvation and exclusion checks.
+func (c *Cluster) Kill(ni int) {
+	c.Nodes[ni].Stop()
+	at := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.killed[ni] = true
+	for _, p := range c.Topo.Nodes[ni].Procs {
+		c.excl.OnCrash(at, p)
+		c.prog.OnCrash(at, p)
+	}
+}
+
+// Stop shuts the whole cluster down.
+func (c *Cluster) Stop() {
+	for ni, n := range c.Nodes {
+		c.mu.Lock()
+		dead := c.killed[ni]
+		c.mu.Unlock()
+		if !dead {
+			n.Stop()
+		}
+	}
+}
+
+// EatCounts merges the per-process eat counters of every live node.
+func (c *Cluster) EatCounts() map[int]int {
+	out := make(map[int]int)
+	for ni, n := range c.Nodes {
+		c.mu.Lock()
+		dead := c.killed[ni]
+		c.mu.Unlock()
+		if dead {
+			continue
+		}
+		for id, eats := range n.EatCounts() {
+			out[id] = eats
+		}
+	}
+	return out
+}
+
+// WaitEats blocks until every process NOT hosted on a killed node has
+// eaten at least min more times than base (nil base means zero), or
+// the deadline passes.
+func (c *Cluster) WaitEats(base map[int]int, min int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		counts := c.EatCounts()
+		done := true
+		for id, eats := range counts {
+			if eats-base[id] < min {
+				done = false
+			}
+		}
+		if done {
+			return c.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: timeout waiting for %d eats over %v; counts %v", min, base, counts)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Err returns the first protocol-invariant error recorded by any live
+// node (nil if the run is clean).
+func (c *Cluster) Err() error {
+	for ni, n := range c.Nodes {
+		c.mu.Lock()
+		dead := c.killed[ni]
+		c.mu.Unlock()
+		if dead {
+			continue
+		}
+		if err := n.Err(); err != nil {
+			return fmt.Errorf("node %d: %w", ni, err)
+		}
+	}
+	return nil
+}
+
+// ExclusionViolationsAfter returns how many times two live neighbors
+// ate simultaneously at or after t (◇WX says this count must hit zero
+// for t past stabilization).
+func (c *Cluster) ExclusionViolationsAfter(t sim.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.excl.CountAfter(t)
+}
+
+// Starving returns processes that have been hungry without eating for
+// at least olderThan (crashed processes excluded).
+func (c *Cluster) Starving(olderThan time.Duration) []int {
+	at := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prog.Starving(at, sim.Time(olderThan))
+}
+
+// Now reports the cluster clock (nanoseconds since start), for
+// anchoring ExclusionViolationsAfter checks.
+func (c *Cluster) Now() sim.Time { return c.now() }
+
+// MaxEdgeOccupancy is the largest per-edge application-message
+// high-water mark any node measured (the paper's Section 7 quantity).
+func (c *Cluster) MaxEdgeOccupancy() int {
+	max := 0
+	for _, n := range c.Nodes {
+		if v := n.MaxEdgeOccupancy(); v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestFiveNodeWaitFreedom is the acceptance run for the real-network
+// runtime: a 5-node loopback cluster (one philosopher per daemon,
+// ring conflict graph) must let every process eat repeatedly, record
+// zero exclusion violations after stabilization, and — after one node
+// is killed mid-run — keep every correct process eating, including the
+// dead node's direct neighbors (wait-freedom over real TCP).
+func TestFiveNodeWaitFreedom(t *testing.T) {
+	g := graph.Ring(5)
+	c, err := New(g, [][]int{{0}, {1}, {2}, {3}, {4}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Phase 1: converge. Everyone eats at least 3 times.
+	if err := c.WaitEats(nil, 3, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tStab := c.Now()
+
+	// Phase 2: crash node 2 (hosting process 2) abruptly. Its ring
+	// neighbors, processes 1 and 3, depend on the failure detector to
+	// keep eating without process 2's fork.
+	base := c.EatCounts()
+	c.Kill(2)
+	if err := c.WaitEats(base, 3, 90*time.Second); err != nil {
+		t.Fatalf("correct processes starved after node kill: %v", err)
+	}
+
+	if err := c.Err(); err != nil {
+		t.Fatalf("protocol invariant violated: %v", err)
+	}
+	if v := c.ExclusionViolationsAfter(tStab); v > 0 {
+		t.Fatalf("%d exclusion violations among live neighbors after stabilization", v)
+	}
+	if s := c.Starving(time.Minute); len(s) > 0 {
+		t.Fatalf("starving processes: %v", s)
+	}
+	// The paper's Section 7 bound is at most 4 app messages in transit
+	// per edge. The sender-side measurement counts a message until its
+	// cumulative ack returns, so ack latency can inflate it slightly
+	// above the instantaneous in-flight count; 8 is a loose sanity lid.
+	if occ := c.MaxEdgeOccupancy(); occ > 8 {
+		t.Fatalf("edge occupancy high-water %d, want <= 8", occ)
+	}
+}
+
+// TestMultiProcNodes packs several philosophers per daemon so both
+// local and remote edges are exercised by the harness.
+func TestMultiProcNodes(t *testing.T) {
+	g := graph.Ring(6)
+	c, err := New(g, [][]int{{0, 1}, {2, 3}, {4, 5}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.WaitEats(nil, 4, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,309 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestParseTopologyRoundTrip(t *testing.T) {
+	const in = `# 3-ring over three daemons
+n 3
+0 1
+1 2
+2 0
+node 127.0.0.1:7000 0
+node 127.0.0.1:7001 1
+node 127.0.0.1:7002 2
+`
+	topo, err := ParseTopology(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.G.N() != 3 || topo.G.M() != 3 {
+		t.Fatalf("graph %d vertices %d edges, want 3/3", topo.G.N(), topo.G.M())
+	}
+	if len(topo.Nodes) != 3 || topo.Nodes[1].Addr != "127.0.0.1:7001" {
+		t.Fatalf("nodes parsed wrong: %+v", topo.Nodes)
+	}
+	for p := 0; p < 3; p++ {
+		if topo.NodeOf(p) != p {
+			t.Fatalf("NodeOf(%d) = %d, want %d", p, topo.NodeOf(p), p)
+		}
+	}
+	var sb strings.Builder
+	if err := topo.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseTopology(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("reparse of rendered topology: %v\n%s", err, sb.String())
+	}
+	if again.G.N() != 3 || len(again.Nodes) != 3 {
+		t.Fatalf("round trip lost structure: %+v", again)
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := map[string]string{
+		"duplicate process": "n 2\n0 1\nnode a:1 0 1\nnode a:2 1\n",
+		"missing process":   "n 2\n0 1\nnode a:1 0\n",
+		"bad node line":     "n 2\n0 1\nnode a:1\nnode a:2 0 1\n",
+		"bad process id":    "n 2\n0 1\nnode a:1 x\nnode a:2 0 1\n",
+		"out of range":      "n 2\n0 1\nnode a:1 0 1 5\n",
+		"no nodes":          "n 2\n0 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTopology(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestPeersOf(t *testing.T) {
+	// Path 0-1-2-3 split over three nodes: {0,1}, {2}, {3}.
+	g := graph.Path(4)
+	topo, err := NewTopology(g, []NodeSpec{
+		{Addr: "a", Procs: []int{0, 1}}, {Addr: "b", Procs: []int{2}}, {Addr: "c", Procs: []int{3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.PeersOf(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("PeersOf(0) = %v, want [1]", got)
+	}
+	if got := topo.PeersOf(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("PeersOf(1) = %v, want [0 2]", got)
+	}
+	if got := topo.PeersOf(2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("PeersOf(2) = %v, want [1]", got)
+	}
+}
+
+// testCluster builds one Node per NodeSpec over g with pre-bound
+// ephemeral listeners and fast test timings.
+func testCluster(t *testing.T, g *graph.Graph, placement [][]int, mut func(i int, cfg *Config)) []*Node {
+	t.Helper()
+	listeners := make([]net.Listener, len(placement))
+	specs := make([]NodeSpec, len(placement))
+	for i, procs := range placement {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		specs[i] = NodeSpec{Addr: ln.Addr().String(), Procs: procs}
+	}
+	topo, err := NewTopology(g, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*Node, len(placement))
+	for i := range placement {
+		cfg := Config{
+			Topology:        topo,
+			Node:            i,
+			HeartbeatPeriod: 5 * time.Millisecond,
+			InitialTimeout:  200 * time.Millisecond,
+			EatTime:         time.Millisecond,
+			ThinkTime:       time.Millisecond,
+			RTO:             15 * time.Millisecond,
+			DialBackoff:     10 * time.Millisecond,
+			Listener:        listeners[i],
+			Seed:            int64(i) + 1,
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		n, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	for _, n := range nodes {
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	})
+	return nodes
+}
+
+// waitEats polls until every listed process on node n has eaten at
+// least min more times than base, or the deadline expires.
+func waitEats(t *testing.T, nodes []*Node, base map[int]int, min int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		counts := map[int]int{}
+		for _, n := range nodes {
+			for id, c := range n.EatCounts() {
+				counts[id] = c
+				if c-base[id] < min {
+					done = false
+				}
+			}
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %d eats over base %v; counts %v", min, base, counts)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTwoNodeEdgeEats(t *testing.T) {
+	g := graph.Clique(2)
+	nodes := testCluster(t, g, [][]int{{0}, {1}}, nil)
+	waitEats(t, nodes, nil, 5, 20*time.Second)
+	for _, n := range nodes {
+		if err := n.Err(); err != nil {
+			t.Fatalf("node error: %v", err)
+		}
+	}
+	st := nodes[0].Status()
+	if len(st.Procs) != 1 || len(st.Peers) != 1 || !st.Peers[0].Connected {
+		t.Fatalf("unexpected status: %+v", st)
+	}
+}
+
+func TestMixedLocalRemoteEdges(t *testing.T) {
+	// Ring of 4 over two nodes: edges 0-1 and 2-3 are node-local,
+	// edges 1-2 and 3-0 cross the wire.
+	g := graph.Ring(4)
+	nodes := testCluster(t, g, [][]int{{0, 1}, {2, 3}}, nil)
+	waitEats(t, nodes, nil, 5, 20*time.Second)
+	for _, n := range nodes {
+		if err := n.Err(); err != nil {
+			t.Fatalf("node error: %v", err)
+		}
+	}
+}
+
+// flakyConn cuts itself off after a fixed number of writes, simulating
+// a connection that dies mid-stream.
+type flakyConn struct {
+	net.Conn
+	budget *int32
+}
+
+func (f *flakyConn) Write(b []byte) (int, error) {
+	if atomic.AddInt32(f.budget, -1) < 0 {
+		f.Conn.Close()
+		return 0, errors.New("flaky: connection cut")
+	}
+	return f.Conn.Write(b)
+}
+
+// TestReconnectKeepsExactlyOnceFIFO drops the node-pair connection
+// every few dozen frames for the first part of the run. The ARQ layer
+// must ride the reconnects: core.Diner's protocol invariants
+// (duplicate fork, unsolicited ack, fork-with-token) reject any
+// duplicated, reordered, or lost delivery, so Err() == nil after
+// hundreds of eats is an end-to-end exactly-once-FIFO check.
+func TestReconnectKeepsExactlyOnceFIFO(t *testing.T) {
+	g := graph.Clique(2)
+	var dials int32
+	nodes := testCluster(t, g, [][]int{{0}, {1}}, func(i int, cfg *Config) {
+		if i != 0 {
+			return // node 0 is the dialer (lower index)
+		}
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", addr, time.Second)
+			if err != nil {
+				return nil, err
+			}
+			n := atomic.AddInt32(&dials, 1)
+			if n <= 6 {
+				// The first generations die young (the budget includes
+				// the handshake write).
+				budget := int32(25)
+				return &flakyConn{Conn: c, budget: &budget}, nil
+			}
+			return c, nil
+		}
+	})
+	waitEats(t, nodes, nil, 30, 60*time.Second)
+	for _, n := range nodes {
+		if err := n.Err(); err != nil {
+			t.Fatalf("protocol invariant violated across reconnects: %v", err)
+		}
+	}
+	if got := atomic.LoadInt32(&dials); got < 3 {
+		t.Fatalf("only %d dials; the flaky dialer never forced a reconnect", got)
+	}
+	st := nodes[1].Status()
+	if len(st.Peers) != 1 || st.Peers[0].Connects < 2 {
+		t.Fatalf("acceptor saw %d connects, want >= 2 (reconnect)", st.Peers[0].Connects)
+	}
+}
+
+func TestStatusHandler(t *testing.T) {
+	g := graph.Clique(2)
+	nodes := testCluster(t, g, [][]int{{0}, {1}}, nil)
+	waitEats(t, nodes, nil, 1, 20*time.Second)
+	srv := newLocalServer(t, nodes[0])
+	resp, err := srv.get("/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"node": 0`, `"procs"`, `"eat_count"`, `"max_edge_occupancy"`} {
+		if !strings.Contains(resp, want) {
+			t.Fatalf("/status missing %q:\n%s", want, resp)
+		}
+	}
+	if resp, err = srv.get("/debug/pprof/cmdline"); err != nil || resp == "" {
+		t.Fatalf("pprof endpoint: %q, %v", resp, err)
+	}
+}
+
+// newLocalServer serves a node's debug handler on an ephemeral port.
+type localServer struct{ addr string }
+
+func newLocalServer(t *testing.T, n *Node) *localServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, n.Handler()) }()
+	t.Cleanup(func() { ln.Close() })
+	return &localServer{addr: ln.Addr().String()}
+}
+
+func (s *localServer) get(path string) (string, error) {
+	c, err := net.DialTimeout("tcp", s.addr, time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintf(c, "GET %s HTTP/1.0\r\nHost: x\r\n\r\n", path); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := c.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), nil
+}

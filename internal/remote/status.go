@@ -1,0 +1,259 @@
+package remote
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// tracker is the node's mutex-protected observation point: process
+// goroutines and peer managers report into it, and the /status
+// endpoint reads from it. It never influences the run. Channel
+// occupancy reuses the metrics.OccupancyMonitor high-water machinery,
+// fed from the transport's application-level send/deliver events (each
+// directed stream is measured at its sender; a remote message counts
+// as in transit from submission until the cumulative ack covers it).
+type tracker struct {
+	mu    sync.Mutex
+	occ   *metrics.OccupancyMonitor
+	procs map[int]*procStats
+	peers map[int]*peerStats
+	errs  []error
+}
+
+type procStats struct {
+	state    core.State
+	eats     int
+	sessions int
+	suspects []int
+	crashed  bool
+}
+
+type peerStats struct {
+	addr          string
+	connected     bool
+	connects      uint64
+	writerDrops   uint64
+	retransmits   uint64
+	dupSuppressed uint64
+}
+
+func newTracker(g *graph.Graph) *tracker {
+	return &tracker{
+		occ:   metrics.NewOccupancyMonitor(g.N()),
+		procs: make(map[int]*procStats),
+		peers: make(map[int]*peerStats),
+	}
+}
+
+func (t *tracker) addProc(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.procs[id] = &procStats{state: core.Thinking}
+}
+
+func (t *tracker) addPeer(node int, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[node] = &peerStats{addr: addr}
+}
+
+func (t *tracker) transition(id int, to core.State, eats, sessions int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps := t.procs[id]
+	ps.state = to
+	ps.eats = eats
+	ps.sessions = sessions
+}
+
+func (t *tracker) setSuspects(id int, suspected map[int]bool) {
+	out := make([]int, 0, len(suspected))
+	for j, v := range suspected {
+		if v {
+			out = append(out, j)
+		}
+	}
+	sort.Ints(out)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.procs[id].suspects = out
+}
+
+func (t *tracker) crash(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.procs[id].crashed = true
+}
+
+func (t *tracker) recordErr(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.errs = append(t.errs, err)
+}
+
+func (t *tracker) firstErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.errs) == 0 {
+		return nil
+	}
+	return t.errs[0]
+}
+
+func (t *tracker) appSend(from, to int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.occ.OnSend(sim.Time(0), from, to, nil)
+}
+
+func (t *tracker) appDeliver(from, to int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.occ.OnDeliver(sim.Time(0), from, to, nil)
+}
+
+func (t *tracker) peerConnected(node int, up bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps := t.peers[node]
+	ps.connected = up
+	if up {
+		ps.connects++
+	}
+}
+
+func (t *tracker) writerDrop(node int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[node].writerDrops++
+}
+
+func (t *tracker) retransmit(node int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[node].retransmits++
+}
+
+func (t *tracker) dupSuppressed(node int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[node].dupSuppressed++
+}
+
+// --- public status surface ---------------------------------------------
+
+// ProcStatus is one hosted process's view in /status.
+type ProcStatus struct {
+	ID       int    `json:"id"`
+	State    string `json:"state"`
+	EatCount int    `json:"eat_count"`
+	Sessions int    `json:"sessions"`
+	Suspects []int  `json:"suspects,omitempty"`
+	Crashed  bool   `json:"crashed,omitempty"`
+}
+
+// PeerStatus is the transport link to one remote node in /status.
+type PeerStatus struct {
+	Node          int    `json:"node"`
+	Addr          string `json:"addr"`
+	Connected     bool   `json:"connected"`
+	Connects      uint64 `json:"connects"`
+	Retransmits   uint64 `json:"retransmits"`
+	DupSuppressed uint64 `json:"dup_suppressed"`
+	WriterDrops   uint64 `json:"writer_drops"`
+}
+
+// Status is the JSON document served at /status.
+type Status struct {
+	Node int    `json:"node"`
+	Addr string `json:"addr"`
+	// MaxEdgeOccupancy is the per-edge application-message high-water
+	// mark, as measured by this node (the paper's Section 7 figure —
+	// eventually at most 4 per edge).
+	MaxEdgeOccupancy int          `json:"max_edge_occupancy"`
+	Procs            []ProcStatus `json:"procs"`
+	Peers            []PeerStatus `json:"peers"`
+	Errors           []string     `json:"errors,omitempty"`
+}
+
+// Status snapshots the node for monitoring.
+func (n *Node) Status() Status {
+	t := n.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := Status{Node: n.self, Addr: n.Addr(), MaxEdgeOccupancy: t.occ.MaxHighWater()}
+	ids := make([]int, 0, len(t.procs))
+	for id := range t.procs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ps := t.procs[id]
+		st.Procs = append(st.Procs, ProcStatus{
+			ID: id, State: ps.state.String(), EatCount: ps.eats,
+			Sessions: ps.sessions, Suspects: ps.suspects, Crashed: ps.crashed,
+		})
+	}
+	nodes := make([]int, 0, len(t.peers))
+	for node := range t.peers {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		ps := t.peers[node]
+		st.Peers = append(st.Peers, PeerStatus{
+			Node: node, Addr: ps.addr, Connected: ps.connected, Connects: ps.connects,
+			Retransmits: ps.retransmits, DupSuppressed: ps.dupSuppressed, WriterDrops: ps.writerDrops,
+		})
+	}
+	for _, err := range t.errs {
+		st.Errors = append(st.Errors, err.Error())
+	}
+	return st
+}
+
+// EatCounts returns the eat count of every hosted process, keyed by
+// process ID.
+func (n *Node) EatCounts() map[int]int {
+	n.tr.mu.Lock()
+	defer n.tr.mu.Unlock()
+	out := make(map[int]int, len(n.tr.procs))
+	for id, ps := range n.tr.procs {
+		out[id] = ps.eats
+	}
+	return out
+}
+
+// MaxEdgeOccupancy returns this node's per-edge application-message
+// high-water mark.
+func (n *Node) MaxEdgeOccupancy() int {
+	n.tr.mu.Lock()
+	defer n.tr.mu.Unlock()
+	return n.tr.occ.MaxHighWater()
+}
+
+// Handler serves the debug endpoints: /status (JSON) and
+// /debug/pprof/*.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(n.Status())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

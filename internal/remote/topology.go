@@ -1,0 +1,162 @@
+package remote
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// NodeSpec is one daemon's slot in a shared cluster topology: the
+// address its transport listens on and the dining processes it hosts.
+type NodeSpec struct {
+	// Addr is the TCP listen address ("host:port"). It may be empty
+	// while a test harness is still binding ephemeral ports; dialing
+	// peers simply keep retrying until it resolves.
+	Addr string
+	// Procs are the conflict-graph vertices this node runs.
+	Procs []int
+}
+
+// Topology is the cluster-wide configuration every dinerd shares: the
+// conflict graph plus the process placement. All nodes must load the
+// same topology (same file) — placement disagreements surface as
+// handshake rejections.
+type Topology struct {
+	// G is the conflict graph over all processes.
+	G *graph.Graph
+	// Nodes lists every daemon; a process appears on exactly one node.
+	Nodes []NodeSpec
+
+	nodeOf []int // process -> index into Nodes
+}
+
+// NewTopology validates that nodes partition the vertices of g —
+// every process hosted exactly once — and returns the topology.
+func NewTopology(g *graph.Graph, nodes []NodeSpec) (*Topology, error) {
+	if g == nil {
+		return nil, fmt.Errorf("remote: topology needs a conflict graph")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("remote: topology needs at least one node")
+	}
+	nodeOf := make([]int, g.N())
+	for i := range nodeOf {
+		nodeOf[i] = -1
+	}
+	for ni, ns := range nodes {
+		for _, p := range ns.Procs {
+			if p < 0 || p >= g.N() {
+				return nil, fmt.Errorf("remote: node %d hosts process %d outside graph of %d vertices", ni, p, g.N())
+			}
+			if nodeOf[p] != -1 {
+				return nil, fmt.Errorf("remote: process %d hosted by both node %d and node %d", p, nodeOf[p], ni)
+			}
+			nodeOf[p] = ni
+		}
+	}
+	for p, ni := range nodeOf {
+		if ni == -1 {
+			return nil, fmt.Errorf("remote: process %d hosted by no node", p)
+		}
+	}
+	return &Topology{G: g, Nodes: nodes, nodeOf: nodeOf}, nil
+}
+
+// NodeOf returns the index of the node hosting process p.
+func (t *Topology) NodeOf(p int) int { return t.nodeOf[p] }
+
+// PeersOf returns the sorted set of other node indices hosting at
+// least one conflict-graph neighbor of a process on node ni — exactly
+// the nodes ni must keep a transport connection to.
+func (t *Topology) PeersOf(ni int) []int {
+	seen := map[int]bool{}
+	for _, p := range t.Nodes[ni].Procs {
+		for _, q := range t.G.Neighbors(p) {
+			if other := t.nodeOf[q]; other != ni {
+				seen[other] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ParseTopology reads the shared cluster file. The format embeds the
+// conflict graph in the plain edge-list syntax internal/graph already
+// speaks ("u v" pairs, optional "n <count>" header, '#' comments) and
+// adds one directive per daemon:
+//
+//	node <addr> <proc> [<proc>...]
+//
+// For example, a 3-ring split over three daemons:
+//
+//	n 3
+//	0 1
+//	1 2
+//	2 0
+//	node 127.0.0.1:7000 0
+//	node 127.0.0.1:7001 1
+//	node 127.0.0.1:7002 2
+func ParseTopology(r io.Reader) (*Topology, error) {
+	sc := bufio.NewScanner(r)
+	var edgeLines strings.Builder
+	var nodes []NodeSpec
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) > 0 && fields[0] == "node" {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("remote: line %d: want \"node <addr> <proc>...\", got %q", lineNo, line)
+			}
+			ns := NodeSpec{Addr: fields[1]}
+			for _, f := range fields[2:] {
+				p, err := strconv.Atoi(f)
+				if err != nil || p < 0 {
+					return nil, fmt.Errorf("remote: line %d: bad process ID %q", lineNo, f)
+				}
+				ns.Procs = append(ns.Procs, p)
+			}
+			nodes = append(nodes, ns)
+			continue
+		}
+		edgeLines.WriteString(line)
+		edgeLines.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	g, err := graph.ParseEdgeList(strings.NewReader(edgeLines.String()))
+	if err != nil {
+		return nil, err
+	}
+	return NewTopology(g, nodes)
+}
+
+// Write renders the topology in the format ParseTopology reads.
+func (t *Topology) Write(w io.Writer) error {
+	if err := t.G.WriteEdgeList(w); err != nil {
+		return err
+	}
+	for _, ns := range t.Nodes {
+		fields := make([]string, 0, len(ns.Procs)+2)
+		fields = append(fields, "node", ns.Addr)
+		for _, p := range ns.Procs {
+			fields = append(fields, strconv.Itoa(p))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

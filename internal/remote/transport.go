@@ -1,0 +1,589 @@
+package remote
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// handshakeTimeout bounds how long a Hello exchange may take; a peer
+// that connects but stays silent is cut off.
+const handshakeTimeout = 5 * time.Second
+
+// dialTimeout bounds one TCP connect attempt.
+const dialTimeout = 2 * time.Second
+
+// writerQueueCap sizes a connection's outbound frame queue. The
+// manager never blocks on it: when the queue is full (a stalled TCP
+// connection) frames are dropped and counted — the ARQ layer
+// retransmits data, and heartbeats/acks are periodic anyway.
+const writerQueueCap = 256
+
+// pairKey identifies one ordered process pair (stream direction).
+type pairKey struct{ from, to int }
+
+type sendEntry struct {
+	seq uint64
+	msg core.Message
+}
+
+// sendState is the sender half of one ordered pair; it lives in the
+// peer manager and survives reconnects, so sequence numbers and the
+// unacked queue span connection generations.
+type sendState struct {
+	nextSeq   uint64 // next sequence number to assign (starts at 1)
+	queue     []sendEntry
+	rto       time.Duration
+	deadline  time.Time // zero = timer idle
+	suspended bool      // retransmission parked while the peer process is suspected
+}
+
+// recvState is the receiver half of one ordered pair: dedup and
+// reordering across reconnects.
+type recvState struct {
+	next uint64 // lowest sequence not yet delivered (starts at 1)
+	buf  map[uint64]core.Message
+}
+
+// liveConn is one accepted or dialed connection generation. done is
+// closed when the generation is retired, releasing its writer.
+type liveConn struct {
+	c    net.Conn
+	gen  uint64
+	out  chan []byte
+	done chan struct{}
+}
+
+// retire closes the generation's socket and releases its writer.
+func (lc *liveConn) retire() {
+	lc.c.Close()
+	close(lc.done)
+}
+
+// peer is the manager for the link to one remote node. A single
+// goroutine (run) owns all its state and executes closures posted to
+// cmds, so the transport needs no mutexes.
+type peer struct {
+	node   *Node
+	remote int
+	dialer bool // exactly one side dials: the lower node index
+	cmds   chan func()
+
+	// Manager-owned state below.
+	conn      *liveConn
+	connGen   uint64
+	dialDelay time.Duration
+	dialing   bool
+	sends     map[pairKey]*sendState
+	recvs     map[pairKey]*recvState
+	rng       *rand.Rand
+}
+
+func newPeer(n *Node, remote int) *peer {
+	return &peer{
+		node:   n,
+		remote: remote,
+		dialer: n.self < remote,
+		cmds:   make(chan func(), 1024),
+		sends:  make(map[pairKey]*sendState),
+		recvs:  make(map[pairKey]*recvState),
+		rng:    n.jitterRand(remote),
+	}
+}
+
+// post hands a closure to the manager goroutine, giving up when the
+// node is stopping.
+func (p *peer) post(fn func()) {
+	select {
+	case p.cmds <- fn:
+	case <-p.node.stop:
+	}
+}
+
+// tickEvery derives the retransmission scan period from the RTO.
+func (p *peer) tickEvery() time.Duration {
+	d := p.node.cfg.RTO / 3
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+// run is the manager loop.
+func (p *peer) run() {
+	defer p.node.wg.Done()
+	defer p.teardown()
+	ticker := time.NewTicker(p.tickEvery())
+	defer ticker.Stop()
+	if p.dialer {
+		p.startDial()
+	}
+	for {
+		select {
+		case <-p.node.stop:
+			return
+		case fn := <-p.cmds:
+			fn()
+		case <-ticker.C:
+			p.tick()
+		}
+	}
+}
+
+// teardown closes the current connection on shutdown.
+func (p *peer) teardown() {
+	if p.conn != nil {
+		p.conn.retire()
+		p.conn = nil
+	}
+}
+
+// --- dialing and handshake ---------------------------------------------
+
+// startDial launches one connect attempt (manager goroutine only).
+func (p *peer) startDial() {
+	if p.dialing || p.conn != nil || !p.dialer {
+		return
+	}
+	p.dialing = true
+	addr := p.node.topo.Nodes[p.remote].Addr
+	p.node.wg.Add(1)
+	go p.dialAttempt(addr)
+}
+
+// dialAttempt runs off the manager goroutine: TCP connect plus the
+// client half of the Hello exchange, then hands the result back.
+func (p *peer) dialAttempt(addr string) {
+	defer p.node.wg.Done()
+	c, err := p.dialConn(addr)
+	if err == nil {
+		err = p.clientHandshake(c)
+		if err != nil {
+			c.Close()
+			c = nil
+		}
+	}
+	p.post(func() { p.onDialDone(c, err) })
+}
+
+func (p *peer) dialConn(addr string) (net.Conn, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("remote: node %d has no address yet", p.remote)
+	}
+	if p.node.cfg.Dial != nil {
+		return p.node.cfg.Dial(addr)
+	}
+	return net.DialTimeout("tcp", addr, dialTimeout)
+}
+
+// clientHandshake sends our Hello and validates the peer's reply.
+func (p *peer) clientHandshake(c net.Conn) error {
+	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer c.SetDeadline(time.Time{})
+	if err := wire.WriteFrame(c, p.node.helloFrame()); err != nil {
+		return fmt.Errorf("remote: hello send to node %d: %w", p.remote, err)
+	}
+	fr, err := wire.ReadFrame(c)
+	if err != nil {
+		return fmt.Errorf("remote: hello read from node %d: %w", p.remote, err)
+	}
+	if fr.Kind != wire.Hello || int(fr.Node) != p.remote {
+		return fmt.Errorf("remote: bad hello from node %d: %v", p.remote, fr)
+	}
+	return nil
+}
+
+// onDialDone adopts a successful connection or schedules the next
+// attempt with exponential backoff + jitter (manager goroutine only).
+func (p *peer) onDialDone(c net.Conn, err error) {
+	p.dialing = false
+	if err != nil || c == nil {
+		if c != nil {
+			c.Close()
+		}
+		p.node.logf("node %d: dial node %d failed: %v", p.node.self, p.remote, err)
+		p.scheduleRedial()
+		return
+	}
+	if p.conn != nil {
+		// A connection raced in while we dialed (shouldn't happen with
+		// one dialing side, but be safe): keep the existing one.
+		c.Close()
+		return
+	}
+	p.adopt(c)
+}
+
+// scheduleRedial arms the next dial attempt (manager goroutine only).
+func (p *peer) scheduleRedial() {
+	pol := p.node.cfg.dialPolicy()
+	p.dialDelay = time.Duration(pol.Next(int64(p.dialDelay)))
+	d := time.Duration(pol.Jittered(int64(p.dialDelay), p.rng.Int63n))
+	time.AfterFunc(d, func() { p.post(p.startDial) })
+}
+
+// helloFrame is this node's handshake announcement.
+func (n *Node) helloFrame() wire.Frame {
+	procs := make([]uint32, 0, len(n.procs))
+	for id := range n.procs {
+		procs = append(procs, uint32(id))
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	return wire.Frame{Kind: wire.Hello, Node: uint32(n.self), Incarnation: n.incarnation, Procs: procs}
+}
+
+// acceptLoop serves inbound connections until the listener closes.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed (Stop)
+		}
+		n.wg.Add(1)
+		go n.serverHandshake(c)
+	}
+}
+
+// serverHandshake validates an inbound Hello, replies with ours, and
+// hands the connection to the owning peer manager.
+func (n *Node) serverHandshake(c net.Conn) {
+	defer n.wg.Done()
+	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	fr, err := wire.ReadFrame(c)
+	if err != nil || fr.Kind != wire.Hello {
+		n.logf("node %d: bad inbound handshake: %v (err %v)", n.self, fr, err)
+		c.Close()
+		return
+	}
+	pr, ok := n.peers[int(fr.Node)]
+	if !ok || pr.dialer {
+		// Unknown node, or a peer that should be accepting our dial,
+		// not dialing us.
+		n.logf("node %d: unexpected hello from node %d", n.self, fr.Node)
+		c.Close()
+		return
+	}
+	if err := wire.WriteFrame(c, n.helloFrame()); err != nil {
+		c.Close()
+		return
+	}
+	c.SetDeadline(time.Time{})
+	pr.post(func() { pr.acceptConn(c) })
+}
+
+// acceptConn installs an inbound connection, replacing any current one
+// (the dialer reconnected, so the old conn is dead or dying).
+func (p *peer) acceptConn(c net.Conn) {
+	if p.conn != nil {
+		p.conn.retire()
+		p.conn = nil
+	}
+	p.adopt(c)
+}
+
+// adopt makes c the live connection: starts its reader and writer,
+// resets the backoff, retransmits every unacked frame, and re-states
+// our cumulative acks so the peer can clear its own queues (manager
+// goroutine only).
+func (p *peer) adopt(c net.Conn) {
+	p.connGen++
+	lc := &liveConn{c: c, gen: p.connGen, out: make(chan []byte, writerQueueCap), done: make(chan struct{})}
+	p.conn = lc
+	p.dialDelay = 0
+	p.node.tr.peerConnected(p.remote, true)
+	p.node.logf("node %d: connected to node %d (gen %d)", p.node.self, p.remote, lc.gen)
+	p.node.wg.Add(2)
+	go p.readLoop(lc)
+	go p.writeLoop(lc)
+	now := time.Now()
+	for key, ss := range p.sends {
+		ss.rto = p.node.cfg.RTO
+		ss.deadline = time.Time{}
+		if len(ss.queue) > 0 && !ss.suspended {
+			p.retransmitQueue(key, ss)
+			p.armDeadline(ss, now)
+		}
+	}
+	for key, rs := range p.recvs {
+		if rs.next > 1 {
+			p.writeFrame(wire.Frame{Kind: wire.Ack, From: uint32(key.to), To: uint32(key.from), Ack: rs.next - 1})
+		}
+	}
+}
+
+// connDown tears down connection generation gen after a read or write
+// error (manager goroutine only; stale generations are ignored).
+func (p *peer) connDown(gen uint64, err error) {
+	if p.conn == nil || p.conn.gen != gen {
+		return
+	}
+	p.node.logf("node %d: connection to node %d down: %v", p.node.self, p.remote, err)
+	p.conn.retire()
+	p.conn = nil
+	p.node.tr.peerConnected(p.remote, false)
+	for _, ss := range p.sends {
+		ss.deadline = time.Time{} // nothing to retransmit into; adopt re-arms
+	}
+	if p.dialer {
+		p.scheduleRedial()
+	}
+}
+
+// --- frame I/O ---------------------------------------------------------
+
+// writeFrame encodes and queues one frame on the live connection,
+// dropping it if there is none or the writer is saturated (manager
+// goroutine only). Dropped frames are recovered by the ARQ layer.
+func (p *peer) writeFrame(fr wire.Frame) {
+	if p.conn == nil {
+		return
+	}
+	buf, err := wire.AppendFrame(nil, fr)
+	if err != nil {
+		p.node.tr.recordErr(fmt.Errorf("remote: encode %v: %w", fr, err))
+		return
+	}
+	select {
+	case p.conn.out <- buf:
+	default:
+		p.node.tr.writerDrop(p.remote)
+	}
+}
+
+// writeLoop owns the connection's write side.
+func (p *peer) writeLoop(lc *liveConn) {
+	defer p.node.wg.Done()
+	for {
+		select {
+		case <-p.node.stop:
+			return
+		case <-lc.done:
+			return
+		case buf := <-lc.out:
+			if _, err := lc.c.Write(buf); err != nil {
+				p.post(func() { p.connDown(lc.gen, err) })
+				return
+			}
+		}
+	}
+}
+
+// readLoop owns the connection's read side: it decodes frames and
+// routes them — heartbeats straight to process inboxes, ARQ frames to
+// the manager.
+func (p *peer) readLoop(lc *liveConn) {
+	defer p.node.wg.Done()
+	for {
+		fr, err := wire.ReadFrame(lc.c)
+		if err != nil {
+			p.post(func() { p.connDown(lc.gen, err) })
+			return
+		}
+		switch fr.Kind {
+		case wire.Heartbeat:
+			p.node.deliverHeartbeat(int(fr.To), int(fr.From))
+		case wire.Data:
+			fr := fr
+			p.post(func() { p.onData(fr) })
+		case wire.Ack:
+			fr := fr
+			p.post(func() { p.onAck(int(fr.To), int(fr.From), fr.Ack) })
+		case wire.Hello:
+			// A second Hello mid-stream is a protocol error.
+			p.post(func() { p.protocolError(lc.gen, fr) })
+		default:
+			fr := fr
+			p.post(func() { p.protocolError(lc.gen, fr) })
+		}
+	}
+}
+
+// protocolError drops a connection that sent an illegal frame.
+func (p *peer) protocolError(gen uint64, fr wire.Frame) {
+	p.connDown(gen, fmt.Errorf("remote: illegal frame %v", fr))
+}
+
+// --- ARQ ---------------------------------------------------------------
+
+func (p *peer) sendStateFor(key pairKey) *sendState {
+	ss, ok := p.sends[key]
+	if !ok {
+		ss = &sendState{nextSeq: 1, rto: p.node.cfg.RTO}
+		p.sends[key] = ss
+	}
+	return ss
+}
+
+func (p *peer) recvStateFor(key pairKey) *recvState {
+	rs, ok := p.recvs[key]
+	if !ok {
+		rs = &recvState{next: 1, buf: make(map[uint64]core.Message)}
+		p.recvs[key] = rs
+	}
+	return rs
+}
+
+// submit accepts one dining message from local process m.From for
+// remote process m.To: assign the next sequence number, queue until
+// acked, transmit immediately with a piggybacked ack (manager
+// goroutine only).
+func (p *peer) submit(m core.Message) {
+	key := pairKey{from: m.From, to: m.To}
+	ss := p.sendStateFor(key)
+	seq := ss.nextSeq
+	ss.nextSeq++
+	ss.queue = append(ss.queue, sendEntry{seq: seq, msg: m})
+	fr, err := wire.DataFrame(m, seq, p.recvStateFor(pairKey{from: m.To, to: m.From}).next-1)
+	if err != nil {
+		p.node.tr.recordErr(err)
+		return
+	}
+	p.writeFrame(fr)
+	if !ss.suspended && ss.deadline.IsZero() {
+		p.armDeadline(ss, time.Now())
+	}
+}
+
+// armDeadline schedules the pair's next retransmission scan.
+func (p *peer) armDeadline(ss *sendState, now time.Time) {
+	d := time.Duration(p.node.cfg.rtoPolicy().Jittered(int64(ss.rto), p.rng.Int63n))
+	ss.deadline = now.Add(d)
+}
+
+// tick retransmits every pair whose oldest unacked frame has waited a
+// full RTO (manager goroutine only).
+func (p *peer) tick() {
+	if p.conn == nil {
+		return
+	}
+	now := time.Now()
+	for key, ss := range p.sends {
+		if ss.suspended || len(ss.queue) == 0 {
+			continue
+		}
+		if ss.deadline.IsZero() {
+			p.armDeadline(ss, now)
+			continue
+		}
+		if now.Before(ss.deadline) {
+			continue
+		}
+		p.retransmitQueue(key, ss)
+		ss.rto = time.Duration(p.node.cfg.rtoPolicy().Next(int64(ss.rto)))
+		p.armDeadline(ss, now)
+	}
+}
+
+// retransmitQueue resends every unacked frame on the pair (go-back-N),
+// with fresh piggybacked acks.
+func (p *peer) retransmitQueue(key pairKey, ss *sendState) {
+	ack := p.recvStateFor(pairKey{from: key.to, to: key.from}).next - 1
+	for _, e := range ss.queue {
+		fr, err := wire.DataFrame(e.msg, e.seq, ack)
+		if err != nil {
+			p.node.tr.recordErr(err)
+			continue
+		}
+		p.node.tr.retransmit(p.remote)
+		p.writeFrame(fr)
+	}
+}
+
+// setSuspended parks or resumes retransmission for the ordered pair
+// (from=local, to=remote process), driven by the local ◇P₁ module
+// (manager goroutine only).
+func (p *peer) setSuspended(from, to int, suspended bool) {
+	ss := p.sendStateFor(pairKey{from: from, to: to})
+	if ss.suspended == suspended {
+		return
+	}
+	ss.suspended = suspended
+	if suspended {
+		ss.deadline = time.Time{}
+		return
+	}
+	// Freshly trusted: the backlog goes out immediately with a reset
+	// backoff, exactly like rlink.Resume.
+	ss.rto = p.node.cfg.RTO
+	if len(ss.queue) > 0 && p.conn != nil {
+		p.retransmitQueue(pairKey{from: from, to: to}, ss)
+		p.armDeadline(ss, time.Now())
+	}
+}
+
+// onData processes a data frame from remote process fr.From to local
+// process fr.To (manager goroutine only).
+func (p *peer) onData(fr wire.Frame) {
+	p.onAck(int(fr.To), int(fr.From), fr.Ack)
+	key := pairKey{from: int(fr.From), to: int(fr.To)}
+	rs := p.recvStateFor(key)
+	switch {
+	case fr.Seq < rs.next:
+		p.node.tr.dupSuppressed(p.remote)
+	case fr.Seq == rs.next:
+		p.node.deliverData(fr.Message())
+		rs.next++
+		for {
+			m, ok := rs.buf[rs.next]
+			if !ok {
+				break
+			}
+			delete(rs.buf, rs.next)
+			p.node.deliverData(m)
+			rs.next++
+		}
+	default:
+		if _, dup := rs.buf[fr.Seq]; dup {
+			p.node.tr.dupSuppressed(p.remote)
+		} else {
+			rs.buf[fr.Seq] = fr.Message()
+		}
+	}
+	// Acknowledge every data frame so the sender's queue drains even
+	// when the application has nothing to say back.
+	p.writeFrame(wire.Frame{Kind: wire.Ack, From: uint32(key.to), To: uint32(key.from), Ack: rs.next - 1})
+}
+
+// onAck applies a cumulative ack from the remote process `remote`
+// covering the stream local → remote (manager goroutine only).
+func (p *peer) onAck(local, remote int, ack uint64) {
+	ss, ok := p.sends[pairKey{from: local, to: remote}]
+	if !ok {
+		return
+	}
+	progressed := false
+	for len(ss.queue) > 0 && ss.queue[0].seq <= ack {
+		e := ss.queue[0]
+		ss.queue = ss.queue[1:]
+		p.node.tr.appDeliver(e.msg.From, e.msg.To)
+		progressed = true
+	}
+	if !progressed {
+		return
+	}
+	// Forward progress: the path works, so reset the backoff.
+	ss.rto = p.node.cfg.RTO
+	if len(ss.queue) > 0 {
+		if !ss.suspended {
+			p.armDeadline(ss, time.Now())
+		}
+	} else {
+		ss.deadline = time.Time{}
+	}
+}
+
+// sendHeartbeat transmits one ◇P₁ heartbeat (manager goroutine only;
+// silently skipped while disconnected — missing heartbeats are the
+// signal).
+func (p *peer) sendHeartbeat(from, to int) {
+	p.writeFrame(wire.Frame{Kind: wire.Heartbeat, From: uint32(from), To: uint32(to)})
+}

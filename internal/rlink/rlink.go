@@ -21,6 +21,7 @@ package rlink
 import (
 	"fmt"
 
+	"repro/internal/backoff"
 	"repro/internal/sim"
 )
 
@@ -39,22 +40,14 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.RTO <= 0 {
-		o.RTO = 12
-	}
-	if o.MaxRTO <= 0 {
-		o.MaxRTO = 200
-	}
-	if o.MaxRTO < o.RTO {
-		o.MaxRTO = o.RTO
-	}
-	if o.Jitter == 0 {
-		o.Jitter = 3
-	}
-	if o.Jitter < 0 {
-		o.Jitter = 0
-	}
-	return o
+	p := o.policy().Normalized(12, 200, 3)
+	return Options{RTO: sim.Time(p.Initial), MaxRTO: sim.Time(p.Max), Jitter: sim.Time(p.Jitter)}
+}
+
+// policy projects the options onto the shared backoff schedule, in
+// sim.Time tick units.
+func (o Options) policy() backoff.Policy {
+	return backoff.Policy{Initial: int64(o.RTO), Max: int64(o.MaxRTO), Jitter: int64(o.Jitter)}
 }
 
 // Observer receives link-level events; either field may be nil.
@@ -310,10 +303,7 @@ func (l *Link) armTimer(from, to int) {
 	ss.timerGen++
 	gen := ss.timerGen
 	ss.timerArmed = true
-	d := ss.rto
-	if l.opts.Jitter > 0 {
-		d += sim.Time(l.k.Rand().Int63n(int64(l.opts.Jitter) + 1))
-	}
+	d := sim.Time(l.opts.policy().Jittered(int64(ss.rto), l.k.Rand().Int63n))
 	l.k.After(d, func() { l.onTimer(from, to, gen) })
 }
 
@@ -340,10 +330,7 @@ func (l *Link) onTimer(from, to int, gen uint64) {
 		return
 	}
 	l.retransmitQueue(from, to)
-	ss.rto *= 2
-	if ss.rto > l.opts.MaxRTO {
-		ss.rto = l.opts.MaxRTO
-	}
+	ss.rto = sim.Time(l.opts.policy().Next(int64(ss.rto)))
 	l.armTimer(from, to)
 }
 

@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the wire golden files")
+
+// goldenCases pins one full framing (length prefix + payload) per frame
+// kind and per dining message kind. Changing any of these bytes is a
+// wire-compatibility break: bump Version and regenerate deliberately
+// with -update, never casually.
+var goldenCases = []struct {
+	name  string
+	frame Frame
+}{
+	{"hello", Frame{Kind: Hello, Node: 2, Incarnation: 0x0102030405060708, Procs: []uint32{4, 9, 17}}},
+	{"hello_empty", Frame{Kind: Hello, Node: 1, Incarnation: 7}},
+	{"heartbeat", Frame{Kind: Heartbeat, From: 3, To: 7}},
+	{"data_ping", Frame{Kind: Data, From: 1, To: 2, Seq: 42, Ack: 41, MsgKind: core.Ping}},
+	{"data_ack", Frame{Kind: Data, From: 2, To: 1, Seq: 3, Ack: 2, MsgKind: core.Ack}},
+	{"data_request", Frame{Kind: Data, From: 0, To: 5, Seq: 9, Ack: 8, MsgKind: core.Request, Color: 6}},
+	{"data_fork", Frame{Kind: Data, From: 5, To: 0, Seq: 10, Ack: 9, MsgKind: core.Fork}},
+	{"pure_ack", Frame{Kind: Ack, From: 4, To: 6, Ack: 12}},
+}
+
+func TestGoldenBytes(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc, err := AppendFrame(nil, tc.frame)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(hexDump(enc)), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			want, err := parseHexDump(string(raw))
+			if err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Fatalf("wire layout changed for %s:\n got %x\nwant %x\n"+
+					"this breaks wire compatibility; if intentional, bump wire.Version and regenerate with -update",
+					tc.name, enc, want)
+			}
+			// The golden bytes must also decode back to the source frame,
+			// so the files stay usable as cross-implementation vectors.
+			got, err := ReadFrame(bytes.NewReader(want))
+			if err != nil {
+				t.Fatalf("golden bytes do not decode: %v", err)
+			}
+			re, err := AppendFrame(nil, got)
+			if err != nil || !bytes.Equal(re, want) {
+				t.Fatalf("golden bytes not canonical: re-encoded %x, want %x (err %v)", re, want, err)
+			}
+		})
+	}
+}
+
+// hexDump renders b as lowercase hex, 16 bytes per line, so golden
+// diffs are readable.
+func hexDump(b []byte) string {
+	var sb strings.Builder
+	for i := 0; i < len(b); i += 16 {
+		end := i + 16
+		if end > len(b) {
+			end = len(b)
+		}
+		sb.WriteString(hex.EncodeToString(b[i:end]))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func parseHexDump(s string) ([]byte, error) {
+	return hex.DecodeString(strings.Join(strings.Fields(s), ""))
+}

@@ -1,0 +1,445 @@
+// Package wire is the byte-stable binary codec for the real-network
+// runtime (internal/remote, cmd/dinerd). It serializes the closed
+// message alphabet of Algorithm 1 — core.Message with its four kinds —
+// plus the transport-level frames the TCP runtime needs: a Hello
+// handshake carrying node identity and protocol version, Heartbeat for
+// the wall-clock ◇P₁ detector, and pure Ack frames for the ARQ
+// sublayer (data frames piggyback a cumulative ack as well, mirroring
+// internal/rlink).
+//
+// Stability rules (see DESIGN.md S18):
+//
+//   - Framing is a uint32 little-endian length prefix counting the
+//     payload bytes that follow; the payload starts with a version
+//     byte and a frame-kind byte.
+//   - Every multi-byte integer is little-endian and fixed-width; there
+//     are no optional fields, so each frame kind has exactly one
+//     encoding and decode(encode(f)) == f byte-for-byte.
+//   - Decoding is strict: trailing bytes, truncated bodies, unknown
+//     versions or kinds, zero data sequence numbers, and oversized
+//     frames are all errors, never silently tolerated. Garbage on the
+//     wire must fail loudly at the codec, not corrupt protocol state.
+//   - The encoding version is bumped for any layout change; peers
+//     refuse mismatched versions at handshake.
+//
+// The golden-file tests (testdata/*.golden) pin the exact bytes of
+// every frame kind, and FuzzWireCodec checks the strict-decode and
+// round-trip properties on arbitrary input.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Version is the wire-format version carried by every frame. Bump it
+// on any layout change; Decode rejects all other values.
+const Version = 1
+
+// MaxPayload bounds a frame payload (the bytes after the length
+// prefix). The largest legal frame is a Hello listing MaxHelloProcs
+// processes, well under this; anything larger is a corrupt or hostile
+// length prefix and is rejected before allocation.
+const MaxPayload = 32 << 10
+
+// MaxHelloProcs caps the process list a Hello may carry.
+const MaxHelloProcs = 4096
+
+// FrameKind identifies a transport frame type.
+type FrameKind uint8
+
+// Frame kinds. The byte values are part of the wire format.
+const (
+	// Hello opens a connection: node identity, incarnation, hosted
+	// processes. Each side sends exactly one Hello before anything else.
+	Hello FrameKind = iota + 1
+	// Heartbeat is the ◇P₁ liveness signal between neighbor processes.
+	Heartbeat
+	// Data carries one dining message with its ARQ sequence number and
+	// a piggybacked cumulative ack for the reverse stream.
+	Data
+	// Ack is a pure cumulative acknowledgment for one ordered process
+	// pair.
+	Ack
+)
+
+// String implements fmt.Stringer.
+func (k FrameKind) String() string {
+	switch k {
+	case Hello:
+		return "hello"
+	case Heartbeat:
+		return "heartbeat"
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(k))
+	}
+}
+
+// Codec errors. Decode failures wrap one of these.
+var (
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrUnknownKind = errors.New("wire: unknown frame kind")
+	ErrShort       = errors.New("wire: truncated frame")
+	ErrTrailing    = errors.New("wire: trailing bytes after frame body")
+	ErrOversize    = errors.New("wire: frame exceeds MaxPayload")
+	ErrBadValue    = errors.New("wire: field value outside wire range")
+)
+
+// Frame is the decoded form of every wire frame. Which fields are
+// meaningful depends on Kind:
+//
+//	Hello:     Node, Incarnation, Procs
+//	Heartbeat: From, To
+//	Data:      From, To, Seq, Ack, MsgKind, Color
+//	Ack:       From, To, Ack
+//
+// From and To are process IDs (the conflict-graph vertices), not node
+// indices; per-edge logical links are multiplexed over one node-pair
+// connection and demultiplexed by these fields.
+type Frame struct {
+	Kind FrameKind
+
+	// Hello fields.
+	Node        uint32   // sender's node index in the shared topology
+	Incarnation uint64   // sender's boot identity; newer wins on duplicate conns
+	Procs       []uint32 // process IDs the sender hosts
+
+	// Endpoint fields (Heartbeat, Data, Ack).
+	From, To uint32
+
+	// ARQ fields. Seq is 1-based on Data frames; Ack is the highest
+	// reverse-stream sequence received in order (0 = none yet).
+	Seq, Ack uint64
+
+	// Dining payload (Data only).
+	MsgKind core.MsgKind
+	Color   int32
+}
+
+// Message reconstructs the dining message carried by a Data frame.
+func (f Frame) Message() core.Message {
+	return core.Message{Kind: f.MsgKind, From: int(f.From), To: int(f.To), Color: int(f.Color)}
+}
+
+// DataFrame builds a Data frame carrying m with ARQ sequence seq and
+// piggybacked cumulative ack.
+func DataFrame(m core.Message, seq, ack uint64) (Frame, error) {
+	from, err := procID(m.From)
+	if err != nil {
+		return Frame{}, err
+	}
+	to, err := procID(m.To)
+	if err != nil {
+		return Frame{}, err
+	}
+	if m.Color < -1<<31 || m.Color > 1<<31-1 {
+		return Frame{}, fmt.Errorf("%w: color %d", ErrBadValue, m.Color)
+	}
+	return Frame{
+		Kind: Data, From: from, To: to, Seq: seq, Ack: ack,
+		MsgKind: m.Kind, Color: int32(m.Color),
+	}, nil
+}
+
+// procID converts a conflict-graph process ID to its wire form.
+func procID(id int) (uint32, error) {
+	if id < 0 || int64(id) > int64(^uint32(0)) {
+		return 0, fmt.Errorf("%w: process ID %d", ErrBadValue, id)
+	}
+	return uint32(id), nil
+}
+
+// msgKindCode maps the dining alphabet onto wire bytes. The switch is
+// exhaustive over core.MsgKind (kindexhaustive enforces it): adding a
+// fifth message kind without extending the codec fails loudly here.
+func msgKindCode(k core.MsgKind) (byte, error) {
+	switch k {
+	case core.Ping:
+		return 1, nil
+	case core.Ack:
+		return 2, nil
+	case core.Request:
+		return 3, nil
+	case core.Fork:
+		return 4, nil
+	default:
+		return 0, fmt.Errorf("%w: message kind %v", ErrBadValue, k)
+	}
+}
+
+// msgKindFromCode is the decode inverse of msgKindCode.
+func msgKindFromCode(b byte) (core.MsgKind, error) {
+	switch b {
+	case 1:
+		return core.Ping, nil
+	case 2:
+		return core.Ack, nil
+	case 3:
+		return core.Request, nil
+	case 4:
+		return core.Fork, nil
+	default:
+		return 0, fmt.Errorf("%w: message kind byte %d", ErrBadValue, b)
+	}
+}
+
+// AppendPayload appends f's payload encoding (version byte, kind byte,
+// kind-specific body — no length prefix) to dst and returns the
+// extended slice.
+func AppendPayload(dst []byte, f Frame) ([]byte, error) {
+	dst = append(dst, Version, byte(f.Kind))
+	switch f.Kind {
+	case Hello:
+		if len(f.Procs) > MaxHelloProcs {
+			return nil, fmt.Errorf("%w: hello lists %d processes (max %d)", ErrBadValue, len(f.Procs), MaxHelloProcs)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, f.Node)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Incarnation)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(f.Procs)))
+		for _, p := range f.Procs {
+			dst = binary.LittleEndian.AppendUint32(dst, p)
+		}
+	case Heartbeat:
+		dst = binary.LittleEndian.AppendUint32(dst, f.From)
+		dst = binary.LittleEndian.AppendUint32(dst, f.To)
+	case Data:
+		if f.Seq == 0 {
+			return nil, fmt.Errorf("%w: data frame with sequence 0", ErrBadValue)
+		}
+		code, err := msgKindCode(f.MsgKind)
+		if err != nil {
+			return nil, err
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, f.From)
+		dst = binary.LittleEndian.AppendUint32(dst, f.To)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Ack)
+		dst = append(dst, code)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Color))
+	case Ack:
+		dst = binary.LittleEndian.AppendUint32(dst, f.From)
+		dst = binary.LittleEndian.AppendUint32(dst, f.To)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Ack)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(f.Kind))
+	}
+	return dst, nil
+}
+
+// EncodePayload returns f's payload encoding.
+func EncodePayload(f Frame) ([]byte, error) {
+	return AppendPayload(nil, f)
+}
+
+// AppendFrame appends the full framing — uint32 little-endian payload
+// length, then the payload — to dst.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst, err := AppendPayload(dst, f)
+	if err != nil {
+		return nil, err
+	}
+	n := len(dst) - start - 4
+	if n > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrOversize, n)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// reader is a strict decode cursor over one payload.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u8() (byte, error) {
+	if r.off+1 > len(r.b) {
+		return 0, ErrShort
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.off+2 > len(r.b) {
+		return 0, ErrShort
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, ErrShort
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, ErrShort
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// DecodePayload strictly decodes one payload: wrong version, unknown
+// kind, truncated body, illegal field values, and trailing bytes are
+// all errors. On success the returned frame re-encodes to exactly b.
+func DecodePayload(b []byte) (Frame, error) {
+	if len(b) > MaxPayload {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrOversize, len(b))
+	}
+	r := &reader{b: b}
+	ver, err := r.u8()
+	if err != nil {
+		return Frame{}, err
+	}
+	if ver != Version {
+		return Frame{}, fmt.Errorf("%w: %d (want %d)", ErrBadVersion, ver, Version)
+	}
+	kind, err := r.u8()
+	if err != nil {
+		return Frame{}, err
+	}
+	f := Frame{Kind: FrameKind(kind)}
+	switch f.Kind {
+	case Hello:
+		if f.Node, err = r.u32(); err != nil {
+			return Frame{}, err
+		}
+		if f.Incarnation, err = r.u64(); err != nil {
+			return Frame{}, err
+		}
+		count, err := r.u16()
+		if err != nil {
+			return Frame{}, err
+		}
+		if int(count) > MaxHelloProcs {
+			return Frame{}, fmt.Errorf("%w: hello lists %d processes (max %d)", ErrBadValue, count, MaxHelloProcs)
+		}
+		if count > 0 {
+			f.Procs = make([]uint32, count)
+			for i := range f.Procs {
+				if f.Procs[i], err = r.u32(); err != nil {
+					return Frame{}, err
+				}
+			}
+		}
+	case Heartbeat:
+		if f.From, err = r.u32(); err != nil {
+			return Frame{}, err
+		}
+		if f.To, err = r.u32(); err != nil {
+			return Frame{}, err
+		}
+	case Data:
+		if f.From, err = r.u32(); err != nil {
+			return Frame{}, err
+		}
+		if f.To, err = r.u32(); err != nil {
+			return Frame{}, err
+		}
+		if f.Seq, err = r.u64(); err != nil {
+			return Frame{}, err
+		}
+		if f.Seq == 0 {
+			return Frame{}, fmt.Errorf("%w: data frame with sequence 0", ErrBadValue)
+		}
+		if f.Ack, err = r.u64(); err != nil {
+			return Frame{}, err
+		}
+		code, err := r.u8()
+		if err != nil {
+			return Frame{}, err
+		}
+		if f.MsgKind, err = msgKindFromCode(code); err != nil {
+			return Frame{}, err
+		}
+		color, err := r.u32()
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Color = int32(color)
+	case Ack:
+		if f.From, err = r.u32(); err != nil {
+			return Frame{}, err
+		}
+		if f.To, err = r.u32(); err != nil {
+			return Frame{}, err
+		}
+		if f.Ack, err = r.u64(); err != nil {
+			return Frame{}, err
+		}
+	default:
+		return Frame{}, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
+	}
+	if r.off != len(b) {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTrailing, len(b)-r.off)
+	}
+	return f, nil
+}
+
+// WriteFrame writes one length-prefixed frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r. It returns the
+// underlying read error verbatim (io.EOF on a clean close before the
+// prefix), and a codec error on an oversized prefix or a payload that
+// fails strict decoding.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(prefix[:])
+	if n > MaxPayload {
+		return Frame{}, fmt.Errorf("%w: length prefix %d", ErrOversize, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return DecodePayload(body)
+}
+
+// String implements fmt.Stringer for trace readability.
+func (f Frame) String() string {
+	switch f.Kind {
+	case Hello:
+		return fmt.Sprintf("hello[node=%d inc=%d procs=%v]", f.Node, f.Incarnation, f.Procs)
+	case Heartbeat:
+		return fmt.Sprintf("heartbeat[%d→%d]", f.From, f.To)
+	case Data:
+		return fmt.Sprintf("data[seq=%d ack=%d %v]", f.Seq, f.Ack, f.Message())
+	case Ack:
+		return fmt.Sprintf("ack[%d→%d ack=%d]", f.From, f.To, f.Ack)
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(f.Kind))
+	}
+}

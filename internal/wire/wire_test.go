@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// sampleFrames covers every frame kind with non-trivial field values.
+func sampleFrames() []Frame {
+	return []Frame{
+		{Kind: Hello, Node: 2, Incarnation: 0x1122334455667788, Procs: []uint32{4, 9, 17}},
+		{Kind: Hello, Node: 0, Incarnation: 1},
+		{Kind: Heartbeat, From: 3, To: 7},
+		{Kind: Data, From: 1, To: 2, Seq: 42, Ack: 41, MsgKind: core.Ping},
+		{Kind: Data, From: 2, To: 1, Seq: 1, Ack: 0, MsgKind: core.Request, Color: -3},
+		{Kind: Data, From: 5, To: 0, Seq: 7, Ack: 9, MsgKind: core.Fork, Color: 0},
+		{Kind: Data, From: 0, To: 5, Seq: 8, Ack: 7, MsgKind: core.Ack, Color: 12},
+		{Kind: Ack, From: 4, To: 6, Ack: 1 << 40},
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		enc, err := EncodePayload(f)
+		if err != nil {
+			t.Fatalf("encode %v: %v", f, err)
+		}
+		got, err := DecodePayload(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", f, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", f, got)
+		}
+		re, err := EncodePayload(got)
+		if err != nil {
+			t.Fatalf("re-encode %v: %v", got, err)
+		}
+		if !bytes.Equal(re, enc) {
+			t.Fatalf("encoding not canonical for %v:\n %x\n %x", f, enc, re)
+		}
+	}
+}
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := sampleFrames()
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("write %v: %v", f, err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d:\n in: %+v\nout: %+v", i, want, got)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("read past end: err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	enc, err := EncodePayload(Frame{Kind: Heartbeat, From: 1, To: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePayload(append(enc, 0)); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("trailing byte: err = %v, want ErrTrailing", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for _, f := range sampleFrames() {
+		enc, err := EncodePayload(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := DecodePayload(enc[:cut]); err == nil {
+				t.Fatalf("decode of %v truncated to %d bytes succeeded", f, cut)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	enc, _ := EncodePayload(Frame{Kind: Heartbeat, From: 1, To: 2})
+	enc[0] = Version + 1
+	if _, err := DecodePayload(enc); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	if _, err := DecodePayload([]byte{Version, 99}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown kind: err = %v, want ErrUnknownKind", err)
+	}
+}
+
+func TestDecodeRejectsZeroDataSeq(t *testing.T) {
+	enc, _ := EncodePayload(Frame{Kind: Data, From: 1, To: 2, Seq: 5, MsgKind: core.Ping})
+	binary.LittleEndian.PutUint64(enc[10:], 0) // version, kind, from, to precede seq
+	if _, err := DecodePayload(enc); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("zero seq: err = %v, want ErrBadValue", err)
+	}
+}
+
+func TestDecodeRejectsBadMsgKindCode(t *testing.T) {
+	enc, _ := EncodePayload(Frame{Kind: Data, From: 1, To: 2, Seq: 5, MsgKind: core.Ping})
+	enc[len(enc)-5] = 9 // the message-kind code byte precedes the 4-byte color
+	if _, err := DecodePayload(enc); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("bad msg kind: err = %v, want ErrBadValue", err)
+	}
+}
+
+func TestEncodeRejectsZeroDataSeq(t *testing.T) {
+	if _, err := EncodePayload(Frame{Kind: Data, From: 1, To: 2, Seq: 0, MsgKind: core.Ping}); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("encode zero seq: err = %v, want ErrBadValue", err)
+	}
+}
+
+func TestEncodeRejectsUnknownMsgKind(t *testing.T) {
+	if _, err := EncodePayload(Frame{Kind: Data, From: 1, To: 2, Seq: 1, MsgKind: core.MsgKind(9)}); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("encode bad msg kind: err = %v, want ErrBadValue", err)
+	}
+}
+
+func TestEncodeRejectsUnknownFrameKind(t *testing.T) {
+	if _, err := EncodePayload(Frame{Kind: FrameKind(0)}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("encode bad frame kind: err = %v, want ErrUnknownKind", err)
+	}
+}
+
+func TestHelloProcsLimit(t *testing.T) {
+	f := Frame{Kind: Hello, Procs: make([]uint32, MaxHelloProcs+1)}
+	if _, err := EncodePayload(f); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("oversized hello encode: err = %v, want ErrBadValue", err)
+	}
+	// A hand-built payload claiming too many processes must be rejected
+	// before any per-process reads.
+	b := []byte{Version, byte(Hello)}
+	b = binary.LittleEndian.AppendUint32(b, 0)
+	b = binary.LittleEndian.AppendUint64(b, 0)
+	b = binary.LittleEndian.AppendUint16(b, MaxHelloProcs+1)
+	if _, err := DecodePayload(b); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("oversized hello decode: err = %v, want ErrBadValue", err)
+	}
+}
+
+func TestReadFrameRejectsOversizedPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], MaxPayload+1)
+	buf.Write(prefix[:])
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversized prefix: err = %v, want ErrOversize", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Kind: Heartbeat, From: 1, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	short := bytes.NewReader(buf.Bytes()[:buf.Len()-1])
+	if _, err := ReadFrame(short); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated body: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestDataFrameMessageRoundTrip(t *testing.T) {
+	m := core.Message{Kind: core.Request, From: 3, To: 8, Color: 5}
+	f, err := DataFrame(m, 11, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Message(); got != m {
+		t.Fatalf("Message() = %+v, want %+v", got, m)
+	}
+	if f.Seq != 11 || f.Ack != 10 {
+		t.Fatalf("seq/ack = %d/%d, want 11/10", f.Seq, f.Ack)
+	}
+}
+
+func TestDataFrameRejectsNegativeProcess(t *testing.T) {
+	if _, err := DataFrame(core.Message{Kind: core.Ping, From: -1, To: 2}, 1, 0); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("negative process: err = %v, want ErrBadValue", err)
+	}
+}
