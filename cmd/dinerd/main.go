@@ -4,7 +4,11 @@
 // <proc>..." line per daemon — and is told which node it is. It then
 // hosts those philosophers, speaks the internal/wire protocol over TCP
 // to the peers hosting its neighbors, and keeps dining through peer
-// restarts and crashes (Algorithm 1's wait-freedom, over real sockets).
+// crashes (Algorithm 1's wait-freedom, over real sockets). Links
+// re-handshake when a restarted peer returns and reset their ARQ state
+// to its new incarnation; the restarted processes rejoin with fresh
+// dining state (crash-recovery at the dining layer is future work —
+// see README).
 //
 // A 3-ring over three daemons, each in its own terminal:
 //

@@ -113,15 +113,20 @@ func New(g *graph.Graph, placement [][]int, opts Options) (*Cluster, error) {
 		}
 		n, err := remote.NewNode(cfg)
 		if err != nil {
-			closeAll(listeners[i:])
+			// No node has been Started yet, so no listener has been
+			// adopted: close them all ourselves.
 			c.stopStarted()
+			closeAll(listeners)
 			return nil, err
 		}
 		c.Nodes = append(c.Nodes, n)
 	}
 	for _, n := range c.Nodes {
 		if err := n.Start(); err != nil {
+			// Stop closes the listeners of nodes that Started; closing
+			// the rest again is a harmless double-close.
 			c.stopStarted()
+			closeAll(listeners)
 			return nil, err
 		}
 	}

@@ -512,7 +512,19 @@ func (p *rproc) act(action func() []core.Message) {
 	msgs := action()
 	after := p.diner.State()
 	if err := p.diner.Err(); err != nil {
+		// A diner that tripped a protocol invariant is halted for good —
+		// core.Diner refuses every further action, so it will never
+		// answer another ping. Keeping its heartbeat alive would make
+		// neighbors trust a process that cannot respond, starving them
+		// forever. Fall over as a crash instead (exactly like a
+		// panicking OnEat hook): heartbeats stop, ◇P₁ suspects us, and
+		// the neighbors keep eating — wait-freedom is preserved. This is
+		// how a process restarted with fresh dining state (see README on
+		// crash-recovery) degrades: its neighbors may kill it with a
+		// stale message, but they never wedge on it.
 		p.node.tr.recordErr(fmt.Errorf("remote: process %d: %w", p.id, err))
+		p.crash()
+		return
 	}
 	p.node.routeMessages(msgs)
 	if before == after {

@@ -77,6 +77,7 @@ type peer struct {
 	// Manager-owned state below.
 	conn      *liveConn
 	connGen   uint64
+	peerInc   uint64 // peer's boot incarnation from its last Hello (0 = never seen)
 	dialDelay time.Duration
 	dialing   bool
 	sends     map[pairKey]*sendState
@@ -163,15 +164,16 @@ func (p *peer) startDial() {
 // client half of the Hello exchange, then hands the result back.
 func (p *peer) dialAttempt(addr string) {
 	defer p.node.wg.Done()
+	var inc uint64
 	c, err := p.dialConn(addr)
 	if err == nil {
-		err = p.clientHandshake(c)
+		inc, err = p.clientHandshake(c)
 		if err != nil {
 			c.Close()
 			c = nil
 		}
 	}
-	p.post(func() { p.onDialDone(c, err) })
+	p.post(func() { p.onDialDone(c, inc, err) })
 }
 
 func (p *peer) dialConn(addr string) (net.Conn, error) {
@@ -184,26 +186,27 @@ func (p *peer) dialConn(addr string) (net.Conn, error) {
 	return net.DialTimeout("tcp", addr, dialTimeout)
 }
 
-// clientHandshake sends our Hello and validates the peer's reply.
-func (p *peer) clientHandshake(c net.Conn) error {
+// clientHandshake sends our Hello, validates the peer's reply against
+// the shared topology, and returns the peer's boot incarnation.
+func (p *peer) clientHandshake(c net.Conn) (uint64, error) {
 	c.SetDeadline(time.Now().Add(handshakeTimeout))
 	defer c.SetDeadline(time.Time{})
 	if err := wire.WriteFrame(c, p.node.helloFrame()); err != nil {
-		return fmt.Errorf("remote: hello send to node %d: %w", p.remote, err)
+		return 0, fmt.Errorf("remote: hello send to node %d: %w", p.remote, err)
 	}
 	fr, err := wire.ReadFrame(c)
 	if err != nil {
-		return fmt.Errorf("remote: hello read from node %d: %w", p.remote, err)
+		return 0, fmt.Errorf("remote: hello read from node %d: %w", p.remote, err)
 	}
-	if fr.Kind != wire.Hello || int(fr.Node) != p.remote {
-		return fmt.Errorf("remote: bad hello from node %d: %v", p.remote, fr)
+	if err := p.node.checkHello(fr, p.remote); err != nil {
+		return 0, err
 	}
-	return nil
+	return fr.Incarnation, nil
 }
 
 // onDialDone adopts a successful connection or schedules the next
 // attempt with exponential backoff + jitter (manager goroutine only).
-func (p *peer) onDialDone(c net.Conn, err error) {
+func (p *peer) onDialDone(c net.Conn, inc uint64, err error) {
 	p.dialing = false
 	if err != nil || c == nil {
 		if c != nil {
@@ -219,7 +222,7 @@ func (p *peer) onDialDone(c net.Conn, err error) {
 		c.Close()
 		return
 	}
-	p.adopt(c)
+	p.adopt(c, inc)
 }
 
 // scheduleRedial arms the next dial attempt (manager goroutine only).
@@ -238,6 +241,32 @@ func (n *Node) helloFrame() wire.Frame {
 	}
 	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
 	return wire.Frame{Kind: wire.Hello, Node: uint32(n.self), Incarnation: n.incarnation, Procs: procs}
+}
+
+// checkHello validates a peer's Hello against the shared topology: the
+// frame must be a Hello claiming the expected node index, and the
+// advertised process list must match our topology's placement for that
+// node exactly. Nodes loading different topology files would otherwise
+// happily interconnect and misroute process IDs; instead the placement
+// disagreement surfaces here as a handshake rejection.
+func (n *Node) checkHello(fr wire.Frame, wantNode int) error {
+	if fr.Kind != wire.Hello {
+		return fmt.Errorf("remote: want hello from node %d, got %v", wantNode, fr)
+	}
+	if int(fr.Node) != wantNode {
+		return fmt.Errorf("remote: hello claims node %d, want node %d", fr.Node, wantNode)
+	}
+	want := append([]int(nil), n.topo.Nodes[wantNode].Procs...)
+	sort.Ints(want)
+	if len(fr.Procs) != len(want) {
+		return fmt.Errorf("remote: node %d advertises %d processes, topology places %d", wantNode, len(fr.Procs), len(want))
+	}
+	for i, pid := range fr.Procs {
+		if int(pid) != want[i] {
+			return fmt.Errorf("remote: node %d advertises process %d where topology places %d", wantNode, pid, want[i])
+		}
+	}
+	return nil
 }
 
 // acceptLoop serves inbound connections until the listener closes.
@@ -272,29 +301,69 @@ func (n *Node) serverHandshake(c net.Conn) {
 		c.Close()
 		return
 	}
+	if err := n.checkHello(fr, int(fr.Node)); err != nil {
+		n.logf("node %d: rejecting inbound handshake: %v", n.self, err)
+		c.Close()
+		return
+	}
 	if err := wire.WriteFrame(c, n.helloFrame()); err != nil {
 		c.Close()
 		return
 	}
 	c.SetDeadline(time.Time{})
-	pr.post(func() { pr.acceptConn(c) })
+	pr.post(func() { pr.acceptConn(c, fr.Incarnation) })
 }
 
 // acceptConn installs an inbound connection, replacing any current one
 // (the dialer reconnected, so the old conn is dead or dying).
-func (p *peer) acceptConn(c net.Conn) {
+func (p *peer) acceptConn(c net.Conn, inc uint64) {
 	if p.conn != nil {
 		p.conn.retire()
 		p.conn = nil
 	}
-	p.adopt(c)
+	p.adopt(c, inc)
+}
+
+// noteIncarnation compares the incarnation a peer advertised in its
+// Hello against the last one seen; a change means the peer daemon
+// restarted, so every per-pair ARQ state on this link is stale and is
+// discarded. The restarted peer's sequence counters begin again at 1:
+// receive streams reset so its fresh frames deliver instead of being
+// dedup-dropped (or parked forever in the reorder buffer), and queued
+// unacked sends are renumbered from 1, in order, so the fresh receiver
+// accepts them rather than acking them away unseen. Without this the
+// link silently wedges after a peer restart and exactly-once delivery
+// is violated (manager goroutine only).
+func (p *peer) noteIncarnation(inc uint64) {
+	if inc == p.peerInc {
+		return
+	}
+	if p.peerInc != 0 {
+		p.node.logf("node %d: node %d restarted (incarnation %d -> %d); resetting link state",
+			p.node.self, p.remote, p.peerInc, inc)
+		for _, ss := range p.sends {
+			for i := range ss.queue {
+				ss.queue[i].seq = uint64(i + 1)
+			}
+			ss.nextSeq = uint64(len(ss.queue) + 1)
+			ss.rto = p.node.cfg.RTO
+			ss.deadline = time.Time{}
+		}
+		for _, rs := range p.recvs {
+			rs.next = 1
+			rs.buf = make(map[uint64]core.Message)
+		}
+	}
+	p.peerInc = inc
 }
 
 // adopt makes c the live connection: starts its reader and writer,
-// resets the backoff, retransmits every unacked frame, and re-states
-// our cumulative acks so the peer can clear its own queues (manager
+// resets the backoff, resets the ARQ state if the peer's incarnation
+// changed, retransmits every unacked frame, and re-states our
+// cumulative acks so the peer can clear its own queues (manager
 // goroutine only).
-func (p *peer) adopt(c net.Conn) {
+func (p *peer) adopt(c net.Conn, inc uint64) {
+	p.noteIncarnation(inc)
 	p.connGen++
 	lc := &liveConn{c: c, gen: p.connGen, out: make(chan []byte, writerQueueCap), done: make(chan struct{})}
 	p.conn = lc
@@ -359,9 +428,27 @@ func (p *peer) writeFrame(fr wire.Frame) {
 	}
 }
 
-// writeLoop owns the connection's write side.
+// writeTimeout bounds one frame write. A half-dead connection (peer
+// unreachable, no RST) would otherwise block Write for the OS TCP
+// timeout — minutes during which p.conn stays non-nil, so the dialer
+// never redials and every frame, heartbeats included, drops on the
+// saturated writer queue. Several suspicion timeouts is far more than
+// a live peer ever needs to drain one small frame, and short enough
+// that the failure detector's recovery assumptions hold.
+func (p *peer) writeTimeout() time.Duration {
+	d := 4 * p.node.cfg.InitialTimeout
+	if hb := 10 * p.node.cfg.HeartbeatPeriod; d < hb {
+		d = hb
+	}
+	return d
+}
+
+// writeLoop owns the connection's write side. Each write carries a
+// deadline; a deadline error tears the generation down like any other
+// write failure, so the dialer redials promptly.
 func (p *peer) writeLoop(lc *liveConn) {
 	defer p.node.wg.Done()
+	wt := p.writeTimeout()
 	for {
 		select {
 		case <-p.node.stop:
@@ -369,6 +456,7 @@ func (p *peer) writeLoop(lc *liveConn) {
 		case <-lc.done:
 			return
 		case buf := <-lc.out:
+			lc.c.SetWriteDeadline(time.Now().Add(wt))
 			if _, err := lc.c.Write(buf); err != nil {
 				p.post(func() { p.connDown(lc.gen, err) })
 				return

@@ -109,7 +109,7 @@ type Frame struct {
 
 	// Hello fields.
 	Node        uint32   // sender's node index in the shared topology
-	Incarnation uint64   // sender's boot identity; newer wins on duplicate conns
+	Incarnation uint64   // sender's boot identity; a change marks a restart and resets the link's ARQ state
 	Procs       []uint32 // process IDs the sender hosts
 
 	// Endpoint fields (Heartbeat, Data, Ack).
