@@ -36,6 +36,7 @@ var Scope = []string{
 	"repro/internal/rlink",
 	"repro/internal/remote",
 	"repro/internal/remote/cluster",
+	"repro/internal/netsim",
 	"repro/internal/wire",
 	"repro/dining",
 }

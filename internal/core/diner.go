@@ -289,6 +289,42 @@ func (d *Diner) Deliver(m Message) []Message {
 	return d.fire(out)
 }
 
+// ResetNeighbor reinitializes the protocol variables of the edge
+// shared with neighbor j to their NewDiner values: fork at the higher
+// color, token at the lower, no pings, acks, deferrals, or grants
+// outstanding. The crash-recovery runtime calls it on the surviving
+// side when neighbor j restarts with fresh dining state: j's reborn
+// diner holds exactly the initial placement for this edge, so the
+// survivor must adopt the complementary half. Without the reset both
+// endpoints can believe they hold the edge's one fork — the survivor
+// acquired it legitimately before the crash, the restarted side
+// re-seeded it by color — and since neither ever requests it, no
+// message flows and no local invariant trips while the two eat
+// concurrently forever. After the reset the enabled internal actions
+// re-fire: a hungry survivor re-pings j, and one inside the doorway
+// re-requests the fork if the reset left it holding the token.
+//
+// A reset mid-session can transiently break exclusion (a survivor
+// eating on a fork the reset just reassigned finishes its meal), which
+// is inherent to recovery: the paper's guarantees are eventual, and
+// the chaos harness asserts them only after stabilization.
+func (d *Diner) ResetNeighbor(j int) []Message {
+	if d.err != nil {
+		return nil
+	}
+	c, ok := d.colorOf[j]
+	if !ok {
+		return nil
+	}
+	d.pinged[j] = false
+	d.ack[j] = false
+	d.deferred[j] = false
+	d.granted[j] = 0
+	d.fork[j] = d.color > c
+	d.token[j] = d.color < c
+	return d.fire(nil)
+}
+
 // ReevaluateSuspicion implements Process: guards of Actions 5 and 9
 // consult ◇P₁, so the runner invokes this when the local suspect set
 // changes.

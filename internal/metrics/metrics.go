@@ -62,6 +62,14 @@ func (m *ExclusionMonitor) OnTransition(at sim.Time, id int, _, to core.State) {
 // concerns live neighbors only).
 func (m *ExclusionMonitor) OnCrash(_ sim.Time, id int) { m.crashed[id] = true }
 
+// OnRestart feeds a crash-recovery to the monitor: the process is live
+// again with fresh dining state (thinking, not eating), so its eats
+// count toward ◇WX once more.
+func (m *ExclusionMonitor) OnRestart(_ sim.Time, id int) {
+	m.crashed[id] = false
+	m.eating[id] = false
+}
+
 // Violations returns every recorded mistake in time order.
 func (m *ExclusionMonitor) Violations() []Violation {
 	out := make([]Violation, len(m.viol))

@@ -102,6 +102,19 @@ func (m *OvertakeMonitor) OnCrash(at sim.Time, id int) {
 	}
 }
 
+// OnRestart feeds a crash-recovery: the process is live again with
+// fresh dining state, so it is once more protected by bounded waiting
+// (its next hungry session opens a window) and accountable as an
+// overtaker — with a clean slate, since pre-crash eats belong to a
+// different incarnation.
+func (m *OvertakeMonitor) OnRestart(_ sim.Time, id int) {
+	m.crashed[id] = false
+	m.hungry[id] = false
+	for _, j := range m.g.Neighbors(id) {
+		m.count[id][j] = 0
+	}
+}
+
 // Finish closes all still-open windows at time end. Call once when the
 // run is over, before reading results.
 func (m *OvertakeMonitor) Finish(end sim.Time) {

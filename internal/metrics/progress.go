@@ -62,6 +62,14 @@ func (m *ProgressMonitor) OnCrash(_ sim.Time, id int) {
 	m.hungry[id] = false
 }
 
+// OnRestart feeds a crash-recovery: the process rejoins live with
+// fresh dining state, so it counts toward starvation checks again (its
+// next hungry session opens on the first Hungry transition).
+func (m *ProgressMonitor) OnRestart(_ sim.Time, id int) {
+	m.crashed[id] = false
+	m.hungry[id] = false
+}
+
 // Starving returns the live processes that are still hungry at time
 // end, with how long they have been waiting. After a generous horizon,
 // a wait-free algorithm leaves this empty (up to sessions that began

@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ChaosKind enumerates the fault repertoire a ChaosPlan scripts. Link
+// events are executed by Net; node events (crash/restart) are executed
+// by the harness that owns the nodes (cluster.RunChaosSoak).
+type ChaosKind int
+
+const (
+	// ChaosSetLink sets latency/jitter on the link A–B.
+	ChaosSetLink ChaosKind = iota + 1
+	// ChaosPartition blackholes A–B (both directions).
+	ChaosPartition
+	// ChaosPartitionDir blackholes only A→B (asymmetric).
+	ChaosPartitionDir
+	// ChaosReset kills every live connection between A and B.
+	ChaosReset
+	// ChaosTruncate drops DropTail queued bytes from A–B streams.
+	ChaosTruncate
+	// ChaosCrash stops node A (listener down, connections die,
+	// heartbeats cease).
+	ChaosCrash
+	// ChaosRestart boots a fresh node at A's address with a new
+	// incarnation and fresh dining state.
+	ChaosRestart
+	// ChaosHealAll reopens every partitioned link. The generator always
+	// emits it exactly once, after every other event: everything after
+	// it is the stabilization window the paper's eventual guarantees
+	// quantify over.
+	ChaosHealAll
+)
+
+func (k ChaosKind) String() string {
+	switch k {
+	case ChaosSetLink:
+		return "setlink"
+	case ChaosPartition:
+		return "partition"
+	case ChaosPartitionDir:
+		return "partition-dir"
+	case ChaosReset:
+		return "reset"
+	case ChaosTruncate:
+		return "truncate"
+	case ChaosCrash:
+		return "crash"
+	case ChaosRestart:
+		return "restart"
+	case ChaosHealAll:
+		return "heal-all"
+	default:
+		return fmt.Sprintf("chaoskind(%d)", int(k))
+	}
+}
+
+// ChaosEvent is one scripted fault at a virtual-time offset from the
+// start of the run.
+type ChaosEvent struct {
+	At   time.Duration
+	Kind ChaosKind
+
+	// A, B name endpoints for link events; A names the node for
+	// crash/restart.
+	A, B string
+
+	// Latency/Jitter apply to ChaosSetLink.
+	Latency, Jitter time.Duration
+	// DropTail applies to ChaosTruncate.
+	DropTail int
+}
+
+// ChaosPlan is a deterministic fault schedule: events in time order,
+// then a quiet stabilization tail until Duration. Its String rendering
+// is the seed-derived half of a soak's event trace.
+type ChaosPlan struct {
+	Seed     int64
+	Events   []ChaosEvent
+	Duration time.Duration
+}
+
+// HealAt returns the time of the final ChaosHealAll event — the start
+// of the stabilization window.
+func (pl ChaosPlan) HealAt() time.Duration {
+	at := time.Duration(0)
+	for _, ev := range pl.Events {
+		if ev.Kind == ChaosHealAll && ev.At > at {
+			at = ev.At
+		}
+	}
+	return at
+}
+
+// String renders the plan one event per line, deterministically.
+func (pl ChaosPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan seed=%d duration=%v events=%d\n", pl.Seed, pl.Duration, len(pl.Events))
+	for _, ev := range pl.Events {
+		fmt.Fprintf(&b, "  +%-8v %s", ev.At, ev.Kind)
+		switch ev.Kind {
+		case ChaosSetLink:
+			fmt.Fprintf(&b, " %s<->%s latency=%v jitter=%v", ev.A, ev.B, ev.Latency, ev.Jitter)
+		case ChaosPartition:
+			fmt.Fprintf(&b, " %s<->%s", ev.A, ev.B)
+		case ChaosPartitionDir:
+			fmt.Fprintf(&b, " %s->%s", ev.A, ev.B)
+		case ChaosReset, ChaosTruncate:
+			fmt.Fprintf(&b, " %s<->%s", ev.A, ev.B)
+			if ev.Kind == ChaosTruncate {
+				fmt.Fprintf(&b, " drop=%dB", ev.DropTail)
+			}
+		case ChaosCrash, ChaosRestart:
+			fmt.Fprintf(&b, " %s", ev.A)
+		case ChaosHealAll:
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GenPlan derives a fault schedule from a seed, over the given
+// endpoint addresses. The schedule is built so the paper's guarantees
+// are checkable afterwards:
+//
+//   - faults land in the first ~55% of the run (the chaos window);
+//   - every crashed node restarts inside the chaos window, so by the
+//     end all processes are live;
+//   - at most one node is down at a time (survivor progress is then
+//     asserted for every other node's processes);
+//   - a single final ChaosHealAll closes the chaos window, after which
+//     the plan is quiet: the remaining ~45% is the stabilization
+//     window where ◇WX/◇2-BW must hold.
+//
+// Same seed, addrs, and duration always yield the identical plan.
+func GenPlan(seed int64, addrs []string, duration time.Duration) ChaosPlan {
+	rng := rand.New(rand.NewSource(seed))
+	window := duration * 55 / 100
+	pl := ChaosPlan{Seed: seed, Duration: duration}
+
+	// Base latency profile: every pair gets a small latency with
+	// jitter, fixed for the run at t=0.
+	for i := 0; i < len(addrs); i++ {
+		for j := i + 1; j < len(addrs); j++ {
+			pl.Events = append(pl.Events, ChaosEvent{
+				At: 0, Kind: ChaosSetLink, A: addrs[i], B: addrs[j],
+				Latency: time.Duration(rng.Int63n(int64(2 * time.Millisecond))),
+				Jitter:  time.Duration(rng.Int63n(int64(1 * time.Millisecond))),
+			})
+		}
+	}
+
+	pair := func() (string, string) {
+		i := rng.Intn(len(addrs))
+		j := rng.Intn(len(addrs) - 1)
+		if j >= i {
+			j++
+		}
+		return addrs[i], addrs[j]
+	}
+	at := func() time.Duration { return time.Duration(rng.Int63n(int64(window))) }
+
+	// One crash/restart episode in most plans: crash a random node,
+	// restart it while still inside the chaos window.
+	if len(addrs) >= 3 && rng.Intn(4) > 0 {
+		crashAt := time.Duration(rng.Int63n(int64(window / 2)))
+		restartAt := crashAt + time.Duration(rng.Int63n(int64(window/3))) + window/10
+		victim := addrs[rng.Intn(len(addrs))]
+		pl.Events = append(pl.Events,
+			ChaosEvent{At: crashAt, Kind: ChaosCrash, A: victim},
+			ChaosEvent{At: restartAt, Kind: ChaosRestart, A: victim},
+		)
+	}
+
+	// Link chaos: partitions (healed by the final heal-all), resets,
+	// truncations, latency shifts.
+	n := 3 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		a, b := pair()
+		ev := ChaosEvent{At: at(), A: a, B: b}
+		switch rng.Intn(6) {
+		case 0:
+			ev.Kind = ChaosPartition
+		case 1:
+			ev.Kind = ChaosPartitionDir
+		case 2, 3:
+			ev.Kind = ChaosReset
+		case 4:
+			ev.Kind = ChaosTruncate
+			ev.DropTail = 1 + rng.Intn(64)
+		case 5:
+			ev.Kind = ChaosSetLink
+			ev.Latency = time.Duration(rng.Int63n(int64(5 * time.Millisecond)))
+			ev.Jitter = time.Duration(rng.Int63n(int64(2 * time.Millisecond)))
+		}
+		pl.Events = append(pl.Events, ev)
+	}
+
+	pl.Events = append(pl.Events, ChaosEvent{At: window, Kind: ChaosHealAll})
+	sort.SliceStable(pl.Events, func(i, j int) bool { return pl.Events[i].At < pl.Events[j].At })
+	return pl
+}

@@ -1,13 +1,23 @@
 // Package cluster is a test harness for the real-network runtime: it
-// stands up an N-node dining cluster on localhost loopback TCP and
-// watches it with the same metrics monitors the simulator uses
-// (exclusion violations, per-process progress), so the paper's
-// properties — ◇WX, no starvation, wait-freedom under crashes — can be
-// asserted against real sockets instead of the simulated network.
+// stands up an N-node dining cluster and watches it with the same
+// metrics monitors the simulator uses (exclusion violations,
+// per-process progress, overtake counts), so the paper's properties —
+// ◇WX, no starvation, wait-freedom under crashes, ◇2-BW — can be
+// asserted against the real transport stack.
 //
-// Wall-clock time is mapped onto sim.Time as nanoseconds since the
-// cluster started, which is all the monitors need (they only compare
-// and subtract timestamps).
+// The cluster runs in one of two modes:
+//
+//   - loopback TCP on the wall clock (the default): real sockets, real
+//     time, suitable for smoke tests;
+//   - a netsim virtual network on a virtual clock (Options.Network):
+//     nothing moves unless the harness advances time, so minutes of
+//     heartbeat/retransmission/reconnect activity replay in
+//     milliseconds, and scripted fault schedules (netsim.ChaosPlan,
+//     executed by RunChaosSoak) are reproducible per seed.
+//
+// Time is mapped onto sim.Time as nanoseconds since the cluster
+// started — wall elapsed or virtual elapsed — which is all the
+// monitors need (they only compare and subtract timestamps).
 package cluster
 
 import (
@@ -19,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/netsim"
 	"repro/internal/remote"
 	"repro/internal/sim"
 )
@@ -28,13 +39,20 @@ import (
 // generous detection timeout, so false suspicion — legal before
 // stabilization, but noisy in a test — stays rare.
 type Options struct {
-	HeartbeatPeriod time.Duration // default 10ms
-	InitialTimeout  time.Duration // default 1s
-	EatTime         time.Duration // default 1ms
-	ThinkTime       time.Duration // default 1ms
-	RTO             time.Duration // default 20ms
-	Seed            int64         // default 1
-	Logf            func(format string, args ...any)
+	HeartbeatPeriod  time.Duration // default 10ms
+	InitialTimeout   time.Duration // default 1s
+	TimeoutIncrement time.Duration // default remote's (250ms)
+	EatTime          time.Duration // default 1ms
+	ThinkTime        time.Duration // default 1ms
+	RTO              time.Duration // default 20ms
+	Seed             int64         // default 1
+	Logf             func(format string, args ...any)
+
+	// Network, when non-nil, runs the cluster on the in-memory virtual
+	// network instead of loopback TCP: node i binds address "n<i>" on
+	// it, and every clock in the stack is the network's virtual clock.
+	// The harness (or RunChaosSoak) then owns time via Advance.
+	Network *netsim.Net
 }
 
 // Cluster is a running set of remote.Nodes plus shared monitors.
@@ -42,17 +60,24 @@ type Cluster struct {
 	Topo  *remote.Topology
 	Nodes []*remote.Node
 
+	g     *graph.Graph
+	opts  Options
 	start time.Time
+	vclk  *netsim.Clock // nil in TCP mode
 
-	mu     sync.Mutex
-	excl   *metrics.ExclusionMonitor
-	prog   *metrics.ProgressMonitor
-	killed map[int]bool // node index -> stopped by Kill
+	mu        sync.Mutex
+	excl      *metrics.ExclusionMonitor
+	prog      *metrics.ProgressMonitor
+	over      *metrics.OvertakeMonitor
+	killed    map[int]bool // node index -> stopped by Kill
+	fallen    map[int]bool // proc id -> fell over (hook panic / tripped invariant)
+	incarnSeq uint64
 }
 
-// New builds and starts one node per placement entry, all on ephemeral
-// loopback listeners. placement[i] lists the processes node i hosts
-// and must partition the vertices of g.
+// New builds and starts one node per placement entry — on ephemeral
+// loopback listeners, or on Options.Network when set. placement[i]
+// lists the processes node i hosts and must partition the vertices of
+// g.
 func New(g *graph.Graph, placement [][]int, opts Options) (*Cluster, error) {
 	if opts.HeartbeatPeriod == 0 {
 		opts.HeartbeatPeriod = 10 * time.Millisecond
@@ -76,7 +101,7 @@ func New(g *graph.Graph, placement [][]int, opts Options) (*Cluster, error) {
 	listeners := make([]net.Listener, len(placement))
 	specs := make([]remote.NodeSpec, len(placement))
 	for i, procs := range placement {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		ln, err := listenFor(opts.Network, i)
 		if err != nil {
 			closeAll(listeners[:i])
 			return nil, err
@@ -92,26 +117,20 @@ func New(g *graph.Graph, placement [][]int, opts Options) (*Cluster, error) {
 
 	c := &Cluster{
 		Topo:   topo,
+		g:      g,
+		opts:   opts,
 		start:  time.Now(),
 		excl:   metrics.NewExclusionMonitor(g),
 		prog:   metrics.NewProgressMonitor(g.N()),
+		over:   metrics.NewOvertakeMonitor(g),
 		killed: make(map[int]bool),
+		fallen: make(map[int]bool),
+	}
+	if opts.Network != nil {
+		c.vclk = opts.Network.Clock()
 	}
 	for i := range placement {
-		cfg := remote.Config{
-			Topology:        topo,
-			Node:            i,
-			HeartbeatPeriod: opts.HeartbeatPeriod,
-			InitialTimeout:  opts.InitialTimeout,
-			EatTime:         opts.EatTime,
-			ThinkTime:       opts.ThinkTime,
-			RTO:             opts.RTO,
-			Seed:            opts.Seed + int64(i),
-			Listener:        listeners[i],
-			Observer:        c.observe,
-			Logf:            opts.Logf,
-		}
-		n, err := remote.NewNode(cfg)
+		n, err := remote.NewNode(c.nodeConfig(i, listeners[i]))
 		if err != nil {
 			// No node has been Started yet, so no listener has been
 			// adopted: close them all ourselves.
@@ -133,6 +152,48 @@ func New(g *graph.Graph, placement [][]int, opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// listenFor binds node ni's transport listener in the right mode.
+func listenFor(nw *netsim.Net, ni int) (net.Listener, error) {
+	if nw == nil {
+		return net.Listen("tcp", "127.0.0.1:0")
+	}
+	return nw.Host(fmt.Sprintf("n%d", ni)).Listen()
+}
+
+// nodeConfig assembles node ni's remote.Config (used at construction
+// and again by Restart). Incarnations come from a cluster-wide counter
+// so two boots at the same virtual instant still differ.
+func (c *Cluster) nodeConfig(ni int, ln net.Listener) remote.Config {
+	c.mu.Lock()
+	c.incarnSeq++
+	inc := c.incarnSeq
+	c.mu.Unlock()
+	cfg := remote.Config{
+		Topology:         c.Topo,
+		Node:             ni,
+		HeartbeatPeriod:  c.opts.HeartbeatPeriod,
+		InitialTimeout:   c.opts.InitialTimeout,
+		TimeoutIncrement: c.opts.TimeoutIncrement,
+		EatTime:          c.opts.EatTime,
+		ThinkTime:        c.opts.ThinkTime,
+		RTO:              c.opts.RTO,
+		Seed:             c.opts.Seed + int64(ni) + int64(inc)*1000003,
+		Incarnation:      inc,
+		Listener:         ln,
+		Observer:         c.observe,
+		OnProcCrash:      c.procFell,
+		Logf:             c.opts.Logf,
+	}
+	if c.opts.Network != nil {
+		self := fmt.Sprintf("n%d", ni)
+		cfg.Clock = c.vclk
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return c.opts.Network.Host(self).Dial(addr)
+		}
+	}
+	return cfg
+}
+
 func closeAll(lns []net.Listener) {
 	for _, ln := range lns {
 		if ln != nil {
@@ -143,12 +204,49 @@ func closeAll(lns []net.Listener) {
 
 func (c *Cluster) stopStarted() {
 	for _, n := range c.Nodes {
-		n.Stop()
+		c.stopNode(n)
 	}
 }
 
-// now maps wall clock onto the monitors' sim.Time axis.
-func (c *Cluster) now() sim.Time { return sim.Time(time.Since(c.start)) }
+// stopNode stops one node. On the virtual network, Stop can block on
+// goroutines waiting for virtual deadlines (an in-flight handshake
+// read, a parked redial timer), so the harness pumps the clock until
+// the node is down.
+func (c *Cluster) stopNode(n *remote.Node) {
+	if c.vclk == nil {
+		n.Stop()
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		n.Stop()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			c.vclk.Advance(10 * time.Millisecond)
+		}
+	}
+}
+
+// Advance moves virtual time forward (no-op in TCP mode). Tests drive
+// all activity through it.
+func (c *Cluster) Advance(d time.Duration) {
+	if c.vclk != nil {
+		c.vclk.Advance(d)
+	}
+}
+
+// now maps elapsed cluster time onto the monitors' sim.Time axis.
+func (c *Cluster) now() sim.Time {
+	if c.vclk != nil {
+		return sim.Time(c.vclk.Elapsed())
+	}
+	return sim.Time(time.Since(c.start))
+}
 
 // observe feeds every dining transition, from every node, into the
 // shared monitors. It runs on process goroutines across the whole
@@ -159,14 +257,47 @@ func (c *Cluster) observe(proc int, from, to core.State) {
 	defer c.mu.Unlock()
 	c.excl.OnTransition(at, proc, from, to)
 	c.prog.OnTransition(at, proc, from, to)
+	c.over.OnTransition(at, proc, from, to)
+}
+
+// procFell records a process that fell over on its own — a recovered
+// hook panic or a tripped protocol invariant (the legal degradation
+// mode of crash-recovery: a restarted process or its neighbors may be
+// killed by a stale message). The monitors treat it as a crash so it
+// stops counting toward starvation and fairness checks.
+func (c *Cluster) procFell(proc int) {
+	at := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fallen[proc] = true
+	c.excl.OnCrash(at, proc)
+	c.prog.OnCrash(at, proc)
+	c.over.OnCrash(at, proc)
+}
+
+// FallenProcs returns the processes that fell over on their own
+// (independent of Kill), sorted by id.
+func (c *Cluster) FallenProcs() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for p := range c.fallen {
+		out = append(out, p)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 // Kill stops node ni abruptly — from its peers' point of view this is
-// a crash of every process it hosts (the TCP connections die and the
+// a crash of every process it hosts (the connections die and the
 // heartbeats stop). The monitors are told so the crashed processes
 // stop counting toward starvation and exclusion checks.
 func (c *Cluster) Kill(ni int) {
-	c.Nodes[ni].Stop()
+	c.stopNode(c.Nodes[ni])
 	at := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -174,7 +305,46 @@ func (c *Cluster) Kill(ni int) {
 	for _, p := range c.Topo.Nodes[ni].Procs {
 		c.excl.OnCrash(at, p)
 		c.prog.OnCrash(at, p)
+		c.over.OnCrash(at, p)
 	}
+}
+
+// Restart boots a fresh node at a killed node's address: new
+// incarnation, fresh dining state, same topology slot — the paper's
+// crash-recovery model. Peers detect the incarnation change at the
+// next handshake and reset their per-pair ARQ state.
+func (c *Cluster) Restart(ni int) error {
+	c.mu.Lock()
+	if !c.killed[ni] {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: restart of node %d, which is not killed", ni)
+	}
+	c.mu.Unlock()
+
+	ln, err := listenFor(c.opts.Network, ni)
+	if err != nil {
+		return fmt.Errorf("cluster: restart node %d: %w", ni, err)
+	}
+	n, err := remote.NewNode(c.nodeConfig(ni, ln))
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("cluster: restart node %d: %w", ni, err)
+	}
+	if err := n.Start(); err != nil {
+		return fmt.Errorf("cluster: restart node %d: %w", ni, err)
+	}
+	at := c.now()
+	c.mu.Lock()
+	c.Nodes[ni] = n
+	c.killed[ni] = false
+	for _, p := range c.Topo.Nodes[ni].Procs {
+		delete(c.fallen, p)
+		c.excl.OnRestart(at, p)
+		c.prog.OnRestart(at, p)
+		c.over.OnRestart(at, p)
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 // Stop shuts the whole cluster down.
@@ -184,12 +354,14 @@ func (c *Cluster) Stop() {
 		dead := c.killed[ni]
 		c.mu.Unlock()
 		if !dead {
-			n.Stop()
+			c.stopNode(n)
 		}
 	}
 }
 
 // EatCounts merges the per-process eat counters of every live node.
+// Counters restart from zero when a node restarts; for monotonic
+// progress accounting across restarts use Sessions.
 func (c *Cluster) EatCounts() map[int]int {
 	out := make(map[int]int)
 	for ni, n := range c.Nodes {
@@ -206,24 +378,94 @@ func (c *Cluster) EatCounts() map[int]int {
 	return out
 }
 
+// Sessions returns per-process completed hungry sessions as counted by
+// the progress monitor — monotonic across node restarts.
+func (c *Cluster) Sessions() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prog.CompletedSessions()
+}
+
 // WaitEats blocks until every process NOT hosted on a killed node has
 // eaten at least min more times than base (nil base means zero), or
-// the deadline passes.
+// the deadline passes. On the virtual network the timeout is virtual
+// time, which the call itself advances; on TCP it is wall time.
 func (c *Cluster) WaitEats(base map[int]int, min int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		counts := c.EatCounts()
-		done := true
-		for id, eats := range counts {
+	check := func() bool {
+		for id, eats := range c.EatCounts() {
 			if eats-base[id] < min {
-				done = false
+				return false
 			}
 		}
-		if done {
-			return c.Err()
+		return true
+	}
+	err := c.waitCond(check, timeout)
+	if err != nil {
+		return fmt.Errorf("cluster: timeout waiting for %d eats over %v; counts %v", min, base, c.EatCounts())
+	}
+	return c.Err()
+}
+
+// WaitSessions advances/polls until every live process (not killed,
+// not fallen) has completed at least min sessions more than base, or
+// the (virtual respectively wall) timeout passes.
+func (c *Cluster) WaitSessions(base []int, min int, timeout time.Duration) error {
+	check := func() bool {
+		cur := c.Sessions()
+		for id := range cur {
+			if c.procDown(id) {
+				continue
+			}
+			b := 0
+			if base != nil {
+				b = base[id]
+			}
+			if cur[id]-b < min {
+				return false
+			}
+		}
+		return true
+	}
+	if err := c.waitCond(check, timeout); err != nil {
+		return fmt.Errorf("cluster: timeout waiting for %d sessions over %v; sessions %v", min, base, c.Sessions())
+	}
+	return nil
+}
+
+// procDown reports whether process id is on a killed node or has
+// fallen over.
+func (c *Cluster) procDown(id int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fallen[id] {
+		return true
+	}
+	return c.killed[c.Topo.NodeOf(id)]
+}
+
+// waitCond drives time until check passes: by advancing the virtual
+// clock in heartbeat-sized steps (virtual mode), or by sleeping
+// between polls (TCP mode).
+func (c *Cluster) waitCond(check func() bool, timeout time.Duration) error {
+	if c.vclk != nil {
+		step := 5 * time.Millisecond
+		for advanced := time.Duration(0); ; advanced += step {
+			if check() {
+				return nil
+			}
+			if advanced >= timeout {
+				return fmt.Errorf("cluster: virtual timeout after %v", advanced)
+			}
+			c.vclk.Advance(step)
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if check() {
+			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("cluster: timeout waiting for %d eats over %v; counts %v", min, base, counts)
+			return fmt.Errorf("cluster: timeout after %v", timeout)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -255,6 +497,56 @@ func (c *Cluster) ExclusionViolationsAfter(t sim.Time) int {
 	return c.excl.CountAfter(t)
 }
 
+// LastExclusionViolation returns the time of the latest recorded
+// simultaneous-eating violation and whether any occurred.
+func (c *Cluster) LastExclusionViolation() (sim.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.excl.LastViolation()
+}
+
+// MaxOvertakeFrom returns the largest overtake count among bounded-
+// waiting windows whose hungry session began at or after t (Theorem
+// 3's ◇2-BW: ≤2 for t past stabilization).
+func (c *Cluster) MaxOvertakeFrom(t sim.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.over.MaxCountFrom(t)
+}
+
+// LastExcessOvertake returns the start of the latest bounded-waiting
+// window exceeding k, and whether one exists.
+func (c *Cluster) LastExcessOvertake(k int) (sim.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.over.LastExcessWindow(k)
+}
+
+// OvertakeWindowsFrom counts closed bounded-waiting windows per victim
+// whose hungry session began at or after t — the "teeth" check that a
+// fairness assertion actually covered sessions.
+func (c *Cluster) OvertakeWindowsFrom(t sim.Time) map[int]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]int)
+	for _, w := range c.over.Windows() {
+		if w.Closed && w.HungryAt >= t {
+			out[w.Victim]++
+		}
+	}
+	return out
+}
+
+// FinishMonitors closes still-open monitor windows at the current
+// time. Call once, after the run's last activity, before reading
+// overtake results.
+func (c *Cluster) FinishMonitors() {
+	at := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.over.Finish(at)
+}
+
 // Starving returns processes that have been hungry without eating for
 // at least olderThan (crashed processes excluded).
 func (c *Cluster) Starving(olderThan time.Duration) []int {
@@ -272,7 +564,13 @@ func (c *Cluster) Now() sim.Time { return c.now() }
 // high-water mark any node measured (the paper's Section 7 quantity).
 func (c *Cluster) MaxEdgeOccupancy() int {
 	max := 0
-	for _, n := range c.Nodes {
+	for ni, n := range c.Nodes {
+		c.mu.Lock()
+		dead := c.killed[ni]
+		c.mu.Unlock()
+		if dead {
+			continue
+		}
 		if v := n.MaxEdgeOccupancy(); v > max {
 			max = v
 		}

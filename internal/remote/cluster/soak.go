@@ -1,0 +1,373 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// SoakConfig parameterizes one seeded chaos-soak run on the virtual
+// network.
+type SoakConfig struct {
+	// Seed derives the fault schedule and all jitter. Required (0 is a
+	// valid seed).
+	Seed int64
+	// Nodes is the ring size (default 5); process i lives on node i.
+	Nodes int
+	// Duration is the virtual length of the scripted plan (default 8s).
+	// Roughly the first 55% is the chaos window, the rest the
+	// stabilization tail; the run advances further past Duration if the
+	// fairness checks need more sessions.
+	Duration time.Duration
+	// Plan overrides the generated schedule (Seed then only feeds
+	// jitter). Its Duration must match.
+	Plan *netsim.ChaosPlan
+	// Logf, when non-nil, receives per-node debug logging.
+	Logf func(format string, args ...any)
+}
+
+// SoakResult is the outcome of one chaos-soak run.
+type SoakResult struct {
+	// Plan is the executed fault schedule.
+	Plan netsim.ChaosPlan
+	// Trace is the per-seed event trace: the rendered plan plus one
+	// verdict line per checked property. It contains only
+	// schedule-deterministic content — the plan is a pure function of
+	// the seed and every verdict is a boolean that the paper guarantees
+	// for all schedules — so two runs of the same seed must produce
+	// byte-identical traces (the determinism contract of DESIGN S19;
+	// per-message interleavings are NOT replayed, goroutine scheduling
+	// being outside the harness's control).
+	Trace string
+	// StableAt is the stabilization anchor actually used: the start of
+	// the quiet window in which the eventual properties were asserted.
+	StableAt sim.Time
+	// MaxOvertakePostStable is the largest bounded-waiting count among
+	// windows starting at or after StableAt (Theorem 3: ≤2).
+	MaxOvertakePostStable int
+	// Failures lists every property violation with diagnostic detail
+	// (empty on a clean run). Diagnostics are free to be
+	// nondeterministic; only Trace is under the byte-identical
+	// contract.
+	Failures []string
+
+	traceB strings.Builder
+}
+
+// Failed reports whether any property check failed.
+func (r *SoakResult) Failed() bool { return len(r.Failures) > 0 }
+
+// soakWaitCap bounds how much extra virtual time a goal-driven wait
+// may consume past the plan's Duration.
+const soakWaitCap = 12 * time.Second
+
+// RunChaosSoak executes one seeded fault schedule against a full
+// remote-stack ring on the virtual network and checks the paper's
+// properties after stabilization:
+//
+//   - zero exclusion violations from the stabilization point (◇WX,
+//     Theorem 1);
+//   - every live process keeps completing hungry sessions after the
+//     final heal, and none is starving at the end (wait-freedom,
+//     Theorem 2);
+//   - no bounded-waiting window starting after stabilization exceeds 2
+//     overtakes (◇2-BW, Theorem 3);
+//   - processes that fell over on their own did so only inside a
+//     crash/restart blast radius (the restarted node's processes and
+//     their conflict-graph neighbors), and nodes outside it recorded
+//     no errors.
+//
+// The returned error covers harness malfunctions (a restart that could
+// not bind, a progress wait that timed out); property violations go to
+// SoakResult.Failures.
+func RunChaosSoak(cfg SoakConfig) (*SoakResult, error) {
+	res, _, err := runChaosSoakInner(cfg)
+	return res, err
+}
+
+// runChaosSoakInner also returns the (stopped) cluster so tests can
+// inspect its monitors.
+func runChaosSoakInner(cfg SoakConfig) (*SoakResult, *Cluster, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 5
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 8 * time.Second
+	}
+
+	clk := netsim.NewClock()
+	// Settle with scheduler yields alone: the real-time pause is a
+	// fidelity knob, not a correctness one — the anchor-seeking checker
+	// below already tolerates simulated processing lag, and skipping the
+	// sleeps cuts soak wall time several-fold on small machines.
+	clk.Yield = 0
+	nw := netsim.NewNet(clk, cfg.Seed)
+	addrs := make([]string, cfg.Nodes)
+	placement := make([][]int, cfg.Nodes)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("n%d", i)
+		placement[i] = []int{i}
+	}
+	plan := netsim.GenPlan(cfg.Seed, addrs, cfg.Duration)
+	if cfg.Plan != nil {
+		plan = *cfg.Plan
+	}
+
+	g := graph.Ring(cfg.Nodes)
+	cl, err := New(g, placement, Options{
+		HeartbeatPeriod:  10 * time.Millisecond,
+		InitialTimeout:   120 * time.Millisecond,
+		TimeoutIncrement: 60 * time.Millisecond,
+		EatTime:          4 * time.Millisecond,
+		ThinkTime:        4 * time.Millisecond,
+		RTO:              20 * time.Millisecond,
+		Seed:             cfg.Seed + 1,
+		Logf:             cfg.Logf,
+		Network:          nw,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("soak seed %d: cluster: %w", cfg.Seed, err)
+	}
+	defer cl.Stop()
+
+	res := &SoakResult{Plan: plan}
+	blast := blastRadius(g, plan, addrs)
+
+	// Execute the schedule. Times are absolute offsets; Kill may pump
+	// the clock past an event's instant, in which case the event
+	// applies as soon as scripted time catches up. Virtual time must be
+	// advanced in bounded steps, never one leap per event: a goroutine
+	// that falls behind a sweeping clock stamps its next chunk after the
+	// clock's final resting point, so the delivery wake only fires on
+	// the NEXT Advance — one big jump harvests roughly one message hop
+	// per call and can freeze an entire handshake chain.
+	for _, ev := range plan.Events {
+		advanceTo(clk, ev.At)
+		if err := applyChaos(cl, nw, ev); err != nil {
+			return nil, cl, fmt.Errorf("soak seed %d: %w", cfg.Seed, err)
+		}
+	}
+	advanceTo(clk, plan.Duration)
+
+	// Find the stabilization anchor: start at the final heal, and while
+	// an exclusion violation or an over-bound bounded-waiting window
+	// still starts at or after the anchor, move past it and look again —
+	// the paper's guarantees are all of the form "there is a time after
+	// which ...", so the checker's job is to find that time and prove a
+	// non-trivial suffix is clean. Violations after the heal are legal
+	// while they last: the physical network is whole, but reconnect
+	// backoff (grown while the link was dead) can keep a link down for
+	// up to a full backoff cap afterwards, and until the handshake
+	// completes both sides legitimately eat under mutual suspicion.
+	// What must not happen is that they keep occurring: each iteration
+	// demands fresh post-anchor sessions (the teeth of the check) before
+	// re-reading the monitors, and a run whose violations never cease
+	// exhausts the iteration budget and fails anchor_settled.
+	stable := sim.Time(plan.HealAt())
+	settled := false
+	for iter := 0; iter < 8 && !settled; iter++ {
+		if err := cl.waitForWindows(stable, 2, soakWaitCap); err != nil {
+			return nil, cl, fmt.Errorf("soak seed %d: post-heal progress: %w (the cluster stopped completing sessions — wait-freedom broken)", cfg.Seed, err)
+		}
+		moved := false
+		if t, found := cl.LastExclusionViolation(); found && t >= stable {
+			stable = t + 1
+			moved = true
+		}
+		if t, found := cl.LastExcessOvertake(2); found && t >= stable {
+			stable = t + 1
+			moved = true
+		}
+		if !moved {
+			settled = true
+		}
+	}
+	res.StableAt = stable
+	cl.FinishMonitors()
+
+	check := func(ok bool, verdict string, detail func() string) {
+		fmt.Fprintf(&res.traceB, "verdict %s=%v\n", verdict, ok)
+		if !ok {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: %s", verdict, detail()))
+		}
+	}
+
+	fmt.Fprint(&res.traceB, plan.String())
+	res.MaxOvertakePostStable = cl.MaxOvertakeFrom(stable)
+	check(settled, "anchor_settled", func() string {
+		return fmt.Sprintf("exclusion violations or excess overtake windows kept appearing after 8 anchor moves (last anchor %v)", stable)
+	})
+	check(cl.ExclusionViolationsAfter(stable) == 0, "exclusion_clean_post_stable", func() string {
+		return fmt.Sprintf("%d violations after %v", cl.ExclusionViolationsAfter(stable), stable)
+	})
+	check(res.MaxOvertakePostStable <= 2, "overtake_bound_2_post_stable", func() string {
+		return fmt.Sprintf("max overtake %d after %v", res.MaxOvertakePostStable, stable)
+	})
+	starving := cl.Starving(time.Second)
+	check(len(starving) == 0, "no_starvation_post_heal", func() string {
+		return fmt.Sprintf("starving processes %v", starving)
+	})
+	fallen := cl.FallenProcs()
+	check(within(fallen, blast), "fallen_within_blast_radius", func() string {
+		return fmt.Sprintf("fallen %v outside blast radius %v", fallen, sortedKeys(blast))
+	})
+	cleanOutside, errDetail := cl.errsOutsideBlast(blast)
+	check(cleanOutside, "errors_outside_blast_radius_none", func() string { return errDetail })
+
+	res.Trace = res.traceB.String()
+	return res, cl, nil
+}
+
+// advanceStep is the largest single virtual-time jump the soak takes.
+// It matches waitCond's pump granularity; see the comment at the soak
+// event loop for why bounded steps matter.
+const advanceStep = 5 * time.Millisecond
+
+// advanceTo steps the virtual clock up to absolute offset t.
+func advanceTo(clk *netsim.Clock, t time.Duration) {
+	for {
+		delta := t - clk.Elapsed()
+		if delta <= 0 {
+			return
+		}
+		if delta > advanceStep {
+			delta = advanceStep
+		}
+		clk.Advance(delta)
+	}
+}
+
+// waitForWindows advances virtual time until every live process has at
+// least min closed bounded-waiting windows starting at or after t.
+func (c *Cluster) waitForWindows(t sim.Time, min int, timeout time.Duration) error {
+	return c.waitCond(func() bool {
+		wins := c.OvertakeWindowsFrom(t)
+		for id := 0; id < c.g.N(); id++ {
+			if c.procDown(id) {
+				continue
+			}
+			if wins[id] < min {
+				return false
+			}
+		}
+		return true
+	}, timeout)
+}
+
+// errsOutsideBlast checks that every node hosting only
+// outside-blast-radius processes recorded no error.
+func (c *Cluster) errsOutsideBlast(blast map[int]bool) (bool, string) {
+	for ni, n := range c.Nodes {
+		c.mu.Lock()
+		dead := c.killed[ni]
+		c.mu.Unlock()
+		if dead {
+			continue
+		}
+		inBlast := false
+		for _, p := range c.Topo.Nodes[ni].Procs {
+			if blast[p] {
+				inBlast = true
+			}
+		}
+		if inBlast {
+			continue
+		}
+		if err := n.Err(); err != nil {
+			return false, fmt.Sprintf("node %d (outside blast radius): %v", ni, err)
+		}
+	}
+	return true, ""
+}
+
+// applyChaos executes one scripted event against the cluster/network.
+func applyChaos(cl *Cluster, nw *netsim.Net, ev netsim.ChaosEvent) error {
+	switch ev.Kind {
+	case netsim.ChaosSetLink:
+		nw.SetLink(ev.A, ev.B, ev.Latency, ev.Jitter)
+	case netsim.ChaosPartition:
+		nw.Partition(ev.A, ev.B)
+	case netsim.ChaosPartitionDir:
+		nw.PartitionDir(ev.A, ev.B)
+	case netsim.ChaosReset:
+		nw.ResetLink(ev.A, ev.B)
+	case netsim.ChaosTruncate:
+		nw.TruncateLink(ev.A, ev.B, ev.DropTail)
+	case netsim.ChaosHealAll:
+		nw.HealAll()
+	case netsim.ChaosCrash:
+		ni, err := nodeIndex(ev.A)
+		if err != nil {
+			return err
+		}
+		cl.Kill(ni)
+	case netsim.ChaosRestart:
+		ni, err := nodeIndex(ev.A)
+		if err != nil {
+			return err
+		}
+		return cl.Restart(ni)
+	default:
+		return fmt.Errorf("cluster: unknown chaos event %v", ev.Kind)
+	}
+	return nil
+}
+
+func nodeIndex(addr string) (int, error) {
+	var ni int
+	if _, err := fmt.Sscanf(addr, "n%d", &ni); err != nil {
+		return 0, fmt.Errorf("cluster: bad node address %q: %w", addr, err)
+	}
+	return ni, nil
+}
+
+// blastRadius collects the processes whose protocol state may
+// legitimately be torn by a crash/restart episode: the restarted
+// node's processes plus their conflict-graph neighbors (stale
+// messages from either side can trip an invariant, which the runtime
+// converts into a process crash — see rproc.act).
+func blastRadius(g *graph.Graph, plan netsim.ChaosPlan, addrs []string) map[int]bool {
+	out := make(map[int]bool)
+	for _, ev := range plan.Events {
+		if ev.Kind != netsim.ChaosRestart {
+			continue
+		}
+		for ni, a := range addrs {
+			if a != ev.A {
+				continue
+			}
+			// Placement in the soak is process i on node i.
+			out[ni] = true
+			for _, j := range g.Neighbors(ni) {
+				out[j] = true
+			}
+		}
+	}
+	return out
+}
+
+func within(procs []int, set map[int]bool) bool {
+	for _, p := range procs {
+		if !set[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(set map[int]bool) []int {
+	var out []int
+	for k := range set {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

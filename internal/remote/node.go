@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/core"
+	"repro/internal/vclock"
 )
 
 // Config assembles a Node. Topology is required; every other field has
@@ -70,6 +71,12 @@ type Config struct {
 	EatTime   time.Duration
 	ThinkTime time.Duration
 
+	// OnProcCrash, when non-nil, is invoked once when a local process
+	// falls over — a recovered hook panic or a tripped protocol
+	// invariant (runs on the process goroutine, before it exits). The
+	// chaos harness uses it to tell the fairness monitors a process is
+	// legitimately gone rather than starving.
+	OnProcCrash func(proc int)
 	// OnEat, when non-nil, runs on the process's own goroutine each
 	// time it begins eating — the distributed-daemon hook. After
 	// detector convergence it never runs concurrently for conflict-
@@ -92,6 +99,18 @@ type Config struct {
 
 	// Seed feeds the jitter randomness (default 1).
 	Seed int64
+
+	// Clock is the node's sole source of time — heartbeats, suspicion
+	// deadlines, ARQ retransmission, reconnect backoff, and workload
+	// pauses all read it. Nil selects the wall clock (vclock.Wall); the
+	// chaos harness injects netsim's virtual clock so the whole stack
+	// runs on simulated time.
+	Clock vclock.Clock
+	// Incarnation overrides the node's boot incarnation (0 derives one
+	// from the wall clock). Harnesses that restart nodes at the same
+	// virtual instant must inject distinct incarnations, since peers
+	// detect restarts by incarnation change.
+	Incarnation uint64
 
 	// Listener, when non-nil, is the pre-bound transport listener (the
 	// test harness binds port 0 first so addresses are known before
@@ -138,6 +157,9 @@ func (c *Config) withDefaults() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Clock == nil {
+		c.Clock = vclock.Wall
+	}
 	return nil
 }
 
@@ -158,6 +180,7 @@ type Node struct {
 	topo        *Topology
 	self        int
 	incarnation uint64
+	clk         vclock.Clock
 
 	ln    net.Listener
 	procs map[int]*rproc
@@ -183,11 +206,16 @@ func NewNode(cfg Config) (*Node, error) {
 	if len(colors) != topo.G.N() || !topo.G.IsProperColoring(colors) {
 		return nil, errors.New("remote: invalid coloring")
 	}
+	incarnation := cfg.Incarnation
+	if incarnation == 0 {
+		incarnation = uint64(time.Now().UnixNano())
+	}
 	n := &Node{
 		cfg:         cfg,
 		topo:        topo,
 		self:        cfg.Node,
-		incarnation: uint64(time.Now().UnixNano()),
+		incarnation: incarnation,
+		clk:         cfg.Clock,
 		procs:       make(map[int]*rproc),
 		peers:       make(map[int]*peer),
 		tr:          newTracker(topo.G),
@@ -252,7 +280,7 @@ func (n *Node) Start() error {
 		n.wg.Add(1)
 		go p.run()
 	}
-	now := time.Now()
+	now := n.clk.Now()
 	for _, p := range n.procs {
 		for _, j := range p.nbrs {
 			p.lastHeard[j] = now
@@ -334,6 +362,22 @@ func (n *Node) deliverData(m core.Message) {
 	}
 }
 
+// resetEdges tells every local process neighboring a process hosted on
+// the restarted node remote to reinitialize that edge's dining state
+// (called on the peer manager goroutine from noteIncarnation, before
+// any fresh-epoch frame is read, so the reset lands in each inbox
+// ahead of the reborn neighbor's first message). See
+// core.Diner.ResetNeighbor for why recovery requires this.
+func (n *Node) resetEdges(remote int) {
+	for _, lp := range n.procs {
+		for _, j := range lp.nbrs {
+			if n.topo.NodeOf(j) == remote {
+				lp.post(procEvent{kind: evNeighborReset, from: j})
+			}
+		}
+	}
+}
+
 // deliverHeartbeat posts a remote heartbeat (called on reader
 // goroutines; dropped when the inbox is full, like internal/live —
 // late heartbeats only delay unsuspicion).
@@ -360,6 +404,7 @@ const (
 	evHeartbeat
 	evHungry
 	evExitEat
+	evNeighborReset
 )
 
 type procEvent struct {
@@ -406,7 +451,12 @@ func (p *rproc) postHeartbeat(from int) {
 // crash marks the process failed; its goroutine exits and it falls
 // silent, leaving neighbors to their detectors.
 func (p *rproc) crash() {
-	p.once.Do(func() { close(p.dead) })
+	p.once.Do(func() {
+		close(p.dead)
+		if p.node.cfg.OnProcCrash != nil {
+			p.node.cfg.OnProcCrash(p.id)
+		}
+	})
 	p.node.tr.crash(p.id)
 }
 
@@ -420,7 +470,7 @@ func (p *rproc) run() {
 			p.crash()
 		}
 	}()
-	ticker := time.NewTicker(p.node.cfg.HeartbeatPeriod)
+	ticker := p.node.clk.NewTicker(p.node.cfg.HeartbeatPeriod)
 	defer ticker.Stop()
 	for {
 		select {
@@ -428,7 +478,7 @@ func (p *rproc) run() {
 			return
 		case <-p.dead:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			p.heartbeatRound()
 		case ev := <-p.inbox:
 			p.handle(ev)
@@ -449,7 +499,7 @@ func (p *rproc) heartbeatRound() {
 			pr.post(func() { pr.sendHeartbeat(from, to) })
 		}
 	}
-	now := time.Now()
+	now := p.node.clk.Now()
 	changed := false
 	for _, j := range p.nbrs {
 		if !p.suspected[j] && now.Sub(p.lastHeard[j]) > p.timeout[j] {
@@ -480,7 +530,7 @@ func (p *rproc) setParked(j int, parked bool) {
 func (p *rproc) handle(ev procEvent) {
 	switch ev.kind {
 	case evHeartbeat:
-		p.lastHeard[ev.from] = time.Now()
+		p.lastHeard[ev.from] = p.node.clk.Now()
 		if p.suspected[ev.from] {
 			// False suspicion: widen the timeout (the adaptive part of
 			// ◇P₁), resume retransmission, re-run the guards.
@@ -502,6 +552,8 @@ func (p *rproc) handle(ev procEvent) {
 		p.act(func() []core.Message { return p.diner.BecomeHungry() })
 	case evExitEat:
 		p.act(func() []core.Message { return p.diner.ExitEating() })
+	case evNeighborReset:
+		p.act(func() []core.Message { return p.diner.ResetNeighbor(ev.from) })
 	}
 }
 
@@ -519,9 +571,10 @@ func (p *rproc) act(action func() []core.Message) {
 		// forever. Fall over as a crash instead (exactly like a
 		// panicking OnEat hook): heartbeats stop, ◇P₁ suspects us, and
 		// the neighbors keep eating — wait-freedom is preserved. This is
-		// how a process restarted with fresh dining state (see README on
-		// crash-recovery) degrades: its neighbors may kill it with a
-		// stale message, but they never wedge on it.
+		// also the last line of defense around crash-recovery: the
+		// incarnation-driven edge resets (resetEdges) keep restart
+		// reconciliation invariant-clean, but a stale message that slips
+		// through a race window degrades to a crash here, never a wedge.
 		p.node.tr.recordErr(fmt.Errorf("remote: process %d: %w", p.id, err))
 		p.crash()
 		return
@@ -540,9 +593,9 @@ func (p *rproc) act(action func() []core.Message) {
 		if p.node.cfg.OnEat != nil {
 			p.node.cfg.OnEat(p.id)
 		}
-		time.AfterFunc(p.node.cfg.EatTime, func() { p.post(procEvent{kind: evExitEat}) })
+		p.node.clk.AfterFunc(p.node.cfg.EatTime, func() { p.post(procEvent{kind: evExitEat}) })
 	case core.Thinking:
-		time.AfterFunc(p.node.cfg.ThinkTime, func() { p.post(procEvent{kind: evHungry}) })
+		p.node.clk.AfterFunc(p.node.cfg.ThinkTime, func() { p.post(procEvent{kind: evHungry}) })
 	case core.Hungry:
 		// The hungry phase ends when the protocol grants entry, driven
 		// by message deliveries.

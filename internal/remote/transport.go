@@ -122,7 +122,7 @@ func (p *peer) tickEvery() time.Duration {
 func (p *peer) run() {
 	defer p.node.wg.Done()
 	defer p.teardown()
-	ticker := time.NewTicker(p.tickEvery())
+	ticker := p.node.clk.NewTicker(p.tickEvery())
 	defer ticker.Stop()
 	if p.dialer {
 		p.startDial()
@@ -133,7 +133,7 @@ func (p *peer) run() {
 			return
 		case fn := <-p.cmds:
 			fn()
-		case <-ticker.C:
+		case <-ticker.C():
 			p.tick()
 		}
 	}
@@ -189,7 +189,7 @@ func (p *peer) dialConn(addr string) (net.Conn, error) {
 // clientHandshake sends our Hello, validates the peer's reply against
 // the shared topology, and returns the peer's boot incarnation.
 func (p *peer) clientHandshake(c net.Conn) (uint64, error) {
-	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	c.SetDeadline(p.node.clk.Now().Add(handshakeTimeout))
 	defer c.SetDeadline(time.Time{})
 	if err := wire.WriteFrame(c, p.node.helloFrame()); err != nil {
 		return 0, fmt.Errorf("remote: hello send to node %d: %w", p.remote, err)
@@ -230,7 +230,7 @@ func (p *peer) scheduleRedial() {
 	pol := p.node.cfg.dialPolicy()
 	p.dialDelay = time.Duration(pol.Next(int64(p.dialDelay)))
 	d := time.Duration(pol.Jittered(int64(p.dialDelay), p.rng.Int63n))
-	time.AfterFunc(d, func() { p.post(p.startDial) })
+	p.node.clk.AfterFunc(d, func() { p.post(p.startDial) })
 }
 
 // helloFrame is this node's handshake announcement.
@@ -286,7 +286,7 @@ func (n *Node) acceptLoop() {
 // hands the connection to the owning peer manager.
 func (n *Node) serverHandshake(c net.Conn) {
 	defer n.wg.Done()
-	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	c.SetDeadline(n.clk.Now().Add(handshakeTimeout))
 	fr, err := wire.ReadFrame(c)
 	if err != nil || fr.Kind != wire.Hello {
 		n.logf("node %d: bad inbound handshake: %v (err %v)", n.self, fr, err)
@@ -326,14 +326,26 @@ func (p *peer) acceptConn(c net.Conn, inc uint64) {
 
 // noteIncarnation compares the incarnation a peer advertised in its
 // Hello against the last one seen; a change means the peer daemon
-// restarted, so every per-pair ARQ state on this link is stale and is
-// discarded. The restarted peer's sequence counters begin again at 1:
-// receive streams reset so its fresh frames deliver instead of being
-// dedup-dropped (or parked forever in the reorder buffer), and queued
-// unacked sends are renumbered from 1, in order, so the fresh receiver
-// accepts them rather than acking them away unseen. Without this the
-// link silently wedges after a peer restart and exactly-once delivery
-// is violated (manager goroutine only).
+// restarted, so everything this link carries is stale and the link
+// starts a new epoch (manager goroutine only):
+//
+//   - receive streams reset to 1 so the restarted peer's fresh frames
+//     deliver instead of being dedup-dropped (or parked forever in the
+//     reorder buffer);
+//   - queued unacked sends are discarded, not retransmitted — they were
+//     addressed to dining state that no longer exists, and replaying
+//     them into a reborn diner trips its invariants (a Request it never
+//     solicited, an Ack it never pinged for);
+//   - every local process sharing an edge with the restarted node
+//     resets that edge to the initial fork/token placement
+//     (core.Diner.ResetNeighbor), matching what the reborn diner
+//     booted with. Without this both endpoints can hold the edge's
+//     one fork and eat concurrently forever — a silent exclusion
+//     breach no local invariant catches.
+//
+// The edge resets are posted before the new connection's read loop
+// starts, so they land in each process inbox ahead of any fresh-epoch
+// frame.
 func (p *peer) noteIncarnation(inc uint64) {
 	if inc == p.peerInc {
 		return
@@ -342,10 +354,13 @@ func (p *peer) noteIncarnation(inc uint64) {
 		p.node.logf("node %d: node %d restarted (incarnation %d -> %d); resetting link state",
 			p.node.self, p.remote, p.peerInc, inc)
 		for _, ss := range p.sends {
-			for i := range ss.queue {
-				ss.queue[i].seq = uint64(i + 1)
+			for _, e := range ss.queue {
+				// Close the occupancy accounting of each discarded
+				// message: it is no longer in transit.
+				p.node.tr.appDeliver(e.msg.From, e.msg.To)
 			}
-			ss.nextSeq = uint64(len(ss.queue) + 1)
+			ss.queue = nil
+			ss.nextSeq = 1
 			ss.rto = p.node.cfg.RTO
 			ss.deadline = time.Time{}
 		}
@@ -353,6 +368,7 @@ func (p *peer) noteIncarnation(inc uint64) {
 			rs.next = 1
 			rs.buf = make(map[uint64]core.Message)
 		}
+		p.node.resetEdges(p.remote)
 	}
 	p.peerInc = inc
 }
@@ -373,7 +389,7 @@ func (p *peer) adopt(c net.Conn, inc uint64) {
 	p.node.wg.Add(2)
 	go p.readLoop(lc)
 	go p.writeLoop(lc)
-	now := time.Now()
+	now := p.node.clk.Now()
 	for key, ss := range p.sends {
 		ss.rto = p.node.cfg.RTO
 		ss.deadline = time.Time{}
@@ -456,7 +472,7 @@ func (p *peer) writeLoop(lc *liveConn) {
 		case <-lc.done:
 			return
 		case buf := <-lc.out:
-			lc.c.SetWriteDeadline(time.Now().Add(wt))
+			lc.c.SetWriteDeadline(p.node.clk.Now().Add(wt))
 			if _, err := lc.c.Write(buf); err != nil {
 				p.post(func() { p.connDown(lc.gen, err) })
 				return
@@ -481,10 +497,10 @@ func (p *peer) readLoop(lc *liveConn) {
 			p.node.deliverHeartbeat(int(fr.To), int(fr.From))
 		case wire.Data:
 			fr := fr
-			p.post(func() { p.onData(fr) })
+			p.post(func() { p.onData(lc.gen, fr) })
 		case wire.Ack:
 			fr := fr
-			p.post(func() { p.onAck(int(fr.To), int(fr.From), fr.Ack) })
+			p.post(func() { p.onAck(lc.gen, int(fr.To), int(fr.From), fr.Ack) })
 		case wire.Hello:
 			// A second Hello mid-stream is a protocol error.
 			p.post(func() { p.protocolError(lc.gen, fr) })
@@ -537,7 +553,7 @@ func (p *peer) submit(m core.Message) {
 	}
 	p.writeFrame(fr)
 	if !ss.suspended && ss.deadline.IsZero() {
-		p.armDeadline(ss, time.Now())
+		p.armDeadline(ss, p.node.clk.Now())
 	}
 }
 
@@ -553,7 +569,7 @@ func (p *peer) tick() {
 	if p.conn == nil {
 		return
 	}
-	now := time.Now()
+	now := p.node.clk.Now()
 	for key, ss := range p.sends {
 		if ss.suspended || len(ss.queue) == 0 {
 			continue
@@ -604,14 +620,29 @@ func (p *peer) setSuspended(from, to int, suspended bool) {
 	ss.rto = p.node.cfg.RTO
 	if len(ss.queue) > 0 && p.conn != nil {
 		p.retransmitQueue(pairKey{from: from, to: to}, ss)
-		p.armDeadline(ss, time.Now())
+		p.armDeadline(ss, p.node.clk.Now())
 	}
+}
+
+// stale reports whether a frame decoded on connection generation gen
+// arrived after that generation was retired (manager goroutine only).
+// A late old-generation frame must be dropped, not applied: after an
+// incarnation-driven epoch reset its sequence numbers are meaningless —
+// a stale data frame could park a pre-restart message in the fresh
+// reorder buffer, and a stale cumulative ack could drain fresh queue
+// entries the peer never received. Within an epoch dropping is always
+// safe; the ARQ layer retransmits on the next connection.
+func (p *peer) stale(gen uint64) bool {
+	return p.conn == nil || p.conn.gen != gen
 }
 
 // onData processes a data frame from remote process fr.From to local
 // process fr.To (manager goroutine only).
-func (p *peer) onData(fr wire.Frame) {
-	p.onAck(int(fr.To), int(fr.From), fr.Ack)
+func (p *peer) onData(gen uint64, fr wire.Frame) {
+	if p.stale(gen) {
+		return
+	}
+	p.applyAck(int(fr.To), int(fr.From), fr.Ack)
 	key := pairKey{from: int(fr.From), to: int(fr.To)}
 	rs := p.recvStateFor(key)
 	switch {
@@ -641,9 +672,18 @@ func (p *peer) onData(fr wire.Frame) {
 	p.writeFrame(wire.Frame{Kind: wire.Ack, From: uint32(key.to), To: uint32(key.from), Ack: rs.next - 1})
 }
 
-// onAck applies a cumulative ack from the remote process `remote`
+// onAck handles a pure ack frame from connection generation gen
+// (manager goroutine only).
+func (p *peer) onAck(gen uint64, local, remote int, ack uint64) {
+	if p.stale(gen) {
+		return
+	}
+	p.applyAck(local, remote, ack)
+}
+
+// applyAck applies a cumulative ack from the remote process `remote`
 // covering the stream local → remote (manager goroutine only).
-func (p *peer) onAck(local, remote int, ack uint64) {
+func (p *peer) applyAck(local, remote int, ack uint64) {
 	ss, ok := p.sends[pairKey{from: local, to: remote}]
 	if !ok {
 		return
@@ -662,7 +702,7 @@ func (p *peer) onAck(local, remote int, ack uint64) {
 	ss.rto = p.node.cfg.RTO
 	if len(ss.queue) > 0 {
 		if !ss.suspended {
-			p.armDeadline(ss, time.Now())
+			p.armDeadline(ss, p.node.clk.Now())
 		}
 	} else {
 		ss.deadline = time.Time{}

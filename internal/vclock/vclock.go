@@ -1,0 +1,52 @@
+// Package vclock is the clock seam between the real-network runtime
+// and its test harnesses. internal/remote reads time exclusively
+// through the Clock interface, so the same transport/ARQ/◇P₁ code runs
+// on the wall clock in production (Wall) and on internal/netsim's
+// virtual clock in the deterministic chaos suite — heartbeat timeouts,
+// retransmission deadlines, and reconnect backoff all advance only when
+// the harness advances time.
+//
+// The interface is the minimal slice of package time the runtime uses:
+// Now, AfterFunc, NewTicker. Timer and Ticker are interfaces (not the
+// concrete time types) because time.Ticker exposes its channel as a
+// struct field, which an alternative implementation cannot provide.
+package vclock
+
+import "time"
+
+// Timer is a handle to one scheduled callback, as returned by
+// Clock.AfterFunc.
+type Timer interface {
+	// Stop cancels the timer; it reports whether the call prevented the
+	// callback from firing (time.Timer semantics).
+	Stop() bool
+}
+
+// Ticker delivers ticks on a channel at a fixed period. Like
+// time.Ticker it drops ticks when the receiver lags, and Stop does not
+// close the channel.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Clock is a source of time and timers.
+type Clock interface {
+	Now() time.Time
+	AfterFunc(d time.Duration, f func()) Timer
+	NewTicker(d time.Duration) Ticker
+}
+
+// Wall is the real-time clock backed by package time.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                              { return time.Now() }
+func (wallClock) AfterFunc(d time.Duration, f func()) Timer   { return time.AfterFunc(d, f) }
+func (wallClock) NewTicker(d time.Duration) Ticker            { return wallTicker{time.NewTicker(d)} }
+
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) C() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()               { w.t.Stop() }

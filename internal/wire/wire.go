@@ -11,14 +11,24 @@
 //
 //   - Framing is a uint32 little-endian length prefix counting the
 //     payload bytes that follow; the payload starts with a version
-//     byte and a frame-kind byte.
+//     byte and a frame-kind byte and ends with a uint32 little-endian
+//     CRC32-C (Castagnoli) of every preceding payload byte.
 //   - Every multi-byte integer is little-endian and fixed-width; there
 //     are no optional fields, so each frame kind has exactly one
 //     encoding and decode(encode(f)) == f byte-for-byte.
-//   - Decoding is strict: trailing bytes, truncated bodies, unknown
-//     versions or kinds, zero data sequence numbers, and oversized
-//     frames are all errors, never silently tolerated. Garbage on the
-//     wire must fail loudly at the codec, not corrupt protocol state.
+//   - Decoding is strict: checksum mismatches, trailing bytes,
+//     truncated bodies, unknown versions or kinds, zero data sequence
+//     numbers, and oversized frames are all errors, never silently
+//     tolerated. Garbage on the wire must fail loudly at the codec,
+//     not corrupt protocol state.
+//   - The checksum is not optional hardening: the transport's
+//     exactly-once guarantee rides on cumulative acks, and a spliced
+//     byte stream (a middlebox or proxy that loses bytes mid-
+//     connection) can otherwise forge a parseable frame whose Seq/Ack
+//     fields silently poison the ARQ state — acking messages the peer
+//     never received loses them forever, which deadlocks the dining
+//     protocol. A corrupt frame must tear the connection down so
+//     go-back-N retransmission can restore the stream.
 //   - The encoding version is bumped for any layout change; peers
 //     refuse mismatched versions at handshake.
 //
@@ -31,14 +41,23 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/core"
 )
 
 // Version is the wire-format version carried by every frame. Bump it
-// on any layout change; Decode rejects all other values.
-const Version = 1
+// on any layout change; Decode rejects all other values. Version 2
+// added the CRC32-C payload trailer.
+const Version = 2
+
+// crcLen is the size of the CRC32-C trailer closing every payload.
+const crcLen = 4
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // MaxPayload bounds a frame payload (the bytes after the length
 // prefix). The largest legal frame is a Hello listing MaxHelloProcs
@@ -91,6 +110,7 @@ var (
 	ErrTrailing    = errors.New("wire: trailing bytes after frame body")
 	ErrOversize    = errors.New("wire: frame exceeds MaxPayload")
 	ErrBadValue    = errors.New("wire: field value outside wire range")
+	ErrChecksum    = errors.New("wire: payload checksum mismatch")
 )
 
 // Frame is the decoded form of every wire frame. Which fields are
@@ -192,9 +212,10 @@ func msgKindFromCode(b byte) (core.MsgKind, error) {
 }
 
 // AppendPayload appends f's payload encoding (version byte, kind byte,
-// kind-specific body — no length prefix) to dst and returns the
-// extended slice.
+// kind-specific body, CRC32-C trailer — no length prefix) to dst and
+// returns the extended slice.
 func AppendPayload(dst []byte, f Frame) ([]byte, error) {
+	start := len(dst)
 	dst = append(dst, Version, byte(f.Kind))
 	switch f.Kind {
 	case Hello:
@@ -231,7 +252,7 @@ func AppendPayload(dst []byte, f Frame) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(f.Kind))
 	}
-	return dst, nil
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst[start:], castagnoli)), nil
 }
 
 // EncodePayload returns f's payload encoding.
@@ -298,14 +319,24 @@ func (r *reader) u64() (uint64, error) {
 	return v, nil
 }
 
-// DecodePayload strictly decodes one payload: wrong version, unknown
-// kind, truncated body, illegal field values, and trailing bytes are
-// all errors. On success the returned frame re-encodes to exactly b.
+// DecodePayload strictly decodes one payload: checksum mismatch, wrong
+// version, unknown kind, truncated body, illegal field values, and
+// trailing bytes are all errors. On success the returned frame
+// re-encodes to exactly b. The CRC32-C trailer is verified before any
+// field is interpreted, so a spliced or corrupted byte stream is
+// rejected wholesale rather than half-parsed.
 func DecodePayload(b []byte) (Frame, error) {
 	if len(b) > MaxPayload {
 		return Frame{}, fmt.Errorf("%w: %d bytes", ErrOversize, len(b))
 	}
-	r := &reader{b: b}
+	if len(b) < crcLen {
+		return Frame{}, ErrShort
+	}
+	body, sum := b[:len(b)-crcLen], binary.LittleEndian.Uint32(b[len(b)-crcLen:])
+	if got := crc32.Checksum(body, castagnoli); got != sum {
+		return Frame{}, fmt.Errorf("%w: got %08x want %08x", ErrChecksum, got, sum)
+	}
+	r := &reader{b: body}
 	ver, err := r.u8()
 	if err != nil {
 		return Frame{}, err
@@ -389,8 +420,8 @@ func DecodePayload(b []byte) (Frame, error) {
 	default:
 		return Frame{}, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
 	}
-	if r.off != len(b) {
-		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTrailing, len(b)-r.off)
+	if r.off != len(r.b) {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.b)-r.off)
 	}
 	return f, nil
 }

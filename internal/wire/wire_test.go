@@ -4,12 +4,25 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"reflect"
 	"testing"
 
 	"repro/internal/core"
 )
+
+// seal appends the CRC32-C trailer to a hand-built payload body.
+func seal(body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(body, crc32.Checksum(body, castagnoli))
+}
+
+// reseal recomputes the trailer after a test mutated body bytes of an
+// encoded payload, so the mutation reaches the field validators behind
+// the integrity check.
+func reseal(enc []byte) []byte {
+	return seal(enc[:len(enc)-crcLen])
+}
 
 // sampleFrames covers every frame kind with non-trivial field values.
 func sampleFrames() []Frame {
@@ -75,8 +88,29 @@ func TestDecodeRejectsTrailingBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DecodePayload(append(enc, 0)); !errors.Is(err, ErrTrailing) {
+	// A stray byte between the body and a (valid) trailer must surface
+	// as ErrTrailing, not be silently ignored.
+	if _, err := DecodePayload(seal(append(enc[:len(enc)-crcLen], 0))); !errors.Is(err, ErrTrailing) {
 		t.Fatalf("trailing byte: err = %v, want ErrTrailing", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	// Every single-byte corruption of every frame kind must fail decode:
+	// the transport's exactly-once guarantee relies on a spliced byte
+	// stream never yielding a frame with forged Seq/Ack fields.
+	for _, f := range sampleFrames() {
+		enc, err := EncodePayload(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range enc {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= 0x40
+			if _, err := DecodePayload(mut); err == nil {
+				t.Fatalf("decode of %v with byte %d flipped succeeded", f, i)
+			}
+		}
 	}
 }
 
@@ -97,13 +131,13 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 func TestDecodeRejectsBadVersion(t *testing.T) {
 	enc, _ := EncodePayload(Frame{Kind: Heartbeat, From: 1, To: 2})
 	enc[0] = Version + 1
-	if _, err := DecodePayload(enc); !errors.Is(err, ErrBadVersion) {
+	if _, err := DecodePayload(reseal(enc)); !errors.Is(err, ErrBadVersion) {
 		t.Fatalf("bad version: err = %v, want ErrBadVersion", err)
 	}
 }
 
 func TestDecodeRejectsUnknownKind(t *testing.T) {
-	if _, err := DecodePayload([]byte{Version, 99}); !errors.Is(err, ErrUnknownKind) {
+	if _, err := DecodePayload(seal([]byte{Version, 99})); !errors.Is(err, ErrUnknownKind) {
 		t.Fatalf("unknown kind: err = %v, want ErrUnknownKind", err)
 	}
 }
@@ -111,15 +145,15 @@ func TestDecodeRejectsUnknownKind(t *testing.T) {
 func TestDecodeRejectsZeroDataSeq(t *testing.T) {
 	enc, _ := EncodePayload(Frame{Kind: Data, From: 1, To: 2, Seq: 5, MsgKind: core.Ping})
 	binary.LittleEndian.PutUint64(enc[10:], 0) // version, kind, from, to precede seq
-	if _, err := DecodePayload(enc); !errors.Is(err, ErrBadValue) {
+	if _, err := DecodePayload(reseal(enc)); !errors.Is(err, ErrBadValue) {
 		t.Fatalf("zero seq: err = %v, want ErrBadValue", err)
 	}
 }
 
 func TestDecodeRejectsBadMsgKindCode(t *testing.T) {
 	enc, _ := EncodePayload(Frame{Kind: Data, From: 1, To: 2, Seq: 5, MsgKind: core.Ping})
-	enc[len(enc)-5] = 9 // the message-kind code byte precedes the 4-byte color
-	if _, err := DecodePayload(enc); !errors.Is(err, ErrBadValue) {
+	enc[26] = 9 // version, kind, from, to, seq, ack precede the kind code
+	if _, err := DecodePayload(reseal(enc)); !errors.Is(err, ErrBadValue) {
 		t.Fatalf("bad msg kind: err = %v, want ErrBadValue", err)
 	}
 }
@@ -153,7 +187,7 @@ func TestHelloProcsLimit(t *testing.T) {
 	b = binary.LittleEndian.AppendUint32(b, 0)
 	b = binary.LittleEndian.AppendUint64(b, 0)
 	b = binary.LittleEndian.AppendUint16(b, MaxHelloProcs+1)
-	if _, err := DecodePayload(b); !errors.Is(err, ErrBadValue) {
+	if _, err := DecodePayload(seal(b)); !errors.Is(err, ErrBadValue) {
 		t.Fatalf("oversized hello decode: err = %v, want ErrBadValue", err)
 	}
 }
