@@ -67,6 +67,8 @@ func run(argv []string) error {
 		eat       = fs.Duration("eat", 50*time.Millisecond, "time spent eating per session")
 		think     = fs.Duration("think", 50*time.Millisecond, "time spent thinking between sessions")
 		rto       = fs.Duration("rto", 30*time.Millisecond, "initial retransmission timeout")
+		sendWin   = fs.Int("send-window", 0, "per-pair ARQ send window in frames (0 = default 256)")
+		wedge     = fs.Duration("wedge-budget", 0, "watchdog no-progress budget before a wedged process or peer manager is torn down (0 = default 2s)")
 		seed      = fs.Int64("seed", 1, "seed for retransmission/dial jitter")
 		verbose   = fs.Bool("v", false, "log transport and detector events")
 	)
@@ -100,6 +102,8 @@ func run(argv []string) error {
 		EatTime:         *eat,
 		ThinkTime:       *think,
 		RTO:             *rto,
+		SendWindow:      *sendWin,
+		WedgeBudget:     *wedge,
 		Seed:            *seed,
 		OnEat: func(proc int) {
 			logger.Printf("process %d eating", proc)

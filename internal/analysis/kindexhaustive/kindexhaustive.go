@@ -25,17 +25,18 @@ import (
 // EnumTypes names the closed protocol enumerations, as
 // "import/path.TypeName". Tests extend it with fixture types.
 var EnumTypes = map[string]bool{
-	"repro/internal/core.MsgKind":   true,
-	"repro/internal/core.State":     true,
-	"repro/internal/trace.Kind":     true,
-	"repro/internal/wire.FrameKind": true,
+	"repro/internal/core.MsgKind":       true,
+	"repro/internal/core.State":         true,
+	"repro/internal/trace.Kind":         true,
+	"repro/internal/wire.FrameKind":     true,
+	"repro/internal/remote.HealthState": true,
 }
 
 // Analyzer is the kindexhaustive analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "kindexhaustive",
 	Doc: "switches over protocol enumerations (core.MsgKind, core.State, " +
-		"trace.Kind, wire.FrameKind) must cover every constant or fail loudly in default",
+		"trace.Kind, wire.FrameKind, remote.HealthState) must cover every constant or fail loudly in default",
 	Run: run,
 }
 

@@ -30,10 +30,19 @@ const (
 	// ChaosRestart boots a fresh node at A's address with a new
 	// incarnation and fresh dining state.
 	ChaosRestart
-	// ChaosHealAll reopens every partitioned link. The generator always
-	// emits it exactly once, after every other event: everything after
-	// it is the stabilization window the paper's eventual guarantees
-	// quantify over.
+	// ChaosSlowLink throttles delivery on A–B to Rate bytes/sec (a slow
+	// reader / thin pipe); restored by the final heal-all.
+	ChaosSlowLink
+	// ChaosStopDrain freezes the consuming ends of every A–B stream:
+	// the applications stop reading, bytes pile into the bounded pipe
+	// buffers, and writers eventually block against their deadlines.
+	ChaosStopDrain
+	// ChaosResumeDrain undoes ChaosStopDrain for A–B.
+	ChaosResumeDrain
+	// ChaosHealAll reopens every partitioned link, restores full rate,
+	// and resumes draining. The generator always emits it exactly once,
+	// after every other event: everything after it is the stabilization
+	// window the paper's eventual guarantees quantify over.
 	ChaosHealAll
 )
 
@@ -53,6 +62,12 @@ func (k ChaosKind) String() string {
 		return "crash"
 	case ChaosRestart:
 		return "restart"
+	case ChaosSlowLink:
+		return "slow-link"
+	case ChaosStopDrain:
+		return "stop-drain"
+	case ChaosResumeDrain:
+		return "resume-drain"
 	case ChaosHealAll:
 		return "heal-all"
 	default:
@@ -74,6 +89,8 @@ type ChaosEvent struct {
 	Latency, Jitter time.Duration
 	// DropTail applies to ChaosTruncate.
 	DropTail int
+	// Rate (bytes/sec) applies to ChaosSlowLink.
+	Rate int64
 }
 
 // ChaosPlan is a deterministic fault schedule: events in time order,
@@ -117,6 +134,10 @@ func (pl ChaosPlan) String() string {
 			}
 		case ChaosCrash, ChaosRestart:
 			fmt.Fprintf(&b, " %s", ev.A)
+		case ChaosSlowLink:
+			fmt.Fprintf(&b, " %s<->%s rate=%dB/s", ev.A, ev.B, ev.Rate)
+		case ChaosStopDrain, ChaosResumeDrain:
+			fmt.Fprintf(&b, " %s<->%s", ev.A, ev.B)
 		case ChaosHealAll:
 		}
 		b.WriteByte('\n')
@@ -199,6 +220,31 @@ func GenPlan(seed int64, addrs []string, duration time.Duration) ChaosPlan {
 			ev.Jitter = time.Duration(rng.Int63n(int64(2 * time.Millisecond)))
 		}
 		pl.Events = append(pl.Events, ev)
+	}
+
+	// Overload episodes, drawn after the link-chaos block so earlier
+	// per-seed schedules are a stable prefix of the rng stream.
+	//
+	// Slow-reader: one link crawls at a few KiB/s until the heal-all
+	// restores full rate — sustained traffic must back up without
+	// unbounded queue growth.
+	if rng.Intn(2) == 0 {
+		a, b := pair()
+		pl.Events = append(pl.Events, ChaosEvent{
+			At: at(), Kind: ChaosSlowLink, A: a, B: b,
+			Rate: 2048 + rng.Int63n(14336),
+		})
+	}
+	// Stop-drain: one link's consumers freeze for a stretch, then
+	// resume inside the chaos window (the heal-all is the backstop).
+	if rng.Intn(2) == 0 {
+		a, b := pair()
+		start := time.Duration(rng.Int63n(int64(window / 2)))
+		stop := start + time.Duration(rng.Int63n(int64(window/4))) + window/20
+		pl.Events = append(pl.Events,
+			ChaosEvent{At: start, Kind: ChaosStopDrain, A: a, B: b},
+			ChaosEvent{At: stop, Kind: ChaosResumeDrain, A: a, B: b},
+		)
 	}
 
 	pl.Events = append(pl.Events, ChaosEvent{At: window, Kind: ChaosHealAll})

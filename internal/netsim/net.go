@@ -29,13 +29,33 @@ import (
 //   - truncation silently drops the newest queued bytes of a link's
 //     streams without killing the connection, punching a hole
 //     mid-stream that the wire codec must detect and the transport
-//     must recover from by tearing the connection down itself.
+//     must recover from by tearing the connection down itself;
+//   - rate limits model a slow reader / thin pipe: each chunk's
+//     delivery is serialized behind the previous one at the link's
+//     byte rate, so a throttled link backs traffic up realistically;
+//   - stop-drain freezes the consuming end of a link (the application
+//     stops reading): bytes queue against the pipe's bounded buffer,
+//     and once it fills, writes block until the write deadline expires
+//     — exactly how a wedged peer surfaces through a real kernel
+//     socket buffer.
+//
+// Every pipe buffers at most DefaultBufCap bytes (a kernel
+// send-buffer stand-in); a write finding the buffer full blocks until
+// the reader drains, the connection dies, or the write deadline
+// passes. This is what makes long partitions and stop-drain episodes
+// resource-bounded: a silent link accumulates one buffer of bytes,
+// never an unbounded backlog.
 //
 // Lock ordering: Net.mu → pipe.mu → Clock.mu. Clock callbacks fire
 // with no clock locks held, so pipes may schedule wakes while locked.
 type Net struct {
 	clock *Clock
 	seed  int64
+
+	// BufCap is the per-pipe byte buffer capacity adopted by
+	// connections created after it is set (DefaultBufCap from NewNet;
+	// <= 0 means unlimited). Set it before dialing, never mid-run.
+	BufCap int
 
 	mu        sync.Mutex
 	listeners map[string]*listener
@@ -47,11 +67,17 @@ type Net struct {
 	pipes []*pipe
 }
 
+// DefaultBufCap is the default per-pipe buffered-byte capacity — the
+// virtual analogue of a kernel socket send buffer.
+const DefaultBufCap = 256 << 10
+
 // linkCfg is the state of one directed link.
 type linkCfg struct {
 	latency time.Duration
 	jitter  time.Duration
 	down    bool
+	rate    int64 // delivery bytes/sec; 0 = unlimited
+	noDrain bool  // receiving end stopped reading
 	rng     *rand.Rand
 }
 
@@ -62,6 +88,7 @@ func NewNet(clock *Clock, seed int64) *Net {
 	return &Net{
 		clock:     clock,
 		seed:      seed,
+		BufCap:    DefaultBufCap,
 		listeners: make(map[string]*listener),
 		links:     make(map[[2]string]*linkCfg),
 	}
@@ -143,7 +170,8 @@ func (n *Net) linkLocked(from, to string) *linkCfg {
 }
 
 func (n *Net) newPipeLocked(from, to string) *pipe {
-	p := &pipe{n: n, from: from, to: to}
+	p := &pipe{n: n, from: from, to: to, bufCap: n.BufCap}
+	p.noDrain = n.linkLocked(from, to).noDrain
 	p.cond.L = &p.mu
 	n.pipes = append(n.pipes, p)
 	return p
@@ -180,6 +208,60 @@ func (n *Net) SetLink(a, b string, latency, jitter time.Duration) {
 	}
 }
 
+// SetLinkRate throttles delivery on the link between a and b (both
+// directions) to bytesPerSec, modeling a slow reader or thin pipe:
+// each chunk's arrival is serialized behind the previous one at that
+// byte rate, so sustained traffic backs up in the pipe buffer. Zero
+// restores unlimited rate.
+func (n *Net) SetLinkRate(a, b string, bytesPerSec int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, k := range [][2]string{{a, b}, {b, a}} {
+		n.linkLocked(k[0], k[1]).rate = bytesPerSec
+	}
+}
+
+// StopDrain freezes the consuming end of every stream between a and b
+// (both directions): delivered bytes stop being readable, as if the
+// remote application wedged without closing its socket. Writes keep
+// landing in the pipe buffer until it fills, then block.
+func (n *Net) StopDrain(a, b string) { n.setDrain(a, b, false) }
+
+// ResumeDrain undoes StopDrain: queued bytes become readable again at
+// their original delivery times.
+func (n *Net) ResumeDrain(a, b string) { n.setDrain(a, b, true) }
+
+func (n *Net) setDrain(a, b string, drain bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, k := range [][2]string{{a, b}, {b, a}} {
+		n.linkLocked(k[0], k[1]).noDrain = !drain
+	}
+	for _, p := range n.pipes {
+		if (p.from == a && p.to == b) || (p.from == b && p.to == a) {
+			p.mu.Lock()
+			p.noDrain = !drain
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+}
+
+// QueuedBytes reports the total undelivered (queued or held) bytes
+// across all live pipes — the simulated network's entire in-flight
+// footprint, used by resource-invariant assertions.
+func (n *Net) QueuedBytes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, p := range n.pipes {
+		p.mu.Lock()
+		total += p.queued
+		p.mu.Unlock()
+	}
+	return total
+}
+
 // PartitionDir blackholes the directed link from→to: written bytes are
 // held in flight and new dial attempts crossing the link fail.
 func (n *Net) PartitionDir(from, to string) {
@@ -203,14 +285,22 @@ func (n *Net) HealDir(from, to string) {
 	n.releaseHeldLocked(from, to)
 }
 
-// HealAll reopens every partitioned link and releases all held bytes.
+// HealAll reopens every partitioned link, releases all held bytes,
+// restores full delivery rate, and resumes draining everywhere — the
+// "network is whole again" event the stabilization suffix builds on.
 func (n *Net) HealAll() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for _, lc := range n.links {
 		lc.down = false
+		lc.rate = 0
+		lc.noDrain = false
 	}
 	for _, p := range n.pipes {
+		p.mu.Lock()
+		p.noDrain = false
+		p.cond.Broadcast()
+		p.mu.Unlock()
 		n.releaseHeldPipeLocked(p)
 	}
 	n.sweepLocked()
@@ -302,49 +392,90 @@ type pipe struct {
 
 	chunks      []chunk
 	lastAt      time.Time // delivery-time high-water, keeps FIFO order under jitter
+	queued      int       // undelivered bytes (queued + held), bounded by bufCap
+	bufCap      int       // byte capacity; <= 0 means unlimited
+	noDrain     bool      // reader end frozen: nothing is deliverable
 	writeClosed bool      // writer gone: EOF after the queue drains
 	readClosed  bool      // reader gone: writes fail
 	resetErr    error     // hard failure, both sides, queue dropped
 
-	readDeadline time.Time
+	readDeadline  time.Time
+	writeDeadline time.Time
 }
 
 // send stamps b with the link's current delay (or holds it during a
-// partition) and enqueues it.
+// partition) and enqueues it. When the pipe's byte buffer is full the
+// write blocks — like a full kernel send buffer — until the reader
+// drains, the connection dies, or the write deadline passes. The
+// latency stamp is drawn after any blocking wait so delivery reflects
+// when the bytes actually entered the link, not when the writer first
+// tried.
 func (n *Net) send(p *pipe, b []byte) (int, error) {
-	n.mu.Lock()
-	lc := n.linkLocked(p.from, p.to)
-	down := lc.down
-	var at time.Time
-	if !down {
-		at = n.clock.Now().Add(lc.delay())
-	}
-	n.mu.Unlock()
-
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	switch {
-	case p.resetErr != nil:
-		return 0, p.resetErr
-	case p.writeClosed:
-		return 0, net.ErrClosed
-	case p.readClosed:
-		return 0, errConnReset
-	}
-	c := chunk{b: append([]byte(nil), b...), held: down}
-	if !down {
-		if at.Before(p.lastAt) {
-			at = p.lastAt
+	for {
+		n.mu.Lock()
+		lc := n.linkLocked(p.from, p.to)
+		down := lc.down
+		var at time.Time
+		var tx time.Duration
+		if !down {
+			at = n.clock.Now().Add(lc.delay())
+			if lc.rate > 0 {
+				tx = time.Duration(int64(len(b))) * time.Second / time.Duration(lc.rate)
+			}
 		}
-		c.at = at
-		p.lastAt = at
-		p.scheduleWakeLocked(at)
+		n.mu.Unlock()
+
+		p.mu.Lock()
+		switch {
+		case p.resetErr != nil:
+			err := p.resetErr
+			p.mu.Unlock()
+			return 0, err
+		case p.writeClosed:
+			p.mu.Unlock()
+			return 0, net.ErrClosed
+		case p.readClosed:
+			p.mu.Unlock()
+			return 0, errConnReset
+		}
+		// Admit a write that fits, and always admit into an empty buffer
+		// (an oversized single write must not deadlock, mirroring kernels
+		// accepting at least one chunk).
+		if p.bufCap > 0 && p.queued > 0 && p.queued+len(b) > p.bufCap {
+			now := p.n.clock.Now()
+			if dl := p.writeDeadline; !dl.IsZero() && !now.Before(dl) {
+				p.mu.Unlock()
+				return 0, errDeadline
+			}
+			if dl := p.writeDeadline; !dl.IsZero() {
+				// A frozen reader never drains, so the deadline needs its
+				// own wake to un-wedge the writer.
+				p.scheduleWakeLocked(dl)
+			}
+			p.cond.Wait()
+			p.mu.Unlock()
+			// Re-stamp from scratch: the link's latency, rate, or
+			// partition state may have changed while we were blocked.
+			continue
+		}
+		c := chunk{b: append([]byte(nil), b...), held: down}
+		if !down {
+			if at.Before(p.lastAt) {
+				at = p.lastAt
+			}
+			at = at.Add(tx) // serialize behind prior traffic at the link rate
+			c.at = at
+			p.lastAt = at
+			p.scheduleWakeLocked(at)
+		}
+		p.chunks = append(p.chunks, c)
+		p.queued += len(b)
+		// A zero-delay chunk is deliverable right now; wake blocked readers
+		// without waiting for the next clock advance.
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return len(b), nil
 	}
-	p.chunks = append(p.chunks, c)
-	// A zero-delay chunk is deliverable right now; wake blocked readers
-	// without waiting for the next clock advance.
-	p.cond.Broadcast()
-	return len(b), nil
 }
 
 // delay draws one per-write latency sample (rng guarded by Net.mu).
@@ -386,7 +517,7 @@ func (p *pipe) read(b []byte) (int, error) {
 			return 0, p.resetErr
 		}
 		now := p.n.clock.Now()
-		if len(p.chunks) > 0 && !p.chunks[0].held && !p.chunks[0].at.After(now) {
+		if !p.noDrain && len(p.chunks) > 0 && !p.chunks[0].held && !p.chunks[0].at.After(now) {
 			c := &p.chunks[0]
 			nb := copy(b, c.b)
 			if nb < len(c.b) {
@@ -394,6 +525,9 @@ func (p *pipe) read(b []byte) (int, error) {
 			} else {
 				p.chunks = p.chunks[1:]
 			}
+			p.queued -= nb
+			// Draining may have opened buffer space; wake blocked writers.
+			p.cond.Broadcast()
 			return nb, nil
 		}
 		if p.writeClosed && len(p.chunks) == 0 {
@@ -410,6 +544,16 @@ func (p *pipe) setReadDeadline(t time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.readDeadline = t
+	if !t.IsZero() {
+		p.scheduleWakeLocked(t)
+	}
+	p.cond.Broadcast()
+}
+
+func (p *pipe) setWriteDeadline(t time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.writeDeadline = t
 	if !t.IsZero() {
 		p.scheduleWakeLocked(t)
 	}
@@ -440,6 +584,7 @@ func (p *pipe) reset(err error) {
 		p.resetErr = err
 	}
 	p.chunks = nil
+	p.queued = 0
 	p.cond.Broadcast()
 }
 
@@ -459,6 +604,11 @@ func (p *pipe) truncateTail(dropTail int) int {
 		}
 		last.b = last.b[:len(last.b)-take]
 		dropped += take
+	}
+	p.queued -= dropped
+	if dropped > 0 {
+		// Dropping tail bytes frees buffer space for blocked writers.
+		p.cond.Broadcast()
 	}
 	return dropped
 }
@@ -488,17 +638,17 @@ func (c *nsConn) RemoteAddr() net.Addr { return netAddr(c.remote) }
 
 func (c *nsConn) SetDeadline(t time.Time) error {
 	c.rd.setReadDeadline(t)
+	c.wr.setWriteDeadline(t)
 	return nil
 }
 func (c *nsConn) SetReadDeadline(t time.Time) error {
 	c.rd.setReadDeadline(t)
 	return nil
 }
-
-// SetWriteDeadline is a no-op: netsim writes never block (stalled
-// peers are modeled by partitions, which hold bytes after the write
-// succeeds locally — like a kernel send buffer).
-func (c *nsConn) SetWriteDeadline(time.Time) error { return nil }
+func (c *nsConn) SetWriteDeadline(t time.Time) error {
+	c.wr.setWriteDeadline(t)
+	return nil
+}
 
 // netAddr is a netsim endpoint address.
 type netAddr string

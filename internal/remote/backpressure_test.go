@@ -1,0 +1,305 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+// peerDo runs fn on the peer's manager goroutine and pumps virtual
+// time until it has executed.
+func peerDo(t *testing.T, clk *netsim.Clock, p *peer, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	p.post(func() { fn(); close(done) })
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			return
+		default:
+			if i > 10000 {
+				t.Fatal("peer manager never executed posted closure")
+			}
+			clk.Advance(time.Millisecond)
+		}
+	}
+}
+
+// pumpUntil advances virtual time until cond holds, failing after
+// budget of virtual time.
+func pumpUntil(t *testing.T, clk *netsim.Clock, budget time.Duration, what string, cond func() bool) {
+	t.Helper()
+	const step = 5 * time.Millisecond
+	for spent := time.Duration(0); ; spent += step {
+		if cond() {
+			return
+		}
+		if spent >= budget {
+			t.Fatalf("virtual timeout waiting for %s", what)
+		}
+		clk.Advance(step)
+	}
+}
+
+// TestBackpressureStallsAndAckDrainResumes exercises the bounded-
+// window flow control end to end on a live two-node cluster: a frozen
+// reader on the n0→n1 direction stops acks for the 0→1 stream, the
+// ring crosses its high-water mark, the pair parks its sender (peer
+// health Healthy→Degraded, the diner stops waiting on the stalled
+// neighbor so wait-freedom survives), and a cumulative ack draining
+// the ring resumes the pair and restores Healthy.
+func TestBackpressureStallsAndAckDrainResumes(t *testing.T) {
+	t.Parallel()
+	const window = 40 // stallMarks: high 24, low 12
+	g := graph.Clique(2)
+	nodes, clk, nw := virtClusterNet(t, g, [][]int{{0}, {1}}, func(i int, cfg *Config) {
+		cfg.SendWindow = window
+	})
+	waitEatsV(t, clk, nodes, nil, 1, 20*time.Second)
+
+	pr := nodes[0].peers[1]
+	if h := nodes[0].tr.healthOf(1); h != HealthHealthy {
+		t.Fatalf("pre-stall health = %v, want %v", h, HealthHealthy)
+	}
+
+	// Freeze the link's readers: the sockets never error, so the
+	// connection stays up, but nothing we send is read and no acks
+	// come back for the 0→1 stream.
+	nw.StopDrain("n0", "n1")
+
+	key := pairKey{from: 0, to: 1}
+	high, low := stallMarks(window)
+	peerDo(t, clk, pr, func() {
+		for i := 0; i < high; i++ {
+			pr.node.tr.appSend(0, 1)
+			pr.submit(core.Message{Kind: core.Ping, From: 0, To: 1})
+		}
+	})
+
+	var depth int
+	var stalled bool
+	peerDo(t, clk, pr, func() {
+		ss := pr.sends[key]
+		depth, stalled = ss.queue.len(), ss.stalled
+	})
+	if depth != high || !stalled {
+		t.Fatalf("after %d submits: depth=%d stalled=%v, want depth=%d stalled=true", high, depth, stalled, high)
+	}
+	if h := nodes[0].tr.healthOf(1); h != HealthDegraded {
+		t.Fatalf("stalled health = %v, want %v", h, HealthDegraded)
+	}
+	st := nodes[0].Status()
+	if len(st.Peers) != 1 || st.Peers[0].Stalls != 1 {
+		t.Fatalf("status stalls = %+v, want one stall on the single peer", st.Peers)
+	}
+	if st.Peers[0].Health != HealthDegraded.String() {
+		t.Fatalf("status health = %q, want %q", st.Peers[0].Health, HealthDegraded)
+	}
+
+	// Wait-freedom among non-stalled neighbors: the stalled stream
+	// parks process 0's view of neighbor 1 exactly like suspicion, so
+	// process 0 must keep completing sessions while the stream is
+	// parked.
+	base := nodes[0].EatCounts()[0]
+	pumpUntil(t, clk, 20*time.Second, "eats during stall", func() bool {
+		return nodes[0].EatCounts()[0] >= base+2
+	})
+
+	// A cumulative ack that drains the ring to low-water resumes the
+	// pair and, with no other stalled pairs, restores Healthy. The ack
+	// is injected on the manager goroutine — exactly what onAck does
+	// when a real ack frame lands.
+	peerDo(t, clk, pr, func() {
+		ss := pr.sends[key]
+		pr.applyAck(0, 1, ss.nextSeq-1)
+	})
+	peerDo(t, clk, pr, func() {
+		ss := pr.sends[key]
+		depth, stalled = ss.queue.len(), ss.stalled
+		// Leak regression, live-cluster edition: every acked slot must
+		// be zero so the messages are collectible.
+		zero := sendEntry{}
+		for i, e := range ss.queue.buf {
+			if e != zero {
+				t.Errorf("ring slot %d = %+v still populated after full ack", i, e)
+			}
+		}
+		if ss.bytes != 0 {
+			t.Errorf("pair byte gauge = %d after full ack, want 0", ss.bytes)
+		}
+	})
+	if depth != 0 || stalled {
+		t.Fatalf("after ack: depth=%d stalled=%v, want drained and resumed (low-water %d)", depth, stalled, low)
+	}
+	if h := nodes[0].tr.healthOf(1); h != HealthHealthy {
+		t.Fatalf("post-drain health = %v, want %v", h, HealthHealthy)
+	}
+}
+
+// TestSendWindowOverflowFailsLoudly pins the contract-breach path: a
+// completely full ring means the Lemma-bounded residual traffic
+// assumption was violated, and the sender must crash its local
+// process loudly (recorded error, OnProcCrash) rather than grow the
+// queue or silently drop a frame.
+func TestSendWindowOverflowFailsLoudly(t *testing.T) {
+	t.Parallel()
+	const window = 20
+	var crashed atomic.Int64
+	crashed.Store(-1)
+	g := graph.Clique(2)
+	nodes, clk, nw := virtClusterNet(t, g, [][]int{{0}, {1}}, func(i int, cfg *Config) {
+		cfg.SendWindow = window
+		if i == 0 {
+			cfg.OnProcCrash = func(proc int) { crashed.Store(int64(proc)) }
+		}
+	})
+	waitEatsV(t, clk, nodes, nil, 1, 20*time.Second)
+
+	// Partition so no acks ever drain the ring.
+	nw.Partition("n0", "n1")
+	pr := nodes[0].peers[1]
+	peerDo(t, clk, pr, func() {
+		for i := 0; i <= window; i++ {
+			pr.node.tr.appSend(0, 1)
+			pr.submit(core.Message{Kind: core.Ping, From: 0, To: 1})
+		}
+	})
+
+	err := nodes[0].Err()
+	if err == nil || !strings.Contains(err.Error(), "send window") {
+		t.Fatalf("node error = %v, want send-window overflow", err)
+	}
+	if got := crashed.Load(); got != 0 {
+		t.Fatalf("crashed proc = %d, want 0", got)
+	}
+	if d := nodes[0].MaxPairDepth(); d > window {
+		t.Fatalf("peak pair depth %d exceeds window %d", d, window)
+	}
+}
+
+// blockConn lets the handshake hello through, then blocks every
+// subsequent Write until the connection is closed — a TCP peer whose
+// socket accepts nothing while never erroring.
+type blockConn struct {
+	net.Conn
+	mu        sync.Mutex
+	writes    int
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (c *blockConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	w := c.writes
+	c.mu.Unlock()
+	if w <= 1 {
+		return c.Conn.Write(b)
+	}
+	<-c.closed
+	return 0, errors.New("blockconn: closed")
+}
+
+func (c *blockConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// TestWriterSaturationTearsDownConn pins the half-dead-connection
+// path: a socket that stops accepting writes without erroring fills
+// the writer queue, the manager notices the queue has refused every
+// frame for a full write timeout, tears the connection down, and the
+// dialer redials a fresh one.
+func TestWriterSaturationTearsDownConn(t *testing.T) {
+	t.Parallel()
+	var dials atomic.Int64
+	g := graph.Clique(2)
+	nodes, clk, _ := virtClusterNet(t, g, [][]int{{0}, {1}}, func(i int, cfg *Config) {
+		if i != 0 {
+			return // node 0 is the dialer (lower index)
+		}
+		inner := cfg.Dial
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			c, err := inner(addr)
+			if err != nil {
+				return nil, err
+			}
+			if dials.Add(1) == 1 {
+				return &blockConn{Conn: c, closed: make(chan struct{})}, nil
+			}
+			return c, nil
+		}
+	})
+
+	// The first connection wedges after its hello: heartbeats fill the
+	// writer queue (writerQueueCap frames), satSince starts ticking,
+	// and after a write timeout the manager kills the generation and
+	// redials. Recovery is complete when the second connection serves
+	// remote eats.
+	pumpUntil(t, clk, 60*time.Second, "redial after saturated writer", func() bool {
+		return dials.Load() >= 2
+	})
+	waitEatsV(t, clk, nodes, nil, 2, 30*time.Second)
+	pumpUntil(t, clk, 20*time.Second, "healthy link on fresh connection", func() bool {
+		return nodes[0].tr.healthOf(1) == HealthHealthy
+	})
+	if err := nodes[0].Err(); err != nil {
+		t.Fatalf("node 0 error after recovery: %v", err)
+	}
+}
+
+// TestWatchdogCrashesWedgedProc stages the wedge chain the watchdog
+// exists for: process 1 blocks inside a dining-transition hook, its
+// inbox fills, and the node watchdog must crash it (loud error,
+// OnProcCrash) so its neighbors — here process 0, which merely
+// suspects the silent process — keep making progress.
+func TestWatchdogCrashesWedgedProc(t *testing.T) {
+	t.Parallel()
+	unblock := make(chan struct{})
+	var crashed atomic.Int64
+	crashed.Store(-1)
+	g := graph.Clique(2)
+	nodes, clk, _ := virtClusterNet(t, g, [][]int{{0}, {1}}, func(i int, cfg *Config) {
+		cfg.ProcInboxCap = 4
+		cfg.WedgeBudget = 300 * time.Millisecond
+		if i == 1 {
+			cfg.OnProcCrash = func(proc int) { crashed.Store(int64(proc)) }
+			cfg.Observer = func(proc int, from, to core.State) {
+				<-unblock
+			}
+		}
+	})
+	// Runs before the cluster teardown registered by virtClusterNet, so
+	// the goroutine parked in the hook always exits before Stop joins.
+	t.Cleanup(func() { close(unblock) })
+	waitEatsV(t, clk, []*Node{nodes[0]}, nil, 1, 20*time.Second)
+
+	pumpUntil(t, clk, 20*time.Second, "watchdog to crash the wedged process", func() bool {
+		return crashed.Load() == 1
+	})
+	err := nodes[1].Err()
+	if err == nil || !strings.Contains(err.Error(), "wedged") {
+		t.Fatalf("node 1 error = %v, want watchdog wedge report", err)
+	}
+	if st := nodes[1].Status(); len(st.Procs) != 1 || !st.Procs[0].Crashed {
+		t.Fatalf("proc 1 status = %+v, want crashed", st.Procs)
+	}
+
+	// Failure containment: the crash is process 1's alone. Process 0
+	// suspects it and keeps eating.
+	base := nodes[0].EatCounts()[0]
+	pumpUntil(t, clk, 20*time.Second, "neighbor progress after the crash", func() bool {
+		return nodes[0].EatCounts()[0] >= base+2
+	})
+	if err := nodes[0].Err(); err != nil {
+		t.Fatalf("node 0 error: %v", err)
+	}
+}

@@ -48,6 +48,18 @@ type Options struct {
 	Seed             int64         // default 1
 	Logf             func(format string, args ...any)
 
+	// DialBackoff / DialBackoffMax bound the reconnect schedule of
+	// every node (defaults are remote's). Long-partition tests shrink
+	// DialBackoffMax so a few virtual seconds of outage dwarfs the cap.
+	DialBackoff    time.Duration
+	DialBackoffMax time.Duration
+	// SendWindow is the per-ordered-pair ARQ ring capacity (default
+	// remote's 256). Backpressure tests shrink it to force stalls.
+	SendWindow int
+	// WedgeBudget is the node watchdog's no-progress budget (default
+	// remote's 2s).
+	WedgeBudget time.Duration
+
 	// Network, when non-nil, runs the cluster on the in-memory virtual
 	// network instead of loopback TCP: node i binds address "n<i>" on
 	// it, and every clock in the stack is the network's virtual clock.
@@ -177,6 +189,10 @@ func (c *Cluster) nodeConfig(ni int, ln net.Listener) remote.Config {
 		EatTime:          c.opts.EatTime,
 		ThinkTime:        c.opts.ThinkTime,
 		RTO:              c.opts.RTO,
+		DialBackoff:      c.opts.DialBackoff,
+		DialBackoffMax:   c.opts.DialBackoffMax,
+		SendWindow:       c.opts.SendWindow,
+		WedgeBudget:      c.opts.WedgeBudget,
 		Seed:             c.opts.Seed + int64(ni) + int64(inc)*1000003,
 		Incarnation:      inc,
 		Listener:         ln,
@@ -576,4 +592,49 @@ func (c *Cluster) MaxEdgeOccupancy() int {
 		}
 	}
 	return max
+}
+
+// MaxPairDepth is the largest per-ordered-pair ARQ queue high-water
+// mark any live node measured. The bounded-window contract says this
+// never exceeds SendWindow, under any schedule.
+func (c *Cluster) MaxPairDepth() int {
+	max := 0
+	for ni, n := range c.Nodes {
+		c.mu.Lock()
+		dead := c.killed[ni]
+		c.mu.Unlock()
+		if dead {
+			continue
+		}
+		if v := n.MaxPairDepth(); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// QueuedFrameBytes sums the encoded bytes currently parked in ARQ
+// rings across live nodes — the quantity that must stay flat (not
+// grow with outage length) across a long partition.
+func (c *Cluster) QueuedFrameBytes() int {
+	total := 0
+	for ni, n := range c.Nodes {
+		c.mu.Lock()
+		dead := c.killed[ni]
+		c.mu.Unlock()
+		if dead {
+			continue
+		}
+		total += n.QueuedFrameBytes()
+	}
+	return total
+}
+
+// SendWindow reports the configured per-pair ARQ window (uniform
+// across nodes).
+func (c *Cluster) SendWindow() int {
+	if len(c.Nodes) == 0 {
+		return 0
+	}
+	return c.Nodes[0].SendWindow()
 }

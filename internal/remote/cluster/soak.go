@@ -26,6 +26,14 @@ type SoakConfig struct {
 	// Plan overrides the generated schedule (Seed then only feeds
 	// jitter). Its Duration must match.
 	Plan *netsim.ChaosPlan
+	// DialBackoff / DialBackoffMax override the reconnect schedule
+	// (zero keeps remote's defaults). Long-partition schedules shrink
+	// the cap so the outage dwarfs it by orders of magnitude.
+	DialBackoff    time.Duration
+	DialBackoffMax time.Duration
+	// SendWindow overrides the per-pair ARQ ring capacity (zero keeps
+	// remote's default).
+	SendWindow int
 	// Logf, when non-nil, receives per-node debug logging.
 	Logf func(format string, args ...any)
 }
@@ -125,6 +133,9 @@ func runChaosSoakInner(cfg SoakConfig) (*SoakResult, *Cluster, error) {
 		EatTime:          4 * time.Millisecond,
 		ThinkTime:        4 * time.Millisecond,
 		RTO:              20 * time.Millisecond,
+		DialBackoff:      cfg.DialBackoff,
+		DialBackoffMax:   cfg.DialBackoffMax,
+		SendWindow:       cfg.SendWindow,
 		Seed:             cfg.Seed + 1,
 		Logf:             cfg.Logf,
 		Network:          nw,
@@ -210,6 +221,13 @@ func runChaosSoakInner(cfg SoakConfig) (*SoakResult, *Cluster, error) {
 	starving := cl.Starving(time.Second)
 	check(len(starving) == 0, "no_starvation_post_heal", func() string {
 		return fmt.Sprintf("starving processes %v", starving)
+	})
+	// Resource invariant: the per-pair ARQ high-water mark is tracked
+	// continuously by the transport itself, so reading the peak once at
+	// the end is equivalent to sampling depth at every instant of the
+	// run — including the depths reached mid-partition and mid-overload.
+	check(cl.MaxPairDepth() <= cl.SendWindow(), "queue_depth_bounded", func() string {
+		return fmt.Sprintf("peak pair depth %d exceeds send window %d", cl.MaxPairDepth(), cl.SendWindow())
 	})
 	fallen := cl.FallenProcs()
 	check(within(fallen, blast), "fallen_within_blast_radius", func() string {
@@ -297,6 +315,12 @@ func applyChaos(cl *Cluster, nw *netsim.Net, ev netsim.ChaosEvent) error {
 		nw.ResetLink(ev.A, ev.B)
 	case netsim.ChaosTruncate:
 		nw.TruncateLink(ev.A, ev.B, ev.DropTail)
+	case netsim.ChaosSlowLink:
+		nw.SetLinkRate(ev.A, ev.B, ev.Rate)
+	case netsim.ChaosStopDrain:
+		nw.StopDrain(ev.A, ev.B)
+	case netsim.ChaosResumeDrain:
+		nw.ResumeDrain(ev.A, ev.B)
 	case netsim.ChaosHealAll:
 		nw.HealAll()
 	case netsim.ChaosCrash:

@@ -1,0 +1,101 @@
+package remote
+
+import "fmt"
+
+// HealthState is the per-peer link health, the one state machine that
+// unifies the transport's previously scattered degradation signals:
+// ARQ window backpressure, writer-queue saturation, write-deadline
+// kills, ◇P₁-driven disconnects, reconnect backoff exhaustion, and the
+// node watchdog's wedge verdicts. Every transition goes through
+// tracker.setHealth, which validates it against the graph below and
+// counts it, so the link's failure history is auditable from /status.
+//
+// The states, in increasing order of severity:
+//
+//   - Healthy: connected, all ARQ windows below high-water, no local
+//     process suspects a process on the peer.
+//   - Degraded: connected but resource-pressured — some ordered pair's
+//     send window crossed the backpressure high-water mark, or the
+//     connection writer stayed saturated. The stalled pairs are parked
+//     at the dining layer exactly like suspicion (the stall is surfaced
+//     to the local diner, which stops waiting on — and sending to — the
+//     stalled neighbor), so wait-freedom among non-stalled neighbors is
+//     preserved while the backlog drains.
+//   - Suspect: the connection is down and the dialer is backing off, or
+//     ◇P₁ parked retransmission toward the peer. The link may come back
+//     (false suspicion, transient partition).
+//   - Down: the reconnect backoff has been at its cap for several
+//     consecutive failed attempts, or the watchdog declared this peer's
+//     manager wedged. Still recoverable — a successful handshake
+//     returns the link to Healthy — but monitoring should treat the
+//     peer as gone.
+//
+// Hysteresis is built into the triggers, not the graph: Degraded exits
+// only when every stalled pair drains below the low-water mark (half
+// the high-water), and Down entry requires downAfterFails consecutive
+// at-cap dial failures, so the link does not flap on the boundary.
+type HealthState int
+
+const (
+	// HealthHealthy: connected, windows below high-water, not suspected.
+	HealthHealthy HealthState = iota + 1
+	// HealthDegraded: connected but backpressured; stalled pairs parked.
+	HealthDegraded
+	// HealthSuspect: disconnected and redialing, or suspicion-parked.
+	HealthSuspect
+	// HealthDown: backoff exhausted or manager wedged.
+	HealthDown
+)
+
+func (h HealthState) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthSuspect:
+		return "suspect"
+	case HealthDown:
+		return "down"
+	default:
+		return fmt.Sprintf("healthstate(%d)", int(h))
+	}
+}
+
+// healthCanStep reports whether from → to is an edge of the transition
+// graph. Self-loops are filtered by the caller (they are no-ops, not
+// transitions). The graph is intentionally written as an exhaustive
+// switch over HealthState so kindexhaustive forces every future state
+// to declare its outgoing edges here.
+func healthCanStep(from, to HealthState) bool {
+	switch from {
+	case HealthHealthy:
+		// Pressure degrades, a disconnect or suspicion suspects; a
+		// healthy link is never declared Down without passing through
+		// one of those (even a watchdog wedge rides Suspect first when
+		// the conn is torn down, but the wedge verdict may also land
+		// directly).
+		return to == HealthDegraded || to == HealthSuspect || to == HealthDown
+	case HealthDegraded:
+		// Drained below low-water heals; a disconnect while stalled
+		// suspects; a wedge or backoff exhaustion downs.
+		return to == HealthHealthy || to == HealthSuspect || to == HealthDown
+	case HealthSuspect:
+		// A successful handshake heals (or re-enters Degraded when
+		// stalled pairs survived the disconnect); repeated at-cap dial
+		// failures or a wedge verdict downs.
+		return to == HealthHealthy || to == HealthDegraded || to == HealthDown
+	case HealthDown:
+		// Only a successful handshake resurrects a Down link; it lands
+		// on Healthy or, when stalled pairs persist, Degraded.
+		return to == HealthHealthy || to == HealthDegraded
+	default:
+		return false
+	}
+}
+
+// downAfterFails is how many consecutive dial failures at the backoff
+// cap demote Suspect to Down. The hysteresis keeps a link that fails
+// one redial (listener restarting, accept queue full) from flapping
+// into Down during routine reconnects.
+const downAfterFails = 3

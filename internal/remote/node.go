@@ -37,6 +37,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backoff"
@@ -97,6 +98,20 @@ type Config struct {
 	// (defaults 25ms and 1s).
 	DialBackoff, DialBackoffMax time.Duration
 
+	// SendWindow is the fixed per-ordered-pair ARQ ring capacity
+	// (default 256 frames): the hard bound on what a partitioned or
+	// slow peer can pin on this node. Crossing the window's high-water
+	// mark parks the sending pair at the dining layer like suspicion
+	// does; the window itself never grows.
+	SendWindow int
+	// WedgeBudget is how long a peer manager's mailbox (or a process
+	// inbox) may stay backed up without the owner making progress
+	// before the node watchdog intervenes (default 2s).
+	WedgeBudget time.Duration
+	// ProcInboxCap sizes each process event inbox (default 1024; tests
+	// shrink it to provoke the watchdog's wedge handling).
+	ProcInboxCap int
+
 	// Seed feeds the jitter randomness (default 1).
 	Seed int64
 
@@ -154,6 +169,15 @@ func (c *Config) withDefaults() error {
 		Initial: int64(c.DialBackoff), Max: int64(c.DialBackoffMax),
 	}.Normalized(int64(25*time.Millisecond), int64(time.Second), 0)
 	c.DialBackoff, c.DialBackoffMax = time.Duration(dial.Initial), time.Duration(dial.Max)
+	if c.SendWindow <= 0 {
+		c.SendWindow = 256
+	}
+	if c.WedgeBudget <= 0 {
+		c.WedgeBudget = 2 * time.Second
+	}
+	if c.ProcInboxCap <= 0 {
+		c.ProcInboxCap = procInboxCap
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -225,23 +249,28 @@ func NewNode(cfg Config) (*Node, error) {
 		p := &rproc{
 			node:      n,
 			id:        pid,
-			inbox:     make(chan procEvent, procInboxCap),
+			inbox:     make(chan procEvent, cfg.ProcInboxCap),
 			dead:      make(chan struct{}),
 			nbrs:      topo.G.Neighbors(pid),
 			lastHeard: make(map[int]time.Time),
 			timeout:   make(map[int]time.Duration),
 			suspected: make(map[int]bool),
+			stalled:   make(map[int]bool),
 		}
 		nbrColors := make(map[int]int, len(p.nbrs))
 		for _, j := range p.nbrs {
 			nbrColors[j] = colors[j]
 		}
 		d, err := core.NewDiner(core.Config{
-			ID:             pid,
-			Color:          colors[pid],
+			ID:    pid,
+			Color: colors[pid],
 			NeighborColors: nbrColors,
-			Suspects:       func(j int) bool { return p.suspected[j] },
-			Options:        cfg.Options,
+			// A backpressure-stalled neighbor is treated exactly like a
+			// suspected one: the diner stops waiting on it, preserving
+			// wait-freedom among non-stalled neighbors while the
+			// transport drains the backlog.
+			Suspects: func(j int) bool { return p.suspected[j] || p.stalled[j] },
+			Options:  cfg.Options,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("remote: process %d: %w", pid, err)
@@ -290,6 +319,8 @@ func (n *Node) Start() error {
 		go p.run()
 		p.post(procEvent{kind: evHungry})
 	}
+	n.wg.Add(1)
+	go n.watchdog()
 	return nil
 }
 
@@ -387,6 +418,26 @@ func (n *Node) deliverHeartbeat(to, from int) {
 	}
 }
 
+// signalStall surfaces a transport backpressure stall (or its end) on
+// the stream local → nbr to the owning process (called on peer manager
+// goroutines).
+func (n *Node) signalStall(local, nbr int, stalled bool) {
+	if dst, ok := n.procs[local]; ok {
+		dst.post(procEvent{kind: evStall, from: nbr, stalled: stalled})
+	}
+}
+
+// failProc records err and crashes the local process id — the loud,
+// contained failure path for resource-contract breaches (callable from
+// peer manager and watchdog goroutines; rproc.crash is idempotent and
+// goroutine-safe).
+func (n *Node) failProc(id int, err error) {
+	n.tr.recordErr(err)
+	if p, ok := n.procs[id]; ok {
+		p.crash()
+	}
+}
+
 // --- process event loop ------------------------------------------------
 
 // procInboxCap sizes a process inbox. The paper bounds in-transit
@@ -405,12 +456,14 @@ const (
 	evHungry
 	evExitEat
 	evNeighborReset
+	evStall
 )
 
 type procEvent struct {
-	kind eventKind
-	msg  core.Message
-	from int
+	kind    eventKind
+	msg     core.Message
+	from    int
+	stalled bool // evStall: stall began (true) or drained (false)
 }
 
 // rproc is one hosted process: a goroutine owning a diner, its ◇P₁
@@ -428,6 +481,13 @@ type rproc struct {
 	lastHeard map[int]time.Time
 	timeout   map[int]time.Duration
 	suspected map[int]bool
+	// stalled marks neighbors whose outbound stream is backpressure-
+	// parked; the diner's Suspects view ORs it with suspicion.
+	stalled map[int]bool
+
+	// lastEvent is the clk nanos of the last run-loop iteration, read
+	// by the node watchdog to spot a wedged process.
+	lastEvent atomic.Int64
 }
 
 // post delivers an event, giving up if the process died or the node is
@@ -472,6 +532,7 @@ func (p *rproc) run() {
 	}()
 	ticker := p.node.clk.NewTicker(p.node.cfg.HeartbeatPeriod)
 	defer ticker.Stop()
+	p.lastEvent.Store(p.node.clk.Now().UnixNano())
 	for {
 		select {
 		case <-p.node.stop:
@@ -483,6 +544,9 @@ func (p *rproc) run() {
 		case ev := <-p.inbox:
 			p.handle(ev)
 		}
+		// Progress stamp for the watchdog: a full inbox plus a stale
+		// stamp means this process stopped consuming events.
+		p.lastEvent.Store(p.node.clk.Now().UnixNano())
 	}
 }
 
@@ -554,6 +618,15 @@ func (p *rproc) handle(ev procEvent) {
 		p.act(func() []core.Message { return p.diner.ExitEating() })
 	case evNeighborReset:
 		p.act(func() []core.Message { return p.diner.ResetNeighbor(ev.from) })
+	case evStall:
+		if p.stalled[ev.from] == ev.stalled {
+			return
+		}
+		p.stalled[ev.from] = ev.stalled
+		// The diner re-reads its Suspects view: a stalled neighbor is
+		// dropped from (or restored to) the processes it waits on,
+		// exactly as suspicion transitions do.
+		p.act(func() []core.Message { return p.diner.ReevaluateSuspicion() })
 	}
 }
 

@@ -98,6 +98,14 @@ func TestPeersOf(t *testing.T) {
 // the pre-set value dials the virtual network.
 func virtCluster(t *testing.T, g *graph.Graph, placement [][]int, mut func(i int, cfg *Config)) ([]*Node, *netsim.Clock) {
 	t.Helper()
+	nodes, clk, _ := virtClusterNet(t, g, placement, mut)
+	return nodes, clk
+}
+
+// virtClusterNet is virtCluster plus the virtual network itself, for
+// tests that inject link faults (partitions, frozen readers).
+func virtClusterNet(t *testing.T, g *graph.Graph, placement [][]int, mut func(i int, cfg *Config)) ([]*Node, *netsim.Clock, *netsim.Net) {
+	t.Helper()
 	clk := netsim.NewClock()
 	clk.Yield = 0
 	nw := netsim.NewNet(clk, 1)
@@ -153,7 +161,7 @@ func virtCluster(t *testing.T, g *graph.Graph, placement [][]int, mut func(i int
 			stopPumped(clk, n)
 		}
 	})
-	return nodes, clk
+	return nodes, clk, nw
 }
 
 // stopPumped stops a node while pumping the virtual clock: Stop joins
@@ -438,7 +446,7 @@ func TestIncarnationResetsARQState(t *testing.T) {
 	ss.nextSeq = 7
 	ss.deadline = time.Now()
 	for seq := uint64(4); seq <= 6; seq++ {
-		ss.queue = append(ss.queue, sendEntry{seq: seq, msg: core.Message{Kind: core.Ping, From: 0, To: 1}})
+		ss.queue.push(sendEntry{seq: seq, msg: core.Message{Kind: core.Ping, From: 0, To: 1}})
 	}
 	rs := p.recvStateFor(pairKey{from: 1, to: 0})
 	rs.next = 10
@@ -449,14 +457,14 @@ func TestIncarnationResetsARQState(t *testing.T) {
 		t.Fatalf("first hello must not reset state: %+v %+v", ss, rs)
 	}
 	p.noteIncarnation(100) // reconnect of the same incarnation: state survives
-	if ss.nextSeq != 7 || ss.queue[0].seq != 4 || rs.next != 10 {
+	if ss.nextSeq != 7 || ss.queue.front().seq != 4 || rs.next != 10 {
 		t.Fatalf("same-incarnation reconnect must keep state: %+v %+v", ss, rs)
 	}
 	p.noteIncarnation(200) // restart: everything stale
 	if p.peerInc != 200 {
 		t.Fatalf("peerInc = %d, want 200", p.peerInc)
 	}
-	if len(ss.queue) != 0 || ss.nextSeq != 1 || !ss.deadline.IsZero() {
+	if ss.queue.len() != 0 || ss.nextSeq != 1 || !ss.deadline.IsZero() {
 		t.Fatalf("send state not reset: %+v", ss)
 	}
 	if rs.next != 1 || len(rs.buf) != 0 {

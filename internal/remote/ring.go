@@ -1,0 +1,71 @@
+package remote
+
+// sendRing is the fixed-capacity unacked-frame buffer of one ordered
+// pair. It replaces the append/[1:] slice the go-back-N queue used to
+// grow: that pattern both let a partitioned peer pin unbounded memory
+// on every healthy node (the opposite of the paper's failure
+// containment) and retained acked entries in the backing array until
+// the whole slice was reallocated. The ring's capacity is the pair's
+// hard resource bound — push refuses instead of growing — and popFront
+// zeroes the vacated slot so an acked message is unreachable the
+// moment its cumulative ack lands.
+//
+// The ring is owned by the peer manager goroutine; it needs no locks.
+type sendRing struct {
+	buf  []sendEntry
+	head int // index of the oldest entry
+	n    int // occupied slots
+}
+
+func newSendRing(capacity int) *sendRing {
+	return &sendRing{buf: make([]sendEntry, capacity)}
+}
+
+// cap returns the fixed capacity.
+func (r *sendRing) capacity() int { return len(r.buf) }
+
+// len returns the number of queued entries.
+func (r *sendRing) len() int { return r.n }
+
+// full reports whether push would refuse.
+func (r *sendRing) full() bool { return r.n == len(r.buf) }
+
+// push appends e, reporting false (and storing nothing) when the ring
+// is full. The caller decides what a refusal means; the ring only
+// enforces the bound.
+func (r *sendRing) push(e sendEntry) bool {
+	if r.n == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+	return true
+}
+
+// front returns the oldest entry; it must not be called on an empty
+// ring.
+func (r *sendRing) front() sendEntry { return r.buf[r.head] }
+
+// popFront removes and zeroes the oldest entry, so the acked message
+// (and any pointers its payload carries) is garbage-collectible
+// immediately — the regression contract for the old backing-array
+// leak.
+func (r *sendRing) popFront() sendEntry {
+	e := r.buf[r.head]
+	r.buf[r.head] = sendEntry{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return e
+}
+
+// at returns the i-th entry from the front (0 = oldest); callers
+// iterate i in [0, len()).
+func (r *sendRing) at(i int) sendEntry { return r.buf[(r.head+i)%len(r.buf)] }
+
+// clear drops and zeroes everything (the incarnation-reset path).
+func (r *sendRing) clear() {
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = sendEntry{}
+	}
+	r.head, r.n = 0, 0
+}

@@ -1,0 +1,86 @@
+package remote
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func entry(seq uint64) sendEntry {
+	return sendEntry{seq: seq, msg: core.Message{Kind: core.Ping, From: 1, To: 2}, wireLen: 32}
+}
+
+func TestSendRingFIFOAcrossWrap(t *testing.T) {
+	r := newSendRing(4)
+	if r.capacity() != 4 || r.len() != 0 || r.full() {
+		t.Fatalf("fresh ring: cap=%d len=%d full=%v", r.capacity(), r.len(), r.full())
+	}
+	for seq := uint64(1); seq <= 4; seq++ {
+		if !r.push(entry(seq)) {
+			t.Fatalf("push %d refused below capacity", seq)
+		}
+	}
+	if !r.full() || r.push(entry(5)) {
+		t.Fatal("full ring must refuse a fifth push")
+	}
+	// Drain two, refill two: the ring wraps, and order must survive.
+	if got := r.popFront().seq; got != 1 {
+		t.Fatalf("popFront = %d, want 1", got)
+	}
+	if got := r.popFront().seq; got != 2 {
+		t.Fatalf("popFront = %d, want 2", got)
+	}
+	for seq := uint64(5); seq <= 6; seq++ {
+		if !r.push(entry(seq)) {
+			t.Fatalf("push %d refused after drain", seq)
+		}
+	}
+	want := []uint64{3, 4, 5, 6}
+	for i, w := range want {
+		if got := r.at(i).seq; got != w {
+			t.Fatalf("at(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := r.front().seq; got != 3 {
+		t.Fatalf("front = %d, want 3", got)
+	}
+	for _, w := range want {
+		if got := r.popFront().seq; got != w {
+			t.Fatalf("wrapped pop = %d, want %d", got, w)
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("len after drain = %d", r.len())
+	}
+}
+
+// TestSendRingPopReleasesEntries is the regression test for the
+// original ARQ leak: the slice-based queue advanced with
+// queue = queue[1:], so acked entries stayed reachable from the
+// backing array for the life of the pair. The ring must zero every
+// vacated slot on popFront (and all slots on clear), so acked
+// messages become collectible the moment the ack lands.
+func TestSendRingPopReleasesEntries(t *testing.T) {
+	r := newSendRing(4)
+	for seq := uint64(1); seq <= 4; seq++ {
+		r.push(entry(seq))
+	}
+	r.popFront()
+	r.popFront()
+	live := map[uint64]bool{3: true, 4: true}
+	zero := sendEntry{}
+	for i, e := range r.buf {
+		if live[e.seq] {
+			continue
+		}
+		if e != zero {
+			t.Fatalf("buf[%d] = %+v still populated after pop; acked entries must be zeroed", i, e)
+		}
+	}
+	r.clear()
+	for i, e := range r.buf {
+		if e != zero {
+			t.Fatalf("buf[%d] = %+v survived clear", i, e)
+		}
+	}
+}

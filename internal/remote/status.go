@@ -2,6 +2,7 @@ package remote
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -43,6 +44,25 @@ type peerStats struct {
 	writerDrops   uint64
 	retransmits   uint64
 	dupSuppressed uint64
+
+	// Health is the authoritative copy of the link's state machine;
+	// peer managers (and the watchdog) drive it through setHealth so
+	// every transition is validated against healthCanStep and counted.
+	health      HealthState
+	healthSteps map[string]uint64 // "suspect->healthy" -> count
+
+	coalesced uint64 // idempotent frames merged instead of queued
+	stalls    uint64 // backpressure stall episodes begun
+	wedges    uint64 // watchdog wedge verdicts against this peer
+
+	// Per ordered-pair ARQ gauges, keyed by the stream's (from, to).
+	pairs map[pairKey]*pairStats
+}
+
+type pairStats struct {
+	depth     int // current unacked entries in the ring
+	peakDepth int
+	bytes     int // current encoded frame bytes held by the ring
 }
 
 func newTracker(g *graph.Graph) *tracker {
@@ -62,7 +82,13 @@ func (t *tracker) addProc(id int) {
 func (t *tracker) addPeer(node int, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.peers[node] = &peerStats{addr: addr}
+	// A link is born Suspect: disconnected, dialer about to try.
+	t.peers[node] = &peerStats{
+		addr:        addr,
+		health:      HealthSuspect,
+		healthSteps: make(map[string]uint64),
+		pairs:       make(map[pairKey]*pairStats),
+	}
 }
 
 func (t *tracker) transition(id int, to core.State, eats, sessions int) {
@@ -148,6 +174,71 @@ func (t *tracker) dupSuppressed(node int) {
 	t.peers[node].dupSuppressed++
 }
 
+// setHealth drives the peer's health state machine. Self-loops are
+// no-ops; an edge absent from healthCanStep is a programming error and
+// is recorded loudly instead of applied, so an illegal transition can
+// never pass silently. Returns the state actually in effect after the
+// call.
+func (t *tracker) setHealth(node int, to HealthState, reason string) HealthState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps := t.peers[node]
+	from := ps.health
+	if from == to {
+		return from
+	}
+	if !healthCanStep(from, to) {
+		t.errs = append(t.errs, fmt.Errorf(
+			"remote: illegal health transition %v -> %v for peer %d (%s)", from, to, node, reason))
+		return from
+	}
+	ps.health = to
+	ps.healthSteps[from.String()+"->"+to.String()]++
+	return to
+}
+
+// healthOf reads the peer's current health state.
+func (t *tracker) healthOf(node int) HealthState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peers[node].health
+}
+
+func (t *tracker) coalescedFrame(node int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[node].coalesced++
+}
+
+func (t *tracker) stallBegan(node int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[node].stalls++
+}
+
+func (t *tracker) wedge(node int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[node].wedges++
+}
+
+// pairQueue updates one ordered pair's ARQ gauges (current ring depth
+// and encoded frame bytes held).
+func (t *tracker) pairQueue(node int, key pairKey, depth, bytes int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps := t.peers[node]
+	g, ok := ps.pairs[key]
+	if !ok {
+		g = &pairStats{}
+		ps.pairs[key] = g
+	}
+	g.depth, g.bytes = depth, bytes
+	if depth > g.peakDepth {
+		g.peakDepth = depth
+	}
+}
+
 // --- public status surface ---------------------------------------------
 
 // ProcStatus is one hosted process's view in /status.
@@ -160,15 +251,33 @@ type ProcStatus struct {
 	Crashed  bool   `json:"crashed,omitempty"`
 }
 
+// PairStatus is one ordered process pair's ARQ gauge in /status.
+type PairStatus struct {
+	From      int `json:"from"`
+	To        int `json:"to"`
+	Depth     int `json:"depth"`
+	PeakDepth int `json:"peak_depth"`
+	Bytes     int `json:"bytes"`
+}
+
 // PeerStatus is the transport link to one remote node in /status.
 type PeerStatus struct {
 	Node          int    `json:"node"`
 	Addr          string `json:"addr"`
 	Connected     bool   `json:"connected"`
+	Health        string `json:"health"`
 	Connects      uint64 `json:"connects"`
 	Retransmits   uint64 `json:"retransmits"`
 	DupSuppressed uint64 `json:"dup_suppressed"`
 	WriterDrops   uint64 `json:"writer_drops"`
+	Coalesced     uint64 `json:"coalesced"`
+	Stalls        uint64 `json:"stalls"`
+	Wedges        uint64 `json:"wedges,omitempty"`
+	// HealthSteps counts every validated health transition the link has
+	// taken, keyed "from->to" — the auditable history the state machine
+	// promises.
+	HealthSteps map[string]uint64 `json:"health_steps,omitempty"`
+	Pairs       []PairStatus      `json:"pairs,omitempty"`
 }
 
 // Status is the JSON document served at /status.
@@ -178,10 +287,13 @@ type Status struct {
 	// MaxEdgeOccupancy is the per-edge application-message high-water
 	// mark, as measured by this node (the paper's Section 7 figure —
 	// eventually at most 4 per edge).
-	MaxEdgeOccupancy int          `json:"max_edge_occupancy"`
-	Procs            []ProcStatus `json:"procs"`
-	Peers            []PeerStatus `json:"peers"`
-	Errors           []string     `json:"errors,omitempty"`
+	MaxEdgeOccupancy int `json:"max_edge_occupancy"`
+	// SendWindow is the fixed per-pair ARQ ring capacity; every pair's
+	// depth is ≤ this bound at all times, by construction.
+	SendWindow int          `json:"send_window"`
+	Procs      []ProcStatus `json:"procs"`
+	Peers      []PeerStatus `json:"peers"`
+	Errors     []string     `json:"errors,omitempty"`
 }
 
 // Status snapshots the node for monitoring.
@@ -189,7 +301,7 @@ func (n *Node) Status() Status {
 	t := n.tr
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	st := Status{Node: n.self, Addr: n.Addr(), MaxEdgeOccupancy: t.occ.MaxHighWater()}
+	st := Status{Node: n.self, Addr: n.Addr(), MaxEdgeOccupancy: t.occ.MaxHighWater(), SendWindow: n.cfg.SendWindow}
 	ids := make([]int, 0, len(t.procs))
 	for id := range t.procs {
 		ids = append(ids, id)
@@ -209,10 +321,32 @@ func (n *Node) Status() Status {
 	sort.Ints(nodes)
 	for _, node := range nodes {
 		ps := t.peers[node]
-		st.Peers = append(st.Peers, PeerStatus{
-			Node: node, Addr: ps.addr, Connected: ps.connected, Connects: ps.connects,
-			Retransmits: ps.retransmits, DupSuppressed: ps.dupSuppressed, WriterDrops: ps.writerDrops,
+		p := PeerStatus{
+			Node: node, Addr: ps.addr, Connected: ps.connected, Health: ps.health.String(),
+			Connects: ps.connects, Retransmits: ps.retransmits, DupSuppressed: ps.dupSuppressed,
+			WriterDrops: ps.writerDrops, Coalesced: ps.coalesced, Stalls: ps.stalls, Wedges: ps.wedges,
+		}
+		if len(ps.healthSteps) > 0 {
+			p.HealthSteps = make(map[string]uint64, len(ps.healthSteps))
+			for k, v := range ps.healthSteps {
+				p.HealthSteps[k] = v
+			}
+		}
+		keys := make([]pairKey, 0, len(ps.pairs))
+		for k := range ps.pairs {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].from != keys[j].from {
+				return keys[i].from < keys[j].from
+			}
+			return keys[i].to < keys[j].to
 		})
+		for _, k := range keys {
+			g := ps.pairs[k]
+			p.Pairs = append(p.Pairs, PairStatus{From: k.from, To: k.to, Depth: g.depth, PeakDepth: g.peakDepth, Bytes: g.bytes})
+		}
+		st.Peers = append(st.Peers, p)
 	}
 	for _, err := range t.errs {
 		st.Errors = append(st.Errors, err.Error())
@@ -239,6 +373,41 @@ func (n *Node) MaxEdgeOccupancy() int {
 	defer n.tr.mu.Unlock()
 	return n.tr.occ.MaxHighWater()
 }
+
+// MaxPairDepth returns the highest ARQ ring depth any ordered pair on
+// any peer link has ever reached — the resource invariant the chaos
+// soak samples (must stay ≤ SendWindow).
+func (n *Node) MaxPairDepth() int {
+	n.tr.mu.Lock()
+	defer n.tr.mu.Unlock()
+	max := 0
+	for _, ps := range n.tr.peers {
+		for _, g := range ps.pairs {
+			if g.peakDepth > max {
+				max = g.peakDepth
+			}
+		}
+	}
+	return max
+}
+
+// QueuedFrameBytes returns the encoded bytes currently pinned by all
+// ARQ rings on this node — the frame-buffer footprint that must stay
+// flat across an arbitrarily long partition.
+func (n *Node) QueuedFrameBytes() int {
+	n.tr.mu.Lock()
+	defer n.tr.mu.Unlock()
+	total := 0
+	for _, ps := range n.tr.peers {
+		for _, g := range ps.pairs {
+			total += g.bytes
+		}
+	}
+	return total
+}
+
+// SendWindow returns the configured per-pair ARQ ring capacity.
+func (n *Node) SendWindow() int { return n.cfg.SendWindow }
 
 // Handler serves the debug endpoints: /status (JSON) and
 // /debug/pprof/*.

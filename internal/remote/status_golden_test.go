@@ -19,9 +19,13 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files with current
 // field names, order, nesting, indentation — not one run's numbers.
 var (
 	statusStateRe  = regexp.MustCompile(`"state": "[^"]*"`)
-	statusCountRe  = regexp.MustCompile(`"(eat_count|sessions|connects|retransmits|dup_suppressed|writer_drops|max_edge_occupancy)": \d+`)
+	statusCountRe  = regexp.MustCompile(`"(eat_count|sessions|connects|retransmits|dup_suppressed|writer_drops|max_edge_occupancy|coalesced|stalls|wedges|depth|peak_depth|bytes)": \d+`)
 	statusBoolRe   = regexp.MustCompile(`"connected": (?:true|false)`)
 	statusSuspects = regexp.MustCompile(`\n\s*"suspects": \[[^\]]*\],?`)
+	statusHealthRe = regexp.MustCompile(`"health": "[^"]*"`)
+	// The transition tally depends on connect/reconnect timing, so both
+	// its keys and counts are run-dependent; drop the whole object.
+	statusStepsRe = regexp.MustCompile(`\n\s*"health_steps": \{[^}]*\},?`)
 )
 
 func normalizeStatusJSON(b []byte) []byte {
@@ -29,6 +33,8 @@ func normalizeStatusJSON(b []byte) []byte {
 	b = statusCountRe.ReplaceAll(b, []byte(`"$1": 0`))
 	b = statusBoolRe.ReplaceAll(b, []byte(`"connected": true`))
 	b = statusSuspects.ReplaceAll(b, nil)
+	b = statusHealthRe.ReplaceAll(b, []byte(`"health": "X"`))
+	b = statusStepsRe.ReplaceAll(b, nil)
 	return b
 }
 

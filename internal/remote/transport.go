@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -20,27 +21,56 @@ const dialTimeout = 2 * time.Second
 
 // writerQueueCap sizes a connection's outbound frame queue. The
 // manager never blocks on it: when the queue is full (a stalled TCP
-// connection) frames are dropped and counted — the ARQ layer
-// retransmits data, and heartbeats/acks are periodic anyway.
+// connection) data frames are dropped and counted — the ARQ layer
+// retransmits them — while idempotent control frames (heartbeats,
+// cumulative acks) are coalesced into a per-pair stash of the latest
+// instance and flushed when the writer drains. A writer that stays
+// saturated for a full write timeout is treated as dead and torn down.
 const writerQueueCap = 256
 
 // pairKey identifies one ordered process pair (stream direction).
 type pairKey struct{ from, to int }
 
 type sendEntry struct {
-	seq uint64
-	msg core.Message
+	seq     uint64
+	msg     core.Message
+	wireLen int // encoded frame size, for the queued-bytes gauge
 }
 
 // sendState is the sender half of one ordered pair; it lives in the
 // peer manager and survives reconnects, so sequence numbers and the
-// unacked queue span connection generations.
+// unacked queue span connection generations. The queue is a
+// fixed-capacity ring (Config.SendWindow): a partitioned or slow peer
+// can pin at most one window of frames per pair, never unbounded
+// memory.
 type sendState struct {
 	nextSeq   uint64 // next sequence number to assign (starts at 1)
-	queue     []sendEntry
+	queue     *sendRing
+	bytes     int // encoded bytes held by the ring
 	rto       time.Duration
 	deadline  time.Time // zero = timer idle
 	suspended bool      // retransmission parked while the peer process is suspected
+	stalled   bool      // backpressure: window crossed high-water, sender parked
+}
+
+// stallMarks returns the backpressure hysteresis marks for window w:
+// a pair crossing high parks its sender at the dining layer (exactly
+// like suspicion); it resumes only after draining to low. The gap
+// below capacity leaves headroom for the parked diner's bounded
+// residual traffic (Lemma 2.2: at most one pending ping and one
+// request toward an unresponsive neighbor, plus deferred grants driven
+// by inbound frames), so a correctly parked pair never reaches the
+// hard capacity.
+func stallMarks(w int) (high, low int) {
+	high = w - 16
+	if min := (w + 1) / 2; high < min {
+		high = min
+	}
+	low = high / 2
+	if low < 1 {
+		low = 1
+	}
+	return high, low
 }
 
 // recvState is the receiver half of one ordered pair: dedup and
@@ -57,6 +87,12 @@ type liveConn struct {
 	gen  uint64
 	out  chan []byte
 	done chan struct{}
+
+	// satSince is when the writer queue first refused a frame with no
+	// successful enqueue since (zero = not saturated). Manager-owned; a
+	// queue saturated for a full write timeout marks the connection
+	// dead even if the socket never errors.
+	satSince time.Time
 }
 
 // retire closes the generation's socket and releases its writer.
@@ -75,25 +111,39 @@ type peer struct {
 	cmds   chan func()
 
 	// Manager-owned state below.
-	conn      *liveConn
-	connGen   uint64
-	peerInc   uint64 // peer's boot incarnation from its last Hello (0 = never seen)
-	dialDelay time.Duration
-	dialing   bool
-	sends     map[pairKey]*sendState
-	recvs     map[pairKey]*recvState
-	rng       *rand.Rand
+	conn       *liveConn
+	connGen    uint64
+	peerInc    uint64 // peer's boot incarnation from its last Hello (0 = never seen)
+	dialDelay  time.Duration
+	dialing    bool
+	capFails   int // consecutive dial failures at the backoff cap (Down hysteresis)
+	sends      map[pairKey]*sendState
+	recvs      map[pairKey]*recvState
+	pendingHB  map[pairKey]bool   // coalesced heartbeats awaiting writer room
+	pendingAck map[pairKey]uint64 // coalesced cumulative acks (highest wins)
+	rng        *rand.Rand
+
+	// Cross-goroutine observation points for the node watchdog (the
+	// manager may be wedged, so these bypass the command channel).
+	lastDrain atomic.Int64 // clk nanos of the last manager loop iteration
+	liveSock  atomic.Value // sockBox: current socket, for a forced close
 }
+
+// sockBox wraps the current net.Conn for atomic.Value storage (an
+// empty box means no live socket).
+type sockBox struct{ c net.Conn }
 
 func newPeer(n *Node, remote int) *peer {
 	return &peer{
-		node:   n,
-		remote: remote,
-		dialer: n.self < remote,
-		cmds:   make(chan func(), 1024),
-		sends:  make(map[pairKey]*sendState),
-		recvs:  make(map[pairKey]*recvState),
-		rng:    n.jitterRand(remote),
+		node:       n,
+		remote:     remote,
+		dialer:     n.self < remote,
+		cmds:       make(chan func(), 1024),
+		sends:      make(map[pairKey]*sendState),
+		recvs:      make(map[pairKey]*recvState),
+		pendingHB:  make(map[pairKey]bool),
+		pendingAck: make(map[pairKey]uint64),
+		rng:        n.jitterRand(remote),
 	}
 }
 
@@ -127,6 +177,7 @@ func (p *peer) run() {
 	if p.dialer {
 		p.startDial()
 	}
+	p.lastDrain.Store(p.node.clk.Now().UnixNano())
 	for {
 		select {
 		case <-p.node.stop:
@@ -136,6 +187,9 @@ func (p *peer) run() {
 		case <-ticker.C():
 			p.tick()
 		}
+		// Stamp progress for the watchdog: a manager that stops making
+		// iterations while its mailbox backs up is wedged.
+		p.lastDrain.Store(p.node.clk.Now().UnixNano())
 	}
 }
 
@@ -144,6 +198,7 @@ func (p *peer) teardown() {
 	if p.conn != nil {
 		p.conn.retire()
 		p.conn = nil
+		p.liveSock.Store(sockBox{})
 	}
 }
 
@@ -226,9 +281,18 @@ func (p *peer) onDialDone(c net.Conn, inc uint64, err error) {
 }
 
 // scheduleRedial arms the next dial attempt (manager goroutine only).
+// Repeated failures at the backoff cap demote the link to Down —
+// with downAfterFails of hysteresis so one unlucky redial during a
+// listener restart doesn't flap the state machine.
 func (p *peer) scheduleRedial() {
 	pol := p.node.cfg.dialPolicy()
 	p.dialDelay = time.Duration(pol.Next(int64(p.dialDelay)))
+	if int64(p.dialDelay) >= pol.Max {
+		p.capFails++
+		if p.capFails >= downAfterFails {
+			p.node.tr.setHealth(p.remote, HealthDown, "reconnect backoff exhausted")
+		}
+	}
 	d := time.Duration(pol.Jittered(int64(p.dialDelay), p.rng.Int63n))
 	p.node.clk.AfterFunc(d, func() { p.post(p.startDial) })
 }
@@ -353,21 +417,29 @@ func (p *peer) noteIncarnation(inc uint64) {
 	if p.peerInc != 0 {
 		p.node.logf("node %d: node %d restarted (incarnation %d -> %d); resetting link state",
 			p.node.self, p.remote, p.peerInc, inc)
-		for _, ss := range p.sends {
-			for _, e := range ss.queue {
+		for key, ss := range p.sends {
+			for i := 0; i < ss.queue.len(); i++ {
 				// Close the occupancy accounting of each discarded
 				// message: it is no longer in transit.
+				e := ss.queue.at(i)
 				p.node.tr.appDeliver(e.msg.From, e.msg.To)
 			}
-			ss.queue = nil
+			ss.queue.clear()
+			ss.bytes = 0
 			ss.nextSeq = 1
 			ss.rto = p.node.cfg.RTO
 			ss.deadline = time.Time{}
+			p.noteQueue(key, ss)
+			p.maybeUnstall(key, ss)
 		}
 		for _, rs := range p.recvs {
 			rs.next = 1
 			rs.buf = make(map[uint64]core.Message)
 		}
+		// Stashed control frames belong to the dead epoch: acks restate
+		// from the fresh recv cursors on adopt, heartbeats are periodic.
+		p.pendingHB = make(map[pairKey]bool)
+		p.pendingAck = make(map[pairKey]uint64)
 		p.node.resetEdges(p.remote)
 	}
 	p.peerInc = inc
@@ -383,8 +455,17 @@ func (p *peer) adopt(c net.Conn, inc uint64) {
 	p.connGen++
 	lc := &liveConn{c: c, gen: p.connGen, out: make(chan []byte, writerQueueCap), done: make(chan struct{})}
 	p.conn = lc
+	p.liveSock.Store(sockBox{c: c})
 	p.dialDelay = 0
+	p.capFails = 0
 	p.node.tr.peerConnected(p.remote, true)
+	// A successful handshake resurrects the link from any state; pairs
+	// still backlogged past high-water keep it Degraded until drained.
+	if p.anyStalled() {
+		p.node.tr.setHealth(p.remote, HealthDegraded, "reconnected with stalled pairs")
+	} else {
+		p.node.tr.setHealth(p.remote, HealthHealthy, "reconnected")
+	}
 	p.node.logf("node %d: connected to node %d (gen %d)", p.node.self, p.remote, lc.gen)
 	p.node.wg.Add(2)
 	go p.readLoop(lc)
@@ -393,14 +474,14 @@ func (p *peer) adopt(c net.Conn, inc uint64) {
 	for key, ss := range p.sends {
 		ss.rto = p.node.cfg.RTO
 		ss.deadline = time.Time{}
-		if len(ss.queue) > 0 && !ss.suspended {
+		if ss.queue.len() > 0 && !ss.suspended {
 			p.retransmitQueue(key, ss)
 			p.armDeadline(ss, now)
 		}
 	}
 	for key, rs := range p.recvs {
 		if rs.next > 1 {
-			p.writeFrame(wire.Frame{Kind: wire.Ack, From: uint32(key.to), To: uint32(key.from), Ack: rs.next - 1})
+			p.sendAck(key.to, key.from, rs.next-1)
 		}
 	}
 }
@@ -414,7 +495,11 @@ func (p *peer) connDown(gen uint64, err error) {
 	p.node.logf("node %d: connection to node %d down: %v", p.node.self, p.remote, err)
 	p.conn.retire()
 	p.conn = nil
+	p.liveSock.Store(sockBox{})
 	p.node.tr.peerConnected(p.remote, false)
+	if h := p.node.tr.healthOf(p.remote); h == HealthHealthy || h == HealthDegraded {
+		p.node.tr.setHealth(p.remote, HealthSuspect, "connection down")
+	}
 	for _, ss := range p.sends {
 		ss.deadline = time.Time{} // nothing to retransmit into; adopt re-arms
 	}
@@ -425,23 +510,111 @@ func (p *peer) connDown(gen uint64, err error) {
 
 // --- frame I/O ---------------------------------------------------------
 
-// writeFrame encodes and queues one frame on the live connection,
-// dropping it if there is none or the writer is saturated (manager
-// goroutine only). Dropped frames are recovered by the ARQ layer.
+// encodeFrame renders fr, recording codec errors (which indicate a
+// local bug, never peer behavior) and returning nil on failure.
+func (p *peer) encodeFrame(fr wire.Frame) []byte {
+	buf, err := wire.AppendFrame(nil, fr)
+	if err != nil {
+		p.node.tr.recordErr(fmt.Errorf("remote: encode %v: %w", fr, err))
+		return nil
+	}
+	return buf
+}
+
+// sendEncoded offers an encoded frame to the live connection's writer
+// without blocking, tracking saturation: the first refusal stamps
+// satSince, any success clears it. Returns false when disconnected or
+// saturated (manager goroutine only).
+func (p *peer) sendEncoded(buf []byte) bool {
+	if p.conn == nil {
+		return false
+	}
+	select {
+	case p.conn.out <- buf:
+		p.conn.satSince = time.Time{}
+		return true
+	default:
+		if p.conn.satSince.IsZero() {
+			p.conn.satSince = p.node.clk.Now()
+		}
+		return false
+	}
+}
+
+// writeFrame encodes and queues one data-bearing frame, dropping it if
+// there is no connection or the writer is saturated (manager goroutine
+// only). Dropped frames are recovered by the ARQ layer; idempotent
+// control frames go through sendHeartbeat/sendAck instead, which
+// coalesce rather than drop.
 func (p *peer) writeFrame(fr wire.Frame) {
 	if p.conn == nil {
 		return
 	}
-	buf, err := wire.AppendFrame(nil, fr)
-	if err != nil {
-		p.node.tr.recordErr(fmt.Errorf("remote: encode %v: %w", fr, err))
+	buf := p.encodeFrame(fr)
+	if buf == nil {
 		return
 	}
-	select {
-	case p.conn.out <- buf:
-	default:
+	if !p.sendEncoded(buf) {
 		p.node.tr.writerDrop(p.remote)
 	}
+}
+
+// sendAck transmits a cumulative ack for the from→to pair (manager
+// goroutine only; skipped while disconnected — adopt restates acks).
+// On a saturated writer the highest ack per pair is stashed instead of
+// queued: cumulative acks are idempotent and monotone, so restating
+// only the latest loses nothing while shedding queue pressure.
+func (p *peer) sendAck(from, to int, ack uint64) {
+	if p.conn == nil {
+		return
+	}
+	buf := p.encodeFrame(wire.Frame{Kind: wire.Ack, From: uint32(from), To: uint32(to), Ack: ack})
+	if buf == nil {
+		return
+	}
+	if !p.sendEncoded(buf) {
+		key := pairKey{from: from, to: to}
+		if cur, ok := p.pendingAck[key]; !ok || ack > cur {
+			p.pendingAck[key] = ack
+		}
+		p.node.tr.coalescedFrame(p.remote)
+	}
+}
+
+// flushCoalesced drains stashed idempotent frames once the writer has
+// room again (manager goroutine only, from tick). Pairs are visited in
+// sorted order so the wire sequence stays deterministic under netsim.
+func (p *peer) flushCoalesced() {
+	for _, key := range sortedPairKeys(p.pendingAck) {
+		buf := p.encodeFrame(wire.Frame{Kind: wire.Ack, From: uint32(key.from), To: uint32(key.to), Ack: p.pendingAck[key]})
+		if buf != nil && !p.sendEncoded(buf) {
+			return // still saturated; retry next tick
+		}
+		delete(p.pendingAck, key)
+	}
+	for _, key := range sortedPairKeys(p.pendingHB) {
+		buf := p.encodeFrame(wire.Frame{Kind: wire.Heartbeat, From: uint32(key.from), To: uint32(key.to)})
+		if buf != nil && !p.sendEncoded(buf) {
+			return
+		}
+		delete(p.pendingHB, key)
+	}
+}
+
+// sortedPairKeys returns a map's keys in (from, to) order, keeping
+// flush order deterministic under netsim.
+func sortedPairKeys[V any](m map[pairKey]V) []pairKey {
+	keys := make([]pairKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	return keys
 }
 
 // writeTimeout bounds one frame write. A half-dead connection (peer
@@ -521,10 +694,58 @@ func (p *peer) protocolError(gen uint64, fr wire.Frame) {
 func (p *peer) sendStateFor(key pairKey) *sendState {
 	ss, ok := p.sends[key]
 	if !ok {
-		ss = &sendState{nextSeq: 1, rto: p.node.cfg.RTO}
+		ss = &sendState{nextSeq: 1, rto: p.node.cfg.RTO, queue: newSendRing(p.node.cfg.SendWindow)}
 		p.sends[key] = ss
 	}
 	return ss
+}
+
+// noteQueue publishes the pair's ring depth and byte gauges.
+func (p *peer) noteQueue(key pairKey, ss *sendState) {
+	p.node.tr.pairQueue(p.remote, key, ss.queue.len(), ss.bytes)
+}
+
+// anyStalled reports whether any ordered pair is backpressure-parked.
+func (p *peer) anyStalled() bool {
+	for _, ss := range p.sends {
+		if ss.stalled {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeStall parks the pair's sender when the ring crosses high-water:
+// the stall surfaces to the dining layer exactly like suspicion (the
+// local diner stops waiting on — and generating traffic toward — the
+// neighbor), so wait-freedom among non-stalled neighbors is preserved
+// while retransmission keeps draining the backlog.
+func (p *peer) maybeStall(key pairKey, ss *sendState) {
+	high, _ := stallMarks(ss.queue.capacity())
+	if ss.stalled || ss.queue.len() < high {
+		return
+	}
+	ss.stalled = true
+	p.node.tr.stallBegan(p.remote)
+	if p.node.tr.healthOf(p.remote) == HealthHealthy {
+		p.node.tr.setHealth(p.remote, HealthDegraded, "send window high-water")
+	}
+	p.node.signalStall(key.from, key.to, true)
+}
+
+// maybeUnstall resumes a parked pair once the ring drains to low-water
+// (hysteresis: well below the high mark, so the link doesn't flap on
+// the boundary).
+func (p *peer) maybeUnstall(key pairKey, ss *sendState) {
+	_, low := stallMarks(ss.queue.capacity())
+	if !ss.stalled || ss.queue.len() > low {
+		return
+	}
+	ss.stalled = false
+	p.node.signalStall(key.from, key.to, false)
+	if p.conn != nil && !p.anyStalled() && p.node.tr.healthOf(p.remote) == HealthDegraded {
+		p.node.tr.setHealth(p.remote, HealthHealthy, "send windows drained")
+	}
 }
 
 func (p *peer) recvStateFor(key pairKey) *recvState {
@@ -539,19 +760,38 @@ func (p *peer) recvStateFor(key pairKey) *recvState {
 // submit accepts one dining message from local process m.From for
 // remote process m.To: assign the next sequence number, queue until
 // acked, transmit immediately with a piggybacked ack (manager
-// goroutine only).
+// goroutine only). Crossing the window's high-water mark stalls the
+// sending pair; filling it entirely means flow control was breached —
+// the diner's residual traffic is Lemma-bounded far below any sane
+// window — so the sender fails loudly instead of growing or silently
+// dropping (either would break exactly-once FIFO invisibly).
 func (p *peer) submit(m core.Message) {
 	key := pairKey{from: m.From, to: m.To}
 	ss := p.sendStateFor(key)
-	seq := ss.nextSeq
-	ss.nextSeq++
-	ss.queue = append(ss.queue, sendEntry{seq: seq, msg: m})
-	fr, err := wire.DataFrame(m, seq, p.recvStateFor(pairKey{from: m.To, to: m.From}).next-1)
+	if ss.queue.full() {
+		p.node.failProc(m.From, fmt.Errorf(
+			"remote: send window (%d) from process %d to %d overflowed; backpressure breached",
+			ss.queue.capacity(), m.From, m.To))
+		return
+	}
+	fr, err := wire.DataFrame(m, ss.nextSeq, p.recvStateFor(pairKey{from: m.To, to: m.From}).next-1)
 	if err != nil {
 		p.node.tr.recordErr(err)
 		return
 	}
-	p.writeFrame(fr)
+	buf := p.encodeFrame(fr)
+	if buf == nil {
+		return
+	}
+	seq := ss.nextSeq
+	ss.nextSeq++
+	ss.queue.push(sendEntry{seq: seq, msg: m, wireLen: len(buf)})
+	ss.bytes += len(buf)
+	p.noteQueue(key, ss)
+	p.maybeStall(key, ss)
+	if !p.sendEncoded(buf) && p.conn != nil {
+		p.node.tr.writerDrop(p.remote)
+	}
 	if !ss.suspended && ss.deadline.IsZero() {
 		p.armDeadline(ss, p.node.clk.Now())
 	}
@@ -564,14 +804,24 @@ func (p *peer) armDeadline(ss *sendState, now time.Time) {
 }
 
 // tick retransmits every pair whose oldest unacked frame has waited a
-// full RTO (manager goroutine only).
+// full RTO, flushes coalesced control frames, and tears down a writer
+// that has been saturated past the write timeout (manager goroutine
+// only).
 func (p *peer) tick() {
 	if p.conn == nil {
 		return
 	}
 	now := p.node.clk.Now()
+	if !p.conn.satSince.IsZero() && now.Sub(p.conn.satSince) > p.writeTimeout() {
+		// The writer queue has refused every frame for a full write
+		// timeout: the connection is dead in all but name. Tear it down
+		// so the dialer redials instead of letting frames rot.
+		p.connDown(p.conn.gen, fmt.Errorf("remote: writer queue saturated for %v", p.writeTimeout()))
+		return
+	}
+	p.flushCoalesced()
 	for key, ss := range p.sends {
-		if ss.suspended || len(ss.queue) == 0 {
+		if ss.suspended || ss.queue.len() == 0 {
 			continue
 		}
 		if ss.deadline.IsZero() {
@@ -591,7 +841,8 @@ func (p *peer) tick() {
 // with fresh piggybacked acks.
 func (p *peer) retransmitQueue(key pairKey, ss *sendState) {
 	ack := p.recvStateFor(pairKey{from: key.to, to: key.from}).next - 1
-	for _, e := range ss.queue {
+	for i := 0; i < ss.queue.len(); i++ {
+		e := ss.queue.at(i)
 		fr, err := wire.DataFrame(e.msg, e.seq, ack)
 		if err != nil {
 			p.node.tr.recordErr(err)
@@ -618,7 +869,7 @@ func (p *peer) setSuspended(from, to int, suspended bool) {
 	// Freshly trusted: the backlog goes out immediately with a reset
 	// backoff, exactly like rlink.Resume.
 	ss.rto = p.node.cfg.RTO
-	if len(ss.queue) > 0 && p.conn != nil {
+	if ss.queue.len() > 0 && p.conn != nil {
 		p.retransmitQueue(pairKey{from: from, to: to}, ss)
 		p.armDeadline(ss, p.node.clk.Now())
 	}
@@ -669,7 +920,7 @@ func (p *peer) onData(gen uint64, fr wire.Frame) {
 	}
 	// Acknowledge every data frame so the sender's queue drains even
 	// when the application has nothing to say back.
-	p.writeFrame(wire.Frame{Kind: wire.Ack, From: uint32(key.to), To: uint32(key.from), Ack: rs.next - 1})
+	p.sendAck(key.to, key.from, rs.next-1)
 }
 
 // onAck handles a pure ack frame from connection generation gen
@@ -682,25 +933,31 @@ func (p *peer) onAck(gen uint64, local, remote int, ack uint64) {
 }
 
 // applyAck applies a cumulative ack from the remote process `remote`
-// covering the stream local → remote (manager goroutine only).
+// covering the stream local → remote (manager goroutine only). Acked
+// entries are popped from the ring — which zeroes their slots, so the
+// messages are garbage-collectible immediately — and a pair that
+// drains to low-water resumes its stalled sender.
 func (p *peer) applyAck(local, remote int, ack uint64) {
-	ss, ok := p.sends[pairKey{from: local, to: remote}]
+	key := pairKey{from: local, to: remote}
+	ss, ok := p.sends[key]
 	if !ok {
 		return
 	}
 	progressed := false
-	for len(ss.queue) > 0 && ss.queue[0].seq <= ack {
-		e := ss.queue[0]
-		ss.queue = ss.queue[1:]
+	for ss.queue.len() > 0 && ss.queue.front().seq <= ack {
+		e := ss.queue.popFront()
+		ss.bytes -= e.wireLen
 		p.node.tr.appDeliver(e.msg.From, e.msg.To)
 		progressed = true
 	}
 	if !progressed {
 		return
 	}
+	p.noteQueue(key, ss)
+	p.maybeUnstall(key, ss)
 	// Forward progress: the path works, so reset the backoff.
 	ss.rto = p.node.cfg.RTO
-	if len(ss.queue) > 0 {
+	if ss.queue.len() > 0 {
 		if !ss.suspended {
 			p.armDeadline(ss, p.node.clk.Now())
 		}
@@ -711,7 +968,19 @@ func (p *peer) applyAck(local, remote int, ack uint64) {
 
 // sendHeartbeat transmits one ◇P₁ heartbeat (manager goroutine only;
 // silently skipped while disconnected — missing heartbeats are the
-// signal).
+// signal). On a saturated writer the heartbeat is stashed, latest
+// instance only: heartbeats are idempotent liveness pulses, so
+// coalescing sheds load without losing information.
 func (p *peer) sendHeartbeat(from, to int) {
-	p.writeFrame(wire.Frame{Kind: wire.Heartbeat, From: uint32(from), To: uint32(to)})
+	if p.conn == nil {
+		return
+	}
+	buf := p.encodeFrame(wire.Frame{Kind: wire.Heartbeat, From: uint32(from), To: uint32(to)})
+	if buf == nil {
+		return
+	}
+	if !p.sendEncoded(buf) {
+		p.pendingHB[pairKey{from: from, to: to}] = true
+		p.node.tr.coalescedFrame(p.remote)
+	}
 }
