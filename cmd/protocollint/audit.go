@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// runAudit lists //lint:ignore directives that no longer earn their
+// keep: stale ones (justified, but running the suite unfiltered finds
+// nothing on the covered lines for the named analyzers) and ineffective
+// ones (no justification, so they never suppressed anything). Exit 1
+// when any such directive exists — a suppression must die with the code
+// it excused.
+func runAudit(w io.Writer, patterns []string) int {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exit := 0
+	var lines []string
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			fmt.Fprintf(os.Stderr, "protocollint: %s does not type-check: %v\n", pkg.PkgPath, pkg.Errors[0])
+			exit = 1
+			continue
+		}
+		dirs := analysis.Directives(pkg)
+		if len(dirs) == 0 {
+			continue
+		}
+		raw, err := suite.RunUnfiltered(pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "protocollint: %s: %v\n", pkg.PkgPath, err)
+			exit = 1
+			continue
+		}
+		for _, d := range dirs {
+			targets := strings.Join(d.Analyzers, ",")
+			if !d.Justified {
+				lines = append(lines, fmt.Sprintf("%s:%d: ineffective //lint:ignore %s: no justification, so it suppresses nothing",
+					relPath(root, d.File), d.Line, targets))
+				continue
+			}
+			live := false
+			for _, f := range raw {
+				if d.Covers(f.Analyzer, pkg.Fset.Position(f.Diagnostic.Pos)) {
+					live = true
+					break
+				}
+			}
+			if !live {
+				lines = append(lines, fmt.Sprintf("%s:%d: stale //lint:ignore %s: no finding on this or the next line",
+					relPath(root, d.File), d.Line, targets))
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	if len(lines) > 0 {
+		fmt.Fprintf(os.Stderr, "protocollint: %d stale or ineffective directive(s)\n", len(lines))
+		exit = 1
+	}
+	return exit
+}

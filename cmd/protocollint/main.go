@@ -2,13 +2,23 @@
 // invariants: determinism purity of the simulation core (detpure),
 // exhaustiveness of switches over the protocol alphabets
 // (kindexhaustive), lock discipline in the concurrent layers
-// (lockheld), and seed provenance in the simulation packages
-// (seedhygiene). See DESIGN.md S16 for the mapping from each analyzer
-// to the paper property it guards.
+// (lockheld), seed provenance in the simulation packages (seedhygiene),
+// wall-clock isolation of the remote stack behind the vclock seam
+// (clockseam), closure-mailbox ownership of manager state (mailboxown),
+// and WaitGroup-tracked goroutine lifecycles (golifecycle). See
+// DESIGN.md S16 and S21 for the mapping from each analyzer to the paper
+// property it guards.
 //
 // Standalone usage (the primary mode, used by CI):
 //
 //	go run ./cmd/protocollint ./...
+//
+// -json switches the report to JSON Lines: one object per finding with
+// file, line, col, analyzer, and message fields. -audit inverts the
+// check: instead of findings it lists //lint:ignore directives that are
+// stale (justified but no longer suppressing anything) or ineffective
+// (missing a justification), so sanctioned escapes cannot quietly
+// outlive the code they excused.
 //
 // It also speaks the go-vet unitchecker protocol, so a built binary
 // works as a vettool:
@@ -16,16 +26,18 @@
 //	go build -o protocollint ./cmd/protocollint
 //	go vet -vettool=$PWD/protocollint ./...
 //
-// Exit status: 0 clean, 1 findings or load failure.
-// Findings can be suppressed with a justified directive on or above
-// the offending line:
+// Exit status: 0 clean, 1 findings (or stale directives under -audit)
+// or load failure. Findings can be suppressed with a justified
+// directive on or above the offending line:
 //
 //	//lint:ignore <analyzer> <why the invariant does not apply here>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -55,8 +67,10 @@ func main() {
 
 	fs := flag.NewFlagSet("protocollint", flag.ExitOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "report findings as JSON Lines (one object per finding)")
+	audit := fs.Bool("audit", false, "list stale or ineffective //lint:ignore directives instead of findings")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: protocollint [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: protocollint [-json] [-audit] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Checks the repository's protocol invariants; defaults to ./...\n\n")
 		fs.PrintDefaults()
 	}
@@ -71,10 +85,23 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(standalone(patterns))
+	if *audit {
+		os.Exit(runAudit(os.Stdout, patterns))
+	}
+	os.Exit(standalone(os.Stdout, patterns, *jsonOut))
 }
 
-func standalone(patterns []string) int {
+// findingRecord is one finding in reporting form; the JSON field names
+// are the -json output contract.
+type findingRecord struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func standalone(w io.Writer, patterns []string, jsonOut bool) int {
 	root, err := analysis.ModuleRoot(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -86,7 +113,7 @@ func standalone(patterns []string) int {
 		return 1
 	}
 	exit := 0
-	var findings []string
+	var findings []findingRecord
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 {
 			fmt.Fprintf(os.Stderr, "protocollint: %s does not type-check: %v\n", pkg.PkgPath, pkg.Errors[0])
@@ -101,21 +128,59 @@ func standalone(patterns []string) int {
 		}
 		for _, f := range fs {
 			pos := pkg.Fset.Position(f.Diagnostic.Pos)
-			file := pos.Filename
-			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = rel
-			}
-			findings = append(findings,
-				fmt.Sprintf("%s:%d:%d: %s: %s", file, pos.Line, pos.Column, f.Analyzer, f.Diagnostic.Message))
+			findings = append(findings, findingRecord{
+				File:     relPath(root, pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Diagnostic.Message,
+			})
 		}
 	}
-	sort.Strings(findings)
-	for _, f := range findings {
-		fmt.Println(f)
+	sortRecords(findings)
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		for _, f := range findings {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "protocollint: %d finding(s)\n", len(findings))
 		exit = 1
 	}
 	return exit
+}
+
+func sortRecords(findings []findingRecord) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// relPath shortens file to be root-relative when it is under root.
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/clockseam"
+	"repro/internal/analysis/detpure"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const fixtureBase = "repro/internal/analysis/testdata/src"
+
+// TestJSONGolden locks the -json output contract: one JSON object per
+// finding with file, line, col, analyzer, and message, sorted by
+// position, over the clockseam fixture's known findings.
+func TestJSONGolden(t *testing.T) {
+	saved := clockseam.Scope
+	clockseam.Scope = append(clockseam.Scope, fixtureBase+"/clockseam")
+	defer func() { clockseam.Scope = saved }()
+
+	var buf bytes.Buffer
+	if exit := standalone(&buf, []string{fixtureBase + "/clockseam"}, true); exit != 1 {
+		t.Fatalf("standalone exit = %d, want 1 (fixture has findings)", exit)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec findingRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if rec.File == "" || rec.Line == 0 || rec.Analyzer == "" || rec.Message == "" {
+			t.Fatalf("line %d has empty fields: %+v", i+1, rec)
+		}
+	}
+
+	golden := filepath.Join("testdata", "json.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output differs from %s (re-run with -update after intended changes)\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestTextOutput checks the one-line-per-finding text format against
+// the same fixture.
+func TestTextOutput(t *testing.T) {
+	saved := clockseam.Scope
+	clockseam.Scope = append(clockseam.Scope, fixtureBase+"/clockseam")
+	defer func() { clockseam.Scope = saved }()
+
+	var buf bytes.Buffer
+	if exit := standalone(&buf, []string{fixtureBase + "/clockseam"}, false); exit != 1 {
+		t.Fatalf("standalone exit = %d, want 1", exit)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(first, ": clockseam: ") || !strings.Contains(first, "a.go:") {
+		t.Errorf("unexpected text finding format: %q", first)
+	}
+}
+
+// TestAudit runs -audit over a fixture holding one live, one stale, and
+// one ineffective directive: only the latter two may be listed.
+func TestAudit(t *testing.T) {
+	saved := detpure.Scope
+	detpure.Scope = append(detpure.Scope, fixtureBase+"/auditfix")
+	defer func() { detpure.Scope = saved }()
+
+	var buf bytes.Buffer
+	if exit := runAudit(&buf, []string{fixtureBase + "/auditfix"}); exit != 1 {
+		t.Fatalf("runAudit exit = %d, want 1 (fixture has a stale directive)", exit)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("audit listed %d directive(s), want 2 (stale + ineffective):\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "stale //lint:ignore detpure") {
+		t.Errorf("audit output missing the stale directive:\n%s", out)
+	}
+	if !strings.Contains(out, "ineffective //lint:ignore detpure") {
+		t.Errorf("audit output missing the ineffective directive:\n%s", out)
+	}
+	if strings.Contains(out, "a.go:10") {
+		t.Errorf("audit listed the live directive (line 10):\n%s", out)
+	}
+}
+
+// TestAuditCleanTree is the executable form of the "no stale
+// suppressions" invariant: -audit over the real packages must be
+// silent.
+func TestAuditCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	var buf bytes.Buffer
+	if exit := runAudit(&buf, []string{"./..."}); exit != 0 {
+		t.Fatalf("runAudit(./...) exit = %d, want 0; output:\n%s", exit, buf.String())
+	}
+}

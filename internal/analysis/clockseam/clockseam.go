@@ -1,0 +1,108 @@
+// Package clockseam implements the clock-seam analyzer for the
+// real-network runtime.
+//
+// PR 5 made the whole remote stack (internal/remote and its cluster
+// harness) run on an injected vclock.Clock: heartbeats, suspicion
+// deadlines, ARQ retransmission, reconnect backoff, and workload pauses
+// all read the seam, so the chaos suite can replace wall time with
+// netsim's virtual clock and replay seeded soaks byte-identically.
+// Nothing but convention stopped a future change from calling time.Now
+// directly — which would compile, pass TCP smoke tests, and surface
+// only as an unreproducible chaos seed. clockseam machine-checks the
+// contract: inside the scope packages,
+//
+//   - calls to the wall-clock entry points of package time (Now, Since,
+//     Until, Sleep, After, AfterFunc, Tick, NewTimer, NewTicker) are
+//     findings — time must come from the injected vclock.Clock;
+//   - uses of the concrete time.Timer / time.Ticker types are findings —
+//     the seam's vclock.Timer / vclock.Ticker interfaces are the only
+//     timer handles that work under both clocks.
+//
+// time.Time, time.Duration, the unit constants, and pure conversions
+// (time.Unix, time.Duration arithmetic) stay legal: they carry no
+// clock, only values. vclock.Wall itself — the sanctioned wall-clock
+// implementation of the seam — lives outside the scope and carries
+// justified //lint:ignore detpure directives instead. Test files are
+// exempt by construction (go list excludes _test.go from GoFiles), so
+// harness setup may use real time freely.
+//
+// DESIGN.md S21 maps this analyzer to the paper property it guards:
+// trace determinism of the chaos-soak reproduction (same seed, same
+// byte-identical trace).
+package clockseam
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Scope lists the package subtrees that must read time only through
+// the vclock seam. internal/remote covers internal/remote/cluster by
+// prefix — the harness owns the virtual clock and must not mix in wall
+// time, or monitor timestamps drift from the traffic they describe.
+// Tests extend the scope with fixture packages.
+var Scope = []string{
+	"repro/internal/remote",
+}
+
+// forbiddenTimeFuncs are the wall-clock entry points of package time.
+// The list matches detpure's: everything that reads or schedules
+// against the process's real clock.
+var forbiddenTimeFuncs = []string{
+	"Now", "Since", "Until", "Sleep", "After", "AfterFunc",
+	"Tick", "NewTimer", "NewTicker",
+}
+
+// forbiddenTimeTypes are the concrete timer types whose channels tick
+// on wall time regardless of any injected clock.
+var forbiddenTimeTypes = map[string]bool{"Timer": true, "Ticker": true}
+
+// Analyzer is the clockseam analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockseam",
+	Doc: "forbid direct wall-clock reads and concrete time.Timer/Ticker " +
+		"usage in the remote stack; time must flow through vclock.Clock",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(Scope, pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if analysis.IsPkgFunc(pass.TypesInfo, n, "time", forbiddenTimeFuncs...) {
+					pass.Reportf(n.Pos(),
+						"direct wall-clock call time.%s in %s; read time through the injected vclock.Clock",
+						analysis.Callee(pass.TypesInfo, n).Name(), pass.Pkg.Path())
+				}
+			case *ast.SelectorExpr:
+				checkTypeUse(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTypeUse flags references to the concrete time.Timer/time.Ticker
+// type names (field declarations, variable types, conversions). Their
+// channels are driven by the runtime's real clock, so any value of
+// these types is a wall-clock dependency no injected Clock can
+// virtualize; the seam's vclock.Timer/vclock.Ticker interfaces are the
+// portable handles.
+func checkTypeUse(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	tn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName)
+	if !ok || tn.Pkg() == nil || tn.Pkg().Path() != "time" {
+		return
+	}
+	if forbiddenTimeTypes[tn.Name()] {
+		pass.Reportf(sel.Pos(),
+			"concrete time.%s in %s ticks on wall time; use the vclock.%s interface from the clock seam",
+			tn.Name(), pass.Pkg.Path(), tn.Name())
+	}
+}

@@ -1,0 +1,13 @@
+package clockseam_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/clockseam"
+)
+
+func TestClockSeam(t *testing.T) {
+	clockseam.Scope = append(clockseam.Scope, analysistest.FixturePath+"/clockseam")
+	analysistest.Run(t, clockseam.Analyzer, "clockseam")
+}

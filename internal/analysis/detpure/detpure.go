@@ -50,6 +50,9 @@ var Scope = []string{
 	"repro/internal/rlink",
 	"repro/internal/stabilize",
 	"repro/internal/netsim",
+	"repro/internal/sweep",
+	"repro/internal/backoff",
+	"repro/internal/vclock",
 }
 
 // forbiddenTimeFuncs are the wall-clock entry points of package time.

@@ -1,0 +1,215 @@
+// Package golifecycle implements the goroutine-lifecycle analyzer for
+// the concurrent runtimes.
+//
+// The remote stack's failure-containment story (a crashed or stopped
+// node affects only its conflict-graph edges) depends on Stop meaning
+// stop: Node.Stop and System.Stop wait on a sync.WaitGroup, and every
+// goroutine the runtime spawns must be registered with it, or shutdown
+// returns while the goroutine still runs — the exact leak the PR-5
+// goroutine-leak replay test catches dynamically, and only when a seed
+// happens to exercise it. golifecycle is the static twin: every go
+// statement in the scope packages must be visibly tied to a WaitGroup
+// lifecycle.
+//
+// A spawn is tracked when both halves of the pairing are provable:
+//
+//   - a (*sync.WaitGroup).Add call precedes the go statement in the
+//     same innermost statement list (so a spawn inside a loop needs a
+//     per-iteration Add — an Add outside the loop cannot cover an
+//     unbounded number of spawns);
+//   - the spawned function — a function literal or a same-package
+//     function/method — defers a (*sync.WaitGroup).Done, covering every
+//     return path including panics.
+//
+// The analyzer does not match the Add's receiver against the Done's
+// (spawner and spawnee legitimately name the same WaitGroup through
+// different paths, n.wg vs p.node.wg); the pairing it enforces is
+// structural. Spawns tracked by some other mechanism (a shutdown
+// registry, an errgroup equivalent) are findings to be carried with a
+// justified //lint:ignore golifecycle directive naming the mechanism.
+//
+// DESIGN.md S21 maps this analyzer to the paper property it guards:
+// failure containment — a stopped node must be silent, not merely
+// quiet.
+package golifecycle
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Scope lists the packages whose goroutines must be lifecycle-tracked:
+// the real-network runtime (internal/remote, covering remote/cluster by
+// prefix), the virtual network, and the goroutine runtime. Tests extend
+// the scope with fixture packages.
+var Scope = []string{
+	"repro/internal/remote",
+	"repro/internal/netsim",
+	"repro/internal/live",
+}
+
+// Analyzer is the golifecycle analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "golifecycle",
+	Doc: "every go statement pairs a preceding WaitGroup Add in the same " +
+		"block with a deferred Done in the spawned function",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(Scope, pass.Pkg.Path()) {
+		return nil
+	}
+	decls := declIndex(pass)
+	for _, f := range pass.Files {
+		// Loop bodies get the loop-specific message: an Add outside the
+		// loop cannot cover an unbounded number of per-iteration spawns.
+		loopBody := make(map[*ast.BlockStmt]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				loopBody[n.Body] = true
+			case *ast.RangeStmt:
+				loopBody[n.Body] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkList(pass, decls, n.List, loopBody[n])
+			case *ast.CaseClause:
+				checkList(pass, decls, n.Body, false)
+			case *ast.CommClause:
+				checkList(pass, decls, n.Body, false)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declIndex maps each top-level function's object to its declaration,
+// so spawned same-package callees can be checked for a deferred Done.
+func declIndex(pass *analysis.Pass) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkList scans one statement list for go statements and verifies
+// each against the Add-before/deferred-Done discipline.
+func checkList(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, list []ast.Stmt, isLoopBody bool) {
+	for i, s := range list {
+		gs, ok := s.(*ast.GoStmt)
+		if !ok {
+			continue
+		}
+		if !addPrecedes(pass, list[:i]) {
+			if isLoopBody {
+				pass.Reportf(gs.Pos(),
+					"go statement in a loop without a per-iteration WaitGroup Add; spawns are unbounded and untracked past shutdown")
+			} else {
+				pass.Reportf(gs.Pos(),
+					"untracked goroutine: no WaitGroup Add precedes this go statement in its block, so Stop cannot wait for it")
+			}
+			continue
+		}
+		checkSpawnee(pass, decls, gs)
+	}
+}
+
+// addPrecedes reports whether any statement in prefix is a
+// (*sync.WaitGroup).Add call (Add(2) covering two subsequent spawns is
+// one such statement for both).
+func addPrecedes(pass *analysis.Pass, prefix []ast.Stmt) bool {
+	for _, s := range prefix {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if analysis.MethodFullName(pass.TypesInfo, call) == "(*sync.WaitGroup).Add" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSpawnee verifies the spawned function defers a WaitGroup Done.
+func checkSpawnee(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		callee := analysis.Callee(pass.TypesInfo, gs.Call)
+		if callee == nil {
+			pass.Reportf(gs.Pos(),
+				"goroutine lifecycle unverifiable: dynamically-resolved spawned function; spawn a literal or a package function that defers Done")
+			return
+		}
+		fd, ok := decls[callee]
+		if !ok {
+			pass.Reportf(gs.Pos(),
+				"goroutine lifecycle unverifiable: %s is declared outside this package; wrap it in a literal that defers Done", callee.Name())
+			return
+		}
+		body = fd.Body
+	}
+	if body == nil || !hasDeferredDone(pass, body) {
+		pass.Reportf(gs.Pos(),
+			"spawned function does not defer a WaitGroup Done; a panic or early return leaks the goroutine past Stop")
+	}
+}
+
+// hasDeferredDone reports whether body contains a deferred
+// (*sync.WaitGroup).Done — directly (defer wg.Done()) or inside a
+// deferred literal (defer func() { ...wg.Done()... }()). Nested
+// function literals other than deferred ones are skipped: their defers
+// run on their own invocations, not on this goroutine's exit.
+func hasDeferredDone(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if isDoneCall(pass, n.Call) {
+				found = true
+				return false
+			}
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && isDoneCall(pass, call) {
+						found = true
+					}
+					return !found
+				})
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isDoneCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.MethodFullName(pass.TypesInfo, call) == "(*sync.WaitGroup).Done"
+}

@@ -1,0 +1,13 @@
+package golifecycle_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/golifecycle"
+)
+
+func TestGoLifecycle(t *testing.T) {
+	golifecycle.Scope = append(golifecycle.Scope, analysistest.FixturePath+"/golifecycle")
+	analysistest.Run(t, golifecycle.Analyzer, "golifecycle")
+}

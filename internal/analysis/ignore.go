@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -69,6 +70,52 @@ func suppressed(dirs []ignoreDirective, name string, pos token.Position) bool {
 		}
 	}
 	return false
+}
+
+// Directive is one //lint:ignore comment in exported form, for tools
+// (protocollint -audit) that reason about suppressions rather than
+// apply them.
+type Directive struct {
+	File      string
+	Line      int
+	Analyzers []string // sorted analyzer names, possibly including "all"
+	Justified bool
+}
+
+// Covers reports whether the directive would suppress a diagnostic from
+// the named analyzer at pos, ignoring justification — the audit wants
+// to know what a directive targets even when it is ineffective.
+func (d Directive) Covers(name string, pos token.Position) bool {
+	if d.File != pos.Filename || (d.Line != pos.Line && d.Line != pos.Line-1) {
+		return false
+	}
+	for _, a := range d.Analyzers {
+		if a == name || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// Directives returns every //lint:ignore directive in the package's
+// files, in file order.
+func Directives(pkg *Package) []Directive {
+	var out []Directive
+	for _, f := range pkg.Syntax {
+		for _, raw := range parseIgnores(pkg.Fset, f) {
+			d := Directive{
+				File:      raw.file,
+				Line:      raw.line,
+				Justified: raw.justified,
+			}
+			for a := range raw.analyzers {
+				d.Analyzers = append(d.Analyzers, a)
+			}
+			sort.Strings(d.Analyzers)
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Filter removes diagnostics suppressed by justified //lint:ignore

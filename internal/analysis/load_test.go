@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadRoot resolves the module root once per test.
+func loadRoot(t *testing.T) string {
+	t.Helper()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestLoadBadPackagePath(t *testing.T) {
+	pkgs, err := Load(loadRoot(t), "repro/internal/doesnotexist")
+	if err != nil {
+		t.Fatalf("Load returned a hard error for a bad path, want a package with Errors: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1 error package", len(pkgs))
+	}
+	if len(pkgs[0].Errors) == 0 {
+		t.Fatalf("package %q has no Errors for a nonexistent path", pkgs[0].PkgPath)
+	}
+}
+
+func TestLoadNoMatchPattern(t *testing.T) {
+	pkgs, err := Load(loadRoot(t), "./doesnotexist/...")
+	if err != nil {
+		t.Fatalf("Load returned a hard error for a no-match pattern: %v", err)
+	}
+	for _, p := range pkgs {
+		if len(p.Errors) == 0 {
+			t.Errorf("package %q matched a pattern that names nothing yet has no Errors", p.PkgPath)
+		}
+	}
+}
+
+func TestLoadTypeCheckFailure(t *testing.T) {
+	pkgs, err := Load(loadRoot(t), "repro/internal/analysis/testdata/src/broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.Errors) == 0 {
+		t.Fatal("broken fixture type-checked cleanly; Errors is empty")
+	}
+	found := false
+	for _, e := range p.Errors {
+		if strings.Contains(e.Error(), "undefinedIdentifier") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Errors do not mention the undefined identifier: %v", p.Errors)
+	}
+	// The package still parses: the driver can report positions even
+	// though analysis must not run.
+	if len(p.Syntax) == 0 {
+		t.Error("broken fixture has no parsed syntax")
+	}
+}
+
+func TestLoadHealthyPackage(t *testing.T) {
+	pkgs, err := Load(loadRoot(t), "repro/internal/vclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.Errors) != 0 {
+		t.Fatalf("healthy package has Errors: %v", p.Errors)
+	}
+	if p.DepOnly {
+		t.Error("named package marked DepOnly")
+	}
+	if p.Types == nil || p.TypesInfo == nil || len(p.Syntax) == 0 {
+		t.Error("healthy package missing types or syntax")
+	}
+}
+
+func TestModuleRootOutsideModule(t *testing.T) {
+	if _, err := ModuleRoot(t.TempDir()); err == nil {
+		t.Error("ModuleRoot outside any module succeeded, want error")
+	}
+}

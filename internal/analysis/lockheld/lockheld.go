@@ -38,6 +38,7 @@ var Scope = []string{
 	"repro/internal/remote/cluster",
 	"repro/internal/netsim",
 	"repro/internal/wire",
+	"repro/internal/sweep",
 	"repro/dining",
 }
 

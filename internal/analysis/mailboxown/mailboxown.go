@@ -1,0 +1,502 @@
+// Package mailboxown implements the closure-mailbox ownership analyzer.
+//
+// The remote stack serialises all peer state behind a closure mailbox: a
+// manager goroutine drains a cmds channel of closures, and every other
+// goroutine (handlers, dialers, the watchdog) mutates peer state only by
+// posting a closure to that channel. The exactly-once FIFO delivery
+// argument (DESIGN.md S21) depends on this discipline: sequence numbers,
+// retransmit queues, and suspicion state are correct because exactly one
+// goroutine ever touches them, so there is no interleaving to reason
+// about and no lock to forget.
+//
+// The discipline is invisible to the race detector until a schedule
+// actually interleaves two accesses. mailboxown makes it static: struct
+// fields carry an ownership annotation as a field comment,
+//
+//	sends map[int]sendState // owned: run
+//	sat   bool              // owned: peer.run
+//
+// naming the manager loop method — a bare method name for a method of
+// the declaring struct, or Type.method when the owner is another type's
+// manager (satellite structs like a connection owned by its peer's
+// loop). Every read or write of an annotated field must then occur in
+// manager context:
+//
+//   - the loop method itself, or any same-package function reachable
+//     from it by static calls (go statements and stored closures do not
+//     extend reachability);
+//   - a function literal passed as an argument to any method of the
+//     owner type — the posted-closure idiom (post, submit, onData);
+//   - a construction context: a function containing a composite literal
+//     of the field's struct, where the instance is not yet shared and
+//     wiring closures that capture owned fields is the point;
+//   - a spawner: a function containing the go statement that starts the
+//     loop, for initialisation that happens-before the spawn — but only
+//     through direct statements, deferred calls, or immediately invoked
+//     literals, never through a closure that escapes.
+//
+// Anything else — a public accessor reading manager state, a literal
+// handed to a timer or spawned with go — is a finding: the access races
+// with the manager, or silently depends on a happens-before edge the
+// code does not establish.
+package mailboxown
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Scope lists the packages whose annotated fields are enforced: the
+// real-network runtime and the goroutine runtime, both built on the
+// closure-mailbox pattern. Tests extend the scope with fixture packages.
+var Scope = []string{
+	"repro/internal/remote",
+	"repro/internal/live",
+}
+
+// Analyzer is the mailboxown analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "mailboxown",
+	Doc: "fields annotated '// owned: <manager>' are accessed only from the " +
+		"manager's mailbox loop, its posted closures, construction, or pre-spawn setup",
+	Run: run,
+}
+
+// owner identifies a manager: the loop method loop on type typ.
+type owner struct {
+	typ  *types.TypeName
+	loop string
+}
+
+// ownedField records where an annotated field lives and who owns it.
+type ownedField struct {
+	structType *types.TypeName // declaring struct, for the construction exemption
+	own        owner
+}
+
+// managerSet is the fixpoint of functions known to run on the manager
+// goroutine: the loop method and everything statically reachable from
+// it, plus literals posted through owner-type methods.
+type managerSet struct {
+	decls map[*ast.FuncDecl]bool
+	lits  map[*ast.FuncLit]bool
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(Scope, pass.Pkg.Path()) {
+		return nil
+	}
+	owned := collectOwned(pass)
+	if len(owned) == 0 {
+		return nil
+	}
+	decls := declIndex(pass)
+	owners := make(map[owner]bool)
+	structTypes := make(map[*types.TypeName]bool)
+	for _, of := range owned {
+		owners[of.own] = true
+		structTypes[of.structType] = true
+	}
+	managers := make(map[owner]*managerSet)
+	for o := range owners {
+		managers[o] = buildManagerSet(pass, decls, o)
+	}
+	spawners := spawnerIndex(pass, owners)
+	ctors := ctorIndex(pass, structTypes)
+
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok {
+					if of, ok := owned[v]; ok {
+						checkAccess(pass, sel, stack, v, of, managers[of.own], spawners[of.own], ctors)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectOwned parses '// owned: <manager>' field comments into a map
+// from field object to its ownership record. Malformed annotations are
+// reported rather than silently dropped: a typo must not disable the
+// check.
+func collectOwned(pass *analysis.Pass) map[*types.Var]ownedField {
+	out := make(map[*types.Var]ownedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			declTyp, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if declTyp == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				spec, ok := ownedAnnotation(field)
+				if !ok {
+					continue
+				}
+				own, err := resolveOwner(pass, declTyp, spec)
+				if err != "" {
+					pass.Reportf(field.Pos(), "%s", err)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = ownedField{structType: declTyp, own: own}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ownedAnnotation extracts the manager spec from a field's doc or
+// trailing comment, e.g. "run" or "peer.run". The spec is the first
+// word after "owned:"; anything following it is prose.
+func ownedAnnotation(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "owned:")
+			if !ok {
+				continue
+			}
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				return fields[0], true
+			}
+			return "", true
+		}
+	}
+	return "", false
+}
+
+// resolveOwner turns an annotation spec into an owner, defaulting the
+// type to the declaring struct when the spec is a bare method name.
+// The non-empty string return is a diagnostic for a bad annotation.
+func resolveOwner(pass *analysis.Pass, declTyp *types.TypeName, spec string) (owner, string) {
+	typ := declTyp
+	method := spec
+	if typName, m, ok := strings.Cut(spec, "."); ok {
+		method = m
+		obj, _ := pass.Pkg.Scope().Lookup(typName).(*types.TypeName)
+		if obj == nil {
+			return owner{}, "owned annotation " + quote(spec) + " references no type named " + quote(typName) + " in this package"
+		}
+		typ = obj
+	}
+	if method == "" || lookupMethodDecl(pass, typ, method) == nil {
+		return owner{}, "owned annotation " + quote(spec) + ": type " + typ.Name() + " has no method " + quote(method)
+	}
+	return owner{typ: typ, loop: method}, ""
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// declIndex maps each top-level function object to its declaration.
+func declIndex(pass *analysis.Pass) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lookupMethodDecl finds the declaration of typ's method by name.
+func lookupMethodDecl(pass *analysis.Pass, typ *types.TypeName, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name {
+				continue
+			}
+			if obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); obj != nil && recvBase(obj) == typ {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// recvBase returns the named base type of a method's receiver, or nil
+// for package functions.
+func recvBase(f *types.Func) *types.TypeName {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// buildManagerSet computes the manager fixpoint for one owner: the loop
+// method, every literal or same-package function passed as an argument
+// to any method of the owner type (the posted-closure idiom), and every
+// same-package function statically reachable from those — where go
+// statements and nested literals do not extend reachability, since they
+// run on other goroutines or at unknown times.
+func buildManagerSet(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, o owner) *managerSet {
+	ms := &managerSet{
+		decls: make(map[*ast.FuncDecl]bool),
+		lits:  make(map[*ast.FuncLit]bool),
+	}
+	if fd := lookupMethodDecl(pass, o.typ, o.loop); fd != nil {
+		ms.decls[fd] = true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.TypesInfo, call)
+			if callee == nil || recvBase(callee) != o.typ {
+				return true
+			}
+			for _, arg := range call.Args {
+				switch arg := ast.Unparen(arg).(type) {
+				case *ast.FuncLit:
+					ms.lits[arg] = true
+				case *ast.Ident, *ast.SelectorExpr:
+					if fn := exprFunc(pass, arg); fn != nil {
+						if fd, ok := decls[fn]; ok {
+							ms.decls[fd] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	var work []*ast.BlockStmt
+	for fd := range ms.decls {
+		work = append(work, fd.Body)
+	}
+	for lit := range ms.lits {
+		work = append(work, lit.Body)
+	}
+	for len(work) > 0 {
+		body := work[len(work)-1]
+		work = work[:len(work)-1]
+		if body == nil {
+			continue
+		}
+		staticCalls(pass, body, func(fn *types.Func) {
+			if fd, ok := decls[fn]; ok && !ms.decls[fd] {
+				ms.decls[fd] = true
+				work = append(work, fd.Body)
+			}
+		})
+	}
+	return ms
+}
+
+// exprFunc resolves an identifier or selector used as a call argument
+// to the function it names (a method value or package function), if any.
+func exprFunc(pass *analysis.Pass, e ast.Expr) *types.Func {
+	switch e := e.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// staticCalls emits the statically resolved callee of every call in
+// body that executes on the caller's goroutine when the body runs:
+// go statements and nested function literals are skipped.
+func staticCalls(pass *analysis.Pass, body *ast.BlockStmt, emit func(*types.Func)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if fn := analysis.Callee(pass.TypesInfo, n); fn != nil {
+				emit(fn)
+			}
+		}
+		return true
+	})
+}
+
+// spawnerIndex maps each owner to the functions containing the go
+// statement that starts its loop: initialisation there happens-before
+// the manager exists.
+func spawnerIndex(pass *analysis.Pass, owners map[owner]bool) map[owner]map[*ast.FuncDecl]bool {
+	out := make(map[owner]map[*ast.FuncDecl]bool)
+	for o := range owners {
+		out[o] = make(map[*ast.FuncDecl]bool)
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				ast.Inspect(gs, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := analysis.Callee(pass.TypesInfo, call)
+					if fn == nil {
+						return true
+					}
+					for o := range owners {
+						if fn.Name() == o.loop && recvBase(fn) == o.typ {
+							out[o][fd] = true
+						}
+					}
+					return true
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// ctorIndex maps each function to the annotated struct types it
+// constructs (contains a composite literal of). Inside a constructor
+// the instance is unshared, so wiring closures over owned fields is
+// legitimate.
+func ctorIndex(pass *analysis.Pass, structTypes map[*types.TypeName]bool) map[*ast.FuncDecl]map[*types.TypeName]bool {
+	out := make(map[*ast.FuncDecl]map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				if named, ok := pass.TypesInfo.Types[cl].Type.(*types.Named); ok && structTypes[named.Obj()] {
+					if out[fd] == nil {
+						out[fd] = make(map[*types.TypeName]bool)
+					}
+					out[fd][named.Obj()] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// litRole classifies how a function literal at stack index i runs
+// relative to its enclosing function.
+type litRole int
+
+const (
+	roleInherit litRole = iota // deferred or immediately invoked: same goroutine, known time
+	roleManager                // argument to an owner-type method: runs on the manager
+	roleForeign                // spawned, stored, or passed outward: escapes the context
+)
+
+func classifyLit(pass *analysis.Pass, stack []ast.Node, i int, ownerTyp *types.TypeName) litRole {
+	if i == 0 {
+		return roleForeign
+	}
+	call, ok := stack[i-1].(*ast.CallExpr)
+	if !ok {
+		return roleForeign
+	}
+	if ast.Unparen(call.Fun) == stack[i] {
+		// The literal is the callee: go func(){...}() escapes to a new
+		// goroutine; defer func(){...}() and func(){...}() run here.
+		if i >= 2 {
+			if _, ok := stack[i-2].(*ast.GoStmt); ok {
+				return roleForeign
+			}
+		}
+		return roleInherit
+	}
+	if callee := analysis.Callee(pass.TypesInfo, call); callee != nil && recvBase(callee) == ownerTyp {
+		return roleManager
+	}
+	return roleForeign
+}
+
+// checkAccess walks outward from an owned-field access and reports it
+// unless some enclosing context establishes manager ownership.
+func checkAccess(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node, v *types.Var, of ownedField, ms *managerSet, spawners map[*ast.FuncDecl]bool, ctors map[*ast.FuncDecl]map[*types.TypeName]bool) {
+	allInherit := true
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			if ms.lits[n] {
+				return
+			}
+			switch classifyLit(pass, stack, i, of.own.typ) {
+			case roleManager:
+				return
+			case roleForeign:
+				allInherit = false
+			}
+		case *ast.FuncDecl:
+			if ctors[n][of.structType] {
+				return
+			}
+			if allInherit && (ms.decls[n] || spawners[n]) {
+				return
+			}
+			field := of.structType.Name() + "." + v.Name()
+			loop := of.own.typ.Name() + "." + of.own.loop
+			if !allInherit {
+				pass.Reportf(sel.Pos(),
+					"%s is owned by the %s mailbox loop but escapes into a closure that may run outside the manager goroutine; post the access to the manager mailbox", field, loop)
+			} else {
+				pass.Reportf(sel.Pos(),
+					"%s is owned by the %s mailbox loop but %s is not reachable from it; post the access to the manager mailbox", field, loop, n.Name.Name)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package mailboxown_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mailboxown"
+)
+
+func TestMailboxOwn(t *testing.T) {
+	mailboxown.Scope = append(mailboxown.Scope, analysistest.FixturePath+"/mailboxown")
+	analysistest.Run(t, mailboxown.Analyzer, "mailboxown")
+}

@@ -5,18 +5,24 @@ package suite
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/clockseam"
 	"repro/internal/analysis/detpure"
+	"repro/internal/analysis/golifecycle"
 	"repro/internal/analysis/kindexhaustive"
 	"repro/internal/analysis/lockheld"
+	"repro/internal/analysis/mailboxown"
 	"repro/internal/analysis/seedhygiene"
 )
 
 // Analyzers returns the protocol-invariant suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		clockseam.Analyzer,
 		detpure.Analyzer,
+		golifecycle.Analyzer,
 		kindexhaustive.Analyzer,
 		lockheld.Analyzer,
+		mailboxown.Analyzer,
 		seedhygiene.Analyzer,
 	}
 }
@@ -24,6 +30,17 @@ func Analyzers() []*analysis.Analyzer {
 // Run applies the whole suite to one loaded package and returns the
 // diagnostics surviving //lint:ignore filtering, labeled by analyzer.
 func Run(pkg *analysis.Package) ([]Finding, error) {
+	return run(pkg, true)
+}
+
+// RunUnfiltered applies the suite without //lint:ignore filtering. The
+// -audit mode diffs this against the filtered run to spot directives
+// that no longer suppress anything.
+func RunUnfiltered(pkg *analysis.Package) ([]Finding, error) {
+	return run(pkg, false)
+}
+
+func run(pkg *analysis.Package, filter bool) ([]Finding, error) {
 	var out []Finding
 	for _, a := range Analyzers() {
 		var diags []analysis.Diagnostic
@@ -38,7 +55,10 @@ func Run(pkg *analysis.Package) ([]Finding, error) {
 		if err := a.Run(pass); err != nil {
 			return nil, err
 		}
-		for _, d := range analysis.Filter(pkg, a.Name, diags) {
+		if filter {
+			diags = analysis.Filter(pkg, a.Name, diags)
+		}
+		for _, d := range diags {
 			out = append(out, Finding{Analyzer: a.Name, Diagnostic: d})
 		}
 	}

@@ -1,0 +1,26 @@
+// Package auditfix exercises protocollint -audit: one live
+// suppression, one stale, one ineffective.
+package auditfix
+
+import "time"
+
+// wall carries a live suppression: the directive covers a real detpure
+// finding on the next line, so the audit must not list it.
+func wall() int64 {
+	//lint:ignore detpure sanctioned wall-clock escape for the audit fixture
+	return time.Now().UnixNano()
+}
+
+// pure carries a stale suppression: nothing on the covered lines
+// triggers detpure any more.
+func pure() int {
+	//lint:ignore detpure nothing here reads a clock these days
+	return 42
+}
+
+// sleepy carries an ineffective suppression: no justification, so the
+// directive never suppressed the finding below it.
+func sleepy() {
+	//lint:ignore detpure
+	time.Sleep(time.Millisecond)
+}

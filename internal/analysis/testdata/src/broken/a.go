@@ -1,0 +1,8 @@
+// Package broken parses but does not type-check; the loader must
+// surface the type error in Package.Errors rather than fail or return
+// a silently half-checked package.
+package broken
+
+func oops() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,53 @@
+// Positive fixture: every direct wall-clock dependency clockseam must
+// catch, including the regression shapes fixed in the tree (the
+// incarnation derivation from remote/node.go and the waitCond polling
+// loop from remote/cluster).
+package clockseam
+
+import "time"
+
+// deriveIncarnation mirrors the pre-fix remote.NewNode bug: deriving a
+// boot incarnation from the wall clock instead of the injected Clock.
+func deriveIncarnation() uint64 {
+	return uint64(time.Now().UnixNano()) // want `direct wall-clock call time\.Now`
+}
+
+// pollLoop mirrors the pre-fix cluster.waitCond TCP branch.
+func pollLoop(check func() bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout) // want `direct wall-clock call time\.Now`
+	for {
+		if check() {
+			return true
+		}
+		if time.Now().After(deadline) { // want `direct wall-clock call time\.Now`
+			return false
+		}
+		time.Sleep(10 * time.Millisecond) // want `direct wall-clock call time\.Sleep`
+	}
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `direct wall-clock call time\.Since`
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `direct wall-clock call time\.Until`
+}
+
+func schedule(f func()) {
+	time.AfterFunc(time.Second, f) // want `direct wall-clock call time\.AfterFunc`
+	<-time.After(time.Second)      // want `direct wall-clock call time\.After`
+	<-time.Tick(time.Second)       // want `direct wall-clock call time\.Tick`
+}
+
+type wallTimers struct {
+	t *time.Timer // want `concrete time\.Timer`
+	k time.Ticker // want `concrete time\.Ticker`
+}
+
+func makeTimers() {
+	t := time.NewTimer(time.Second) // want `direct wall-clock call time\.NewTimer`
+	defer t.Stop()
+	k := time.NewTicker(time.Second) // want `direct wall-clock call time\.NewTicker`
+	defer k.Stop()
+}

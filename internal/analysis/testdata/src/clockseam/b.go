@@ -1,0 +1,31 @@
+// Negative fixture: everything the clock seam sanctions. No want
+// comments — any diagnostic in this file fails the test.
+package clockseam
+
+import "time"
+
+// clock is the fixture's stand-in for vclock.Clock: reading time
+// through an injected interface is exactly what the analyzer demands.
+type clock interface {
+	Now() time.Time
+	AfterFunc(d time.Duration, f func()) interface{ Stop() bool }
+}
+
+type node struct {
+	clk      clock
+	deadline time.Time     // time.Time carries a value, not a clock
+	rto      time.Duration // durations are pure arithmetic
+}
+
+func (n *node) tickDeadline() bool {
+	return n.clk.Now().After(n.deadline)
+}
+
+func (n *node) arm(d time.Duration, f func()) {
+	n.clk.AfterFunc(d, f)
+}
+
+// conversions and constants carry no clock.
+func stamps(nanos int64) (time.Time, time.Duration) {
+	return time.Unix(0, nanos), 5 * time.Millisecond
+}

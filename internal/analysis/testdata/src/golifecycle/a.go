@@ -1,0 +1,58 @@
+// Positive fixture: every untracked-spawn shape golifecycle must
+// catch, including the regression shape fixed in the tree (the
+// cluster.stopNode helper goroutine spawned with no WaitGroup).
+package golifecycle
+
+import "sync"
+
+type node struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// stopHelper mirrors the pre-fix cluster.stopNode bug: a helper
+// goroutine with no Add and no Done, invisible to shutdown.
+func (n *node) stopHelper(f func()) {
+	done := make(chan struct{})
+	go func() { // want `untracked goroutine: no WaitGroup Add precedes`
+		f()
+		close(done)
+	}()
+	<-done
+}
+
+// addOutsideLoop pins one Add against an unbounded number of spawns.
+func (n *node) addOutsideLoop(workers []func()) {
+	n.wg.Add(1)
+	for _, w := range workers {
+		go func() { // want `go statement in a loop without a per-iteration WaitGroup Add`
+			defer n.wg.Done()
+			w()
+		}()
+	}
+}
+
+// noDeferredDone registers the spawn but releases it on only one path.
+func (n *node) noDeferredDone(f func()) {
+	n.wg.Add(1)
+	go func() { // want `spawned function does not defer a WaitGroup Done`
+		f()
+		n.wg.Done()
+	}()
+}
+
+// runNoDone never calls Done at all.
+func (n *node) runNoDone() {
+	<-n.stop
+}
+
+func (n *node) spawnNoDone() {
+	n.wg.Add(1)
+	go n.runNoDone() // want `spawned function does not defer a WaitGroup Done`
+}
+
+// dynamic spawns cannot be verified.
+func (n *node) spawnDynamic(f func()) {
+	n.wg.Add(1)
+	go f() // want `goroutine lifecycle unverifiable: dynamically-resolved`
+}

@@ -1,0 +1,55 @@
+// Negative fixture: the tracked-spawn idioms the runtimes use. No want
+// comments — any diagnostic in this file fails the test.
+package golifecycle
+
+import "sync"
+
+type runtime struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+func (r *runtime) loop() {
+	defer r.wg.Done()
+	<-r.stop
+}
+
+// start mirrors remote.Node.Start: Add immediately before each spawn,
+// per-iteration Adds inside loops, method spawnees deferring Done.
+func (r *runtime) start(workers []func()) {
+	r.wg.Add(1)
+	go r.loop()
+	for _, w := range workers {
+		w := w
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			w()
+		}()
+	}
+}
+
+// adopt mirrors peer.adopt: one Add(2) covering two spawns in the same
+// block.
+func (r *runtime) adopt() {
+	r.wg.Add(2)
+	go r.loop()
+	go func() {
+		defer r.wg.Done()
+		<-r.stop
+	}()
+}
+
+// deferredLiteral releases through a deferred literal rather than a
+// direct defer wg.Done().
+func (r *runtime) deferredLiteral() {
+	r.wg.Add(1)
+	go func() {
+		defer func() {
+			r.wg.Done()
+		}()
+		<-r.stop
+	}()
+}
+
+func (r *runtime) wait() { r.wg.Wait() }

@@ -1,0 +1,105 @@
+// Fixture for the mailboxown analyzer: a miniature closure-mailbox
+// manager in the shape of the remote peer. Clean lines double as the
+// negative cases — every sanctioned context (loop, posted closure,
+// reachable helper, construction, pre-spawn setup) appears unclaimed.
+package mailboxown
+
+type mgr struct {
+	cmds  chan func()
+	seq   uint64          // owned: run
+	acked map[uint64]bool // owned: run
+	hw    int             // owned: run
+	done  chan struct{}   // not annotated: free to share
+}
+
+// conn is a satellite struct whose state is owned by its peer's
+// manager, like liveConn.satSince in the remote transport.
+type conn struct {
+	sat bool // owned: mgr.run
+}
+
+func (m *mgr) run() {
+	c := &conn{}
+	for fn := range m.cmds {
+		fn()
+		m.seq++        // manager loop: sanctioned
+		c.sat = true   // cross-type owned field in its manager loop: sanctioned
+		m.maybeEvict() // extends the manager set to maybeEvict
+	}
+	m.teardown()
+}
+
+func (m *mgr) teardown() {
+	m.acked = nil // reachable from run by static call: sanctioned
+}
+
+func (m *mgr) maybeEvict() {
+	if len(m.acked) > 8 {
+		m.acked = make(map[uint64]bool)
+	}
+}
+
+func (m *mgr) post(fn func()) { m.cmds <- fn }
+
+func (m *mgr) submit() {
+	m.post(func() {
+		m.seq++ // posted closure runs on the manager: sanctioned
+		m.noteAck(m.seq)
+	})
+}
+
+func (m *mgr) noteAck(s uint64) {
+	m.acked[s] = true // reachable from a posted closure: sanctioned
+}
+
+func newMgr() *mgr {
+	m := &mgr{cmds: make(chan func()), acked: make(map[uint64]bool)}
+	m.seq = 1 // construction context: instance not yet shared
+	probe := func() uint64 {
+		return m.seq // closure wired during construction: sanctioned
+	}
+	_ = probe
+	return m
+}
+
+func start(m *mgr) {
+	m.hw = -1 // spawner context, direct statement before the spawn
+	defer func() {
+		m.seq = 0 // deferred literal inherits the spawner context
+	}()
+	go m.run()
+}
+
+// HighWater mirrors the pre-fix live.System.EdgeHighWater bug: a public
+// accessor reading manager-owned state from the caller's goroutine.
+func (m *mgr) HighWater() int {
+	return m.hw // want `mgr\.hw is owned by the mgr\.run mailbox loop but HighWater is not reachable from it`
+}
+
+func (m *mgr) watch() {
+	go func() {
+		m.seq++ // want `escapes into a closure`
+	}()
+}
+
+func after(d int, fn func()) {
+	_ = d
+	fn()
+}
+
+func (m *mgr) arm() {
+	after(1, func() {
+		m.acked = nil // want `escapes into a closure`
+	})
+}
+
+func (m *mgr) handle(c *conn) {
+	c.sat = true // want `conn\.sat is owned by the mgr\.run mailbox loop but handle is not reachable from it`
+}
+
+func startEscaping(m *mgr) {
+	go m.run()
+	go func() {
+		m.hw = 0 // want `escapes into a closure`
+	}()
+}

@@ -190,21 +190,21 @@ type proc struct {
 
 	// out[j] is the FIFO link to neighbor j; owned by this process's
 	// goroutine on the send side.
-	out map[int]chan liveFrame
-	// seqOut[j] is the last sequence number assigned on out[j]; owned by
-	// this goroutine.
-	seqOut map[int]uint64
-	// lastSeq[j] is the last sequence number accepted from neighbor j;
-	// owned by the run goroutine, used to discard injected duplicates.
-	lastSeq map[int]uint64
-	// edgeHW is the per-neighbor send-side occupancy high-water mark;
-	// owned by this goroutine, published to the tracker at exit.
-	edgeHW map[int]int
+	out map[int]chan liveFrame // owned: run
+	// seqOut[j] is the last sequence number assigned on out[j].
+	seqOut map[int]uint64 // owned: run
+	// lastSeq[j] is the last sequence number accepted from neighbor j,
+	// used to discard injected duplicates.
+	lastSeq map[int]uint64 // owned: run
+	// edgeHW is the per-neighbor send-side occupancy high-water mark,
+	// published to the tracker at exit.
+	edgeHW map[int]int // owned: run
 
-	// Failure-detector state, owned by the run goroutine.
-	lastHeard map[int]time.Time
-	timeout   map[int]time.Duration
-	suspected map[int]bool
+	// Failure-detector state, owned by the run goroutine (enforced by
+	// the mailboxown analyzer).
+	lastHeard map[int]time.Time     // owned: run
+	timeout   map[int]time.Duration // owned: run
+	suspected map[int]bool          // owned: run
 
 	nbrs []int
 }
@@ -399,17 +399,11 @@ func (s *System) Err() error {
 
 // EdgeHighWater returns the largest per-direction channel occupancy
 // observed at any send. Call after Stop. The paper's bound implies it
-// never exceeds 4.
+// never exceeds 4. Each process publishes its high-water marks to the
+// tracker as its goroutine exits, so this never reads manager-owned
+// state across goroutines.
 func (s *System) EdgeHighWater() int {
-	best := 0
-	for _, p := range s.procs {
-		for _, hw := range p.edgeHW {
-			if hw > best {
-				best = hw
-			}
-		}
-	}
-	return best
+	return s.tracker.edgeHighWaterMax()
 }
 
 // post delivers an event to this process, giving up if the process is
@@ -435,8 +429,21 @@ func (p *proc) post(ev event) {
 	}
 }
 
+// publishEdgeHW hands the process's occupancy high-water marks to the
+// tracker; deferred in run so it happens-before Stop returns.
+func (p *proc) publishEdgeHW() {
+	best := 0
+	for _, hw := range p.edgeHW {
+		if hw > best {
+			best = hw
+		}
+	}
+	p.sys.tracker.edgeHighWater(best)
+}
+
 func (p *proc) run() {
 	defer p.sys.wg.Done()
+	defer p.publishEdgeHW()
 	// A panicking daemon hook (OnEat) must not silently kill this
 	// goroutine and hang the neighbors that share its forks: recover,
 	// record the failure for the report, and fall over as a crash —

@@ -27,6 +27,7 @@ type tracker struct {
 	duplicates     int
 	dupsSuppressed int
 	hookPanics     []error
+	edgeHW         int // max per-direction occupancy, published at proc exit
 }
 
 func newTracker(g *graph.Graph) *tracker {
@@ -86,6 +87,20 @@ func (t *tracker) dupSuppressed() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.dupsSuppressed++
+}
+
+func (t *tracker) edgeHighWater(hw int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if hw > t.edgeHW {
+		t.edgeHW = hw
+	}
+}
+
+func (t *tracker) edgeHighWaterMax() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.edgeHW
 }
 
 func (t *tracker) hookPanic(err error) {

@@ -62,10 +62,10 @@ type Clock struct {
 	runMu   sync.Mutex // serializes Advance callers
 	settles uint64     // fired instants since the last full Yield (runMu held)
 
-	mu   sync.Mutex
-	now  time.Time
-	seq  uint64
-	evs  eventHeap
+	mu  sync.Mutex
+	now time.Time
+	seq uint64
+	evs eventHeap
 }
 
 // NewClock returns a virtual clock frozen at the fixed epoch.
@@ -197,8 +197,8 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -32,6 +32,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/remote"
 	"repro/internal/sim"
+	"repro/internal/vclock"
 )
 
 // Options tunes the cluster-wide daemon configuration. Zero values
@@ -74,8 +75,10 @@ type Cluster struct {
 
 	g     *graph.Graph
 	opts  Options
+	clk   vclock.Clock // wall clock; only read in TCP mode
 	start time.Time
 	vclk  *netsim.Clock // nil in TCP mode
+	bg    sync.WaitGroup
 
 	mu        sync.Mutex
 	excl      *metrics.ExclusionMonitor
@@ -127,11 +130,13 @@ func New(g *graph.Graph, placement [][]int, opts Options) (*Cluster, error) {
 		return nil, err
 	}
 
+	clk := vclock.Wall
 	c := &Cluster{
 		Topo:   topo,
 		g:      g,
 		opts:   opts,
-		start:  time.Now(),
+		clk:    clk,
+		start:  clk.Now(),
 		excl:   metrics.NewExclusionMonitor(g),
 		prog:   metrics.NewProgressMonitor(g.N()),
 		over:   metrics.NewOvertakeMonitor(g),
@@ -234,7 +239,9 @@ func (c *Cluster) stopNode(n *remote.Node) {
 		return
 	}
 	done := make(chan struct{})
+	c.bg.Add(1)
 	go func() {
+		defer c.bg.Done()
 		n.Stop()
 		close(done)
 	}()
@@ -261,7 +268,7 @@ func (c *Cluster) now() sim.Time {
 	if c.vclk != nil {
 		return sim.Time(c.vclk.Elapsed())
 	}
-	return sim.Time(time.Since(c.start))
+	return sim.Time(c.clk.Now().Sub(c.start))
 }
 
 // observe feeds every dining transition, from every node, into the
@@ -373,6 +380,7 @@ func (c *Cluster) Stop() {
 			c.stopNode(n)
 		}
 	}
+	c.bg.Wait()
 }
 
 // EatCounts merges the per-process eat counters of every live node.
@@ -475,15 +483,17 @@ func (c *Cluster) waitCond(check func() bool, timeout time.Duration) error {
 			c.vclk.Advance(step)
 		}
 	}
-	deadline := time.Now().Add(timeout)
+	deadline := c.clk.Now().Add(timeout)
+	tick := c.clk.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
 	for {
 		if check() {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if c.clk.Now().After(deadline) {
 			return fmt.Errorf("cluster: timeout after %v", timeout)
 		}
-		time.Sleep(10 * time.Millisecond)
+		<-tick.C()
 	}
 }
 

@@ -129,15 +129,15 @@ func fuzzSeedStreams(t interface{ Fatal(args ...any) }) [][]byte {
 	return [][]byte{
 		{},
 		hello,
-		hello[:3],                 // truncated hello: inside the length prefix
-		hello[:len(hello)-2],      // truncated hello: mid-frame reset
-		cat(hello, hello),         // duplicate hello on one connection
-		cat(hello, ping),          // clean handshake plus one dining frame
+		hello[:3],                      // truncated hello: inside the length prefix
+		hello[:len(hello)-2],           // truncated hello: mid-frame reset
+		cat(hello, hello),              // duplicate hello on one connection
+		cat(hello, ping),               // clean handshake plus one dining frame
 		cat(hello, ping[:len(ping)-3]), // data frame cut mid-frame
 		cat(hello, hb, ping, ping),     // duplicate delivery attempt
 		cat(hello, []byte{0xff, 0xff, 0xff, 0xff, 0x00}), // oversized length prefix after handshake
-		{0x00, 0x00, 0x00, 0x00},  // zero-length frame
-		bytes.Repeat([]byte{0xa5}, 64), // pure garbage
+		{0x00, 0x00, 0x00, 0x00},                         // zero-length frame
+		bytes.Repeat([]byte{0xa5}, 64),                   // pure garbage
 	}
 }
 

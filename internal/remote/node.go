@@ -232,7 +232,7 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	incarnation := cfg.Incarnation
 	if incarnation == 0 {
-		incarnation = uint64(time.Now().UnixNano())
+		incarnation = uint64(cfg.Clock.Now().UnixNano())
 	}
 	n := &Node{
 		cfg:         cfg,
@@ -262,8 +262,8 @@ func NewNode(cfg Config) (*Node, error) {
 			nbrColors[j] = colors[j]
 		}
 		d, err := core.NewDiner(core.Config{
-			ID:    pid,
-			Color: colors[pid],
+			ID:             pid,
+			Color:          colors[pid],
 			NeighborColors: nbrColors,
 			// A backpressure-stalled neighbor is treated exactly like a
 			// suspected one: the diner stops waiting on it, preserving
@@ -471,19 +471,20 @@ type procEvent struct {
 type rproc struct {
 	node  *Node
 	id    int
-	diner *core.Diner
+	diner *core.Diner // owned: run
 	inbox chan procEvent
 	dead  chan struct{}
 	once  sync.Once
 	nbrs  []int
 
-	// Failure-detector state, owned by the run goroutine.
-	lastHeard map[int]time.Time
-	timeout   map[int]time.Duration
-	suspected map[int]bool
+	// Failure-detector state, owned by the run goroutine (enforced by
+	// the mailboxown analyzer).
+	lastHeard map[int]time.Time     // owned: run
+	timeout   map[int]time.Duration // owned: run
+	suspected map[int]bool          // owned: run
 	// stalled marks neighbors whose outbound stream is backpressure-
 	// parked; the diner's Suspects view ORs it with suspicion.
-	stalled map[int]bool
+	stalled map[int]bool // owned: run
 
 	// lastEvent is the clk nanos of the last run-loop iteration, read
 	// by the node watchdog to spot a wedged process.

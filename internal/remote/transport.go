@@ -89,10 +89,10 @@ type liveConn struct {
 	done chan struct{}
 
 	// satSince is when the writer queue first refused a frame with no
-	// successful enqueue since (zero = not saturated). Manager-owned; a
-	// queue saturated for a full write timeout marks the connection
-	// dead even if the socket never errors.
-	satSince time.Time
+	// successful enqueue since (zero = not saturated). A queue saturated
+	// for a full write timeout marks the connection dead even if the
+	// socket never errors.
+	satSince time.Time // owned: peer.run
 }
 
 // retire closes the generation's socket and releases its writer.
@@ -110,18 +110,21 @@ type peer struct {
 	dialer bool // exactly one side dials: the lower node index
 	cmds   chan func()
 
-	// Manager-owned state below.
-	conn       *liveConn
-	connGen    uint64
-	peerInc    uint64 // peer's boot incarnation from its last Hello (0 = never seen)
-	dialDelay  time.Duration
-	dialing    bool
-	capFails   int // consecutive dial failures at the backoff cap (Down hysteresis)
-	sends      map[pairKey]*sendState
-	recvs      map[pairKey]*recvState
-	pendingHB  map[pairKey]bool   // coalesced heartbeats awaiting writer room
-	pendingAck map[pairKey]uint64 // coalesced cumulative acks (highest wins)
-	rng        *rand.Rand
+	// Manager-owned state below; the annotations bind each field to the
+	// run loop, enforced by the mailboxown analyzer.
+	conn      *liveConn              // owned: run
+	connGen   uint64                 // owned: run
+	peerInc   uint64                 // owned: run — peer's boot incarnation from its last Hello (0 = never seen)
+	dialDelay time.Duration          // owned: run
+	dialing   bool                   // owned: run
+	capFails  int                    // owned: run — consecutive dial failures at the backoff cap (Down hysteresis)
+	sends     map[pairKey]*sendState // owned: run
+	recvs     map[pairKey]*recvState // owned: run
+	// pendingHB coalesces heartbeats awaiting writer room; pendingAck
+	// coalesces cumulative acks (highest wins).
+	pendingHB  map[pairKey]bool   // owned: run
+	pendingAck map[pairKey]uint64 // owned: run
+	rng        *rand.Rand         // owned: run
 
 	// Cross-goroutine observation points for the node watchdog (the
 	// manager may be wedged, so these bypass the command channel).
