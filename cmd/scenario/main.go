@@ -1,0 +1,233 @@
+// Command scenario lists and runs the declarative conformance
+// scenarios under internal/scenario/testdata/scenarios (DESIGN S22).
+// Each .scen file describes a topology, workload, fault script, and
+// expected property verdicts; the engine executes it on the pure
+// simulator, the virtual-time network stack, or (opt-in) a real TCP
+// loopback cluster, and compares observed verdicts against the
+// committed expectations.
+//
+// Usage:
+//
+//	scenario -list
+//	scenario -run 'ring*'                   # both deterministic backends
+//	scenario -run grid9-quiet -backend sim
+//	scenario -run ring5-kill-node -seed 7
+//	scenario -run 'netsim-*' -update        # refresh expected-verdict goldens
+//
+// With -backend both (the default), every scenario runnable on both
+// deterministic backends is additionally checked for differential
+// agreement: the sim trace and the netsim trace must be byte-equal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	dir := fs.String("dir", "internal/scenario/testdata/scenarios", "scenario corpus directory")
+	list := fs.Bool("list", false, "list scenarios and exit")
+	runGlob := fs.String("run", "", "glob of scenario names to run (e.g. 'ring*')")
+	backend := fs.String("backend", "both", "backend: sim, netsim, live, or both (sim+netsim)")
+	seed := fs.String("seed", "", "override the scenario seed")
+	update := fs.Bool("update", false, "rewrite each run scenario's expect verdicts to the observed ones")
+	verbose := fs.Bool("v", false, "print per-run diagnostics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*list && *runGlob == "" {
+		fs.Usage()
+		return fmt.Errorf("one of -list or -run is required")
+	}
+
+	scens, files, err := load(*dir)
+	if err != nil {
+		return err
+	}
+	if *list {
+		printList(scens)
+		return nil
+	}
+
+	backends, err := selectBackends(*backend)
+	if err != nil {
+		return err
+	}
+	var matched int
+	failed := false
+	for i, sc := range scens {
+		ok, err := path.Match(*runGlob, sc.Name)
+		if err != nil {
+			return fmt.Errorf("bad -run glob: %w", err)
+		}
+		if !ok {
+			continue
+		}
+		matched++
+		if *seed != "" {
+			if _, err := fmt.Sscanf(*seed, "%d", &sc.Seed); err != nil {
+				return fmt.Errorf("bad -seed %q", *seed)
+			}
+		}
+		if err := runOne(sc, files[i], backends, *update, *verbose, &failed); err != nil {
+			return err
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no scenario matches %q (use -list)", *runGlob)
+	}
+	if failed {
+		return fmt.Errorf("verdict mismatches or differential disagreement (see above)")
+	}
+	return nil
+}
+
+// runOne executes one scenario on every requested-and-supported
+// backend, reporting verdict mismatches and differential disagreement.
+func runOne(sc *scenario.Scenario, file string, backends []scenario.Backend, update, verbose bool, failed *bool) error {
+	outcomes := make(map[scenario.Backend]*scenario.Outcome)
+	for _, b := range backends {
+		if !sc.Supports(b) {
+			continue
+		}
+		out, err := scenario.Run(sc, b)
+		if err != nil {
+			return err
+		}
+		outcomes[b] = out
+		status := "ok"
+		if !out.Passed() {
+			status = "FAIL"
+			*failed = true
+		}
+		fmt.Printf("%-28s %-7s %s\n", sc.Name, b, status)
+		for _, m := range out.Mismatches() {
+			fmt.Printf("    %s: got %s, expected %s\n", m.Check.Prop, m.Got, m.Check.Expect)
+		}
+		if verbose {
+			fmt.Printf("    %s\n", out.Diagnose())
+		}
+	}
+	if len(outcomes) == 0 {
+		fmt.Printf("%-28s %-7s skipped (no requested backend supports it)\n", sc.Name, "-")
+		return nil
+	}
+	simOut, netOut := outcomes[scenario.BackendSim], outcomes[scenario.BackendNetsim]
+	if simOut != nil && netOut != nil && simOut.Trace != netOut.Trace {
+		*failed = true
+		fmt.Printf("%-28s DIFFERENTIAL DISAGREEMENT\n  sim:\n%s  netsim:\n%s", sc.Name, indent(simOut.Trace), indent(netOut.Trace))
+	}
+	if update {
+		return updateGoldens(sc, file, outcomes)
+	}
+	return nil
+}
+
+// updateGoldens rewrites the scenario file's expect verdicts to the
+// observed ones — legal only when every backend that ran agrees.
+func updateGoldens(sc *scenario.Scenario, file string, outcomes map[scenario.Backend]*scenario.Outcome) error {
+	var got [][]scenario.Result
+	for _, b := range []scenario.Backend{scenario.BackendSim, scenario.BackendNetsim, scenario.BackendLive} {
+		if out := outcomes[b]; out != nil {
+			got = append(got, out.Results)
+		}
+	}
+	for i := range sc.Checks {
+		v := got[0][i].Got
+		for _, rs := range got[1:] {
+			if rs[i].Got != v {
+				return fmt.Errorf("%s: backends disagree on %s; refusing to -update", sc.Name, sc.Checks[i].Prop)
+			}
+		}
+		sc.Checks[i].Expect = v
+	}
+	if err := os.WriteFile(file, scenario.Render(sc), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%-28s updated %s\n", sc.Name, file)
+	return nil
+}
+
+// load parses every .scen file in dir, sorted by name.
+func load(dir string) ([]*scenario.Scenario, []string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.scen"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("no .scen files in %s", dir)
+	}
+	sort.Strings(paths)
+	var scens []*scenario.Scenario
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		sc, err := scenario.Parse(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", p, err)
+		}
+		scens = append(scens, sc)
+	}
+	return scens, paths, nil
+}
+
+func printList(scens []*scenario.Scenario) {
+	for _, sc := range scens {
+		var bs []string
+		for _, b := range sc.RunnableBackends() {
+			bs = append(bs, b.String())
+		}
+		var checks []string
+		for _, c := range sc.Checks {
+			checks = append(checks, c.Prop.String())
+		}
+		fmt.Printf("%-28s %-12s backends=%-14s checks=%s\n",
+			sc.Name, topoString(sc), strings.Join(bs, ","), strings.Join(checks, ","))
+		if sc.Summary != "" {
+			fmt.Printf("    %s\n", sc.Summary)
+		}
+	}
+}
+
+func topoString(sc *scenario.Scenario) string {
+	if sc.Topo.Kind.String() == "grid" {
+		return fmt.Sprintf("grid %dx%d", sc.Topo.Rows, sc.Topo.Cols)
+	}
+	return fmt.Sprintf("%s %d", sc.Topo.Kind, sc.Topo.N)
+}
+
+func selectBackends(s string) ([]scenario.Backend, error) {
+	switch s {
+	case "both":
+		return []scenario.Backend{scenario.BackendSim, scenario.BackendNetsim}, nil
+	case "sim", "netsim", "live":
+		b, err := scenario.ParseBackend(s)
+		if err != nil {
+			return nil, err
+		}
+		return []scenario.Backend{b}, nil
+	default:
+		return nil, fmt.Errorf("bad -backend %q (want sim, netsim, live, or both)", s)
+	}
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ") + "\n"
+}

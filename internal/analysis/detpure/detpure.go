@@ -53,6 +53,7 @@ var Scope = []string{
 	"repro/internal/sweep",
 	"repro/internal/backoff",
 	"repro/internal/vclock",
+	"repro/internal/scenario",
 }
 
 // forbiddenTimeFuncs are the wall-clock entry points of package time.

@@ -30,13 +30,25 @@ var EnumTypes = map[string]bool{
 	"repro/internal/trace.Kind":         true,
 	"repro/internal/wire.FrameKind":     true,
 	"repro/internal/remote.HealthState": true,
+	// The scenario-conformance vocabulary (DESIGN S22): a scenario file
+	// names backends, topologies, fault events, properties, and
+	// verdicts, and a switch that silently ignored a new member would
+	// let a scenario kind slip past a backend compiler or the checker
+	// registry unevaluated.
+	"repro/internal/scenario.Backend":   true,
+	"repro/internal/scenario.TopoKind":  true,
+	"repro/internal/scenario.EventKind": true,
+	"repro/internal/scenario.Property":  true,
+	"repro/internal/scenario.Verdict":   true,
 }
 
 // Analyzer is the kindexhaustive analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "kindexhaustive",
 	Doc: "switches over protocol enumerations (core.MsgKind, core.State, " +
-		"trace.Kind, wire.FrameKind, remote.HealthState) must cover every constant or fail loudly in default",
+		"trace.Kind, wire.FrameKind, remote.HealthState, and the scenario " +
+		"vocabulary Backend/TopoKind/EventKind/Property/Verdict) must cover " +
+		"every constant or fail loudly in default",
 	Run: run,
 }
 

@@ -39,6 +39,7 @@ var Scope = []string{
 	"repro/internal/netsim",
 	"repro/internal/wire",
 	"repro/internal/sweep",
+	"repro/internal/scenario",
 	"repro/dining",
 }
 

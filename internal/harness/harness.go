@@ -378,11 +378,17 @@ func ExecuteRaw(spec Spec) (*metrics.Suite, *runner.Runner, error) {
 		spec.Delays = sim.UniformDelay{Min: 1, Max: 4}
 	}
 	suite := metrics.NewSuite(spec.Graph)
+	var transport runner.TransportFactory
+	if spec.Reliable {
+		transport = runner.ReliableTransport(spec.RlinkOptions)
+	}
 	r, err := runner.New(runner.Config{
 		Graph:        spec.Graph,
 		Colors:       spec.Colors,
 		Seed:         spec.Seed,
 		Delays:       spec.Delays,
+		Faults:       spec.Faults,
+		Transport:    transport,
 		NewDetector:  detectorFactory(spec),
 		NewProcess:   ProcessFactory(spec.Algorithm, spec.AcksPerSession),
 		Workload:     spec.Workload,
@@ -393,6 +399,9 @@ func ExecuteRaw(spec Spec) (*metrics.Suite, *runner.Runner, error) {
 		return nil, nil, err
 	}
 	r.Network().SetObserver(suite.Observer())
+	if link := r.Link(); link != nil {
+		link.SetObserver(suite.Reliability.RlinkObserver())
+	}
 	for _, c := range spec.Crashes {
 		r.CrashAt(c.At, c.ID)
 	}

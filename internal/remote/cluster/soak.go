@@ -89,6 +89,10 @@ const soakWaitCap = 12 * time.Second
 //     their conflict-graph neighbors), and nodes outside it recorded
 //     no errors.
 //
+// Schedule execution and the anchor-seeking stabilization search live
+// in RunPlan; this wrapper derives the plan from the seed, applies the
+// soak's verdict rules, and renders the deterministic trace.
+//
 // The returned error covers harness malfunctions (a restart that could
 // not bind, a progress wait that timed out); property violations go to
 // SoakResult.Failures.
@@ -107,98 +111,35 @@ func runChaosSoakInner(cfg SoakConfig) (*SoakResult, *Cluster, error) {
 		cfg.Duration = 8 * time.Second
 	}
 
-	clk := netsim.NewClock()
-	// Settle with scheduler yields alone: the real-time pause is a
-	// fidelity knob, not a correctness one — the anchor-seeking checker
-	// below already tolerates simulated processing lag, and skipping the
-	// sleeps cuts soak wall time several-fold on small machines.
-	clk.Yield = 0
-	nw := netsim.NewNet(clk, cfg.Seed)
 	addrs := make([]string, cfg.Nodes)
-	placement := make([][]int, cfg.Nodes)
 	for i := range addrs {
-		addrs[i] = fmt.Sprintf("n%d", i)
-		placement[i] = []int{i}
+		addrs[i] = NodeAddr(i)
 	}
 	plan := netsim.GenPlan(cfg.Seed, addrs, cfg.Duration)
 	if cfg.Plan != nil {
 		plan = *cfg.Plan
 	}
 
-	g := graph.Ring(cfg.Nodes)
-	cl, err := New(g, placement, Options{
-		HeartbeatPeriod:  10 * time.Millisecond,
-		InitialTimeout:   120 * time.Millisecond,
-		TimeoutIncrement: 60 * time.Millisecond,
-		EatTime:          4 * time.Millisecond,
-		ThinkTime:        4 * time.Millisecond,
-		RTO:              20 * time.Millisecond,
-		DialBackoff:      cfg.DialBackoff,
-		DialBackoffMax:   cfg.DialBackoffMax,
-		SendWindow:       cfg.SendWindow,
-		Seed:             cfg.Seed + 1,
-		Logf:             cfg.Logf,
-		Network:          nw,
+	pr, err := RunPlan(PlanConfig{
+		Seed:           cfg.Seed,
+		Graph:          graph.Ring(cfg.Nodes),
+		Plan:           plan,
+		DialBackoff:    cfg.DialBackoff,
+		DialBackoffMax: cfg.DialBackoffMax,
+		SendWindow:     cfg.SendWindow,
+		Logf:           cfg.Logf,
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("soak seed %d: cluster: %w", cfg.Seed, err)
+		return nil, nil, fmt.Errorf("soak seed %d: %w", cfg.Seed, err)
 	}
+	cl := pr.Cluster
 	defer cl.Stop()
-
-	res := &SoakResult{Plan: plan}
-	blast := blastRadius(g, plan, addrs)
-
-	// Execute the schedule. Times are absolute offsets; Kill may pump
-	// the clock past an event's instant, in which case the event
-	// applies as soon as scripted time catches up. Virtual time must be
-	// advanced in bounded steps, never one leap per event: a goroutine
-	// that falls behind a sweeping clock stamps its next chunk after the
-	// clock's final resting point, so the delivery wake only fires on
-	// the NEXT Advance — one big jump harvests roughly one message hop
-	// per call and can freeze an entire handshake chain.
-	for _, ev := range plan.Events {
-		advanceTo(clk, ev.At)
-		if err := applyChaos(cl, nw, ev); err != nil {
-			return nil, cl, fmt.Errorf("soak seed %d: %w", cfg.Seed, err)
-		}
+	if pr.WaitErr != nil {
+		return nil, cl, fmt.Errorf("soak seed %d: post-heal progress: %w (the cluster stopped completing sessions — wait-freedom broken)", cfg.Seed, pr.WaitErr)
 	}
-	advanceTo(clk, plan.Duration)
 
-	// Find the stabilization anchor: start at the final heal, and while
-	// an exclusion violation or an over-bound bounded-waiting window
-	// still starts at or after the anchor, move past it and look again —
-	// the paper's guarantees are all of the form "there is a time after
-	// which ...", so the checker's job is to find that time and prove a
-	// non-trivial suffix is clean. Violations after the heal are legal
-	// while they last: the physical network is whole, but reconnect
-	// backoff (grown while the link was dead) can keep a link down for
-	// up to a full backoff cap afterwards, and until the handshake
-	// completes both sides legitimately eat under mutual suspicion.
-	// What must not happen is that they keep occurring: each iteration
-	// demands fresh post-anchor sessions (the teeth of the check) before
-	// re-reading the monitors, and a run whose violations never cease
-	// exhausts the iteration budget and fails anchor_settled.
-	stable := sim.Time(plan.HealAt())
-	settled := false
-	for iter := 0; iter < 8 && !settled; iter++ {
-		if err := cl.waitForWindows(stable, 2, soakWaitCap); err != nil {
-			return nil, cl, fmt.Errorf("soak seed %d: post-heal progress: %w (the cluster stopped completing sessions — wait-freedom broken)", cfg.Seed, err)
-		}
-		moved := false
-		if t, found := cl.LastExclusionViolation(); found && t >= stable {
-			stable = t + 1
-			moved = true
-		}
-		if t, found := cl.LastExcessOvertake(2); found && t >= stable {
-			stable = t + 1
-			moved = true
-		}
-		if !moved {
-			settled = true
-		}
-	}
-	res.StableAt = stable
-	cl.FinishMonitors()
+	res := &SoakResult{Plan: plan, StableAt: pr.StableAt}
+	stable := pr.StableAt
 
 	check := func(ok bool, verdict string, detail func() string) {
 		fmt.Fprintf(&res.traceB, "verdict %s=%v\n", verdict, ok)
@@ -209,8 +150,8 @@ func runChaosSoakInner(cfg SoakConfig) (*SoakResult, *Cluster, error) {
 
 	fmt.Fprint(&res.traceB, plan.String())
 	res.MaxOvertakePostStable = cl.MaxOvertakeFrom(stable)
-	check(settled, "anchor_settled", func() string {
-		return fmt.Sprintf("exclusion violations or excess overtake windows kept appearing after 8 anchor moves (last anchor %v)", stable)
+	check(pr.Settled, "anchor_settled", func() string {
+		return fmt.Sprintf("exclusion violations or excess overtake windows kept appearing after %d anchor moves (last anchor %v)", anchorIterBudget, stable)
 	})
 	check(cl.ExclusionViolationsAfter(stable) == 0, "exclusion_clean_post_stable", func() string {
 		return fmt.Sprintf("%d violations after %v", cl.ExclusionViolationsAfter(stable), stable)
@@ -230,19 +171,19 @@ func runChaosSoakInner(cfg SoakConfig) (*SoakResult, *Cluster, error) {
 		return fmt.Sprintf("peak pair depth %d exceeds send window %d", cl.MaxPairDepth(), cl.SendWindow())
 	})
 	fallen := cl.FallenProcs()
-	check(within(fallen, blast), "fallen_within_blast_radius", func() string {
-		return fmt.Sprintf("fallen %v outside blast radius %v", fallen, sortedKeys(blast))
+	check(within(fallen, pr.Blast), "fallen_within_blast_radius", func() string {
+		return fmt.Sprintf("fallen %v outside blast radius %v", fallen, sortedKeys(pr.Blast))
 	})
-	cleanOutside, errDetail := cl.errsOutsideBlast(blast)
+	cleanOutside, errDetail := cl.ErrsOutsideBlast(pr.Blast)
 	check(cleanOutside, "errors_outside_blast_radius_none", func() string { return errDetail })
 
 	res.Trace = res.traceB.String()
 	return res, cl, nil
 }
 
-// advanceStep is the largest single virtual-time jump the soak takes.
-// It matches waitCond's pump granularity; see the comment at the soak
-// event loop for why bounded steps matter.
+// advanceStep is the largest single virtual-time jump a scripted run
+// takes. It matches waitCond's pump granularity; see the comment at
+// RunPlan's event loop for why bounded steps matter.
 const advanceStep = 5 * time.Millisecond
 
 // advanceTo steps the virtual clock up to absolute offset t.
@@ -257,49 +198,6 @@ func advanceTo(clk *netsim.Clock, t time.Duration) {
 		}
 		clk.Advance(delta)
 	}
-}
-
-// waitForWindows advances virtual time until every live process has at
-// least min closed bounded-waiting windows starting at or after t.
-func (c *Cluster) waitForWindows(t sim.Time, min int, timeout time.Duration) error {
-	return c.waitCond(func() bool {
-		wins := c.OvertakeWindowsFrom(t)
-		for id := 0; id < c.g.N(); id++ {
-			if c.procDown(id) {
-				continue
-			}
-			if wins[id] < min {
-				return false
-			}
-		}
-		return true
-	}, timeout)
-}
-
-// errsOutsideBlast checks that every node hosting only
-// outside-blast-radius processes recorded no error.
-func (c *Cluster) errsOutsideBlast(blast map[int]bool) (bool, string) {
-	for ni, n := range c.Nodes {
-		c.mu.Lock()
-		dead := c.killed[ni]
-		c.mu.Unlock()
-		if dead {
-			continue
-		}
-		inBlast := false
-		for _, p := range c.Topo.Nodes[ni].Procs {
-			if blast[p] {
-				inBlast = true
-			}
-		}
-		if inBlast {
-			continue
-		}
-		if err := n.Err(); err != nil {
-			return false, fmt.Sprintf("node %d (outside blast radius): %v", ni, err)
-		}
-	}
-	return true, ""
 }
 
 // applyChaos executes one scripted event against the cluster/network.
@@ -347,31 +245,6 @@ func nodeIndex(addr string) (int, error) {
 		return 0, fmt.Errorf("cluster: bad node address %q: %w", addr, err)
 	}
 	return ni, nil
-}
-
-// blastRadius collects the processes whose protocol state may
-// legitimately be torn by a crash/restart episode: the restarted
-// node's processes plus their conflict-graph neighbors (stale
-// messages from either side can trip an invariant, which the runtime
-// converts into a process crash — see rproc.act).
-func blastRadius(g *graph.Graph, plan netsim.ChaosPlan, addrs []string) map[int]bool {
-	out := make(map[int]bool)
-	for _, ev := range plan.Events {
-		if ev.Kind != netsim.ChaosRestart {
-			continue
-		}
-		for ni, a := range addrs {
-			if a != ev.A {
-				continue
-			}
-			// Placement in the soak is process i on node i.
-			out[ni] = true
-			for _, j := range g.Neighbors(ni) {
-				out[j] = true
-			}
-		}
-	}
-	return out
 }
 
 func within(procs []int, set map[int]bool) bool {

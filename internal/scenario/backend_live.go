@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/remote/cluster"
+	"repro/internal/sim"
+)
+
+// liveWaitCap bounds every goal-driven wall-clock wait of the live
+// backend (event scheduling and the anchor search's session waits).
+const liveWaitCap = 30 * time.Second
+
+// runLive executes the scenario on a real loopback-TCP cluster under
+// the wall clock: 1 tick = 1 millisecond. Only the crash/heal event
+// vocabulary is supported (Supports enforces this): TCP has no
+// scriptable link faults, and a restarted listener would change its
+// ephemeral port. The run is NOT deterministic — live results are
+// excluded from the byte-identical trace contract and exist to check
+// that the verdicts the deterministic backends agree on also hold on
+// real sockets.
+func runLive(sc *Scenario) (*Observations, error) {
+	g := sc.Graph()
+	n := g.N()
+	placement := make([][]int, n)
+	for i := range placement {
+		placement[i] = []int{i}
+	}
+	cl, err := cluster.New(g, placement, cluster.Options{
+		HeartbeatPeriod:  time.Duration(sc.Det.Period) * tick,
+		InitialTimeout:   time.Duration(sc.Det.Timeout) * tick,
+		TimeoutIncrement: time.Duration(sc.Det.Increment) * tick,
+		EatTime:          time.Duration(sc.Work.Eat) * tick,
+		ThinkTime:        time.Duration(sc.Work.Think) * tick,
+		DialBackoff:      time.Duration(sc.Opts.Backoff) * tick,
+		DialBackoffMax:   time.Duration(sc.Opts.BackoffMax) * tick,
+		SendWindow:       sc.Opts.Window,
+		Seed:             sc.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("live cluster: %w", err)
+	}
+	defer cl.Stop()
+
+	heal := sim.Time(0)
+	for _, ev := range sc.Events {
+		at := sim.Time(ev.At) * tickNS
+		if err := cl.WaitUntilElapsed(at, liveWaitCap+time.Duration(sc.Horizon)*tick); err != nil {
+			return nil, fmt.Errorf("live: waiting for tick %d: %w", ev.At, err)
+		}
+		switch ev.Kind {
+		case EventCrash:
+			cl.Kill(ev.Procs[0])
+		case EventHeal:
+			// Crashes are permanent on the live backend; the heal only
+			// marks where the stabilization window begins.
+			heal = at
+		case EventRestart, EventPartition, EventPartitionLink, EventPartitionDir,
+			EventReset, EventTruncate, EventSlowLink, EventStopDrain,
+			EventResumeDrain, EventLatency, EventBurst:
+			// TCP has no scriptable link faults; Supports(BackendLive)
+			// rejects these scenarios before a live run can start.
+			return nil, fmt.Errorf("live: unsupported event kind %s", ev.Kind)
+		}
+	}
+	if err := cl.WaitUntilElapsed(sim.Time(sc.Horizon)*tickNS, liveWaitCap+time.Duration(sc.Horizon)*tick); err != nil {
+		return nil, fmt.Errorf("live: waiting for horizon: %w", err)
+	}
+
+	stable, settled, waitErr := cl.AnchorSearch(heal, sc.OvertakeK(), minWindowsPostHeal, liveWaitCap)
+	cl.FinishMonitors()
+	// No restarts ever run live, so the blast radius is empty: any
+	// fallen process or node error is a containment failure.
+	return observeCluster(BackendLive, sc, cl, map[int]bool{}, stable, settled, waitErr), nil
+}

@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/remote/cluster"
+	"repro/internal/sim"
+)
+
+// Netsim/live time mapping: 1 scenario tick = 1 millisecond of
+// (virtual respectively wall) time; the cluster's monitor axis is
+// nanoseconds since start.
+const (
+	tick   = time.Millisecond
+	tickNS = sim.Time(tick)
+)
+
+// starveAge is how long a live process must have been continuously
+// hungry at the end of a cluster run to count as starving — matching
+// the chaos soak's threshold.
+const starveAge = time.Second
+
+// runNetsim executes the scenario against the full remote stack on the
+// virtual network: the event script compiles to a netsim.ChaosPlan and
+// cluster.RunPlan executes it, runs the anchor search, and hands back
+// the monitors.
+func runNetsim(sc *Scenario) (*Observations, error) {
+	g := sc.Graph()
+	pr, err := cluster.RunPlan(cluster.PlanConfig{
+		Seed:             sc.Seed,
+		Graph:            g,
+		Plan:             compileChaosPlan(sc),
+		OvertakeK:        sc.OvertakeK(),
+		MinSessions:      minWindowsPostHeal,
+		HeartbeatPeriod:  time.Duration(sc.Det.Period) * tick,
+		InitialTimeout:   time.Duration(sc.Det.Timeout) * tick,
+		TimeoutIncrement: time.Duration(sc.Det.Increment) * tick,
+		EatTime:          time.Duration(sc.Work.Eat) * tick,
+		ThinkTime:        time.Duration(sc.Work.Think) * tick,
+		DialBackoff:      time.Duration(sc.Opts.Backoff) * tick,
+		DialBackoffMax:   time.Duration(sc.Opts.BackoffMax) * tick,
+		SendWindow:       sc.Opts.Window,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl := pr.Cluster
+	defer cl.Stop()
+	return observeCluster(BackendNetsim, sc, cl, pr.Blast, pr.StableAt, pr.Settled, pr.WaitErr), nil
+}
+
+// compileChaosPlan lowers the scenario's event script onto the netsim
+// chaos vocabulary. A scenario partition becomes pairwise blackholed
+// links across the cut; the heal becomes the single ChaosHealAll.
+func compileChaosPlan(sc *Scenario) netsim.ChaosPlan {
+	n := sc.Topo.Procs()
+	pl := netsim.ChaosPlan{Seed: sc.Seed, Duration: time.Duration(sc.Horizon) * tick}
+	add := func(ev netsim.ChaosEvent) { pl.Events = append(pl.Events, ev) }
+	for _, ev := range sc.Events {
+		at := time.Duration(ev.At) * tick
+		switch ev.Kind {
+		case EventCrash:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosCrash, A: cluster.NodeAddr(ev.Procs[0])})
+		case EventRestart:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosRestart, A: cluster.NodeAddr(ev.Procs[0])})
+		case EventPartition:
+			side := make([]bool, n)
+			for _, p := range ev.Procs {
+				side[p] = true
+			}
+			for p := 0; p < n; p++ {
+				if !side[p] {
+					continue
+				}
+				for q := 0; q < n; q++ {
+					if !side[q] {
+						add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosPartition,
+							A: cluster.NodeAddr(p), B: cluster.NodeAddr(q)})
+					}
+				}
+			}
+		case EventPartitionLink:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosPartition,
+				A: cluster.NodeAddr(ev.A), B: cluster.NodeAddr(ev.B)})
+		case EventPartitionDir:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosPartitionDir,
+				A: cluster.NodeAddr(ev.A), B: cluster.NodeAddr(ev.B)})
+		case EventReset:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosReset,
+				A: cluster.NodeAddr(ev.A), B: cluster.NodeAddr(ev.B)})
+		case EventTruncate:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosTruncate,
+				A: cluster.NodeAddr(ev.A), B: cluster.NodeAddr(ev.B), DropTail: ev.Bytes})
+		case EventSlowLink:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosSlowLink,
+				A: cluster.NodeAddr(ev.A), B: cluster.NodeAddr(ev.B), Rate: ev.Rate})
+		case EventStopDrain:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosStopDrain,
+				A: cluster.NodeAddr(ev.A), B: cluster.NodeAddr(ev.B)})
+		case EventResumeDrain:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosResumeDrain,
+				A: cluster.NodeAddr(ev.A), B: cluster.NodeAddr(ev.B)})
+		case EventLatency:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosSetLink,
+				A: cluster.NodeAddr(ev.A), B: cluster.NodeAddr(ev.B),
+				Latency: time.Duration(ev.Latency) * tick,
+				Jitter:  time.Duration(ev.Jitter) * tick})
+		case EventHeal:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosHealAll})
+		case EventBurst:
+			// Sim-only vocabulary; Supports(BackendNetsim) rejects burst
+			// scenarios before a netsim run can start.
+			panic("scenario: netsim backend cannot compile event kind " + ev.Kind.String())
+		}
+	}
+	return pl
+}
+
+// observeCluster reduces a finished cluster run to Observations — the
+// shared reduction of the netsim and live backends.
+func observeCluster(b Backend, sc *Scenario, cl *cluster.Cluster, blast map[int]bool, stable sim.Time, settled bool, waitErr error) *Observations {
+	n := sc.Topo.Procs()
+	down := make([]bool, n)
+	for _, ev := range sc.Events {
+		switch ev.Kind {
+		case EventCrash:
+			down[ev.Procs[0]] = true
+		case EventRestart:
+			down[ev.Procs[0]] = false
+		case EventPartition, EventPartitionLink, EventPartitionDir, EventReset,
+			EventTruncate, EventSlowLink, EventStopDrain, EventResumeDrain,
+			EventLatency, EventBurst, EventHeal:
+			// Link faults and the heal change no process's up/down status.
+		}
+	}
+	fallen := cl.FallenProcs()
+	for _, p := range fallen {
+		down[p] = true
+	}
+
+	sessions := cl.ClosedSessionsFrom(stable)
+	minClosed := -1
+	for id := 0; id < n; id++ {
+		if down[id] {
+			continue
+		}
+		if minClosed < 0 || sessions[id] < minClosed {
+			minClosed = sessions[id]
+		}
+	}
+	if minClosed < 0 {
+		minClosed = 0
+	}
+	if minClosed < minWindowsPostHeal {
+		settled = false
+	}
+
+	var outside []int
+	for _, p := range fallen {
+		if !blast[p] {
+			outside = append(outside, p)
+		}
+	}
+
+	obs := &Observations{
+		Backend:             b,
+		Settled:             settled && waitErr == nil,
+		ExclusionViolations: cl.ExclusionViolationsAfter(stable),
+		Starving:            cl.Starving(starveAge),
+		MinWindowsClosed:    minClosed,
+		MaxOvertake:         cl.MaxOvertakeFrom(stable),
+		QueueHW:             cl.MaxEdgeOccupancy(),
+		PairDepthHW:         cl.MaxPairDepth(),
+		SendWindow:          cl.SendWindow(),
+		FallenOutsideBlast:  outside,
+	}
+	if ok, detail := cl.ErrsOutsideBlast(blast); !ok {
+		obs.InvariantErr = detail
+	}
+	return obs
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"repro/internal/harness"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// runSim executes the scenario on the pure deterministic simulator: 1
+// tick = 1 sim.Time unit. The fault script compiles to a sim.FaultPlan
+// (bursts, timed bipartitions, plan-wide drop/dup) plus scheduled
+// crashes; whenever channel faults are present and the raw option is
+// off, the rlink retransmission sublayer is layered under the
+// algorithm — matching the netsim backend, whose TCP-like streams mask
+// loss below the byte-stream abstraction. (Raw faulty channels can
+// destroy a fork in flight, which no protocol above them can recover;
+// that mode exists as a negative control.)
+func runSim(sc *Scenario) (*Observations, error) {
+	g := sc.Graph()
+	heal, hasHeal := sc.HealAt()
+
+	spec := harness.Spec{
+		Graph:     g,
+		Seed:      sc.Seed,
+		Algorithm: harness.Algorithm1,
+		Detector:  harness.DetectorHeartbeat,
+		Heartbeat: harness.HeartbeatParams{
+			Period:         sim.Time(sc.Det.Period),
+			InitialTimeout: sim.Time(sc.Det.Timeout),
+			Increment:      sim.Time(sc.Det.Increment),
+			// The detector's own network is synchronous from the start
+			// (GST 0): scenario faults target the dining channels, and a
+			// deterministic detector keeps verdicts a function of the
+			// schedule alone.
+			GST:       0,
+			PreNoise:  0,
+			PostDelay: 1,
+		},
+		Workload: runner.Workload{
+			ThinkMin: sim.Time(sc.Work.Think), ThinkMax: sim.Time(sc.Work.Think),
+			EatMin: sim.Time(sc.Work.Eat), EatMax: sim.Time(sc.Work.Eat),
+		},
+		Horizon: sim.Time(sc.Horizon),
+	}
+
+	var crashed []int
+	for _, ev := range sc.Events {
+		if ev.Kind == EventCrash {
+			spec.Crashes = append(spec.Crashes, harness.Crash{At: sim.Time(ev.At), ID: ev.Procs[0]})
+			crashed = append(crashed, ev.Procs[0])
+		}
+	}
+
+	if fp := compileFaults(sc); fp != nil {
+		spec.Faults = fp
+		spec.Reliable = !sc.Opts.Raw
+	}
+
+	suite, r, err := harness.ExecuteRaw(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	obs := ObserveSuite(g, suite, SuiteParams{
+		End:          sim.Time(sc.Horizon),
+		Heal:         healTick(heal, hasHeal),
+		K:            sc.OvertakeK(),
+		QuiescenceBy: sim.Time(sc.quiescenceDeadline()),
+		Crashed:      crashed,
+		InvariantErr: r.CheckInvariants(),
+	})
+	// With the rlink sublayer in place the comparable occupancy figure
+	// is application messages, as on the remote stack — the raw wire
+	// carries retransmissions and acks on top.
+	if link := r.Link(); link != nil {
+		obs.QueueHW = link.MaxAppEdgeOccupancy()
+	}
+	return obs, nil
+}
+
+// compileFaults builds the sim.FaultPlan of the scenario's channel
+// faults, or nil when the channels are reliable.
+func compileFaults(sc *Scenario) *sim.FaultPlan {
+	heal, hasHeal := sc.HealAt()
+	end := sim.Time(sc.Horizon)
+	if hasHeal {
+		end = sim.Time(heal)
+	}
+	fp := &sim.FaultPlan{DropP: sc.Opts.DropP, DupP: sc.Opts.DupP}
+	any := fp.DropP > 0 || fp.DupP > 0
+	for _, ev := range sc.Events {
+		switch ev.Kind {
+		case EventBurst:
+			fp.Bursts = append(fp.Bursts, sim.Burst{
+				Start: sim.Time(ev.At), End: sim.Time(ev.Until), DropP: ev.DropP,
+			})
+			any = true
+		case EventPartition:
+			fp.Partitions = append(fp.Partitions, sim.Partition{
+				Start: sim.Time(ev.At), End: end, Side: ev.Procs,
+			})
+			any = true
+		case EventCrash, EventHeal:
+			// Crashes compile to harness.Crash entries in runSim; the heal
+			// becomes FaultPlan.HealAt below.
+		case EventRestart, EventPartitionLink, EventPartitionDir, EventReset,
+			EventTruncate, EventSlowLink, EventStopDrain, EventResumeDrain,
+			EventLatency:
+			// Netsim-only vocabulary; Supports(BackendSim) rejects scenarios
+			// carrying these before a sim run can start.
+			panic("scenario: sim backend cannot compile event kind " + ev.Kind.String())
+		}
+	}
+	if !any {
+		return nil
+	}
+	if hasHeal {
+		fp.HealAt = sim.Time(heal)
+	}
+	return fp
+}
+
+// healTick maps the optional heal to the anchor-search start.
+func healTick(heal int64, has bool) sim.Time {
+	if !has {
+		return 0
+	}
+	return sim.Time(heal)
+}

@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Observations is the backend-normalized measurement record every
+// checker reads. Each backend reduces its own instrumentation (the
+// sim metrics.Suite, the netsim/live cluster monitors) to this one
+// struct, so a property has exactly one verdict rule — the heart of
+// the differential contract.
+type Observations struct {
+	Backend Backend
+	// Settled reports that the anchor-seeking stabilization search
+	// converged: within its iteration budget it found a time with no
+	// later exclusion violation and no later over-K waiting window, and
+	// every live process then completed at least minWindowsPostHeal
+	// hungry sessions that started after the anchor (the "teeth" that
+	// keep an end-of-run anchor from passing vacuously).
+	Settled bool
+	// ExclusionViolations counts live-neighbor simultaneous-eating
+	// events at or after the anchor.
+	ExclusionViolations int
+	// Starving lists live processes still hungry at the end whose
+	// session is old enough to be suspicious.
+	Starving []int
+	// MinWindowsClosed is the minimum over live processes of completed
+	// post-anchor hungry sessions.
+	MinWindowsClosed int
+	// MaxOvertake is the largest overtake count among waiting windows
+	// whose hungry session started at or after the anchor.
+	MaxOvertake int
+	// Quiescent reports no sends to crashed processes at or after the
+	// quiescence deadline. Sim only.
+	Quiescent bool
+	// QueueHW is the per-edge application-message occupancy high water.
+	QueueHW int
+	// PairDepthHW and SendWindow are the ARQ per-pair queue high water
+	// and its configured bound. Netsim/live only.
+	PairDepthHW, SendWindow int
+	// InvariantErr is the first protocol-invariant violation, "" if
+	// none.
+	InvariantErr string
+	// FallenOutsideBlast lists processes that fell over outside the
+	// blast radius of the scripted crashes/restarts.
+	FallenOutsideBlast []int
+}
+
+// Result is one evaluated check.
+type Result struct {
+	Check Check
+	Got   Verdict
+}
+
+// EvalCheck applies one property checker to the observations. This is
+// the entire checker registry: one rule per Property, identical for
+// every backend.
+func EvalCheck(c Check, obs *Observations) Verdict {
+	pass := false
+	switch c.Prop {
+	case PropExclusionClean:
+		// ◇WX (Theorem 1): stabilization settles and no live neighbors
+		// eat together after it.
+		pass = obs.Settled && obs.ExclusionViolations == 0
+	case PropWaitFreedom:
+		// Theorem 2: nobody starves, and every live process keeps
+		// completing sessions after the faults end.
+		pass = len(obs.Starving) == 0 && obs.MinWindowsClosed >= minWindowsPostHeal
+	case PropOvertakeBound:
+		// ◇K-BW (Theorem 3, K=2 by default): no post-anchor waiting
+		// window exceeds K overtakes.
+		pass = obs.Settled && obs.MaxOvertake <= c.K
+	case PropQuiescence:
+		pass = obs.Quiescent
+	case PropQueueBound:
+		pass = obs.QueueHW <= c.Limit
+	case PropPairDepthBound:
+		pass = obs.PairDepthHW <= obs.SendWindow
+	case PropContainment:
+		pass = obs.InvariantErr == "" && len(obs.FallenOutsideBlast) == 0
+	default:
+		panic(fmt.Sprintf("scenario: no checker for property %v", c.Prop))
+	}
+	if pass {
+		return VerdictPass
+	}
+	return VerdictFail
+}
+
+// Evaluate runs every declared check against the observations, in
+// declaration order.
+func Evaluate(sc *Scenario, obs *Observations) []Result {
+	out := make([]Result, len(sc.Checks))
+	for i, c := range sc.Checks {
+		out[i] = Result{Check: c, Got: EvalCheck(c, obs)}
+	}
+	return out
+}
+
+// SuiteParams parameterize the reduction of a sim metrics.Suite to
+// Observations.
+type SuiteParams struct {
+	// End is the run horizon.
+	End sim.Time
+	// Heal is where the anchor search starts (the scenario's heal tick,
+	// or 0 when it has none).
+	Heal sim.Time
+	// K is the overtake bound the anchor search moves past.
+	K int
+	// QuiescenceBy is the quiescence deadline.
+	QuiescenceBy sim.Time
+	// Crashed lists processes down at the end of the run.
+	Crashed []int
+	// InvariantErr is the runner's invariant check result.
+	InvariantErr error
+}
+
+// ObserveSuite reduces a finished sim metrics.Suite to Observations:
+// the sim backend's half of the differential contract, also the seam
+// the negative-trace tests feed hand-built histories through. The
+// anchor search mirrors cluster.RunPlan: start at the heal, move past
+// the last exclusion violation and the last over-K window, give up
+// after anchorBudget moves, then demand minWindowsPostHeal completed
+// post-anchor sessions from every live process.
+func ObserveSuite(g *graph.Graph, s *metrics.Suite, p SuiteParams) *Observations {
+	down := make([]bool, g.N())
+	for _, id := range p.Crashed {
+		down[id] = true
+	}
+
+	anchor := p.Heal
+	settled := false
+	for iter := 0; iter < anchorBudget && !settled; iter++ {
+		moved := false
+		if lv, ok := s.Exclusion.LastViolation(); ok && lv >= anchor {
+			anchor = lv + 1
+			moved = true
+		}
+		if le, ok := s.Overtake.LastExcessWindow(p.K); ok && le >= anchor {
+			anchor = le + 1
+			moved = true
+		}
+		settled = !moved
+	}
+
+	windows := s.Overtake.Windows()
+	minClosed := -1
+	for id := 0; id < g.N(); id++ {
+		if down[id] {
+			continue
+		}
+		n := closedSessions(windows, id, anchor)
+		if minClosed < 0 || n < minClosed {
+			minClosed = n
+		}
+	}
+	if minClosed < 0 {
+		minClosed = 0
+	}
+	if minClosed < minWindowsPostHeal {
+		settled = false
+	}
+
+	obs := &Observations{
+		Backend:             BackendSim,
+		Settled:             settled,
+		ExclusionViolations: s.Exclusion.CountAfter(anchor),
+		Starving:            s.Progress.Starving(p.End, p.End/5),
+		MinWindowsClosed:    minClosed,
+		MaxOvertake:         s.Overtake.MaxCountFrom(anchor),
+		Quiescent:           s.Quiescence.QuiescentBy(p.QuiescenceBy),
+		QueueHW:             s.Occupancy.MaxHighWater(),
+	}
+	if p.InvariantErr != nil {
+		obs.InvariantErr = p.InvariantErr.Error()
+	}
+	return obs
+}
+
+// closedSessions counts victim's completed hungry sessions starting at
+// or after anchor. The overtake monitor emits one window per neighbor
+// per session, all sharing the session's HungryAt, so distinct
+// HungryAt values count sessions.
+func closedSessions(windows []metrics.OvertakeWindow, victim int, anchor sim.Time) int {
+	n := 0
+	last := sim.Time(-1)
+	seen := false
+	for _, w := range windows {
+		if w.Victim != victim || !w.Closed || w.HungryAt < anchor {
+			continue
+		}
+		if !seen || w.HungryAt != last {
+			n++
+			last = w.HungryAt
+			seen = true
+		}
+	}
+	return n
+}
+
+// quiescenceDeadline resolves a quiescence check's deadline: the
+// explicit by= tick, or three quarters of the horizon.
+func (sc *Scenario) quiescenceDeadline() int64 {
+	if c, ok := sc.check(PropQuiescence); ok && c.By != 0 {
+		return c.By
+	}
+	return sc.Horizon * 3 / 4
+}

@@ -1,0 +1,197 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// cleanObs is an observation record that passes every checker; the
+// negative table mutates one field at a time off this baseline.
+func cleanObs() *scenario.Observations {
+	return &scenario.Observations{
+		Backend:          scenario.BackendNetsim,
+		Settled:          true,
+		MinWindowsClosed: 5,
+		MaxOvertake:      2,
+		Quiescent:        true,
+		QueueHW:          3,
+		PairDepthHW:      4,
+		SendWindow:       256,
+	}
+}
+
+// TestEvalCheckNegative proves every property checker in the registry
+// can actually fail: for each Property, a hand-built violating
+// observation record must produce VerdictFail while the clean baseline
+// produces VerdictPass.
+func TestEvalCheckNegative(t *testing.T) {
+	cases := []struct {
+		name    string
+		check   scenario.Check
+		violate func(o *scenario.Observations)
+	}{
+		{"exclusion_clean/violations", scenario.Check{Prop: scenario.PropExclusionClean},
+			func(o *scenario.Observations) { o.ExclusionViolations = 1 }},
+		{"exclusion_clean/unsettled", scenario.Check{Prop: scenario.PropExclusionClean},
+			func(o *scenario.Observations) { o.Settled = false }},
+		{"wait_freedom/starving", scenario.Check{Prop: scenario.PropWaitFreedom},
+			func(o *scenario.Observations) { o.Starving = []int{3} }},
+		{"wait_freedom/no_teeth", scenario.Check{Prop: scenario.PropWaitFreedom},
+			func(o *scenario.Observations) { o.MinWindowsClosed = 1 }},
+		{"overtake_bound/excess", scenario.Check{Prop: scenario.PropOvertakeBound, K: 2},
+			func(o *scenario.Observations) { o.MaxOvertake = 3 }},
+		{"overtake_bound/unsettled", scenario.Check{Prop: scenario.PropOvertakeBound, K: 2},
+			func(o *scenario.Observations) { o.Settled = false }},
+		{"quiescence/late_send", scenario.Check{Prop: scenario.PropQuiescence},
+			func(o *scenario.Observations) { o.Quiescent = false }},
+		{"queue_bound/over_limit", scenario.Check{Prop: scenario.PropQueueBound, Limit: 8},
+			func(o *scenario.Observations) { o.QueueHW = 9 }},
+		{"pair_depth_bound/over_window", scenario.Check{Prop: scenario.PropPairDepthBound},
+			func(o *scenario.Observations) { o.PairDepthHW = 257 }},
+		{"containment/invariant", scenario.Check{Prop: scenario.PropContainment},
+			func(o *scenario.Observations) { o.InvariantErr = "fork duplicated on edge (0,1)" }},
+		{"containment/fallen_outside", scenario.Check{Prop: scenario.PropContainment},
+			func(o *scenario.Observations) { o.FallenOutsideBlast = []int{4} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := scenario.EvalCheck(tc.check, cleanObs()); got != scenario.VerdictPass {
+				t.Fatalf("clean baseline: got %s, want pass", got)
+			}
+			bad := cleanObs()
+			tc.violate(bad)
+			if got := scenario.EvalCheck(tc.check, bad); got != scenario.VerdictFail {
+				t.Fatalf("violating observations: got %s, want fail", got)
+			}
+		})
+	}
+}
+
+// feedSessions drives n clean hungry→eating→thinking sessions for every
+// process of a ring, two ticks apart, starting at t. Returns the first
+// free tick. Neighbors never overlap an eating interval: process i eats
+// alone in its window.
+func feedSessions(s *metrics.Suite, procs, n int, t sim.Time) sim.Time {
+	for k := 0; k < n; k++ {
+		for id := 0; id < procs; id++ {
+			s.OnTransition(t, id, core.Thinking, core.Hungry)
+			s.OnTransition(t+1, id, core.Hungry, core.Eating)
+			s.OnTransition(t+2, id, core.Eating, core.Thinking)
+			t += 3
+		}
+	}
+	return t
+}
+
+// TestObserveSuiteNegativeTraces feeds hand-built violating histories
+// through the REAL sim monitors (not mocked observations) and checks
+// the reduction + checker pipeline flags each one, while the clean
+// history passes. This is the end-to-end negative test for the sim
+// half of the checker registry.
+func TestObserveSuiteNegativeTraces(t *testing.T) {
+	g := graph.Ring(5)
+	const end = sim.Time(1000)
+	params := scenario.SuiteParams{End: end, K: 2, QuiescenceBy: 500}
+
+	run := func(build func(s *metrics.Suite)) *scenario.Observations {
+		s := metrics.NewSuite(g)
+		build(s)
+		s.Finish(end)
+		return scenario.ObserveSuite(g, s, params)
+	}
+
+	clean := run(func(s *metrics.Suite) { feedSessions(s, 5, 4, 10) })
+	for _, c := range []scenario.Check{
+		{Prop: scenario.PropExclusionClean},
+		{Prop: scenario.PropWaitFreedom},
+		{Prop: scenario.PropOvertakeBound, K: 2},
+		{Prop: scenario.PropQuiescence},
+		{Prop: scenario.PropQueueBound, Limit: 8},
+	} {
+		if got := scenario.EvalCheck(c, clean); got != scenario.VerdictPass {
+			t.Fatalf("clean trace: %s got %s, want pass (%+v)", c.Prop, got, clean)
+		}
+	}
+
+	t.Run("exclusion_violation", func(t *testing.T) {
+		// Neighbors 0 and 1 eat simultaneously after every session has
+		// closed: the anchor search moves past the violation, finds no
+		// post-anchor sessions, and must refuse to settle.
+		obs := run(func(s *metrics.Suite) {
+			tt := feedSessions(s, 5, 4, 10)
+			s.OnTransition(tt, 0, core.Thinking, core.Eating)
+			s.OnTransition(tt, 1, core.Thinking, core.Eating)
+		})
+		if got := scenario.EvalCheck(scenario.Check{Prop: scenario.PropExclusionClean}, obs); got != scenario.VerdictFail {
+			t.Fatalf("got %s, want fail (%+v)", got, obs)
+		}
+	})
+
+	t.Run("overtake_excess", func(t *testing.T) {
+		// Process 1 overtakes its hungry neighbor 0 three times at the
+		// end of the run: the trailing over-K window leaves nothing for
+		// the anchor to settle on.
+		obs := run(func(s *metrics.Suite) {
+			tt := feedSessions(s, 5, 4, 10)
+			s.OnTransition(tt, 0, core.Thinking, core.Hungry)
+			for k := sim.Time(0); k < 3; k++ {
+				s.OnTransition(tt+1+3*k, 1, core.Thinking, core.Hungry)
+				s.OnTransition(tt+2+3*k, 1, core.Hungry, core.Eating)
+				s.OnTransition(tt+3+3*k, 1, core.Eating, core.Thinking)
+			}
+			s.OnTransition(tt+11, 0, core.Hungry, core.Eating)
+			s.OnTransition(tt+12, 0, core.Eating, core.Thinking)
+		})
+		if got := scenario.EvalCheck(scenario.Check{Prop: scenario.PropOvertakeBound, K: 2}, obs); got != scenario.VerdictFail {
+			t.Fatalf("got %s, want fail (%+v)", got, obs)
+		}
+	})
+
+	t.Run("starvation", func(t *testing.T) {
+		// Process 3 goes hungry early and never eats again while
+		// everyone else keeps cycling: it is starving at the end, and
+		// its open session also denies the wait-freedom teeth.
+		obs := run(func(s *metrics.Suite) {
+			s.OnTransition(5, 3, core.Thinking, core.Hungry)
+			feedSessions(s, 3, 4, 10)
+		})
+		if got := scenario.EvalCheck(scenario.Check{Prop: scenario.PropWaitFreedom}, obs); got != scenario.VerdictFail {
+			t.Fatalf("got %s, want fail (%+v)", got, obs)
+		}
+		if len(obs.Starving) == 0 {
+			t.Fatalf("expected process 3 in the starving set, got %+v", obs)
+		}
+	})
+
+	t.Run("quiescence_late_send", func(t *testing.T) {
+		// A message reaches crashed process 2 after the quiescence
+		// deadline (500): retransmissions to the dead were not parked.
+		obs := run(func(s *metrics.Suite) {
+			feedSessions(s, 5, 4, 10)
+			s.OnCrash(200, 2)
+			s.Observer().OnSend(700, 1, 2, "fork-request")
+		})
+		if got := scenario.EvalCheck(scenario.Check{Prop: scenario.PropQuiescence}, obs); got != scenario.VerdictFail {
+			t.Fatalf("got %s, want fail (%+v)", got, obs)
+		}
+	})
+
+	t.Run("queue_overflow", func(t *testing.T) {
+		// Nine undelivered app messages pile up on edge 0→1: the
+		// occupancy high water breaches the Section 7 sanity lid of 8.
+		obs := run(func(s *metrics.Suite) {
+			feedSessions(s, 5, 4, 10)
+			for i := 0; i < 9; i++ {
+				s.Observer().OnSend(300, 0, 1, i)
+			}
+		})
+		if got := scenario.EvalCheck(scenario.Check{Prop: scenario.PropQueueBound, Limit: 8}, obs); got != scenario.VerdictFail {
+			t.Fatalf("got %s, want fail (queue_hw=%d)", got, obs.QueueHW)
+		}
+	})
+}

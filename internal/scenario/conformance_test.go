@@ -1,0 +1,103 @@
+package scenario_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// corpus loads every committed scenario file, sorted by path.
+func corpus(t *testing.T) (names []string, data map[string][]byte) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.scen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 12 {
+		t.Fatalf("corpus has %d scenario files, the conformance contract requires >= 12", len(paths))
+	}
+	sort.Strings(paths)
+	data = make(map[string][]byte)
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, p)
+		data[p] = b
+	}
+	return names, data
+}
+
+// TestCorpusCanonical pins every committed scenario file to the
+// canonical rendering: parse then render must reproduce the file
+// byte-for-byte, so there is exactly one way to write each scenario
+// and text-level diffs are always semantic.
+func TestCorpusCanonical(t *testing.T) {
+	names, data := corpus(t)
+	for _, p := range names {
+		sc, err := scenario.Parse(data[p])
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got := scenario.Render(sc); string(got) != string(data[p]) {
+			t.Errorf("%s is not canonical; re-render it:\n--- committed\n%s--- canonical\n%s", p, data[p], got)
+		}
+	}
+}
+
+// TestCorpusConformance is the differential contract (DESIGN S22):
+// every committed scenario, on every deterministic backend it
+// supports, must reproduce its committed verdicts; per-seed repeats
+// must produce byte-identical traces; and when a scenario runs on
+// both deterministic backends, the two traces must be equal.
+func TestCorpusConformance(t *testing.T) {
+	names, data := corpus(t)
+	differential := 0
+	for _, p := range names {
+		sc, err := scenario.Parse(data[p])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Differential() {
+			differential++
+		}
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			traces := make(map[scenario.Backend]string)
+			for _, b := range []scenario.Backend{scenario.BackendSim, scenario.BackendNetsim} {
+				if !sc.Supports(b) {
+					continue
+				}
+				var prev string
+				for rep := 0; rep < 2; rep++ {
+					out, err := scenario.Run(sc, b)
+					if err != nil {
+						t.Fatalf("%s rep %d: %v", b, rep, err)
+					}
+					for _, m := range out.Mismatches() {
+						t.Errorf("%s rep %d: %s got %s, committed expectation %s (%s)",
+							b, rep, m.Check.Prop, m.Got, m.Check.Expect, out.Diagnose())
+					}
+					if rep > 0 && out.Trace != prev {
+						t.Errorf("%s: trace differs between repeats of seed %d:\nrep0:\n%srep1:\n%s",
+							b, sc.Seed, prev, out.Trace)
+					}
+					prev = out.Trace
+				}
+				traces[b] = prev
+			}
+			simTr, simOK := traces[scenario.BackendSim]
+			netTr, netOK := traces[scenario.BackendNetsim]
+			if simOK && netOK && simTr != netTr {
+				t.Errorf("differential disagreement:\nsim:\n%snetsim:\n%s", simTr, netTr)
+			}
+		})
+	}
+	if differential < 12 {
+		t.Errorf("only %d scenarios run on both deterministic backends, the differential contract requires >= 12", differential)
+	}
+}

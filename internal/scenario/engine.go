@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Outcome is one executed scenario on one backend.
+type Outcome struct {
+	Scenario *Scenario
+	Backend  Backend
+	Obs      *Observations
+	// Results holds one evaluated verdict per declared check.
+	Results []Result
+	// Trace is the run's deterministic trace: the scenario header, the
+	// event script, and one verdict line per check — and nothing else.
+	// Everything in it is a pure function of the scenario text (plus
+	// the paper-guaranteed verdict booleans), so per-seed repeats on a
+	// deterministic backend must be byte-identical, and two backends
+	// agree on the differential contract exactly when their traces are
+	// equal (DESIGN S22).
+	Trace string
+}
+
+// Passed reports whether every verdict matched its committed
+// expectation.
+func (o *Outcome) Passed() bool { return len(o.Mismatches()) == 0 }
+
+// Mismatches lists the checks whose verdict differed from the
+// committed expectation.
+func (o *Outcome) Mismatches() []Result {
+	var out []Result
+	for _, r := range o.Results {
+		if r.Got != r.Check.Expect {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Run executes the scenario on one backend and evaluates every
+// declared check. The backend must be supported (callers select from
+// RunnableBackends); errors are harness malfunctions, never property
+// verdicts.
+func Run(sc *Scenario, b Backend) (*Outcome, error) {
+	if !sc.Supports(b) {
+		return nil, fmt.Errorf("scenario %s does not support backend %s", sc.Name, b)
+	}
+	var (
+		obs *Observations
+		err error
+	)
+	switch b {
+	case BackendSim:
+		obs, err = runSim(sc)
+	case BackendNetsim:
+		obs, err = runNetsim(sc)
+	case BackendLive:
+		obs, err = runLive(sc)
+	default:
+		err = fmt.Errorf("unknown backend %v", b)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s on %s: %w", sc.Name, b, err)
+	}
+	results := Evaluate(sc, obs)
+	return &Outcome{
+		Scenario: sc,
+		Backend:  b,
+		Obs:      obs,
+		Results:  results,
+		Trace:    renderTrace(sc, results),
+	}, nil
+}
+
+// renderTrace emits the backend-independent deterministic trace.
+func renderTrace(sc *Scenario, results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s seed=%d\n", sc.Name, sc.Seed)
+	for _, ev := range sc.Events {
+		fmt.Fprintf(&b, "event %s\n", renderEvent(ev))
+	}
+	for _, r := range results {
+		fmt.Fprintf(&b, "verdict %s=%s\n", r.Check.Prop, r.Got)
+	}
+	return b.String()
+}
+
+// Diagnose renders the observation record for humans debugging a
+// verdict mismatch. Its output is NOT under the determinism contract.
+func (o *Outcome) Diagnose() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "backend=%s settled=%v violations_post_stable=%d max_overtake=%d min_sessions=%d starving=%v queue_hw=%d",
+		o.Backend, o.Obs.Settled, o.Obs.ExclusionViolations, o.Obs.MaxOvertake,
+		o.Obs.MinWindowsClosed, o.Obs.Starving, o.Obs.QueueHW)
+	if o.Backend != BackendSim {
+		fmt.Fprintf(&b, " pair_depth_hw=%d send_window=%d fallen_outside=%v",
+			o.Obs.PairDepthHW, o.Obs.SendWindow, o.Obs.FallenOutsideBlast)
+	}
+	if o.Obs.InvariantErr != "" {
+		fmt.Fprintf(&b, " invariant_err=%q", o.Obs.InvariantErr)
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package scenario_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// FuzzScenarioParse drives the strict parser with arbitrary bytes. The
+// invariants: Parse never panics; when it accepts an input, the
+// rendered canonical form must itself parse (parse∘render identity on
+// the semantic value), and rendering that reparse must reproduce the
+// canonical bytes exactly (render is a fixpoint). Together these
+// guarantee the corpus files have exactly one canonical spelling and
+// -update style rewrites are loss-free.
+func FuzzScenarioParse(f *testing.F) {
+	// Seed with the real corpus plus the committed valid/truncated/
+	// garbage seeds under testdata/fuzz/FuzzScenarioParse.
+	paths, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.scen"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := scenario.Parse(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		canon := scenario.Render(sc)
+		sc2, err := scenario.Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical render does not reparse: %v\ninput:\n%s\nrender:\n%s", err, data, canon)
+		}
+		canon2 := scenario.Render(sc2)
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("render is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", canon, canon2)
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package scenario_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestLiveBackendOptIn executes every live-declared scenario on real
+// loopback TCP sockets. Live runs are wall-clock and inherently
+// nondeterministic, so they are opt-in twice over: a scenario must
+// declare "backends: live", and the test only runs with
+// SCENARIO_LIVE=1 in the environment (the CI conformance job covers
+// the deterministic backends; this one is for hardware validation).
+func TestLiveBackendOptIn(t *testing.T) {
+	if os.Getenv("SCENARIO_LIVE") == "" {
+		t.Skip("live TCP scenarios are opt-in; set SCENARIO_LIVE=1")
+	}
+	names, data := corpus(t)
+	ran := 0
+	for _, p := range names {
+		sc, err := scenario.Parse(data[p])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Supports(scenario.BackendLive) {
+			continue
+		}
+		ran++
+		t.Run(sc.Name, func(t *testing.T) {
+			out, err := scenario.Run(sc, scenario.BackendLive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range out.Mismatches() {
+				t.Errorf("%s got %s, committed expectation %s (%s)",
+					m.Check.Prop, m.Got, m.Check.Expect, out.Diagnose())
+			}
+		})
+	}
+	if ran == 0 {
+		t.Error("no scenario declares the live backend")
+	}
+}

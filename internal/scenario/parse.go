@@ -1,0 +1,583 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads one scenario file. The format is a strict line-oriented
+// YAML subset (DESIGN S22):
+//
+//	# comment lines and blank lines are ignored
+//	scenario: <name>
+//	summary: <one line of free text>            (optional)
+//	topology: ring 5 | clique 4 | grid 3 3 | path 4 | star 5
+//	seed: 7                                     (optional, default 1)
+//	horizon: 4000
+//	workload: think=4 eat=4                     (optional)
+//	detector: period=10 timeout=120 increment=60 (optional)
+//	options: raw drop=0.1 dup=0.1 window=64 backoff=10 backoffmax=40 (optional)
+//	backends: sim netsim live                   (optional)
+//	events:                                     (optional)
+//	  - at=300 crash 2
+//	  - at=2200 heal
+//	expect:
+//	  - exclusion_clean pass
+//	  - overtake_bound k=2 pass
+//
+// Top-level keys must appear in exactly this order; item lines are
+// exactly two spaces, a dash, and a space. Unknown keys, duplicate
+// keys, out-of-order keys, and trailing tokens are errors — the
+// strictness is what makes Render(Parse(x)) a canonical form. Parse
+// also runs Validate.
+func Parse(data []byte) (*Scenario, error) {
+	sc := &Scenario{
+		Seed: DefaultSeed,
+		Work: Workload{Think: DefaultThink, Eat: DefaultEat},
+		Det:  Detector{Period: DefaultHBPeriod, Timeout: DefaultHBTimeout, Increment: DefaultHBIncrement},
+	}
+	// keyRank enforces the canonical key order; section is the open
+	// item-list ("" none, "events", "expect").
+	rank := -1
+	section := ""
+	sawEvents, sawExpect := false, false
+
+	lines := strings.Split(string(data), "\n")
+	for ln, raw := range lines {
+		lineNo := ln + 1
+		trimmed := strings.TrimSpace(raw)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if strings.HasPrefix(raw, "  - ") {
+			item := strings.TrimSpace(raw[len("  - "):])
+			if item == "" {
+				return nil, fmt.Errorf("line %d: empty item", lineNo)
+			}
+			switch section {
+			case "events":
+				ev, err := parseEvent(item)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				sc.Events = append(sc.Events, ev)
+			case "expect":
+				c, err := parseCheck(item)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				sc.Checks = append(sc.Checks, c)
+			default:
+				return nil, fmt.Errorf("line %d: item line outside events/expect section", lineNo)
+			}
+			continue
+		}
+		if raw != trimmed {
+			return nil, fmt.Errorf("line %d: unexpected indentation", lineNo)
+		}
+		key, val, ok := strings.Cut(trimmed, ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: expected \"key: value\"", lineNo)
+		}
+		val = strings.TrimSpace(val)
+		r, known := keyOrder[key]
+		if !known {
+			return nil, fmt.Errorf("line %d: unknown key %q", lineNo, key)
+		}
+		if r <= rank {
+			return nil, fmt.Errorf("line %d: key %q is out of order or duplicated", lineNo, key)
+		}
+		rank = r
+		section = ""
+		switch key {
+		case "scenario":
+			if err := checkName(val); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			sc.Name = val
+		case "summary":
+			if val == "" {
+				return nil, fmt.Errorf("line %d: empty summary", lineNo)
+			}
+			sc.Summary = val
+		case "topology":
+			topo, err := parseTopology(val)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			sc.Topo = topo
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad seed %q", lineNo, val)
+			}
+			sc.Seed = n
+		case "horizon":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("line %d: bad horizon %q (want a positive tick count)", lineNo, val)
+			}
+			sc.Horizon = n
+		case "workload":
+			if err := parseWorkload(val, &sc.Work); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		case "detector":
+			if err := parseDetector(val, &sc.Det); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		case "options":
+			if err := parseOptions(val, &sc.Opts); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		case "backends":
+			for _, tok := range strings.Fields(val) {
+				b, err := ParseBackend(tok)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				for _, d := range sc.Declared {
+					if d == b {
+						return nil, fmt.Errorf("line %d: duplicate backend %s", lineNo, b)
+					}
+				}
+				sc.Declared = append(sc.Declared, b)
+			}
+			if len(sc.Declared) == 0 {
+				return nil, fmt.Errorf("line %d: empty backends line", lineNo)
+			}
+		case "events":
+			if val != "" {
+				return nil, fmt.Errorf("line %d: events: takes no inline value", lineNo)
+			}
+			section = "events"
+			sawEvents = true
+		case "expect":
+			if val != "" {
+				return nil, fmt.Errorf("line %d: expect: takes no inline value", lineNo)
+			}
+			section = "expect"
+			sawExpect = true
+		}
+	}
+	if sc.Name == "" {
+		return nil, fmt.Errorf("missing scenario: line")
+	}
+	if sc.Topo.Kind == 0 {
+		return nil, fmt.Errorf("missing topology: line")
+	}
+	if sc.Horizon == 0 {
+		return nil, fmt.Errorf("missing horizon: line")
+	}
+	if sawEvents && len(sc.Events) == 0 {
+		return nil, fmt.Errorf("events: section is empty")
+	}
+	if !sawExpect {
+		return nil, fmt.Errorf("missing expect: section")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// keyOrder ranks the canonical top-level key order.
+var keyOrder = map[string]int{
+	"scenario": 0, "summary": 1, "topology": 2, "seed": 3, "horizon": 4,
+	"workload": 5, "detector": 6, "options": 7, "backends": 8,
+	"events": 9, "expect": 10,
+}
+
+func checkName(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty scenario name")
+	}
+	for _, r := range s {
+		ok := r == '-' || r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("scenario name %q contains %q (allowed: letters, digits, '.', '-', '_')", s, r)
+		}
+	}
+	return nil
+}
+
+func parseTopology(val string) (Topology, error) {
+	f := strings.Fields(val)
+	if len(f) == 0 {
+		return Topology{}, fmt.Errorf("empty topology")
+	}
+	atoi := func(s string) (int, error) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("bad topology size %q", s)
+		}
+		return n, nil
+	}
+	switch f[0] {
+	case "ring", "clique", "path", "star":
+		if len(f) != 2 {
+			return Topology{}, fmt.Errorf("topology %s takes one size argument", f[0])
+		}
+		n, err := atoi(f[1])
+		if err != nil {
+			return Topology{}, err
+		}
+		kind := map[string]TopoKind{"ring": TopoRing, "clique": TopoClique, "path": TopoPath, "star": TopoStar}[f[0]]
+		return Topology{Kind: kind, N: n}, nil
+	case "grid":
+		if len(f) != 3 {
+			return Topology{}, fmt.Errorf("topology grid takes rows and cols")
+		}
+		r, err := atoi(f[1])
+		if err != nil {
+			return Topology{}, err
+		}
+		c, err := atoi(f[2])
+		if err != nil {
+			return Topology{}, err
+		}
+		return Topology{Kind: TopoGrid, Rows: r, Cols: c}, nil
+	default:
+		return Topology{}, fmt.Errorf("unknown topology %q (want ring, clique, grid, path, or star)", f[0])
+	}
+}
+
+// kvInt64 parses "key=<int>" returning the value.
+func kvInt64(tok, key string) (int64, bool, error) {
+	k, v, ok := strings.Cut(tok, "=")
+	if !ok || k != key {
+		return 0, false, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad %s value %q", key, v)
+	}
+	return n, true, nil
+}
+
+func parseWorkload(val string, w *Workload) error {
+	for _, tok := range strings.Fields(val) {
+		if n, ok, err := kvInt64(tok, "think"); err != nil {
+			return err
+		} else if ok {
+			if n < 0 {
+				return fmt.Errorf("negative think time")
+			}
+			w.Think = n
+			continue
+		}
+		if n, ok, err := kvInt64(tok, "eat"); err != nil {
+			return err
+		} else if ok {
+			if n <= 0 {
+				return fmt.Errorf("eat time must be positive")
+			}
+			w.Eat = n
+			continue
+		}
+		return fmt.Errorf("unknown workload token %q", tok)
+	}
+	return nil
+}
+
+func parseDetector(val string, d *Detector) error {
+	for _, tok := range strings.Fields(val) {
+		if n, ok, err := kvInt64(tok, "period"); err != nil {
+			return err
+		} else if ok {
+			if n <= 0 {
+				return fmt.Errorf("detector period must be positive")
+			}
+			d.Period = n
+			continue
+		}
+		if n, ok, err := kvInt64(tok, "timeout"); err != nil {
+			return err
+		} else if ok {
+			if n <= 0 {
+				return fmt.Errorf("detector timeout must be positive")
+			}
+			d.Timeout = n
+			continue
+		}
+		if n, ok, err := kvInt64(tok, "increment"); err != nil {
+			return err
+		} else if ok {
+			if n <= 0 {
+				return fmt.Errorf("detector increment must be positive")
+			}
+			d.Increment = n
+			continue
+		}
+		return fmt.Errorf("unknown detector token %q", tok)
+	}
+	return nil
+}
+
+func parseFloat(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad probability %q", s)
+	}
+	return p, nil
+}
+
+func parseOptions(val string, o *Options) error {
+	for _, tok := range strings.Fields(val) {
+		if tok == "raw" {
+			o.Raw = true
+			continue
+		}
+		key, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return fmt.Errorf("unknown options token %q", tok)
+		}
+		switch key {
+		case "drop":
+			p, err := parseFloat(v)
+			if err != nil {
+				return err
+			}
+			o.DropP = p
+		case "dup":
+			p, err := parseFloat(v)
+			if err != nil {
+				return err
+			}
+			o.DupP = p
+		case "window":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad window %q", v)
+			}
+			o.Window = n
+		case "backoff":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad backoff %q", v)
+			}
+			o.Backoff = n
+		case "backoffmax":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad backoffmax %q", v)
+			}
+			o.BackoffMax = n
+		default:
+			return fmt.Errorf("unknown options token %q", tok)
+		}
+	}
+	return nil
+}
+
+// parseProcList parses "0,1,2" into sorted unique process IDs.
+func parseProcList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad process id %q", part)
+		}
+		out = append(out, n)
+	}
+	out = sortedSide(out)
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			return nil, fmt.Errorf("duplicate process id %d", out[i])
+		}
+	}
+	return out, nil
+}
+
+// parseLink parses two distinct endpoint tokens.
+func parseLink(a, b string) (int, int, error) {
+	x, err := strconv.Atoi(a)
+	if err != nil || x < 0 {
+		return 0, 0, fmt.Errorf("bad endpoint %q", a)
+	}
+	y, err := strconv.Atoi(b)
+	if err != nil || y < 0 {
+		return 0, 0, fmt.Errorf("bad endpoint %q", b)
+	}
+	return x, y, nil
+}
+
+func parseEvent(item string) (Event, error) {
+	f := strings.Fields(item)
+	if len(f) < 2 {
+		return Event{}, fmt.Errorf("event %q: want \"at=<tick> <kind> ...\"", item)
+	}
+	at, ok, err := kvInt64(f[0], "at")
+	if err != nil || !ok {
+		return Event{}, fmt.Errorf("event %q must start with at=<tick>", item)
+	}
+	if at < 0 {
+		return Event{}, fmt.Errorf("event %q: negative tick", item)
+	}
+	ev := Event{At: at}
+	kind := f[1]
+	args := f[2:]
+	argc := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("event %q: %s takes %d argument(s), got %d", item, kind, n, len(args))
+		}
+		return nil
+	}
+	switch kind {
+	case "crash", "restart":
+		if err := argc(1); err != nil {
+			return Event{}, err
+		}
+		p, err := strconv.Atoi(args[0])
+		if err != nil || p < 0 {
+			return Event{}, fmt.Errorf("event %q: bad process id %q", item, args[0])
+		}
+		ev.Kind = EventCrash
+		if kind == "restart" {
+			ev.Kind = EventRestart
+		}
+		ev.Procs = []int{p}
+	case "partition":
+		if err := argc(1); err != nil {
+			return Event{}, err
+		}
+		side, err := parseProcList(args[0])
+		if err != nil {
+			return Event{}, fmt.Errorf("event %q: %v", item, err)
+		}
+		ev.Kind = EventPartition
+		ev.Procs = side
+	case "partition-link", "partition-dir", "reset", "stop-drain", "resume-drain":
+		if err := argc(2); err != nil {
+			return Event{}, err
+		}
+		a, b, err := parseLink(args[0], args[1])
+		if err != nil {
+			return Event{}, fmt.Errorf("event %q: %v", item, err)
+		}
+		switch kind {
+		case "partition-link":
+			ev.Kind = EventPartitionLink
+		case "partition-dir":
+			ev.Kind = EventPartitionDir
+		case "reset":
+			ev.Kind = EventReset
+		case "stop-drain":
+			ev.Kind = EventStopDrain
+		case "resume-drain":
+			ev.Kind = EventResumeDrain
+		}
+		ev.A, ev.B = a, b
+	case "truncate":
+		if err := argc(3); err != nil {
+			return Event{}, err
+		}
+		a, b, err := parseLink(args[0], args[1])
+		if err != nil {
+			return Event{}, fmt.Errorf("event %q: %v", item, err)
+		}
+		n, ok, err := kvInt64(args[2], "bytes")
+		if err != nil || !ok || n <= 0 {
+			return Event{}, fmt.Errorf("event %q: want bytes=<n>", item)
+		}
+		ev.Kind = EventTruncate
+		ev.A, ev.B, ev.Bytes = a, b, int(n)
+	case "slow-link":
+		if err := argc(3); err != nil {
+			return Event{}, err
+		}
+		a, b, err := parseLink(args[0], args[1])
+		if err != nil {
+			return Event{}, fmt.Errorf("event %q: %v", item, err)
+		}
+		n, ok, err := kvInt64(args[2], "rate")
+		if err != nil || !ok || n <= 0 {
+			return Event{}, fmt.Errorf("event %q: want rate=<bytes/sec>", item)
+		}
+		ev.Kind = EventSlowLink
+		ev.A, ev.B, ev.Rate = a, b, n
+	case "latency":
+		if err := argc(4); err != nil {
+			return Event{}, err
+		}
+		a, b, err := parseLink(args[0], args[1])
+		if err != nil {
+			return Event{}, fmt.Errorf("event %q: %v", item, err)
+		}
+		lat, ok, err := kvInt64(args[2], "lat")
+		if err != nil || !ok || lat < 0 {
+			return Event{}, fmt.Errorf("event %q: want lat=<ticks>", item)
+		}
+		jit, ok, err := kvInt64(args[3], "jitter")
+		if err != nil || !ok || jit < 0 {
+			return Event{}, fmt.Errorf("event %q: want jitter=<ticks>", item)
+		}
+		ev.Kind = EventLatency
+		ev.A, ev.B, ev.Latency, ev.Jitter = a, b, lat, jit
+	case "burst":
+		if err := argc(2); err != nil {
+			return Event{}, err
+		}
+		until, ok, err := kvInt64(args[0], "until")
+		if err != nil || !ok {
+			return Event{}, fmt.Errorf("event %q: want until=<tick>", item)
+		}
+		k, v, ok2 := strings.Cut(args[1], "=")
+		if !ok2 || k != "drop" {
+			return Event{}, fmt.Errorf("event %q: want drop=<probability>", item)
+		}
+		p, err := parseFloat(v)
+		if err != nil {
+			return Event{}, fmt.Errorf("event %q: %v", item, err)
+		}
+		ev.Kind = EventBurst
+		ev.Until, ev.DropP = until, p
+	case "heal":
+		if err := argc(0); err != nil {
+			return Event{}, err
+		}
+		ev.Kind = EventHeal
+	default:
+		return Event{}, fmt.Errorf("event %q: unknown kind %q", item, kind)
+	}
+	return ev, nil
+}
+
+func parseCheck(item string) (Check, error) {
+	f := strings.Fields(item)
+	if len(f) < 2 {
+		return Check{}, fmt.Errorf("expect %q: want \"<property> [args] <pass|fail>\"", item)
+	}
+	prop, err := ParseProperty(f[0])
+	if err != nil {
+		return Check{}, fmt.Errorf("expect %q: %v", item, err)
+	}
+	verdict, err := ParseVerdict(f[len(f)-1])
+	if err != nil {
+		return Check{}, fmt.Errorf("expect %q: %v", item, err)
+	}
+	c := Check{Prop: prop, K: DefaultOvertakeK, Limit: DefaultQueueLimit, Expect: verdict}
+	for _, tok := range f[1 : len(f)-1] {
+		key, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return Check{}, fmt.Errorf("expect %q: unknown token %q", item, tok)
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return Check{}, fmt.Errorf("expect %q: bad %s value %q", item, key, v)
+		}
+		switch {
+		case key == "k" && prop == PropOvertakeBound:
+			c.K = int(n)
+		case key == "limit" && prop == PropQueueBound:
+			c.Limit = int(n)
+		case key == "by" && prop == PropQuiescence:
+			c.By = n
+		default:
+			return Check{}, fmt.Errorf("expect %q: argument %q does not apply to %s", item, tok, prop)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Render emits the canonical text form of a scenario: exactly the
+// shape Parse accepts, with every defaultable line written explicitly,
+// tokens in fixed order, and no comments. Render is the normal form of
+// the format — Parse(Render(sc)) reproduces sc, and for any input
+// accepted by Parse, render∘parse is a fixpoint (the round-trip law
+// FuzzScenarioParse enforces).
+func Render(sc *Scenario) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: %s\n", sc.Name)
+	if sc.Summary != "" {
+		fmt.Fprintf(&b, "summary: %s\n", sc.Summary)
+	}
+	b.WriteString("topology: ")
+	switch sc.Topo.Kind {
+	case TopoGrid:
+		fmt.Fprintf(&b, "grid %d %d\n", sc.Topo.Rows, sc.Topo.Cols)
+	case TopoRing, TopoClique, TopoPath, TopoStar:
+		fmt.Fprintf(&b, "%s %d\n", sc.Topo.Kind, sc.Topo.N)
+	default:
+		panic(fmt.Sprintf("scenario: render of unknown topology kind %v", sc.Topo.Kind))
+	}
+	fmt.Fprintf(&b, "seed: %d\n", sc.Seed)
+	fmt.Fprintf(&b, "horizon: %d\n", sc.Horizon)
+	fmt.Fprintf(&b, "workload: think=%d eat=%d\n", sc.Work.Think, sc.Work.Eat)
+	fmt.Fprintf(&b, "detector: period=%d timeout=%d increment=%d\n",
+		sc.Det.Period, sc.Det.Timeout, sc.Det.Increment)
+	if opts := renderOptions(sc.Opts); opts != "" {
+		fmt.Fprintf(&b, "options: %s\n", opts)
+	}
+	if len(sc.Declared) > 0 {
+		names := make([]string, len(sc.Declared))
+		for i, d := range sc.Declared {
+			names[i] = d.String()
+		}
+		fmt.Fprintf(&b, "backends: %s\n", strings.Join(names, " "))
+	}
+	if len(sc.Events) > 0 {
+		b.WriteString("events:\n")
+		for _, ev := range sc.Events {
+			fmt.Fprintf(&b, "  - %s\n", renderEvent(ev))
+		}
+	}
+	b.WriteString("expect:\n")
+	for _, c := range sc.Checks {
+		fmt.Fprintf(&b, "  - %s\n", renderCheck(c))
+	}
+	return []byte(b.String())
+}
+
+// fmtProb renders a probability with the shortest exact representation
+// so a render→parse round trip reproduces the same float64.
+func fmtProb(p float64) string {
+	return strconv.FormatFloat(p, 'g', -1, 64)
+}
+
+func renderOptions(o Options) string {
+	var toks []string
+	if o.Raw {
+		toks = append(toks, "raw")
+	}
+	if o.DropP != 0 {
+		toks = append(toks, "drop="+fmtProb(o.DropP))
+	}
+	if o.DupP != 0 {
+		toks = append(toks, "dup="+fmtProb(o.DupP))
+	}
+	if o.Window != 0 {
+		toks = append(toks, fmt.Sprintf("window=%d", o.Window))
+	}
+	if o.Backoff != 0 {
+		toks = append(toks, fmt.Sprintf("backoff=%d", o.Backoff))
+	}
+	if o.BackoffMax != 0 {
+		toks = append(toks, fmt.Sprintf("backoffmax=%d", o.BackoffMax))
+	}
+	return strings.Join(toks, " ")
+}
+
+func renderEvent(ev Event) string {
+	at := fmt.Sprintf("at=%d", ev.At)
+	switch ev.Kind {
+	case EventCrash, EventRestart:
+		return fmt.Sprintf("%s %s %d", at, ev.Kind, ev.Procs[0])
+	case EventPartition:
+		ids := make([]string, len(ev.Procs))
+		for i, p := range ev.Procs {
+			ids[i] = strconv.Itoa(p)
+		}
+		return fmt.Sprintf("%s partition %s", at, strings.Join(ids, ","))
+	case EventPartitionLink, EventPartitionDir, EventReset, EventStopDrain, EventResumeDrain:
+		return fmt.Sprintf("%s %s %d %d", at, ev.Kind, ev.A, ev.B)
+	case EventTruncate:
+		return fmt.Sprintf("%s truncate %d %d bytes=%d", at, ev.A, ev.B, ev.Bytes)
+	case EventSlowLink:
+		return fmt.Sprintf("%s slow-link %d %d rate=%d", at, ev.A, ev.B, ev.Rate)
+	case EventLatency:
+		return fmt.Sprintf("%s latency %d %d lat=%d jitter=%d", at, ev.A, ev.B, ev.Latency, ev.Jitter)
+	case EventBurst:
+		return fmt.Sprintf("%s burst until=%d drop=%s", at, ev.Until, fmtProb(ev.DropP))
+	case EventHeal:
+		return at + " heal"
+	default:
+		panic(fmt.Sprintf("scenario: render of unknown event kind %v", ev.Kind))
+	}
+}
+
+func renderCheck(c Check) string {
+	switch c.Prop {
+	case PropOvertakeBound:
+		return fmt.Sprintf("overtake_bound k=%d %s", c.K, c.Expect)
+	case PropQueueBound:
+		return fmt.Sprintf("queue_bound limit=%d %s", c.Limit, c.Expect)
+	case PropQuiescence:
+		if c.By != 0 {
+			return fmt.Sprintf("quiescence by=%d %s", c.By, c.Expect)
+		}
+		return fmt.Sprintf("quiescence %s", c.Expect)
+	default:
+		return fmt.Sprintf("%s %s", c.Prop, c.Expect)
+	}
+}

@@ -1,0 +1,654 @@
+// Package scenario is the declarative conformance layer: one text
+// scenario file describes a topology, a workload, a fault schedule,
+// a detector configuration, and the paper properties the run must
+// satisfy (◇WX, wait-freedom, ◇2-BW, quiescence, channel/queue
+// bounds), and one engine executes it against any supported backend —
+// the pure deterministic simulator (internal/sim via internal/harness),
+// the virtual-time network (internal/netsim via
+// cluster.RunPlan), or, opt-in, a real TCP loopback cluster.
+//
+// Every scenario doubles as a differential test: a scenario runnable
+// on both deterministic backends must produce the same verdict for
+// every declared property on both, and per-seed runs must render
+// byte-identical traces across repeats (the DESIGN S19 determinism
+// contract extended to this layer; see DESIGN S22).
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Backend names an execution substrate a scenario can bind.
+type Backend int
+
+// Backends, in engine order. Sim and netsim are deterministic; live is
+// wall-clock TCP and opt-in (never selected by default).
+const (
+	// BackendSim is the pure deterministic simulator (internal/sim,
+	// driven through internal/harness).
+	BackendSim Backend = iota + 1
+	// BackendNetsim is the remote stack on the virtual-time in-memory
+	// network (internal/netsim, driven through cluster.RunPlan).
+	BackendNetsim
+	// BackendLive is the remote stack on loopback TCP and the wall
+	// clock. Opt-in: a scenario must declare it in its backends line.
+	BackendLive
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendSim:
+		return "sim"
+	case BackendNetsim:
+		return "netsim"
+	case BackendLive:
+		return "live"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// ParseBackend inverts String.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "sim":
+		return BackendSim, nil
+	case "netsim":
+		return BackendNetsim, nil
+	case "live":
+		return BackendLive, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (want sim, netsim, or live)", s)
+	}
+}
+
+// TopoKind enumerates the topology constructors a scenario may name.
+type TopoKind int
+
+// Topology kinds.
+const (
+	// TopoRing is graph.Ring(N).
+	TopoRing TopoKind = iota + 1
+	// TopoClique is graph.Clique(N).
+	TopoClique
+	// TopoGrid is graph.Grid(Rows, Cols).
+	TopoGrid
+	// TopoPath is graph.Path(N).
+	TopoPath
+	// TopoStar is graph.Star(N).
+	TopoStar
+)
+
+// String implements fmt.Stringer.
+func (k TopoKind) String() string {
+	switch k {
+	case TopoRing:
+		return "ring"
+	case TopoClique:
+		return "clique"
+	case TopoGrid:
+		return "grid"
+	case TopoPath:
+		return "path"
+	case TopoStar:
+		return "star"
+	default:
+		return fmt.Sprintf("topokind(%d)", int(k))
+	}
+}
+
+// Topology is a parsed topology line.
+type Topology struct {
+	Kind TopoKind
+	// N is the vertex count for ring/clique/path/star.
+	N int
+	// Rows, Cols apply to grid.
+	Rows, Cols int
+}
+
+// Build constructs the conflict graph.
+func (t Topology) Build() *graph.Graph {
+	switch t.Kind {
+	case TopoRing:
+		return graph.Ring(t.N)
+	case TopoClique:
+		return graph.Clique(t.N)
+	case TopoGrid:
+		return graph.Grid(t.Rows, t.Cols)
+	case TopoPath:
+		return graph.Path(t.N)
+	case TopoStar:
+		return graph.Star(t.N)
+	default:
+		panic(fmt.Sprintf("scenario: unknown topology kind %v", t.Kind))
+	}
+}
+
+// Procs returns the process count of the topology.
+func (t Topology) Procs() int {
+	switch t.Kind {
+	case TopoRing, TopoClique, TopoPath, TopoStar:
+		return t.N
+	case TopoGrid:
+		return t.Rows * t.Cols
+	default:
+		panic(fmt.Sprintf("scenario: unknown topology kind %v", t.Kind))
+	}
+}
+
+// EventKind enumerates the fault/chaos operations of the scenario
+// vocabulary. Each backend supports a subset; see Supports.
+type EventKind int
+
+// Event kinds. Times are in ticks: 1 tick is 1 sim.Time unit on the
+// sim backend and 1 millisecond of virtual (respectively wall) time on
+// the netsim (respectively live) backend.
+const (
+	// EventCrash crashes process Procs[0] (on netsim/live: the node
+	// hosting it). Supported everywhere.
+	EventCrash EventKind = iota + 1
+	// EventRestart reboots the crashed process's node with a fresh
+	// incarnation. Netsim only (the sim runner has no crash recovery
+	// and TCP restarts would change the ephemeral port).
+	EventRestart
+	// EventPartition cuts the processes in Procs from the complement
+	// until the heal. Both deterministic backends (sim: timed
+	// bipartition; netsim: pairwise blackholed links).
+	EventPartition
+	// EventPartitionLink blackholes one link A–B. Netsim only.
+	EventPartitionLink
+	// EventPartitionDir blackholes only direction A→B. Netsim only.
+	EventPartitionDir
+	// EventReset kills every live connection between A and B. Netsim
+	// only.
+	EventReset
+	// EventTruncate drops Bytes queued bytes from A–B streams. Netsim
+	// only.
+	EventTruncate
+	// EventSlowLink throttles A–B to Rate bytes/sec. Netsim only.
+	EventSlowLink
+	// EventStopDrain freezes the consuming ends of A–B streams. Netsim
+	// only.
+	EventStopDrain
+	// EventResumeDrain undoes EventStopDrain. Netsim only.
+	EventResumeDrain
+	// EventLatency sets latency/jitter on link A–B. Netsim only (the
+	// sim backend's delay model is uniform [1,4] ticks by design).
+	EventLatency
+	// EventBurst opens a high-loss window [At, Until) with drop
+	// probability DropP on every channel. Sim only.
+	EventBurst
+	// EventHeal ends every fault: sim FaultPlan.HealAt, netsim
+	// heal-all. At most one per scenario, after every other event.
+	EventHeal
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventCrash:
+		return "crash"
+	case EventRestart:
+		return "restart"
+	case EventPartition:
+		return "partition"
+	case EventPartitionLink:
+		return "partition-link"
+	case EventPartitionDir:
+		return "partition-dir"
+	case EventReset:
+		return "reset"
+	case EventTruncate:
+		return "truncate"
+	case EventSlowLink:
+		return "slow-link"
+	case EventStopDrain:
+		return "stop-drain"
+	case EventResumeDrain:
+		return "resume-drain"
+	case EventLatency:
+		return "latency"
+	case EventBurst:
+		return "burst"
+	case EventHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("eventkind(%d)", int(k))
+	}
+}
+
+// Event is one scripted fault at tick At.
+type Event struct {
+	At   int64
+	Kind EventKind
+	// Procs is the crash/restart victim ([0]) or the partition side.
+	Procs []int
+	// A, B name link endpoints (process IDs; on netsim, node indices,
+	// which coincide under the 1-process-per-node placement).
+	A, B int
+	// Until is the end tick of a burst window.
+	Until int64
+	// DropP is the burst loss probability.
+	DropP float64
+	// Latency, Jitter (ticks) apply to EventLatency.
+	Latency, Jitter int64
+	// Bytes applies to EventTruncate.
+	Bytes int
+	// Rate (bytes/sec) applies to EventSlowLink.
+	Rate int64
+}
+
+// Property enumerates the checkable paper properties.
+type Property int
+
+// Properties. Each maps to a theorem or resource claim of the paper;
+// see DESIGN S22 for the exact verdict semantics.
+const (
+	// PropExclusionClean is ◇WX (Theorem 1): the stabilization anchor
+	// settles and no two live neighbors eat simultaneously after it.
+	PropExclusionClean Property = iota + 1
+	// PropWaitFreedom is Theorem 2: no live process is starving at the
+	// end, and every live process completes at least two bounded-
+	// waiting windows after the heal.
+	PropWaitFreedom
+	// PropOvertakeBound is ◇2-BW (Theorem 3): no bounded-waiting
+	// window starting after the anchor exceeds K overtakes.
+	PropOvertakeBound
+	// PropQuiescence is the Section 7 claim that sends to crashed
+	// processes cease: quiescent by tick By. Sim only (the remote
+	// stack has no per-recipient send census).
+	PropQuiescence
+	// PropQueueBound bounds the per-edge application-message
+	// occupancy high water by Limit (Section 7's ≤4, measured loosely
+	// on the remote stack where cumulative-ack latency inflates it).
+	PropQueueBound
+	// PropPairDepthBound requires the per-ordered-pair ARQ queue high
+	// water to stay within the configured send window. Netsim/live
+	// only.
+	PropPairDepthBound
+	// PropContainment requires that no process outside a crash/restart
+	// blast radius fell over or recorded a protocol-invariant error.
+	PropContainment
+)
+
+// String implements fmt.Stringer.
+func (p Property) String() string {
+	switch p {
+	case PropExclusionClean:
+		return "exclusion_clean"
+	case PropWaitFreedom:
+		return "wait_freedom"
+	case PropOvertakeBound:
+		return "overtake_bound"
+	case PropQuiescence:
+		return "quiescence"
+	case PropQueueBound:
+		return "queue_bound"
+	case PropPairDepthBound:
+		return "pair_depth_bound"
+	case PropContainment:
+		return "containment"
+	default:
+		return fmt.Sprintf("property(%d)", int(p))
+	}
+}
+
+// Properties lists every property in declaration order (the checker
+// registry; tests iterate it to prove each checker can reject).
+func Properties() []Property {
+	return []Property{
+		PropExclusionClean, PropWaitFreedom, PropOvertakeBound,
+		PropQuiescence, PropQueueBound, PropPairDepthBound,
+		PropContainment,
+	}
+}
+
+// ParseProperty inverts Property.String.
+func ParseProperty(s string) (Property, error) {
+	for _, p := range Properties() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown property %q", s)
+}
+
+// Verdict is a property outcome.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictPass means the property held on this run.
+	VerdictPass Verdict = iota + 1
+	// VerdictFail means it did not.
+	VerdictFail
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictFail:
+		return "fail"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// ParseVerdict inverts Verdict.String.
+func ParseVerdict(s string) (Verdict, error) {
+	switch s {
+	case "pass":
+		return VerdictPass, nil
+	case "fail":
+		return VerdictFail, nil
+	default:
+		return 0, fmt.Errorf("unknown verdict %q (want pass or fail)", s)
+	}
+}
+
+// Check is one expected-property line: a property, its arguments, and
+// the committed expected verdict (the golden the -update flag of
+// cmd/scenario refreshes).
+type Check struct {
+	Prop Property
+	// K is the overtake bound (PropOvertakeBound; default 2).
+	K int
+	// Limit is the occupancy bound (PropQueueBound; default 8).
+	Limit int
+	// By is the quiescence deadline in ticks (PropQuiescence; default
+	// 3/4 of the horizon, resolved at run time when zero).
+	By int64
+	// Expect is the committed expected verdict.
+	Expect Verdict
+}
+
+// Workload is the hunger/eating schedule: fixed think and eat times in
+// ticks (every process is permanently re-hungry — the saturated
+// workload all fairness claims are checked under).
+type Workload struct {
+	Think, Eat int64
+}
+
+// Detector is the ◇P₁ heartbeat configuration in ticks.
+type Detector struct {
+	Period, Timeout, Increment int64
+}
+
+// Options are backend tuning knobs.
+type Options struct {
+	// Raw runs the sim backend on raw faulty channels instead of
+	// layering the rlink retransmission sublayer (the negative-control
+	// mode of E11). Sim only.
+	Raw bool
+	// DropP/DupP are per-message loss/duplication probabilities on
+	// every channel until the heal. Sim only (netsim's streams are
+	// TCP-like; loss lives below its byte-stream abstraction).
+	DropP, DupP float64
+	// Window overrides the per-pair ARQ send window. Netsim/live only.
+	Window int
+	// Backoff/BackoffMax override the dial backoff schedule, in ticks.
+	// Netsim/live only.
+	Backoff, BackoffMax int64
+}
+
+// Scenario is one parsed scenario file.
+type Scenario struct {
+	Name    string
+	Summary string
+	Topo    Topology
+	Seed    int64
+	Horizon int64
+	Work    Workload
+	Det     Detector
+	Opts    Options
+	// Declared restricts the runnable backends beyond what the
+	// capability rules allow; empty means "sim netsim" (live is always
+	// opt-in).
+	Declared []Backend
+	Events   []Event
+	Checks   []Check
+}
+
+// Defaults mirror the chaos-soak tuning (soak.go): the netsim backend
+// uses these values as durations in milliseconds, the sim backend as
+// sim.Time ticks.
+const (
+	DefaultSeed         = 1
+	DefaultThink        = 4
+	DefaultEat          = 4
+	DefaultHBPeriod     = 10
+	DefaultHBTimeout    = 120
+	DefaultHBIncrement  = 60
+	DefaultOvertakeK    = 2
+	DefaultQueueLimit   = 8
+	anchorBudget        = 8 // anchor-seeking iterations, as in RunPlan
+	minWindowsPostHeal  = 2 // wait-freedom teeth: closed windows per live proc
+)
+
+// HealAt returns the heal tick and whether the scenario has one.
+func (sc *Scenario) HealAt() (int64, bool) {
+	for _, ev := range sc.Events {
+		if ev.Kind == EventHeal {
+			return ev.At, true
+		}
+	}
+	return 0, false
+}
+
+// Graph builds the conflict graph.
+func (sc *Scenario) Graph() *graph.Graph { return sc.Topo.Build() }
+
+// check returns the scenario's check for property p, if declared.
+func (sc *Scenario) check(p Property) (Check, bool) {
+	for _, c := range sc.Checks {
+		if c.Prop == p {
+			return c, true
+		}
+	}
+	return Check{}, false
+}
+
+// OvertakeK returns the bound the anchor search and the ◇2-BW check
+// use: the declared overtake_bound k, or the paper's 2.
+func (sc *Scenario) OvertakeK() int {
+	if c, ok := sc.check(PropOvertakeBound); ok && c.K > 0 {
+		return c.K
+	}
+	return DefaultOvertakeK
+}
+
+// eventSupported reports whether backend b can execute event kind k.
+func eventSupported(b Backend, k EventKind) bool {
+	switch k {
+	case EventCrash, EventHeal:
+		return true
+	case EventPartition:
+		return b == BackendSim || b == BackendNetsim
+	case EventBurst:
+		return b == BackendSim
+	case EventRestart, EventPartitionLink, EventPartitionDir, EventReset,
+		EventTruncate, EventSlowLink, EventStopDrain, EventResumeDrain,
+		EventLatency:
+		return b == BackendNetsim
+	default:
+		return false
+	}
+}
+
+// propSupported reports whether backend b can evaluate property p.
+func propSupported(b Backend, p Property) bool {
+	switch p {
+	case PropQuiescence:
+		return b == BackendSim
+	case PropPairDepthBound:
+		return b == BackendNetsim || b == BackendLive
+	case PropExclusionClean, PropWaitFreedom, PropOvertakeBound,
+		PropQueueBound, PropContainment:
+		return true
+	default:
+		return false
+	}
+}
+
+// Supports reports whether the scenario can run on backend b: every
+// event and property must be executable there, options must apply, and
+// the declared backends line (when present) must include it. Live is
+// additionally always opt-in.
+func (sc *Scenario) Supports(b Backend) bool {
+	if len(sc.Declared) > 0 {
+		found := false
+		for _, d := range sc.Declared {
+			if d == b {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+	} else if b == BackendLive {
+		return false
+	}
+	for _, ev := range sc.Events {
+		if !eventSupported(b, ev.Kind) {
+			return false
+		}
+	}
+	for _, c := range sc.Checks {
+		if !propSupported(b, c.Prop) {
+			return false
+		}
+	}
+	switch b {
+	case BackendSim:
+		if sc.Opts.Window != 0 || sc.Opts.Backoff != 0 || sc.Opts.BackoffMax != 0 {
+			return false
+		}
+	case BackendNetsim, BackendLive:
+		if sc.Opts.Raw || sc.Opts.DropP != 0 || sc.Opts.DupP != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RunnableBackends lists the backends the scenario supports, in enum
+// order.
+func (sc *Scenario) RunnableBackends() []Backend {
+	var out []Backend
+	for _, b := range []Backend{BackendSim, BackendNetsim, BackendLive} {
+		if sc.Supports(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Differential reports whether the scenario is under the cross-backend
+// differential contract: runnable on both deterministic backends.
+func (sc *Scenario) Differential() bool {
+	return sc.Supports(BackendSim) && sc.Supports(BackendNetsim)
+}
+
+// Validate checks structural consistency beyond what parsing enforces
+// locally: process IDs in range, events ordered and inside the
+// horizon, a single final heal, restarts only of crashed processes,
+// and at least one runnable backend.
+func (sc *Scenario) Validate() error {
+	n := sc.Topo.Procs()
+	if n < 2 {
+		return fmt.Errorf("topology has %d processes, need at least 2", n)
+	}
+	if sc.Horizon <= 0 {
+		return fmt.Errorf("horizon must be positive, got %d", sc.Horizon)
+	}
+	if len(sc.Checks) == 0 {
+		return fmt.Errorf("expect section is empty")
+	}
+	seen := make(map[Property]bool)
+	for _, c := range sc.Checks {
+		if seen[c.Prop] {
+			return fmt.Errorf("duplicate expect line for %s", c.Prop)
+		}
+		seen[c.Prop] = true
+	}
+	inRange := func(p int) bool { return p >= 0 && p < n }
+	healSeen := false
+	crashed := make(map[int]bool)
+	var prev int64
+	for i, ev := range sc.Events {
+		if ev.At < prev {
+			return fmt.Errorf("event %d (%s) at tick %d is out of order (previous %d)", i, ev.Kind, ev.At, prev)
+		}
+		prev = ev.At
+		if ev.At < 0 || ev.At > sc.Horizon {
+			return fmt.Errorf("event %d (%s) at tick %d is outside [0, horizon=%d]", i, ev.Kind, ev.At, sc.Horizon)
+		}
+		if healSeen {
+			return fmt.Errorf("event %d (%s) follows the heal; heal must be last", i, ev.Kind)
+		}
+		switch ev.Kind {
+		case EventHeal:
+			healSeen = true
+		case EventCrash:
+			p := ev.Procs[0]
+			if !inRange(p) {
+				return fmt.Errorf("event %d: crash of out-of-range process %d", i, p)
+			}
+			if crashed[p] {
+				return fmt.Errorf("event %d: process %d crashed while already down", i, p)
+			}
+			crashed[p] = true
+		case EventRestart:
+			p := ev.Procs[0]
+			if !inRange(p) {
+				return fmt.Errorf("event %d: restart of out-of-range process %d", i, p)
+			}
+			if !crashed[p] {
+				return fmt.Errorf("event %d: restart of process %d, which is not down", i, p)
+			}
+			delete(crashed, p)
+		case EventPartition:
+			if len(ev.Procs) == 0 || len(ev.Procs) >= n {
+				return fmt.Errorf("event %d: partition side must be a nonempty proper subset", i)
+			}
+			for _, p := range ev.Procs {
+				if !inRange(p) {
+					return fmt.Errorf("event %d: partition of out-of-range process %d", i, p)
+				}
+			}
+		case EventPartitionLink, EventPartitionDir, EventReset, EventTruncate,
+			EventSlowLink, EventStopDrain, EventResumeDrain, EventLatency:
+			if !inRange(ev.A) || !inRange(ev.B) || ev.A == ev.B {
+				return fmt.Errorf("event %d (%s): bad link endpoints %d-%d", i, ev.Kind, ev.A, ev.B)
+			}
+		case EventBurst:
+			if ev.Until <= ev.At || ev.Until > sc.Horizon {
+				return fmt.Errorf("event %d: burst window [%d, %d) is empty or outside the horizon", i, ev.At, ev.Until)
+			}
+			if ev.DropP < 0 || ev.DropP > 1 {
+				return fmt.Errorf("event %d: burst drop probability %v outside [0, 1]", i, ev.DropP)
+			}
+		}
+	}
+	if sc.Opts.DropP < 0 || sc.Opts.DropP > 1 || sc.Opts.DupP < 0 || sc.Opts.DupP > 1 {
+		return fmt.Errorf("options drop/dup probabilities must lie in [0, 1]")
+	}
+	if len(sc.RunnableBackends()) == 0 {
+		return fmt.Errorf("no backend supports this scenario (sim-only and netsim-only constructs are mixed, or the backends line excludes all capable backends)")
+	}
+	return nil
+}
+
+// sortedSide returns a sorted copy of a partition side.
+func sortedSide(ps []int) []int {
+	out := make([]int, len(ps))
+	copy(out, ps)
+	sort.Ints(out)
+	return out
+}
