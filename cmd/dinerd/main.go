@@ -33,6 +33,19 @@
 // cleanly; from its peers' point of view that is indistinguishable
 // from a crash, which is exactly the failure model the algorithm
 // tolerates.
+//
+// -dsvc additionally serves the dining-as-a-service session API
+// (internal/dsvcd) under /v1/ on the same mux: clients register
+// resources, add and remove conflict edges at runtime, and acquire
+// sessions over resource sets with a long-poll on the grant. Exactly
+// one node of a cluster hosts the engine; the others forward with
+// -dsvc-coordinator:
+//
+//	dinerd -topology ring3.topo -node 0 -http 127.0.0.1:8000 -dsvc
+//	dinerd -topology ring3.topo -node 1 -http 127.0.0.1:8001 -dsvc-coordinator http://127.0.0.1:8000
+//	dinerd -topology ring3.topo -node 2 -http 127.0.0.1:8002 -dsvc-coordinator http://127.0.0.1:8000
+//
+// so any node answers /v1/* (see README for a curl transcript).
 package main
 
 import (
@@ -46,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dsvcd"
 	"repro/internal/remote"
 )
 
@@ -71,6 +85,8 @@ func run(argv []string) error {
 		wedge     = fs.Duration("wedge-budget", 0, "watchdog no-progress budget before a wedged process or peer manager is torn down (0 = default 2s)")
 		seed      = fs.Int64("seed", 1, "seed for retransmission/dial jitter")
 		verbose   = fs.Bool("v", false, "log transport and detector events")
+		dsvcOn    = fs.Bool("dsvc", false, "host the dining-as-a-service engine and serve its /v1/* API on -http")
+		dsvcCoord = fs.String("dsvc-coordinator", "", "forward /v1/* to the dsvc coordinator at this base URL")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -78,6 +94,12 @@ func run(argv []string) error {
 	if *topoPath == "" || *nodeIdx < 0 {
 		fs.Usage()
 		return fmt.Errorf("-topology and -node are required")
+	}
+	if *dsvcOn && *dsvcCoord != "" {
+		return fmt.Errorf("-dsvc and -dsvc-coordinator are mutually exclusive (one node hosts the engine)")
+	}
+	if (*dsvcOn || *dsvcCoord != "") && *httpAddr == "" {
+		return fmt.Errorf("-dsvc requires -http (the API rides the status mux)")
 	}
 
 	f, err := os.Open(*topoPath)
@@ -122,16 +144,40 @@ func run(argv []string) error {
 	}
 	logger.Printf("listening on %s, hosting processes %v", node.Addr(), topo.Nodes[*nodeIdx].Procs)
 
+	// Compose the HTTP surface: the node's own /status (+pprof), plus the
+	// dining-as-a-service /v1/* API when enabled — served by the local
+	// engine on the coordinator, forwarded to it everywhere else.
+	var svc *dsvcd.Service
+	handler := http.Handler(node.Handler())
+	switch {
+	case *dsvcOn:
+		svc = dsvcd.New(dsvcd.Config{Logf: logger.Printf})
+		svc.Start()
+		handler = dsvcd.Compose(svc.Handler(), handler)
+		logger.Printf("dsvc engine on /v1/")
+	case *dsvcCoord != "":
+		proxy, perr := dsvcd.Proxy(*dsvcCoord)
+		if perr != nil {
+			node.Stop()
+			return fmt.Errorf("-dsvc-coordinator: %w", perr)
+		}
+		handler = dsvcd.Compose(proxy, handler)
+		logger.Printf("dsvc proxy -> %s", *dsvcCoord)
+	}
+
 	var httpLn net.Listener
 	if *httpAddr != "" {
 		httpLn, err = net.Listen("tcp", *httpAddr)
 		if err != nil {
+			if svc != nil {
+				svc.Stop()
+			}
 			node.Stop()
 			return err
 		}
 		logger.Printf("status on http://%s/status", httpLn.Addr())
 		go func() {
-			if serr := http.Serve(httpLn, node.Handler()); serr != nil {
+			if serr := http.Serve(httpLn, handler); serr != nil {
 				logger.Printf("http server stopped: %v", serr)
 			}
 		}()
@@ -143,6 +189,9 @@ func run(argv []string) error {
 	logger.Printf("received %v, shutting down", sig)
 	if httpLn != nil {
 		httpLn.Close()
+	}
+	if svc != nil {
+		svc.Stop()
 	}
 	node.Stop()
 	if err := node.Err(); err != nil {

@@ -12,6 +12,7 @@
 //	scenario -run 'ring*'                   # both deterministic backends
 //	scenario -run grid9-quiet -backend sim
 //	scenario -run ring5-kill-node -seed 7
+//	scenario -run 'dsvc-*' -backend dsvc    # dining-as-a-service churn scenarios
 //	scenario -run 'netsim-*' -update        # refresh expected-verdict goldens
 //
 // With -backend both (the default), every scenario runnable on both
@@ -43,7 +44,7 @@ func run(args []string) error {
 	dir := fs.String("dir", "internal/scenario/testdata/scenarios", "scenario corpus directory")
 	list := fs.Bool("list", false, "list scenarios and exit")
 	runGlob := fs.String("run", "", "glob of scenario names to run (e.g. 'ring*')")
-	backend := fs.String("backend", "both", "backend: sim, netsim, live, or both (sim+netsim)")
+	backend := fs.String("backend", "both", "backend: sim, netsim, live, dsvc, or both (sim+netsim)")
 	seed := fs.String("seed", "", "override the scenario seed")
 	update := fs.Bool("update", false, "rewrite each run scenario's expect verdicts to the observed ones")
 	verbose := fs.Bool("v", false, "print per-run diagnostics")
@@ -217,14 +218,14 @@ func selectBackends(s string) ([]scenario.Backend, error) {
 	switch s {
 	case "both":
 		return []scenario.Backend{scenario.BackendSim, scenario.BackendNetsim}, nil
-	case "sim", "netsim", "live":
+	case "sim", "netsim", "live", "dsvc":
 		b, err := scenario.ParseBackend(s)
 		if err != nil {
 			return nil, err
 		}
 		return []scenario.Backend{b}, nil
 	default:
-		return nil, fmt.Errorf("bad -backend %q (want sim, netsim, live, or both)", s)
+		return nil, fmt.Errorf("bad -backend %q (want sim, netsim, live, dsvc, or both)", s)
 	}
 }
 

@@ -54,6 +54,7 @@ var Scope = []string{
 	"repro/internal/backoff",
 	"repro/internal/vclock",
 	"repro/internal/scenario",
+	"repro/internal/dsvc",
 }
 
 // forbiddenTimeFuncs are the wall-clock entry points of package time.

@@ -48,6 +48,7 @@ var Scope = []string{
 	"repro/internal/remote",
 	"repro/internal/netsim",
 	"repro/internal/live",
+	"repro/internal/dsvcd",
 }
 
 // Analyzer is the golifecycle analysis.

@@ -40,6 +40,15 @@ var EnumTypes = map[string]bool{
 	"repro/internal/scenario.EventKind": true,
 	"repro/internal/scenario.Property":  true,
 	"repro/internal/scenario.Verdict":   true,
+	// The dining-as-a-service lifecycle alphabets: a switch that
+	// silently skipped a session state or change kind would let a
+	// graph transition or a client-visible lifecycle step go
+	// unhandled.
+	"repro/internal/dsvc.SessionState": true,
+	"repro/internal/dsvc.ChangeKind":   true,
+	// The netsim fault repertoire: every chaos kind must be executed
+	// (or loudly rejected) by each plan interpreter.
+	"repro/internal/netsim.ChaosKind": true,
 }
 
 // Analyzer is the kindexhaustive analysis.

@@ -40,6 +40,8 @@ var Scope = []string{
 	"repro/internal/wire",
 	"repro/internal/sweep",
 	"repro/internal/scenario",
+	"repro/internal/dsvc",
+	"repro/internal/dsvcd",
 	"repro/dining",
 }
 

@@ -55,6 +55,7 @@ import (
 var Scope = []string{
 	"repro/internal/remote",
 	"repro/internal/live",
+	"repro/internal/dsvcd",
 }
 
 // Analyzer is the mailboxown analysis.

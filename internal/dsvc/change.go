@@ -1,0 +1,411 @@
+package dsvc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// The session-drain protocol. A graph change never mutates a live
+// edge: it is STAGED, the affected diners are parked (no new
+// activations) and drained to Thinking, the incident message queues
+// empty, and only then does the change COMMIT — re-deriving fork/token
+// placement from the new colors exactly as core.NewDiner does at boot.
+// Changes are serialized (one staged at a time, FIFO queue behind it),
+// so a plan computed at stage time stays valid through its commit.
+//
+// Affected set of a change:
+//   - add-edge u,v: {u, v} ∪ {recolored vertex} ∪ neighbors(recolored)
+//   - del-edge u,v: {u, v} ∪ recolored endpoints' neighborhoods
+//   - del-proc  u : {u} ∪ neighbors(u)
+//
+// (a SetColor re-derives every edge of the recolored vertex, so each
+// of its neighbors must also be quiescent — they adopt the new color
+// via SetNeighborColor, resetting their half of the shared edge.)
+//
+// Drain kicks: a parked diner that is Hungry is recalled with
+// AbortHungry; one that is Eating on behalf of a not-yet-granted
+// session is forced out with ExitEating (the client only owns the
+// critical section from Granted, so pre-grant eating is just internal
+// lock acquisition and may be rewound). A GRANTED session is never
+// interrupted: the commit waits for the client's release. Exclusion is
+// therefore never violated mid-transition — both endpoints of every
+// mutated edge are Thinking and message-quiescent at the commit
+// instant, and the monitors switch graphs at that same instant.
+
+// ChangeKind enumerates the staged graph-change repertoire.
+type ChangeKind int
+
+const (
+	// ChangeAddEdge adds a conflict edge (with incremental recoloring).
+	ChangeAddEdge ChangeKind = iota + 1
+	// ChangeDelEdge removes a conflict edge (priorities decay).
+	ChangeDelEdge
+	// ChangeDelProc deregisters a resource, removing all its edges.
+	ChangeDelProc
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeAddEdge:
+		return "add-edge"
+	case ChangeDelEdge:
+		return "del-edge"
+	case ChangeDelProc:
+		return "del-proc"
+	default:
+		return fmt.Sprintf("changekind(%d)", int(k))
+	}
+}
+
+// change is one staged graph mutation.
+type change struct {
+	kind     ChangeKind
+	u, v     int // edge endpoints; v = -1 for ChangeDelProc
+	plan     []graph.Recolor
+	affected []int // sorted vertex ids parked by this change
+}
+
+func (c *change) String() string {
+	if c.kind == ChangeDelProc {
+		return fmt.Sprintf("%v %d", c.kind, c.u)
+	}
+	return fmt.Sprintf("%v %d-%d", c.kind, c.u, c.v)
+}
+
+// enqueueChange appends a change and stages it immediately if nothing
+// is in flight.
+func (e *Engine) enqueueChange(c *change) {
+	e.changeQ = append(e.changeQ, c)
+	e.auditf("change %v queued", c)
+	e.maybeCommit()
+	e.schedule()
+}
+
+// stageNext pops queued changes until one validates and stages, or the
+// queue empties. Returns whether a change is now staged.
+func (e *Engine) stageNext() bool {
+	for e.staged == nil && len(e.changeQ) > 0 {
+		c := e.changeQ[0]
+		e.changeQ = e.changeQ[1:]
+		if e.stage(c) {
+			return true
+		}
+	}
+	return e.staged != nil
+}
+
+// stage validates a change against the current committed graph,
+// computes its recolor plan and affected set, parks the affected
+// resources, and kicks the drain. Invalid changes (made moot by
+// earlier commits) are dropped with an audit note.
+func (e *Engine) stage(c *change) bool {
+	switch c.kind {
+	case ChangeAddEdge:
+		if !e.vertexLive(c.u) || !e.vertexLive(c.v) || e.g.HasEdge(c.u, c.v) {
+			e.auditf("change %v dropped (stale)", c)
+			return false
+		}
+		c.plan = e.g.PlanAddEdge(e.colors, c.u, c.v)
+	case ChangeDelEdge:
+		if !e.g.HasEdge(c.u, c.v) {
+			e.auditf("change %v dropped (stale)", c)
+			return false
+		}
+		c.plan = e.g.PlanRemoveEdge(e.colors, c.u, c.v)
+	case ChangeDelProc:
+		if !e.vertexLive(c.u) {
+			e.auditf("change %v dropped (stale)", c)
+			return false
+		}
+	default:
+		e.invariant("unknown change kind %v", c.kind)
+		return false
+	}
+	c.affected = e.affectedSet(c)
+	e.staged = c
+	for _, v := range c.affected {
+		if r := e.resByID[v]; r != nil {
+			r.parked = true
+		}
+	}
+	e.auditf("change %v staged (affects %v)", c, c.affected)
+	e.drainKick(c)
+	return true
+}
+
+func (e *Engine) vertexLive(v int) bool {
+	return v >= 0 && v < len(e.resByID) && e.resByID[v] != nil
+}
+
+// affectedSet computes the sorted set of vertices a change touches.
+func (e *Engine) affectedSet(c *change) []int {
+	in := make(map[int]bool)
+	add := func(v int) { in[v] = true }
+	add(c.u)
+	if c.kind != ChangeDelProc {
+		add(c.v)
+	}
+	if c.kind == ChangeDelProc {
+		for _, j := range e.g.Neighbors(c.u) {
+			add(j)
+		}
+	}
+	for _, r := range c.plan {
+		add(r.Vertex)
+		for _, j := range e.g.Neighbors(r.Vertex) {
+			add(j)
+		}
+	}
+	out := make([]int, 0, len(in))
+	for v := 0; v < len(e.resByID); v++ {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// drainKick recalls the affected diners: hungry ones abort, eating
+// ones of not-yet-granted sessions exit. Eating members of granted
+// sessions are left alone — the commit waits for the release.
+func (e *Engine) drainKick(c *change) {
+	for _, v := range c.affected {
+		r := e.resByID[v]
+		if r == nil || r.crashed {
+			continue
+		}
+		switch r.diner.State() {
+		case core.Hungry:
+			e.act(r, r.diner.AbortHungry)
+		case core.Eating:
+			if r.owner != nil && r.owner.state == SessionGranted {
+				continue // client owns the critical section; wait for release
+			}
+			e.act(r, r.diner.ExitEating)
+		case core.Thinking:
+			// Already drained.
+		default:
+			e.invariant("resource %q in unknown diner state", r.name)
+		}
+	}
+}
+
+// drained reports whether the staged change can commit: every affected
+// diner is Thinking (or crashed — a restart rebuilds it from the
+// committed graph anyway) and every queue incident to an affected
+// vertex is empty.
+func (e *Engine) drained(c *change) bool {
+	in := make(map[int]bool, len(c.affected))
+	for _, v := range c.affected {
+		in[v] = true
+		r := e.resByID[v]
+		if r == nil || r.crashed {
+			continue
+		}
+		if r.diner.State() != core.Thinking {
+			return false
+		}
+	}
+	for _, q := range e.queues {
+		if q.dead || len(q.msgs) == 0 {
+			continue
+		}
+		if in[q.from] || in[q.to] {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeCommit commits the staged change if drained, then stages the
+// next queued change (which may itself commit immediately if its
+// affected set is already quiescent), and reschedules.
+func (e *Engine) maybeCommit() {
+	for {
+		if e.staged == nil && !e.stageNext() {
+			return
+		}
+		c := e.staged
+		if !e.drained(c) {
+			return
+		}
+		e.commit(c)
+		e.staged = nil
+		e.schedule()
+	}
+}
+
+// commit applies a drained change: diners first (mutations require the
+// Thinking precondition the drain established), then the graph, the
+// queues, and the monitors — all at one instant.
+func (e *Engine) commit(c *change) {
+	switch c.kind {
+	case ChangeAddEdge:
+		e.applyRecolors(c.plan)
+		e.mustGraph(e.g.AddEdge(c.u, c.v))
+		e.spliceDiners(c.u, c.v)
+		e.openQueue(c.u, c.v)
+		e.openQueue(c.v, c.u)
+		e.excl.AddEdge(c.u, c.v)
+		// A pending/active session holding both endpoints could never be
+		// granted once they conflict; fail it so the client re-acquires.
+		e.failSessionsContaining(c.u, c.v)
+	case ChangeDelEdge:
+		e.severDiners(c.u, c.v)
+		e.mustGraph(e.g.RemoveEdge(c.u, c.v))
+		e.closeQueue(c.u, c.v)
+		e.closeQueue(c.v, c.u)
+		e.excl.RemoveEdge(c.u, c.v)
+		e.applyRecolors(c.plan)
+	case ChangeDelProc:
+		r := e.resByID[c.u]
+		for _, j := range e.g.Neighbors(c.u) {
+			e.severDiners(c.u, j)
+			e.mustGraph(e.g.RemoveEdge(c.u, j))
+			e.closeQueue(c.u, j)
+			e.closeQueue(j, c.u)
+			e.excl.RemoveEdge(c.u, j)
+		}
+		if r != nil {
+			delete(e.resByName, r.name)
+			e.resByID[c.u] = nil
+			e.freeIDs = append(e.freeIDs, c.u)
+			for i, rr := range e.resOrder {
+				if rr == r {
+					e.resOrder = append(e.resOrder[:i], e.resOrder[i+1:]...)
+					break
+				}
+			}
+			e.excl.RemoveProc(c.u)
+			e.prog.RemoveProc(c.u)
+		}
+	default:
+		e.invariant("unknown change kind %v", c.kind)
+		return
+	}
+	for _, v := range c.affected {
+		if r := e.resByID[v]; r != nil {
+			r.parked = false
+		}
+	}
+	e.auditf("change %v committed", c)
+}
+
+// applyRecolors moves the planned vertices to their new colors and
+// tells every neighbor, re-deriving fork/token placement on both sides
+// of each touched edge. Crashed diners are skipped: a restart rebuilds
+// them from the committed colors.
+func (e *Engine) applyRecolors(plan []graph.Recolor) {
+	for _, rc := range plan {
+		e.colors[rc.Vertex] = rc.Color
+		x := e.resByID[rc.Vertex]
+		if x == nil {
+			e.invariant("recolor of unregistered vertex %d", rc.Vertex)
+			continue
+		}
+		if !x.crashed {
+			if err := x.diner.SetColor(rc.Color); err != nil {
+				e.invariant("SetColor(%d)=%d on drained diner: %v", rc.Vertex, rc.Color, err)
+			}
+		}
+		for _, j := range e.g.Neighbors(rc.Vertex) {
+			nb := e.resByID[j]
+			if nb == nil || nb.crashed {
+				continue
+			}
+			if err := nb.diner.SetNeighborColor(rc.Vertex, rc.Color); err != nil {
+				e.invariant("SetNeighborColor(%d→%d) on drained diner: %v", j, rc.Vertex, err)
+			}
+		}
+	}
+}
+
+// spliceDiners adds the edge on both hosted diners with boot fork/token
+// placement.
+func (e *Engine) spliceDiners(u, v int) {
+	ru, rv := e.resByID[u], e.resByID[v]
+	if ru != nil && !ru.crashed {
+		if err := ru.diner.AddNeighbor(v, e.colors[v]); err != nil {
+			e.invariant("AddNeighbor(%d→%d): %v", u, v, err)
+		}
+	}
+	if rv != nil && !rv.crashed {
+		if err := rv.diner.AddNeighbor(u, e.colors[u]); err != nil {
+			e.invariant("AddNeighbor(%d→%d): %v", v, u, err)
+		}
+	}
+}
+
+// severDiners removes the edge on both hosted diners.
+func (e *Engine) severDiners(u, v int) {
+	ru, rv := e.resByID[u], e.resByID[v]
+	if ru != nil && !ru.crashed {
+		if err := ru.diner.RemoveNeighbor(v); err != nil {
+			e.invariant("RemoveNeighbor(%d→%d): %v", u, v, err)
+		}
+	}
+	if rv != nil && !rv.crashed {
+		if err := rv.diner.RemoveNeighbor(u); err != nil {
+			e.invariant("RemoveNeighbor(%d→%d): %v", v, u, err)
+		}
+	}
+}
+
+// failSessionsContaining fails every non-terminal session whose
+// resource set contains both u and v (they now conflict).
+func (e *Engine) failSessionsContaining(u, v int) {
+	for _, s := range e.sessOrder {
+		if s.terminal() {
+			continue
+		}
+		hasU, hasV := false, false
+		for _, w := range s.verts {
+			hasU = hasU || w == u
+			hasV = hasV || w == v
+		}
+		if hasU && hasV {
+			e.failSession(s, fmt.Sprintf("conflict edge %d-%d added inside resource set", u, v))
+		}
+	}
+}
+
+func (e *Engine) mustGraph(err error) {
+	if err != nil {
+		e.invariant("graph mutation: %v", err)
+	}
+}
+
+// PendingChanges returns how many changes are staged or queued.
+func (e *Engine) PendingChanges() int {
+	n := len(e.changeQ)
+	if e.staged != nil {
+		n++
+	}
+	return n
+}
+
+// Colors returns a copy of the committed coloring, indexed by vertex.
+func (e *Engine) Colors() []int {
+	out := make([]int, len(e.colors))
+	copy(out, e.colors)
+	return out
+}
+
+// Palette returns the number of distinct colors among live vertices.
+func (e *Engine) Palette() int {
+	live := make([]int, 0, len(e.resOrder))
+	for _, r := range e.resOrder {
+		live = append(live, e.colors[r.id])
+	}
+	sort.Ints(live)
+	n := 0
+	for i, c := range live {
+		if i == 0 || c != live[i-1] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,442 @@
+// Package dsvc is the dining-as-a-service engine: a deterministic,
+// single-threaded scheduler that hosts one core.Diner per registered
+// resource over a *mutable* conflict graph and arbitrates client
+// sessions (acquire/release over a set of resources) on top of the
+// paper's algorithm.
+//
+// The paper proves Algorithm 1 over a fixed conflict graph; this
+// package supplies the dynamic-graph story the paper leaves open:
+//
+//   - clients register and deregister resources at runtime (Hesselink's
+//     unbounded-participant generalization: the vertex set grows and
+//     shrinks, IDs are recycled);
+//   - conflict edges are added and removed at runtime via incremental
+//     Δ+1 recoloring (graph.PlanAddEdge / graph.PlanRemoveEdge — only
+//     the smaller affected neighborhood recolors);
+//   - every change commits through a session-drain protocol (see
+//     change.go): affected diners are parked and drained to Thinking,
+//     fork/token placement is re-derived from the new colors exactly as
+//     core.NewDiner does at boot, and only then does the change commit.
+//     Exclusion is never violated during a transition because edges
+//     mutate only between quiescent Thinking endpoints.
+//
+// Determinism contract (the package is in detpure's scope): no clocks,
+// no goroutines or channels, no global randomness, and no map-order
+// leak — all behavioral iteration walks registration-, ticket-, or
+// creation-ordered slices. Time is injected via Advance; message
+// interleaving is chosen by the caller through PumpOne/PumpAll. Given
+// the same call sequence the engine is byte-for-byte reproducible,
+// which the churn soak exploits.
+//
+// Concurrency contract: an Engine is single-threaded. The HTTP service
+// (internal/dsvcd) serializes access through a mailbox goroutine, the
+// same closure-ownership discipline internal/remote uses for its peer
+// managers.
+package dsvc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Admission-control errors. The vocabulary is PR-6's transport
+// backpressure, lifted to the service layer: a full window rejects
+// (HTTP 429) instead of queueing unboundedly.
+var (
+	// ErrTenantWindow rejects an acquire: the tenant's in-flight session
+	// window crossed its high-water mark.
+	ErrTenantWindow = errors.New("dsvc: tenant in-flight session window at high-water mark; backpressure")
+	// ErrGlobalWindow rejects an acquire: the global in-flight session
+	// window crossed its high-water mark.
+	ErrGlobalWindow = errors.New("dsvc: global in-flight session window at high-water mark; backpressure")
+	// ErrChangeWindow rejects a graph change: the staged-change window
+	// is full.
+	ErrChangeWindow = errors.New("dsvc: staged-change window at high-water mark; backpressure")
+	// ErrResourceWindow rejects a registration: the resource table is
+	// full.
+	ErrResourceWindow = errors.New("dsvc: resource table at high-water mark; backpressure")
+
+	// ErrUnknownResource names a resource that is not registered.
+	ErrUnknownResource = errors.New("dsvc: unknown resource")
+	// ErrDuplicateResource rejects a second registration of a name.
+	ErrDuplicateResource = errors.New("dsvc: resource already registered")
+	// ErrResourceBusy rejects deregistration while sessions reference
+	// the resource.
+	ErrResourceBusy = errors.New("dsvc: resource referenced by in-flight sessions")
+	// ErrRetiring rejects operations on a resource with a staged
+	// deregistration.
+	ErrRetiring = errors.New("dsvc: resource is deregistering")
+	// ErrConflictingSet rejects a session whose resource set contains a
+	// conflict edge (committed or staged): its members could never eat
+	// simultaneously, so the session could never be granted.
+	ErrConflictingSet = errors.New("dsvc: session resources conflict with each other")
+	// ErrUnknownSession names a session that does not exist.
+	ErrUnknownSession = errors.New("dsvc: unknown session")
+	// ErrSessionClosed rejects a release of an already-terminal session.
+	ErrSessionClosed = errors.New("dsvc: session already closed")
+	// ErrBadRequest covers malformed arguments (empty sets, duplicate
+	// members, oversized sets, self-edges).
+	ErrBadRequest = errors.New("dsvc: bad request")
+	// ErrCrashed rejects an operation that requires a live resource.
+	ErrCrashed = errors.New("dsvc: resource is crashed")
+)
+
+// Limits parameterizes admission control. Zero fields take defaults.
+type Limits struct {
+	// MaxResources bounds live registered resources (default 1024).
+	MaxResources int
+	// MaxSessions bounds global in-flight (non-terminal) sessions
+	// (default 4096).
+	MaxSessions int
+	// MaxPerTenant bounds one tenant's in-flight sessions (default 64).
+	MaxPerTenant int
+	// MaxSessionResources bounds one session's resource set (default 16).
+	MaxSessionResources int
+	// MaxPendingChanges bounds the staged + queued graph changes
+	// (default 16).
+	MaxPendingChanges int
+	// MaxAudit bounds the audit ring (default 4096).
+	MaxAudit int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxResources == 0 {
+		l.MaxResources = 1024
+	}
+	if l.MaxSessions == 0 {
+		l.MaxSessions = 4096
+	}
+	if l.MaxPerTenant == 0 {
+		l.MaxPerTenant = 64
+	}
+	if l.MaxSessionResources == 0 {
+		l.MaxSessionResources = 16
+	}
+	if l.MaxPendingChanges == 0 {
+		l.MaxPendingChanges = 16
+	}
+	if l.MaxAudit == 0 {
+		l.MaxAudit = 4096
+	}
+	return l
+}
+
+// resource is one registered resource: a hosted diner on a conflict-
+// graph vertex.
+type resource struct {
+	name     string
+	tenant   string
+	id       int // conflict-graph vertex
+	diner    *core.Diner
+	crashed  bool
+	parked   bool // affected by the staged change; no new activations
+	retiring bool // deregistration staged
+	owner    *Session
+}
+
+// Engine is the dining-as-a-service state machine. Not safe for
+// concurrent use; see the package comment for the ownership contract.
+type Engine struct {
+	limits Limits
+	now    sim.Time
+
+	g      *graph.Graph
+	colors []int
+
+	resByName map[string]*resource
+	resByID   []*resource // vertex id → resource; nil = free slot
+	freeIDs   []int       // freed vertex ids, reused LIFO
+	resOrder  []*resource // registration order (live resources only)
+
+	queues []*edgeQueue
+	qIdx   map[[2]int]int // directed edge → queues index
+
+	sessByID  map[string]*Session
+	sessOrder []*Session // ticket order; terminal sessions pruned lazily
+	sessSeq   int
+
+	inflight       int
+	tenantInflight map[string]int
+
+	staged  *change
+	changeQ []*change
+
+	excl *metrics.DynamicExclusionMonitor
+	prog *metrics.DynamicProgressMonitor
+
+	queueHW      int
+	delivered    int
+	invariantErr error
+
+	audit      []string
+	auditTotal int
+}
+
+// NewEngine returns an empty engine.
+func NewEngine(limits Limits) *Engine {
+	return &Engine{
+		limits:         limits.withDefaults(),
+		g:              graph.New(0),
+		resByName:      make(map[string]*resource),
+		qIdx:           make(map[[2]int]int),
+		sessByID:       make(map[string]*Session),
+		tenantInflight: make(map[string]int),
+		excl:           metrics.NewDynamicExclusionMonitor(),
+		prog:           metrics.NewDynamicProgressMonitor(),
+	}
+}
+
+// Now returns the engine's logical time.
+func (e *Engine) Now() sim.Time { return e.now }
+
+// Advance moves the engine's logical time forward by d.
+func (e *Engine) Advance(d sim.Time) {
+	if d > 0 {
+		e.now += d
+	}
+}
+
+// Err returns the first internal-invariant error, if any. A non-nil
+// value means a protocol impossibility occurred (a diner tripped a
+// paper lemma, or the engine routed a message onto a missing edge).
+func (e *Engine) Err() error { return e.invariantErr }
+
+func (e *Engine) invariant(format string, args ...any) {
+	if e.invariantErr == nil {
+		e.invariantErr = fmt.Errorf("dsvc: "+format, args...)
+	}
+}
+
+func (e *Engine) auditf(format string, args ...any) {
+	e.auditTotal++
+	e.audit = append(e.audit, fmt.Sprintf("t=%d ", e.now)+fmt.Sprintf(format, args...))
+	if len(e.audit) > e.limits.MaxAudit {
+		e.audit = e.audit[len(e.audit)-e.limits.MaxAudit:]
+	}
+}
+
+// Audit returns the retained audit tail (oldest first).
+func (e *Engine) Audit() []string {
+	out := make([]string, len(e.audit))
+	copy(out, e.audit)
+	return out
+}
+
+// liveResources returns the number of registered resources.
+func (e *Engine) liveResources() int { return len(e.resOrder) }
+
+// suspectsFor builds the ◇P₁ oracle a hosted diner consults: a
+// neighbor is suspected iff its resource is crashed or gone. In-process
+// the oracle is exact, so (unlike the remote stack) no transient
+// wrong-suspicion exclusion violations are possible — the churn soak
+// demands literally zero.
+func (e *Engine) suspectsFor() func(j int) bool {
+	return func(j int) bool {
+		if j < 0 || j >= len(e.resByID) || e.resByID[j] == nil {
+			return true
+		}
+		return e.resByID[j].crashed
+	}
+}
+
+// Register admits a new resource for tenant, hosting a fresh diner on
+// a new (or recycled) conflict-graph vertex. The vertex starts
+// isolated with color 0; edges arrive via AddEdge.
+func (e *Engine) Register(name, tenant string) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("%w: empty resource name", ErrBadRequest)
+	}
+	if _, ok := e.resByName[name]; ok {
+		return 0, fmt.Errorf("%w: %q", ErrDuplicateResource, name)
+	}
+	if e.liveResources() >= e.limits.MaxResources {
+		return 0, ErrResourceWindow
+	}
+	var id int
+	if n := len(e.freeIDs); n > 0 {
+		id = e.freeIDs[n-1]
+		e.freeIDs = e.freeIDs[:n-1]
+	} else {
+		id = e.g.AddVertex()
+		e.colors = append(e.colors, 0)
+		e.resByID = append(e.resByID, nil)
+	}
+	e.colors[id] = 0
+	d, err := core.NewDiner(core.Config{ID: id, Color: 0, Suspects: e.suspectsFor()})
+	if err != nil {
+		return 0, err
+	}
+	r := &resource{name: name, tenant: tenant, id: id, diner: d}
+	e.resByName[name] = r
+	e.resByID[id] = r
+	e.resOrder = append(e.resOrder, r)
+	e.excl.AddProc(id)
+	e.prog.AddProc(id)
+	e.auditf("resource %q registered as proc %d (tenant %q)", name, id, tenant)
+	return id, nil
+}
+
+// Deregister stages removal of a resource. It is rejected while any
+// in-flight session references the resource; once staged, the
+// resource's remaining edges drain and the vertex retires at commit.
+func (e *Engine) Deregister(name string) error {
+	r, ok := e.resByName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownResource, name)
+	}
+	if r.retiring {
+		return fmt.Errorf("%w: %q", ErrRetiring, name)
+	}
+	for _, s := range e.sessOrder {
+		if s.terminal() {
+			continue
+		}
+		for _, v := range s.verts {
+			if v == r.id {
+				return fmt.Errorf("%w: %q held by session %s", ErrResourceBusy, name, s.id)
+			}
+		}
+	}
+	if err := e.admitChange(); err != nil {
+		return err
+	}
+	r.retiring = true
+	e.enqueueChange(&change{kind: ChangeDelProc, u: r.id, v: -1})
+	return nil
+}
+
+// AddEdge stages a new conflict edge between two registered resources.
+// The commit (asynchronous: poll Status) recolors at most one
+// neighborhood and re-derives fork/token placement on the drained
+// endpoints.
+func (e *Engine) AddEdge(nameA, nameB string) error {
+	u, v, err := e.edgeEndpoints(nameA, nameB)
+	if err != nil {
+		return err
+	}
+	if err := e.admitChange(); err != nil {
+		return err
+	}
+	e.enqueueChange(&change{kind: ChangeAddEdge, u: u, v: v})
+	return nil
+}
+
+// RemoveEdge stages removal of a conflict edge.
+func (e *Engine) RemoveEdge(nameA, nameB string) error {
+	u, v, err := e.edgeEndpoints(nameA, nameB)
+	if err != nil {
+		return err
+	}
+	if err := e.admitChange(); err != nil {
+		return err
+	}
+	e.enqueueChange(&change{kind: ChangeDelEdge, u: u, v: v})
+	return nil
+}
+
+func (e *Engine) edgeEndpoints(nameA, nameB string) (int, int, error) {
+	a, ok := e.resByName[nameA]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownResource, nameA)
+	}
+	b, ok := e.resByName[nameB]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownResource, nameB)
+	}
+	if a == b {
+		return 0, 0, fmt.Errorf("%w: self-edge on %q", ErrBadRequest, nameA)
+	}
+	if a.retiring {
+		return 0, 0, fmt.Errorf("%w: %q", ErrRetiring, nameA)
+	}
+	if b.retiring {
+		return 0, 0, fmt.Errorf("%w: %q", ErrRetiring, nameB)
+	}
+	return a.id, b.id, nil
+}
+
+func (e *Engine) admitChange() error {
+	pending := len(e.changeQ)
+	if e.staged != nil {
+		pending++
+	}
+	if pending >= e.limits.MaxPendingChanges {
+		return ErrChangeWindow
+	}
+	return nil
+}
+
+// Crash marks a resource's process crashed: in-flight messages to and
+// from it are lost, neighbors suspect it, and its in-flight sessions
+// fail. The resource stays registered; Restart revives it.
+func (e *Engine) Crash(name string) error {
+	r, ok := e.resByName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownResource, name)
+	}
+	if r.crashed {
+		return nil
+	}
+	r.crashed = true
+	e.wipeQueues(r.id)
+	e.excl.OnCrash(e.now, r.id)
+	e.prog.OnCrash(e.now, r.id)
+	e.auditf("resource %q (proc %d) crashed", name, r.id)
+	if s := r.owner; s != nil && !s.terminal() {
+		e.failSession(s, fmt.Sprintf("resource %q crashed", name))
+	}
+	// Neighbors consult the oracle again: suspicion of the dead process
+	// unblocks their doorways and fork collection.
+	for _, j := range e.g.Neighbors(r.id) {
+		if nb := e.resByID[j]; nb != nil && !nb.crashed {
+			e.act(nb, nb.diner.ReevaluateSuspicion)
+		}
+	}
+	e.maybeCommit()
+	e.schedule()
+	return nil
+}
+
+// Restart revives a crashed resource with fresh dining state, exactly
+// like the remote runtime's crash recovery: the reborn diner boots from
+// the committed graph and colors, and each surviving neighbor resets
+// the shared edge to its boot placement.
+func (e *Engine) Restart(name string) error {
+	r, ok := e.resByName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownResource, name)
+	}
+	if !r.crashed {
+		return nil
+	}
+	nbc := make(map[int]int)
+	for _, j := range e.g.Neighbors(r.id) {
+		nbc[j] = e.colors[j]
+	}
+	d, err := core.NewDiner(core.Config{
+		ID: r.id, Color: e.colors[r.id], NeighborColors: nbc, Suspects: e.suspectsFor(),
+	})
+	if err != nil {
+		return err
+	}
+	r.diner = d
+	r.crashed = false
+	e.wipeQueues(r.id)
+	e.excl.OnRestart(e.now, r.id)
+	e.prog.OnRestart(e.now, r.id)
+	e.auditf("resource %q (proc %d) restarted", name, r.id)
+	for _, j := range e.g.Neighbors(r.id) {
+		if nb := e.resByID[j]; nb != nil && !nb.crashed {
+			e.act(nb, func() []core.Message { return nb.diner.ResetNeighbor(r.id) })
+			e.act(nb, nb.diner.ReevaluateSuspicion)
+		}
+	}
+	e.maybeCommit()
+	e.schedule()
+	return nil
+}

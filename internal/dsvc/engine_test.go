@@ -1,0 +1,468 @@
+package dsvc
+
+import (
+	"errors"
+	"testing"
+)
+
+// mustStatus asserts the invariant audit passes after a step.
+func mustOK(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Err(); err != nil {
+		t.Fatalf("engine invariant: %v", err)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+}
+
+// settle pumps to quiescence and asserts invariants.
+func settle(t *testing.T, e *Engine) {
+	t.Helper()
+	e.PumpAll()
+	mustOK(t, e)
+}
+
+func TestRegisterAcquireReleaseIsolated(t *testing.T) {
+	e := NewEngine(Limits{})
+	if _, err := e.Register("db", "acme"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := e.Register("db", "acme"); !errors.Is(err, ErrDuplicateResource) {
+		t.Fatalf("duplicate Register err = %v", err)
+	}
+	s, err := e.Acquire("acme", []string{"db"})
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// An isolated resource has no forks to collect: granted immediately.
+	if s.State() != SessionGranted {
+		t.Fatalf("state = %v, want granted", s.State())
+	}
+	mustOK(t, e)
+	if err := e.Release(s.ID()); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if s.State() != SessionReleased {
+		t.Fatalf("state after release = %v", s.State())
+	}
+	if err := e.Release(s.ID()); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("double release err = %v", err)
+	}
+	settle(t, e)
+}
+
+func TestConflictingNeighborsSerialize(t *testing.T) {
+	e := NewEngine(Limits{})
+	e.Register("a", "t")
+	e.Register("b", "t")
+	if err := e.AddEdge("a", "b"); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	settle(t, e)
+	if e.PendingChanges() != 0 {
+		t.Fatalf("change did not commit: %d pending", e.PendingChanges())
+	}
+
+	s1, err := e.Acquire("t", []string{"a"})
+	if err != nil {
+		t.Fatalf("Acquire a: %v", err)
+	}
+	s2, err := e.Acquire("t", []string{"b"})
+	if err != nil {
+		t.Fatalf("Acquire b: %v", err)
+	}
+	settle(t, e)
+	if s1.State() != SessionGranted {
+		t.Fatalf("s1 = %v, want granted", s1.State())
+	}
+	if s2.State() == SessionGranted {
+		t.Fatalf("s2 granted while its conflicting neighbor eats")
+	}
+	if err := e.Release(s1.ID()); err != nil {
+		t.Fatalf("Release s1: %v", err)
+	}
+	settle(t, e)
+	if s2.State() != SessionGranted {
+		t.Fatalf("s2 = %v after s1 release, want granted", s2.State())
+	}
+	e.Release(s2.ID())
+	settle(t, e)
+	if e.excl.Count() != 0 {
+		t.Fatalf("exclusion violations: %v", e.Violations())
+	}
+}
+
+func TestAcquireRejectsConflictingSet(t *testing.T) {
+	e := NewEngine(Limits{})
+	e.Register("a", "t")
+	e.Register("b", "t")
+	e.Register("c", "t")
+	e.AddEdge("a", "b")
+	settle(t, e)
+	if _, err := e.Acquire("t", []string{"a", "b"}); !errors.Is(err, ErrConflictingSet) {
+		t.Fatalf("committed-edge set err = %v", err)
+	}
+	// A *staged* edge also rejects: the set could never be granted after
+	// the commit.
+	s, err := e.Acquire("t", []string{"a", "c"})
+	if err != nil {
+		t.Fatalf("Acquire a,c: %v", err)
+	}
+	settle(t, e)
+	e.Release(s.ID())
+	if err := e.AddEdge("a", "c"); err != nil {
+		t.Fatalf("AddEdge a,c: %v", err)
+	}
+	if _, err := e.Acquire("t", []string{"a", "c"}); !errors.Is(err, ErrConflictingSet) {
+		t.Fatalf("staged-edge set err = %v", err)
+	}
+	if _, err := e.Acquire("t", []string{"a", "a"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("duplicate member err = %v", err)
+	}
+	if _, err := e.Acquire("t", nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("empty set err = %v", err)
+	}
+	if _, err := e.Acquire("t", []string{"nope"}); !errors.Is(err, ErrUnknownResource) {
+		t.Fatalf("unknown member err = %v", err)
+	}
+	settle(t, e)
+}
+
+func TestAddEdgeWaitsForGrantedRelease(t *testing.T) {
+	e := NewEngine(Limits{})
+	e.Register("a", "t")
+	e.Register("b", "t")
+	s, _ := e.Acquire("t", []string{"a"})
+	if s.State() != SessionGranted {
+		t.Fatalf("s = %v", s.State())
+	}
+	if err := e.AddEdge("a", "b"); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	settle(t, e)
+	// The granted session owns the critical section: the change must not
+	// commit under it.
+	if e.PendingChanges() != 1 {
+		t.Fatalf("pending = %d, want 1 (blocked on granted session)", e.PendingChanges())
+	}
+	if len(e.Status().Edges) != 0 {
+		t.Fatalf("edge committed under a granted session")
+	}
+	e.Release(s.ID())
+	settle(t, e)
+	if e.PendingChanges() != 0 {
+		t.Fatalf("pending = %d after release, want 0", e.PendingChanges())
+	}
+	st := e.Status()
+	if len(st.Edges) != 1 || st.Edges[0] != [2]string{"a", "b"} {
+		t.Fatalf("edges = %v", st.Edges)
+	}
+	// Boot-identical placement: both colored 0 before, one endpoint
+	// recolored, palette is 2.
+	if st.Palette != 2 {
+		t.Fatalf("palette = %d, want 2", st.Palette)
+	}
+}
+
+func TestAddEdgeFailsSessionHoldingBothEndpoints(t *testing.T) {
+	e := NewEngine(Limits{})
+	e.Register("a", "t")
+	e.Register("b", "t")
+	s, _ := e.Acquire("t", []string{"a", "b"})
+	if s.State() != SessionGranted {
+		t.Fatalf("s = %v", s.State())
+	}
+	e.AddEdge("a", "b")
+	settle(t, e)
+	// Blocked on the granted session; release lets it commit, and the
+	// commit fails any non-terminal session over both endpoints — but
+	// this one is already terminal by then.
+	e.Release(s.ID())
+	settle(t, e)
+	if e.PendingChanges() != 0 {
+		t.Fatalf("pending = %d after release", e.PendingChanges())
+	}
+	if s.State() != SessionReleased {
+		t.Fatalf("released session retro-failed: %v", s.State())
+	}
+
+	// A session still PENDING over both endpoints at commit time fails:
+	// its members now conflict, so it could never be granted.
+	e.RemoveEdge("a", "b")
+	settle(t, e)
+	s0, _ := e.Acquire("t", []string{"a"})
+	s2, err := e.Acquire("t", []string{"a", "b"})
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	e.AddEdge("a", "b")
+	settle(t, e)
+	if s2.State() != SessionPending {
+		t.Fatalf("s2 = %v, want pending behind s0 and the parked change", s2.State())
+	}
+	e.Release(s0.ID())
+	settle(t, e)
+	if s2.State() != SessionFailed {
+		t.Fatalf("s2 = %v, want failed (edge added inside set)", s2.State())
+	}
+	if s2.Reason() == "" {
+		t.Fatalf("failed session carries no reason")
+	}
+}
+
+func TestRemoveEdgeDecaysPalette(t *testing.T) {
+	e := NewEngine(Limits{})
+	e.Register("a", "t")
+	e.Register("b", "t")
+	e.Register("c", "t")
+	e.AddEdge("a", "b")
+	e.AddEdge("b", "c")
+	e.AddEdge("a", "c")
+	settle(t, e)
+	if p := e.Palette(); p != 3 {
+		t.Fatalf("triangle palette = %d, want 3", p)
+	}
+	e.RemoveEdge("a", "b")
+	e.RemoveEdge("b", "c")
+	e.RemoveEdge("a", "c")
+	settle(t, e)
+	if p := e.Palette(); p != 1 {
+		t.Fatalf("palette after full decay = %d, want 1", p)
+	}
+	for _, c := range e.Colors() {
+		if c != 0 {
+			t.Fatalf("colors after decay = %v, want all 0", e.Colors())
+		}
+	}
+}
+
+func TestAdmissionWindows(t *testing.T) {
+	e := NewEngine(Limits{MaxPerTenant: 1, MaxSessions: 2, MaxPendingChanges: 1, MaxSessionResources: 2})
+	e.Register("a", "t1")
+	e.Register("b", "t1")
+	e.Register("c", "t2")
+	s1, err := e.Acquire("t1", []string{"a"})
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if _, err := e.Acquire("t1", []string{"b"}); !errors.Is(err, ErrTenantWindow) {
+		t.Fatalf("tenant window err = %v", err)
+	}
+	if _, err := e.Acquire("t2", []string{"c"}); err != nil {
+		t.Fatalf("second tenant Acquire: %v", err)
+	}
+	if _, err := e.Acquire("t3", []string{"b"}); !errors.Is(err, ErrGlobalWindow) {
+		t.Fatalf("global window err = %v", err)
+	}
+	if _, err := e.Acquire("t3", []string{"a", "b", "c"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized set err = %v", err)
+	}
+	e.Release(s1.ID())
+	if _, err := e.Acquire("t1", []string{"b"}); err != nil {
+		t.Fatalf("Acquire after window drain: %v", err)
+	}
+
+	s, _ := e.Acquire("t2", []string{"c"})
+	_ = s
+	if err := e.AddEdge("a", "b"); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := e.AddEdge("a", "c"); !errors.Is(err, ErrChangeWindow) {
+		t.Fatalf("change window err = %v", err)
+	}
+	settle(t, e)
+
+	er := NewEngine(Limits{MaxResources: 1})
+	er.Register("x", "t")
+	if _, err := er.Register("y", "t"); !errors.Is(err, ErrResourceWindow) {
+		t.Fatalf("resource window err = %v", err)
+	}
+}
+
+func TestDeregisterLifecycle(t *testing.T) {
+	e := NewEngine(Limits{})
+	idA, _ := e.Register("a", "t")
+	e.Register("b", "t")
+	e.AddEdge("a", "b")
+	settle(t, e)
+	s, _ := e.Acquire("t", []string{"a"})
+	if err := e.Deregister("a"); !errors.Is(err, ErrResourceBusy) {
+		t.Fatalf("busy Deregister err = %v", err)
+	}
+	e.Release(s.ID())
+	settle(t, e)
+	// Pin the drain open with a granted session on the neighbor (b is in
+	// the del-proc's affected set), so the retiring window is observable.
+	sb, _ := e.Acquire("t", []string{"b"})
+	settle(t, e)
+	if sb.State() != SessionGranted {
+		t.Fatalf("sb = %v", sb.State())
+	}
+	if err := e.Deregister("a"); err != nil {
+		t.Fatalf("Deregister: %v", err)
+	}
+	settle(t, e)
+	if e.PendingChanges() != 1 {
+		t.Fatalf("pending = %d, want del-proc blocked on granted neighbor", e.PendingChanges())
+	}
+	// Retiring rejects new references even before the commit.
+	if _, err := e.Acquire("t", []string{"a"}); !errors.Is(err, ErrRetiring) {
+		t.Fatalf("retiring Acquire err = %v", err)
+	}
+	if err := e.AddEdge("a", "b"); !errors.Is(err, ErrRetiring) {
+		t.Fatalf("retiring AddEdge err = %v", err)
+	}
+	if err := e.Deregister("a"); !errors.Is(err, ErrRetiring) {
+		t.Fatalf("double Deregister err = %v", err)
+	}
+	e.Release(sb.ID())
+	settle(t, e)
+	st := e.Status()
+	if len(st.Resources) != 1 || st.Resources[0].Name != "b" {
+		t.Fatalf("resources after retire = %+v", st.Resources)
+	}
+	if len(st.Edges) != 0 {
+		t.Fatalf("edges after retire = %v", st.Edges)
+	}
+	// The vertex id recycles.
+	idC, err := e.Register("c", "t")
+	if err != nil {
+		t.Fatalf("Register c: %v", err)
+	}
+	if idC != idA {
+		t.Fatalf("recycled id = %d, want %d", idC, idA)
+	}
+	mustOK(t, e)
+	// The recycled vertex starts unconnected: a fresh session grants.
+	s2, err := e.Acquire("t", []string{"c"})
+	if err != nil || s2.State() != SessionGranted {
+		t.Fatalf("Acquire on recycled id: %v, %v", err, s2.State())
+	}
+	settle(t, e)
+}
+
+func TestCrashFailsOwnerAndRestartRecovers(t *testing.T) {
+	e := NewEngine(Limits{})
+	e.Register("a", "t")
+	e.Register("b", "t")
+	e.AddEdge("a", "b")
+	settle(t, e)
+	s, _ := e.Acquire("t", []string{"a", "b"}) // wait: a–b conflict → rejected
+	if s != nil {
+		t.Fatalf("conflicting acquire admitted")
+	}
+	s, err := e.Acquire("t", []string{"a"})
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	settle(t, e)
+	if s.State() != SessionGranted {
+		t.Fatalf("s = %v", s.State())
+	}
+	if err := e.Crash("a"); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if s.State() != SessionFailed {
+		t.Fatalf("s after crash = %v, want failed", s.State())
+	}
+	settle(t, e)
+	// The surviving neighbor suspects the dead process and can eat.
+	s2, _ := e.Acquire("t", []string{"b"})
+	settle(t, e)
+	if s2.State() != SessionGranted {
+		t.Fatalf("s2 with crashed neighbor = %v, want granted", s2.State())
+	}
+	e.Release(s2.ID())
+	settle(t, e)
+	if err := e.Restart("a"); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	settle(t, e)
+	s3, _ := e.Acquire("t", []string{"a"})
+	settle(t, e)
+	if s3.State() != SessionGranted {
+		t.Fatalf("s3 after restart = %v, want granted", s3.State())
+	}
+	if e.excl.Count() != 0 {
+		t.Fatalf("violations: %v", e.Violations())
+	}
+}
+
+func TestHeadOfLineReservation(t *testing.T) {
+	e := NewEngine(Limits{})
+	e.Register("a", "t")
+	e.Register("b", "t")
+	s0, _ := e.Acquire("t", []string{"a"})
+	settle(t, e)
+	// s1 needs a (busy) and b (free): it must reserve b so the younger
+	// s2 over b alone cannot overtake it forever.
+	s1, _ := e.Acquire("t", []string{"a", "b"})
+	s2, _ := e.Acquire("t", []string{"b"})
+	settle(t, e)
+	if s1.State() != SessionPending || s2.State() != SessionPending {
+		t.Fatalf("s1 = %v, s2 = %v, want both pending", s1.State(), s2.State())
+	}
+	e.Release(s0.ID())
+	settle(t, e)
+	if s1.State() != SessionGranted {
+		t.Fatalf("s1 = %v after s0 release, want granted", s1.State())
+	}
+	if s2.State() != SessionPending {
+		t.Fatalf("s2 = %v, want still pending behind s1", s2.State())
+	}
+	e.Release(s1.ID())
+	settle(t, e)
+	if s2.State() != SessionGranted {
+		t.Fatalf("s2 = %v, want granted", s2.State())
+	}
+}
+
+func TestChurnUnderActiveTraffic(t *testing.T) {
+	// An edge is added between two resources whose sessions keep
+	// re-acquiring: the drain must recall the diners, commit, and the
+	// recalled sessions must still complete afterwards.
+	e := NewEngine(Limits{})
+	e.Register("a", "t")
+	e.Register("b", "t")
+	sa, _ := e.Acquire("t", []string{"a"})
+	sb, _ := e.Acquire("t", []string{"b"})
+	if sa.State() != SessionGranted || sb.State() != SessionGranted {
+		t.Fatalf("independent grants: %v, %v", sa.State(), sb.State())
+	}
+	if err := e.AddEdge("a", "b"); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	settle(t, e)
+	if e.PendingChanges() != 1 {
+		t.Fatalf("pending = %d (both sessions granted)", e.PendingChanges())
+	}
+	e.Release(sa.ID())
+	settle(t, e)
+	if e.PendingChanges() != 1 {
+		t.Fatalf("pending = %d (sb still granted)", e.PendingChanges())
+	}
+	e.Release(sb.ID())
+	settle(t, e)
+	if e.PendingChanges() != 0 {
+		t.Fatalf("pending = %d after both releases", e.PendingChanges())
+	}
+	// Post-churn wait-freedom: new sessions over the now-conflicting
+	// resources serialize but both complete.
+	s1, _ := e.Acquire("t", []string{"a"})
+	s2, _ := e.Acquire("t", []string{"b"})
+	settle(t, e)
+	if s1.State() != SessionGranted {
+		t.Fatalf("s1 = %v", s1.State())
+	}
+	e.Release(s1.ID())
+	settle(t, e)
+	if s2.State() != SessionGranted {
+		t.Fatalf("s2 = %v", s2.State())
+	}
+	e.Release(s2.ID())
+	settle(t, e)
+	if e.excl.Count() != 0 {
+		t.Fatalf("violations: %v", e.Violations())
+	}
+}

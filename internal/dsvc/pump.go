@@ -1,0 +1,174 @@
+package dsvc
+
+import (
+	"repro/internal/core"
+)
+
+// Message transport. Each directed committed edge owns one FIFO queue;
+// the caller chooses the interleaving by picking which queue to drain
+// (PumpOne) or by draining everything to quiescence (PumpAll). Queues
+// are created at edge commit and tombstoned (never re-indexed) at edge
+// retirement so queue indices — and therefore a seeded schedule's
+// meaning — stay stable across churn.
+
+// edgeQueue is the in-flight messages on one directed committed edge.
+type edgeQueue struct {
+	from, to int
+	msgs     []core.Message
+	dead     bool // edge retired; tombstone keeps indices stable
+}
+
+func (e *Engine) openQueue(from, to int) {
+	key := [2]int{from, to}
+	if i, ok := e.qIdx[key]; ok && !e.queues[i].dead {
+		e.invariant("queue %d→%d already open", from, to)
+		return
+	}
+	e.qIdx[key] = len(e.queues)
+	e.queues = append(e.queues, &edgeQueue{from: from, to: to})
+}
+
+func (e *Engine) closeQueue(from, to int) {
+	key := [2]int{from, to}
+	i, ok := e.qIdx[key]
+	if !ok {
+		e.invariant("closing unknown queue %d→%d", from, to)
+		return
+	}
+	q := e.queues[i]
+	if len(q.msgs) != 0 {
+		e.invariant("closing non-empty queue %d→%d (%d msgs)", from, to, len(q.msgs))
+	}
+	q.dead = true
+	q.msgs = nil
+	delete(e.qIdx, key)
+}
+
+// route enqueues messages a diner emitted. Messages to crashed or
+// unregistered processes are dropped (the suspicion oracle already
+// wrote them off); a message onto a missing edge is an engine
+// invariant violation.
+func (e *Engine) route(msgs []core.Message) {
+	for _, m := range msgs {
+		dst := e.resByID[m.To]
+		if dst == nil || dst.crashed {
+			continue
+		}
+		i, ok := e.qIdx[[2]int{m.From, m.To}]
+		if !ok {
+			e.invariant("message %v→%v on missing edge", m.From, m.To)
+			continue
+		}
+		q := e.queues[i]
+		q.msgs = append(q.msgs, m)
+		if len(q.msgs) > e.queueHW {
+			e.queueHW = len(q.msgs)
+		}
+	}
+}
+
+// act runs one diner step (BecomeHungry, Deliver, ExitEating, abort,
+// reset…) on a resource, routes its output, feeds the state transition
+// to the monitors, promotes its owning session if the step completed a
+// grant, and surfaces any diner-internal protocol error.
+func (e *Engine) act(r *resource, step func() []core.Message) {
+	before := r.diner.State()
+	out := step()
+	after := r.diner.State()
+	e.route(out)
+	if before != after {
+		e.excl.OnTransition(e.now, r.id, before, after)
+		e.prog.OnTransition(e.now, r.id, before, after)
+		if after == core.Eating && r.owner != nil {
+			e.maybeGrant(r.owner)
+		}
+	}
+	if err := r.diner.Err(); err != nil {
+		e.invariant("diner %d: %v", r.id, err)
+	}
+}
+
+// deliverFrom pops the head of queue i into its destination diner.
+func (e *Engine) deliverFrom(i int) bool {
+	q := e.queues[i]
+	if q.dead || len(q.msgs) == 0 {
+		return false
+	}
+	m := q.msgs[0]
+	q.msgs = q.msgs[1:]
+	dst := e.resByID[q.to]
+	if dst == nil || dst.crashed {
+		return true // lost in flight
+	}
+	e.act(dst, func() []core.Message { return dst.diner.Deliver(m) })
+	e.delivered++
+	return true
+}
+
+// NonEmptyQueues returns the indices of live queues holding messages,
+// in creation order. The soak uses this as the schedule's choice set.
+func (e *Engine) NonEmptyQueues() []int {
+	var out []int
+	for i, q := range e.queues {
+		if !q.dead && len(q.msgs) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PumpOne delivers the head message of the k-th non-empty queue
+// (k modulo the number of non-empty queues) and reports whether
+// anything was delivered. This is the adversarial-scheduler hook: a
+// seeded sequence of ks is a reproducible interleaving.
+func (e *Engine) PumpOne(k int) bool {
+	ne := e.NonEmptyQueues()
+	if len(ne) == 0 {
+		return false
+	}
+	if k < 0 {
+		k = -k
+	}
+	e.deliverFrom(ne[k%len(ne)])
+	e.maybeCommit()
+	e.schedule()
+	return true
+}
+
+// PumpAll delivers messages round-robin until quiescence and returns
+// the number delivered. Commit checks and scheduling interleave so
+// drains complete as their last in-flight message lands.
+func (e *Engine) PumpAll() int {
+	total := 0
+	for {
+		progressed := false
+		for i := range e.queues {
+			if e.deliverFrom(i) {
+				progressed = true
+				total++
+			}
+		}
+		e.maybeCommit()
+		e.schedule()
+		if !progressed {
+			return total
+		}
+	}
+}
+
+// Delivered returns the total messages delivered over the engine's
+// lifetime.
+func (e *Engine) Delivered() int { return e.delivered }
+
+// QueueHighWater returns the deepest any edge queue has been.
+func (e *Engine) QueueHighWater() int { return e.queueHW }
+
+// wipeQueues drops every in-flight message to or from proc id (crash
+// and restart semantics: the wire state dies with the process).
+func (e *Engine) wipeQueues(id int) {
+	for _, q := range e.queues {
+		if !q.dead && (q.from == id || q.to == id) {
+			q.msgs = nil
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package dsvc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SessionState is the client-visible lifecycle of an eating session.
+type SessionState int
+
+const (
+	// SessionPending: admitted, waiting for its resources to free up.
+	SessionPending SessionState = iota + 1
+	// SessionActive: resources assigned; the hosted diners are hungry
+	// (or already eating) on the client's behalf.
+	SessionActive
+	// SessionGranted: every member diner is eating — the client owns
+	// the session until it releases.
+	SessionGranted
+	// SessionReleased: terminal; released or cancelled by the client.
+	SessionReleased
+	// SessionFailed: terminal; a member crashed, or a committed graph
+	// change made the resource set self-conflicting.
+	SessionFailed
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case SessionPending:
+		return "pending"
+	case SessionActive:
+		return "active"
+	case SessionGranted:
+		return "granted"
+	case SessionReleased:
+		return "released"
+	case SessionFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("sessionstate(%d)", int(s))
+	}
+}
+
+// Session is one client acquisition over a set of resources.
+type Session struct {
+	id        string
+	tenant    string
+	names     []string // member resource names, sorted
+	verts     []int    // member vertex ids, aligned with names
+	state     SessionState
+	createdAt sim.Time
+	grantedAt sim.Time
+	closedAt  sim.Time
+	reason    string // failure detail for SessionFailed
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Tenant returns the owning tenant.
+func (s *Session) Tenant() string { return s.tenant }
+
+// State returns the session's current lifecycle state.
+func (s *Session) State() SessionState { return s.state }
+
+// Resources returns the member resource names (sorted copy).
+func (s *Session) Resources() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// CreatedAt returns the admission time.
+func (s *Session) CreatedAt() sim.Time { return s.createdAt }
+
+// GrantedAt returns when the session was granted (zero if never).
+func (s *Session) GrantedAt() sim.Time { return s.grantedAt }
+
+// Reason returns the failure detail for a failed session.
+func (s *Session) Reason() string { return s.reason }
+
+func (s *Session) terminal() bool {
+	return s.state == SessionReleased || s.state == SessionFailed
+}
+
+// setState moves a session through its lifecycle, enforcing the legal
+// transition relation; an illegal move is an engine invariant
+// violation, which the fuzzer and soak surface via Err.
+func (e *Engine) setState(s *Session, to SessionState) {
+	from := s.state
+	legal := false
+	switch from {
+	case SessionPending:
+		legal = to == SessionActive || to == SessionReleased || to == SessionFailed
+	case SessionActive:
+		legal = to == SessionGranted || to == SessionReleased || to == SessionFailed
+	case SessionGranted:
+		legal = to == SessionReleased || to == SessionFailed
+	case SessionReleased, SessionFailed:
+		legal = false
+	default:
+		e.invariant("session %s in unknown state %v", s.id, from)
+		return
+	}
+	if !legal {
+		e.invariant("illegal session transition %s: %v → %v", s.id, from, to)
+		return
+	}
+	s.state = to
+	e.auditf("session %s %v → %v", s.id, from, to)
+	switch to {
+	case SessionGranted:
+		s.grantedAt = e.now
+	case SessionReleased, SessionFailed:
+		s.closedAt = e.now
+		e.inflight--
+		e.tenantInflight[s.tenant]--
+		if e.tenantInflight[s.tenant] <= 0 {
+			delete(e.tenantInflight, s.tenant)
+		}
+	case SessionPending, SessionActive:
+		// No bookkeeping beyond the state itself.
+	}
+}
+
+// Acquire admits a session over the named resources for tenant. The
+// session starts Pending and is granted asynchronously (poll Session /
+// long-poll via the service layer). Admission enforces the tenant and
+// global in-flight windows (backpressure, HTTP 429 at the API) and
+// rejects sets that could never be granted: unknown, retiring, or
+// duplicate members, and sets containing a conflict edge — committed
+// or staged, since a session whose members conflict can never have all
+// of them eating simultaneously.
+func (e *Engine) Acquire(tenant string, resources []string) (*Session, error) {
+	if len(resources) == 0 {
+		return nil, fmt.Errorf("%w: empty resource set", ErrBadRequest)
+	}
+	if len(resources) > e.limits.MaxSessionResources {
+		return nil, fmt.Errorf("%w: %d resources exceeds limit %d",
+			ErrBadRequest, len(resources), e.limits.MaxSessionResources)
+	}
+	if e.inflight >= e.limits.MaxSessions {
+		return nil, ErrGlobalWindow
+	}
+	if e.tenantInflight[tenant] >= e.limits.MaxPerTenant {
+		return nil, ErrTenantWindow
+	}
+	names := make([]string, len(resources))
+	copy(names, resources)
+	sort.Strings(names)
+	verts := make([]int, len(names))
+	for i, nm := range names {
+		if i > 0 && names[i-1] == nm {
+			return nil, fmt.Errorf("%w: duplicate resource %q", ErrBadRequest, nm)
+		}
+		r, ok := e.resByName[nm]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownResource, nm)
+		}
+		if r.retiring {
+			return nil, fmt.Errorf("%w: %q", ErrRetiring, nm)
+		}
+		verts[i] = r.id
+	}
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			if e.conflicts(verts[i], verts[j]) {
+				return nil, fmt.Errorf("%w: %q and %q", ErrConflictingSet, names[i], names[j])
+			}
+		}
+	}
+
+	e.sessSeq++
+	s := &Session{
+		id:        fmt.Sprintf("s%d", e.sessSeq),
+		tenant:    tenant,
+		names:     names,
+		verts:     verts,
+		state:     SessionPending,
+		createdAt: e.now,
+	}
+	e.sessByID[s.id] = s
+	e.sessOrder = append(e.sessOrder, s)
+	e.inflight++
+	e.tenantInflight[tenant]++
+	e.auditf("session %s admitted (tenant %q, resources %v)", s.id, tenant, names)
+	e.schedule()
+	return s, nil
+}
+
+// conflicts reports whether vertices u and v conflict under the
+// committed graph or any staged/queued edge addition.
+func (e *Engine) conflicts(u, v int) bool {
+	if e.g.HasEdge(u, v) {
+		return true
+	}
+	pend := func(c *change) bool {
+		return c != nil && c.kind == ChangeAddEdge &&
+			((c.u == u && c.v == v) || (c.u == v && c.v == u))
+	}
+	if pend(e.staged) {
+		return true
+	}
+	for _, c := range e.changeQ {
+		if pend(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Session returns a session by ID.
+func (e *Engine) Session(id string) (*Session, bool) {
+	s, ok := e.sessByID[id]
+	return s, ok
+}
+
+// Release closes a session: granted sessions stop eating, active ones
+// abort their hungry diners, pending ones are simply cancelled. Always
+// legal on a non-terminal session.
+func (e *Engine) Release(id string) error {
+	s, ok := e.sessByID[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	if s.terminal() {
+		return fmt.Errorf("%w: %q is %v", ErrSessionClosed, id, s.state)
+	}
+	e.unbind(s)
+	e.setState(s, SessionReleased)
+	e.maybeCommit()
+	e.schedule()
+	return nil
+}
+
+// failSession closes a session involuntarily.
+func (e *Engine) failSession(s *Session, reason string) {
+	s.reason = reason
+	e.unbind(s)
+	e.setState(s, SessionFailed)
+}
+
+// unbind returns a session's resources to the pool, settling each
+// member diner: eating members exit, hungry members abort.
+func (e *Engine) unbind(s *Session) {
+	for _, v := range s.verts {
+		r := e.resByID[v]
+		if r == nil || r.owner != s {
+			continue
+		}
+		r.owner = nil
+		if r.crashed {
+			continue
+		}
+		switch r.diner.State() {
+		case core.Eating:
+			e.act(r, r.diner.ExitEating)
+		case core.Hungry:
+			e.act(r, r.diner.AbortHungry)
+		case core.Thinking:
+			// Nothing held.
+		default:
+			e.invariant("resource %q in unknown diner state", r.name)
+		}
+	}
+}
+
+// schedule activates pending sessions in ticket order with
+// head-of-line reservation: a pending session that cannot start
+// reserves its resources so younger sessions cannot overtake it
+// forever — FIFO per resource, which is what makes service-level
+// wait-freedom inherit from the paper's process-level guarantee. It
+// also re-fires members of active sessions that a drain recalled, once
+// their park lifts.
+func (e *Engine) schedule() {
+	reserved := make(map[int]bool)
+	for _, s := range e.sessOrder {
+		if s.state != SessionPending {
+			continue
+		}
+		ok := true
+		for _, v := range s.verts {
+			r := e.resByID[v]
+			if r == nil || r.owner != nil || r.parked || r.crashed || r.retiring || reserved[v] {
+				ok = false
+			}
+		}
+		if !ok {
+			for _, v := range s.verts {
+				reserved[v] = true
+			}
+			continue
+		}
+		for _, v := range s.verts {
+			e.resByID[v].owner = s
+		}
+		e.setState(s, SessionActive)
+		for _, v := range s.verts {
+			r := e.resByID[v]
+			e.act(r, r.diner.BecomeHungry)
+		}
+	}
+	// Re-fire drained members of active sessions whose park lifted.
+	for _, s := range e.sessOrder {
+		if s.state != SessionActive {
+			continue
+		}
+		for _, v := range s.verts {
+			r := e.resByID[v]
+			if r != nil && r.owner == s && !r.parked && !r.crashed && r.diner.State() == core.Thinking {
+				e.act(r, r.diner.BecomeHungry)
+			}
+		}
+	}
+	e.pruneSessions()
+}
+
+// pruneSessions drops long-terminal sessions from the ticket order
+// (kept briefly so Status can render them) once the order grows past
+// twice the global window.
+func (e *Engine) pruneSessions() {
+	if len(e.sessOrder) <= 2*e.limits.MaxSessions {
+		return
+	}
+	keep := e.sessOrder[:0]
+	for _, s := range e.sessOrder {
+		if !s.terminal() || e.now-s.closedAt < 1000 {
+			keep = append(keep, s)
+		} else {
+			delete(e.sessByID, s.id)
+		}
+	}
+	e.sessOrder = keep
+}
+
+// maybeGrant promotes an active session to granted when every member
+// diner is eating.
+func (e *Engine) maybeGrant(s *Session) {
+	if s.state != SessionActive {
+		return
+	}
+	for _, v := range s.verts {
+		r := e.resByID[v]
+		if r == nil || r.crashed || r.diner.State() != core.Eating {
+			return
+		}
+	}
+	e.setState(s, SessionGranted)
+}

@@ -1,0 +1,273 @@
+package dsvc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// ResourceStatus is the client-visible snapshot of one resource.
+type ResourceStatus struct {
+	Name     string `json:"name"`
+	Tenant   string `json:"tenant"`
+	Proc     int    `json:"proc"`
+	Color    int    `json:"color"`
+	State    string `json:"state"`
+	Crashed  bool   `json:"crashed,omitempty"`
+	Retiring bool   `json:"retiring,omitempty"`
+	Session  string `json:"session,omitempty"`
+}
+
+// SessionStatus is the client-visible snapshot of one session.
+type SessionStatus struct {
+	ID        string   `json:"id"`
+	Tenant    string   `json:"tenant"`
+	Resources []string `json:"resources"`
+	State     string   `json:"state"`
+	Reason    string   `json:"reason,omitempty"`
+	CreatedAt sim.Time `json:"created_at"`
+	GrantedAt sim.Time `json:"granted_at,omitempty"`
+}
+
+// Status is a full engine snapshot, deterministic in registration and
+// ticket order.
+type Status struct {
+	Now            sim.Time         `json:"now"`
+	Resources      []ResourceStatus `json:"resources"`
+	Sessions       []SessionStatus  `json:"sessions"`
+	Edges          [][2]string      `json:"edges"`
+	PendingChanges int              `json:"pending_changes"`
+	Palette        int              `json:"palette"`
+	Violations     int              `json:"violations"`
+	Delivered      int              `json:"delivered"`
+	Err            string           `json:"err,omitempty"`
+}
+
+// Status snapshots the engine.
+func (e *Engine) Status() Status {
+	st := Status{
+		Now:            e.now,
+		PendingChanges: e.PendingChanges(),
+		Palette:        e.Palette(),
+		Violations:     e.excl.Count(),
+		Delivered:      e.delivered,
+	}
+	if e.invariantErr != nil {
+		st.Err = e.invariantErr.Error()
+	}
+	for _, r := range e.resOrder {
+		rs := ResourceStatus{
+			Name:     r.name,
+			Tenant:   r.tenant,
+			Proc:     r.id,
+			Color:    e.colors[r.id],
+			State:    r.diner.State().String(),
+			Crashed:  r.crashed,
+			Retiring: r.retiring,
+		}
+		if r.owner != nil {
+			rs.Session = r.owner.id
+		}
+		st.Resources = append(st.Resources, rs)
+	}
+	for _, s := range e.sessOrder {
+		ss := SessionStatus{
+			ID:        s.id,
+			Tenant:    s.tenant,
+			Resources: s.Resources(),
+			State:     s.state.String(),
+			Reason:    s.reason,
+			CreatedAt: s.createdAt,
+			GrantedAt: s.grantedAt,
+		}
+		st.Sessions = append(st.Sessions, ss)
+	}
+	// Edges in committed-graph order, rendered by name where both
+	// endpoints are live.
+	for _, ed := range e.g.Edges() {
+		a, b := e.resByID[ed[0]], e.resByID[ed[1]]
+		if a != nil && b != nil {
+			st.Edges = append(st.Edges, [2]string{a.name, b.name})
+		}
+	}
+	return st
+}
+
+// SessionStatus snapshots one session by id.
+func (e *Engine) SessionStatus(id string) (SessionStatus, bool) {
+	s, ok := e.sessByID[id]
+	if !ok {
+		return SessionStatus{}, false
+	}
+	return SessionStatus{
+		ID:        s.id,
+		Tenant:    s.tenant,
+		Resources: s.Resources(),
+		State:     s.state.String(),
+		Reason:    s.reason,
+		CreatedAt: s.createdAt,
+		GrantedAt: s.grantedAt,
+	}, true
+}
+
+// Violations returns the exclusion violations recorded so far.
+func (e *Engine) Violations() []metrics.Violation { return e.excl.Violations() }
+
+// ProgressStats returns the latency statistics of completed hungry
+// sessions (process-level, i.e. per-diner grants).
+func (e *Engine) ProgressStats() metrics.SessionStats { return e.prog.Stats() }
+
+// CheckInvariants audits the engine's cross-structure consistency and
+// returns the first discrepancy. The fuzzer calls it after every op;
+// the soak calls it after every schedule step. It is read-only.
+func (e *Engine) CheckInvariants() error {
+	if e.invariantErr != nil {
+		return e.invariantErr
+	}
+	// Coloring proper on the committed graph.
+	if !e.g.IsProperColoring(e.colors) {
+		return fmt.Errorf("dsvc: committed coloring not proper")
+	}
+	// Index maps and registration order agree.
+	live := 0
+	for id, r := range e.resByID {
+		if r == nil {
+			continue
+		}
+		live++
+		if r.id != id {
+			return fmt.Errorf("dsvc: resource %q id mismatch (%d vs slot %d)", r.name, r.id, id)
+		}
+		if e.resByName[r.name] != r {
+			return fmt.Errorf("dsvc: resource %q not in name index", r.name)
+		}
+	}
+	if live != len(e.resOrder) || live != len(e.resByName) {
+		return fmt.Errorf("dsvc: resource indices disagree (%d slots, %d order, %d names)",
+			live, len(e.resOrder), len(e.resByName))
+	}
+	for _, r := range e.resOrder {
+		// Hosted diner's neighbor set matches the committed graph.
+		if !r.crashed {
+			want := e.g.Neighbors(r.id)
+			got := r.diner.Neighbors()
+			if len(want) != len(got) {
+				return fmt.Errorf("dsvc: diner %d neighbor set %v != graph %v", r.id, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					return fmt.Errorf("dsvc: diner %d neighbor set %v != graph %v", r.id, got, want)
+				}
+			}
+			if r.diner.Color() != e.colors[r.id] {
+				return fmt.Errorf("dsvc: diner %d color %d != committed %d",
+					r.id, r.diner.Color(), e.colors[r.id])
+			}
+		}
+		// Ownership is mutual.
+		if s := r.owner; s != nil {
+			if s.terminal() {
+				return fmt.Errorf("dsvc: terminal session %s still owns %q", s.id, r.name)
+			}
+			found := false
+			for _, v := range s.verts {
+				found = found || v == r.id
+			}
+			if !found {
+				return fmt.Errorf("dsvc: resource %q owned by session %s that excludes it", r.name, s.id)
+			}
+		}
+	}
+	// Session windows and member consistency.
+	inflight := 0
+	tenants := make(map[string]int)
+	for _, s := range e.sessOrder {
+		if e.sessByID[s.id] != s {
+			return fmt.Errorf("dsvc: session %s not in id index", s.id)
+		}
+		if s.terminal() {
+			continue
+		}
+		inflight++
+		tenants[s.tenant]++
+		switch s.state {
+		case SessionActive, SessionGranted:
+			for _, v := range s.verts {
+				r := e.resByID[v]
+				if r == nil {
+					return fmt.Errorf("dsvc: session %s member proc %d gone", s.id, v)
+				}
+				if r.owner != s {
+					return fmt.Errorf("dsvc: session %s member %q not owned by it", s.id, r.name)
+				}
+				// Granted means every live member is eating.
+				if s.state == SessionGranted && !r.crashed && r.diner.State() != core.Eating {
+					return fmt.Errorf("dsvc: granted session %s member %q is %v",
+						s.id, r.name, r.diner.State())
+				}
+			}
+		case SessionPending:
+			for _, v := range s.verts {
+				r := e.resByID[v]
+				if r != nil && r.owner == s {
+					return fmt.Errorf("dsvc: pending session %s already owns %q", s.id, r.name)
+				}
+			}
+		case SessionReleased, SessionFailed:
+			// Unreachable: terminal handled above.
+		default:
+			return fmt.Errorf("dsvc: session %s in unknown state %v", s.id, s.state)
+		}
+	}
+	if inflight != e.inflight {
+		return fmt.Errorf("dsvc: inflight window %d, counted %d", e.inflight, inflight)
+	}
+	// Sorted union of tenant names so the first mismatch reported does
+	// not depend on map iteration order.
+	names := make([]string, 0, len(tenants)+len(e.tenantInflight))
+	for t := range tenants {
+		names = append(names, t)
+	}
+	for t := range e.tenantInflight {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		if e.tenantInflight[t] != tenants[t] {
+			return fmt.Errorf("dsvc: tenant %q window %d, counted %d", t, e.tenantInflight[t], tenants[t])
+		}
+	}
+	// Live queues sit on committed edges.
+	for i, q := range e.queues {
+		if q.dead {
+			continue
+		}
+		if j, ok := e.qIdx[[2]int{q.from, q.to}]; !ok || j != i {
+			return fmt.Errorf("dsvc: queue %d→%d not indexed", q.from, q.to)
+		}
+		if !e.g.HasEdge(q.from, q.to) {
+			return fmt.Errorf("dsvc: live queue %d→%d on missing edge", q.from, q.to)
+		}
+	}
+	keys := make([][2]int, 0, len(e.qIdx))
+	for key := range e.qIdx {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, key := range keys {
+		i := e.qIdx[key]
+		if i < 0 || i >= len(e.queues) || e.queues[i].dead ||
+			e.queues[i].from != key[0] || e.queues[i].to != key[1] {
+			return fmt.Errorf("dsvc: queue index %v→%d stale", key, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package dsvcd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dsvc"
+)
+
+// FuzzSessionAPI interprets the fuzz input as a client script — every
+// two bytes one API call against a live Service — and asserts the
+// properties a hostile client must not be able to break:
+//
+//   - no handler panics and no engine-invariant trip (a session state
+//     machine driven into an illegal transition surfaces via Err);
+//   - no leaked sessions: after the script, the engine's in-flight
+//     windows match the live sessions exactly and no terminal session
+//     still owns a resource (CheckInvariants audits both);
+//   - zero exclusion violations, since every script runs with an exact
+//     in-process suspicion oracle.
+//
+// The committed corpus under testdata/fuzz/FuzzSessionAPI seeds the
+// interesting shapes: grant/release cycles, edge churn under held
+// sessions, deregister races, window exhaustion, and malformed bodies.
+func FuzzSessionAPI(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x20, 0x30, 0x40})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x10, 0x11, 0x20, 0x21, 0x30, 0x31, 0x40, 0x41})
+	f.Add([]byte{0x00, 0x01, 0x10, 0x20, 0x50, 0x12, 0x30, 0x60, 0x70})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0x05, 0x06, 0x07, 0x20, 0x20, 0x20, 0x20})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		s := New(Config{Limits: dsvc.Limits{
+			MaxResources:      8,
+			MaxSessions:       8,
+			MaxPerTenant:      4,
+			MaxPendingChanges: 4,
+		}})
+		s.Start()
+		defer s.Stop()
+		h := s.Handler()
+
+		post := func(path string, body any) {
+			b, err := json.Marshal(body)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("POST", path, bytes.NewReader(b)))
+			if rec.Code >= 500 {
+				t.Fatalf("POST %s %v -> %d %s", path, body, rec.Code, rec.Body.String())
+			}
+		}
+		req := func(method, path string) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+			if rec.Code >= 500 {
+				t.Fatalf("%s %s -> %d %s", method, path, rec.Code, rec.Body.String())
+			}
+		}
+		name := func(arg byte) string { return fmt.Sprintf("r%d", arg%4) }
+
+		var sessions []string
+		for i := 0; i < len(script); i += 2 {
+			op := script[i] >> 4
+			var arg byte
+			if i+1 < len(script) {
+				arg = script[i+1]
+			}
+			switch op {
+			case 0x0: // register
+				post("/v1/resources", registerRequest{Name: name(arg), Tenant: fmt.Sprintf("t%d", arg%2)})
+			case 0x1: // add edge
+				post("/v1/edges", edgeRequest{A: name(arg), B: name(arg >> 2)})
+			case 0x2: // acquire (wait 0: the fuzzer never blocks)
+				res := []string{name(arg)}
+				if arg%3 == 0 {
+					res = append(res, name(arg>>2))
+				}
+				b, _ := json.Marshal(acquireRequest{Tenant: fmt.Sprintf("t%d", arg%2), Resources: res})
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/sessions", bytes.NewReader(b)))
+				if rec.Code >= 500 {
+					t.Fatalf("acquire %v -> %d %s", res, rec.Code, rec.Body.String())
+				}
+				var got struct {
+					ID string `json:"id"`
+				}
+				if json.Unmarshal(rec.Body.Bytes(), &got) == nil && got.ID != "" {
+					sessions = append(sessions, got.ID)
+				}
+			case 0x3: // release a previously admitted session
+				if len(sessions) > 0 {
+					req("DELETE", "/v1/sessions/"+sessions[int(arg)%len(sessions)])
+				}
+			case 0x4: // release an arbitrary (likely unknown) session id
+				req("DELETE", fmt.Sprintf("/v1/sessions/s%d", arg))
+			case 0x5: // remove edge
+				post("/v1/edges", edgeRequest{A: name(arg), B: name(arg >> 2), Op: "remove"})
+			case 0x6: // deregister
+				req("DELETE", "/v1/resources/"+name(arg))
+			case 0x7: // poll a session
+				if len(sessions) > 0 {
+					req("GET", "/v1/sessions/"+sessions[int(arg)%len(sessions)])
+				}
+			case 0x8: // status probe
+				req("GET", "/v1/status")
+			default: // raw bytes straight at the decoder
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/sessions", bytes.NewReader(script[i:])))
+				if rec.Code >= 500 {
+					t.Fatalf("raw body -> %d %s", rec.Code, rec.Body.String())
+				}
+			}
+		}
+		if err := s.Check(); err != nil {
+			t.Fatalf("post-script audit: %v", err)
+		}
+		st, ok := s.Status()
+		if !ok {
+			t.Fatal("status after script")
+		}
+		if st.Violations != 0 {
+			t.Fatalf("exclusion violations: %d", st.Violations)
+		}
+		// No leaked sessions: every granted session in the snapshot must
+		// be one the script admitted (the engine never invents sessions).
+		admitted := make(map[string]bool, len(sessions))
+		for _, id := range sessions {
+			admitted[id] = true
+		}
+		for _, ss := range st.Sessions {
+			if ss.State == dsvc.SessionGranted.String() && !admitted[ss.ID] {
+				t.Fatalf("granted session %s never admitted by the script", ss.ID)
+			}
+		}
+	})
+}

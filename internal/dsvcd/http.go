@@ -1,0 +1,305 @@
+package dsvcd
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"time"
+
+	"repro/internal/dsvc"
+)
+
+// API shapes. Every response body is JSON; errors render as
+// {"error": "..."} with the status code carrying the class.
+
+type registerRequest struct {
+	Name   string `json:"name"`
+	Tenant string `json:"tenant"`
+}
+
+type registerResponse struct {
+	Name string `json:"name"`
+	Proc int    `json:"proc"`
+}
+
+type edgeRequest struct {
+	A  string `json:"a"`
+	B  string `json:"b"`
+	Op string `json:"op"` // "add" (default) or "remove"
+}
+
+type acquireRequest struct {
+	Tenant    string   `json:"tenant"`
+	Resources []string `json:"resources"`
+	// WaitMS long-polls the grant for up to this many milliseconds
+	// (capped by Config.MaxWait). 0 returns the admission result
+	// immediately.
+	WaitMS int `json:"wait_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// statusOf maps an engine error to its HTTP class.
+func statusOf(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, dsvc.ErrTenantWindow),
+		errors.Is(err, dsvc.ErrGlobalWindow),
+		errors.Is(err, dsvc.ErrChangeWindow),
+		errors.Is(err, dsvc.ErrResourceWindow):
+		return http.StatusTooManyRequests // backpressure: reject, don't queue
+	case errors.Is(err, dsvc.ErrUnknownResource), errors.Is(err, dsvc.ErrUnknownSession):
+		return http.StatusNotFound
+	case errors.Is(err, dsvc.ErrDuplicateResource),
+		errors.Is(err, dsvc.ErrConflictingSet),
+		errors.Is(err, dsvc.ErrResourceBusy),
+		errors.Is(err, dsvc.ErrRetiring),
+		errors.Is(err, dsvc.ErrCrashed):
+		return http.StatusConflict
+	case errors.Is(err, dsvc.ErrSessionClosed):
+		return http.StatusGone
+	case errors.Is(err, dsvc.ErrBadRequest):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+}
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+const stoppedMsg = "dsvc service stopping"
+
+// Handler returns the /v1/* API surface, ready to mount on a dinerd
+// mux next to the node's own /status.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/resources", s.handleRegister)
+	mux.HandleFunc("DELETE /v1/resources/{name}", s.handleDeregister)
+	mux.HandleFunc("POST /v1/edges", s.handleEdge)
+	mux.HandleFunc("POST /v1/sessions", s.handleAcquire)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleRelease)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return mux
+}
+
+// Compose mounts the dsvc API (or its proxy) in front of a node's own
+// handler: /v1/* goes to api, everything else to node.
+func Compose(api, node http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", api)
+	mux.Handle("/", node)
+	return mux
+}
+
+// Proxy forwards /v1/* to the coordinator node hosting the engine, so
+// every dinerd in the cluster serves the session API.
+func Proxy(coordinator string) (http.Handler, error) {
+	u, err := url.Parse(coordinator)
+	if err != nil {
+		return nil, err
+	}
+	return httputil.NewSingleHostReverseProxy(u), nil
+}
+
+func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	var (
+		proc int
+		err  error
+	)
+	if !s.do(func() { proc, err = s.eng.Register(req.Name, req.Tenant) }) {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: stoppedMsg})
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.logf("registered %q as proc %d", req.Name, proc)
+	writeJSON(w, http.StatusCreated, registerResponse{Name: req.Name, Proc: proc})
+}
+
+func (s *Service) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var err error
+	if !s.do(func() { err = s.eng.Deregister(name) }) {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: stoppedMsg})
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.logf("deregistering %q", name)
+	writeJSON(w, http.StatusAccepted, map[string]string{"name": name, "state": "retiring"})
+}
+
+func (s *Service) handleEdge(w http.ResponseWriter, r *http.Request) {
+	var req edgeRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if req.Op != "" && req.Op != "add" && req.Op != "remove" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `op must be "add" or "remove"`})
+		return
+	}
+	var err error
+	ok := s.do(func() {
+		if req.Op == "remove" {
+			err = s.eng.RemoveEdge(req.A, req.B)
+		} else {
+			err = s.eng.AddEdge(req.A, req.B)
+		}
+	})
+	if !ok {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: stoppedMsg})
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.logf("edge %s %s-%s staged", req.Op, req.A, req.B)
+	// The commit is asynchronous (session-drain protocol): 202, and the
+	// client watches /v1/status for pending_changes to drain.
+	writeJSON(w, http.StatusAccepted, map[string]string{"a": req.A, "b": req.B, "state": "staged"})
+}
+
+func (s *Service) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	var req acquireRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait > s.cfg.MaxWait {
+		wait = s.cfg.MaxWait
+	}
+	var (
+		st   dsvc.SessionStatus
+		aerr error
+		ch   chan dsvc.SessionStatus
+	)
+	ok := s.do(func() {
+		sess, err := s.eng.Acquire(req.Tenant, req.Resources)
+		if err != nil {
+			aerr = err
+			return
+		}
+		st, _ = s.eng.SessionStatus(sess.ID())
+		if !settled(st.State) && wait > 0 {
+			ch = make(chan dsvc.SessionStatus, 1)
+			s.waiters[st.ID] = append(s.waiters[st.ID], ch)
+		}
+	})
+	if !ok {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: stoppedMsg})
+		return
+	}
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	if ch != nil {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case got := <-ch:
+			st = got
+		case <-timer.C:
+			// Timed out: report the current state (a waiter entry may
+			// linger; settleWaiters drops it when the session settles).
+			if !s.do(func() { st, _ = s.eng.SessionStatus(st.ID) }) {
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: stoppedMsg})
+				return
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: stoppedMsg})
+			return
+		}
+	}
+	code := http.StatusAccepted // admitted, not yet granted
+	if st.State == dsvc.SessionGranted.String() {
+		code = http.StatusCreated
+	}
+	s.logf("session %s %s (tenant %q over %v)", st.ID, st.State, req.Tenant, req.Resources)
+	writeJSON(w, code, st)
+}
+
+func (s *Service) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var (
+		st dsvc.SessionStatus
+		ok bool
+	)
+	if !s.do(func() { st, ok = s.eng.SessionStatus(id) }) {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: stoppedMsg})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var (
+		err error
+		st  dsvc.SessionStatus
+	)
+	if !s.do(func() {
+		if err = s.eng.Release(id); err == nil {
+			st, _ = s.eng.SessionStatus(id)
+		}
+	}) {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: stoppedMsg})
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.logf("session %s released", id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	st, ok := s.Status()
+	if !ok {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: stoppedMsg})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

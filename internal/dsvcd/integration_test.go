@@ -1,0 +1,177 @@
+package dsvcd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/dsvc"
+	"repro/internal/graph"
+	"repro/internal/remote/cluster"
+)
+
+// TestThreeNodeDinerdWiring stands up a real 3-node dining cluster
+// (loopback TCP, the dinerd composition: each node's HTTP mux serves
+// its own /status plus the /v1/* session API) and drives
+// register → acquire → release through *different* nodes, with a
+// conflict edge added and removed at runtime. Node 0 is the dsvc
+// coordinator; nodes 1 and 2 forward /v1/* to it exactly as
+// `dinerd -dsvc-coordinator <url>` does.
+func TestThreeNodeDinerdWiring(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	cl, err := cluster.New(g, [][]int{{0}, {1}, {2}}, cluster.Options{})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer cl.Stop()
+
+	svc := New(Config{Limits: dsvc.Limits{}})
+	svc.Start()
+	defer svc.Stop()
+
+	// dinerd mux composition: coordinator serves the engine, the other
+	// nodes proxy /v1/* to it; every node keeps its own /status.
+	servers := make([]*httptest.Server, 3)
+	servers[0] = httptest.NewServer(Compose(svc.Handler(), cl.Nodes[0].Handler()))
+	defer servers[0].Close()
+	for i := 1; i < 3; i++ {
+		p, perr := Proxy(servers[0].URL)
+		if perr != nil {
+			t.Fatalf("proxy: %v", perr)
+		}
+		servers[i] = httptest.NewServer(Compose(p, cl.Nodes[i].Handler()))
+		defer servers[i].Close()
+	}
+
+	post := func(node int, path string, body any, wantCode int) map[string]any {
+		t.Helper()
+		b, merr := json.Marshal(body)
+		if merr != nil {
+			t.Fatalf("marshal: %v", merr)
+		}
+		resp, herr := http.Post(servers[node].URL+path, "application/json", bytes.NewReader(b))
+		if herr != nil {
+			t.Fatalf("node %d POST %s: %v", node, path, herr)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		if resp.StatusCode != wantCode {
+			t.Fatalf("node %d POST %s: %d (want %d): %v", node, path, resp.StatusCode, wantCode, out)
+		}
+		return out
+	}
+	do := func(node int, method, path string, wantCode int) map[string]any {
+		t.Helper()
+		req, rerr := http.NewRequest(method, servers[node].URL+path, nil)
+		if rerr != nil {
+			t.Fatalf("request: %v", rerr)
+		}
+		resp, herr := http.DefaultClient.Do(req)
+		if herr != nil {
+			t.Fatalf("node %d %s %s: %v", node, method, path, herr)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		if resp.StatusCode != wantCode {
+			t.Fatalf("node %d %s %s: %d (want %d): %v", node, method, path, resp.StatusCode, wantCode, out)
+		}
+		return out
+	}
+
+	// Register through node 1 (proxied), read back through node 2.
+	for _, n := range []string{"stage", "prod", "audit"} {
+		post(1, "/v1/resources", registerRequest{Name: n, Tenant: "acme"}, http.StatusCreated)
+	}
+	st := do(2, "GET", "/v1/status", http.StatusOK)
+	if len(st["resources"].([]any)) != 3 {
+		t.Fatalf("resources via proxy = %v", st["resources"])
+	}
+
+	// Add a conflict edge at runtime through node 2.
+	post(2, "/v1/edges", edgeRequest{A: "stage", B: "prod"}, http.StatusAccepted)
+	waitDrained := func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			s := do(0, "GET", "/v1/status", http.StatusOK)
+			if s["pending_changes"] == float64(0) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("graph change never committed: %v", s)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitDrained()
+
+	// Acquire stage via node 0, then prod via node 1: the runtime edge
+	// makes them conflict, so the second long-polls until the release.
+	s1 := post(0, "/v1/sessions", acquireRequest{Tenant: "acme", Resources: []string{"stage"}, WaitMS: 3000}, http.StatusCreated)
+	if s1["state"] != "granted" {
+		t.Fatalf("s1 = %v", s1)
+	}
+	type result struct{ body map[string]any }
+	ch := make(chan result, 1)
+	go func() {
+		b, _ := json.Marshal(acquireRequest{Tenant: "acme", Resources: []string{"prod"}, WaitMS: 5000})
+		resp, herr := http.Post(servers[1].URL+"/v1/sessions", "application/json", bytes.NewReader(b))
+		if herr != nil {
+			ch <- result{map[string]any{"error": herr.Error()}}
+			return
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		ch <- result{out}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the long-poll park
+	do(2, "DELETE", "/v1/sessions/"+s1["id"].(string), http.StatusOK)
+	r2 := <-ch
+	if r2.body["state"] != "granted" {
+		t.Fatalf("long-polled prod session = %v", r2.body)
+	}
+	do(0, "DELETE", "/v1/sessions/"+r2.body["id"].(string), http.StatusOK)
+
+	// Remove the edge at runtime: stage+prod are acquirable as one set.
+	post(1, "/v1/edges", edgeRequest{A: "stage", B: "prod", Op: "remove"}, http.StatusAccepted)
+	waitDrained()
+	s3 := post(2, "/v1/sessions", acquireRequest{Tenant: "acme", Resources: []string{"stage", "prod"}, WaitMS: 3000}, http.StatusCreated)
+	if s3["state"] != "granted" {
+		t.Fatalf("s3 = %v", s3)
+	}
+	do(1, "DELETE", "/v1/sessions/"+s3["id"].(string), http.StatusOK)
+
+	// Every node still serves its own dining /status beside the API.
+	for i := 0; i < 3; i++ {
+		resp, herr := http.Get(servers[i].URL + "/status")
+		if herr != nil {
+			t.Fatalf("node %d /status: %v", i, herr)
+		}
+		var ns map[string]any
+		json.NewDecoder(resp.Body).Decode(&ns)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || ns["node"] != float64(i) {
+			t.Fatalf("node %d /status: %d %v", i, resp.StatusCode, ns)
+		}
+	}
+
+	if err := svc.Check(); err != nil {
+		t.Fatalf("engine audit: %v", err)
+	}
+	fst, _ := svc.Status()
+	if fst.Violations != 0 {
+		t.Fatalf("violations: %d", fst.Violations)
+	}
+	if cerr := cl.Err(); cerr != nil {
+		t.Fatalf("cluster protocol error: %v", cerr)
+	}
+}

@@ -1,0 +1,179 @@
+// Package dsvcd serves the dining-as-a-service client API over HTTP:
+// register/deregister resources, add/remove conflict edges, and
+// acquire/release sessions with a long-poll on the grant. It wraps one
+// dsvc.Engine — a deterministic, single-threaded state machine — behind
+// the same closure-mailbox ownership discipline internal/remote uses
+// for its peer managers: a single run goroutine owns the engine, every
+// handler posts closures to its command channel, and the package needs
+// no locks at all (the mailboxown analyzer enforces the annotations).
+//
+// A dinerd node either hosts the engine (the coordinator) and mounts
+// Service.Handler on its mux, or forwards /v1/* to the coordinator with
+// Proxy — so a client can speak to any node of the cluster.
+package dsvcd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dsvc"
+	"repro/internal/sim"
+)
+
+// Config assembles a Service.
+type Config struct {
+	// Limits parameterizes the engine's admission control (zero fields
+	// take dsvc defaults).
+	Limits dsvc.Limits
+	// MaxWait caps one long-poll's wait (default 30s).
+	MaxWait time.Duration
+	// Logf, when non-nil, receives request-level logging.
+	Logf func(format string, args ...any)
+}
+
+// Service owns a dsvc.Engine and serializes all access through its
+// mailbox goroutine.
+type Service struct {
+	cfg Config
+
+	eng      *dsvc.Engine                         // owned: run
+	waiters  map[string][]chan dsvc.SessionStatus // owned: run
+	lastTick time.Time                            // owned: run
+
+	cmds     chan func()
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	started  bool
+}
+
+// New builds (but does not start) a service.
+func New(cfg Config) *Service {
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 30 * time.Second
+	}
+	return &Service{
+		cfg:     cfg,
+		eng:     dsvc.NewEngine(cfg.Limits),
+		waiters: make(map[string][]chan dsvc.SessionStatus),
+		cmds:    make(chan func(), 64),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Start launches the engine-owner goroutine. Extra calls are no-ops.
+func (s *Service) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.lastTick = time.Now()
+	s.wg.Add(1)
+	go s.run()
+}
+
+// Stop shuts the mailbox down; in-flight long-polls fail with 503.
+func (s *Service) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// run is the engine-owner loop: it executes posted closures one at a
+// time, pumps the engine's message queues to quiescence after each, and
+// settles long-polls whose session reached a settled state.
+func (s *Service) run() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case fn := <-s.cmds:
+			s.advance()
+			fn()
+			s.eng.PumpAll()
+			s.settleWaiters()
+		}
+	}
+}
+
+// advance injects wall time into the engine's logical clock (whole
+// milliseconds; the remainder carries over via lastTick rounding).
+func (s *Service) advance() {
+	now := time.Now()
+	if ms := now.Sub(s.lastTick).Milliseconds(); ms > 0 {
+		s.eng.Advance(sim.Time(ms))
+		s.lastTick = s.lastTick.Add(time.Duration(ms) * time.Millisecond)
+	}
+}
+
+// do runs fn on the owner goroutine and waits for it; false means the
+// service is stopping and fn may not have run.
+func (s *Service) do(fn func()) bool {
+	done := make(chan struct{})
+	wrapped := func() { defer close(done); fn() }
+	select {
+	case s.cmds <- wrapped:
+	case <-s.stop:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// settled reports a session state string that ends a long-poll.
+func settled(state string) bool {
+	switch state {
+	case dsvc.SessionGranted.String(), dsvc.SessionReleased.String(), dsvc.SessionFailed.String():
+		return true
+	}
+	return false
+}
+
+// settleWaiters resolves every long-poll whose session is granted,
+// terminal, or gone.
+func (s *Service) settleWaiters() {
+	for id, chans := range s.waiters {
+		st, ok := s.eng.SessionStatus(id)
+		if ok && !settled(st.State) {
+			continue
+		}
+		if !ok {
+			st = dsvc.SessionStatus{ID: id, State: "pruned"}
+		}
+		for _, ch := range chans {
+			select {
+			case ch <- st:
+			default:
+			}
+		}
+		delete(s.waiters, id)
+	}
+}
+
+// Check audits the engine (used by tests and the fuzzer): the first
+// internal-invariant error, or a cross-structure inconsistency.
+func (s *Service) Check() error {
+	var err error
+	if !s.do(func() { err = s.eng.CheckInvariants() }) {
+		return fmt.Errorf("dsvcd: service stopped")
+	}
+	return err
+}
+
+// Status snapshots the engine.
+func (s *Service) Status() (dsvc.Status, bool) {
+	var st dsvc.Status
+	ok := s.do(func() { st = s.eng.Status() })
+	return st, ok
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

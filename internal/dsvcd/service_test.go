@@ -1,0 +1,323 @@
+package dsvcd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dsvc"
+)
+
+// call drives one request through the handler without a network.
+func call(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: non-JSON body %q", method, path, rec.Body.String())
+		}
+	}
+	return rec, out
+}
+
+func newTestService(t *testing.T, limits dsvc.Limits) (*Service, http.Handler) {
+	t.Helper()
+	s := New(Config{Limits: limits})
+	s.Start()
+	t.Cleanup(s.Stop)
+	return s, s.Handler()
+}
+
+func TestHTTPRegisterAcquireRelease(t *testing.T) {
+	s, h := newTestService(t, dsvc.Limits{})
+	rec, body := call(t, h, "POST", "/v1/resources", registerRequest{Name: "db", Tenant: "acme"})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("register: %d %v", rec.Code, body)
+	}
+	rec, _ = call(t, h, "POST", "/v1/resources", registerRequest{Name: "db", Tenant: "acme"})
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate register: %d", rec.Code)
+	}
+
+	rec, body = call(t, h, "POST", "/v1/sessions", acquireRequest{Tenant: "acme", Resources: []string{"db"}, WaitMS: 1000})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("acquire: %d %v", rec.Code, body)
+	}
+	if body["state"] != "granted" {
+		t.Fatalf("state = %v, want granted", body["state"])
+	}
+	id := body["id"].(string)
+
+	rec, body = call(t, h, "GET", "/v1/sessions/"+id, nil)
+	if rec.Code != http.StatusOK || body["state"] != "granted" {
+		t.Fatalf("get session: %d %v", rec.Code, body)
+	}
+
+	rec, body = call(t, h, "DELETE", "/v1/sessions/"+id, nil)
+	if rec.Code != http.StatusOK || body["state"] != "released" {
+		t.Fatalf("release: %d %v", rec.Code, body)
+	}
+	rec, _ = call(t, h, "DELETE", "/v1/sessions/"+id, nil)
+	if rec.Code != http.StatusGone {
+		t.Fatalf("double release: %d", rec.Code)
+	}
+	rec, _ = call(t, h, "DELETE", "/v1/sessions/nope", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown release: %d", rec.Code)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPLongPollGrant(t *testing.T) {
+	s, h := newTestService(t, dsvc.Limits{})
+	call(t, h, "POST", "/v1/resources", registerRequest{Name: "a", Tenant: "t"})
+	call(t, h, "POST", "/v1/resources", registerRequest{Name: "b", Tenant: "t"})
+	rec, _ := call(t, h, "POST", "/v1/edges", edgeRequest{A: "a", B: "b"})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("add edge: %d", rec.Code)
+	}
+	// First session takes a; a second session over b conflicts at the
+	// dining layer and must long-poll until the release.
+	_, body := call(t, h, "POST", "/v1/sessions", acquireRequest{Tenant: "t", Resources: []string{"a"}, WaitMS: 2000})
+	if body["state"] != "granted" {
+		t.Fatalf("s1: %v", body)
+	}
+	s1 := body["id"].(string)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	results := make(chan map[string]any, 1)
+	go func() {
+		defer wg.Done()
+		_, b := call(t, h, "POST", "/v1/sessions", acquireRequest{Tenant: "t", Resources: []string{"b"}, WaitMS: 5000})
+		results <- b
+	}()
+	// Give the long-poll a moment to park, then release s1.
+	time.Sleep(50 * time.Millisecond)
+	call(t, h, "DELETE", "/v1/sessions/"+s1, nil)
+	wg.Wait()
+	b2 := <-results
+	if b2["state"] != "granted" {
+		t.Fatalf("long-polled session: %v", b2)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPBackpressure429(t *testing.T) {
+	s, h := newTestService(t, dsvc.Limits{MaxPerTenant: 1, MaxPendingChanges: 1})
+	call(t, h, "POST", "/v1/resources", registerRequest{Name: "a", Tenant: "t"})
+	call(t, h, "POST", "/v1/resources", registerRequest{Name: "b", Tenant: "t"})
+	call(t, h, "POST", "/v1/resources", registerRequest{Name: "c", Tenant: "t"})
+	_, body := call(t, h, "POST", "/v1/sessions", acquireRequest{Tenant: "t", Resources: []string{"a"}})
+	rec, eb := call(t, h, "POST", "/v1/sessions", acquireRequest{Tenant: "t", Resources: []string{"b"}})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("tenant window: %d %v", rec.Code, eb)
+	}
+	if !strings.Contains(eb["error"].(string), "backpressure") {
+		t.Fatalf("window error lost the backpressure vocabulary: %v", eb["error"])
+	}
+	// One granted session holds the drain open, so a first change stays
+	// pending and a second trips the change window.
+	sid := body["id"].(string)
+	rec, _ = call(t, h, "POST", "/v1/edges", edgeRequest{A: "a", B: "b"})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("edge: %d", rec.Code)
+	}
+	rec, _ = call(t, h, "POST", "/v1/edges", edgeRequest{A: "a", B: "c"})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("change window: %d", rec.Code)
+	}
+	call(t, h, "DELETE", "/v1/sessions/"+sid, nil)
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPEdgeLifecycleAndStatus(t *testing.T) {
+	s, h := newTestService(t, dsvc.Limits{})
+	for _, n := range []string{"a", "b", "c"} {
+		call(t, h, "POST", "/v1/resources", registerRequest{Name: n, Tenant: "t"})
+	}
+	call(t, h, "POST", "/v1/edges", edgeRequest{A: "a", B: "b"})
+	call(t, h, "POST", "/v1/edges", edgeRequest{A: "b", B: "c"})
+	rec, _ := call(t, h, "POST", "/v1/sessions", acquireRequest{Tenant: "t", Resources: []string{"a", "b"}})
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("conflicting set: %d", rec.Code)
+	}
+	call(t, h, "POST", "/v1/edges", edgeRequest{A: "a", B: "b", Op: "remove"})
+	rec, body := call(t, h, "POST", "/v1/sessions", acquireRequest{Tenant: "t", Resources: []string{"a", "b"}, WaitMS: 2000})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("acquire after edge removal: %d %v", rec.Code, body)
+	}
+	call(t, h, "DELETE", "/v1/sessions/"+body["id"].(string), nil)
+
+	rec, st := call(t, h, "GET", "/v1/status", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status: %d", rec.Code)
+	}
+	if st["violations"] != float64(0) {
+		t.Fatalf("violations = %v", st["violations"])
+	}
+	edges := st["edges"].([]any)
+	if len(edges) != 1 {
+		t.Fatalf("edges = %v, want only b-c", edges)
+	}
+
+	rec, _ = call(t, h, "DELETE", "/v1/resources/a", nil)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("deregister: %d", rec.Code)
+	}
+	rec, _ = call(t, h, "POST", "/v1/edges", edgeRequest{A: "x", B: "a"})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("edge on unknown: %d", rec.Code)
+	}
+	rec, _ = call(t, h, "POST", "/v1/edges", edgeRequest{A: "b", B: "b"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("self edge: %d", rec.Code)
+	}
+	rec, _ = call(t, h, "POST", "/v1/edges", edgeRequest{A: "b", B: "c", Op: "sever"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad op: %d", rec.Code)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPProxyReachesCoordinator(t *testing.T) {
+	s, h := newTestService(t, dsvc.Limits{})
+	coord := httptest.NewServer(Compose(h, http.NotFoundHandler()))
+	defer coord.Close()
+	proxy, err := Proxy(coord.URL)
+	if err != nil {
+		t.Fatalf("Proxy: %v", err)
+	}
+	edge := httptest.NewServer(Compose(proxy, http.NotFoundHandler()))
+	defer edge.Close()
+
+	body, _ := json.Marshal(registerRequest{Name: "db", Tenant: "t"})
+	resp, err := http.Post(edge.URL+"/v1/resources", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("proxied register: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("proxied register: %d", resp.StatusCode)
+	}
+	st, ok := s.Status()
+	if !ok || len(st.Resources) != 1 || st.Resources[0].Name != "db" {
+		t.Fatalf("proxied write did not reach the engine: %+v", st)
+	}
+}
+
+func TestHTTPMalformedBodies(t *testing.T) {
+	s, h := newTestService(t, dsvc.Limits{})
+	for _, tc := range []struct{ method, path, body string }{
+		{"POST", "/v1/resources", "{"},
+		{"POST", "/v1/resources", `{"nope": 1}`},
+		{"POST", "/v1/sessions", `[]`},
+		{"POST", "/v1/edges", `"x"`},
+	} {
+		req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s %s %q: %d, want 400", tc.method, tc.path, tc.body, rec.Code)
+		}
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoppedServiceReturns503(t *testing.T) {
+	s := New(Config{})
+	s.Start()
+	h := s.Handler()
+	s.Stop()
+	rec, _ := call(t, h, "GET", "/v1/status", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status after stop: %d", rec.Code)
+	}
+	rec, _ = call(t, h, "POST", "/v1/sessions", acquireRequest{Tenant: "t", Resources: []string{"a"}})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("acquire after stop: %d", rec.Code)
+	}
+}
+
+func TestManyConcurrentClients(t *testing.T) {
+	s, h := newTestService(t, dsvc.Limits{})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for i := 0; i < 4; i++ {
+		call(t, h, "POST", "/v1/resources", registerRequest{Name: fmt.Sprintf("r%d", i), Tenant: "t"})
+	}
+	call(t, h, "POST", "/v1/edges", edgeRequest{A: "r0", B: "r1"})
+	call(t, h, "POST", "/v1/edges", edgeRequest{A: "r2", B: "r3"})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := fmt.Sprintf("r%d", c%4)
+			for i := 0; i < 5; i++ {
+				ab, _ := json.Marshal(acquireRequest{Tenant: fmt.Sprintf("c%d", c), Resources: []string{name}, WaitMS: 5000})
+				resp, err := http.Post(srv.URL+"/v1/sessions", "application/json", bytes.NewReader(ab))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var got map[string]any
+				json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					errs <- fmt.Errorf("client %d: acquire %v -> %d %v", c, name, resp.StatusCode, got)
+					return
+				}
+				req, _ := http.NewRequest("DELETE", srv.URL+"/v1/sessions/"+got["id"].(string), nil)
+				dr, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				dr.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.Status()
+	if st.Violations != 0 {
+		t.Fatalf("violations under concurrent clients: %d", st.Violations)
+	}
+}

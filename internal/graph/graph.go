@@ -74,11 +74,49 @@ func (g *Graph) MustAddEdge(u, v int) {
 	}
 }
 
+// RemoveEdge deletes the undirected edge {u, v}. Removing a missing
+// edge is a no-op. It returns an error for out-of-range vertices or
+// self-loops, mirroring AddEdge.
+func (g *Graph) RemoveEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: edge {%d,%d} in graph of %d vertices", ErrVertexRange, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, v)
+	}
+	if !g.HasEdge(u, v) {
+		return nil
+	}
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
+	g.m--
+	return nil
+}
+
+// AddVertex appends a new isolated vertex and returns its ID. IDs stay
+// dense: the new vertex is always N (pre-growth), so existing IDs are
+// never disturbed. Callers that retire vertices (dsvc deregistration)
+// leave them isolated and recycle the IDs themselves.
+func (g *Graph) AddVertex() int {
+	id := g.n
+	g.n++
+	g.adj = append(g.adj, nil)
+	return id
+}
+
 func insertSorted(s []int, v int) []int {
 	i := sort.SearchInts(s, v)
 	s = append(s, 0)
 	copy(s[i+1:], s[i:])
 	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		s = append(s[:i], s[i+1:]...)
+	}
 	return s
 }
 

@@ -1,0 +1,147 @@
+package graph
+
+// Incremental Δ+1 recoloring for dynamic conflict graphs.
+//
+// The paper's priority machinery assumes a static proper coloring
+// computed once at boot (GreedyColoring). The dining-as-a-service layer
+// churns edges at runtime, and a full recolor on every change would
+// force every diner in the system through the drain protocol. The
+// planners below confine each change to the smaller affected
+// neighborhood:
+//
+//   - adding a conflicting edge recolors exactly one endpoint (the one
+//     with the smaller post-add degree) to its smallest free color,
+//     which is ≤ its post-add degree ≤ Δ+1 — the paper's O(δ) palette
+//     bound survives;
+//   - deleting an edge greedily lowers both endpoints, so priorities
+//     drift back down as conflicts disappear and the palette never
+//     grows (see the anti-minting guard below).
+//
+// Planners are pure: they inspect the graph in its PRE-change state and
+// return the color adjustments the change requires, without mutating
+// either the graph or the colors slice. The dsvc drain protocol needs
+// exactly this split — it must know which vertices are affected (to
+// park and drain them) before anything commits.
+
+// Recolor is one planned color change.
+type Recolor struct {
+	Vertex int
+	Color  int
+}
+
+// ApplyRecolors applies a plan to a colors slice in place.
+func ApplyRecolors(colors []int, plan []Recolor) {
+	for _, r := range plan {
+		colors[r.Vertex] = r.Color
+	}
+}
+
+// PlanAddEdge returns the recoloring required to keep colors proper
+// once the edge {u, v} is added. Call it BEFORE AddEdge: the graph must
+// not yet contain the edge. If the endpoints already differ in color no
+// recolor is needed and the plan is empty. Otherwise exactly one
+// endpoint — the one with the smaller post-add degree, ties broken
+// toward the smaller ID — moves to the smallest color not used by its
+// post-add neighborhood. That color is at most the vertex's post-add
+// degree, so the palette stays within Δ+1 of the new graph.
+func (g *Graph) PlanAddEdge(colors []int, u, v int) []Recolor {
+	if colors[u] != colors[v] {
+		return nil
+	}
+	// Post-add degrees: each endpoint gains one neighbor.
+	x, other := u, v
+	dv, du := g.Degree(v)+1, g.Degree(u)+1
+	if dv < du || (dv == du && v < u) {
+		x, other = v, u
+	}
+	used := make([]bool, g.Degree(x)+2)
+	mark := func(c int) {
+		if c >= 0 && c < len(used) {
+			used[c] = true
+		}
+	}
+	for _, w := range g.adj[x] {
+		mark(colors[w])
+	}
+	mark(colors[other])
+	for c := range used {
+		if !used[c] {
+			return []Recolor{{Vertex: x, Color: c}}
+		}
+	}
+	// Unreachable: used has Degree(x)+2 slots for Degree(x)+1 neighbors.
+	panic("graph: no free color within degree+1")
+}
+
+// PlanRemoveEdge returns the color reductions the removal of edge
+// {u, v} enables. Call it BEFORE RemoveEdge: the graph must still
+// contain the edge. Each endpoint greedily drops to its smallest free
+// color in the post-removal neighborhood, so priorities decay as
+// conflicts disappear.
+//
+// Guard against palette growth: the naive "smallest free color" rule
+// can MINT a color — drop a vertex into a globally-unused slot (a gap
+// left by earlier churn) while its old color survives on another
+// vertex, growing the distinct-color count. A deletion must never need
+// a new priority level, so an endpoint only moves to a color that is
+// already in use elsewhere, or swaps freely when it is the unique
+// holder of its current color. The palette therefore never increases
+// across a deletion (asserted by TestDeleteNeverGrowsPalette).
+func (g *Graph) PlanRemoveEdge(colors []int, u, v int) []Recolor {
+	if !g.HasEdge(u, v) {
+		return nil
+	}
+	inUse := make(map[int]int, len(colors))
+	for _, c := range colors {
+		inUse[c]++
+	}
+	var plan []Recolor
+	// Deterministic order: lower endpoint plans first; the second
+	// endpoint sees the first's move (they are non-adjacent afterwards,
+	// so sharing a color is legal).
+	a, b := u, v
+	if b < a {
+		a, b = b, a
+	}
+	for _, x := range [2]int{a, b} {
+		skip := b
+		if x == b {
+			skip = a
+		}
+		cur := colors[x]
+		used := make([]bool, g.Degree(x)+1)
+		for _, w := range g.adj[x] {
+			if w == skip {
+				continue
+			}
+			// A same-plan move of the other endpoint has already been
+			// folded into inUse/colors via plan application below? No —
+			// planners never mutate colors. Look it up from the plan.
+			c := colors[w]
+			for _, r := range plan {
+				if r.Vertex == w {
+					c = r.Color
+				}
+			}
+			if c >= 0 && c < len(used) {
+				used[c] = true
+			}
+		}
+		for c := 0; c < cur && c < len(used); c++ {
+			if used[c] {
+				continue
+			}
+			// Anti-minting guard: only take c if it already exists
+			// globally, or if x is the unique holder of cur (a pure swap
+			// cannot grow the palette).
+			if inUse[c] == 0 && inUse[cur] > 1 {
+				continue
+			}
+			plan = append(plan, Recolor{Vertex: x, Color: c})
+			inUse[cur]--
+			inUse[c]++
+			break
+		}
+	}
+	return plan
+}

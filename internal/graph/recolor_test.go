@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRemoveEdgeBasic(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatalf("RemoveEdge(0,1): %v", err)
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("edge {0,1} should be gone in both directions")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M() = %d, want 1", g.M())
+	}
+	// Removing a missing edge is a no-op.
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatalf("RemoveEdge of missing edge: %v", err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M() = %d after double remove, want 1", g.M())
+	}
+	if err := g.RemoveEdge(0, 9); err == nil {
+		t.Fatal("RemoveEdge out of range should error")
+	}
+	if err := g.RemoveEdge(2, 2); err == nil {
+		t.Fatal("RemoveEdge self-loop should error")
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := Ring(3)
+	id := g.AddVertex()
+	if id != 3 {
+		t.Fatalf("AddVertex = %d, want 3", id)
+	}
+	if g.N() != 4 || g.Degree(3) != 0 {
+		t.Fatalf("new vertex not isolated: n=%d deg=%d", g.N(), g.Degree(3))
+	}
+	g.MustAddEdge(3, 0)
+	if !g.HasEdge(0, 3) {
+		t.Fatal("edge to grown vertex missing")
+	}
+}
+
+// evolve runs a random add/remove-edge churn over a graph, maintaining
+// colors through the incremental planners, and calls check after every
+// step. It is the shared driver for the recoloring properties.
+func evolve(t *testing.T, seed int64, steps int, check func(step int, g *Graph, colors []int, wasDelete bool, before []int)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := ConnectedGNP(8+rng.Intn(8), 0.3, rng)
+	colors := g.GreedyColoring()
+	if !g.IsProperColoring(colors) {
+		t.Fatal("seed coloring improper")
+	}
+	for step := 0; step < steps; step++ {
+		u := rng.Intn(g.N())
+		v := rng.Intn(g.N() - 1)
+		if v >= u {
+			v++
+		}
+		before := append([]int(nil), colors...)
+		del := g.HasEdge(u, v)
+		if del {
+			plan := g.PlanRemoveEdge(colors, u, v)
+			if err := g.RemoveEdge(u, v); err != nil {
+				t.Fatalf("step %d RemoveEdge: %v", step, err)
+			}
+			ApplyRecolors(colors, plan)
+		} else {
+			plan := g.PlanAddEdge(colors, u, v)
+			if len(plan) > 1 {
+				t.Fatalf("step %d: add-edge plan recolors %d vertices, want ≤1", step, len(plan))
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatalf("step %d AddEdge: %v", step, err)
+			}
+			ApplyRecolors(colors, plan)
+		}
+		check(step, g, colors, del, before)
+	}
+}
+
+// TestIncrementalRecolorProper: the planners keep the coloring proper
+// across arbitrary interleaved edge churn, and an edge addition never
+// needs a color above the Δ+1 bound of the current graph.
+func TestIncrementalRecolorProper(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		evolve(t, seed, 200, func(step int, g *Graph, colors []int, wasDelete bool, before []int) {
+			if !g.IsProperColoring(colors) {
+				t.Fatalf("seed %d step %d: improper coloring %v on %v", seed, step, colors, g)
+			}
+			if !wasDelete {
+				for v, c := range colors {
+					if c != before[v] && c > g.Degree(v) {
+						t.Fatalf("seed %d step %d: recolored vertex %d to %d > degree %d",
+							seed, step, v, c, g.Degree(v))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeleteNeverGrowsPalette is the satellite-2 property: recoloring
+// after an edge deletion never increases the palette — neither the
+// distinct-color count nor the maximum color. The naive smallest-free
+// rule violates the distinct-count half by minting a globally-unused
+// color into a gap left by earlier churn; PlanRemoveEdge's anti-minting
+// guard is the fix.
+func TestDeleteNeverGrowsPalette(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		evolve(t, seed, 300, func(step int, g *Graph, colors []int, wasDelete bool, before []int) {
+			if !wasDelete {
+				return
+			}
+			if got, was := NumColors(colors), NumColors(before); got > was {
+				t.Fatalf("seed %d step %d: deletion grew palette %d → %d (%v → %v)",
+					seed, step, was, got, before, colors)
+			}
+			if got, was := maxColor(colors), maxColor(before); got > was {
+				t.Fatalf("seed %d step %d: deletion grew max color %d → %d",
+					seed, step, was, got)
+			}
+		})
+	}
+}
+
+// TestDeleteLowersEndpoints: deleting every edge of a clique one by one
+// decays all priorities back to color 0.
+func TestDeleteLowersEndpoints(t *testing.T) {
+	g := Clique(5)
+	colors := g.GreedyColoring()
+	for _, e := range g.Edges() {
+		plan := g.PlanRemoveEdge(colors, e[0], e[1])
+		if err := g.RemoveEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+		ApplyRecolors(colors, plan)
+	}
+	for v, c := range colors {
+		if c != 0 {
+			t.Fatalf("vertex %d still color %d after full edge decay", v, c)
+		}
+	}
+}
+
+// TestPlanAddEdgeNoConflict: adding an edge between differently-colored
+// endpoints plans nothing.
+func TestPlanAddEdgeNoConflict(t *testing.T) {
+	g := Path(3)
+	colors := []int{0, 1, 0}
+	if plan := g.PlanAddEdge(colors, 0, 1); plan != nil {
+		t.Fatalf("existing edge with distinct colors planned %v", plan)
+	}
+	g2 := New(3)
+	if plan := g2.PlanAddEdge([]int{0, 0, 1}, 0, 2); plan != nil {
+		t.Fatalf("distinct-color add planned %v", plan)
+	}
+	plan := g2.PlanAddEdge([]int{0, 0, 1}, 0, 1)
+	if len(plan) != 1 || plan[0].Color == 0 {
+		t.Fatalf("conflicting add planned %v, want one non-zero recolor", plan)
+	}
+}
+
+func maxColor(colors []int) int {
+	m := 0
+	for _, c := range colors {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Dynamic monitors: the churn-tolerant counterparts of
+// ExclusionMonitor and ProgressMonitor. The static monitors are
+// indexed by a fixed conflict graph frozen at construction; the
+// dining-as-a-service layer adds and removes processes and edges at
+// runtime, and its correctness bar is stated against the *committed*
+// graph at each instant — an added edge constrains exclusion only from
+// its commit, a deleted edge until its commit. These monitors therefore
+// carry the membership as mutable state, mutated by the same committed
+// changes that mutate the diners.
+//
+// Determinism contract: adjacency is kept as sorted slices, never
+// iterated from a map, so violation order is a pure function of the
+// call sequence (the churn soak byte-compares rendered traces).
+
+// DynamicExclusionMonitor detects simultaneous eating by live
+// neighbors over a mutable conflict graph.
+type DynamicExclusionMonitor struct {
+	adj     map[int][]int // sorted neighbor lists of the committed graph
+	eating  map[int]bool
+	crashed map[int]bool
+	viol    []Violation
+}
+
+// NewDynamicExclusionMonitor creates an empty monitor; membership
+// arrives via AddProc/AddEdge.
+func NewDynamicExclusionMonitor() *DynamicExclusionMonitor {
+	return &DynamicExclusionMonitor{
+		adj:     make(map[int][]int),
+		eating:  make(map[int]bool),
+		crashed: make(map[int]bool),
+	}
+}
+
+// AddProc registers process id with no edges. Re-adding is a no-op.
+func (m *DynamicExclusionMonitor) AddProc(id int) {
+	if _, ok := m.adj[id]; !ok {
+		m.adj[id] = nil
+	}
+}
+
+// RemoveProc deregisters the process and severs all its edges.
+func (m *DynamicExclusionMonitor) RemoveProc(id int) {
+	for _, j := range m.adj[id] {
+		m.adj[j] = removeSortedInt(m.adj[j], id)
+	}
+	delete(m.adj, id)
+	delete(m.eating, id)
+	delete(m.crashed, id)
+}
+
+// AddEdge commits the conflict edge {a, b}; both endpoints must be
+// registered. From this instant simultaneous eating by a and b counts.
+func (m *DynamicExclusionMonitor) AddEdge(a, b int) {
+	m.AddProc(a)
+	m.AddProc(b)
+	m.adj[a] = insertSortedInt(m.adj[a], b)
+	m.adj[b] = insertSortedInt(m.adj[b], a)
+}
+
+// RemoveEdge removes the conflict edge {a, b}; from this instant a and
+// b may eat together legally.
+func (m *DynamicExclusionMonitor) RemoveEdge(a, b int) {
+	m.adj[a] = removeSortedInt(m.adj[a], b)
+	m.adj[b] = removeSortedInt(m.adj[b], a)
+}
+
+// OnTransition feeds a dining transition to the monitor.
+func (m *DynamicExclusionMonitor) OnTransition(at sim.Time, id int, _, to core.State) {
+	switch to {
+	case core.Eating:
+		m.eating[id] = true
+		for _, j := range m.adj[id] {
+			if m.eating[j] && !m.crashed[j] && !m.crashed[id] {
+				m.viol = append(m.viol, Violation{At: at, A: id, B: j})
+			}
+		}
+	case core.Thinking, core.Hungry:
+		m.eating[id] = false
+	}
+}
+
+// OnCrash marks the process down; its held critical section no longer
+// counts against live neighbors.
+func (m *DynamicExclusionMonitor) OnCrash(_ sim.Time, id int) { m.crashed[id] = true }
+
+// OnRestart marks the process live again with fresh dining state.
+func (m *DynamicExclusionMonitor) OnRestart(_ sim.Time, id int) {
+	m.crashed[id] = false
+	m.eating[id] = false
+}
+
+// Violations returns every recorded mistake in time order.
+func (m *DynamicExclusionMonitor) Violations() []Violation {
+	out := make([]Violation, len(m.viol))
+	copy(out, m.viol)
+	return out
+}
+
+// Count returns the total number of violations.
+func (m *DynamicExclusionMonitor) Count() int { return len(m.viol) }
+
+// DynamicProgressMonitor tracks hungry-session latency and starvation
+// over a mutable process set.
+type DynamicProgressMonitor struct {
+	hungryAt  map[int]sim.Time
+	hungry    map[int]bool
+	crashed   map[int]bool
+	perProc   map[int]int
+	latencies []sim.Time
+}
+
+// NewDynamicProgressMonitor creates an empty monitor.
+func NewDynamicProgressMonitor() *DynamicProgressMonitor {
+	return &DynamicProgressMonitor{
+		hungryAt: make(map[int]sim.Time),
+		hungry:   make(map[int]bool),
+		crashed:  make(map[int]bool),
+		perProc:  make(map[int]int),
+	}
+}
+
+// AddProc registers a process. Re-adding is a no-op (state kept).
+func (m *DynamicProgressMonitor) AddProc(id int) {
+	if _, ok := m.perProc[id]; !ok {
+		m.perProc[id] = 0
+	}
+}
+
+// RemoveProc deregisters a process; its open session (if any) is
+// discarded, not counted as starvation.
+func (m *DynamicProgressMonitor) RemoveProc(id int) {
+	delete(m.hungryAt, id)
+	delete(m.hungry, id)
+	delete(m.crashed, id)
+	delete(m.perProc, id)
+}
+
+// OnTransition feeds a dining transition to the monitor.
+func (m *DynamicProgressMonitor) OnTransition(at sim.Time, id int, _, to core.State) {
+	switch to {
+	case core.Hungry:
+		m.hungry[id] = true
+		m.hungryAt[id] = at
+	case core.Eating:
+		if m.hungry[id] {
+			m.latencies = append(m.latencies, at-m.hungryAt[id])
+			m.perProc[id]++
+			m.hungry[id] = false
+		}
+	case core.Thinking:
+		// An abort (drain recall) closes the session without a latency
+		// sample: the service re-opens it after the commit.
+		m.hungry[id] = false
+	}
+}
+
+// OnCrash feeds a crash to the monitor.
+func (m *DynamicProgressMonitor) OnCrash(_ sim.Time, id int) {
+	m.crashed[id] = true
+	m.hungry[id] = false
+}
+
+// OnRestart feeds a crash-recovery to the monitor.
+func (m *DynamicProgressMonitor) OnRestart(_ sim.Time, id int) {
+	m.crashed[id] = false
+	m.hungry[id] = false
+}
+
+// Starving returns the registered live processes still hungry at end
+// whose session is at least olderThan old, in ascending ID order.
+func (m *DynamicProgressMonitor) Starving(end sim.Time, olderThan sim.Time) []int {
+	var out []int
+	for id, h := range m.hungry {
+		if h && !m.crashed[id] && end-m.hungryAt[id] >= olderThan {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Completed returns the total completed hungry sessions.
+func (m *DynamicProgressMonitor) Completed() int { return len(m.latencies) }
+
+// CompletedOf returns completed sessions for one process.
+func (m *DynamicProgressMonitor) CompletedOf(id int) int { return m.perProc[id] }
+
+// Stats aggregates latencies of completed sessions (sorts the sample
+// buffer in place, like ProgressMonitor.Stats).
+func (m *DynamicProgressMonitor) Stats() SessionStats {
+	s := SessionStats{Completed: len(m.latencies)}
+	if s.Completed == 0 {
+		return s
+	}
+	sorted := m.latencies
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	var sum sim.Time
+	for _, l := range sorted {
+		sum += l
+	}
+	s.MaxLatency = sorted[len(sorted)-1]
+	s.MeanX100 = sum * 100 / sim.Time(len(sorted))
+	idx := len(sorted) * 99 / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	s.P99 = sorted[idx]
+	return s
+}
+
+func insertSortedInt(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSortedInt(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		s = append(s[:i], s[i+1:]...)
+	}
+	return s
+}

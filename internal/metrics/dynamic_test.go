@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDynamicExclusionEdgeChurn(t *testing.T) {
+	m := NewDynamicExclusionMonitor()
+	m.AddProc(0)
+	m.AddProc(1)
+
+	// No edge yet: simultaneous eating is legal.
+	m.OnTransition(10, 0, core.Hungry, core.Eating)
+	m.OnTransition(11, 1, core.Hungry, core.Eating)
+	if m.Count() != 0 {
+		t.Fatalf("violations before edge commit: %d", m.Count())
+	}
+
+	// Edge commits while both still eat; the next Eating entry by
+	// either counts.
+	m.AddEdge(0, 1)
+	m.OnTransition(12, 0, core.Eating, core.Thinking)
+	m.OnTransition(13, 0, core.Hungry, core.Eating)
+	if m.Count() != 1 {
+		t.Fatalf("violations after edge commit: %d, want 1", m.Count())
+	}
+	v := m.Violations()[0]
+	if v.At != 13 || v.A != 0 || v.B != 1 {
+		t.Fatalf("violation = %+v", v)
+	}
+
+	// Edge removal makes it legal again.
+	m.RemoveEdge(0, 1)
+	m.OnTransition(14, 0, core.Eating, core.Thinking)
+	m.OnTransition(15, 0, core.Hungry, core.Eating)
+	if m.Count() != 1 {
+		t.Fatalf("violations after edge removal: %d, want 1", m.Count())
+	}
+}
+
+func TestDynamicExclusionProcChurn(t *testing.T) {
+	m := NewDynamicExclusionMonitor()
+	m.AddEdge(0, 1) // registers both
+	m.OnTransition(1, 0, core.Hungry, core.Eating)
+	m.RemoveProc(1)
+	// 1 is gone; a fresh process reusing ID 1 starts unconnected.
+	m.AddProc(1)
+	m.OnTransition(2, 1, core.Hungry, core.Eating)
+	if m.Count() != 0 {
+		t.Fatalf("violations across ID reuse: %d", m.Count())
+	}
+	// Crash semantics carry over from the static monitor.
+	m.AddEdge(0, 1)
+	m.OnCrash(3, 0)
+	m.OnTransition(4, 1, core.Hungry, core.Eating)
+	m.OnTransition(4, 1, core.Eating, core.Thinking)
+	m.OnTransition(5, 1, core.Hungry, core.Eating)
+	if m.Count() != 0 {
+		t.Fatalf("violations against crashed neighbor: %d", m.Count())
+	}
+	m.OnRestart(6, 0)
+	m.OnTransition(7, 0, core.Hungry, core.Eating)
+	if m.Count() != 1 {
+		t.Fatalf("violations after restart: %d, want 1", m.Count())
+	}
+}
+
+func TestDynamicProgressChurn(t *testing.T) {
+	m := NewDynamicProgressMonitor()
+	m.AddProc(3)
+	m.OnTransition(100, 3, core.Thinking, core.Hungry)
+	if got := m.Starving(200, 50); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Starving = %v, want [3]", got)
+	}
+	// An abort closes the open session without a latency sample.
+	m.OnTransition(150, 3, core.Hungry, core.Thinking)
+	if got := m.Starving(200, 0); len(got) != 0 {
+		t.Fatalf("Starving after abort = %v", got)
+	}
+	if m.Completed() != 0 {
+		t.Fatalf("Completed = %d, want 0", m.Completed())
+	}
+	// A full session records latency.
+	m.OnTransition(200, 3, core.Thinking, core.Hungry)
+	m.OnTransition(260, 3, core.Hungry, core.Eating)
+	if m.Completed() != 1 || m.CompletedOf(3) != 1 {
+		t.Fatalf("Completed = %d/%d, want 1/1", m.Completed(), m.CompletedOf(3))
+	}
+	if s := m.Stats(); s.MaxLatency != 60 {
+		t.Fatalf("MaxLatency = %d, want 60", s.MaxLatency)
+	}
+	// Deregistration discards the open session.
+	m.OnTransition(300, 3, core.Thinking, core.Hungry)
+	m.RemoveProc(3)
+	if got := m.Starving(1000, 0); len(got) != 0 {
+		t.Fatalf("Starving after RemoveProc = %v", got)
+	}
+}

@@ -44,6 +44,13 @@ const (
 	// after every other event: everything after it is the stabilization
 	// window the paper's eventual guarantees quantify over.
 	ChaosHealAll
+	// ChaosHealLink reopens just the link A–B (both directions),
+	// releasing its held bytes. The selective counterpart of
+	// ChaosHealAll: a partition can end mid-run without declaring the
+	// whole network whole, which is what makes sim's timed partitions
+	// (Partition.End before the final heal) expressible on this
+	// backend.
+	ChaosHealLink
 )
 
 func (k ChaosKind) String() string {
@@ -70,6 +77,8 @@ func (k ChaosKind) String() string {
 		return "resume-drain"
 	case ChaosHealAll:
 		return "heal-all"
+	case ChaosHealLink:
+		return "heal-link"
 	default:
 		return fmt.Sprintf("chaoskind(%d)", int(k))
 	}
@@ -136,7 +145,7 @@ func (pl ChaosPlan) String() string {
 			fmt.Fprintf(&b, " %s", ev.A)
 		case ChaosSlowLink:
 			fmt.Fprintf(&b, " %s<->%s rate=%dB/s", ev.A, ev.B, ev.Rate)
-		case ChaosStopDrain, ChaosResumeDrain:
+		case ChaosStopDrain, ChaosResumeDrain, ChaosHealLink:
 			fmt.Fprintf(&b, " %s<->%s", ev.A, ev.B)
 		case ChaosHealAll:
 		}

@@ -221,6 +221,9 @@ func applyChaos(cl *Cluster, nw *netsim.Net, ev netsim.ChaosEvent) error {
 		nw.ResumeDrain(ev.A, ev.B)
 	case netsim.ChaosHealAll:
 		nw.HealAll()
+	case netsim.ChaosHealLink:
+		nw.HealDir(ev.A, ev.B)
+		nw.HealDir(ev.B, ev.A)
 	case netsim.ChaosCrash:
 		ni, err := nodeIndex(ev.A)
 		if err != nil {

@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dsvc"
+)
+
+// runDsvc executes the scenario on the dining-as-a-service engine:
+// the topology boots as one registered resource per process plus its
+// conflict edges, and the workload is a saturated per-resource client
+// loop — each live resource's client re-acquires a single-resource
+// session after Think ticks and releases it Eat ticks after the
+// grant. The churn vocabulary maps onto the engine's runtime-mutation
+// API (add-edge/del-edge through the session-drain protocol, add-proc
+// as a fresh registration, del-proc as a deregistration), and
+// crash/restart hit the hosted diners directly. Everything is pumped
+// to quiescence each tick, so a run is a pure function of the
+// scenario text and per-seed repeats are byte-identical by
+// construction.
+func runDsvc(sc *Scenario) (*Observations, error) {
+	n := sc.Topo.Procs()
+	e := dsvc.NewEngine(dsvc.Limits{MaxPerTenant: 256, MaxPendingChanges: 64})
+	name := func(p int) string { return fmt.Sprintf("p%d", p) }
+	for p := 0; p < n; p++ {
+		if _, err := e.Register(name(p), "scen"); err != nil {
+			return nil, fmt.Errorf("dsvc boot: register %s: %w", name(p), err)
+		}
+	}
+	for _, ed := range sc.Graph().Edges() {
+		if err := e.AddEdge(name(ed[0]), name(ed[1])); err != nil {
+			return nil, fmt.Errorf("dsvc boot: edge %d-%d: %w", ed[0], ed[1], err)
+		}
+	}
+	e.PumpAll()
+
+	// The stabilization anchor: the heal when there is one, else the
+	// last churn/fault event — wait-freedom is claimed for sessions
+	// admitted after it (the post-churn window).
+	anchor := int64(0)
+	if heal, ok := sc.HealAt(); ok {
+		anchor = heal
+	} else {
+		for _, ev := range sc.Events {
+			if ev.At > anchor {
+				anchor = ev.At
+			}
+		}
+	}
+
+	type client struct {
+		sess       *dsvc.Session
+		acquiredAt int64
+		grantSeen  int64
+		nextAt     int64
+		closedPost int
+	}
+	clients := make([]*client, n)
+	for p := range clients {
+		clients[p] = &client{grantSeen: -1}
+	}
+	down := make([]bool, n)
+	retired := make([]bool, n)
+
+	// retryable admission rejections: the client just tries again next
+	// tick (windows are backpressure, retiring/crashed are transient
+	// from the script's point of view).
+	retryable := func(err error) bool {
+		return errors.Is(err, dsvc.ErrTenantWindow) ||
+			errors.Is(err, dsvc.ErrGlobalWindow) ||
+			errors.Is(err, dsvc.ErrRetiring) ||
+			errors.Is(err, dsvc.ErrCrashed) ||
+			errors.Is(err, dsvc.ErrConflictingSet)
+	}
+
+	evIdx := 0
+	for t := int64(0); t <= sc.Horizon; t++ {
+		for evIdx < len(sc.Events) && sc.Events[evIdx].At <= t {
+			ev := sc.Events[evIdx]
+			evIdx++
+			switch ev.Kind {
+			case EventCrash:
+				p := ev.Procs[0]
+				if err := e.Crash(name(p)); err != nil {
+					return nil, fmt.Errorf("dsvc event crash %d: %w", p, err)
+				}
+				down[p] = true
+			case EventRestart:
+				p := ev.Procs[0]
+				if err := e.Restart(name(p)); err != nil {
+					return nil, fmt.Errorf("dsvc event restart %d: %w", p, err)
+				}
+				down[p] = false
+				clients[p].nextAt = t + sc.Work.Think
+			case EventAddEdge:
+				if err := e.AddEdge(name(ev.A), name(ev.B)); err != nil {
+					return nil, fmt.Errorf("dsvc event add-edge %d-%d: %w", ev.A, ev.B, err)
+				}
+			case EventDelEdge:
+				if err := e.RemoveEdge(name(ev.A), name(ev.B)); err != nil {
+					return nil, fmt.Errorf("dsvc event del-edge %d-%d: %w", ev.A, ev.B, err)
+				}
+			case EventAddProc:
+				p := len(clients)
+				if _, err := e.Register(name(p), "scen"); err != nil {
+					return nil, fmt.Errorf("dsvc event add-proc %d: %w", p, err)
+				}
+				clients = append(clients, &client{grantSeen: -1, nextAt: t + sc.Work.Think})
+				down = append(down, false)
+				retired = append(retired, false)
+			case EventDelProc:
+				p := ev.Procs[0]
+				c := clients[p]
+				if c.sess != nil && c.sess.State() != dsvc.SessionReleased && c.sess.State() != dsvc.SessionFailed {
+					if err := e.Release(c.sess.ID()); err != nil {
+						return nil, fmt.Errorf("dsvc event del-proc %d: release: %w", p, err)
+					}
+				}
+				c.sess = nil
+				if err := e.Deregister(name(p)); err != nil {
+					return nil, fmt.Errorf("dsvc event del-proc %d: %w", p, err)
+				}
+				retired[p] = true
+			case EventHeal:
+				// No link faults to end: on this backend the heal is purely
+				// the stabilization anchor.
+			case EventPartition, EventUnpartition, EventPartitionLink,
+				EventPartitionDir, EventReset, EventTruncate, EventSlowLink,
+				EventStopDrain, EventResumeDrain, EventLatency, EventBurst,
+				EventHealLink:
+				// Network vocabulary; Supports(BackendDsvc) rejects
+				// scenarios carrying these before a dsvc run can start.
+				panic("scenario: dsvc backend cannot execute event kind " + ev.Kind.String())
+			}
+		}
+
+		for p, c := range clients {
+			if down[p] || retired[p] {
+				continue
+			}
+			if c.sess != nil {
+				switch c.sess.State() {
+				case dsvc.SessionGranted:
+					if c.grantSeen < 0 {
+						c.grantSeen = t
+					}
+					if t-c.grantSeen >= sc.Work.Eat {
+						if err := e.Release(c.sess.ID()); err != nil {
+							return nil, fmt.Errorf("dsvc release %s: %w", c.sess.ID(), err)
+						}
+						if c.acquiredAt >= anchor {
+							c.closedPost++
+						}
+						c.sess = nil
+						c.nextAt = t + sc.Work.Think
+					}
+				case dsvc.SessionReleased, dsvc.SessionFailed:
+					// Closed externally (crash, edge-commit failure): go
+					// hungry again after a think pause.
+					c.sess = nil
+					c.nextAt = t + sc.Work.Think
+				case dsvc.SessionPending, dsvc.SessionActive:
+					// Still waiting on the grant.
+				}
+			}
+			if c.sess == nil && t >= c.nextAt {
+				s, err := e.Acquire("scen", []string{name(p)})
+				if err != nil {
+					if !retryable(err) {
+						return nil, fmt.Errorf("dsvc acquire %s: %w", name(p), err)
+					}
+					c.nextAt = t + 1
+					continue
+				}
+				c.sess = s
+				c.acquiredAt = t
+				c.grantSeen = -1
+			}
+		}
+
+		e.PumpAll()
+		e.Advance(1)
+	}
+
+	minClosed := -1
+	var starving []int
+	for p, c := range clients {
+		if down[p] || retired[p] {
+			continue
+		}
+		if minClosed < 0 || c.closedPost < minClosed {
+			minClosed = c.closedPost
+		}
+		if c.sess != nil && !terminalState(c.sess.State()) && sc.Horizon-c.acquiredAt > sc.Horizon/5 {
+			starving = append(starving, p)
+		}
+	}
+	if minClosed < 0 {
+		minClosed = 0
+	}
+
+	obs := &Observations{
+		Backend:             BackendDsvc,
+		Settled:             e.PendingChanges() == 0 && minClosed >= minWindowsPostHeal,
+		ExclusionViolations: len(e.Violations()),
+		Starving:            starving,
+		MinWindowsClosed:    minClosed,
+		QueueHW:             e.QueueHighWater(),
+	}
+	if err := e.Err(); err != nil {
+		obs.InvariantErr = err.Error()
+	} else if err := e.CheckInvariants(); err != nil {
+		obs.InvariantErr = err.Error()
+	}
+	return obs, nil
+}
+
+// terminalState reports whether a session state is terminal.
+func terminalState(s dsvc.SessionState) bool {
+	return s == dsvc.SessionReleased || s == dsvc.SessionFailed
+}

@@ -56,11 +56,13 @@ func runLive(sc *Scenario) (*Observations, error) {
 			// Crashes are permanent on the live backend; the heal only
 			// marks where the stabilization window begins.
 			heal = at
-		case EventRestart, EventPartition, EventPartitionLink, EventPartitionDir,
-			EventReset, EventTruncate, EventSlowLink, EventStopDrain,
-			EventResumeDrain, EventLatency, EventBurst:
-			// TCP has no scriptable link faults; Supports(BackendLive)
-			// rejects these scenarios before a live run can start.
+		case EventRestart, EventPartition, EventUnpartition, EventPartitionLink,
+			EventPartitionDir, EventReset, EventTruncate, EventSlowLink,
+			EventStopDrain, EventResumeDrain, EventLatency, EventBurst,
+			EventHealLink, EventAddEdge, EventDelEdge, EventAddProc, EventDelProc:
+			// TCP has no scriptable link faults and no resource-churn
+			// API; Supports(BackendLive) rejects these scenarios before a
+			// live run can start.
 			return nil, fmt.Errorf("live: unsupported event kind %s", ev.Kind)
 		}
 	}

@@ -64,7 +64,15 @@ func compileChaosPlan(sc *Scenario) netsim.ChaosPlan {
 			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosCrash, A: cluster.NodeAddr(ev.Procs[0])})
 		case EventRestart:
 			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosRestart, A: cluster.NodeAddr(ev.Procs[0])})
-		case EventPartition:
+		case EventPartition, EventUnpartition:
+			// A partition cuts every link across the side/complement
+			// boundary; an unpartition heals the same pairs one link at a
+			// time (the selective heal, so links cut by other still-open
+			// faults stay down).
+			kind := netsim.ChaosPartition
+			if ev.Kind == EventUnpartition {
+				kind = netsim.ChaosHealLink
+			}
 			side := make([]bool, n)
 			for _, p := range ev.Procs {
 				side[p] = true
@@ -75,11 +83,14 @@ func compileChaosPlan(sc *Scenario) netsim.ChaosPlan {
 				}
 				for q := 0; q < n; q++ {
 					if !side[q] {
-						add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosPartition,
+						add(netsim.ChaosEvent{At: at, Kind: kind,
 							A: cluster.NodeAddr(p), B: cluster.NodeAddr(q)})
 					}
 				}
 			}
+		case EventHealLink:
+			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosHealLink,
+				A: cluster.NodeAddr(ev.A), B: cluster.NodeAddr(ev.B)})
 		case EventPartitionLink:
 			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosPartition,
 				A: cluster.NodeAddr(ev.A), B: cluster.NodeAddr(ev.B)})
@@ -108,9 +119,10 @@ func compileChaosPlan(sc *Scenario) netsim.ChaosPlan {
 				Jitter:  time.Duration(ev.Jitter) * tick})
 		case EventHeal:
 			add(netsim.ChaosEvent{At: at, Kind: netsim.ChaosHealAll})
-		case EventBurst:
-			// Sim-only vocabulary; Supports(BackendNetsim) rejects burst
-			// scenarios before a netsim run can start.
+		case EventBurst, EventAddEdge, EventDelEdge, EventAddProc, EventDelProc:
+			// Sim- and dsvc-only vocabulary; Supports(BackendNetsim)
+			// rejects scenarios carrying these before a netsim run can
+			// start.
 			panic("scenario: netsim backend cannot compile event kind " + ev.Kind.String())
 		}
 	}
@@ -128,10 +140,14 @@ func observeCluster(b Backend, sc *Scenario, cl *cluster.Cluster, blast map[int]
 			down[ev.Procs[0]] = true
 		case EventRestart:
 			down[ev.Procs[0]] = false
-		case EventPartition, EventPartitionLink, EventPartitionDir, EventReset,
-			EventTruncate, EventSlowLink, EventStopDrain, EventResumeDrain,
-			EventLatency, EventBurst, EventHeal:
-			// Link faults and the heal change no process's up/down status.
+		case EventPartition, EventUnpartition, EventPartitionLink,
+			EventPartitionDir, EventReset, EventTruncate, EventSlowLink,
+			EventStopDrain, EventResumeDrain, EventLatency, EventBurst,
+			EventHeal, EventHealLink:
+			// Link faults and the heals change no process's up/down status.
+		case EventAddEdge, EventDelEdge, EventAddProc, EventDelProc:
+			// Dsvc-only vocabulary; cluster runs never carry these.
+			panic("scenario: cluster reduction cannot interpret event kind " + ev.Kind.String())
 		}
 	}
 	fallen := cl.FallenProcs()

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"fmt"
+
 	"repro/internal/harness"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -86,9 +88,21 @@ func compileFaults(sc *Scenario) *sim.FaultPlan {
 	if hasHeal {
 		end = sim.Time(heal)
 	}
+	// A partition's End is its matching unpartition when one exists
+	// (Validate guarantees each unpartition names exactly one open
+	// partition), else the heal/horizon default.
+	ends := make(map[int]sim.Time)
+	open := make(map[string]int)
+	for i, ev := range sc.Events {
+		if ev.Kind == EventPartition {
+			open[fmt.Sprint(sortedSide(ev.Procs))] = i
+		} else if ev.Kind == EventUnpartition {
+			ends[open[fmt.Sprint(sortedSide(ev.Procs))]] = sim.Time(ev.At)
+		}
+	}
 	fp := &sim.FaultPlan{DropP: sc.Opts.DropP, DupP: sc.Opts.DupP}
 	any := fp.DropP > 0 || fp.DupP > 0
-	for _, ev := range sc.Events {
+	for i, ev := range sc.Events {
 		switch ev.Kind {
 		case EventBurst:
 			fp.Bursts = append(fp.Bursts, sim.Burst{
@@ -96,18 +110,24 @@ func compileFaults(sc *Scenario) *sim.FaultPlan {
 			})
 			any = true
 		case EventPartition:
+			pEnd := end
+			if e, ok := ends[i]; ok {
+				pEnd = e
+			}
 			fp.Partitions = append(fp.Partitions, sim.Partition{
-				Start: sim.Time(ev.At), End: end, Side: ev.Procs,
+				Start: sim.Time(ev.At), End: pEnd, Side: ev.Procs,
 			})
 			any = true
-		case EventCrash, EventHeal:
+		case EventCrash, EventHeal, EventUnpartition:
 			// Crashes compile to harness.Crash entries in runSim; the heal
-			// becomes FaultPlan.HealAt below.
+			// becomes FaultPlan.HealAt below; unpartitions became the End
+			// of their matching partition in the pre-pass.
 		case EventRestart, EventPartitionLink, EventPartitionDir, EventReset,
 			EventTruncate, EventSlowLink, EventStopDrain, EventResumeDrain,
-			EventLatency:
-			// Netsim-only vocabulary; Supports(BackendSim) rejects scenarios
-			// carrying these before a sim run can start.
+			EventLatency, EventHealLink, EventAddEdge, EventDelEdge,
+			EventAddProc, EventDelProc:
+			// Netsim- and dsvc-only vocabulary; Supports(BackendSim)
+			// rejects scenarios carrying these before a sim run can start.
 			panic("scenario: sim backend cannot compile event kind " + ev.Kind.String())
 		}
 	}

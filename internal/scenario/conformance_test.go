@@ -68,7 +68,7 @@ func TestCorpusConformance(t *testing.T) {
 		t.Run(sc.Name, func(t *testing.T) {
 			t.Parallel()
 			traces := make(map[scenario.Backend]string)
-			for _, b := range []scenario.Backend{scenario.BackendSim, scenario.BackendNetsim} {
+			for _, b := range []scenario.Backend{scenario.BackendSim, scenario.BackendNetsim, scenario.BackendDsvc} {
 				if !sc.Supports(b) {
 					continue
 				}

@@ -57,6 +57,8 @@ func Run(sc *Scenario, b Backend) (*Outcome, error) {
 		obs, err = runNetsim(sc)
 	case BackendLive:
 		obs, err = runLive(sc)
+	case BackendDsvc:
+		obs, err = runDsvc(sc)
 	default:
 		err = fmt.Errorf("unknown backend %v", b)
 	}

@@ -426,7 +426,7 @@ func parseEvent(item string) (Event, error) {
 		return nil
 	}
 	switch kind {
-	case "crash", "restart":
+	case "crash", "restart", "del-proc":
 		if err := argc(1); err != nil {
 			return Event{}, err
 		}
@@ -434,12 +434,16 @@ func parseEvent(item string) (Event, error) {
 		if err != nil || p < 0 {
 			return Event{}, fmt.Errorf("event %q: bad process id %q", item, args[0])
 		}
-		ev.Kind = EventCrash
-		if kind == "restart" {
+		switch kind {
+		case "crash":
+			ev.Kind = EventCrash
+		case "restart":
 			ev.Kind = EventRestart
+		case "del-proc":
+			ev.Kind = EventDelProc
 		}
 		ev.Procs = []int{p}
-	case "partition":
+	case "partition", "unpartition":
 		if err := argc(1); err != nil {
 			return Event{}, err
 		}
@@ -448,8 +452,12 @@ func parseEvent(item string) (Event, error) {
 			return Event{}, fmt.Errorf("event %q: %v", item, err)
 		}
 		ev.Kind = EventPartition
+		if kind == "unpartition" {
+			ev.Kind = EventUnpartition
+		}
 		ev.Procs = side
-	case "partition-link", "partition-dir", "reset", "stop-drain", "resume-drain":
+	case "partition-link", "partition-dir", "reset", "stop-drain", "resume-drain",
+		"heal-link", "add-edge", "del-edge":
 		if err := argc(2); err != nil {
 			return Event{}, err
 		}
@@ -468,8 +476,19 @@ func parseEvent(item string) (Event, error) {
 			ev.Kind = EventStopDrain
 		case "resume-drain":
 			ev.Kind = EventResumeDrain
+		case "heal-link":
+			ev.Kind = EventHealLink
+		case "add-edge":
+			ev.Kind = EventAddEdge
+		case "del-edge":
+			ev.Kind = EventDelEdge
 		}
 		ev.A, ev.B = a, b
+	case "add-proc":
+		if err := argc(0); err != nil {
+			return Event{}, err
+		}
+		ev.Kind = EventAddProc
 	case "truncate":
 		if err := argc(3); err != nil {
 			return Event{}, err

@@ -87,16 +87,19 @@ func renderOptions(o Options) string {
 func renderEvent(ev Event) string {
 	at := fmt.Sprintf("at=%d", ev.At)
 	switch ev.Kind {
-	case EventCrash, EventRestart:
+	case EventCrash, EventRestart, EventDelProc:
 		return fmt.Sprintf("%s %s %d", at, ev.Kind, ev.Procs[0])
-	case EventPartition:
+	case EventPartition, EventUnpartition:
 		ids := make([]string, len(ev.Procs))
 		for i, p := range ev.Procs {
 			ids[i] = strconv.Itoa(p)
 		}
-		return fmt.Sprintf("%s partition %s", at, strings.Join(ids, ","))
-	case EventPartitionLink, EventPartitionDir, EventReset, EventStopDrain, EventResumeDrain:
+		return fmt.Sprintf("%s %s %s", at, ev.Kind, strings.Join(ids, ","))
+	case EventPartitionLink, EventPartitionDir, EventReset, EventStopDrain, EventResumeDrain,
+		EventHealLink, EventAddEdge, EventDelEdge:
 		return fmt.Sprintf("%s %s %d %d", at, ev.Kind, ev.A, ev.B)
+	case EventAddProc:
+		return at + " add-proc"
 	case EventTruncate:
 		return fmt.Sprintf("%s truncate %d %d bytes=%d", at, ev.A, ev.B, ev.Bytes)
 	case EventSlowLink:

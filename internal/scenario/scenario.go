@@ -36,6 +36,13 @@ const (
 	// BackendLive is the remote stack on loopback TCP and the wall
 	// clock. Opt-in: a scenario must declare it in its backends line.
 	BackendLive
+	// BackendDsvc is the dining-as-a-service engine (internal/dsvc):
+	// the topology boots as registered resources plus conflict edges,
+	// the workload is per-resource acquire/release session traffic, and
+	// the churn vocabulary (add-edge/del-edge/add-proc/del-proc)
+	// mutates the graph at runtime through the session-drain protocol.
+	// Deterministic, but opt-in like live: a scenario must declare it.
+	BackendDsvc
 )
 
 // String implements fmt.Stringer.
@@ -47,6 +54,8 @@ func (b Backend) String() string {
 		return "netsim"
 	case BackendLive:
 		return "live"
+	case BackendDsvc:
+		return "dsvc"
 	default:
 		return fmt.Sprintf("backend(%d)", int(b))
 	}
@@ -61,8 +70,10 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendNetsim, nil
 	case "live":
 		return BackendLive, nil
+	case "dsvc":
+		return BackendDsvc, nil
 	default:
-		return 0, fmt.Errorf("unknown backend %q (want sim, netsim, or live)", s)
+		return 0, fmt.Errorf("unknown backend %q (want sim, netsim, live, or dsvc)", s)
 	}
 }
 
@@ -183,8 +194,30 @@ const (
 	// probability DropP on every channel. Sim only.
 	EventBurst
 	// EventHeal ends every fault: sim FaultPlan.HealAt, netsim
-	// heal-all. At most one per scenario, after every other event.
+	// heal-all. On dsvc (which has no link faults) it is purely the
+	// stabilization anchor. At most one per scenario, after every
+	// other event.
 	EventHeal
+	// EventUnpartition ends one partition early: Procs must exactly
+	// match the side of an open partition. Both deterministic backends
+	// (sim: the matching Partition's End; netsim: pairwise heal-link
+	// across the cut) — the selective heal that makes sim's timed
+	// partitions differential.
+	EventUnpartition
+	// EventHealLink reopens the single link A–B (both directions).
+	// Netsim only.
+	EventHealLink
+	// EventAddEdge stages a runtime conflict edge A–B through the
+	// session-drain protocol. Dsvc only.
+	EventAddEdge
+	// EventDelEdge stages removal of the conflict edge A–B. Dsvc only.
+	EventDelEdge
+	// EventAddProc registers one new resource (the next free process
+	// id), isolated until add-edge wires it in. Dsvc only.
+	EventAddProc
+	// EventDelProc deregisters process Procs[0] (resource retires once
+	// drained; its conflict edges go with it). Dsvc only.
+	EventDelProc
 )
 
 // String implements fmt.Stringer.
@@ -216,6 +249,18 @@ func (k EventKind) String() string {
 		return "burst"
 	case EventHeal:
 		return "heal"
+	case EventUnpartition:
+		return "unpartition"
+	case EventHealLink:
+		return "heal-link"
+	case EventAddEdge:
+		return "add-edge"
+	case EventDelEdge:
+		return "del-edge"
+	case EventAddProc:
+		return "add-proc"
+	case EventDelProc:
+		return "del-proc"
 	default:
 		return fmt.Sprintf("eventkind(%d)", int(k))
 	}
@@ -468,14 +513,18 @@ func eventSupported(b Backend, k EventKind) bool {
 	switch k {
 	case EventCrash, EventHeal:
 		return true
-	case EventPartition:
+	case EventPartition, EventUnpartition:
 		return b == BackendSim || b == BackendNetsim
 	case EventBurst:
 		return b == BackendSim
-	case EventRestart, EventPartitionLink, EventPartitionDir, EventReset,
+	case EventRestart:
+		return b == BackendNetsim || b == BackendDsvc
+	case EventPartitionLink, EventPartitionDir, EventReset,
 		EventTruncate, EventSlowLink, EventStopDrain, EventResumeDrain,
-		EventLatency:
+		EventLatency, EventHealLink:
 		return b == BackendNetsim
+	case EventAddEdge, EventDelEdge, EventAddProc, EventDelProc:
+		return b == BackendDsvc
 	default:
 		return false
 	}
@@ -488,7 +537,12 @@ func propSupported(b Backend, p Property) bool {
 		return b == BackendSim
 	case PropPairDepthBound:
 		return b == BackendNetsim || b == BackendLive
-	case PropExclusionClean, PropWaitFreedom, PropOvertakeBound,
+	case PropOvertakeBound:
+		// The dsvc engine schedules sessions in strict ticket order
+		// (head-of-line reservation), so it has no overtake monitor to
+		// read a bound from.
+		return b != BackendDsvc
+	case PropExclusionClean, PropWaitFreedom,
 		PropQueueBound, PropContainment:
 		return true
 	default:
@@ -511,7 +565,7 @@ func (sc *Scenario) Supports(b Backend) bool {
 		if !found {
 			return false
 		}
-	} else if b == BackendLive {
+	} else if b == BackendLive || b == BackendDsvc {
 		return false
 	}
 	for _, ev := range sc.Events {
@@ -533,6 +587,12 @@ func (sc *Scenario) Supports(b Backend) bool {
 		if sc.Opts.Raw || sc.Opts.DropP != 0 || sc.Opts.DupP != 0 {
 			return false
 		}
+	case BackendDsvc:
+		// No channel faults and no ARQ below the engine: every option
+		// is a sim or netsim knob.
+		if sc.Opts != (Options{}) {
+			return false
+		}
 	}
 	return true
 }
@@ -541,7 +601,7 @@ func (sc *Scenario) Supports(b Backend) bool {
 // order.
 func (sc *Scenario) RunnableBackends() []Backend {
 	var out []Backend
-	for _, b := range []Backend{BackendSim, BackendNetsim, BackendLive} {
+	for _, b := range []Backend{BackendSim, BackendNetsim, BackendLive, BackendDsvc} {
 		if sc.Supports(b) {
 			out = append(out, b)
 		}
@@ -558,7 +618,10 @@ func (sc *Scenario) Differential() bool {
 // Validate checks structural consistency beyond what parsing enforces
 // locally: process IDs in range, events ordered and inside the
 // horizon, a single final heal, restarts only of crashed processes,
-// and at least one runnable backend.
+// unpartitions matching open partitions, churn events consistent with
+// the evolving graph (edges added only when absent, deleted only when
+// present, processes retired at most once), and at least one runnable
+// backend.
 func (sc *Scenario) Validate() error {
 	n := sc.Topo.Procs()
 	if n < 2 {
@@ -580,6 +643,26 @@ func (sc *Scenario) Validate() error {
 	inRange := func(p int) bool { return p >= 0 && p < n }
 	healSeen := false
 	crashed := make(map[int]bool)
+	retired := make(map[int]bool)
+	openParts := make(map[string]bool)
+	// edges tracks the evolving conflict-edge set for the churn
+	// vocabulary, built lazily from the topology on first use.
+	var edges map[[2]int]bool
+	edgeKey := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	ensureEdges := func() {
+		if edges != nil {
+			return
+		}
+		edges = make(map[[2]int]bool)
+		for _, e := range sc.Topo.Build().Edges() {
+			edges[e] = true
+		}
+	}
 	var prev int64
 	for i, ev := range sc.Events {
 		if ev.At < prev {
@@ -600,8 +683,8 @@ func (sc *Scenario) Validate() error {
 			if !inRange(p) {
 				return fmt.Errorf("event %d: crash of out-of-range process %d", i, p)
 			}
-			if crashed[p] {
-				return fmt.Errorf("event %d: process %d crashed while already down", i, p)
+			if crashed[p] || retired[p] {
+				return fmt.Errorf("event %d: process %d crashed while already down or retired", i, p)
 			}
 			crashed[p] = true
 		case EventRestart:
@@ -622,10 +705,59 @@ func (sc *Scenario) Validate() error {
 					return fmt.Errorf("event %d: partition of out-of-range process %d", i, p)
 				}
 			}
+			key := fmt.Sprint(sortedSide(ev.Procs))
+			if openParts[key] {
+				return fmt.Errorf("event %d: partition side %v is already cut", i, ev.Procs)
+			}
+			openParts[key] = true
+		case EventUnpartition:
+			key := fmt.Sprint(sortedSide(ev.Procs))
+			if !openParts[key] {
+				return fmt.Errorf("event %d: unpartition side %v does not match an open partition", i, ev.Procs)
+			}
+			delete(openParts, key)
 		case EventPartitionLink, EventPartitionDir, EventReset, EventTruncate,
-			EventSlowLink, EventStopDrain, EventResumeDrain, EventLatency:
+			EventSlowLink, EventStopDrain, EventResumeDrain, EventLatency,
+			EventHealLink:
 			if !inRange(ev.A) || !inRange(ev.B) || ev.A == ev.B {
 				return fmt.Errorf("event %d (%s): bad link endpoints %d-%d", i, ev.Kind, ev.A, ev.B)
+			}
+		case EventAddEdge, EventDelEdge:
+			if !inRange(ev.A) || !inRange(ev.B) || ev.A == ev.B {
+				return fmt.Errorf("event %d (%s): bad edge endpoints %d-%d", i, ev.Kind, ev.A, ev.B)
+			}
+			if retired[ev.A] || retired[ev.B] {
+				return fmt.Errorf("event %d (%s): edge %d-%d touches a retired process", i, ev.Kind, ev.A, ev.B)
+			}
+			ensureEdges()
+			key := edgeKey(ev.A, ev.B)
+			if ev.Kind == EventAddEdge {
+				if edges[key] {
+					return fmt.Errorf("event %d: add-edge %d-%d, which already exists", i, ev.A, ev.B)
+				}
+				edges[key] = true
+			} else {
+				if !edges[key] {
+					return fmt.Errorf("event %d: del-edge %d-%d, which does not exist", i, ev.A, ev.B)
+				}
+				delete(edges, key)
+			}
+		case EventAddProc:
+			n++
+		case EventDelProc:
+			p := ev.Procs[0]
+			if !inRange(p) {
+				return fmt.Errorf("event %d: del-proc of out-of-range process %d", i, p)
+			}
+			if retired[p] || crashed[p] {
+				return fmt.Errorf("event %d: del-proc of process %d, which is already retired or down", i, p)
+			}
+			retired[p] = true
+			ensureEdges()
+			for q := 0; q < n; q++ {
+				if q != p {
+					delete(edges, edgeKey(p, q))
+				}
 			}
 		case EventBurst:
 			if ev.Until <= ev.At || ev.Until > sc.Horizon {
