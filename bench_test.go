@@ -36,12 +36,22 @@ func BenchmarkKernelThroughput(b *testing.B)      { bench.KernelThroughput(b) }
 func BenchmarkNetworkSendDeliver(b *testing.B)    { bench.NetworkSendDeliver(b) }
 func BenchmarkGreedyColoring(b *testing.B)        { bench.GreedyColoring(b) }
 
+// Remote (transport) family — emitted by cmd/bench -family remote into
+// BENCH_remote.json.
+func BenchmarkWireEncodeData(b *testing.B)       { bench.WireEncodeData(b) }
+func BenchmarkWireDecodeData(b *testing.B)       { bench.WireDecodeData(b) }
+func BenchmarkWireDecoderStream(b *testing.B)    { bench.WireDecoderStream(b) }
+func BenchmarkWireReadFrameLegacy(b *testing.B)  { bench.WireReadFrameLegacy(b) }
+func BenchmarkLinkLoopbackPerFrame(b *testing.B) { bench.LinkLoopbackPerFrame(b) }
+func BenchmarkLinkLoopbackBatched(b *testing.B)  { bench.LinkLoopbackBatched(b) }
+func BenchmarkLinkLatencyP99Netsim(b *testing.B) { bench.LinkLatencyP99Netsim(b) }
+
 // TestBenchRegistryCoversWrappers pins the registry to this file: every
 // registered case must have a same-named Benchmark wrapper above, and
 // vice versa (names are checked by count — the compiler enforces the
 // rest, since each wrapper calls its case by identifier).
 func TestBenchRegistryCoversWrappers(t *testing.T) {
-	if n := len(bench.Cases()); n != 21 {
+	if n := len(bench.Cases()); n != 28 {
 		t.Fatalf("registry has %d cases; update the wrappers in bench_test.go and this count", n)
 	}
 	seen := map[string]bool{}

@@ -1,8 +1,11 @@
 // Command bench runs the shared benchmark registry (internal/bench —
 // the same bodies behind `go test -bench`) via testing.Benchmark and
-// writes machine-readable results to BENCH_sweep.json: ns/op,
-// allocs/op, bytes/op, and each case's custom metrics, plus enough
-// host information to interpret them.
+// writes machine-readable results to a JSON file: ns/op, allocs/op,
+// bytes/op, and each case's custom metrics, plus enough host
+// information to interpret them. The registry holds two families —
+// "sweep" (diner/engine scaling, BENCH_sweep.json) and "remote"
+// (transport codec + link throughput, BENCH_remote.json) — selected
+// with -family; empty runs everything.
 //
 // With -baseline it instead gates: results are diffed against a
 // previously committed JSON file and the run fails (exit 1) when any
@@ -12,7 +15,8 @@
 //
 // Usage:
 //
-//	bench [-quick] [-only Name,Name] [-out BENCH_sweep.json]
+//	bench [-quick] [-family sweep|remote] [-only Name,Name]
+//	      [-out BENCH_sweep.json]
 //	      [-baseline BENCH_sweep.json] [-threshold 0.25]
 package main
 
@@ -62,7 +66,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "run only the fast smoke cases")
-	only := fs.String("only", "", "comma-separated case names to run (see internal/bench); empty = all selected by -quick")
+	family := fs.String("family", "", "restrict to one case family (\"sweep\" or \"remote\"); empty = all")
+	only := fs.String("only", "", "comma-separated case names to run (see internal/bench); empty = all selected by -quick/-family")
 	out := fs.String("out", "BENCH_sweep.json", "output JSON path (\"-\" = stdout)")
 	baseline := fs.String("baseline", "", "committed BENCH_sweep.json to diff against; regressions fail the run")
 	threshold := fs.Float64("threshold", 0.25, "relative ns/op regression that fails a -baseline run")
@@ -71,7 +76,7 @@ func run(args []string) error {
 		return err
 	}
 
-	cases, err := selectCases(*quick, *only)
+	cases, err := selectCases(*quick, *family, *only)
 	if err != nil {
 		return err
 	}
@@ -129,8 +134,9 @@ func run(args []string) error {
 	return os.WriteFile(*out, data, 0o644)
 }
 
-// selectCases resolves -quick/-only into a case list.
-func selectCases(quick bool, only string) ([]bench.Case, error) {
+// selectCases resolves -quick/-family/-only into a case list. -only is
+// an explicit override and ignores the other filters.
+func selectCases(quick bool, family, only string) ([]bench.Case, error) {
 	if only != "" {
 		var cases []bench.Case
 		for _, name := range strings.Split(only, ",") {
@@ -143,9 +149,17 @@ func selectCases(quick bool, only string) ([]bench.Case, error) {
 		}
 		return cases, nil
 	}
+	switch family {
+	case "", bench.FamilySweep, bench.FamilyRemote:
+	default:
+		return nil, fmt.Errorf("unknown family %q (want %q or %q)", family, bench.FamilySweep, bench.FamilyRemote)
+	}
 	var cases []bench.Case
 	for _, c := range bench.Cases() {
 		if quick && !c.Quick {
+			continue
+		}
+		if family != "" && c.Family != family {
 			continue
 		}
 		cases = append(cases, c)

@@ -21,10 +21,21 @@ import (
 	"repro/internal/sweep"
 )
 
+// Benchmark families. Each family feeds its own committed baseline
+// file: sweep cases emit BENCH_sweep.json, remote (transport) cases
+// emit BENCH_remote.json, and cmd/bench -family selects one.
+const (
+	FamilySweep  = "sweep"
+	FamilyRemote = "remote"
+)
+
 // Case is one registered benchmark.
 type Case struct {
 	// Name is the benchmark name without the "Benchmark" prefix.
 	Name string
+	// Family groups cases for selection (cmd/bench -family) and ties
+	// each to its committed baseline file.
+	Family string
 	// Quick marks the case for cmd/bench -quick smoke runs (fast
 	// micro-benchmarks and the small sweep, suitable for CI).
 	Quick bool
@@ -33,28 +44,41 @@ type Case struct {
 
 // Cases returns the registry in fixed order.
 func Cases() []Case {
+	sweep := func(name string, quick bool, fn func(b *testing.B)) Case {
+		return Case{Name: name, Family: FamilySweep, Quick: quick, Fn: fn}
+	}
+	remote := func(name string, quick bool, fn func(b *testing.B)) Case {
+		return Case{Name: name, Family: FamilyRemote, Quick: quick, Fn: fn}
+	}
 	return []Case{
-		{"E1SafetyMistakes", false, E1SafetyMistakes},
-		{"E2WaitFreedom", false, E2WaitFreedom},
-		{"E3BoundedWaiting", false, E3BoundedWaiting},
-		{"E3ForksBaseline", false, E3ForksBaseline},
-		{"E4ChannelBound", false, E4ChannelBound},
-		{"E5Quiescence", false, E5Quiescence},
-		{"E6SpaceBound", true, E6SpaceBound},
-		{"E7Stabilization", false, E7Stabilization},
-		{"E8ScalabilityRing64", false, E8ScalabilityRing64},
-		{"E8ScalabilityClique12", false, E8ScalabilityClique12},
-		{"E9ModelCheck", false, E9ModelCheck},
-		{"E11LossyLinks", false, E11LossyLinks},
-		{"A1RepliedAblation", false, A1RepliedAblation},
-		{"A2DetectorSweep", false, A2DetectorSweep},
-		{"A3KBound", false, A3KBound},
-		{"SweepE8Workers1", false, SweepE8Workers1},
-		{"SweepE8WorkersMax", false, SweepE8WorkersMax},
-		{"CoreDinerCycle", true, CoreDinerCycle},
-		{"KernelThroughput", true, KernelThroughput},
-		{"NetworkSendDeliver", true, NetworkSendDeliver},
-		{"GreedyColoring", true, GreedyColoring},
+		sweep("E1SafetyMistakes", false, E1SafetyMistakes),
+		sweep("E2WaitFreedom", false, E2WaitFreedom),
+		sweep("E3BoundedWaiting", false, E3BoundedWaiting),
+		sweep("E3ForksBaseline", false, E3ForksBaseline),
+		sweep("E4ChannelBound", false, E4ChannelBound),
+		sweep("E5Quiescence", false, E5Quiescence),
+		sweep("E6SpaceBound", true, E6SpaceBound),
+		sweep("E7Stabilization", false, E7Stabilization),
+		sweep("E8ScalabilityRing64", false, E8ScalabilityRing64),
+		sweep("E8ScalabilityClique12", false, E8ScalabilityClique12),
+		sweep("E9ModelCheck", false, E9ModelCheck),
+		sweep("E11LossyLinks", false, E11LossyLinks),
+		sweep("A1RepliedAblation", false, A1RepliedAblation),
+		sweep("A2DetectorSweep", false, A2DetectorSweep),
+		sweep("A3KBound", false, A3KBound),
+		sweep("SweepE8Workers1", false, SweepE8Workers1),
+		sweep("SweepE8WorkersMax", false, SweepE8WorkersMax),
+		sweep("CoreDinerCycle", true, CoreDinerCycle),
+		sweep("KernelThroughput", true, KernelThroughput),
+		sweep("NetworkSendDeliver", true, NetworkSendDeliver),
+		sweep("GreedyColoring", true, GreedyColoring),
+		remote("WireEncodeData", true, WireEncodeData),
+		remote("WireDecodeData", true, WireDecodeData),
+		remote("WireDecoderStream", true, WireDecoderStream),
+		remote("WireReadFrameLegacy", true, WireReadFrameLegacy),
+		remote("LinkLoopbackPerFrame", true, LinkLoopbackPerFrame),
+		remote("LinkLoopbackBatched", true, LinkLoopbackBatched),
+		remote("LinkLatencyP99Netsim", false, LinkLatencyP99Netsim),
 	}
 }
 

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hotPathBench maps every exported hot-path function family in
+// internal/wire to the registered benchmark that measures it. A new
+// exported function must either join a family here or be explicitly
+// exempted below — otherwise the transport fast path grows unmeasured
+// surface and this test fails.
+var hotPathBench = map[string]string{
+	// Encode family: every byte the transport emits goes through these.
+	"AppendPayload": "WireEncodeData",
+	"AppendFrame":   "WireEncodeData",
+	"EncodePayload": "WireEncodeData",
+	"WriteFrame":    "LinkLoopbackPerFrame",
+	// Decode family: every byte the transport accepts.
+	"DecodePayload":     "WireDecodeData",
+	"DecodePayloadInto": "WireDecodeData",
+	"ReadFrame":         "WireReadFrameLegacy",
+	"NewDecoder":        "WireDecoderStream",
+	"Decoder.Next":      "WireDecoderStream",
+}
+
+// benchExempt lists exported wire functions that are deliberately not
+// benchmarked: constructors of constant-size values, accessors, and
+// retention helpers that run off the hot path.
+var benchExempt = map[string]string{
+	"DataFrame":        "frame construction: fixed field copies, measured transitively by WireEncodeData",
+	"FrameSize":        "constant-time size arithmetic inside WireEncodeData's setup",
+	"Frame.Clone":      "copy-on-retain escape hatch; deliberately off the zero-copy hot path",
+	"Decoder.More":     "non-blocking buffer probe, no I/O or parsing",
+	"Decoder.Buffered": "accessor",
+	"Frame.Message":    "field repackaging on delivery, measured transitively by the link benches",
+	"Frame.String":     "debug formatting, never on the hot path",
+	"FrameKind.String": "debug formatting, never on the hot path",
+}
+
+// wireExported parses internal/wire (sources only, no test files) and
+// returns every exported function and method as Name or Recv.Name.
+func wireExported(t *testing.T) []string {
+	t.Helper()
+	dir := filepath.Join("..", "wire")
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	var names []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !fd.Name.IsExported() {
+					continue
+				}
+				name := fd.Name.Name
+				if fd.Recv != nil && len(fd.Recv.List) == 1 {
+					recv := fd.Recv.List[0].Type
+					if star, ok := recv.(*ast.StarExpr); ok {
+						recv = star.X
+					}
+					if id, ok := recv.(*ast.Ident); ok {
+						if !id.IsExported() {
+							continue
+						}
+						name = id.Name + "." + name
+					}
+				}
+				names = append(names, name)
+			}
+		}
+	}
+	return names
+}
+
+// TestWireHotPathHasBenchmarks is the presence gate: every exported
+// function in internal/wire maps to a registered remote-family
+// benchmark or carries an explicit exemption, and every referenced
+// benchmark actually exists in the registry.
+func TestWireHotPathHasBenchmarks(t *testing.T) {
+	for _, name := range wireExported(t) {
+		caseName, hot := hotPathBench[name]
+		_, exempt := benchExempt[name]
+		switch {
+		case hot && exempt:
+			t.Errorf("%s is both benchmarked and exempted; pick one", name)
+		case !hot && !exempt:
+			t.Errorf("exported wire function %s has no benchmark: add it to a family in hotPathBench or exempt it with a reason", name)
+		case hot:
+			if c, ok := Lookup(caseName); !ok {
+				t.Errorf("%s references unregistered benchmark %s", name, caseName)
+			} else if c.Family != FamilyRemote {
+				t.Errorf("benchmark %s for %s is family %q, want %q", caseName, name, c.Family, FamilyRemote)
+			}
+		}
+	}
+}
+
+// TestRemoteFamilyRegistered pins the remote family's composition: the
+// transport fast path must keep its before/after throughput pair and
+// the netsim latency probe alongside the codec micro-benches.
+func TestRemoteFamilyRegistered(t *testing.T) {
+	want := map[string]bool{
+		"WireEncodeData":       false,
+		"WireDecodeData":       false,
+		"WireDecoderStream":    false,
+		"WireReadFrameLegacy":  false,
+		"LinkLoopbackPerFrame": false,
+		"LinkLoopbackBatched":  false,
+		"LinkLatencyP99Netsim": false,
+	}
+	for _, c := range Cases() {
+		if c.Family != FamilyRemote {
+			continue
+		}
+		if _, ok := want[c.Name]; !ok {
+			t.Errorf("remote-family case %s is not in the pinned set; extend this test and BENCH_remote.json together", c.Name)
+			continue
+		}
+		want[c.Name] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("remote family lost case %s", name)
+		}
+	}
+}
+
+// TestBenchRemoteJSONCoversFamily keeps the committed BENCH_remote.json
+// honest: it must hold a measurement for every remote-family case, so
+// the CI gate never silently shrinks its coverage.
+func TestBenchRemoteJSONCoversFamily(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_remote.json"))
+	if err != nil {
+		t.Fatalf("committed baseline missing (regenerate with `go run ./cmd/bench -family remote -out BENCH_remote.json`): %v", err)
+	}
+	var f struct {
+		Results []struct {
+			Name string `json:"name"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("BENCH_remote.json: %v", err)
+	}
+	have := map[string]bool{}
+	for _, r := range f.Results {
+		have[r.Name] = true
+	}
+	for _, c := range Cases() {
+		if c.Family == FamilyRemote && !have[c.Name] {
+			t.Errorf("BENCH_remote.json lacks %s; regenerate with `go run ./cmd/bench -family remote -out BENCH_remote.json`", c.Name)
+		}
+	}
+}

@@ -126,9 +126,8 @@ func TestBackpressureStallsAndAckDrainResumes(t *testing.T) {
 		depth, stalled = ss.queue.len(), ss.stalled
 		// Leak regression, live-cluster edition: every acked slot must
 		// be zero so the messages are collectible.
-		zero := sendEntry{}
 		for i, e := range ss.queue.buf {
-			if e != zero {
+			if !e.isZero() {
 				t.Errorf("ring slot %d = %+v still populated after full ack", i, e)
 			}
 		}

@@ -112,11 +112,14 @@ func fuzzSeedStreams(t interface{ Fatal(args ...any) }) [][]byte {
 		return b.Bytes()
 	}
 	hello := frame(wire.Frame{Kind: wire.Hello, Node: 0, Incarnation: 7, Procs: []uint32{0}})
-	data, err := wire.DataFrame(core.Message{Kind: core.Ping, From: 0, To: 1}, 1, 0)
-	if err != nil {
-		t.Fatal(err)
+	df := func(seq, ack uint64) []byte {
+		fr, err := wire.DataFrame(core.Message{Kind: core.Ping, From: 0, To: 1}, seq, ack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame(fr)
 	}
-	ping := frame(data)
+	ping := df(1, 0)
 	hb := frame(wire.Frame{Kind: wire.Heartbeat, From: 0, To: 1})
 
 	cat := func(parts ...[]byte) []byte {
@@ -138,6 +141,12 @@ func fuzzSeedStreams(t interface{ Fatal(args ...any) }) [][]byte {
 		cat(hello, []byte{0xff, 0xff, 0xff, 0xff, 0x00}), // oversized length prefix after handshake
 		{0x00, 0x00, 0x00, 0x00},                         // zero-length frame
 		bytes.Repeat([]byte{0xa5}, 64),                   // pure garbage
+		// Coalesced-era shapes: a whole writev burst in one splice, the
+		// same burst cut at an iovec boundary mid-frame, and a forged
+		// batched cumulative ack acknowledging seqs never sent.
+		cat(hello, df(1, 0), df(2, 0), df(3, 0)),
+		cat(hello, df(1, 0), df(2, 0))[:len(hello)+2*len(ping)-7],
+		cat(hello, df(1, 0), frame(wire.Frame{Kind: wire.Ack, From: 1, To: 0, Ack: 1 << 40})),
 	}
 }
 

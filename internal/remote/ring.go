@@ -1,5 +1,7 @@
 package remote
 
+import "repro/internal/core"
+
 // sendRing is the fixed-capacity unacked-frame buffer of one ordered
 // pair. It replaces the append/[1:] slice the go-back-N queue used to
 // grow: that pattern both let a partitioned peer pin unbounded memory
@@ -61,6 +63,26 @@ func (r *sendRing) popFront() sendEntry {
 // at returns the i-th entry from the front (0 = oldest); callers
 // iterate i in [0, len()).
 func (r *sendRing) at(i int) sendEntry { return r.buf[(r.head+i)%len(r.buf)] }
+
+// appendBufs appends the stored encoding of every queued entry, oldest
+// first, to dst and returns it: the iovec-backed flush path. A
+// retransmission burst reuses the exact bytes submit froze — no
+// re-encode, no re-slice — and the write loop gathers the appended
+// buffers into one writev.
+func (r *sendRing) appendBufs(dst [][]byte) [][]byte {
+	for i := 0; i < r.n; i++ {
+		dst = append(dst, r.buf[(r.head+i)%len(r.buf)].buf)
+	}
+	return dst
+}
+
+// isZero reports a vacated slot. The leak-regression tests assert every
+// popped or cleared slot returns to this state; it replaces direct
+// struct comparison now that entries hold their encoded bytes (a slice
+// field makes sendEntry non-comparable).
+func (e sendEntry) isZero() bool {
+	return e.seq == 0 && e.buf == nil && e.msg == (core.Message{})
+}
 
 // clear drops and zeroes everything (the incarnation-reset path).
 func (r *sendRing) clear() {

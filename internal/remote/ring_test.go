@@ -7,7 +7,7 @@ import (
 )
 
 func entry(seq uint64) sendEntry {
-	return sendEntry{seq: seq, msg: core.Message{Kind: core.Ping, From: 1, To: 2}, wireLen: 32}
+	return sendEntry{seq: seq, msg: core.Message{Kind: core.Ping, From: 1, To: 2}, buf: make([]byte, 32)}
 }
 
 func TestSendRingFIFOAcrossWrap(t *testing.T) {
@@ -68,19 +68,44 @@ func TestSendRingPopReleasesEntries(t *testing.T) {
 	r.popFront()
 	r.popFront()
 	live := map[uint64]bool{3: true, 4: true}
-	zero := sendEntry{}
 	for i, e := range r.buf {
 		if live[e.seq] {
 			continue
 		}
-		if e != zero {
+		if !e.isZero() {
 			t.Fatalf("buf[%d] = %+v still populated after pop; acked entries must be zeroed", i, e)
 		}
 	}
 	r.clear()
 	for i, e := range r.buf {
-		if e != zero {
+		if !e.isZero() {
 			t.Fatalf("buf[%d] = %+v survived clear", i, e)
+		}
+	}
+}
+
+// TestSendRingAppendBufs pins the iovec flush path: appendBufs returns
+// the stored encodings oldest-first, aliasing (never copying) the
+// queued buffers, including across a wrap.
+func TestSendRingAppendBufs(t *testing.T) {
+	r := newSendRing(4)
+	for seq := uint64(1); seq <= 4; seq++ {
+		r.push(entry(seq))
+	}
+	r.popFront()
+	r.popFront()
+	r.push(entry(5)) // ring wraps
+	scratch := make([][]byte, 0, 4)
+	bufs := r.appendBufs(scratch)
+	if len(bufs) != 3 {
+		t.Fatalf("appendBufs returned %d buffers, want 3", len(bufs))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if &bufs[i][0] != &r.at(i).buf[0] {
+			t.Fatalf("buffer %d copied instead of aliased", i)
+		}
+		if r.at(i).seq != want {
+			t.Fatalf("at(%d).seq = %d, want %d", i, r.at(i).seq, want)
 		}
 	}
 }

@@ -32,9 +32,16 @@ const writerQueueCap = 256
 type pairKey struct{ from, to int }
 
 type sendEntry struct {
-	seq     uint64
-	msg     core.Message
-	wireLen int // encoded frame size, for the queued-bytes gauge
+	seq uint64
+	msg core.Message
+	// buf is the frame's wire encoding, frozen at submit time: the
+	// iovec flush path retransmits these exact bytes without re-encoding
+	// or re-slicing. The piggybacked ack inside is the one current at
+	// submit; that staleness is harmless because cumulative acks are
+	// monotone and the receive path restates the latest value on every
+	// inbound burst. Buffers are immutable once queued — the write loop
+	// may still hold a reference after the ack pops the entry.
+	buf []byte
 }
 
 // sendState is the sender half of one ordered pair; it lives in the
@@ -88,6 +95,13 @@ type liveConn struct {
 	out  chan []byte
 	done chan struct{}
 
+	// rd is the generation's zero-copy frame decoder. Frames it yields
+	// are views into its reused read buffer (wire.Decoder's ownership
+	// contract): only the read loop may touch it, and any frame that
+	// outlives one loop iteration must be Clone()d before crossing a
+	// goroutine boundary.
+	rd *wire.Decoder // owned: peer.readLoop
+
 	// satSince is when the writer queue first refused a frame with no
 	// successful enqueue since (zero = not saturated). A queue saturated
 	// for a full write timeout marks the connection dead even if the
@@ -124,7 +138,14 @@ type peer struct {
 	// coalesces cumulative acks (highest wins).
 	pendingHB  map[pairKey]bool   // owned: run
 	pendingAck map[pairKey]uint64 // owned: run
-	rng        *rand.Rand         // owned: run
+	// ackDue accumulates the batched cumulative acks of one inbound
+	// burst (highest per pair); onInbound drains it before returning, so
+	// it never carries state between commands.
+	ackDue map[pairKey]uint64 // owned: run
+	// iov is scratch for gathering a ring's stored encodings into one
+	// retransmission burst without allocating per scan.
+	iov [][]byte   // owned: run
+	rng *rand.Rand // owned: run
 
 	// Cross-goroutine observation points for the node watchdog (the
 	// manager may be wedged, so these bypass the command channel).
@@ -146,6 +167,7 @@ func newPeer(n *Node, remote int) *peer {
 		recvs:      make(map[pairKey]*recvState),
 		pendingHB:  make(map[pairKey]bool),
 		pendingAck: make(map[pairKey]uint64),
+		ackDue:     make(map[pairKey]uint64),
 		rng:        n.jitterRand(remote),
 	}
 }
@@ -456,7 +478,7 @@ func (p *peer) noteIncarnation(inc uint64) {
 func (p *peer) adopt(c net.Conn, inc uint64) {
 	p.noteIncarnation(inc)
 	p.connGen++
-	lc := &liveConn{c: c, gen: p.connGen, out: make(chan []byte, writerQueueCap), done: make(chan struct{})}
+	lc := &liveConn{c: c, gen: p.connGen, out: make(chan []byte, writerQueueCap), done: make(chan struct{}), rd: wire.NewDecoder(c)}
 	p.conn = lc
 	p.liveSock.Store(sockBox{c: c})
 	p.dialDelay = 0
@@ -513,10 +535,12 @@ func (p *peer) connDown(gen uint64, err error) {
 
 // --- frame I/O ---------------------------------------------------------
 
-// encodeFrame renders fr, recording codec errors (which indicate a
-// local bug, never peer behavior) and returning nil on failure.
+// encodeFrame renders fr into one exactly-sized allocation (FrameSize
+// is pinned to the encoder's output), recording codec errors (which
+// indicate a local bug, never peer behavior) and returning nil on
+// failure.
 func (p *peer) encodeFrame(fr wire.Frame) []byte {
-	buf, err := wire.AppendFrame(nil, fr)
+	buf, err := wire.AppendFrame(make([]byte, 0, wire.FrameSize(fr)), fr)
 	if err != nil {
 		p.node.tr.recordErr(fmt.Errorf("remote: encode %v: %w", fr, err))
 		return nil
@@ -541,24 +565,6 @@ func (p *peer) sendEncoded(buf []byte) bool {
 			p.conn.satSince = p.node.clk.Now()
 		}
 		return false
-	}
-}
-
-// writeFrame encodes and queues one data-bearing frame, dropping it if
-// there is no connection or the writer is saturated (manager goroutine
-// only). Dropped frames are recovered by the ARQ layer; idempotent
-// control frames go through sendHeartbeat/sendAck instead, which
-// coalesce rather than drop.
-func (p *peer) writeFrame(fr wire.Frame) {
-	if p.conn == nil {
-		return
-	}
-	buf := p.encodeFrame(fr)
-	if buf == nil {
-		return
-	}
-	if !p.sendEncoded(buf) {
-		p.node.tr.writerDrop(p.remote)
 	}
 }
 
@@ -635,12 +641,29 @@ func (p *peer) writeTimeout() time.Duration {
 	return d
 }
 
-// writeLoop owns the connection's write side. Each write carries a
-// deadline; a deadline error tears the generation down like any other
-// write failure, so the dialer redials promptly.
+// writeBatchMax bounds how many queued frames one flush gathers into a
+// single writev. It is small enough that a batch always fits a socket
+// buffer comfortably, large enough that a send-window burst (default
+// 256 frames ≈ 8 KiB) drains in a handful of syscalls.
+const writeBatchMax = 64
+
+// writeLoop owns the connection's write side. It gathers every frame
+// already queued (up to writeBatchMax) into one net.Buffers flush: on a
+// real TCP connection that is a single writev syscall per burst, the
+// tentpole's one-syscall-per-burst path. On any other net.Conn —
+// netsim's virtual pipes in particular — net.Buffers falls back to one
+// Write per buffer, byte-for-byte and call-for-call identical to the
+// old per-frame loop, which is what keeps netsim's per-seed traces
+// byte-identical (each Write draws one jitter sample; batching must
+// not change the Write count).
+//
+// Each flush carries one deadline; a deadline error tears the
+// generation down like any other write failure, so the dialer redials
+// promptly.
 func (p *peer) writeLoop(lc *liveConn) {
 	defer p.node.wg.Done()
 	wt := p.writeTimeout()
+	bufs := make(net.Buffers, 0, writeBatchMax)
 	for {
 		select {
 		case <-p.node.stop:
@@ -648,43 +671,98 @@ func (p *peer) writeLoop(lc *liveConn) {
 		case <-lc.done:
 			return
 		case buf := <-lc.out:
+			bufs = append(bufs[:0], buf)
+		gather:
+			for len(bufs) < writeBatchMax {
+				select {
+				case more := <-lc.out:
+					bufs = append(bufs, more)
+				default:
+					break gather
+				}
+			}
 			lc.c.SetWriteDeadline(p.node.clk.Now().Add(wt))
-			if _, err := lc.c.Write(buf); err != nil {
+			wb := bufs // WriteTo consumes its receiver; keep bufs reusable
+			if _, err := wb.WriteTo(lc.c); err != nil {
 				p.post(func() { p.connDown(lc.gen, err) })
 				return
+			}
+			for i := range bufs {
+				bufs[i] = nil // release frame references promptly
 			}
 		}
 	}
 }
 
-// readLoop owns the connection's read side: it decodes frames and
-// routes them — heartbeats straight to process inboxes, ARQ frames to
-// the manager.
+// inboundBatchMax bounds how many ARQ frames one manager command
+// carries; a larger burst is split across commands.
+const inboundBatchMax = 128
+
+// readLoop owns the connection's read side. It decodes frames through
+// the generation's zero-copy decoder and routes them — heartbeats
+// straight to process inboxes, ARQ frames to the manager — draining
+// every frame the decoder already holds buffered (Decoder.More) into
+// one posted batch, so a coalesced burst arriving in one TCP segment
+// costs one manager command and one batched ack per pair instead of
+// one of each per frame.
+//
+// Batch boundaries are trace-deterministic under netsim: its pipes
+// deliver at most one write's worth of bytes per Read and the write
+// side sends one frame per Write there, so a netsim batch is always
+// exactly one frame — byte-identical behavior to the old per-frame
+// loop — while real TCP sockets, which merge frames into segments,
+// get genuine batching.
+//
+// The decoded Frame is a view per the zero-copy contract: Data and Ack
+// frames are pure values (no reference fields) and are copied into the
+// batch slice; anything that crosses a goroutine boundary otherwise —
+// the mid-stream Hello posted as a protocol error — is Clone()d first.
 func (p *peer) readLoop(lc *liveConn) {
 	defer p.node.wg.Done()
+	var fr wire.Frame
 	for {
-		fr, err := wire.ReadFrame(lc.c)
-		if err != nil {
+		// Block for the first frame of a burst.
+		if err := lc.rd.Next(&fr); err != nil {
 			p.post(func() { p.connDown(lc.gen, err) })
 			return
 		}
-		switch fr.Kind {
-		case wire.Heartbeat:
-			p.node.deliverHeartbeat(int(fr.To), int(fr.From))
-		case wire.Data:
-			fr := fr
-			p.post(func() { p.onData(lc.gen, fr) })
-		case wire.Ack:
-			fr := fr
-			p.post(func() { p.onAck(lc.gen, int(fr.To), int(fr.From), fr.Ack) })
-		case wire.Hello:
-			// A second Hello mid-stream is a protocol error.
-			p.post(func() { p.protocolError(lc.gen, fr) })
-		default:
-			fr := fr
-			p.post(func() { p.protocolError(lc.gen, fr) })
+		var batch []wire.Frame
+		for {
+			switch fr.Kind {
+			case wire.Heartbeat:
+				p.node.deliverHeartbeat(int(fr.To), int(fr.From))
+			case wire.Data, wire.Ack:
+				batch = append(batch, fr)
+			default:
+				// A second Hello — or an unknown kind — mid-stream is a
+				// protocol error. Deliver what preceded it in stream order,
+				// then tear the generation down.
+				bad := fr.Clone()
+				p.postInbound(lc.gen, batch)
+				p.post(func() { p.protocolError(lc.gen, bad) })
+				return
+			}
+			if len(batch) >= inboundBatchMax || !lc.rd.More() {
+				break
+			}
+			if err := lc.rd.Next(&fr); err != nil {
+				p.postInbound(lc.gen, batch)
+				p.post(func() { p.connDown(lc.gen, err) })
+				return
+			}
 		}
+		p.postInbound(lc.gen, batch)
 	}
+}
+
+// postInbound hands one read burst to the manager (no-op on an empty
+// batch). The slice is freshly built per burst and ownership moves to
+// the manager with the post.
+func (p *peer) postInbound(gen uint64, batch []wire.Frame) {
+	if len(batch) == 0 {
+		return
+	}
+	p.post(func() { p.onInbound(gen, batch) })
 }
 
 // protocolError drops a connection that sent an illegal frame.
@@ -786,9 +864,15 @@ func (p *peer) submit(m core.Message) {
 	if buf == nil {
 		return
 	}
+	// The frame restates the reverse stream's cumulative ack, so any
+	// stashed pure ack it covers is redundant: drop the stash instead of
+	// flushing the same information twice on the next tick.
+	if cur, ok := p.pendingAck[key]; ok && cur <= fr.Ack {
+		delete(p.pendingAck, key)
+	}
 	seq := ss.nextSeq
 	ss.nextSeq++
-	ss.queue.push(sendEntry{seq: seq, msg: m, wireLen: len(buf)})
+	ss.queue.push(sendEntry{seq: seq, msg: m, buf: buf})
 	ss.bytes += len(buf)
 	p.noteQueue(key, ss)
 	p.maybeStall(key, ss)
@@ -840,19 +924,22 @@ func (p *peer) tick() {
 	}
 }
 
-// retransmitQueue resends every unacked frame on the pair (go-back-N),
-// with fresh piggybacked acks.
+// retransmitQueue resends every unacked frame on the pair (go-back-N)
+// straight from the ring's stored encodings — the iovec flush path: no
+// re-encode, no re-slice, one writer offer per frame that the write
+// loop gathers into a single writev. The piggybacked ack inside each
+// stored frame is the one frozen at submit; the receive path restates
+// the current cumulative ack on every inbound burst, and acks are
+// monotone, so the frozen value can never move the peer backwards.
 func (p *peer) retransmitQueue(key pairKey, ss *sendState) {
-	ack := p.recvStateFor(pairKey{from: key.to, to: key.from}).next - 1
-	for i := 0; i < ss.queue.len(); i++ {
-		e := ss.queue.at(i)
-		fr, err := wire.DataFrame(e.msg, e.seq, ack)
-		if err != nil {
-			p.node.tr.recordErr(err)
-			continue
-		}
+	_ = key // the pair's identity lives in the stored frames
+	p.iov = ss.queue.appendBufs(p.iov[:0])
+	for i, buf := range p.iov {
 		p.node.tr.retransmit(p.remote)
-		p.writeFrame(fr)
+		if !p.sendEncoded(buf) && p.conn != nil {
+			p.node.tr.writerDrop(p.remote)
+		}
+		p.iov[i] = nil
 	}
 }
 
@@ -890,12 +977,48 @@ func (p *peer) stale(gen uint64) bool {
 	return p.conn == nil || p.conn.gen != gen
 }
 
-// onData processes a data frame from remote process fr.From to local
-// process fr.To (manager goroutine only).
-func (p *peer) onData(gen uint64, fr wire.Frame) {
+// onInbound applies one read burst — Data and Ack frames decoded from
+// bytes the wire had already delivered — in stream order, then flushes
+// one batched cumulative ack per ordered pair the burst touched
+// (manager goroutine only). Batching the acks is what collapses the
+// reverse stream under load: a 64-frame coalesced burst used to cost
+// 64 pure acks, now it costs one per pair, restating the highest
+// in-order sequence. Cumulative acks are monotone, so the skipped
+// intermediate values carry no information; exactly-once FIFO is
+// untouched because delivery order and dedup happen per frame below,
+// before any ack is formed.
+func (p *peer) onInbound(gen uint64, frames []wire.Frame) {
 	if p.stale(gen) {
 		return
 	}
+	for i := range frames {
+		fr := &frames[i]
+		switch fr.Kind {
+		case wire.Data:
+			p.onData(*fr)
+		case wire.Ack:
+			p.applyAck(int(fr.To), int(fr.From), fr.Ack)
+		default:
+			// readLoop batches only Data and Ack; anything else here is a
+			// local bug, never peer behavior.
+			p.node.tr.recordErr(fmt.Errorf("remote: %v frame in inbound batch", fr.Kind))
+		}
+	}
+	// Flush the burst's acks, one per pair in sorted order (determinism
+	// under netsim); sendAck stashes into pendingAck when the writer is
+	// saturated, exactly like the per-frame path did.
+	for _, key := range sortedPairKeys(p.ackDue) {
+		p.sendAck(key.from, key.to, p.ackDue[key])
+		delete(p.ackDue, key)
+	}
+}
+
+// onData processes one data frame from remote process fr.From to local
+// process fr.To (manager goroutine only) and records the pair's ack in
+// ackDue for the batch flush — acknowledging every data frame, if only
+// cumulatively, so the sender's queue drains even when the application
+// has nothing to say back.
+func (p *peer) onData(fr wire.Frame) {
 	p.applyAck(int(fr.To), int(fr.From), fr.Ack)
 	key := pairKey{from: int(fr.From), to: int(fr.To)}
 	rs := p.recvStateFor(key)
@@ -921,18 +1044,10 @@ func (p *peer) onData(gen uint64, fr wire.Frame) {
 			rs.buf[fr.Seq] = fr.Message()
 		}
 	}
-	// Acknowledge every data frame so the sender's queue drains even
-	// when the application has nothing to say back.
-	p.sendAck(key.to, key.from, rs.next-1)
-}
-
-// onAck handles a pure ack frame from connection generation gen
-// (manager goroutine only).
-func (p *peer) onAck(gen uint64, local, remote int, ack uint64) {
-	if p.stale(gen) {
-		return
+	ackKey := pairKey{from: key.to, to: key.from}
+	if cur, ok := p.ackDue[ackKey]; !ok || rs.next-1 > cur {
+		p.ackDue[ackKey] = rs.next - 1
 	}
-	p.applyAck(local, remote, ack)
 }
 
 // applyAck applies a cumulative ack from the remote process `remote`
@@ -949,7 +1064,7 @@ func (p *peer) applyAck(local, remote int, ack uint64) {
 	progressed := false
 	for ss.queue.len() > 0 && ss.queue.front().seq <= ack {
 		e := ss.queue.popFront()
-		ss.bytes -= e.wireLen
+		ss.bytes -= len(e.buf)
 		p.node.tr.appDeliver(e.msg.From, e.msg.To)
 		progressed = true
 	}

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// decoderBufSize is the Decoder's read window. It must hold at least
+// one maximal frame (4-byte prefix + MaxPayload); sizing it to a
+// multiple of that lets one kernel read surface a whole burst of
+// coalesced frames, which More drains without further syscalls.
+const decoderBufSize = 2 * (4 + MaxPayload)
+
+// Decoder reads length-prefixed frames from a stream with zero
+// per-frame allocations: payloads are parsed in place as views into
+// one reused read buffer instead of the per-frame make([]byte, n) that
+// ReadFrame performs.
+//
+// Ownership contract (DESIGN S24), enforced by the transport's
+// mailboxown analyzer annotations:
+//
+//   - A Decoder is owned by exactly one reader goroutine; no method is
+//     safe for concurrent use.
+//   - The Frame filled by Next is valid until the next Next call. Its
+//     only reference field, Procs, may alias a scratch array the next
+//     decode reuses — retaining a frame beyond one iteration (posting
+//     it to another goroutine, storing it in a map) requires
+//     Frame.Clone, the copy-on-retain rule.
+//   - Next never reads past the current frame's length prefix into a
+//     decoded field: every byte of the view is either consumed by the
+//     strict parser or rejected (trailing-byte error), so a frame can
+//     never alias its successor's bytes.
+//
+// Error semantics match ReadFrame: io.EOF for a clean close at a frame
+// boundary, io.ErrUnexpectedEOF for a close mid-frame, ErrOversize for
+// a corrupt length prefix, and strict DecodePayloadInto errors for a
+// corrupt payload. Frames fully buffered before an error surface first,
+// so a burst followed by a disconnect still delivers the burst.
+type Decoder struct {
+	r          io.Reader
+	buf        []byte // reused read window; frames are parsed in place
+	start, end int    // unconsumed bytes are buf[start:end]
+	err        error  // sticky read error, surfaced once buffered bytes drain
+}
+
+// NewDecoder returns a Decoder reading length-prefixed frames from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: r, buf: make([]byte, decoderBufSize)}
+}
+
+// Next decodes the next frame into *f. See the type comment for the
+// buffer-ownership contract and error semantics.
+func (d *Decoder) Next(f *Frame) error {
+	if err := d.need(4, false); err != nil {
+		return err
+	}
+	n := int(binary.LittleEndian.Uint32(d.buf[d.start:]))
+	if n > MaxPayload {
+		return fmt.Errorf("%w: length prefix %d", ErrOversize, n)
+	}
+	if err := d.need(4+n, true); err != nil {
+		return err
+	}
+	payload := d.buf[d.start+4 : d.start+4+n]
+	d.start += 4 + n
+	return DecodePayloadInto(f, payload)
+}
+
+// More reports whether a complete frame is already buffered, so the
+// next Next call is guaranteed not to touch the underlying reader.
+// Transport read loops use it to drain a coalesced burst that arrived
+// in one segment without risking a block. A buffered corrupt length
+// prefix also reports true: Next will fail fast on it without reading.
+func (d *Decoder) More() bool {
+	avail := d.end - d.start
+	if avail < 4 {
+		return false
+	}
+	n := int(binary.LittleEndian.Uint32(d.buf[d.start:]))
+	if n > MaxPayload {
+		return true
+	}
+	return avail >= 4+n
+}
+
+// Buffered returns the number of unconsumed bytes in the read window.
+func (d *Decoder) Buffered() int { return d.end - d.start }
+
+// need blocks until at least n unconsumed bytes are buffered. midFrame
+// selects the ReadFrame-compatible EOF mapping: a clean EOF before any
+// byte of the length prefix is io.EOF, while an EOF after the prefix
+// (or partway through it, matching io.ReadFull) is io.ErrUnexpectedEOF.
+func (d *Decoder) need(n int, midFrame bool) error {
+	for d.end-d.start < n {
+		if d.err != nil {
+			err := d.err
+			if err == io.EOF && (midFrame || d.end != d.start) {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		if d.end == len(d.buf) {
+			// No write room: slide the unconsumed tail to the front.
+			// n ≤ 4+MaxPayload ≤ len(buf), so room always opens up.
+			copy(d.buf, d.buf[d.start:d.end])
+			d.end -= d.start
+			d.start = 0
+		}
+		m, err := d.r.Read(d.buf[d.end:])
+		d.end += m
+		if err != nil {
+			d.err = err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// decoderTestFrames is a mixed burst covering every frame kind.
+func decoderTestFrames(t *testing.T) []Frame {
+	t.Helper()
+	d1, err := DataFrame(core.Message{Kind: core.Request, From: 3, To: 4, Color: -2}, 9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DataFrame(core.Message{Kind: core.Fork, From: 4, To: 3, Color: 7}, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Frame{
+		{Kind: Hello, Node: 1, Incarnation: 77, Procs: []uint32{2, 3}},
+		{Kind: Heartbeat, From: 2, To: 5},
+		d1,
+		{Kind: Ack, From: 4, To: 3, Ack: 9},
+		d2,
+		{Kind: Hello, Node: 2, Incarnation: 78, Procs: []uint32{4, 5, 6}},
+	}
+}
+
+func encodeAll(t *testing.T, frames []Frame) []byte {
+	t.Helper()
+	var buf []byte
+	for _, f := range frames {
+		var err error
+		buf, err = AppendFrame(buf, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+// chunkReader returns at most chunk bytes per Read, exercising frame
+// reassembly across arbitrary segment boundaries.
+type chunkReader struct {
+	b     []byte
+	chunk int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.b) == 0 {
+		return 0, io.EOF
+	}
+	n := c.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(c.b) {
+		n = len(c.b)
+	}
+	copy(p, c.b[:n])
+	c.b = c.b[n:]
+	return n, nil
+}
+
+func TestDecoderMatchesReadFrame(t *testing.T) {
+	frames := decoderTestFrames(t)
+	stream := encodeAll(t, frames)
+	for _, chunk := range []int{1, 3, 7, 64, len(stream)} {
+		dec := NewDecoder(&chunkReader{b: stream, chunk: chunk})
+		legacy := bytes.NewReader(stream)
+		var got Frame
+		for i := range frames {
+			if err := dec.Next(&got); err != nil {
+				t.Fatalf("chunk %d frame %d: Next: %v", chunk, i, err)
+			}
+			want, err := ReadFrame(legacy)
+			if err != nil {
+				t.Fatalf("chunk %d frame %d: ReadFrame: %v", chunk, i, err)
+			}
+			if !framesEqual(got.Clone(), want) {
+				t.Fatalf("chunk %d frame %d: decoder %+v != readframe %+v", chunk, i, got, want)
+			}
+		}
+		if err := dec.Next(&got); err != io.EOF {
+			t.Fatalf("chunk %d: want io.EOF at stream end, got %v", chunk, err)
+		}
+	}
+}
+
+func framesEqual(a, b Frame) bool {
+	if a.Kind != b.Kind || a.Node != b.Node || a.Incarnation != b.Incarnation ||
+		a.From != b.From || a.To != b.To || a.Seq != b.Seq || a.Ack != b.Ack ||
+		a.MsgKind != b.MsgKind || a.Color != b.Color || len(a.Procs) != len(b.Procs) {
+		return false
+	}
+	for i := range a.Procs {
+		if a.Procs[i] != b.Procs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecoderEOFSemantics(t *testing.T) {
+	frames := decoderTestFrames(t)
+	stream := encodeAll(t, frames[:1])
+
+	// Clean close at a frame boundary: io.EOF, like ReadFrame.
+	dec := NewDecoder(bytes.NewReader(stream))
+	var f Frame
+	if err := dec.Next(&f); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Next(&f); err != io.EOF {
+		t.Fatalf("want io.EOF at boundary, got %v", err)
+	}
+
+	// Close mid-prefix and mid-body: io.ErrUnexpectedEOF, like
+	// ReadFrame's io.ReadFull behavior.
+	for _, cut := range []int{2, len(stream) - 3} {
+		dec := NewDecoder(bytes.NewReader(stream[:cut]))
+		if err := dec.Next(&f); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut %d: want ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+func TestDecoderOversizePrefix(t *testing.T) {
+	var pre [4]byte
+	pre[0], pre[1], pre[2], pre[3] = 0xff, 0xff, 0xff, 0x7f
+	dec := NewDecoder(bytes.NewReader(pre[:]))
+	var f Frame
+	if err := dec.Next(&f); !errors.Is(err, ErrOversize) {
+		t.Fatalf("want ErrOversize, got %v", err)
+	}
+}
+
+func TestDecoderMore(t *testing.T) {
+	frames := decoderTestFrames(t)
+	stream := encodeAll(t, frames)
+	// The whole burst arrives in one segment: after the first blocking
+	// Next, More must report every remaining frame without further
+	// reads (the reader would panic).
+	dec := NewDecoder(&oneShotReader{b: stream})
+	var f Frame
+	if err := dec.Next(&f); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(frames); i++ {
+		if !dec.More() {
+			t.Fatalf("frame %d: More()=false with %d bytes buffered", i, dec.Buffered())
+		}
+		if err := dec.Next(&f); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if dec.More() {
+		t.Fatal("More()=true after burst drained")
+	}
+}
+
+// oneShotReader yields its whole buffer on the first read and panics on
+// any later read, proving More-guarded Nexts never touch the reader.
+type oneShotReader struct {
+	b    []byte
+	done bool
+}
+
+func (r *oneShotReader) Read(p []byte) (int, error) {
+	if r.done {
+		panic("read after burst delivered")
+	}
+	if len(p) < len(r.b) {
+		panic("short read buffer in test")
+	}
+	r.done = true
+	return copy(p, r.b), nil
+}
+
+// TestDecoderZeroAllocHotPath is the tentpole's 0 allocs/op claim for
+// the decode hot path: Data, Ack, and Heartbeat frames decode into a
+// reused Frame with no per-frame allocation. (Hello allocates only
+// until Procs capacity is established.)
+func TestDecoderZeroAllocHotPath(t *testing.T) {
+	d, err := DataFrame(core.Message{Kind: core.Ping, From: 1, To: 2, Color: 3}, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := encodeAll(t, []Frame{d, {Kind: Ack, From: 2, To: 1, Ack: 5}, {Kind: Heartbeat, From: 1, To: 2}})
+	src := bytes.NewReader(stream)
+	dec := NewDecoder(src)
+	var f Frame
+	allocs := testing.AllocsPerRun(200, func() {
+		src.Reset(stream)
+		dec.start, dec.end, dec.err = 0, 0, nil
+		for j := 0; j < 3; j++ {
+			if err := dec.Next(&f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decode hot path allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestDecoderProcsReuseAndClone pins the copy-on-retain contract: a
+// retained Hello frame's Procs alias the decoder scratch and are
+// overwritten by the next decode, while Clone detaches them.
+func TestDecoderProcsReuseAndClone(t *testing.T) {
+	stream := encodeAll(t, []Frame{
+		{Kind: Hello, Node: 1, Incarnation: 1, Procs: []uint32{10, 11}},
+		{Kind: Hello, Node: 2, Incarnation: 2, Procs: []uint32{20, 21}},
+	})
+	dec := NewDecoder(bytes.NewReader(stream))
+	var f Frame
+	if err := dec.Next(&f); err != nil {
+		t.Fatal(err)
+	}
+	aliased := f.Procs
+	cloned := f.Clone()
+	if err := dec.Next(&f); err != nil {
+		t.Fatal(err)
+	}
+	if aliased[0] != 20 || aliased[1] != 21 {
+		t.Fatalf("expected scratch reuse to overwrite retained Procs, got %v", aliased)
+	}
+	if cloned.Procs[0] != 10 || cloned.Procs[1] != 11 {
+		t.Fatalf("Clone must detach Procs, got %v", cloned.Procs)
+	}
+}
+
+// TestFrameSizeExact pins FrameSize to the encoder's actual output for
+// every kind, so the one-allocation encode path can trust it.
+func TestFrameSizeExact(t *testing.T) {
+	for _, f := range decoderTestFrames(t) {
+		buf, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := FrameSize(f); got != len(buf) {
+			t.Fatalf("%v: FrameSize=%d, encoded=%d", f, got, len(buf))
+		}
+	}
+	var empty Frame
+	if got := FrameSize(empty); got != 0 {
+		t.Fatalf("unknown kind: FrameSize=%d, want 0", got)
+	}
+}
+
+// TestDecoderDrainsBufferedBeforeError: frames fully buffered before a
+// read error must surface before the error does, so a coalesced burst
+// followed by a disconnect is not lost.
+func TestDecoderDrainsBufferedBeforeError(t *testing.T) {
+	frames := decoderTestFrames(t)
+	stream := encodeAll(t, frames[:2])
+	dec := NewDecoder(&thenError{b: stream, err: errors.New("conn reset")})
+	var f Frame
+	for i := 0; i < 2; i++ {
+		if err := dec.Next(&f); err != nil {
+			t.Fatalf("frame %d lost to pending error: %v", i, err)
+		}
+	}
+	if err := dec.Next(&f); err == nil || err.Error() != "conn reset" {
+		t.Fatalf("want conn reset, got %v", err)
+	}
+}
+
+type thenError struct {
+	b   []byte
+	err error
+}
+
+func (r *thenError) Read(p []byte) (int, error) {
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	if n == 0 {
+		return 0, r.err
+	}
+	return n, r.err
+}

@@ -2,10 +2,107 @@ package wire
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"repro/internal/core"
 )
+
+// FuzzWireDecoder feeds arbitrary byte streams — not single payloads —
+// to the zero-copy Decoder and differentially checks it against the
+// allocating ReadFrame reference across hostile chunk boundaries:
+//
+//  1. Same frames, same errors: for every chunking of the stream
+//     (including 1-byte reads that split every length prefix and CRC
+//     trailer, mimicking truncated iovec boundaries), the Decoder
+//     yields exactly the frame sequence ReadFrame does, and fails on
+//     exactly the same byte position.
+//  2. No aliasing past the frame boundary: a Clone taken when a frame
+//     is current must still re-encode to the original bytes after the
+//     decoder has moved on and recycled its buffer. Run under -race in
+//     CI, this also catches any write to a returned view.
+func FuzzWireDecoder(f *testing.F) {
+	frame := func(fr Frame) []byte {
+		b, err := AppendFrame(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	hello := frame(Frame{Kind: Hello, Node: 2, Incarnation: 7, Procs: []uint32{4, 9, 17}})
+	data := frame(Frame{Kind: Data, From: 1, To: 2, Seq: 42, Ack: 41, MsgKind: core.Ping})
+	ack := frame(Frame{Kind: Ack, From: 4, To: 6, Ack: 12})
+	cat := func(parts ...[]byte) []byte {
+		var out []byte
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	f.Add([]byte{})
+	f.Add(cat(hello, data, data, ack))     // coalesced writev splice
+	f.Add(cat(data, ack)[:len(data)+2])    // burst truncated inside the ack's length prefix
+	f.Add(cat(data, data)[:2*len(data)-5]) // burst truncated mid-payload
+	forged := cat(data, ack)
+	forged[len(forged)-1] ^= 0xff // batched ack with a forged CRC trailer
+	f.Add(forged)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00}) // oversize length prefix
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		// Reference pass: the allocating read path.
+		var wantFrames [][]byte // canonical re-encodings
+		var wantErr error
+		ref := bytes.NewReader(stream)
+		for {
+			fr, err := ReadFrame(ref)
+			if err != nil {
+				wantErr = err
+				break
+			}
+			enc, err := AppendFrame(nil, fr)
+			if err != nil {
+				t.Fatalf("reference frame does not re-encode: %v", err)
+			}
+			wantFrames = append(wantFrames, enc)
+		}
+
+		for _, chunk := range []int{1, 3, 7, 64, len(stream) + 1} {
+			dec := NewDecoder(&chunkReader{b: stream, chunk: chunk})
+			var clones []Frame
+			var gotErr error
+			for {
+				var fr Frame
+				if err := dec.Next(&fr); err != nil {
+					gotErr = err
+					break
+				}
+				clones = append(clones, fr.Clone())
+			}
+			if len(clones) != len(wantFrames) {
+				t.Fatalf("chunk %d: decoder yielded %d frames, ReadFrame %d", chunk, len(clones), len(wantFrames))
+			}
+			// The error classes must agree; EOF flavors differ only in
+			// that both mean "stream ended" vs a decode rejection.
+			wantEOF := wantErr == io.EOF || wantErr == io.ErrUnexpectedEOF
+			gotEOF := gotErr == io.EOF || gotErr == io.ErrUnexpectedEOF
+			if wantEOF != gotEOF {
+				t.Fatalf("chunk %d: decoder error %v, ReadFrame error %v", chunk, gotErr, wantErr)
+			}
+			// Aliasing check: the clones were taken while their frames
+			// were current; by now the decoder has recycled its buffer
+			// many times. Every clone must still match the reference.
+			for i, cl := range clones {
+				enc, err := AppendFrame(nil, cl)
+				if err != nil {
+					t.Fatalf("chunk %d: clone %d does not re-encode: %v", chunk, i, err)
+				}
+				if !bytes.Equal(enc, wantFrames[i]) {
+					t.Fatalf("chunk %d: clone %d aliased recycled decoder memory:\n got %x\nwant %x", chunk, i, enc, wantFrames[i])
+				}
+			}
+		}
+	})
+}
 
 // FuzzWireCodec checks the codec's two load-bearing properties on
 // arbitrary byte strings:

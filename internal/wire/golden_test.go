@@ -72,6 +72,116 @@ func TestGoldenBytes(t *testing.T) {
 	}
 }
 
+// goldenBursts pins the coalesced shapes the transport actually puts
+// on a socket: writeLoop gathers queued frames into one writev, so a
+// burst is the exact concatenation of its frames' encodings — no burst
+// header, no padding, each frame still carrying its own length prefix
+// and CRC trailer. These files double as decoder vectors: a burst must
+// split back into precisely its source frames.
+var goldenBursts = []struct {
+	name   string
+	frames []Frame
+}{
+	// Three data frames from one writev flush, each carrying the
+	// piggybacked cumulative ack frozen at submit time.
+	{"burst_coalesced_data", []Frame{
+		{Kind: Data, From: 1, To: 2, Seq: 7, Ack: 6, MsgKind: core.Request, Color: 3},
+		{Kind: Data, From: 1, To: 2, Seq: 8, Ack: 6, MsgKind: core.Ping},
+		{Kind: Data, From: 1, To: 2, Seq: 9, Ack: 6, MsgKind: core.Fork},
+	}},
+	// A receive burst's reply shape: the batched cumulative ack is one
+	// pure-ack frame restating the latest seq for the whole burst,
+	// trailing the opposite direction's data.
+	{"burst_batched_ack", []Frame{
+		{Kind: Data, From: 2, To: 1, Seq: 4, Ack: 9, MsgKind: core.Ack},
+		{Kind: Ack, From: 2, To: 1, Ack: 9},
+	}},
+	// A reconnect flush: handshake hello, then a heartbeat and the
+	// retransmitted ring contents in one gather.
+	{"burst_reconnect", []Frame{
+		{Kind: Hello, Node: 1, Incarnation: 3, Procs: []uint32{0, 2}},
+		{Kind: Heartbeat, From: 0, To: 3},
+		{Kind: Data, From: 0, To: 3, Seq: 1, Ack: 0, MsgKind: core.Request, Color: 1},
+	}},
+}
+
+func TestGoldenBurstBytes(t *testing.T) {
+	for _, tc := range goldenBursts {
+		t.Run(tc.name, func(t *testing.T) {
+			var enc []byte
+			for _, fr := range tc.frames {
+				var err error
+				enc, err = AppendFrame(enc, fr)
+				if err != nil {
+					t.Fatalf("encode: %v", err)
+				}
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(hexDump(enc)), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			want, err := parseHexDump(string(raw))
+			if err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Fatalf("coalesced wire layout changed for %s:\n got %x\nwant %x\n"+
+					"this breaks wire compatibility; if intentional, bump wire.Version and regenerate with -update",
+					tc.name, enc, want)
+			}
+			// The burst must split back into exactly its source frames
+			// through the zero-copy decoder — frame boundaries survive
+			// coalescing byte-for-byte.
+			dec := NewDecoder(bytes.NewReader(want))
+			for i, src := range tc.frames {
+				var got Frame
+				if err := dec.Next(&got); err != nil {
+					t.Fatalf("frame %d: decode: %v", i, err)
+				}
+				re, err := AppendFrame(nil, got.Clone())
+				if err != nil {
+					t.Fatalf("frame %d: re-encode: %v", i, err)
+				}
+				orig, err := AppendFrame(nil, src)
+				if err != nil {
+					t.Fatalf("frame %d: source encode: %v", i, err)
+				}
+				if !bytes.Equal(re, orig) {
+					t.Fatalf("frame %d round-trip diverged:\n got %x\nwant %x", i, re, orig)
+				}
+			}
+			var extra Frame
+			if err := dec.Next(&extra); err == nil {
+				t.Fatalf("burst decoded an extra frame: %+v", extra)
+			}
+		})
+	}
+}
+
+// TestGoldenCoversEveryFrameKind fails when a frame kind is added
+// without a pinned byte layout — the golden corpus must stay
+// exhaustive.
+func TestGoldenCoversEveryFrameKind(t *testing.T) {
+	covered := map[FrameKind]bool{}
+	for _, tc := range goldenCases {
+		covered[tc.frame.Kind] = true
+	}
+	for k := Hello; k <= Ack; k++ {
+		if !covered[k] {
+			t.Errorf("frame kind %v has no golden case", k)
+		}
+	}
+	if covered[Hello] && covered[Heartbeat] && covered[Data] && covered[Ack] && len(covered) != 4 {
+		t.Errorf("golden cases cover %d kinds; a new kind needs a case here and a golden file", len(covered))
+	}
+}
+
 // hexDump renders b as lowercase hex, 16 bytes per line, so golden
 // diffs are readable.
 func hexDump(b []byte) string {

@@ -149,6 +149,37 @@ func (f Frame) Message() core.Message {
 	return core.Message{Kind: f.MsgKind, From: int(f.From), To: int(f.To), Color: int(f.Color)}
 }
 
+// Clone returns a deep copy of f that is safe to retain after the
+// decoding buffer or Frame it came from is reused — the copy-on-retain
+// half of the zero-copy contract (DESIGN S24). Procs is the only
+// reference field; everything else copies by value.
+func (f Frame) Clone() Frame {
+	if f.Procs != nil {
+		f.Procs = append([]uint32(nil), f.Procs...)
+	}
+	return f
+}
+
+// FrameSize returns the exact encoded size of f including the 4-byte
+// length prefix, so encoders can size a buffer in one allocation. It
+// mirrors AppendPayload's layout byte for byte (golden tests pin the
+// equivalence). Unknown kinds return 0.
+func FrameSize(f Frame) int {
+	const overhead = 4 + 2 + crcLen // length prefix + version/kind + CRC trailer
+	switch f.Kind {
+	case Hello:
+		return overhead + 4 + 8 + 2 + 4*len(f.Procs)
+	case Heartbeat:
+		return overhead + 4 + 4
+	case Data:
+		return overhead + 4 + 4 + 8 + 8 + 1 + 4
+	case Ack:
+		return overhead + 4 + 4 + 8
+	default:
+		return 0
+	}
+}
+
 // DataFrame builds a Data frame carrying m with ARQ sequence seq and
 // piggybacked cumulative ack.
 func DataFrame(m core.Message, seq, ack uint64) (Frame, error) {
@@ -326,104 +357,127 @@ func (r *reader) u64() (uint64, error) {
 // field is interpreted, so a spliced or corrupted byte stream is
 // rejected wholesale rather than half-parsed.
 func DecodePayload(b []byte) (Frame, error) {
+	var f Frame
+	if err := DecodePayloadInto(&f, b); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// DecodePayloadInto is the allocation-free form of DecodePayload: it
+// decodes one payload into *f, reusing f.Procs' backing array when its
+// capacity suffices (the only variable-length field). Every other field
+// is overwritten unconditionally, so a reused Frame never leaks state
+// between frames. This is the hot-path entry the zero-copy Decoder
+// uses; b may be a view into a shared read buffer because no decoded
+// field retains a reference into it. On error f holds no meaningful
+// frame and must not be interpreted.
+func DecodePayloadInto(f *Frame, b []byte) error {
+	procs := f.Procs
+	*f = Frame{}
 	if len(b) > MaxPayload {
-		return Frame{}, fmt.Errorf("%w: %d bytes", ErrOversize, len(b))
+		return fmt.Errorf("%w: %d bytes", ErrOversize, len(b))
 	}
 	if len(b) < crcLen {
-		return Frame{}, ErrShort
+		return ErrShort
 	}
 	body, sum := b[:len(b)-crcLen], binary.LittleEndian.Uint32(b[len(b)-crcLen:])
 	if got := crc32.Checksum(body, castagnoli); got != sum {
-		return Frame{}, fmt.Errorf("%w: got %08x want %08x", ErrChecksum, got, sum)
+		return fmt.Errorf("%w: got %08x want %08x", ErrChecksum, got, sum)
 	}
 	r := &reader{b: body}
 	ver, err := r.u8()
 	if err != nil {
-		return Frame{}, err
+		return err
 	}
 	if ver != Version {
-		return Frame{}, fmt.Errorf("%w: %d (want %d)", ErrBadVersion, ver, Version)
+		return fmt.Errorf("%w: %d (want %d)", ErrBadVersion, ver, Version)
 	}
 	kind, err := r.u8()
 	if err != nil {
-		return Frame{}, err
+		return err
 	}
-	f := Frame{Kind: FrameKind(kind)}
+	f.Kind = FrameKind(kind)
 	switch f.Kind {
 	case Hello:
 		if f.Node, err = r.u32(); err != nil {
-			return Frame{}, err
+			return err
 		}
 		if f.Incarnation, err = r.u64(); err != nil {
-			return Frame{}, err
+			return err
 		}
 		count, err := r.u16()
 		if err != nil {
-			return Frame{}, err
+			return err
 		}
 		if int(count) > MaxHelloProcs {
-			return Frame{}, fmt.Errorf("%w: hello lists %d processes (max %d)", ErrBadValue, count, MaxHelloProcs)
+			return fmt.Errorf("%w: hello lists %d processes (max %d)", ErrBadValue, count, MaxHelloProcs)
 		}
 		if count > 0 {
-			f.Procs = make([]uint32, count)
+			if cap(procs) >= int(count) {
+				f.Procs = procs[:count]
+			} else {
+				f.Procs = make([]uint32, count)
+			}
 			for i := range f.Procs {
 				if f.Procs[i], err = r.u32(); err != nil {
-					return Frame{}, err
+					f.Procs = nil
+					return err
 				}
 			}
 		}
 	case Heartbeat:
 		if f.From, err = r.u32(); err != nil {
-			return Frame{}, err
+			return err
 		}
 		if f.To, err = r.u32(); err != nil {
-			return Frame{}, err
+			return err
 		}
 	case Data:
 		if f.From, err = r.u32(); err != nil {
-			return Frame{}, err
+			return err
 		}
 		if f.To, err = r.u32(); err != nil {
-			return Frame{}, err
+			return err
 		}
 		if f.Seq, err = r.u64(); err != nil {
-			return Frame{}, err
+			return err
 		}
 		if f.Seq == 0 {
-			return Frame{}, fmt.Errorf("%w: data frame with sequence 0", ErrBadValue)
+			return fmt.Errorf("%w: data frame with sequence 0", ErrBadValue)
 		}
 		if f.Ack, err = r.u64(); err != nil {
-			return Frame{}, err
+			return err
 		}
 		code, err := r.u8()
 		if err != nil {
-			return Frame{}, err
+			return err
 		}
 		if f.MsgKind, err = msgKindFromCode(code); err != nil {
-			return Frame{}, err
+			return err
 		}
 		color, err := r.u32()
 		if err != nil {
-			return Frame{}, err
+			return err
 		}
 		f.Color = int32(color)
 	case Ack:
 		if f.From, err = r.u32(); err != nil {
-			return Frame{}, err
+			return err
 		}
 		if f.To, err = r.u32(); err != nil {
-			return Frame{}, err
+			return err
 		}
 		if f.Ack, err = r.u64(); err != nil {
-			return Frame{}, err
+			return err
 		}
 	default:
-		return Frame{}, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
+		return fmt.Errorf("%w: %d", ErrUnknownKind, kind)
 	}
 	if r.off != len(r.b) {
-		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.b)-r.off)
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.b)-r.off)
 	}
-	return f, nil
+	return nil
 }
 
 // WriteFrame writes one length-prefixed frame to w.
